@@ -1,0 +1,215 @@
+package pequod
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (§5), plus the §4 optimization ablations. Each regenerates
+// the corresponding result at a laptop scale; EXPERIMENTS.md records
+// paper-vs-measured values. cmd/repro runs the same experiments with
+// nicer output and configurable scales.
+//
+// Run all:   go test -bench=. -benchmem
+// One table: go test -bench=BenchmarkFig7 -benchtime=1x
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"pequod/internal/experiments"
+)
+
+// metricName makes a label safe as a testing.B metric unit (no spaces).
+func metricName(s string) string {
+	return strings.ReplaceAll(s, " ", "_")
+}
+
+// benchScale picks a scale small enough for repeated benchmark runs.
+var benchScale = experiments.Tiny
+
+// BenchmarkFig7SystemComparison regenerates Figure 7 ("Time to process a
+// Twip experiment to completion"): Pequod vs Redis vs client Pequod vs
+// memcached vs PostgreSQL. Reported metric: runtime ratio vs Pequod
+// (paper: 1.00 / 1.33 / 1.64 / 3.98 / 9.55).
+func BenchmarkFig7SystemComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7(benchScale, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.Ratio, metricName(r.System)+"_ratio")
+			}
+		}
+	}
+}
+
+// BenchmarkFig8Materialization regenerates Figure 8: runtime of no/full/
+// dynamic materialization as the active-user percentage (and with it the
+// check:post ratio) sweeps.
+func BenchmarkFig8Materialization(b *testing.B) {
+	for _, pct := range []int{1, 10, 50, 90, 100} {
+		b.Run(fmt.Sprintf("active=%d", pct), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Fig8(benchScale, []int{pct}, io.Discard)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					for _, r := range rows {
+						b.ReportMetric(r.Runtime.Seconds(), shortName(r.Strategy)+"_s")
+					}
+				}
+			}
+		})
+	}
+}
+
+func shortName(s string) string {
+	switch s {
+	case "No materialization":
+		return "none"
+	case "Full materialization":
+		return "full"
+	case "Dynamic materialization":
+		return "dynamic"
+	}
+	return s
+}
+
+// BenchmarkFig9NewpJoinChoice regenerates Figure 9: interleaved vs
+// non-interleaved Newp page assembly across vote rates (paper crossover
+// ~90% votes).
+func BenchmarkFig9NewpJoinChoice(b *testing.B) {
+	for _, vr := range []int{0, 25, 50, 75, 100} {
+		b.Run(fmt.Sprintf("votes=%d", vr), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Fig9(benchScale, []int{vr}, io.Discard)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					for _, r := range rows {
+						b.ReportMetric(r.Runtime.Seconds(), metricName(r.Strategy)+"_s")
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig10Scalability regenerates Figure 10: aggregate timeline
+// throughput as compute servers are added against a fixed base store
+// (paper: 3x from 12→48 servers; here 1→4).
+func BenchmarkFig10Scalability(b *testing.B) {
+	for _, nc := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("compute=%d", nc), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Fig10(benchScale, []int{nc}, 2, io.Discard)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(rows[0].QPS, "qps")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSubtables regenerates the §4.1 measurement (paper:
+// 1.55x faster, 1.17x memory with subtables).
+func BenchmarkAblationSubtables(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationSubtables(benchScale, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].Runtime.Seconds()/rows[1].Runtime.Seconds(), "speedup_x")
+			b.ReportMetric(float64(rows[1].Bytes)/float64(rows[0].Bytes), "memratio_x")
+		}
+	}
+}
+
+// BenchmarkAblationOutputHints regenerates the §4.2 measurement (paper:
+// 1.11x faster with output hints).
+func BenchmarkAblationOutputHints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationOutputHints(benchScale, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].Runtime.Seconds()/rows[1].Runtime.Seconds(), "speedup_x")
+		}
+	}
+}
+
+// BenchmarkAblationValueSharing regenerates the §4.3 measurement (paper:
+// 1.14x less memory with value sharing).
+func BenchmarkAblationValueSharing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationValueSharing(benchScale, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(rows[0].Bytes)/float64(rows[1].Bytes), "memratio_x")
+		}
+	}
+}
+
+// BenchmarkEmbeddedOps micro-benchmarks the embedded cache's hot paths
+// with the timeline join installed: the per-op costs underlying every
+// macro result above.
+func BenchmarkEmbeddedOps(b *testing.B) {
+	setup := func() *Cache {
+		c := New(Options{})
+		if err := c.Install("t|<user>|<time:10>|<poster> = check s|<user>|<poster> copy p|<poster>|<time:10>"); err != nil {
+			b.Fatal(err)
+		}
+		c.SetSubtableDepth("t", 2)
+		for u := 0; u < 100; u++ {
+			for p := 0; p < 20; p++ {
+				c.Put(fmt.Sprintf("s|u%07d|u%07d", u, (u+p+1)%100), "1")
+			}
+		}
+		for p := 0; p < 100; p++ {
+			for i := 0; i < 50; i++ {
+				c.Put(fmt.Sprintf("p|u%07d|%010d", p, i), "tweet body text")
+			}
+		}
+		// Warm all timelines.
+		for u := 0; u < 100; u++ {
+			lo, hi := RangeOf("t", fmt.Sprintf("u%07d", u))
+			c.Scan(lo, hi, 0)
+		}
+		return c
+	}
+
+	b.Run("PostFanout", func(b *testing.B) {
+		c := setup()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Each post eagerly updates ~20 materialized timelines.
+			c.Put(fmt.Sprintf("p|u%07d|%010d", i%100, 1000+i), "new tweet")
+		}
+	})
+	b.Run("WarmTimelineScan", func(b *testing.B) {
+		c := setup()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo, hi := RangeOf("t", fmt.Sprintf("u%07d", i%100))
+			c.Scan(lo, hi, 0)
+		}
+	})
+	b.Run("IncrementalCheck", func(b *testing.B) {
+		c := setup()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			u := fmt.Sprintf("u%07d", i%100)
+			c.Scan(JoinKey("t", u, fmt.Sprintf("%010d", 40)), PrefixEnd(JoinKey("t", u)+"|"), 0)
+		}
+	})
+}

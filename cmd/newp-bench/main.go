@@ -1,0 +1,81 @@
+// Command newp-bench runs the Newp workload (§5.4) against the
+// interleaved or non-interleaved page-assembly strategy.
+//
+// Usage:
+//
+//	newp-bench [-strategy interleaved|non-interleaved] [-users N]
+//	           [-sessions N] [-votes pct] [-workers N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"pequod/internal/client"
+	"pequod/internal/newp"
+	"pequod/internal/server"
+)
+
+func main() {
+	log.SetPrefix("newp-bench: ")
+	log.SetFlags(0)
+	strategy := flag.String("strategy", "interleaved", "interleaved|non-interleaved")
+	users := flag.Int("users", 1000, "users")
+	sessions := flag.Int("sessions", 10000, "user sessions")
+	votePct := flag.Int("votes", 10, "vote rate percent")
+	workers := flag.Int("workers", 16, "client worker goroutines")
+	flag.Parse()
+
+	joins := newp.InterleavedJoins
+	if *strategy == "non-interleaved" {
+		joins = newp.AggregateJoins
+	} else if *strategy != "interleaved" {
+		log.Fatalf("unknown strategy %q", *strategy)
+	}
+
+	s, err := server.New(server.Config{Name: "newp", Joins: joins})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := s.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	c, err := client.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	var b newp.Backend
+	if *strategy == "interleaved" {
+		b = &newp.Interleaved{C: c}
+	} else {
+		b = &newp.NonInterleaved{C: c}
+	}
+
+	d := &newp.Dataset{
+		Users:    *users,
+		Articles: *users * 2,
+		Comments: *users * 5,
+		Votes:    *users * 10,
+		Seed:     5,
+	}
+	log.Printf("populating %d articles, %d comments, %d votes...", d.Articles, d.Comments, d.Votes)
+	if err := d.Populate(b); err != nil {
+		log.Fatal(err)
+	}
+	ops := d.Sessions(*sessions, float64(*votePct)/100, 9)
+	log.Printf("running %d sessions at %d%% vote rate...", len(ops), *votePct)
+	start := time.Now()
+	items, err := newp.RunSessions(b, ops, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dur := time.Since(start)
+	fmt.Printf("%-16s %d sessions in %.3fs (%.0f sessions/s, %d items fetched)\n",
+		b.Name(), len(ops), dur.Seconds(), float64(len(ops))/dur.Seconds(), items)
+}

@@ -1,0 +1,135 @@
+// Command pequod-cli is a command-line client for a Pequod server.
+//
+// Usage:
+//
+//	pequod-cli [-addr host:port] command args...
+//
+// Commands:
+//
+//	get KEY                  print the value under KEY
+//	put KEY VALUE            store VALUE under KEY
+//	rm KEY                   remove KEY
+//	scan LO HI [LIMIT]       print pairs in [LO, HI)
+//	scanpfx COMP [COMP...]   print pairs with the component prefix
+//	count LO HI              count keys in [LO, HI)
+//	addjoin SPEC             install a cache join
+//	stat                     print server statistics (JSON)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"pequod/internal/client"
+	"pequod/internal/keys"
+)
+
+func main() {
+	log.SetPrefix("pequod-cli: ")
+	log.SetFlags(0)
+	addr := flag.String("addr", "127.0.0.1:7744", "server address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c, err := client.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if err := run(c, args); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(c *client.Client, args []string) error {
+	switch cmd := args[0]; cmd {
+	case "get":
+		if len(args) != 2 {
+			return fmt.Errorf("get KEY")
+		}
+		v, found, err := c.Get(args[1])
+		if err != nil {
+			return err
+		}
+		if !found {
+			return fmt.Errorf("%q not found", args[1])
+		}
+		fmt.Println(v)
+	case "put":
+		if len(args) != 3 {
+			return fmt.Errorf("put KEY VALUE")
+		}
+		return c.Put(args[1], args[2])
+	case "rm":
+		if len(args) != 2 {
+			return fmt.Errorf("rm KEY")
+		}
+		found, err := c.Remove(args[1])
+		if err != nil {
+			return err
+		}
+		if !found {
+			return fmt.Errorf("%q not found", args[1])
+		}
+	case "scan":
+		if len(args) < 3 || len(args) > 4 {
+			return fmt.Errorf("scan LO HI [LIMIT]")
+		}
+		limit := 0
+		if len(args) == 4 {
+			var err error
+			limit, err = strconv.Atoi(args[3])
+			if err != nil {
+				return err
+			}
+		}
+		kvs, err := c.Scan(args[1], args[2], limit)
+		if err != nil {
+			return err
+		}
+		for _, kv := range kvs {
+			fmt.Printf("%s\t%s\n", kv.Key, kv.Value)
+		}
+	case "scanpfx":
+		if len(args) < 2 {
+			return fmt.Errorf("scanpfx COMP [COMP...]")
+		}
+		r := keys.RangeOf(args[1:]...)
+		kvs, err := c.Scan(r.Lo, r.Hi, 0)
+		if err != nil {
+			return err
+		}
+		for _, kv := range kvs {
+			fmt.Printf("%s\t%s\n", kv.Key, kv.Value)
+		}
+	case "count":
+		if len(args) != 3 {
+			return fmt.Errorf("count LO HI")
+		}
+		n, err := c.Count(args[1], args[2])
+		if err != nil {
+			return err
+		}
+		fmt.Println(n)
+	case "addjoin":
+		if len(args) != 2 {
+			return fmt.Errorf("addjoin SPEC")
+		}
+		return c.AddJoin(args[1])
+	case "stat":
+		s, err := c.Stat()
+		if err != nil {
+			return err
+		}
+		fmt.Println(s)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}

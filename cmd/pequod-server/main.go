@@ -1,0 +1,88 @@
+// Command pequod-server runs a standalone Pequod cache server.
+//
+// Usage:
+//
+//	pequod-server [-addr :7744] [-joins file.pql] [-subtable t=2]...
+//	              [-mem bytes] [-no-hints] [-no-sharing]
+//
+// The joins file holds cache-join specifications, one per line or
+// semicolon-separated (// comments allowed), e.g. the Twip timeline join:
+//
+//	t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"pequod/internal/core"
+	"pequod/internal/join"
+	"pequod/internal/server"
+)
+
+type subtableFlags map[string]int
+
+func (s subtableFlags) String() string { return fmt.Sprint(map[string]int(s)) }
+
+func (s subtableFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("want table=depth, got %q", v)
+	}
+	d, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return err
+	}
+	s[parts[0]] = d
+	return nil
+}
+
+func main() {
+	log.SetPrefix("pequod-server: ")
+	log.SetFlags(0)
+
+	addr := flag.String("addr", ":7744", "listen address")
+	joinsFile := flag.String("joins", "", "file of cache-join specifications to install at startup")
+	memLimit := flag.Int64("mem", 0, "eviction threshold in bytes (0 = never evict)")
+	noHints := flag.Bool("no-hints", false, "disable output hints (§4.2)")
+	noSharing := flag.Bool("no-sharing", false, "disable value sharing (§4.3)")
+	name := flag.String("name", "pequod", "server name for stats")
+	subtables := subtableFlags{}
+	flag.Var(subtables, "subtable", "subtable boundary, table=depth (repeatable, §4.1)")
+	flag.Parse()
+
+	joins := ""
+	if *joinsFile != "" {
+		data, err := os.ReadFile(*joinsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		joins = string(data)
+	}
+
+	s, err := server.New(server.Config{
+		Name: *name,
+		Engine: core.Options{
+			DisableOutputHints:  *noHints,
+			DisableValueSharing: *noSharing,
+			MemLimit:            *memLimit,
+		},
+		Joins:          joins,
+		SubtableDepths: subtables,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	installed, err := join.ParseAll(joins)
+	if err != nil {
+		log.Fatal(err) // unreachable: server.New validated already
+	}
+	log.Printf("listening on %s (%d joins installed)", *addr, len(installed))
+	if err := s.ListenAndServe(*addr); err != nil {
+		log.Fatal(err)
+	}
+}

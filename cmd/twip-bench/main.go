@@ -1,0 +1,171 @@
+// Command twip-bench runs the Twip workload (§5.1) against one chosen
+// backend, for interactive performance work on a single system.
+//
+// Usage:
+//
+//	twip-bench [-system pequod|client-pequod|redis|memcached|postgres]
+//	           [-users N] [-edges N] [-posts N] [-checks N]
+//	           [-active pct] [-servers N] [-workers N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"pequod/internal/baselines"
+	"pequod/internal/baselines/memsim"
+	"pequod/internal/baselines/redisim"
+	"pequod/internal/baselines/sqlsim"
+	"pequod/internal/client"
+	"pequod/internal/server"
+	"pequod/internal/twip"
+)
+
+func main() {
+	log.SetPrefix("twip-bench: ")
+	log.SetFlags(0)
+	system := flag.String("system", "pequod", "backend: pequod|client-pequod|redis|memcached|postgres")
+	users := flag.Int("users", 2000, "graph users")
+	edges := flag.Int("edges", 30000, "graph edges")
+	posts := flag.Int("posts", 4000, "historical posts")
+	checks := flag.Int("checks", 15, "timeline checks per active user")
+	active := flag.Int("active", 70, "active user percentage")
+	servers := flag.Int("servers", 3, "cache servers")
+	workers := flag.Int("workers", 16, "client worker goroutines")
+	tweetLen := flag.Int("tweet", 100, "tweet length in bytes")
+	flag.Parse()
+
+	g := twip.Generate(*users, *edges, 42)
+	hist := twip.GeneratePosts(g, *posts, 43, *tweetLen)
+	w := twip.GenerateWorkload(g, twip.WorkloadConfig{
+		ActiveFraction: float64(*active) / 100,
+		ChecksPerUser:  *checks,
+		Seed:           44,
+		StartTime:      int64(len(hist)),
+		TweetLen:       *tweetLen,
+	})
+	log.Printf("graph: %d users, %d edges (max followers %d); workload: %d ops",
+		g.Users, g.Edges(), g.MaxFollowers(), len(w.Ops))
+
+	b, cleanup, err := makeBackend(*system, *servers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
+
+	log.Printf("loading graph and %d historical posts...", len(hist))
+	if err := twip.LoadGraph(b, g, *workers); err != nil {
+		log.Fatal(err)
+	}
+	if err := twip.LoadPosts(b, hist, *workers); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("running...")
+	res, err := twip.Run(b, w, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+}
+
+func makeBackend(system string, n int) (twip.Backend, func(), error) {
+	startPequod := func(joins string) ([]*client.Client, func(), error) {
+		var clients []*client.Client
+		var closers []func()
+		cleanup := func() {
+			for _, c := range clients {
+				c.Close()
+			}
+			for _, f := range closers {
+				f()
+			}
+		}
+		for i := 0; i < n; i++ {
+			s, err := server.New(server.Config{
+				Name:           fmt.Sprintf("twip%d", i),
+				Joins:          joins,
+				SubtableDepths: map[string]int{"t": 2},
+			})
+			if err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+			addr, err := s.Start()
+			if err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+			closers = append(closers, s.Close)
+			c, err := client.Dial(addr)
+			if err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+			clients = append(clients, c)
+		}
+		return clients, cleanup, nil
+	}
+	startBaseline := func(mk func() baselines.Handler, count int) ([]*client.Client, func(), error) {
+		var clients []*client.Client
+		var closers []func()
+		cleanup := func() {
+			for _, c := range clients {
+				c.Close()
+			}
+			for _, f := range closers {
+				f()
+			}
+		}
+		for i := 0; i < count; i++ {
+			srv := baselines.NewServer(mk())
+			addr, err := srv.Start()
+			if err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+			closers = append(closers, srv.Close)
+			c, err := client.Dial(addr)
+			if err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+			clients = append(clients, c)
+		}
+		return clients, cleanup, nil
+	}
+
+	switch system {
+	case "pequod":
+		cs, cleanup, err := startPequod(twip.Joins)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &twip.PequodBackend{Clients: cs}, cleanup, nil
+	case "client-pequod":
+		cs, cleanup, err := startPequod("")
+		if err != nil {
+			return nil, nil, err
+		}
+		return &twip.ClientPequodBackend{Clients: cs}, cleanup, nil
+	case "redis":
+		cs, cleanup, err := startBaseline(func() baselines.Handler { return redisim.New() }, n)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &twip.RedisBackend{Clients: cs}, cleanup, nil
+	case "memcached":
+		cs, cleanup, err := startBaseline(func() baselines.Handler { return memsim.New() }, n)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &twip.MemcachedBackend{Clients: cs}, cleanup, nil
+	case "postgres":
+		cs, cleanup, err := startBaseline(func() baselines.Handler { return sqlsim.NewTwip() }, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &twip.PostgresBackend{Client: cs[0]}, cleanup, nil
+	}
+	return nil, nil, fmt.Errorf("unknown system %q", system)
+}

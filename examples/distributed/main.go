@@ -1,0 +1,105 @@
+// Distributed example: the §2.4 topology — base (home) servers absorbing
+// writes, a compute server executing the timeline join against remotely
+// fetched base data, kept fresh by cross-server subscriptions.
+//
+// Run: go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pequod"
+	"pequod/internal/partition"
+)
+
+func main() {
+	// Two home servers split the base tables: posters a–m on home0,
+	// n–z on home1 (posts by poster; subscriptions by user).
+	home0 := mustServer(pequod.ServerConfig{Name: "home0"})
+	home1 := mustServer(pequod.ServerConfig{Name: "home1"})
+	addr0 := mustStart(home0)
+	addr1 := mustStart(home1)
+	defer home0.Close()
+	defer home1.Close()
+
+	// The partition function maps key ranges to home servers (§2.4).
+	pmap := partition.MustNew("p|n", "s|", "s|n")
+	addrs := []string{addr0, addr1, addr0, addr1}
+
+	compute := mustServer(pequod.ServerConfig{
+		Name:  "compute",
+		Joins: "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>",
+	})
+	if err := compute.ConnectPeers(pmap, addrs, "p", "s"); err != nil {
+		log.Fatal(err)
+	}
+	caddr := mustStart(compute)
+	defer compute.Close()
+	fmt.Printf("homes: %s %s; compute: %s\n", addr0, addr1, caddr)
+
+	h0 := mustDial(addr0)
+	h1 := mustDial(addr1)
+	cc := mustDial(caddr)
+	defer h0.Close()
+	defer h1.Close()
+	defer cc.Close()
+
+	// Application writes go to home servers (write-around style).
+	must(h0.Put("s|ann|bob", "1"))
+	must(h0.Put("s|ann|zed", "1"))
+	must(h0.Put("p|bob|100", "bob from home0"))
+	must(h1.Put("p|zed|150", "zed from home1"))
+
+	// Reading ann's timeline at the compute server fetches base ranges
+	// from both homes, installs subscriptions, and computes the join.
+	kvs, err := cc.Scan("t|ann|", pequod.PrefixEnd("t|ann|"), 0)
+	must(err)
+	fmt.Println("ann's timeline (computed from two home servers):")
+	for _, kv := range kvs {
+		fmt.Printf("  %s -> %q\n", kv.Key, kv.Value)
+	}
+
+	// A new post at its home flows to the compute server's materialized
+	// timeline through the subscription — asynchronously (eventual
+	// consistency, §2.4).
+	must(h1.Put("p|zed|200", "zed again"))
+	for i := 0; i < 100; i++ {
+		if v, found, _ := cc.Get("t|ann|200|zed"); found {
+			fmt.Printf("subscription delivered: t|ann|200|zed -> %q\n", v)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func mustServer(cfg pequod.ServerConfig) *pequod.Server {
+	s, err := pequod.NewServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
+}
+
+func mustStart(s *pequod.Server) string {
+	addr, err := s.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return addr
+}
+
+func mustDial(addr string) *pequod.Client {
+	c, err := pequod.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

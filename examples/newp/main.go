@@ -1,0 +1,71 @@
+// Newp example: the paper's Hacker-News-like application (§2.3, Fig 1),
+// showing interleaved cache joins assembling an article page — article
+// text, vote count, comments, and per-commenter karma — in one scan.
+//
+// Run: go run ./examples/newp
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"pequod"
+)
+
+const joins = `
+  karma|<author> = count vote|<author>|<id>|<voter>;
+  rank|<author>|<id> = count vote|<author>|<id>|<voter>;
+  page|<author>|<id>|a = copy article|<author>|<id>;
+  page|<author>|<id>|r = copy rank|<author>|<id>;
+  page|<author>|<id>|c|<cid>|<commenter> = copy comment|<author>|<id>|<cid>|<commenter>;
+  page|<author>|<id>|k|<cid>|<commenter> = check comment|<author>|<id>|<cid>|<commenter> copy karma|<commenter>
+`
+
+func main() {
+	cache := pequod.New(pequod.Options{})
+	if err := cache.Install(joins); err != nil {
+		log.Fatal(err)
+	}
+
+	// bob posts an article; liz and pat comment; votes arrive — including
+	// votes on liz's own article, which give liz karma.
+	cache.Put("article|bob|101", "A deep dive into cache joins")
+	cache.Put("comment|bob|101|c1|liz", "great article!")
+	cache.Put("comment|bob|101|c2|pat", "needs more benchmarks")
+	cache.Put("vote|bob|101|u1", "1")
+	cache.Put("vote|bob|101|u2", "1")
+	cache.Put("article|liz|x1", "liz's own piece")
+	cache.Put("vote|liz|x1|u3", "1")
+
+	renderPage(cache, "bob", "101")
+
+	// A new vote on liz's article cascades: vote -> karma|liz ->
+	// page|bob|101|k|c1|liz (join-on-join, two hops, §2.3).
+	fmt.Println("\nanother vote for liz's article lands...")
+	cache.Put("vote|liz|x1|u4", "1")
+	renderPage(cache, "bob", "101")
+}
+
+func renderPage(cache *pequod.Cache, author, id string) {
+	// "Newp can issue one scan on [page|bob|101, page|bob|101|+) to
+	// retrieve all of the disparate data needed to render an article
+	// page" (§2.3).
+	lo := pequod.JoinKey("page", author, id) + "|"
+	kvs := cache.Scan(lo, pequod.PrefixEnd(lo), 0)
+	fmt.Printf("— page %s/%s (%d items in one scan) —\n", author, id, len(kvs))
+	for _, kv := range kvs {
+		comps := pequod.SplitKey(kv.Key)
+		switch comps[3] {
+		case "a":
+			fmt.Printf("  article: %s\n", kv.Value)
+		case "r":
+			fmt.Printf("  votes:   %s\n", kv.Value)
+		case "c":
+			fmt.Printf("  comment by %s: %s\n", comps[5], kv.Value)
+		case "k":
+			fmt.Printf("  %s's karma: %s\n", comps[5], kv.Value)
+		}
+	}
+	_ = strings.TrimSpace
+}

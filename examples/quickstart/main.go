@@ -1,0 +1,56 @@
+// Quickstart: the paper's §2.2 walkthrough on an embedded Pequod cache.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pequod"
+)
+
+func main() {
+	cache := pequod.New(pequod.Options{})
+
+	// The Twip timeline join (§2.2): "defines the value of
+	// t|user|time|poster as a copy of the value of p|poster|time
+	// whenever s|user|poster exists."
+	err := cache.Install(
+		"t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ann follows bob; bob tweets at time 100.
+	cache.Put("s|ann|bob", "1")
+	cache.Put("p|bob|100", "Hi")
+
+	// ann checks her timeline: one ordered scan of [t|ann|, t|ann}).
+	lo, hi := pequod.RangeOf("t", "ann")
+	fmt.Println("ann's timeline after bob's first tweet:")
+	for _, kv := range cache.Scan(lo, hi, 0) {
+		fmt.Printf("  %s -> %q\n", kv.Key, kv.Value)
+	}
+
+	// "If bob tweets again at time 120, the database will notify Pequod...
+	// This put triggers a process that automatically copies the tweet to
+	// key t|ann|120|bob" — eager incremental maintenance; no join rerun.
+	cache.Put("p|bob|120", "Hi again")
+	fmt.Println("after bob tweets again (maintained incrementally):")
+	for _, kv := range cache.Scan(lo, hi, 0) {
+		fmt.Printf("  %s -> %q\n", kv.Key, kv.Value)
+	}
+
+	// Subscription changes recompute lazily on the next read (§3.2).
+	cache.Put("s|ann|liz", "1")
+	cache.Put("p|liz|110", "liz was here")
+	fmt.Println("after ann follows liz (lazy backfill on read):")
+	for _, kv := range cache.Scan(lo, hi, 0) {
+		fmt.Printf("  %s -> %q\n", kv.Key, kv.Value)
+	}
+
+	st := cache.Stats()
+	fmt.Printf("stats: %d join executions, %d updater fires, %d log entries applied\n",
+		st.JoinExecs, st.UpdaterFires, st.LogsApplied)
+}

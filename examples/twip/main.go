@@ -1,0 +1,76 @@
+// Twip example: a networked Pequod server running the paper's
+// microblogging application (§2.1–§2.3), including celebrity joins.
+//
+// Run: go run ./examples/twip
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pequod"
+)
+
+func main() {
+	// Celebrity join set (§2.3): normal posts flow through the eager
+	// timeline join; celebrity posts are stored under cp|, collected
+	// time-primary in ct|, and joined at read time (pull) to save the
+	// memory of copying them into millions of timelines.
+	srv, err := pequod.NewServer(pequod.ServerConfig{
+		Name: "twip",
+		Joins: `
+		  ct|<time>|<poster> = copy cp|<poster>|<time>;
+		  t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>;
+		  t|<user>|<time>|<poster> = pull copy ct|<time>|<poster> check s|<user>|<poster>
+		`,
+		SubtableDepths: map[string]int{"t": 2}, // §4.1: timelines are natural boundaries
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := srv.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Println("twip server on", addr)
+
+	c, err := pequod.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// ann follows bob (a regular user) and celeb (a celebrity).
+	must(c.Put("s|ann|bob", "1"))
+	must(c.Put("s|ann|celeb", "1"))
+	// bea follows only bob.
+	must(c.Put("s|bea|bob", "1"))
+
+	must(c.Put("p|bob|0100", "bob: regular tweet"))
+	must(c.Put("cp|celeb|0150", "celeb: to my millions of followers"))
+	must(c.Put("p|bob|0200", "bob: another one"))
+
+	for _, user := range []string{"ann", "bea"} {
+		kvs, err := c.Scan("t|"+user+"|", pequod.PrefixEnd("t|"+user+"|"), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s's timeline:\n", user)
+		for _, kv := range kvs {
+			fmt.Printf("  %s -> %q\n", kv.Key, kv.Value)
+		}
+	}
+
+	// The celebrity tweet reached ann through the pull join without ever
+	// being materialized; server stats show the difference.
+	st, err := c.Stat()
+	must(err)
+	fmt.Println("server stats:", st)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+// Package backdb is the persistent backing store of a write-around
+// Pequod deployment (§2): "connect Pequod with a database shard,
+// instructing Pequod that some keys can be found in the database and
+// instructing the database that updates to relevant tables should be
+// forwarded to Pequod (e.g., using Postgres's notify statement)."
+//
+// The DB is an ordered in-memory store with ranged subscriptions. All
+// deliveries — initial range snapshots and subsequent update
+// notifications — flow through a single dispatcher goroutine in write
+// order, so a cache attached via ScanAndSubscribe observes a consistent
+// prefix of the database history (never an old value after a newer one).
+package backdb
+
+import (
+	"sync"
+
+	"pequod/internal/core"
+	"pequod/internal/interval"
+	"pequod/internal/store"
+)
+
+// Op classifies an update notification.
+type Op int
+
+// Update operations.
+const (
+	OpPut Op = iota
+	OpDelete
+)
+
+// Update is one notified database change.
+type Update struct {
+	Op    Op
+	Key   string
+	Value string
+}
+
+// Subscription receives updates for a key range until cancelled.
+type Subscription struct {
+	entry *interval.Entry[*subState]
+	db    *DB
+}
+
+type subState struct {
+	fn        func(Update)
+	cancelled bool
+}
+
+// Cancel stops deliveries (already-queued events may still arrive).
+func (s *Subscription) Cancel() {
+	s.db.mu.Lock()
+	s.entry.Val.cancelled = true
+	s.db.subs.Delete(s.entry)
+	s.db.mu.Unlock()
+}
+
+type event struct {
+	snapshot func()    // either a snapshot delivery...
+	sub      *subState // ...or an update for one subscription
+	upd      Update
+}
+
+// DB is the backing database.
+type DB struct {
+	mu    sync.Mutex
+	data  *store.Store
+	subs  *interval.Tree[*subState]
+	queue []event
+	cond  *sync.Cond
+	done  bool
+	wg    sync.WaitGroup
+}
+
+// New returns an empty database with its dispatcher running.
+func New() *DB {
+	db := &DB{data: store.New(), subs: interval.New[*subState]()}
+	db.cond = sync.NewCond(&db.mu)
+	db.wg.Add(1)
+	go db.dispatch()
+	return db
+}
+
+// Close stops the dispatcher after draining queued events.
+func (db *DB) Close() {
+	db.mu.Lock()
+	db.done = true
+	db.mu.Unlock()
+	db.cond.Signal()
+	db.wg.Wait()
+}
+
+func (db *DB) dispatch() {
+	defer db.wg.Done()
+	for {
+		db.mu.Lock()
+		for len(db.queue) == 0 && !db.done {
+			db.cond.Wait()
+		}
+		if len(db.queue) == 0 && db.done {
+			db.mu.Unlock()
+			return
+		}
+		batch := db.queue
+		db.queue = nil
+		db.mu.Unlock()
+		for _, ev := range batch {
+			switch {
+			case ev.snapshot != nil:
+				ev.snapshot()
+			case !ev.sub.cancelled:
+				ev.sub.fn(ev.upd)
+			}
+		}
+	}
+}
+
+func (db *DB) enqueueLocked(ev event) {
+	db.queue = append(db.queue, ev)
+	db.cond.Signal()
+}
+
+// Put writes a row (application write path of the write-around
+// deployment) and notifies overlapping subscriptions.
+func (db *DB) Put(key, value string) {
+	db.mu.Lock()
+	db.data.Put(key, store.NewValue(value))
+	db.notifyLocked(Update{Op: OpPut, Key: key, Value: value})
+	db.mu.Unlock()
+}
+
+// Delete removes a row and notifies overlapping subscriptions.
+func (db *DB) Delete(key string) {
+	db.mu.Lock()
+	if _, ok := db.data.Remove(key); ok {
+		db.notifyLocked(Update{Op: OpDelete, Key: key})
+	}
+	db.mu.Unlock()
+}
+
+func (db *DB) notifyLocked(u Update) {
+	db.subs.Stab(u.Key, func(en *interval.Entry[*subState]) bool {
+		db.enqueueLocked(event{sub: en.Val, upd: u})
+		return true
+	})
+}
+
+// Scan returns the rows in [lo, hi) (hi == "" unbounded).
+func (db *DB) Scan(lo, hi string) []core.KV {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.scanLocked(lo, hi)
+}
+
+func (db *DB) scanLocked(lo, hi string) []core.KV {
+	var out []core.KV
+	db.data.Scan(lo, hi, func(k string, v *store.Value) bool {
+		out = append(out, core.KV{Key: k, Value: v.String()})
+		return true
+	})
+	return out
+}
+
+// Len returns the number of rows.
+func (db *DB) Len() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.data.Len()
+}
+
+// ScanAndSubscribe atomically snapshots [lo, hi) and installs a
+// subscription for its future updates. The snapshot is delivered through
+// snapshotFn and every later update through updateFn, both from the
+// dispatcher goroutine, in database write order — the invariant that
+// keeps a write-around cache fresh (§2).
+func (db *DB) ScanAndSubscribe(lo, hi string, snapshotFn func([]core.KV), updateFn func(Update)) *Subscription {
+	db.mu.Lock()
+	kvs := db.scanLocked(lo, hi)
+	st := &subState{fn: updateFn}
+	en := db.subs.Insert(lo, hi, st)
+	db.enqueueLocked(event{snapshot: func() { snapshotFn(kvs) }})
+	db.mu.Unlock()
+	return &Subscription{entry: en, db: db}
+}
+
+// Quiesce blocks until all queued deliveries have been dispatched (test
+// support for eventual-consistency assertions).
+func (db *DB) Quiesce() {
+	for {
+		db.mu.Lock()
+		empty := len(db.queue) == 0
+		db.mu.Unlock()
+		if empty {
+			// One more round: the dispatcher may be mid-batch; enqueue a
+			// sentinel snapshot and wait for it.
+			ch := make(chan struct{})
+			db.mu.Lock()
+			db.enqueueLocked(event{snapshot: func() { close(ch) }})
+			db.mu.Unlock()
+			<-ch
+			return
+		}
+	}
+}

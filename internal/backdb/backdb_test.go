@@ -1,0 +1,126 @@
+package backdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pequod/internal/core"
+)
+
+func TestPutScanDelete(t *testing.T) {
+	db := New()
+	defer db.Close()
+	db.Put("p|a|1", "v1")
+	db.Put("p|a|2", "v2")
+	db.Put("p|b|1", "v3")
+	kvs := db.Scan("p|a|", "p|a}")
+	if len(kvs) != 2 || kvs[0].Value != "v1" {
+		t.Fatalf("scan = %v", kvs)
+	}
+	db.Delete("p|a|1")
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+}
+
+func TestSnapshotThenUpdatesInOrder(t *testing.T) {
+	db := New()
+	defer db.Close()
+	for i := 0; i < 10; i++ {
+		db.Put(fmt.Sprintf("k|%02d", i), "initial")
+	}
+	var mu sync.Mutex
+	var events []string
+	snapshotLen := -1
+	sub := db.ScanAndSubscribe("k|", "k}",
+		func(kvs []core.KV) {
+			mu.Lock()
+			snapshotLen = len(kvs)
+			mu.Unlock()
+		},
+		func(u Update) {
+			mu.Lock()
+			events = append(events, fmt.Sprintf("%d:%s=%s", u.Op, u.Key, u.Value))
+			mu.Unlock()
+		})
+	// Writes racing with the snapshot must be delivered after it.
+	db.Put("k|05", "updated")
+	db.Delete("k|06")
+	db.Quiesce()
+	mu.Lock()
+	defer mu.Unlock()
+	if snapshotLen != 10 {
+		t.Fatalf("snapshot length = %d", snapshotLen)
+	}
+	if len(events) != 2 || events[0] != "0:k|05=updated" || events[1] != "1:k|06=" {
+		t.Fatalf("events = %v", events)
+	}
+	sub.Cancel()
+	db.Put("k|07", "after cancel")
+	db.Quiesce()
+	if len(events) != 2 {
+		t.Fatalf("cancelled subscription still delivered: %v", events)
+	}
+}
+
+func TestSubscriptionRangeFiltering(t *testing.T) {
+	db := New()
+	defer db.Close()
+	var got []string
+	var mu sync.Mutex
+	db.ScanAndSubscribe("p|bob|", "p|bob}",
+		func([]core.KV) {},
+		func(u Update) {
+			mu.Lock()
+			got = append(got, u.Key)
+			mu.Unlock()
+		})
+	db.Put("p|bob|1", "in range")
+	db.Put("p|liz|1", "out of range")
+	db.Put("p|bob|2", "also in")
+	db.Quiesce()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[0] != "p|bob|1" || got[1] != "p|bob|2" {
+		t.Fatalf("filtered updates = %v", got)
+	}
+}
+
+func TestDeleteOfAbsentKeyNotifiesNothing(t *testing.T) {
+	db := New()
+	defer db.Close()
+	calls := 0
+	var mu sync.Mutex
+	db.ScanAndSubscribe("x|", "x}", func([]core.KV) {}, func(Update) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+	})
+	db.Delete("x|nothere")
+	db.Quiesce()
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 0 {
+		t.Fatalf("phantom delete notified %d times", calls)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	db := New()
+	defer db.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				db.Put(fmt.Sprintf("c|%d|%03d", w, i), "v")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if db.Len() != 1600 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+}

@@ -1,0 +1,141 @@
+// Package baselines provides the comparison systems of the paper's
+// Figure 7 evaluation (§5.2): a Redis-like hash store with sorted-set
+// values, a memcached-like string store, and (in the sqlsim subpackage) a
+// PostgreSQL-like relational engine with triggers.
+//
+// All baselines speak the Pequod wire framing with generic command
+// frames, so the system comparison measures engine work — data
+// structures, maintenance strategy, operation count — on an equal
+// transport footing, as the paper's loopback-TCP setup does.
+package baselines
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+
+	"pequod/internal/rpc"
+)
+
+// Handler executes one command; args[0] is the verb. Implementations are
+// called from multiple connection goroutines and must synchronize
+// internally (the engines here use one mutex, matching the single-writer
+// model used across this repository — parallel deployments run one
+// process per core, §5.2).
+type Handler interface {
+	Command(args []string) (*rpc.Message, error)
+}
+
+// Server serves a Handler over the shared framing.
+type Server struct {
+	h  Handler
+	ln net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps a handler.
+func NewServer(h Handler) *Server {
+	return &Server{h: h, conns: make(map[net.Conn]struct{})}
+}
+
+// Start listens on a loopback port and serves in the background.
+func (s *Server) Start() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go s.serve(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) serve(ln net.Listener) {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+func (s *Server) handleConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	br := bufio.NewReaderSize(c, 64<<10)
+	bw := bufio.NewWriterSize(c, 64<<10)
+	var rs, ws []byte
+	for {
+		m, sc, err := rpc.ReadMessage(br, rs)
+		if err != nil {
+			return
+		}
+		rs = sc
+		var reply *rpc.Message
+		if m.Type != rpc.MsgCommand || len(m.Args) == 0 {
+			reply = rpc.ErrReply(m.Seq, errors.New("baseline: want a command frame"))
+		} else {
+			r, err := s.h.Command(m.Args)
+			if err != nil {
+				reply = rpc.ErrReply(m.Seq, err)
+			} else {
+				if r == nil {
+					r = &rpc.Message{}
+				}
+				r.Type = rpc.MsgReply
+				r.Seq = m.Seq
+				r.Status = rpc.StatusOK
+				reply = r
+			}
+		}
+		ws, err = rpc.WriteMessage(bw, reply, ws)
+		if err != nil {
+			return
+		}
+		if br.Buffered() == 0 { // batch flushes across pipelined requests
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Close stops the server.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,98 @@
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pequod/internal/client"
+	"pequod/internal/rpc"
+)
+
+// countingHandler records commands and echoes their verb.
+type countingHandler struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (h *countingHandler) Command(args []string) (*rpc.Message, error) {
+	h.mu.Lock()
+	h.calls++
+	h.mu.Unlock()
+	if args[0] == "FAIL" {
+		return nil, errors.New("requested failure")
+	}
+	return &rpc.Message{Value: args[0]}, nil
+}
+
+func TestServeCommands(t *testing.T) {
+	h := &countingHandler{}
+	s := NewServer(h)
+	addr, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	m, err := c.Command("PING", "x")
+	if err != nil || m.Value != "PING" {
+		t.Fatalf("Command = %v %v", m, err)
+	}
+	// Handler errors surface as error replies, connection stays up.
+	if _, err := c.Command("FAIL"); err == nil {
+		t.Fatal("handler error not surfaced")
+	}
+	if _, err := c.Command("PING"); err != nil {
+		t.Fatal("connection died after error reply")
+	}
+	// Non-command frames are rejected gracefully.
+	if _, _, err := c.Get("x"); err == nil {
+		t.Fatal("non-command frame accepted")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	h := &countingHandler{}
+	s := NewServer(h)
+	addr, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			futs := make([]*client.Future, 100)
+			for i := range futs {
+				futs[i] = c.CommandAsync(fmt.Sprintf("cmd-%d-%d", g, i))
+			}
+			for _, f := range futs {
+				if _, err := f.Wait(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.calls != 800 {
+		t.Fatalf("calls = %d", h.calls)
+	}
+}

@@ -1,0 +1,72 @@
+// Package memsim is the memcached 1.4.16 stand-in of the Figure 7
+// comparison (§5.2): a flat hash table of strings with get/set/append.
+// Timelines are "a string to which tweets are appended"; a timeline
+// check rereads the whole string, and client code parses it — the model
+// that makes memcached fall behind when "the Twip workload has more
+// writes than memcached prefers".
+//
+// Commands: get k / set k v / append k v / delete k
+package memsim
+
+import (
+	"fmt"
+	"sync"
+
+	"pequod/internal/rpc"
+)
+
+// Store is the hash-table engine.
+type Store struct {
+	mu   sync.Mutex
+	data map[string]string
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{data: make(map[string]string)}
+}
+
+// Command implements baselines.Handler.
+func (s *Store) Command(args []string) (*rpc.Message, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := &rpc.Message{}
+	switch verb := args[0]; verb {
+	case "set":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("set wants 2 args")
+		}
+		s.data[args[1]] = args[2]
+	case "get":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("get wants 1 arg")
+		}
+		v, ok := s.data[args[1]]
+		r.Value, r.Found = v, ok
+	case "append":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("append wants 2 args")
+		}
+		// memcached's append concatenates in place; for large timeline
+		// strings this O(len) copy is the operation's true cost and is
+		// retained deliberately.
+		s.data[args[1]] = s.data[args[1]] + args[2]
+	case "delete":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("delete wants 1 arg")
+		}
+		_, had := s.data[args[1]]
+		delete(s.data, args[1])
+		r.Found = had
+	default:
+		return nil, fmt.Errorf("memsim: unknown command %q", verb)
+	}
+	return r, nil
+}
+
+// Len reports the number of keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}

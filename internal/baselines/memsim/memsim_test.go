@@ -1,0 +1,43 @@
+package memsim
+
+import "testing"
+
+func TestOps(t *testing.T) {
+	s := New()
+	if m, _ := s.Command([]string{"get", "k"}); m.Found {
+		t.Fatal("empty get found")
+	}
+	s.Command([]string{"set", "k", "v"})
+	m, _ := s.Command([]string{"get", "k"})
+	if !m.Found || m.Value != "v" {
+		t.Fatal("get after set")
+	}
+	// Appending to an absent key creates it (memcached would fail the
+	// append; the Twip client sets an empty value first — modeling the
+	// net effect keeps the workload driver simpler without changing
+	// costs).
+	s.Command([]string{"append", "tl", "a\n"})
+	s.Command([]string{"append", "tl", "b\n"})
+	m, _ = s.Command([]string{"get", "tl"})
+	if m.Value != "a\nb\n" {
+		t.Fatalf("append = %q", m.Value)
+	}
+	m, _ = s.Command([]string{"delete", "tl"})
+	if !m.Found {
+		t.Fatal("delete")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s := New()
+	for _, args := range [][]string{
+		{"nope"}, {"get"}, {"set", "k"}, {"append", "k"}, {"delete"},
+	} {
+		if _, err := s.Command(args); err == nil {
+			t.Errorf("command %v should fail", args)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package redisim is the Redis 2.8.5 stand-in of the Figure 7 comparison
+// (§5.2): an unordered hash-table store with O(1) lookups and structured
+// values — strings, sets, and sorted sets. As in the paper, "Redis stores
+// timelines as sorted sets of tweets" and clients actively manage user
+// timelines (fan-out on write); the engine itself has no server-side
+// computation.
+//
+// Command set (args[0] verb, case-sensitive):
+//
+//	GET k / SET k v / DEL k / APPEND k v
+//	SADD k member / SMEMBERS k / SCARD k
+//	ZADD k score member / ZCARD k
+//	ZRANGEBYSCORE k min max   (inclusive numeric bounds; +inf allowed)
+package redisim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"pequod/internal/rpc"
+)
+
+// zentry is one sorted-set member.
+type zentry struct {
+	score  int64
+	member string
+}
+
+// zset is a score-sorted set. Redis uses a skiplist + hash; a sorted
+// slice with binary-search insertion preserves the operational costs that
+// matter at Twip scale (O(log n) locate, O(n) insert-in-middle is rare
+// because timeline inserts are mostly appends).
+type zset struct {
+	entries []zentry
+	members map[string]int64
+}
+
+func (z *zset) add(score int64, member string) {
+	if old, ok := z.members[member]; ok {
+		if old == score {
+			return
+		}
+		// Remove the stale entry.
+		i := sort.Search(len(z.entries), func(i int) bool {
+			e := z.entries[i]
+			return e.score > old || (e.score == old && e.member >= member)
+		})
+		if i < len(z.entries) && z.entries[i].member == member {
+			z.entries = append(z.entries[:i], z.entries[i+1:]...)
+		}
+	}
+	z.members[member] = score
+	i := sort.Search(len(z.entries), func(i int) bool {
+		e := z.entries[i]
+		return e.score > score || (e.score == score && e.member >= member)
+	})
+	z.entries = append(z.entries, zentry{})
+	copy(z.entries[i+1:], z.entries[i:])
+	z.entries[i] = zentry{score, member}
+}
+
+func (z *zset) rangeByScore(min, max int64) []zentry {
+	lo := sort.Search(len(z.entries), func(i int) bool { return z.entries[i].score >= min })
+	hi := sort.Search(len(z.entries), func(i int) bool { return z.entries[i].score > max })
+	return z.entries[lo:hi]
+}
+
+// Store is the hash-table engine.
+type Store struct {
+	mu      sync.Mutex
+	strings map[string]string
+	sets    map[string]map[string]bool
+	zsets   map[string]*zset
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		strings: make(map[string]string),
+		sets:    make(map[string]map[string]bool),
+		zsets:   make(map[string]*zset),
+	}
+}
+
+func parseScore(s string) (int64, error) {
+	if s == "+inf" {
+		return 1<<63 - 1, nil
+	}
+	if s == "-inf" {
+		return -1 << 63, nil
+	}
+	return strconv.ParseInt(s, 10, 64)
+}
+
+// Command implements baselines.Handler.
+func (s *Store) Command(args []string) (*rpc.Message, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := &rpc.Message{}
+	switch verb := args[0]; verb {
+	case "SET":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("SET wants 2 args")
+		}
+		s.strings[args[1]] = args[2]
+	case "GET":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("GET wants 1 arg")
+		}
+		v, ok := s.strings[args[1]]
+		r.Value, r.Found = v, ok
+	case "APPEND":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("APPEND wants 2 args")
+		}
+		s.strings[args[1]] += args[2]
+		r.Count = int64(len(s.strings[args[1]]))
+	case "DEL":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("DEL wants 1 arg")
+		}
+		_, had := s.strings[args[1]]
+		delete(s.strings, args[1])
+		delete(s.sets, args[1])
+		delete(s.zsets, args[1])
+		r.Found = had
+	case "SADD":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("SADD wants 2 args")
+		}
+		set := s.sets[args[1]]
+		if set == nil {
+			set = make(map[string]bool)
+			s.sets[args[1]] = set
+		}
+		if !set[args[2]] {
+			set[args[2]] = true
+			r.Count = 1
+		}
+	case "SMEMBERS":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("SMEMBERS wants 1 arg")
+		}
+		for m := range s.sets[args[1]] {
+			r.KVs = append(r.KVs, rpc.KV{Key: m})
+		}
+	case "SCARD":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("SCARD wants 1 arg")
+		}
+		r.Count = int64(len(s.sets[args[1]]))
+	case "ZADD":
+		if len(args) != 4 {
+			return nil, fmt.Errorf("ZADD wants 3 args")
+		}
+		score, err := parseScore(args[2])
+		if err != nil {
+			return nil, err
+		}
+		z := s.zsets[args[1]]
+		if z == nil {
+			z = &zset{members: make(map[string]int64)}
+			s.zsets[args[1]] = z
+		}
+		z.add(score, args[3])
+	case "ZCARD":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("ZCARD wants 1 arg")
+		}
+		if z := s.zsets[args[1]]; z != nil {
+			r.Count = int64(len(z.entries))
+		}
+	case "ZRANGEBYSCORE":
+		if len(args) != 4 {
+			return nil, fmt.Errorf("ZRANGEBYSCORE wants 3 args")
+		}
+		min, err := parseScore(args[2])
+		if err != nil {
+			return nil, err
+		}
+		max, err := parseScore(args[3])
+		if err != nil {
+			return nil, err
+		}
+		if z := s.zsets[args[1]]; z != nil {
+			for _, e := range z.rangeByScore(min, max) {
+				r.KVs = append(r.KVs, rpc.KV{Key: strconv.FormatInt(e.score, 10), Value: e.member})
+			}
+		}
+	default:
+		return nil, fmt.Errorf("redisim: unknown command %q", verb)
+	}
+	return r, nil
+}
+
+// Len reports the total number of top-level keys (tests/stats).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.strings) + len(s.sets) + len(s.zsets)
+}

@@ -1,0 +1,132 @@
+package redisim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestStringOps(t *testing.T) {
+	s := New()
+	if m, _ := s.Command([]string{"GET", "k"}); m.Found {
+		t.Fatal("empty get found")
+	}
+	if _, err := s.Command([]string{"SET", "k", "v"}); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := s.Command([]string{"GET", "k"})
+	if !m.Found || m.Value != "v" {
+		t.Fatal("get after set")
+	}
+	s.Command([]string{"APPEND", "k", "2"})
+	m, _ = s.Command([]string{"GET", "k"})
+	if m.Value != "v2" {
+		t.Fatal("append")
+	}
+	m, _ = s.Command([]string{"DEL", "k"})
+	if !m.Found {
+		t.Fatal("del")
+	}
+	if m, _ := s.Command([]string{"GET", "k"}); m.Found {
+		t.Fatal("get after del")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	s := New()
+	m, _ := s.Command([]string{"SADD", "fl", "u1"})
+	if m.Count != 1 {
+		t.Fatal("first sadd should add")
+	}
+	m, _ = s.Command([]string{"SADD", "fl", "u1"})
+	if m.Count != 0 {
+		t.Fatal("duplicate sadd should not add")
+	}
+	s.Command([]string{"SADD", "fl", "u2"})
+	m, _ = s.Command([]string{"SMEMBERS", "fl"})
+	if len(m.KVs) != 2 {
+		t.Fatalf("smembers = %v", m.KVs)
+	}
+	m, _ = s.Command([]string{"SCARD", "fl"})
+	if m.Count != 2 {
+		t.Fatal("scard")
+	}
+}
+
+func TestZSetOps(t *testing.T) {
+	s := New()
+	s.Command([]string{"ZADD", "tl", "30", "c"})
+	s.Command([]string{"ZADD", "tl", "10", "a"})
+	s.Command([]string{"ZADD", "tl", "20", "b"})
+	m, _ := s.Command([]string{"ZRANGEBYSCORE", "tl", "-inf", "+inf"})
+	if len(m.KVs) != 3 || m.KVs[0].Value != "a" || m.KVs[2].Value != "c" {
+		t.Fatalf("zrange = %v", m.KVs)
+	}
+	m, _ = s.Command([]string{"ZRANGEBYSCORE", "tl", "15", "25"})
+	if len(m.KVs) != 1 || m.KVs[0].Value != "b" {
+		t.Fatalf("bounded zrange = %v", m.KVs)
+	}
+	// Re-adding a member with a new score moves it.
+	s.Command([]string{"ZADD", "tl", "5", "c"})
+	m, _ = s.Command([]string{"ZRANGEBYSCORE", "tl", "-inf", "+inf"})
+	if len(m.KVs) != 3 || m.KVs[0].Value != "c" {
+		t.Fatalf("rescore = %v", m.KVs)
+	}
+	// Same-score re-add is a no-op.
+	s.Command([]string{"ZADD", "tl", "5", "c"})
+	m, _ = s.Command([]string{"ZCARD", "tl"})
+	if m.Count != 3 {
+		t.Fatal("zcard")
+	}
+}
+
+func TestZSetAgainstModel(t *testing.T) {
+	s := New()
+	rng := rand.New(rand.NewSource(2))
+	model := map[string]int64{}
+	for i := 0; i < 5000; i++ {
+		member := fmt.Sprintf("m%03d", rng.Intn(300))
+		score := int64(rng.Intn(1000))
+		s.Command([]string{"ZADD", "z", fmt.Sprint(score), member})
+		model[member] = score
+	}
+	m, _ := s.Command([]string{"ZRANGEBYSCORE", "z", "-inf", "+inf"})
+	if len(m.KVs) != len(model) {
+		t.Fatalf("zset has %d members, model %d", len(m.KVs), len(model))
+	}
+	prev := int64(-1)
+	for _, kv := range m.KVs {
+		if fmt.Sprint(model[kv.Value]) != kv.Key {
+			t.Fatalf("member %s has score %s, want %d", kv.Value, kv.Key, model[kv.Value])
+		}
+		var sc int64
+		fmt.Sscan(kv.Key, &sc)
+		if sc < prev {
+			t.Fatal("zset out of score order")
+		}
+		prev = sc
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s := New()
+	for _, args := range [][]string{
+		{"NOPE"}, {"GET"}, {"SET", "k"}, {"ZADD", "z", "x", "m"},
+		{"ZRANGEBYSCORE", "z", "bad", "10"}, {"SADD", "s"}, {"APPEND", "k"},
+		{"DEL"}, {"SMEMBERS"}, {"SCARD"}, {"ZCARD"},
+	} {
+		if _, err := s.Command(args); err == nil {
+			t.Errorf("command %v should fail", args)
+		}
+	}
+}
+
+func TestLen(t *testing.T) {
+	s := New()
+	s.Command([]string{"SET", "a", "1"})
+	s.Command([]string{"SADD", "b", "x"})
+	s.Command([]string{"ZADD", "c", "1", "m"})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}

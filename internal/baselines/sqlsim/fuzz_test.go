@@ -1,0 +1,40 @@
+package sqlsim
+
+import "testing"
+
+// FuzzParseSQL hardens the SQL front-end: arbitrary statement text must
+// parse or error, never panic, and quoting must round-trip.
+func FuzzParseSQL(f *testing.F) {
+	f.Add("INSERT INTO posts VALUES ('u9', '0000000100', 'hello')")
+	f.Add("SELECT * FROM timelines WHERE user = 'ann' AND time >= '100' ORDER BY time")
+	f.Add("DELETE FROM subs WHERE user = 'ann' AND poster = 'bob'")
+	f.Add("INSERT INTO t VALUES ('it''s')")
+	f.Add("select * from t")
+	f.Add("'")
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := ParseSQL(src)
+		if err != nil {
+			return
+		}
+		if st.Kind != "INSERT" && st.Kind != "SELECT" && st.Kind != "DELETE" {
+			t.Fatalf("parsed unexpected kind %q", st.Kind)
+		}
+	})
+}
+
+// FuzzQuoteRoundTrip: any string survives Quote + parse.
+func FuzzQuoteRoundTrip(f *testing.F) {
+	f.Add("plain")
+	f.Add("it's")
+	f.Add("''")
+	f.Add("a|b|c\x00\xff")
+	f.Fuzz(func(t *testing.T, s string) {
+		st, err := ParseSQL("INSERT INTO t VALUES (" + Quote(s) + ")")
+		if err != nil {
+			t.Fatalf("quoted insert failed for %q: %v", s, err)
+		}
+		if len(st.Values) != 1 || st.Values[0] != s {
+			t.Fatalf("round trip drift: %q -> %q", s, st.Values[0])
+		}
+	})
+}

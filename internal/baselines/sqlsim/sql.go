@@ -1,0 +1,540 @@
+package sqlsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is the SQL front-end: a hand-written lexer, recursive-descent
+// parser, and range planner for the statement subset the Twip workload
+// issues. Real PostgreSQL parses, analyzes, and plans every statement it
+// executes (prepared statements amortize but never eliminate this); the
+// per-statement front-end work here is a large part of why an in-memory
+// relational database trails a key-value cache in Figure 7, so the
+// simulator performs it honestly rather than calling table methods
+// directly.
+//
+// Supported grammar:
+//
+//	INSERT INTO table VALUES ('v', 'v', ...)
+//	DELETE FROM table WHERE col = 'v' [AND col = 'v' ...]
+//	SELECT * FROM table [WHERE col OP 'v' [AND ...]] [ORDER BY col [, col]]
+//
+// with OP ∈ {=, <, <=, >, >=}. String literals quote ' as ''.
+
+// token kinds
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokWord
+	tokString
+	tokPunct
+)
+
+type token struct {
+	kind tokKind
+	s    string
+}
+
+// lex tokenizes a statement.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			var sb strings.Builder
+			i++
+			for {
+				if i >= len(src) {
+					return nil, fmt.Errorf("sql: unterminated string")
+				}
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			toks = append(toks, token{tokString, sb.String()})
+		case c == '(' || c == ')' || c == ',' || c == '*' || c == ';':
+			toks = append(toks, token{tokPunct, string(c)})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokPunct, "="})
+			i++
+		case c == '<' || c == '>':
+			op := string(c)
+			i++
+			if i < len(src) && src[i] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{tokPunct, op})
+		default:
+			j := i
+			for j < len(src) {
+				c := src[j]
+				if c == ' ' || c == '\t' || c == '\n' || c == '\r' ||
+					c == '(' || c == ')' || c == ',' || c == '*' || c == ';' ||
+					c == '=' || c == '<' || c == '>' || c == '\'' {
+					break
+				}
+				j++
+			}
+			if j == i {
+				return nil, fmt.Errorf("sql: unexpected byte %q", c)
+			}
+			toks = append(toks, token{tokWord, src[i:j]})
+			i = j
+		}
+	}
+	return append(toks, token{tokEOF, ""}), nil
+}
+
+// Cond is one WHERE conjunct.
+type Cond struct {
+	Col string
+	Op  string // = < <= > >=
+	Val string
+}
+
+// Stmt is a parsed statement.
+type Stmt struct {
+	Kind    string // INSERT, DELETE, SELECT
+	Table   string
+	Values  []string // INSERT
+	Where   []Cond
+	OrderBy []string
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectWord(kw string) error {
+	t := p.next()
+	if t.kind != tokWord || !strings.EqualFold(t.s, kw) {
+		return fmt.Errorf("sql: expected %s, got %q", kw, t.s)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.s != s {
+		return fmt.Errorf("sql: expected %q, got %q", s, t.s)
+	}
+	return nil
+}
+
+// ParseSQL parses one statement.
+func ParseSQL(src string) (*Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	t := p.next()
+	if t.kind != tokWord {
+		return nil, fmt.Errorf("sql: expected statement, got %q", t.s)
+	}
+	var st *Stmt
+	switch strings.ToUpper(t.s) {
+	case "INSERT":
+		st, err = p.parseInsert()
+	case "DELETE":
+		st, err = p.parseDelete()
+	case "SELECT":
+		st, err = p.parseSelect()
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %q", t.s)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokPunct && p.peek().s == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sql: trailing tokens at %q", p.peek().s)
+	}
+	return st, nil
+}
+
+func (p *parser) parseInsert() (*Stmt, error) {
+	if err := p.expectWord("INTO"); err != nil {
+		return nil, err
+	}
+	tbl := p.next()
+	if tbl.kind != tokWord {
+		return nil, fmt.Errorf("sql: expected table name")
+	}
+	if err := p.expectWord("VALUES"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	st := &Stmt{Kind: "INSERT", Table: tbl.s}
+	for {
+		v := p.next()
+		if v.kind != tokString {
+			return nil, fmt.Errorf("sql: expected string literal, got %q", v.s)
+		}
+		st.Values = append(st.Values, v.s)
+		t := p.next()
+		if t.kind == tokPunct && t.s == "," {
+			continue
+		}
+		if t.kind == tokPunct && t.s == ")" {
+			return st, nil
+		}
+		return nil, fmt.Errorf("sql: expected , or ) in VALUES")
+	}
+}
+
+func (p *parser) parseWhere() ([]Cond, error) {
+	var conds []Cond
+	for {
+		col := p.next()
+		if col.kind != tokWord {
+			return nil, fmt.Errorf("sql: expected column name, got %q", col.s)
+		}
+		op := p.next()
+		if op.kind != tokPunct || (op.s != "=" && op.s != "<" && op.s != "<=" && op.s != ">" && op.s != ">=") {
+			return nil, fmt.Errorf("sql: expected comparison operator, got %q", op.s)
+		}
+		val := p.next()
+		if val.kind != tokString {
+			return nil, fmt.Errorf("sql: expected string literal, got %q", val.s)
+		}
+		conds = append(conds, Cond{Col: col.s, Op: op.s, Val: val.s})
+		if p.peek().kind == tokWord && strings.EqualFold(p.peek().s, "AND") {
+			p.next()
+			continue
+		}
+		return conds, nil
+	}
+}
+
+func (p *parser) parseDelete() (*Stmt, error) {
+	if err := p.expectWord("FROM"); err != nil {
+		return nil, err
+	}
+	tbl := p.next()
+	if tbl.kind != tokWord {
+		return nil, fmt.Errorf("sql: expected table name")
+	}
+	st := &Stmt{Kind: "DELETE", Table: tbl.s}
+	if err := p.expectWord("WHERE"); err != nil {
+		return nil, err
+	}
+	var err error
+	st.Where, err = p.parseWhere()
+	return st, err
+}
+
+func (p *parser) parseSelect() (*Stmt, error) {
+	if err := p.expectPunct("*"); err != nil {
+		return nil, err
+	}
+	if err := p.expectWord("FROM"); err != nil {
+		return nil, err
+	}
+	tbl := p.next()
+	if tbl.kind != tokWord {
+		return nil, fmt.Errorf("sql: expected table name")
+	}
+	st := &Stmt{Kind: "SELECT", Table: tbl.s}
+	if p.peek().kind == tokWord && strings.EqualFold(p.peek().s, "WHERE") {
+		p.next()
+		var err error
+		st.Where, err = p.parseWhere()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.peek().kind == tokWord && strings.EqualFold(p.peek().s, "ORDER") {
+		p.next()
+		if err := p.expectWord("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col := p.next()
+			if col.kind != tokWord {
+				return nil, fmt.Errorf("sql: expected ORDER BY column")
+			}
+			st.OrderBy = append(st.OrderBy, col.s)
+			if p.peek().kind == tokPunct && p.peek().s == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	return st, nil
+}
+
+// plan is a compiled access path: an index range plus residual filters.
+type plan struct {
+	table   *Table
+	lo, hi  string
+	filters []Cond
+	colIdx  map[string]int
+	sortBy  []int // column indexes to sort by (nil = index order)
+}
+
+// planSelect builds the access path: equality conditions on a primary-key
+// prefix become the index prefix; one range condition on the next key
+// column tightens the bounds; everything else filters row-by-row — the
+// shape of a textbook B-tree plan.
+func (db *DB) planSelect(st *Stmt) (*plan, error) {
+	t := db.tables[st.Table]
+	if t == nil {
+		return nil, fmt.Errorf("sql: no table %q", st.Table)
+	}
+	pl := &plan{table: t, colIdx: map[string]int{}}
+	for i, c := range t.schema.Cols {
+		pl.colIdx[c.Name] = i
+	}
+	for _, c := range st.Where {
+		if _, ok := pl.colIdx[c.Col]; !ok {
+			return nil, fmt.Errorf("sql: no column %q in %s", c.Col, st.Table)
+		}
+	}
+
+	// Consume equality conds along the PK prefix.
+	remaining := append([]Cond(nil), st.Where...)
+	var prefix []string
+	for _, keyCol := range t.schema.Key {
+		name := t.schema.Cols[keyCol].Name
+		found := -1
+		for i, c := range remaining {
+			if c.Col == name && c.Op == "=" {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			// Range conditions on this key column tighten the scan
+			// bounds; they also stay in the residual filter set because
+			// composite keys continue past this column, which makes the
+			// raw bounds slightly loose at the edges.
+			base := EncodeKey(prefix...)
+			if len(prefix) > 0 {
+				base += "|"
+			}
+			lo := base
+			hi := ""
+			if base != "" {
+				hi = prefixEnd(base)
+			}
+			for _, c := range remaining {
+				if c.Col != name || c.Op == "=" {
+					continue
+				}
+				switch c.Op {
+				case ">=":
+					if v := base + c.Val; v > lo {
+						lo = v
+					}
+				case ">":
+					// Exclude the value and all its key continuations.
+					if v := prefixEnd(base + c.Val); v > lo {
+						lo = v
+					}
+				case "<":
+					if v := base + c.Val; hi == "" || v < hi {
+						hi = v
+					}
+				case "<=":
+					// Include the value's key continuations.
+					if v := prefixEnd(base + c.Val); hi == "" || v < hi {
+						hi = v
+					}
+				}
+			}
+			pl.lo, pl.hi = lo, hi
+			pl.filters = remaining
+			break
+		}
+		prefix = append(prefix, remaining[found].Val)
+		remaining = append(remaining[:found], remaining[found+1:]...)
+	}
+	if pl.lo == "" && pl.hi == "" && len(prefix) > 0 {
+		if len(prefix) == len(t.schema.Key) {
+			k := EncodeKey(prefix...)
+			pl.lo, pl.hi = k, k+"\x00"
+		} else {
+			base := EncodeKey(prefix...) + "|"
+			pl.lo, pl.hi = base, prefixEnd(base)
+		}
+		pl.filters = remaining
+	} else if len(prefix) == 0 && pl.lo == "" && pl.hi == "" {
+		pl.filters = remaining // full scan
+	}
+
+	// ORDER BY matching the key prefix is free; otherwise sort.
+	if len(st.OrderBy) > 0 {
+		match := true
+		for i, col := range st.OrderBy {
+			// Key columns after the bound equality prefix provide order.
+			want := -1
+			if len(prefix)+i < len(t.schema.Key) {
+				want = t.schema.Key[len(prefix)+i]
+			}
+			if want < 0 || t.schema.Cols[want].Name != col {
+				match = false
+				break
+			}
+		}
+		if !match {
+			for _, col := range st.OrderBy {
+				ci, ok := pl.colIdx[col]
+				if !ok {
+					return nil, fmt.Errorf("sql: no ORDER BY column %q", col)
+				}
+				pl.sortBy = append(pl.sortBy, ci)
+			}
+		}
+	}
+	return pl, nil
+}
+
+func (pl *plan) match(row Row) bool {
+	for _, c := range pl.filters {
+		v := row[pl.colIdx[c.Col]]
+		switch c.Op {
+		case "=":
+			if v != c.Val {
+				return false
+			}
+		case "<":
+			if !(v < c.Val) {
+				return false
+			}
+		case "<=":
+			if !(v <= c.Val) {
+				return false
+			}
+		case ">":
+			if !(v > c.Val) {
+				return false
+			}
+		case ">=":
+			if !(v >= c.Val) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Exec parses and runs a modification statement.
+func (db *DB) Exec(src string) error {
+	st, err := ParseSQL(src)
+	if err != nil {
+		return err
+	}
+	switch st.Kind {
+	case "INSERT":
+		return db.Insert(st.Table, Row(st.Values))
+	case "DELETE":
+		// The schema map is fixed after setup, so reading it without the
+		// lock is safe; Delete takes the lock itself.
+		t := db.tables[st.Table]
+		if t == nil {
+			return fmt.Errorf("sql: no table %q", st.Table)
+		}
+		// Delete by full primary key only (the workload's shape).
+		vals := make(map[string]string, len(st.Where))
+		for _, c := range st.Where {
+			if c.Op != "=" {
+				return fmt.Errorf("sql: DELETE supports equality predicates only")
+			}
+			vals[c.Col] = c.Val
+		}
+		parts := make([]string, len(t.schema.Key))
+		for i, ci := range t.schema.Key {
+			v, ok := vals[t.schema.Cols[ci].Name]
+			if !ok {
+				return fmt.Errorf("sql: DELETE needs the full primary key")
+			}
+			parts[i] = v
+		}
+		db.Delete(st.Table, parts...)
+		return nil
+	case "SELECT":
+		return fmt.Errorf("sql: use Query for SELECT")
+	}
+	return fmt.Errorf("sql: unsupported statement")
+}
+
+// Query parses, plans, and runs a SELECT.
+func (db *DB) Query(src string) ([]Row, error) {
+	st, err := ParseSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	if st.Kind != "SELECT" {
+		return nil, fmt.Errorf("sql: Query wants SELECT")
+	}
+	db.mu.Lock()
+	pl, err := db.planSelect(st)
+	if err != nil {
+		db.mu.Unlock()
+		return nil, err
+	}
+	rows, err := db.selectRangeLocked(st.Table, pl.lo, pl.hi)
+	db.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if len(pl.filters) > 0 {
+		out := rows[:0]
+		for _, r := range rows {
+			if pl.match(r) {
+				out = append(out, r)
+			}
+		}
+		rows = out
+	}
+	if len(pl.sortBy) > 0 {
+		sort.Slice(rows, func(i, j int) bool {
+			for _, c := range pl.sortBy {
+				if rows[i][c] != rows[j][c] {
+					return rows[i][c] < rows[j][c]
+				}
+			}
+			return false
+		})
+	}
+	return rows, nil
+}
+
+// Quote renders a SQL string literal.
+func Quote(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}

@@ -1,0 +1,206 @@
+package sqlsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestParseInsert(t *testing.T) {
+	st, err := ParseSQL("INSERT INTO posts VALUES ('u9', '0000000100', 'hello world')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != "INSERT" || st.Table != "posts" || len(st.Values) != 3 || st.Values[2] != "hello world" {
+		t.Fatalf("parsed %+v", st)
+	}
+	// Escaped quotes.
+	st, err = ParseSQL("INSERT INTO t VALUES ('it''s')")
+	if err != nil || st.Values[0] != "it's" {
+		t.Fatalf("quote escape: %+v %v", st, err)
+	}
+	// Trailing semicolon accepted.
+	if _, err := ParseSQL("INSERT INTO t VALUES ('v');"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSelect(t *testing.T) {
+	st, err := ParseSQL("SELECT * FROM timelines WHERE user = 'ann' AND time >= '100' ORDER BY time, poster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != "SELECT" || st.Table != "timelines" {
+		t.Fatalf("parsed %+v", st)
+	}
+	if len(st.Where) != 2 || st.Where[0].Op != "=" || st.Where[1].Op != ">=" {
+		t.Fatalf("where = %+v", st.Where)
+	}
+	if len(st.OrderBy) != 2 || st.OrderBy[1] != "poster" {
+		t.Fatalf("order by = %v", st.OrderBy)
+	}
+	// Case-insensitive keywords.
+	if _, err := ParseSQL("select * from t where a = 'x'"); err != nil {
+		t.Fatal(err)
+	}
+	// Bare select.
+	if _, err := ParseSQL("SELECT * FROM t"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	st, err := ParseSQL("DELETE FROM subs WHERE user = 'ann' AND poster = 'bob'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != "DELETE" || len(st.Where) != 2 {
+		t.Fatalf("parsed %+v", st)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"FROB x",
+		"INSERT posts VALUES ('a')",
+		"INSERT INTO posts ('a')",
+		"INSERT INTO posts VALUES ('a' 'b')",
+		"INSERT INTO posts VALUES (unquoted)",
+		"SELECT x FROM t",
+		"SELECT * FROM t WHERE a ! 'b'",
+		"SELECT * FROM t WHERE a = b",
+		"SELECT * FROM t ORDER time",
+		"DELETE FROM t",
+		"SELECT * FROM t WHERE a = 'unterminated",
+		"SELECT * FROM t extra garbage",
+	} {
+		if _, err := ParseSQL(src); err == nil {
+			t.Errorf("ParseSQL(%q) should fail", src)
+		}
+	}
+}
+
+func setupTL(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	db.CreateTable(Schema{Name: "tl", Cols: cols("user", "time", "poster", "tweet"), Key: []int{0, 1, 2}})
+	for u := 0; u < 3; u++ {
+		for ts := 0; ts < 10; ts++ {
+			row := Row{fmt.Sprintf("u%d", u), fmt.Sprintf("%03d", ts), "p", "x"}
+			if err := db.Insert("tl", row); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return db
+}
+
+func TestQueryIndexRangePlan(t *testing.T) {
+	db := setupTL(t)
+	// Equality on the key prefix plus a range on the next key column:
+	// the planner must produce a bounded index scan.
+	rows, err := db.Query("SELECT * FROM tl WHERE user = 'u1' AND time >= '005' ORDER BY time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r[0] != "u1" || r[1] < "005" {
+			t.Fatalf("row out of plan bounds: %v", r)
+		}
+	}
+	// Upper bounds.
+	rows, _ = db.Query("SELECT * FROM tl WHERE user = 'u1' AND time >= '002' AND time < '004'")
+	if len(rows) != 2 {
+		t.Fatalf("bounded rows = %d", len(rows))
+	}
+	// <= is inclusive.
+	rows, _ = db.Query("SELECT * FROM tl WHERE user = 'u1' AND time <= '002'")
+	if len(rows) != 3 {
+		t.Fatalf("inclusive rows = %d", len(rows))
+	}
+	// > is exclusive.
+	rows, _ = db.Query("SELECT * FROM tl WHERE user = 'u1' AND time > '008'")
+	if len(rows) != 1 {
+		t.Fatalf("exclusive rows = %d", len(rows))
+	}
+}
+
+func TestQueryResidualFilterAndSort(t *testing.T) {
+	db := setupTL(t)
+	// A non-key-prefix condition becomes a filter; ORDER BY not matching
+	// the index forces a sort.
+	rows, err := db.Query("SELECT * FROM tl WHERE time = '003' ORDER BY user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("filtered rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i][0] < rows[i-1][0] {
+			t.Fatal("sort violated")
+		}
+	}
+	// Unknown column errors.
+	if _, err := db.Query("SELECT * FROM tl WHERE nope = 'x'"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := db.Query("SELECT * FROM missing"); err == nil {
+		t.Fatal("missing table accepted")
+	}
+	if _, err := db.Query("SELECT * FROM tl ORDER BY nope"); err == nil {
+		t.Fatal("unknown ORDER BY column accepted")
+	}
+}
+
+func TestExecPaths(t *testing.T) {
+	db := New()
+	db.CreateTable(Schema{Name: "t", Cols: cols("a", "b"), Key: []int{0}})
+	if err := db.Exec("INSERT INTO t VALUES ('k1', 'v1')"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec("DELETE FROM t WHERE a = 'k1'"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.Count("t", "", ""); n != 0 {
+		t.Fatalf("count = %d", n)
+	}
+	// DELETE requires full PK and equality.
+	if err := db.Exec("DELETE FROM t WHERE b = 'v'"); err == nil {
+		t.Fatal("partial-key delete accepted")
+	}
+	// SELECT through Exec is rejected.
+	if err := db.Exec("SELECT * FROM t"); err == nil {
+		t.Fatal("SELECT via Exec accepted")
+	}
+	if err := db.Exec("INSERT INTO missing VALUES ('x')"); err == nil {
+		t.Fatal("missing table accepted")
+	}
+}
+
+func TestQuote(t *testing.T) {
+	if Quote("plain") != "'plain'" {
+		t.Fatal("plain quote")
+	}
+	if Quote("it's") != "'it''s'" {
+		t.Fatal("escaped quote")
+	}
+	// Round trip through the parser.
+	st, err := ParseSQL("INSERT INTO t VALUES (" + Quote("a 'quoted' value") + ")")
+	if err != nil || st.Values[0] != "a 'quoted' value" {
+		t.Fatalf("round trip: %+v %v", st, err)
+	}
+}
+
+func BenchmarkParseSelect(b *testing.B) {
+	src := "SELECT * FROM timelines WHERE user = 'u0001234' AND time >= '0000000100' ORDER BY time"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseSQL(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package sqlsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func twoColTable(db *DB, name string) {
+	db.CreateTable(Schema{Name: name, Cols: cols("a", "b"), Key: []int{0}})
+}
+
+func TestInsertSelectDelete(t *testing.T) {
+	db := New()
+	twoColTable(db, "t")
+	if err := db.Insert("t", Row{"k1", "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("t", Row{"k2", "v2"}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.SelectRange("t", "", "")
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("select = %v, %v", rows, err)
+	}
+	// Replacement by primary key.
+	db.Insert("t", Row{"k1", "v1b"})
+	rows, _ = db.SelectRange("t", "k1", "k1\x00")
+	if len(rows) != 1 || rows[0][1] != "v1b" {
+		t.Fatalf("replace = %v", rows)
+	}
+	if !db.Delete("t", "k1") {
+		t.Fatal("delete")
+	}
+	if db.Delete("t", "k1") {
+		t.Fatal("double delete")
+	}
+	if n, _ := db.Count("t", "", ""); n != 1 {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+func TestRowsAreCopies(t *testing.T) {
+	db := New()
+	twoColTable(db, "t")
+	in := Row{"k", "v"}
+	db.Insert("t", in)
+	in[1] = "mutated"
+	rows, _ := db.SelectRange("t", "", "")
+	if rows[0][1] != "v" {
+		t.Fatal("insert did not copy the row")
+	}
+	rows[0][1] = "also mutated"
+	rows2, _ := db.SelectRange("t", "", "")
+	if rows2[0][1] != "v" {
+		t.Fatal("select did not copy the row")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := New()
+	twoColTable(db, "t")
+	if err := db.Insert("missing", Row{"a"}); err == nil {
+		t.Fatal("insert into missing table")
+	}
+	if err := db.Insert("t", Row{"only-one"}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if _, err := db.SelectRange("missing", "", ""); err == nil {
+		t.Fatal("select from missing table")
+	}
+	if db.Delete("missing", "k") {
+		t.Fatal("delete from missing table")
+	}
+}
+
+func TestTriggersAndWAL(t *testing.T) {
+	db := New()
+	twoColTable(db, "src")
+	twoColTable(db, "dst")
+	db.OnInsert("src", func(db *DB, row Row) {
+		db.InsertFromTrigger("dst", Row{row[0], "copied:" + row[1]})
+	})
+	db.Insert("src", Row{"k", "v"})
+	rows, _ := db.SelectRange("dst", "", "")
+	if len(rows) != 1 || rows[0][1] != "copied:v" {
+		t.Fatalf("trigger output = %v", rows)
+	}
+	if db.TriggerRuns != 1 || db.Inserts != 2 {
+		t.Fatalf("stats: triggers=%d inserts=%d", db.TriggerRuns, db.Inserts)
+	}
+	if db.WALBytes == 0 {
+		t.Fatal("no WAL bytes recorded")
+	}
+}
+
+func TestTwipProfile(t *testing.T) {
+	h := NewTwip()
+	sql := func(stmt string) ([]rpcKV, error) {
+		m, err := h.Command([]string{"SQL", stmt})
+		if err != nil {
+			return nil, err
+		}
+		out := make([]rpcKV, len(m.KVs))
+		for i, kv := range m.KVs {
+			out[i] = rpcKV{kv.Key, kv.Value}
+		}
+		return out, nil
+	}
+	// Subscribe, then post: the trigger must fan out.
+	if _, err := sql("INSERT INTO subs VALUES ('u1', 'u9')"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sql("INSERT INTO posts VALUES ('u9', '0000000100', 'hello')"); err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := sql("SELECT * FROM timelines WHERE user = 'u1' AND time >= '0000000000' ORDER BY time")
+	if err != nil || len(kvs) != 1 || kvs[0].v != "hello" {
+		t.Fatalf("check = %v, %v", kvs, err)
+	}
+	// Post first, subscribe later: the subs trigger must backfill.
+	sql("INSERT INTO posts VALUES ('u8', '0000000050', 'old post')")
+	sql("INSERT INTO subs VALUES ('u2', 'u8')")
+	kvs, _ = sql("SELECT * FROM timelines WHERE user = 'u2' AND time >= '0000000000' ORDER BY time")
+	if len(kvs) != 1 || kvs[0].v != "old post" {
+		t.Fatalf("backfill = %v", kvs)
+	}
+	// Since-bound filters.
+	sql("INSERT INTO posts VALUES ('u9', '0000000200', 'newer')")
+	kvs, _ = sql("SELECT * FROM timelines WHERE user = 'u1' AND time >= '0000000150' ORDER BY time")
+	if len(kvs) != 1 || kvs[0].v != "newer" {
+		t.Fatalf("since filter = %v", kvs)
+	}
+	// Values with quotes survive escaping.
+	if _, err := sql("INSERT INTO posts VALUES ('u9', '0000000300', " + Quote("it''s") + ")"); err == nil {
+		// Quote already escapes; passing a pre-escaped string double-escapes,
+		// so build it properly:
+		_ = err
+	}
+	if _, err := sql("INSERT INTO posts VALUES ('u9', '0000000301', " + Quote("it's a tweet") + ")"); err != nil {
+		t.Fatalf("quoted insert: %v", err)
+	}
+	kvs, _ = sql("SELECT * FROM timelines WHERE user = 'u1' AND time >= '0000000301' ORDER BY time")
+	if len(kvs) != 1 || kvs[0].v != "it's a tweet" {
+		t.Fatalf("quote roundtrip = %v", kvs)
+	}
+	// Bad SQL errors.
+	if _, err := sql("UPDATE posts SET x = 'y'"); err == nil {
+		t.Fatal("unsupported statement accepted")
+	}
+	if _, err := h.Command([]string{"FROB"}); err == nil {
+		t.Fatal("unknown twip command accepted")
+	}
+}
+
+type rpcKV struct{ k, v string }
+
+func TestSelectPrefix(t *testing.T) {
+	db := New()
+	db.CreateTable(Schema{Name: "tl", Cols: cols("u", "t", "p"), Key: []int{0, 1, 2}})
+	for i := 0; i < 5; i++ {
+		db.Insert("tl", Row{"u1", fmt.Sprintf("%03d", i), "x"})
+	}
+	db.Insert("tl", Row{"u2", "000", "x"})
+	rows, err := db.SelectPrefix("tl", "u1")
+	if err != nil || len(rows) != 5 {
+		t.Fatalf("prefix select = %d rows, %v", len(rows), err)
+	}
+}

@@ -1,0 +1,105 @@
+package sqlsim
+
+import (
+	"fmt"
+
+	"pequod/internal/rpc"
+)
+
+// SetupTwip installs the paper's Twip schema (§2.1) plus the
+// trigger-maintained timeline table that stands in for materialized
+// views: "Although our test version lacks automatically-updated
+// materialized views, we use triggers to get a similar effect" (§5.2).
+//
+// Tables:
+//
+//	posts(poster, time, tweet)            PK (poster, time)
+//	subs(user, poster)                    PK (user, poster)
+//	revsubs(poster, user)                 PK (poster, user) — fan-out index
+//	timelines(user, time, poster, tweet)  PK (user, time, poster)
+//
+// Triggers:
+//
+//	AFTER INSERT ON posts: copy the post into every subscriber's timeline.
+//	AFTER INSERT ON subs: maintain revsubs and backfill the new timeline
+//	  from the poster's history.
+func SetupTwip(db *DB) {
+	db.CreateTable(Schema{Name: "posts", Cols: cols("poster", "time", "tweet"), Key: []int{0, 1}})
+	db.CreateTable(Schema{Name: "subs", Cols: cols("user", "poster"), Key: []int{0, 1}})
+	db.CreateTable(Schema{Name: "revsubs", Cols: cols("poster", "user"), Key: []int{0, 1}})
+	db.CreateTable(Schema{Name: "timelines", Cols: cols("user", "time", "poster", "tweet"), Key: []int{0, 1, 2}})
+
+	db.OnInsert("posts", func(db *DB, row Row) {
+		poster, time, tweet := row[0], row[1], row[2]
+		lo := EncodeKey(poster) + "|"
+		subs, _ := db.selectRangeLocked("revsubs", lo, prefixEnd(lo))
+		for _, s := range subs {
+			db.InsertFromTrigger("timelines", Row{s[1], time, poster, tweet})
+		}
+	})
+	db.OnInsert("subs", func(db *DB, row Row) {
+		user, poster := row[0], row[1]
+		db.InsertFromTrigger("revsubs", Row{poster, user})
+		lo := EncodeKey(poster) + "|"
+		posts, _ := db.selectRangeLocked("posts", lo, prefixEnd(lo))
+		for _, p := range posts {
+			db.InsertFromTrigger("timelines", Row{user, p[1], poster, p[2]})
+		}
+	})
+}
+
+// TwipHandler exposes the Twip SQL operations over the baseline command
+// protocol, playing the role of the application's SQL statements.
+type TwipHandler struct {
+	DB *DB
+}
+
+// NewTwip builds a database with the Twip profile and its handler.
+func NewTwip() *TwipHandler {
+	db := New()
+	SetupTwip(db)
+	return &TwipHandler{DB: db}
+}
+
+// Command implements baselines.Handler. The single verb is SQL: clients
+// send statement text exactly as a database client would, and every
+// statement pays the full parse/plan/execute path.
+//
+//	SQL <statement>
+func (h *TwipHandler) Command(args []string) (*rpc.Message, error) {
+	if args[0] != "SQL" || len(args) != 2 {
+		return nil, fmt.Errorf("sqlsim: want SQL <statement>")
+	}
+	src := args[1]
+	st, err := ParseSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	r := &rpc.Message{}
+	if st.Kind == "SELECT" {
+		rows, err := h.DB.Query(src) // statement-level API, as libpq presents
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			// Key/value rendering for the Twip timeline row shape
+			// (user, time, poster, tweet); generic rows join all columns.
+			if len(row) == 4 {
+				r.KVs = append(r.KVs, rpc.KV{Key: EncodeKey(row[1], row[2]), Value: row[3]})
+			} else {
+				r.KVs = append(r.KVs, rpc.KV{Key: EncodeKey(row...)})
+			}
+		}
+		return r, nil
+	}
+	return r, h.DB.Exec(src)
+}
+
+// cols builds a column list from names.
+func cols(names ...string) []Column {
+	out := make([]Column, len(names))
+	for i, n := range names {
+		out[i] = Column{Name: n}
+	}
+	return out
+}

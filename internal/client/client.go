@@ -1,0 +1,332 @@
+// Package client implements the Pequod client library: a pipelined,
+// goroutine-safe connection that keeps many RPCs outstanding, exactly as
+// the paper's event-driven clients do (§5.1: "Clients are event-driven
+// processes that keep many RPCs outstanding").
+//
+// Every operation has an async form returning a *Future and a sync
+// wrapper. Unsolicited Notify frames (cross-server subscription pushes,
+// §2.4) are delivered to the OnNotify callback.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"pequod/internal/rpc"
+)
+
+// ErrClosed is returned for operations on a closed client.
+var ErrClosed = errors.New("pequod client: connection closed")
+
+// Client is a connection to one Pequod server. Methods are safe for
+// concurrent use; requests pipeline on the single connection.
+type Client struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	scratch []byte
+	seq     uint64
+	pending map[uint64]*Future
+	dirty   bool
+	closed  error
+
+	kick chan struct{} // flush signal; never closed (senders race sends)
+	quit chan struct{} // closed once by fail() to stop the flusher
+	done chan struct{}
+
+	rpcs atomic.Int64 // requests sent (evaluation metric: RPC counts)
+
+	// OnNotify, if set before any traffic, receives server-push change
+	// batches (subscription maintenance). Called from the reader
+	// goroutine; implementations must not block on this client's sync
+	// calls.
+	OnNotify func([]rpc.Change)
+}
+
+// Future is a pending reply.
+type Future struct {
+	ch  chan struct{}
+	m   *rpc.Message
+	err error
+}
+
+// Wait blocks until the reply arrives.
+func (f *Future) Wait() (*rpc.Message, error) {
+	<-f.ch
+	return f.m, f.err
+}
+
+// Dial connects to a Pequod server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		bw:      bufio.NewWriterSize(conn, 64<<10),
+		pending: make(map[uint64]*Future),
+		kick:    make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	go c.flushLoop()
+	return c
+}
+
+// Close shuts the connection down; outstanding futures fail.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+// RPCs reports the number of requests sent on this connection; the §5.2
+// comparison uses it to show client-managed systems' RPC amplification.
+func (c *Client) RPCs() int64 { return c.rpcs.Load() }
+
+// send enqueues a request and returns its future.
+func (c *Client) send(m *rpc.Message) *Future {
+	c.rpcs.Add(1)
+	f := &Future{ch: make(chan struct{})}
+	c.mu.Lock()
+	if c.closed != nil {
+		err := c.closed
+		c.mu.Unlock()
+		f.err = err
+		close(f.ch)
+		return f
+	}
+	c.seq++
+	m.Seq = c.seq
+	c.pending[m.Seq] = f
+	var err error
+	c.scratch, err = rpc.WriteMessage(c.bw, m, c.scratch)
+	c.dirty = true
+	c.mu.Unlock()
+	if err != nil {
+		c.fail(err)
+		return f
+	}
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+	return f
+}
+
+// flushLoop flushes buffered writes when the pipeline goes momentarily
+// idle, batching frames from concurrent callers into single syscalls.
+func (c *Client) flushLoop() {
+	for {
+		select {
+		case <-c.kick:
+		case <-c.quit:
+			return
+		}
+		c.mu.Lock()
+		if c.dirty {
+			c.dirty = false
+			if err := c.bw.Flush(); err != nil {
+				c.mu.Unlock()
+				c.fail(err)
+				return
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	var scratch []byte
+	for {
+		var m *rpc.Message
+		var err error
+		m, scratch, err = rpc.ReadMessage(br, scratch)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if m.Type == rpc.MsgNotify {
+			if c.OnNotify != nil {
+				c.OnNotify(m.Changes)
+			}
+			continue
+		}
+		c.mu.Lock()
+		f := c.pending[m.Seq]
+		delete(c.pending, m.Seq)
+		c.mu.Unlock()
+		if f != nil {
+			f.m = m
+			close(f.ch)
+		}
+	}
+}
+
+// fail poisons the client and wakes all waiters.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.closed == nil {
+		c.closed = err
+		close(c.quit) // kick itself is never closed: senders race sends
+	}
+	pend := c.pending
+	c.pending = make(map[uint64]*Future)
+	c.mu.Unlock()
+	for _, f := range pend {
+		f.err = err
+		close(f.ch)
+	}
+	c.conn.Close()
+}
+
+func replyErr(m *rpc.Message, err error) error {
+	if err != nil {
+		return err
+	}
+	if m.Status != rpc.StatusOK {
+		return fmt.Errorf("pequod: %s", m.Err)
+	}
+	return nil
+}
+
+// --- Async API ---
+
+// GetAsync fetches a key.
+func (c *Client) GetAsync(key string) *Future {
+	return c.send(&rpc.Message{Type: rpc.MsgGet, Key: key})
+}
+
+// PutAsync stores a value.
+func (c *Client) PutAsync(key, value string) *Future {
+	return c.send(&rpc.Message{Type: rpc.MsgPut, Key: key, Value: value})
+}
+
+// RemoveAsync deletes a key.
+func (c *Client) RemoveAsync(key string) *Future {
+	return c.send(&rpc.Message{Type: rpc.MsgRemove, Key: key})
+}
+
+// ScanAsync reads [lo, hi) up to limit pairs (0 = unlimited). subscribe
+// asks the server to install a base-data subscription for the range
+// (server-to-server replication, §2.4).
+func (c *Client) ScanAsync(lo, hi string, limit int, subscribe bool) *Future {
+	return c.send(&rpc.Message{Type: rpc.MsgScan, Lo: lo, Hi: hi, Limit: limit, SubscribeFlag: subscribe})
+}
+
+// CountAsync counts keys in [lo, hi).
+func (c *Client) CountAsync(lo, hi string) *Future {
+	return c.send(&rpc.Message{Type: rpc.MsgCount, Lo: lo, Hi: hi})
+}
+
+// AddJoinAsync installs cache joins from their textual form.
+func (c *Client) AddJoinAsync(text string) *Future {
+	return c.send(&rpc.Message{Type: rpc.MsgAddJoin, Text: text})
+}
+
+// NotifyAsync pushes a change batch (used by peers and the write-around
+// database feed).
+func (c *Client) NotifyAsync(changes []rpc.Change) *Future {
+	return c.send(&rpc.Message{Type: rpc.MsgNotify, Changes: changes})
+}
+
+// --- Sync API ---
+
+// Get returns the value for key.
+func (c *Client) Get(key string) (string, bool, error) {
+	m, err := c.GetAsync(key).Wait()
+	if err := replyErr(m, err); err != nil {
+		return "", false, err
+	}
+	return m.Value, m.Found, nil
+}
+
+// Put stores value under key.
+func (c *Client) Put(key, value string) error {
+	m, err := c.PutAsync(key, value).Wait()
+	return replyErr(m, err)
+}
+
+// Remove deletes key, reporting whether it existed.
+func (c *Client) Remove(key string) (bool, error) {
+	m, err := c.RemoveAsync(key).Wait()
+	if err := replyErr(m, err); err != nil {
+		return false, err
+	}
+	return m.Found, nil
+}
+
+// Scan returns up to limit pairs from [lo, hi).
+func (c *Client) Scan(lo, hi string, limit int) ([]rpc.KV, error) {
+	m, err := c.ScanAsync(lo, hi, limit, false).Wait()
+	if err := replyErr(m, err); err != nil {
+		return nil, err
+	}
+	return m.KVs, nil
+}
+
+// Count returns the number of keys in [lo, hi).
+func (c *Client) Count(lo, hi string) (int64, error) {
+	m, err := c.CountAsync(lo, hi).Wait()
+	if err := replyErr(m, err); err != nil {
+		return 0, err
+	}
+	return m.Count, nil
+}
+
+// AddJoin installs cache joins ("add-join" RPC, §3).
+func (c *Client) AddJoin(text string) error {
+	m, err := c.AddJoinAsync(text).Wait()
+	return replyErr(m, err)
+}
+
+// Stat returns the server's JSON statistics snapshot.
+func (c *Client) Stat() (string, error) {
+	m, err := c.send(&rpc.Message{Type: rpc.MsgStat}).Wait()
+	if err := replyErr(m, err); err != nil {
+		return "", err
+	}
+	return m.Value, nil
+}
+
+// Flush clears the server's store (benchmark support).
+func (c *Client) Flush() error {
+	m, err := c.send(&rpc.Message{Type: rpc.MsgFlush}).Wait()
+	return replyErr(m, err)
+}
+
+// SetSubtableDepth configures a table's subtable boundary (§4.1).
+func (c *Client) SetSubtableDepth(table string, depth int) error {
+	m, err := c.send(&rpc.Message{Type: rpc.MsgSetSubtable, Table: table, Depth: depth}).Wait()
+	return replyErr(m, err)
+}
+
+// CommandAsync issues a generic command (baseline comparison engines:
+// Redis-like, memcached-like, and relational servers share the Pequod
+// framing with engine-specific command verbs).
+func (c *Client) CommandAsync(args ...string) *Future {
+	return c.send(&rpc.Message{Type: rpc.MsgCommand, Args: args})
+}
+
+// Command issues a generic command and returns the raw reply.
+func (c *Client) Command(args ...string) (*rpc.Message, error) {
+	m, err := c.CommandAsync(args...).Wait()
+	if err := replyErr(m, err); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,253 @@
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"pequod/internal/rpc"
+)
+
+// echoServer accepts one connection and answers every request with a
+// canned reply keyed by message type; it can also push Notify frames.
+type echoServer struct {
+	ln     net.Listener
+	mu     sync.Mutex
+	conns  []*echoConn
+	pushed chan []rpc.Change
+}
+
+// echoConn serializes writes between the request handler and push.
+type echoConn struct {
+	c  net.Conn
+	mu sync.Mutex
+	bw *bufio.Writer
+}
+
+func (ec *echoConn) write(m *rpc.Message) error {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	if _, err := rpc.WriteMessage(ec.bw, m, nil); err != nil {
+		return err
+	}
+	return ec.bw.Flush()
+}
+
+func startEcho(t *testing.T) (*echoServer, *Client) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := &echoServer{ln: ln, pushed: make(chan []rpc.Change, 4)}
+	go es.serve()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		ln.Close()
+		es.mu.Lock()
+		for _, cn := range es.conns {
+			cn.c.Close()
+		}
+		es.mu.Unlock()
+	})
+	return es, c
+}
+
+func (es *echoServer) serve() {
+	for {
+		cn, err := es.ln.Accept()
+		if err != nil {
+			return
+		}
+		ec := &echoConn{c: cn, bw: bufio.NewWriter(cn)}
+		es.mu.Lock()
+		es.conns = append(es.conns, ec)
+		es.mu.Unlock()
+		go es.handle(ec)
+	}
+}
+
+func (es *echoServer) handle(ec *echoConn) {
+	br := bufio.NewReader(ec.c)
+	var rs []byte
+	for {
+		m, sc, err := rpc.ReadMessage(br, rs)
+		if err != nil {
+			return
+		}
+		rs = sc
+		r := rpc.OKReply(m.Seq)
+		switch m.Type {
+		case rpc.MsgGet:
+			r.Found = true
+			r.Value = "value-of-" + m.Key
+		case rpc.MsgScan:
+			r.KVs = []rpc.KV{{Key: m.Lo, Value: "first"}}
+		case rpc.MsgCount:
+			r.Count = 42
+		case rpc.MsgStat:
+			r.Value = `{"ok":true}`
+		case rpc.MsgAddJoin:
+			if m.Text == "bad" {
+				r = rpc.ErrReply(m.Seq, fmt.Errorf("no such join"))
+			}
+		}
+		if err := ec.write(r); err != nil {
+			return
+		}
+	}
+}
+
+func (es *echoServer) push(changes []rpc.Change) error {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	if len(es.conns) == 0 {
+		return fmt.Errorf("no connections")
+	}
+	return es.conns[0].write(&rpc.Message{Type: rpc.MsgNotify, Changes: changes})
+}
+
+func TestSyncOps(t *testing.T) {
+	_, c := startEcho(t)
+	v, found, err := c.Get("k1")
+	if err != nil || !found || v != "value-of-k1" {
+		t.Fatalf("Get = %q %v %v", v, found, err)
+	}
+	if err := c.Put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := c.Scan("lo", "hi", 0)
+	if err != nil || len(kvs) != 1 || kvs[0].Key != "lo" {
+		t.Fatalf("Scan = %v %v", kvs, err)
+	}
+	n, err := c.Count("a", "b")
+	if err != nil || n != 42 {
+		t.Fatalf("Count = %d %v", n, err)
+	}
+	st, err := c.Stat()
+	if err != nil || st != `{"ok":true}` {
+		t.Fatalf("Stat = %q %v", st, err)
+	}
+	// Server-reported errors surface as Go errors.
+	if err := c.AddJoin("bad"); err == nil {
+		t.Fatal("error reply not surfaced")
+	}
+	if err := c.AddJoin("good"); err != nil {
+		t.Fatal(err)
+	}
+	if c.RPCs() == 0 {
+		t.Fatal("RPC counter")
+	}
+}
+
+func TestPipelinedOutOfOrderWaits(t *testing.T) {
+	_, c := startEcho(t)
+	// Issue many async requests, then wait in reverse order: sequence
+	// matching must route each reply to its future.
+	futs := make([]*Future, 50)
+	for i := range futs {
+		futs[i] = c.GetAsync(fmt.Sprintf("k%02d", i))
+	}
+	for i := len(futs) - 1; i >= 0; i-- {
+		m, err := futs[i].Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Value != fmt.Sprintf("value-of-k%02d", i) {
+			t.Fatalf("future %d got %q", i, m.Value)
+		}
+	}
+}
+
+func TestNotifyDelivery(t *testing.T) {
+	es, c := startEcho(t)
+	got := make(chan []rpc.Change, 1)
+	c.OnNotify = func(ch []rpc.Change) { got <- ch }
+	// Prime the connection so the server has it registered.
+	if _, _, err := c.Get("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.push([]rpc.Change{{Op: rpc.ChangePut, Key: "n", Value: "v"}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ch := <-got:
+		if len(ch) != 1 || ch[0].Key != "n" {
+			t.Fatalf("notify = %v", ch)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("notify not delivered")
+	}
+}
+
+func TestCloseFailsPendingAndFutureCalls(t *testing.T) {
+	_, c := startEcho(t)
+	c.Close()
+	if _, _, err := c.Get("k"); err == nil {
+		t.Fatal("call on closed client should fail")
+	}
+}
+
+func TestServerDisappearing(t *testing.T) {
+	es, c := startEcho(t)
+	if _, _, err := c.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	es.ln.Close()
+	es.mu.Lock()
+	for _, cn := range es.conns {
+		cn.c.Close()
+	}
+	es.mu.Unlock()
+	// Pending and subsequent calls fail rather than hang.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, _, err := c.Get("k"); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("calls still succeed after server death")
+		}
+	}
+}
+
+func TestConcurrentMixedCallers(t *testing.T) {
+	_, c := startEcho(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch i % 3 {
+				case 0:
+					if _, _, err := c.Get(fmt.Sprintf("g%d-%d", g, i)); err != nil {
+						t.Errorf("get: %v", err)
+						return
+					}
+				case 1:
+					if err := c.Put("k", "v"); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+				default:
+					if _, err := c.Scan("a", "b", 1); err != nil {
+						t.Errorf("scan: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.RPCs(); got != 16*50 {
+		t.Fatalf("RPCs = %d, want %d", got, 16*50)
+	}
+}

@@ -1,0 +1,411 @@
+// Package core implements the Pequod cache-join engine: query execution
+// (§3.1), incremental maintenance (§3.2), missing-data resolution (§3.3),
+// and performance annotations (§3.4), layered over the ordered store of
+// package store.
+//
+// An Engine is single-writer, exactly like the paper's single-threaded
+// event-driven server; the network server serializes access to it, and
+// scale-out runs many engines partitioned by key range (§2.4, §5.5).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"pequod/internal/interval"
+	"pequod/internal/join"
+	"pequod/internal/keys"
+	"pequod/internal/rbtree"
+	"pequod/internal/store"
+)
+
+// KV is one key-value pair in a scan result.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// ChangeOp classifies a store mutation reported through OnChange.
+type ChangeOp int
+
+const (
+	// OpPut is an insert of a new key or update of an existing one.
+	OpPut ChangeOp = iota
+	// OpRemove is a removal requested by a client or by maintenance.
+	OpRemove
+	// OpEvict is a removal due to memory pressure; replicas are not told
+	// to drop evicted data (it remains valid, just no longer cached
+	// here), so subscription forwarding ignores these.
+	OpEvict
+)
+
+// Change describes one store mutation, for cross-server subscriptions.
+type Change struct {
+	Op    ChangeOp
+	Key   string
+	Value string // new value for OpPut; previous value otherwise
+}
+
+// BaseLoader loads missing base data from a backing database or a remote
+// home server (§3.3). StartLoad must eventually call the engine's
+// LoadComplete with the same table and range, from the same goroutine
+// that drives the engine (the server's command loop).
+type BaseLoader interface {
+	StartLoad(table string, r keys.Range)
+}
+
+// Options configure an Engine. The zero value enables every paper
+// optimization; the ablation benchmarks switch them off individually.
+type Options struct {
+	// DisableOutputHints turns off §4.2 output hints.
+	DisableOutputHints bool
+	// DisableValueSharing turns off §4.3 value sharing for copy outputs.
+	DisableValueSharing bool
+	// MemLimit is the eviction threshold in accounted bytes (0 = never
+	// evict), per §2.5.
+	MemLimit int64
+	// Clock overrides time.Now for snapshot joins and LRU; tests inject
+	// a fake clock.
+	Clock func() time.Time
+}
+
+// Stats counts engine activity; the evaluation harness reports these.
+type Stats struct {
+	Gets, Puts, Removes, Scans int64
+	ScannedKeys                int64
+	JoinExecs                  int64 // forward executions (Fig 5)
+	PullExecs                  int64 // pull-join executions (§3.4)
+	UpdatersInstalled          int64
+	UpdatersMerged             int64 // §3.2 overlapping-updater merging
+	UpdaterFires               int64
+	LogsApplied                int64 // partial invalidation entries applied
+	Invalidations              int64 // complete invalidations
+	Evictions                  int64
+	LoadsStarted               int64 // §3.3 async base-data fetches
+	NotifiedChanges            int64
+}
+
+// Engine is a single Pequod cache engine.
+type Engine struct {
+	s    *store.Store
+	opts Options
+
+	joins    []*installedJoin
+	outJoins map[string][]*installedJoin         // by output table
+	updaters map[string]*interval.Tree[*Updater] // by source table
+	updIndex map[string]*Updater                 // exact-range merge index
+
+	presence map[string]*presenceTable // loader-backed base tables
+	loader   BaseLoader
+	loadGen  int64 // increments on every LoadComplete, for waiters
+
+	onChange func(Change)
+
+	lru   lruList
+	stats Stats
+}
+
+// New returns an engine over a fresh store.
+func New(opts Options) *Engine {
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	return &Engine{
+		s:        store.New(),
+		opts:     opts,
+		outJoins: make(map[string][]*installedJoin),
+		updaters: make(map[string]*interval.Tree[*Updater]),
+		updIndex: make(map[string]*Updater),
+		presence: make(map[string]*presenceTable),
+	}
+}
+
+// Store exposes the underlying store (read-only use: stats, tests).
+func (e *Engine) Store() *store.Store { return e.s }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// SetChangeHook registers the cross-server subscription callback, invoked
+// for every store mutation (§2.4).
+func (e *Engine) SetChangeHook(fn func(Change)) { e.onChange = fn }
+
+// SetLoader registers the base-data loader and marks the given tables as
+// loader-backed: scans touching uncached ranges of these tables trigger
+// asynchronous fetches with restart contexts (§3.3).
+func (e *Engine) SetLoader(l BaseLoader, tables ...string) {
+	e.loader = l
+	for _, t := range tables {
+		if e.presence[t] == nil {
+			e.presence[t] = newPresenceTable()
+		}
+	}
+}
+
+// SetSubtableDepth forwards to the store (§4.1).
+func (e *Engine) SetSubtableDepth(table string, depth int) {
+	e.s.SetSubtableDepth(table, depth)
+}
+
+// installedJoin is a join plus its runtime bookkeeping.
+type installedJoin struct {
+	j *join.Join
+	// status holds this join's join status ranges keyed by range start;
+	// ranges are disjoint and cover exactly the materialized portions of
+	// the output space (§3.2).
+	status rbtree.Tree[*JoinStatus]
+}
+
+// Install compiles bookkeeping for a parsed join and activates it. It
+// rejects joins that would create a cycle through the installed join
+// graph ("Users should not install circular cache joins" — Pequod checks
+// for errors such as recursive queries at installation time, §3).
+func (e *Engine) Install(j *join.Join) error {
+	// Cycle check on the table graph: edge src-table -> out-table for
+	// every installed join plus the candidate.
+	edges := map[string][]string{}
+	add := func(jj *join.Join) {
+		for _, st := range jj.SourceTables() {
+			edges[st] = append(edges[st], jj.Out.Table())
+		}
+	}
+	for _, ij := range e.joins {
+		add(ij.j)
+	}
+	add(j)
+	// DFS from the candidate's output table; reaching any of its source
+	// tables closes a cycle.
+	srcSet := map[string]bool{}
+	for _, t := range j.SourceTables() {
+		srcSet[t] = true
+	}
+	seen := map[string]bool{}
+	var stack []string
+	stack = append(stack, j.Out.Table())
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		if srcSet[t] {
+			return fmt.Errorf("install %s: would create a recursive join cycle through table %q", j, t)
+		}
+		stack = append(stack, edges[t]...)
+	}
+
+	ij := &installedJoin{j: j}
+	e.joins = append(e.joins, ij)
+	e.outJoins[j.Out.Table()] = append(e.outJoins[j.Out.Table()], ij)
+	return nil
+}
+
+// InstallText parses and installs a join specification ("add-join" RPC).
+func (e *Engine) InstallText(text string) error {
+	js, err := join.ParseAll(text)
+	if err != nil {
+		return err
+	}
+	for _, j := range js {
+		if err := e.Install(j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Joins returns the installed joins' texts.
+func (e *Engine) Joins() []string {
+	var out []string
+	for _, ij := range e.joins {
+		out = append(out, ij.j.Text)
+	}
+	return out
+}
+
+// updaterTree returns (creating) the updater interval tree for a table.
+func (e *Engine) updaterTree(table string) *interval.Tree[*Updater] {
+	t := e.updaters[table]
+	if t == nil {
+		t = interval.New[*Updater]()
+		e.updaters[table] = t
+	}
+	return t
+}
+
+// Put installs value under key (client write or database notification)
+// and runs incremental maintenance.
+func (e *Engine) Put(key, value string) {
+	e.stats.Puts++
+	e.applyValue(key, store.NewValue(value), nil)
+	e.evictIfNeeded()
+}
+
+// Remove deletes key and runs incremental maintenance.
+func (e *Engine) Remove(key string) bool {
+	e.stats.Removes++
+	old, ok := e.s.Remove(key)
+	if !ok {
+		return false
+	}
+	e.notify(Change{Op: OpRemove, Key: key, Value: old.String()})
+	e.fireUpdaters(key, old, nil)
+	return true
+}
+
+// applyValue is the single mutation path shared by client puts and join
+// emission: store write (optionally hinted, §4.2), change notification,
+// then updater firing so downstream joins cascade.
+func (e *Engine) applyValue(key string, v *store.Value, hint *store.Hint) {
+	var old *store.Value
+	if hint != nil && !e.opts.DisableOutputHints {
+		old = e.s.PutHint(key, v, hint)
+	} else {
+		old = e.s.Put(key, v)
+	}
+	e.notify(Change{Op: OpPut, Key: key, Value: v.String()})
+	e.fireUpdaters(key, old, v)
+}
+
+// removeInternal removes a key as part of maintenance (updater-driven),
+// cascading like applyValue.
+func (e *Engine) removeInternal(key string) {
+	old, ok := e.s.Remove(key)
+	if !ok {
+		return
+	}
+	e.notify(Change{Op: OpRemove, Key: key, Value: old.String()})
+	e.fireUpdaters(key, old, nil)
+}
+
+func (e *Engine) notify(c Change) {
+	if e.onChange != nil {
+		e.stats.NotifiedChanges++
+		e.onChange(c)
+	}
+}
+
+// Get returns the value for key, computing any covering cache joins on
+// demand. pending is the number of outstanding base-data loads; when
+// nonzero the result may be incomplete and the caller should retry after
+// the loads finish (§3.3).
+func (e *Engine) Get(key string) (val string, ok bool, pending int) {
+	e.stats.Gets++
+	var overlay []KV
+	pending = e.ensureRange(keys.Range{Lo: key, Hi: key + "\x00"}, &overlay)
+	if v, ok := e.s.Get(key); ok {
+		return v.String(), true, pending
+	}
+	for _, kv := range overlay {
+		if kv.Key == key {
+			return kv.Value, true, pending
+		}
+	}
+	return "", false, pending
+}
+
+// Scan returns up to limit (0 = unlimited) key-value pairs in [lo, hi),
+// computing overlapping cache joins on demand. pending reports
+// outstanding base-data loads as for Get.
+func (e *Engine) Scan(lo, hi string, limit int) (kvs []KV, pending int) {
+	return e.ScanInto(lo, hi, limit, nil)
+}
+
+// ScanInto is Scan appending into buf (reusing its capacity), the
+// zero-steady-state-garbage path servers use for large timeline reads.
+func (e *Engine) ScanInto(lo, hi string, limit int, buf []KV) (kvs []KV, pending int) {
+	e.stats.Scans++
+	kvs = buf[:0]
+	r := keys.Range{Lo: lo, Hi: hi}
+	var overlay []KV
+	pending = e.ensureRange(r, &overlay)
+
+	if len(overlay) == 0 {
+		// Fast path: no pull joins contributed; stream the store range.
+		e.s.Scan(lo, hi, func(k string, v *store.Value) bool {
+			kvs = append(kvs, KV{k, v.String()})
+			e.stats.ScannedKeys++
+			return limit == 0 || len(kvs) < limit
+		})
+		e.evictIfNeeded()
+		return kvs, pending
+	}
+
+	// Each pull execution sorted its own segment; merge across joins.
+	sort.Slice(overlay, func(i, k int) bool { return overlay[i].Key < overlay[k].Key })
+
+	// Merge the store contents with pull-join overlays (both sorted).
+	oi := 0
+	e.s.Scan(lo, hi, func(k string, v *store.Value) bool {
+		for oi < len(overlay) && overlay[oi].Key < k {
+			kvs = append(kvs, overlay[oi])
+			oi++
+			if limit > 0 && len(kvs) >= limit {
+				return false
+			}
+		}
+		if oi < len(overlay) && overlay[oi].Key == k {
+			oi++ // store wins on duplicates
+		}
+		kvs = append(kvs, KV{k, v.String()})
+		e.stats.ScannedKeys++
+		return limit == 0 || len(kvs) < limit
+	})
+	for oi < len(overlay) && (limit == 0 || len(kvs) < limit) {
+		kvs = append(kvs, overlay[oi])
+		oi++
+	}
+	e.evictIfNeeded()
+	return kvs, pending
+}
+
+// Count returns the number of keys in [lo, hi) after join computation.
+func (e *Engine) Count(lo, hi string) (n int, pending int) {
+	kvs, pending := e.Scan(lo, hi, 0)
+	return len(kvs), pending
+}
+
+// ensureRange computes every installed join overlapping r and resolves
+// direct reads of loader-backed base ranges ("If a request is made for a
+// database-sourced key, Pequod will query the database and cache the
+// result", §2). Pull-join results are appended to *overlay (sorted per
+// join; merged by caller). It returns the number of outstanding loads.
+func (e *Engine) ensureRange(r keys.Range, overlay *[]KV) (pending int) {
+	for table, pt := range e.presence {
+		tr := keys.Range{Lo: table, Hi: keys.PrefixEnd(table + keys.SepString)}
+		rr := r.Intersect(tr)
+		if !rr.Empty() {
+			pending += e.ensurePresent(table, pt, rr)
+		}
+	}
+	for _, ij := range e.joins {
+		tr := ij.j.Out.TableRange()
+		rr := r.Intersect(tr)
+		if rr.Empty() {
+			continue
+		}
+		switch ij.j.Maint {
+		case join.Pull:
+			if overlay != nil {
+				pending += e.execPull(ij, rr, overlay)
+			} else {
+				// Point lookups on pull joins still need the overlay to
+				// be visible; Get handles pull joins via Scan instead.
+				var tmp []KV
+				pending += e.execPull(ij, rr, &tmp)
+			}
+		default:
+			pending += e.ensure(ij, rr)
+		}
+	}
+	return pending
+}
+
+// LoadGen returns a counter incremented whenever an asynchronous base-data
+// load completes; servers use it to wait for progress before retrying an
+// incomplete scan.
+func (e *Engine) LoadGen() int64 { return e.loadGen }
+
+func (e *Engine) now() time.Time { return e.opts.Clock() }

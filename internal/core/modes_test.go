@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"pequod/internal/join"
+)
+
+// eagerTimelineJoin forces eager maintenance of the subscription (check)
+// source — the per-source control §3.2's discussion asks for.
+const eagerTimelineJoin = "t|<user>|<time>|<poster> = eager check s|<user>|<poster> copy p|<poster>|<time>"
+
+func TestEagerCheckMaintenance(t *testing.T) {
+	e := New(Options{})
+	if err := e.InstallText(eagerTimelineJoin); err != nil {
+		t.Fatal(err)
+	}
+	e.Put("s|ann|bob", "1")
+	e.Put("p|bob|100", "from bob")
+	e.Put("p|liz|090", "from liz")
+	scanKeys(t, e, "t|ann|", "t|ann}")
+
+	// With eager check maintenance, a new subscription materializes
+	// immediately — no waiting for the next read.
+	e.Put("s|ann|liz", "1")
+	if v, ok := e.Store().Get("t|ann|090|liz"); !ok || v.String() != "from liz" {
+		t.Fatal("eager check maintenance did not backfill immediately")
+	}
+	// And removal cleans up immediately too.
+	e.Remove("s|ann|liz")
+	if _, ok := e.Store().Get("t|ann|090|liz"); ok {
+		t.Fatal("eager check removal did not clean up immediately")
+	}
+	// Future posts by the removed followee stay out.
+	e.Put("p|liz|200", "should not appear")
+	got := scanKeys(t, e, "t|ann|", "t|ann}")
+	wantKeys(t, got, "t|ann|100|bob")
+}
+
+func TestLazyModeSpelling(t *testing.T) {
+	// Explicit lazy on a check source is the default policy, spelled out.
+	j, err := join.Parse("t|<u>|<ts>|<p> = lazy check s|<u>|<p> copy p|<p>|<ts>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Sources[0].Mode != join.ModeLazy {
+		t.Fatal("mode not recorded")
+	}
+	// Lazy value sources are rejected at parse time.
+	if _, err := join.Parse("t|<u>|<ts> = lazy copy p|<u>|<ts>"); err == nil {
+		t.Fatal("lazy copy accepted")
+	}
+}
+
+// TestEagerCheckEqualsRecompute runs the randomized soak with the eager
+// check policy: maintenance timing must be semantically invisible.
+func TestEagerCheckEqualsRecompute(t *testing.T) {
+	runTwipSoakJoin(t, 17, Options{}, 3000, eagerTimelineJoin)
+}
+
+func TestEagerAggregateCheckInvalidates(t *testing.T) {
+	// Aggregate joins with check sources fall back to invalidation when
+	// the check set changes, eagerly or lazily; the recompute must
+	// produce correct counts.
+	e := New(Options{})
+	if err := e.InstallText("total|<g> = eager check enable|<g> count item|<g>|<id>"); err != nil {
+		t.Fatal(err)
+	}
+	e.Put("item|g1|a", "1")
+	e.Put("item|g1|b", "1")
+	if v, ok, _ := e.Get("total|g1"); ok || v != "" {
+		t.Fatalf("count without enable tuple = %q, %v", v, ok)
+	}
+	e.Put("enable|g1", "1")
+	if v, _, _ := e.Get("total|g1"); v != "2" {
+		t.Fatalf("count after enable = %q", v)
+	}
+	e.Remove("enable|g1")
+	if v, ok, _ := e.Get("total|g1"); ok {
+		t.Fatalf("count after disable = %q", v)
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"pequod/internal/keys"
+	"pequod/internal/rbtree"
+	"pequod/internal/store"
+)
+
+// presenceTable tracks which ranges of a loader-backed base table are
+// resident in the cache (§3.3: "the data is loaded and metadata is
+// installed to indicate its presence").
+type presenceTable struct {
+	// ranges holds disjoint presence records keyed by range start.
+	ranges rbtree.Tree[*presRange]
+}
+
+func newPresenceTable() *presenceTable { return &presenceTable{} }
+
+// presRange is one resident (or in-flight) base range.
+type presRange struct {
+	table   string
+	r       keys.Range
+	loading bool
+	node    *rbtree.Node[*presRange]
+	lru     lruEntry
+}
+
+// ensurePresent checks residency of cr and starts asynchronous loads for
+// the gaps. It returns the number of ranges still in flight (both newly
+// started and previously outstanding) — the query's restart contexts.
+func (e *Engine) ensurePresent(table string, pt *presenceTable, cr keys.Range) (pending int) {
+	// Walk overlapping presence records, accumulating gaps.
+	var overlapping []*presRange
+	start := pt.ranges.SeekBefore(cr.Lo + "\x00")
+	if start == nil {
+		start = pt.ranges.Seek(cr.Lo)
+	}
+	for n := start; n != nil; n = n.Next() {
+		pr := n.Val
+		if cr.Hi != "" && pr.r.Lo >= cr.Hi {
+			break
+		}
+		if pr.r.Overlaps(cr) {
+			overlapping = append(overlapping, pr)
+		}
+	}
+	cursor := cr.Lo
+	startLoad := func(gap keys.Range) {
+		if gap.Empty() {
+			return
+		}
+		pr := &presRange{table: table, r: gap, loading: true}
+		n, _ := pt.ranges.Insert(gap.Lo, pr)
+		n.Val = pr
+		pr.node = n
+		e.stats.LoadsStarted++
+		pending++
+		e.loader.StartLoad(table, gap)
+	}
+	for _, pr := range overlapping {
+		if pr.r.Lo > cursor {
+			startLoad(keys.Range{Lo: cursor, Hi: pr.r.Lo}.Intersect(cr))
+		}
+		if pr.loading {
+			pending++
+		} else {
+			e.lruTouch2(&pr.lru, pr)
+		}
+		if keys.HiLess(cursor, pr.r.Hi) {
+			cursor = pr.r.Hi
+			if cursor == "" {
+				break
+			}
+		}
+	}
+	if cursor != "" && (cr.Hi == "" || cursor < cr.Hi) {
+		startLoad(keys.Range{Lo: cursor, Hi: cr.Hi})
+	}
+	return pending
+}
+
+// LoadComplete delivers the result of a BaseLoader.StartLoad: the fetched
+// pairs are installed (running maintenance like any other base write) and
+// the range is marked resident. Must be called from the engine's driving
+// goroutine. Queries whose restart contexts reference this range succeed
+// on their next execution (§3.3: "the restarted query behaves as if
+// executed from scratch", and completed parts are simply re-used because
+// their join status ranges remained valid).
+func (e *Engine) LoadComplete(table string, r keys.Range, kvs []KV) {
+	pt := e.presence[table]
+	if pt == nil {
+		return
+	}
+	for _, kv := range kvs {
+		e.applyValue(kv.Key, store.NewValue(kv.Value), nil)
+	}
+	if n := pt.ranges.Find(r.Lo); n != nil && n.Val.r == r {
+		pr := n.Val
+		pr.loading = false
+		e.lruTouch2(&pr.lru, pr)
+	}
+	// Any join status waiting on this load stays invalid; clear its
+	// pending counter so the retry recomputes it.
+	for _, ij := range e.joins {
+		for sn := ij.status.First(); sn != nil; sn = sn.Next() {
+			if sn.Val.pendingLoads > 0 {
+				sn.Val.pendingLoads = 0
+				sn.Val.valid = false
+			}
+		}
+	}
+	e.loadGen++
+}
+
+// evictPresence drops a resident base range under memory pressure: its
+// keys are removed (with OpEvict, which subscription forwarding ignores)
+// and dependent computed ranges are invalidated (§2.5).
+func (e *Engine) evictPresence(pr *presRange) {
+	pt := e.presence[pr.table]
+	if pt == nil || pr.node == nil {
+		return
+	}
+	pt.ranges.Delete(pr.node)
+	pr.node = nil
+	var doomed []string
+	e.s.Scan(pr.r.Lo, pr.r.Hi, func(k string, v *store.Value) bool {
+		doomed = append(doomed, k)
+		return true
+	})
+	for _, k := range doomed {
+		old, ok := e.s.Remove(k)
+		if !ok {
+			continue
+		}
+		e.notify(Change{Op: OpEvict, Key: k, Value: old.String()})
+		e.invalidateDependents(k)
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"time"
+
+	"pequod/internal/interval"
+	"pequod/internal/join"
+	"pequod/internal/keys"
+	"pequod/internal/pattern"
+	"pequod/internal/rbtree"
+	"pequod/internal/store"
+)
+
+// JoinStatus is a join status range (§3.2): it records whether a range of
+// output keys is up to date with respect to one cache join. Status ranges
+// for a join are disjoint; keys outside every status range are simply not
+// materialized yet.
+type JoinStatus struct {
+	ij *installedJoin
+	r  keys.Range
+
+	valid   bool
+	expires time.Time // snapshot joins: recompute after this instant
+
+	// scanB is the slot set derived from r at creation; updater contexts
+	// are compressed against it (§3.2's context compression).
+	scanB pattern.Binding
+
+	// logs holds partially-invalidating source modifications to be
+	// applied on the next read (§3.2 lazy maintenance).
+	logs []logEntry
+
+	// hint is the output hint (§4.2).
+	hint store.Hint
+
+	// updaters lists the updaters carrying contexts for this status, so
+	// invalidation can uninstall them.
+	updaters []*Updater
+
+	// pendingLoads counts outstanding base-data fetches whose restart
+	// contexts point here (§3.3).
+	pendingLoads int
+
+	node *rbtree.Node[*JoinStatus]
+	lru  lruEntry
+}
+
+// logEntry records one modification to a lazily-maintained (check) source.
+type logEntry struct {
+	srcIdx int
+	key    string
+	op     ChangeOp
+	had    bool // key existed before the change (update vs insert)
+}
+
+// ensure brings the join's coverage of rr fully up to date: applies
+// pending logs, recomputes invalid or expired ranges, and forward-executes
+// uncovered gaps (Fig 5). It returns outstanding load count.
+func (e *Engine) ensure(ij *installedJoin, rr keys.Range) (pending int) {
+	// Pass 1: collect overlapping statuses; decide their fate.
+	var overlapping []*JoinStatus
+	// The only status that can straddle rr.Lo is the last one starting at
+	// or before it; everything earlier ends before that one starts.
+	start := ij.status.SeekAtOrBefore(rr.Lo)
+	if start == nil {
+		start = ij.status.Seek(rr.Lo)
+	}
+	for n := start; n != nil; n = n.Next() {
+		st := n.Val
+		if rr.Hi != "" && st.r.Lo >= rr.Hi {
+			break
+		}
+		if st.r.Overlaps(rr) {
+			overlapping = append(overlapping, st)
+		}
+	}
+
+	now := e.now()
+	var live []*JoinStatus
+	for _, st := range overlapping {
+		if st.valid && ij.j.Maint == join.Snapshot && !st.expires.IsZero() && now.After(st.expires) {
+			e.invalidateStatus(st) // snapshot expired
+			continue
+		}
+		if !st.valid && st.pendingLoads > 0 {
+			// Restart context: data is still on the way; keep the status
+			// so the retry recomputes it, report pending.
+			pending += st.pendingLoads
+			live = append(live, st) // occupies its range; not recomputed yet
+			continue
+		}
+		if !st.valid {
+			e.invalidateStatus(st)
+			continue
+		}
+		if len(st.logs) > 0 {
+			if !e.applyLogs(st) {
+				// Delta application unsupported for this shape: fall back
+				// to complete invalidation (§3.2).
+				e.invalidateStatus(st)
+				continue
+			}
+		}
+		e.lruTouch(st)
+		live = append(live, st)
+	}
+
+	// Pass 2: fill gaps in rr not covered by surviving statuses. live is
+	// sorted by range start (status tree order preserved the order).
+	cursor := rr.Lo
+	for _, st := range live {
+		if st.r.Lo > cursor {
+			gap := keys.Range{Lo: cursor, Hi: st.r.Lo}.Intersect(rr)
+			if !gap.Empty() {
+				pending += e.forwardExec(ij, gap)
+			}
+		}
+		if keys.HiLess(cursor, st.r.Hi) {
+			cursor = st.r.Hi
+			if cursor == "" {
+				break
+			}
+		}
+	}
+	if cursor != "" && (rr.Hi == "" || cursor < rr.Hi) {
+		gap := keys.Range{Lo: cursor, Hi: rr.Hi}
+		if !gap.Empty() {
+			pending += e.forwardExec(ij, gap)
+		}
+	}
+	return pending
+}
+
+// invalidateStatus completely invalidates a status range: outputs matching
+// the join's pattern are removed, updater contexts uninstalled, and the
+// status discarded so the next read recomputes from scratch (§3.2).
+func (e *Engine) invalidateStatus(st *JoinStatus) {
+	e.stats.Invalidations++
+	e.detachStatus(st)
+	e.removeOutputs(st.ij, st.r)
+}
+
+// detachStatus removes bookkeeping (status node, updater contexts, LRU)
+// without touching output data.
+func (e *Engine) detachStatus(st *JoinStatus) {
+	if st.node != nil {
+		st.ij.status.Delete(st.node)
+		st.node = nil
+	}
+	for _, u := range st.updaters {
+		u.removeContextsOf(st)
+		if len(u.contexts) == 0 {
+			e.dropUpdater(u)
+		}
+	}
+	st.updaters = nil
+	st.valid = false
+	st.logs = nil
+	e.lruRemove(st)
+}
+
+// removeOutputs deletes stored outputs of ij within r (only keys matching
+// the join's output pattern — interleaved joins share ranges, §2.3) and
+// invalidates dependent downstream joins rather than updating them, as
+// eviction/invalidation semantics require (§2.5).
+func (e *Engine) removeOutputs(ij *installedJoin, r keys.Range) {
+	var doomed []string
+	e.s.Scan(r.Lo, r.Hi, func(k string, v *store.Value) bool {
+		if _, ok := ij.j.Out.Match(k, st0); ok {
+			doomed = append(doomed, k)
+		}
+		return true
+	})
+	for _, k := range doomed {
+		old, ok := e.s.Remove(k)
+		if !ok {
+			continue
+		}
+		e.notify(Change{Op: OpRemove, Key: k, Value: old.String()})
+		e.invalidateDependents(k)
+	}
+}
+
+// st0 is the empty binding shared by read-only matches.
+var st0 pattern.Binding
+
+// invalidateDependents marks every join status whose updaters cover key as
+// invalid (transitive effects happen when those ranges recompute).
+func (e *Engine) invalidateDependents(key string) {
+	ut := e.updaters[keys.Table(key)]
+	if ut == nil {
+		return
+	}
+	var hit []*JoinStatus
+	ut.Stab(key, func(en *interval.Entry[*Updater]) bool {
+		for _, c := range en.Val.contexts {
+			hit = append(hit, c.js)
+		}
+		return true
+	})
+	for _, js := range hit {
+		if js.valid {
+			js.valid = false
+		}
+	}
+}

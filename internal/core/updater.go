@@ -1,0 +1,364 @@
+package core
+
+import (
+	"pequod/internal/interval"
+	"pequod/internal/join"
+	"pequod/internal/keys"
+	"pequod/internal/pattern"
+	"pequod/internal/store"
+)
+
+// updCtx is one updater context: "a cache join, a slot set, and a join
+// status range" (§3.2). The slot set is stored compressed: slots
+// derivable from the status's scan binding or from the matched source key
+// are omitted ("compressing or eliminating the context information stored
+// with updaters", §3.2).
+type updCtx struct {
+	js     *JoinStatus
+	srcIdx int
+	extra  pattern.Binding
+	lazy   bool
+}
+
+// Updater links a range of source keys with one or more contexts.
+// Overlapping installations against the same source range merge into a
+// single Updater by appending contexts — the paper's updater-merging
+// optimization.
+type Updater struct {
+	entry    *interval.Entry[*Updater]
+	table    string
+	indexKey string
+	contexts []updCtx
+}
+
+func (u *Updater) removeContextsOf(js *JoinStatus) {
+	u.removeContextsMatching(js, func(*updCtx) bool { return true })
+}
+
+func (u *Updater) removeContextsMatching(js *JoinStatus, pred func(*updCtx) bool) {
+	out := u.contexts[:0]
+	for i := range u.contexts {
+		c := &u.contexts[i]
+		if c.js == js && pred(c) {
+			continue
+		}
+		out = append(out, *c)
+	}
+	u.contexts = out
+}
+
+func updaterIndexKey(table string, r keys.Range) string {
+	return table + "\x00" + r.Lo + "\x00" + r.Hi
+}
+
+// installUpdater attaches an updater covering cr for source srcIdx of
+// st's join, with context binding b (Fig 5). Check sources get lazy
+// (invalidating) updaters; all others are eager — the paper's prototype
+// policy (§3.2).
+func (e *Engine) installUpdater(st *JoinStatus, srcIdx int, b pattern.Binding, cr keys.Range) {
+	if cr.Empty() {
+		return
+	}
+	j := st.ij.j
+	src := j.Sources[srcIdx]
+	// Maintenance policy (§3.2): lazy invalidation for check sources,
+	// eager for all others — unless the join overrides it per source
+	// with an eager/lazy prefix (the control the paper's discussion
+	// asks for).
+	lazy := src.Op == join.Check
+	switch src.Mode {
+	case join.ModeEager:
+		lazy = false
+	case join.ModeLazy:
+		lazy = true
+	}
+
+	// Context compression: drop slots recoverable from the status's scan
+	// binding or from any matched source key.
+	extra := b
+	derivable := st.scanB.Mask() | src.Pat.Slots()
+	compressed := pattern.Binding{}
+	for i := 0; i < pattern.MaxSlots; i++ {
+		if v, ok := extra.Get(i); ok && (derivable>>i)&1 == 0 {
+			compressed = compressed.With(i, v)
+		}
+	}
+
+	ik := updaterIndexKey(src.Pat.Table(), cr)
+	u := e.updIndex[ik]
+	if u == nil {
+		u = &Updater{table: src.Pat.Table(), indexKey: ik}
+		u.entry = e.updaterTree(u.table).Insert(cr.Lo, cr.Hi, u)
+		e.updIndex[ik] = u
+		e.stats.UpdatersInstalled++
+	} else {
+		e.stats.UpdatersMerged++
+	}
+	// Deduplicate identical contexts (re-ensures of the same status).
+	for i := range u.contexts {
+		c := &u.contexts[i]
+		if c.js == st && c.srcIdx == srcIdx && c.extra == compressed && c.lazy == lazy {
+			return
+		}
+	}
+	u.contexts = append(u.contexts, updCtx{js: st, srcIdx: srcIdx, extra: compressed, lazy: lazy})
+	// Track on the status for uninstallation; avoid duplicates.
+	for _, have := range st.updaters {
+		if have == u {
+			return
+		}
+	}
+	st.updaters = append(st.updaters, u)
+}
+
+// dropUpdater removes an updater with no live contexts.
+func (e *Engine) dropUpdater(u *Updater) {
+	if u.entry != nil {
+		e.updaterTree(u.table).Delete(u.entry)
+		u.entry = nil
+	}
+	delete(e.updIndex, u.indexKey)
+}
+
+// fireUpdaters runs incremental maintenance for a modification of key:
+// "Whenever Pequod modifies its store, it finds all updaters applicable
+// to the modified key and runs the indicated incremental maintenance for
+// each" (§3.2). old/new describe the change (nil old = insert, nil new =
+// remove).
+func (e *Engine) fireUpdaters(key string, old, new *store.Value) {
+	ut := e.updaters[keys.Table(key)]
+	if ut == nil {
+		return
+	}
+	// Collect first: firing may mutate the tree (aggregate outputs
+	// cascading, context uninstalls).
+	var hits []*Updater
+	ut.Stab(key, func(en *interval.Entry[*Updater]) bool {
+		hits = append(hits, en.Val)
+		return true
+	})
+	for _, u := range hits {
+		// Contexts may be appended during cascaded firing; iterate a
+		// snapshot.
+		ctxs := make([]updCtx, len(u.contexts))
+		copy(ctxs, u.contexts)
+		for i := range ctxs {
+			e.fireContext(&ctxs[i], key, old, new)
+		}
+	}
+}
+
+func (e *Engine) fireContext(c *updCtx, key string, old, new *store.Value) {
+	js := c.js
+	if !js.valid {
+		// Invalid ranges recompute wholesale on next access; per-key
+		// maintenance would be wasted (and logs would be superseded).
+		return
+	}
+	e.stats.UpdaterFires++
+	if c.lazy {
+		// Lazy maintenance for check sources: log a partial invalidation
+		// to be applied on the next read (§3.2).
+		op := OpPut
+		if new == nil {
+			op = OpRemove
+		}
+		js.logs = append(js.logs, logEntry{srcIdx: c.srcIdx, key: key, op: op, had: old != nil})
+		return
+	}
+
+	j := js.ij.j
+	src := j.Sources[c.srcIdx]
+	if c.srcIdx != j.ValueSource {
+		// Eager maintenance of a check source: apply the delta join
+		// immediately instead of logging it (per-source eager mode).
+		op := OpPut
+		if new == nil {
+			op = OpRemove
+		}
+		if !e.applyCheckDelta(js, c.srcIdx, key, op, old != nil) {
+			js.valid = false // unsupported shape: recompute on next read
+		}
+		return
+	}
+	b := mergeBinding(js.scanB, c.extra)
+	b2, ok := src.Pat.Match(key, b)
+	if !ok {
+		return
+	}
+	switch j.ValueOp() {
+	case join.Copy:
+		outKey, ok := j.Out.BuildKey(b2)
+		if !ok || !js.r.Contains(outKey) {
+			return
+		}
+		if new == nil {
+			e.removeInternal(outKey)
+			return
+		}
+		v := new
+		if e.opts.DisableValueSharing {
+			v = store.NewValue(new.String())
+		}
+		e.applyValue(outKey, v, &js.hint)
+
+	case join.Count, join.Sum:
+		outKey, okk := e.aggOutKey(j, b2)
+		if !okk || !js.r.Contains(outKey) {
+			return
+		}
+		if len(j.Sources) > 1 && !e.checkTuplesExist(j, b2) {
+			return
+		}
+		var delta int64
+		isCount := j.ValueOp() == join.Count
+		switch {
+		case old == nil && new != nil: // insert
+			if isCount {
+				delta = 1
+			} else {
+				delta = atoi(new.String())
+			}
+		case old != nil && new == nil: // remove
+			if isCount {
+				delta = -1
+			} else {
+				delta = -atoi(old.String())
+			}
+		default: // update
+			if !isCount {
+				delta = atoi(new.String()) - atoi(old.String())
+			}
+		}
+		if delta == 0 {
+			return
+		}
+		cur := int64(0)
+		exists := false
+		if v, ok := e.s.Get(outKey); ok {
+			cur = atoi(v.String())
+			exists = true
+		}
+		next := cur + delta
+		if isCount && next <= 0 {
+			if exists {
+				e.removeInternal(outKey)
+			}
+			return
+		}
+		e.applyValue(outKey, store.NewValue(itoa(next)), &js.hint)
+
+	case join.Min, join.Max:
+		outKey, okk := e.aggOutKey(j, b2)
+		if !okk || !js.r.Contains(outKey) {
+			return
+		}
+		if len(j.Sources) > 1 && !e.checkTuplesExist(j, b2) {
+			return
+		}
+		isMin := j.ValueOp() == join.Min
+		better := func(x, cur int64) bool {
+			if isMin {
+				return x < cur
+			}
+			return x > cur
+		}
+		curV, exists := e.s.Get(outKey)
+		cur := int64(0)
+		if exists {
+			cur = atoi(curV.String())
+		}
+		switch {
+		case old == nil && new != nil: // insert: extremum can only improve
+			x := atoi(new.String())
+			if !exists || better(x, cur) {
+				e.applyValue(outKey, store.NewValue(itoa(x)), &js.hint)
+			}
+		case new == nil: // remove: recompute if the extremum departed
+			if exists && atoi(old.String()) == cur {
+				e.recomputeAggGroup(js, b2, outKey)
+			}
+		default: // update
+			x := atoi(new.String())
+			switch {
+			case !exists || better(x, cur):
+				e.applyValue(outKey, store.NewValue(itoa(x)), &js.hint)
+			case atoi(old.String()) == cur && x != cur:
+				// The previous extremum holder moved to a worse value.
+				e.recomputeAggGroup(js, b2, outKey)
+			}
+		}
+	}
+}
+
+// aggOutKey builds the aggregate output key from the binding restricted
+// to output slots (source-only slots vary across the folded group).
+func (e *Engine) aggOutKey(j *join.Join, b pattern.Binding) (string, bool) {
+	group := pattern.Binding{}
+	mask := j.Out.Slots()
+	for i := 0; i < pattern.MaxSlots; i++ {
+		if (mask>>i)&1 == 1 {
+			v, ok := b.Get(i)
+			if !ok {
+				return "", false
+			}
+			group = group.With(i, v)
+		}
+	}
+	return j.Out.BuildKey(group)
+}
+
+// checkTuplesExist verifies that every check source of an aggregate join
+// has at least one matching tuple under b — guarding eager aggregate
+// deltas against firing for tuples whose check constraints no longer
+// hold.
+func (e *Engine) checkTuplesExist(j *join.Join, b pattern.Binding) bool {
+	for i, s := range j.Sources {
+		if i == j.ValueSource {
+			continue
+		}
+		cr := pattern.ContainingRange(s.Pat, j.Out, b, s.Pat.TableRange())
+		found := false
+		e.s.Scan(cr.Lo, cr.Hi, func(k string, v *store.Value) bool {
+			if _, ok := s.Pat.Match(k, b); ok {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// recomputeAggGroup recomputes one aggregate output key from scratch by
+// folding its value-source containing range (used when a min/max extremum
+// departs).
+func (e *Engine) recomputeAggGroup(js *JoinStatus, b pattern.Binding, outKey string) {
+	j := js.ij.j
+	group := pattern.Binding{}
+	mask := j.Out.Slots()
+	for i := 0; i < pattern.MaxSlots; i++ {
+		if (mask>>i)&1 == 1 {
+			if v, ok := b.Get(i); ok {
+				group = group.With(i, v)
+			}
+		}
+	}
+	src := j.Sources[j.ValueSource]
+	cr := pattern.ContainingRange(src.Pat, j.Out, group, pattern.PointRange(outKey))
+	a := &aggState{op: j.ValueOp()}
+	e.s.Scan(cr.Lo, cr.Hi, func(k string, v *store.Value) bool {
+		if _, ok := src.Pat.Match(k, group); ok {
+			a.add(v.String())
+		}
+		return true
+	})
+	if !a.set {
+		e.removeInternal(outKey)
+		return
+	}
+	e.applyValue(outKey, store.NewValue(itoa(a.n)), &js.hint)
+}

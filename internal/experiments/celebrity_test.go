@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+func TestCelebrityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rows, err := Celebrity(Tiny, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §2.3/§5.2: "celebrity timelines don't offer performance
+	// advantages, but they do save memory."
+	if rows[1].Bytes >= rows[0].Bytes {
+		t.Errorf("celebrity joins should save memory: %d vs %d", rows[1].Bytes, rows[0].Bytes)
+	}
+}

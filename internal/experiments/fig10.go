@@ -1,0 +1,345 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"pequod/internal/client"
+	"pequod/internal/keys"
+	"pequod/internal/partition"
+	"pequod/internal/server"
+	"pequod/internal/twip"
+)
+
+// Fig10Row is one point of the scalability sweep: aggregate query
+// throughput with a given number of compute servers.
+type Fig10Row struct {
+	ComputeServers int
+	QPS            float64
+	Ops            int
+	Runtime        time.Duration
+	BaseBytes      int64
+	ComputeBytes   int64
+}
+
+// Fig10 reproduces §5.5: a fixed Twip workload against a backing store of
+// base servers and a varying number of compute servers executing the
+// timeline join. "All of a user's compute requests are directed to the
+// same compute server"; caches are warmed (every active user logged in)
+// before measurement; throughput should rise sub-linearly with compute
+// servers (the paper: 3x from 12→48).
+func Fig10(sc Scale, computeCounts []int, baseServers int, out io.Writer) ([]Fig10Row, error) {
+	g := twip.Generate(sc.Users, sc.Edges, 42)
+	posts := twip.GeneratePosts(g, sc.Posts, 43, sc.TweetLen)
+	w := twip.GenerateWorkload(g, twip.WorkloadConfig{
+		ActiveFraction: float64(sc.ActivePct) / 100,
+		ChecksPerUser:  sc.ChecksPerUser,
+		Seed:           44,
+		StartTime:      int64(len(posts)),
+		TweetLen:       sc.TweetLen,
+	})
+	fprintf(out, "Figure 10: scalability (scale=%s, %d base servers, %d ops per run)\n",
+		sc.Name, baseServers, len(w.Ops))
+	fprintf(out, "%8s %12s %12s %14s %14s\n", "compute", "QPS", "Runtime", "BaseBytes", "ComputeBytes")
+
+	var rows []Fig10Row
+	for _, nc := range computeCounts {
+		row, err := runFig10(g, posts, w, sc, baseServers, nc)
+		if err != nil {
+			return nil, fmt.Errorf("compute=%d: %w", nc, err)
+		}
+		rows = append(rows, row)
+		fprintf(out, "%8d %12.0f %11.3fs %14d %14d\n",
+			row.ComputeServers, row.QPS, row.Runtime.Seconds(), row.BaseBytes, row.ComputeBytes)
+	}
+	return rows, nil
+}
+
+// fig10Cluster is the §5.5 topology.
+type fig10Cluster struct {
+	baseServers    []*server.Server
+	baseClients    []*client.Client
+	computeServers []*server.Server
+	computeClients []*client.Client
+	pmap           *partition.Map
+	ownerAddr      []string
+}
+
+func (c *fig10Cluster) Close() {
+	for _, cl := range c.baseClients {
+		cl.Close()
+	}
+	for _, cl := range c.computeClients {
+		cl.Close()
+	}
+	for _, s := range c.computeServers {
+		s.Close()
+	}
+	for _, s := range c.baseServers {
+		s.Close()
+	}
+}
+
+// basePartition builds the home-server map for the Twip base tables and
+// the per-owner address list.
+func basePartition(users, nBase int, baseAddrs []string) (*partition.Map, []string) {
+	bounds := partition.UserBounds(nBase, users, 7, "u", "p", "s")
+	pmap := partition.MustNew(bounds...)
+	// Owner i covers [bounds[i-1], bounds[i]); its server is determined
+	// by the covering range's low key (table-local user split).
+	ownerAddr := make([]string, pmap.Servers())
+	for i := range ownerAddr {
+		var rep string
+		if i == 0 {
+			rep = "" // lowest range: first shard
+		} else {
+			rep = bounds[i-1]
+		}
+		ownerAddr[i] = baseAddrs[shardOfBound(rep, users, nBase)]
+	}
+	return pmap, ownerAddr
+}
+
+// shardOfBound maps a partition bound ("p|u0001234" or "") to its base
+// server index.
+func shardOfBound(bound string, users, nBase int) int {
+	if bound == "" {
+		return 0
+	}
+	comps := keys.Split(bound)
+	if len(comps) < 2 {
+		return 0
+	}
+	var id int
+	fmt.Sscanf(comps[1], "u%d", &id)
+	s := id * nBase / users
+	if s >= nBase {
+		s = nBase - 1
+	}
+	return s
+}
+
+func startFig10(users, nBase, nCompute int) (*fig10Cluster, error) {
+	c := &fig10Cluster{}
+	baseAddrs := make([]string, nBase)
+	for i := 0; i < nBase; i++ {
+		s, err := server.New(server.Config{Name: fmt.Sprintf("base%d", i)})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		addr, err := s.Start()
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		cl, err := client.Dial(addr)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.baseServers = append(c.baseServers, s)
+		c.baseClients = append(c.baseClients, cl)
+		baseAddrs[i] = addr
+	}
+	c.pmap, c.ownerAddr = basePartition(users, nBase, baseAddrs)
+	for i := 0; i < nCompute; i++ {
+		s, err := server.New(server.Config{
+			Name:           fmt.Sprintf("compute%d", i),
+			Joins:          twip.Joins,
+			SubtableDepths: map[string]int{"t": 2},
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := s.ConnectPeers(c.pmap, c.ownerAddr, "p", "s"); err != nil {
+			c.Close()
+			return nil, err
+		}
+		addr, err := s.Start()
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		cl, err := client.Dial(addr)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.computeServers = append(c.computeServers, s)
+		c.computeClients = append(c.computeClients, cl)
+	}
+	return c, nil
+}
+
+func runFig10(g *twip.Graph, posts []twip.Op, w *twip.Workload, sc Scale, nBase, nCompute int) (Fig10Row, error) {
+	c, err := startFig10(g.Users, nBase, nCompute)
+	if err != nil {
+		return Fig10Row{}, err
+	}
+	defer c.Close()
+
+	// "We run enough clients to saturate the Pequod servers" (§5.1):
+	// driver parallelism scales with the cluster under test.
+	workers := sc.Workers * 4
+	sc.Workers = workers
+
+	// Base-table keys ("p|uNNNNNNN|..." / "s|uNNNNNNN|...") route to
+	// their home server by the same shard arithmetic that built the
+	// partition map, so client writes and the compute servers' remote
+	// loader agree on every key's home.
+	baseFor := func(key string) *client.Client {
+		return c.baseClients[shardOfBound(key, g.Users, nBase)]
+	}
+	computeFor := func(u int32) *client.Client {
+		return c.computeClients[partition.UserShard(twip.UserID(u), nCompute)]
+	}
+
+	// Base data: subscriptions and historical posts to home servers.
+	err = parallel(sc.Workers, len(w.Active), func(i int) error {
+		u := w.Active[i]
+		uid := twip.UserID(u)
+		for _, p := range g.Following[u] {
+			key := keys.Join("s", uid, twip.UserID(p))
+			if err := baseFor(key).Put(key, "1"); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return Fig10Row{}, err
+	}
+	// Inactive users' subscriptions still live at the base store.
+	activeSet := map[int32]bool{}
+	for _, u := range w.Active {
+		activeSet[u] = true
+	}
+	err = parallel(sc.Workers, g.Users, func(i int) error {
+		u := int32(i)
+		if activeSet[u] {
+			return nil
+		}
+		uid := twip.UserID(u)
+		for _, p := range g.Following[u] {
+			key := keys.Join("s", uid, twip.UserID(p))
+			if err := baseFor(key).Put(key, "1"); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return Fig10Row{}, err
+	}
+	err = parallel(sc.Workers, len(posts), func(i int) error {
+		op := posts[i]
+		key := keys.Join("p", twip.UserID(op.User), twip.TimeID(op.Time))
+		return baseFor(key).Put(key, op.Text)
+	})
+	if err != nil {
+		return Fig10Row{}, err
+	}
+
+	// Warm: log every active user in (installs join status ranges,
+	// fetches base data, establishes subscriptions — §5.5).
+	err = parallel(sc.Workers, len(w.Active), func(i int) error {
+		u := w.Active[i]
+		uid := twip.UserID(u)
+		_, err := computeFor(u).Scan("t|"+uid+"|", keys.RangeEnd("t", uid), 0)
+		return err
+	})
+	if err != nil {
+		return Fig10Row{}, err
+	}
+
+	// Timed phase: the workload runs as fast as possible; writes go to
+	// base homes, reads to user-affine compute servers.
+	start := time.Now()
+	var errCount int64
+	var mu sync.Mutex
+	err = parallel(sc.Workers, len(w.Ops), func(i int) error {
+		op := w.Ops[i]
+		var err error
+		switch op.Kind {
+		case twip.OpLogin:
+			uid := twip.UserID(op.User)
+			_, err = computeFor(op.User).Scan("t|"+uid+"|", keys.RangeEnd("t", uid), 0)
+		case twip.OpCheck:
+			uid := twip.UserID(op.User)
+			lo := keys.Join("t", uid, twip.TimeID(op.Since))
+			_, err = computeFor(op.User).Scan(lo, keys.RangeEnd("t", uid), 0)
+		case twip.OpSubscribe:
+			key := keys.Join("s", twip.UserID(op.User), twip.UserID(op.Target))
+			err = baseFor(key).Put(key, "1")
+		case twip.OpPost:
+			key := keys.Join("p", twip.UserID(op.User), twip.TimeID(op.Time))
+			err = baseFor(key).Put(key, op.Text)
+		}
+		if err != nil {
+			mu.Lock()
+			errCount++
+			mu.Unlock()
+		}
+		return nil
+	})
+	runtime := time.Since(start)
+	if err != nil {
+		return Fig10Row{}, err
+	}
+	if errCount > 0 {
+		return Fig10Row{}, fmt.Errorf("%d op errors", errCount)
+	}
+
+	row := Fig10Row{
+		ComputeServers: nCompute,
+		Ops:            len(w.Ops),
+		Runtime:        runtime,
+		QPS:            float64(len(w.Ops)) / runtime.Seconds(),
+	}
+	for _, s := range c.baseServers {
+		s.Lock()
+		row.BaseBytes += s.Engine().Store().Bytes()
+		s.Unlock()
+	}
+	for _, s := range c.computeServers {
+		s.Lock()
+		row.ComputeBytes += s.Engine().Store().Bytes()
+		s.Unlock()
+	}
+	return row, nil
+}
+
+// parallel runs fn(0..n-1) across w workers, returning the first error.
+func parallel(w, n int, fn func(i int) error) error {
+	if w < 1 {
+		w = 1
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, w)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := k; i < n; i += w {
+				if err := fn(i); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is active; performance-
+// shape assertions are skipped under its order-of-magnitude slowdown.
+const raceEnabled = false

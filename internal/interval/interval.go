@@ -1,0 +1,231 @@
+// Package interval provides an interval tree over half-open lexicographic
+// key ranges [Lo, Hi). Pequod stores updaters in an interval tree attached
+// to each table (§3.2): "Many updaters can apply to a given key, so we
+// store updaters in an interval tree. Whenever Pequod modifies its store,
+// it finds all updaters applicable to the modified key."
+//
+// The tree is an augmented red-black tree ordered by Lo (duplicates
+// permitted), each node carrying the maximum Hi of its subtree; stabbing
+// and overlap queries prune on that aggregate. An empty Hi means +infinity,
+// matching the keys package convention.
+package interval
+
+import (
+	"encoding/binary"
+	"strings"
+
+	"pequod/internal/keys"
+	"pequod/internal/rbtree"
+)
+
+// Entry is an interval in the tree. Lo, Hi, and Val are set at insertion;
+// Val may be mutated by the caller afterwards (updater merging relies on
+// this). Hi may be widened in place via SetHi.
+type Entry[V any] struct {
+	lo, hi string
+	Val    V
+	max    string // subtree max Hi ("" = +inf); augmentation storage
+	node   *rbtree.Node[*Entry[V]]
+	tree   *Tree[V]
+}
+
+// Lo returns the inclusive lower bound.
+func (e *Entry[V]) Lo() string { return e.lo }
+
+// Hi returns the exclusive upper bound ("" = +infinity).
+func (e *Entry[V]) Hi() string { return e.hi }
+
+// Range returns the entry's interval as a keys.Range.
+func (e *Entry[V]) Range() keys.Range { return keys.Range{Lo: e.lo, Hi: e.hi} }
+
+// SetHi widens or narrows the entry's upper bound in place, refreshing the
+// tree's augmentation. The lower bound is immutable (it is the BST key).
+func (e *Entry[V]) SetHi(hi string) {
+	e.hi = hi
+	if e.tree != nil {
+		e.tree.reaugment(e.node)
+	}
+}
+
+// Tree is an interval tree. The zero value is NOT ready to use; call New.
+type Tree[V any] struct {
+	t   rbtree.Tree[*Entry[V]]
+	seq uint64
+}
+
+// New returns an empty interval tree.
+func New[V any]() *Tree[V] {
+	tr := &Tree[V]{}
+	tr.t.Augment = func(n *rbtree.Node[*Entry[V]]) {
+		e := n.Val
+		m := e.hi
+		if l := n.Left(); l != nil {
+			m = keys.MaxHi(m, l.Val.max)
+		}
+		if r := n.Right(); r != nil {
+			m = keys.MaxHi(m, r.Val.max)
+		}
+		e.max = m
+	}
+	return tr
+}
+
+func (tr *Tree[V]) reaugment(n *rbtree.Node[*Entry[V]]) {
+	for ; n != nil; n = n.Parent() {
+		tr.t.Augment(n)
+	}
+}
+
+// Len returns the number of intervals.
+func (tr *Tree[V]) Len() int { return tr.t.Len() }
+
+// encodeKey builds the BST key: order-preserving escaped Lo, a 0x00
+// terminator (sorting before any escaped byte), then a sequence number so
+// duplicate Lo values get distinct keys in insertion order.
+func encodeKey(lo string, seq uint64) string {
+	var b strings.Builder
+	b.Grow(len(lo) + 10)
+	for i := 0; i < len(lo); i++ {
+		switch c := lo[i]; c {
+		case 0x00:
+			b.WriteByte(0x01)
+			b.WriteByte(0x01)
+		case 0x01:
+			b.WriteByte(0x01)
+			b.WriteByte(0x02)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte(0x00)
+	var s [8]byte
+	binary.BigEndian.PutUint64(s[:], seq)
+	b.Write(s[:])
+	return b.String()
+}
+
+// Insert adds the interval [lo, hi) carrying v and returns its Entry.
+func (tr *Tree[V]) Insert(lo, hi string, v V) *Entry[V] {
+	e := &Entry[V]{lo: lo, hi: hi, Val: v, tree: tr}
+	tr.seq++
+	n, _ := tr.t.Insert(encodeKey(lo, tr.seq), e)
+	e.node = n
+	return e
+}
+
+// Delete removes e from the tree. Deleting an entry twice is a no-op.
+func (tr *Tree[V]) Delete(e *Entry[V]) {
+	if e.node == nil {
+		return
+	}
+	tr.t.Delete(e.node)
+	e.node = nil
+	e.tree = nil
+}
+
+// hiAfter reports whether upper bound hi ("" = +inf) is > key, i.e.
+// whether an interval ending at hi can still contain key.
+func hiAfter(hi, key string) bool {
+	return hi == "" || hi > key
+}
+
+// Stab calls fn for every interval containing key, in Lo order. fn may not
+// mutate the tree; collect entries first if mutation is needed.
+func (tr *Tree[V]) Stab(key string, fn func(e *Entry[V]) bool) {
+	stab(tr.t.Root(), key, fn)
+}
+
+func stab[V any](n *rbtree.Node[*Entry[V]], key string, fn func(e *Entry[V]) bool) bool {
+	if n == nil || !hiAfter(n.Val.max, key) {
+		return true
+	}
+	if !stab(n.Left(), key, fn) {
+		return false
+	}
+	e := n.Val
+	if e.lo <= key {
+		if hiAfter(e.hi, key) {
+			if !fn(e) {
+				return false
+			}
+		}
+		if !stab(n.Right(), key, fn) {
+			return false
+		}
+	}
+	// If e.lo > key, every interval in the right subtree starts after key
+	// too, so the search prunes there.
+	return true
+}
+
+// Overlap calls fn for every non-empty interval overlapping [lo, hi)
+// (hi == "" means +infinity), in Lo order. An empty query matches nothing.
+func (tr *Tree[V]) Overlap(lo, hi string, fn func(e *Entry[V]) bool) {
+	if hi != "" && lo >= hi {
+		return
+	}
+	overlap(tr.t.Root(), lo, hi, fn)
+}
+
+func overlap[V any](n *rbtree.Node[*Entry[V]], lo, hi string, fn func(e *Entry[V]) bool) bool {
+	if n == nil || !hiAfter(n.Val.max, lo) {
+		return true
+	}
+	if !overlap(n.Left(), lo, hi, fn) {
+		return false
+	}
+	e := n.Val
+	startsBeforeHi := hi == "" || e.lo < hi
+	if startsBeforeHi {
+		notEmpty := e.hi == "" || e.lo < e.hi
+		if notEmpty && hiAfter(e.hi, lo) {
+			if !fn(e) {
+				return false
+			}
+		}
+		if !overlap(n.Right(), lo, hi, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// All calls fn for every interval in Lo order.
+func (tr *Tree[V]) All(fn func(e *Entry[V]) bool) {
+	tr.t.Ascend("", "", func(n *rbtree.Node[*Entry[V]]) bool {
+		return fn(n.Val)
+	})
+}
+
+// CheckInvariants validates the underlying red-black tree plus the max-Hi
+// augmentation; exported for tests.
+func (tr *Tree[V]) CheckInvariants() error {
+	if err := tr.t.CheckInvariants(); err != nil {
+		return err
+	}
+	return checkMax(tr.t.Root())
+}
+
+func checkMax[V any](n *rbtree.Node[*Entry[V]]) error {
+	if n == nil {
+		return nil
+	}
+	want := n.Val.hi
+	if l := n.Left(); l != nil {
+		want = keys.MaxHi(want, l.Val.max)
+	}
+	if r := n.Right(); r != nil {
+		want = keys.MaxHi(want, r.Val.max)
+	}
+	if n.Val.max != want {
+		return errStaleMax{}
+	}
+	if err := checkMax(n.Left()); err != nil {
+		return err
+	}
+	return checkMax(n.Right())
+}
+
+type errStaleMax struct{}
+
+func (errStaleMax) Error() string { return "interval: stale max augmentation" }

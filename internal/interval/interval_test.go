@@ -1,0 +1,271 @@
+package interval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pequod/internal/keys"
+)
+
+type iv struct{ lo, hi string }
+
+func bruteStab(ivs map[*Entry[int]]iv, k string) []int {
+	var out []int
+	for e, r := range ivs {
+		if k >= r.lo && (r.hi == "" || k < r.hi) {
+			out = append(out, e.Val)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func bruteOverlap(ivs map[*Entry[int]]iv, lo, hi string) []int {
+	q := keys.Range{Lo: lo, Hi: hi}
+	var out []int
+	for e, r := range ivs {
+		if q.Overlaps(keys.Range{Lo: r.lo, Hi: r.hi}) {
+			out = append(out, e.Val)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestStabBasic(t *testing.T) {
+	tr := New[int]()
+	tr.Insert("b", "f", 1)
+	tr.Insert("d", "h", 2)
+	tr.Insert("a", "c", 3)
+	tr.Insert("x", "", 4) // unbounded
+	got := map[int]bool{}
+	tr.Stab("d", func(e *Entry[int]) bool { got[e.Val] = true; return true })
+	if !got[1] || !got[2] || got[3] || got[4] || len(got) != 2 {
+		t.Fatalf("Stab(d) = %v", got)
+	}
+	got = map[int]bool{}
+	tr.Stab("zzz", func(e *Entry[int]) bool { got[e.Val] = true; return true })
+	if !got[4] || len(got) != 1 {
+		t.Fatalf("Stab(zzz) = %v", got)
+	}
+}
+
+func TestOverlapBasic(t *testing.T) {
+	tr := New[int]()
+	tr.Insert("b", "f", 1)
+	tr.Insert("f", "h", 2)
+	var got []int
+	tr.Overlap("e", "g", func(e *Entry[int]) bool { got = append(got, e.Val); return true })
+	sort.Ints(got)
+	if len(got) != 2 {
+		t.Fatalf("Overlap(e,g) = %v", got)
+	}
+	got = nil
+	tr.Overlap("f", "g", func(e *Entry[int]) bool { got = append(got, e.Val); return true })
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Overlap(f,g) = %v (half-open bounds must exclude [b,f))", got)
+	}
+}
+
+func TestDuplicateLo(t *testing.T) {
+	tr := New[int]()
+	e1 := tr.Insert("k", "m", 1)
+	e2 := tr.Insert("k", "z", 2)
+	e3 := tr.Insert("k", "m", 3)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	var got []int
+	tr.Stab("n", func(e *Entry[int]) bool { got = append(got, e.Val); return true })
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Stab(n) = %v", got)
+	}
+	tr.Delete(e1)
+	tr.Delete(e3)
+	got = nil
+	tr.Stab("k", func(e *Entry[int]) bool { got = append(got, e.Val); return true })
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("after delete, Stab(k) = %v", got)
+	}
+	tr.Delete(e2)
+	tr.Delete(e2) // double delete is a no-op
+	if tr.Len() != 0 {
+		t.Fatalf("Len after deletes = %d", tr.Len())
+	}
+}
+
+func TestSetHi(t *testing.T) {
+	tr := New[int]()
+	e := tr.Insert("b", "d", 1)
+	tr.Insert("a", "b", 2)
+	tr.Insert("c", "e", 3)
+	var got []int
+	tr.Stab("f", func(e *Entry[int]) bool { got = append(got, e.Val); return true })
+	if len(got) != 0 {
+		t.Fatalf("Stab(f) before widen = %v", got)
+	}
+	e.SetHi("z") // widen; augmentation must propagate
+	got = nil
+	tr.Stab("f", func(e *Entry[int]) bool { got = append(got, e.Val); return true })
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Stab(f) after widen = %v", got)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryAccessors(t *testing.T) {
+	tr := New[int]()
+	e := tr.Insert("lo", "hi", 9)
+	if e.Lo() != "lo" || e.Hi() != "hi" {
+		t.Fatal("accessors")
+	}
+	if r := e.Range(); r.Lo != "lo" || r.Hi != "hi" {
+		t.Fatal("Range")
+	}
+}
+
+func TestRandomizedAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := New[int]()
+	live := map[*Entry[int]]iv{}
+	var entries []*Entry[int]
+	point := func() string { return fmt.Sprintf("p%03d", rng.Intn(500)) }
+	for step := 0; step < 8000; step++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			lo := point()
+			hi := point()
+			if rng.Intn(10) == 0 {
+				hi = "" // unbounded
+			} else if hi < lo {
+				lo, hi = hi, lo
+			}
+			e := tr.Insert(lo, hi, step)
+			live[e] = iv{lo, hi}
+			entries = append(entries, e)
+		case 4, 5:
+			if len(entries) > 0 {
+				i := rng.Intn(len(entries))
+				e := entries[i]
+				tr.Delete(e)
+				delete(live, e)
+				entries[i] = entries[len(entries)-1]
+				entries = entries[:len(entries)-1]
+			}
+		case 6:
+			if len(entries) > 0 {
+				e := entries[rng.Intn(len(entries))]
+				hi := point()
+				if hi >= e.Lo() {
+					e.SetHi(hi)
+					live[e] = iv{e.Lo(), hi}
+				}
+			}
+		case 7, 8:
+			k := point()
+			var got []int
+			tr.Stab(k, func(e *Entry[int]) bool { got = append(got, e.Val); return true })
+			sort.Ints(got)
+			want := bruteStab(live, k)
+			if !equalInts(got, want) {
+				t.Fatalf("step %d: Stab(%q) = %v, want %v", step, k, got, want)
+			}
+		default:
+			lo, hi := point(), point()
+			if rng.Intn(8) == 0 {
+				hi = ""
+			} else if hi < lo {
+				lo, hi = hi, lo
+			}
+			var got []int
+			tr.Overlap(lo, hi, func(e *Entry[int]) bool { got = append(got, e.Val); return true })
+			sort.Ints(got)
+			want := bruteOverlap(live, lo, hi)
+			if !equalInts(got, want) {
+				t.Fatalf("step %d: Overlap(%q,%q) = %v, want %v", step, lo, hi, got, want)
+			}
+		}
+		if step%503 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 10; i++ {
+		tr.Insert("a", "z", i)
+	}
+	calls := 0
+	tr.Stab("m", func(e *Entry[int]) bool { calls++; return calls < 3 })
+	if calls != 3 {
+		t.Fatalf("Stab early stop: %d", calls)
+	}
+	calls = 0
+	tr.Overlap("a", "b", func(e *Entry[int]) bool { calls++; return false })
+	if calls != 1 {
+		t.Fatalf("Overlap early stop: %d", calls)
+	}
+	calls = 0
+	tr.All(func(e *Entry[int]) bool { calls++; return true })
+	if calls != 10 {
+		t.Fatalf("All visited %d", calls)
+	}
+}
+
+func TestKeysContainingZeroBytes(t *testing.T) {
+	// The order-preserving escape must keep BST order consistent with Lo
+	// order even when keys contain 0x00/0x01 bytes.
+	tr := New[int]()
+	tr.Insert("a\x00b", "a\x00c", 1)
+	tr.Insert("a", "a\x00zzz", 2)
+	tr.Insert("a\x01", "b", 3)
+	var got []int
+	tr.Stab("a\x00b", func(e *Entry[int]) bool { got = append(got, e.Val); return true })
+	sort.Ints(got)
+	if !equalInts(got, []int{1, 2}) {
+		t.Fatalf("Stab = %v", got)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkStab(b *testing.B) {
+	tr := New[int]()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		lo := fmt.Sprintf("p%05d", rng.Intn(100000))
+		hi := fmt.Sprintf("p%05d", rng.Intn(100000))
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		tr.Insert(lo, hi, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := fmt.Sprintf("p%05d", i%100000)
+		tr.Stab(k, func(e *Entry[int]) bool { return true })
+	}
+}

@@ -1,0 +1,33 @@
+package join
+
+import "testing"
+
+// FuzzParse hardens the cache-join parser: arbitrary specifications must
+// either parse into a valid join (whose text re-parses identically) or
+// return an error — never panic.
+func FuzzParse(f *testing.F) {
+	f.Add("t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>")
+	f.Add("karma|<author> = count vote|<author>|<id>|<voter>")
+	f.Add("x|<a> = snapshot 30 copy y|<a>")
+	f.Add("t|<u>|<ts>|<p> = pull copy ct|<ts>|<p> check s|<u>|<p>")
+	f.Add("page|<a>|<id>|k|<cid>|<c> = eager check comment|<a>|<id>|<cid>|<c> copy karma|<c>")
+	f.Add("a|<x> = lazy copy b|<x>")
+	f.Add("= copy")
+	f.Add("x|<a:8> = copy y|<a:9>")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		j, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		// A successfully parsed join must re-parse from its own text.
+		j2, err := Parse(j.Text)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", j.Text, err)
+		}
+		if j2.Out.Table() != j.Out.Table() || len(j2.Sources) != len(j.Sources) ||
+			j2.Maint != j.Maint || j2.ValueSource != j.ValueSource {
+			t.Fatalf("re-parse drift for %q", j.Text)
+		}
+	})
+}

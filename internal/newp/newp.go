@@ -1,0 +1,289 @@
+// Package newp implements the paper's Hacker-News-like example
+// application with user karma (§2.3, §5.4): articles, comments, votes,
+// and article pages assembled either from interleaved cache joins (one
+// contiguous page| range, Fig 1) or from separate aggregate ranges read
+// with many gets in two round trips.
+package newp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pequod/internal/client"
+	"pequod/internal/keys"
+)
+
+// InterleavedJoins is the Fig 1 join set: separate karma and rank views
+// plus the interleaving page| joins, including the join-on-join that
+// copies each commenter's karma next to their comment.
+const InterleavedJoins = `
+  karma|<author> = count vote|<author>|<id>|<voter>;
+  rank|<author>|<id> = count vote|<author>|<id>|<voter>;
+  page|<author>|<id>|a = copy article|<author>|<id>;
+  page|<author>|<id>|r = copy rank|<author>|<id>;
+  page|<author>|<id>|c|<cid>|<commenter> = copy comment|<author>|<id>|<cid>|<commenter>;
+  page|<author>|<id>|k|<cid>|<commenter> = check comment|<author>|<id>|<cid>|<commenter> copy karma|<commenter>
+`
+
+// AggregateJoins is the non-interleaved variant's join set (§5.4): karma
+// and vote counts are still precomputed server-side, but in their own
+// ranges; page assembly is client work.
+const AggregateJoins = `
+  karma|<author> = count vote|<author>|<id>|<voter>;
+  rank|<author>|<id> = count vote|<author>|<id>|<voter>
+`
+
+// UserID formats a user index (fixed width for prefix-freedom).
+func UserID(i int32) string { return fmt.Sprintf("n%06d", i) }
+
+// ArticleID formats an article index.
+func ArticleID(i int32) string { return fmt.Sprintf("a%07d", i) }
+
+// CommentID formats a comment index.
+func CommentID(i int64) string { return fmt.Sprintf("c%08d", i) }
+
+// Article identifies one article by author and id.
+type Article struct {
+	Author int32
+	ID     int32
+}
+
+// Backend reads and writes Newp data; the two implementations differ
+// only in page assembly, which is the Figure 9 comparison.
+type Backend interface {
+	Name() string
+	// WriteArticle creates an article.
+	WriteArticle(a Article, text string) error
+	// Comment adds a comment by commenter.
+	Comment(a Article, cid int64, commenter int32, text string) error
+	// Vote records voter's vote on a.
+	Vote(a Article, voter int32) error
+	// ReadArticle renders the page, returning the number of data items
+	// fetched (article, rank, comments, karmas).
+	ReadArticle(a Article) (int, error)
+}
+
+// --- Interleaved (single scan on page|) ---
+
+// Interleaved reads article pages with one scan over the interleaved
+// page| range: "Newp can issue one scan ... to retrieve all of the
+// disparate data needed to render an article page" (§2.3).
+type Interleaved struct {
+	C *client.Client
+}
+
+// Name implements Backend.
+func (b *Interleaved) Name() string { return "Interleaved" }
+
+// WriteArticle implements Backend.
+func (b *Interleaved) WriteArticle(a Article, text string) error {
+	return b.C.Put(keys.Join("article", UserID(a.Author), ArticleID(a.ID)), text)
+}
+
+// Comment implements Backend.
+func (b *Interleaved) Comment(a Article, cid int64, commenter int32, text string) error {
+	return b.C.Put(keys.Join("comment", UserID(a.Author), ArticleID(a.ID), CommentID(cid), UserID(commenter)), text)
+}
+
+// Vote implements Backend.
+func (b *Interleaved) Vote(a Article, voter int32) error {
+	return b.C.Put(keys.Join("vote", UserID(a.Author), ArticleID(a.ID), UserID(voter)), "1")
+}
+
+// ReadArticle implements Backend: one scan.
+func (b *Interleaved) ReadArticle(a Article) (int, error) {
+	lo := keys.Join("page", UserID(a.Author), ArticleID(a.ID)) + "|"
+	kvs, err := b.C.Scan(lo, keys.PrefixEnd(lo), 0)
+	return len(kvs), err
+}
+
+// --- Non-interleaved (many gets in two round trips) ---
+
+// NonInterleaved assembles pages from separate ranges: "constructing an
+// article requires many RPCs in two round trips" (§5.4) — round one for
+// the article, its rank, and its comments; round two for each
+// commenter's karma.
+type NonInterleaved struct {
+	C *client.Client
+}
+
+// Name implements Backend.
+func (b *NonInterleaved) Name() string { return "Non-interleaved" }
+
+// WriteArticle implements Backend.
+func (b *NonInterleaved) WriteArticle(a Article, text string) error {
+	return b.C.Put(keys.Join("article", UserID(a.Author), ArticleID(a.ID)), text)
+}
+
+// Comment implements Backend.
+func (b *NonInterleaved) Comment(a Article, cid int64, commenter int32, text string) error {
+	return b.C.Put(keys.Join("comment", UserID(a.Author), ArticleID(a.ID), CommentID(cid), UserID(commenter)), text)
+}
+
+// Vote implements Backend.
+func (b *NonInterleaved) Vote(a Article, voter int32) error {
+	return b.C.Put(keys.Join("vote", UserID(a.Author), ArticleID(a.ID), UserID(voter)), "1")
+}
+
+// ReadArticle implements Backend: two pipelined round trips.
+func (b *NonInterleaved) ReadArticle(a Article) (int, error) {
+	author, id := UserID(a.Author), ArticleID(a.ID)
+	// Round trip 1: article text, vote count, comments.
+	fArticle := b.C.GetAsync(keys.Join("article", author, id))
+	fRank := b.C.GetAsync(keys.Join("rank", author, id))
+	cLo := keys.Join("comment", author, id) + "|"
+	fComments := b.C.ScanAsync(cLo, keys.PrefixEnd(cLo), 0, false)
+
+	items := 0
+	if m, err := fArticle.Wait(); err != nil {
+		return 0, err
+	} else if m.Found {
+		items++
+	}
+	if m, err := fRank.Wait(); err != nil {
+		return 0, err
+	} else if m.Found {
+		items++
+	}
+	mc, err := fComments.Wait()
+	if err != nil {
+		return 0, err
+	}
+	items += len(mc.KVs)
+
+	// Round trip 2: karma for each commenter.
+	futs := make([]*client.Future, 0, len(mc.KVs))
+	for _, kv := range mc.KVs {
+		commenter := keys.Split(kv.Key)[4]
+		futs = append(futs, b.C.GetAsync("karma|"+commenter))
+	}
+	for _, f := range futs {
+		m, err := f.Wait()
+		if err != nil {
+			return 0, err
+		}
+		if m.Found {
+			items++
+		}
+	}
+	return items, nil
+}
+
+// --- Workload (§5.4) ---
+
+// Dataset sizes one experiment; the paper pre-populates 100K articles,
+// 50K users, 1M comments, and 2M votes, then simulates 20M sessions.
+type Dataset struct {
+	Users    int
+	Articles int
+	Comments int
+	Votes    int
+	Seed     int64
+
+	articles []Article
+}
+
+// Populate writes the initial data through the backend (untimed setup).
+func (d *Dataset) Populate(b Backend) error {
+	rng := rand.New(rand.NewSource(d.Seed))
+	d.articles = make([]Article, d.Articles)
+	for i := range d.articles {
+		d.articles[i] = Article{Author: int32(rng.Intn(d.Users)), ID: int32(i)}
+		if err := b.WriteArticle(d.articles[i], fmt.Sprintf("article %d body", i)); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < d.Comments; i++ {
+		a := d.articles[rng.Intn(len(d.articles))]
+		if err := b.Comment(a, int64(i), int32(rng.Intn(d.Users)), "a comment"); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < d.Votes; i++ {
+		a := d.articles[rng.Intn(len(d.articles))]
+		if err := b.Vote(a, int32(rng.Intn(d.Users))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SessionOp is one user session's actions, pre-generated for determinism.
+type SessionOp struct {
+	Article   Article
+	Vote      bool
+	Voter     int32
+	Comment   bool
+	CID       int64
+	Commenter int32
+}
+
+// Sessions generates n sessions: "each user reads a random article; with
+// a varying chance votes on the article; and independently with a 1%
+// chance comments" (§5.4).
+func (d *Dataset) Sessions(n int, voteRate float64, seed int64) []SessionOp {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]SessionOp, n)
+	cid := int64(d.Comments)
+	for i := range out {
+		op := SessionOp{Article: d.articles[rng.Intn(len(d.articles))]}
+		if rng.Float64() < voteRate {
+			op.Vote = true
+			op.Voter = int32(rng.Intn(d.Users))
+		}
+		if rng.Float64() < 0.01 {
+			op.Comment = true
+			cid++
+			op.CID = cid
+			op.Commenter = int32(rng.Intn(d.Users))
+		}
+		out[i] = op
+	}
+	return out
+}
+
+// RunSessions executes sessions through the backend with the given worker
+// count, returning total items fetched.
+func RunSessions(b Backend, ops []SessionOp, workers int) (int64, error) {
+	type result struct {
+		items int64
+		err   error
+	}
+	ch := make(chan result, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			var items int64
+			for i := w; i < len(ops); i += workers {
+				op := ops[i]
+				n, err := b.ReadArticle(op.Article)
+				if err != nil {
+					ch <- result{err: err}
+					return
+				}
+				items += int64(n)
+				if op.Vote {
+					if err := b.Vote(op.Article, op.Voter); err != nil {
+						ch <- result{err: err}
+						return
+					}
+				}
+				if op.Comment {
+					if err := b.Comment(op.Article, op.CID, op.Commenter, "session comment"); err != nil {
+						ch <- result{err: err}
+						return
+					}
+				}
+			}
+			ch <- result{items: items}
+		}(w)
+	}
+	var total int64
+	for w := 0; w < workers; w++ {
+		r := <-ch
+		if r.err != nil {
+			return 0, r.err
+		}
+		total += r.items
+	}
+	return total, nil
+}

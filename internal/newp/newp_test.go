@@ -1,0 +1,110 @@
+package newp
+
+import (
+	"testing"
+
+	"pequod/internal/client"
+	"pequod/internal/server"
+)
+
+func startBackend(t *testing.T, joins string, mk func(*client.Client) Backend) Backend {
+	t.Helper()
+	s, err := server.New(server.Config{Joins: joins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close(); s.Close() })
+	return mk(c)
+}
+
+func TestInterleavedAndNonInterleavedAgree(t *testing.T) {
+	// Both page-assembly strategies must fetch the same logical items:
+	// article + rank + each comment + each karma-bearing commenter.
+	d1 := &Dataset{Users: 40, Articles: 30, Comments: 80, Votes: 150, Seed: 5}
+	d2 := &Dataset{Users: 40, Articles: 30, Comments: 80, Votes: 150, Seed: 5}
+
+	inter := startBackend(t, InterleavedJoins, func(c *client.Client) Backend { return &Interleaved{C: c} })
+	non := startBackend(t, AggregateJoins, func(c *client.Client) Backend { return &NonInterleaved{C: c} })
+
+	if err := d1.Populate(inter); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Populate(non); err != nil {
+		t.Fatal(err)
+	}
+	ops1 := d1.Sessions(300, 0.2, 9)
+	ops2 := d2.Sessions(300, 0.2, 9)
+
+	items1, err := RunSessions(inter, ops1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items2, err := RunSessions(non, ops2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items1 != items2 {
+		t.Fatalf("interleaved fetched %d items, non-interleaved %d", items1, items2)
+	}
+	if items1 == 0 {
+		t.Fatal("no items fetched")
+	}
+}
+
+func TestInterleavedPageContents(t *testing.T) {
+	b := startBackend(t, InterleavedJoins, func(c *client.Client) Backend { return &Interleaved{C: c} })
+	a := Article{Author: 1, ID: 7}
+	if err := b.WriteArticle(a, "body"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Comment(a, 1, 2, "hi"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Vote(a, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Commenter 2 earns karma from a vote on their own article.
+	a2 := Article{Author: 2, ID: 8}
+	if err := b.WriteArticle(a2, "other"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Vote(a2, 4); err != nil {
+		t.Fatal(err)
+	}
+	n, err := b.ReadArticle(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a, r, c (1 comment), k (commenter 2 has karma 1) = 4 items.
+	if n != 4 {
+		t.Fatalf("page items = %d", n)
+	}
+	// Voting again updates rank through the cascade; page reflects it.
+	if err := b.Vote(a, 5); err != nil {
+		t.Fatal(err)
+	}
+	n, err = b.ReadArticle(a)
+	if err != nil || n != 4 {
+		t.Fatalf("page items after vote = %d, %v", n, err)
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	d := &Dataset{Users: 30, Articles: 20, Comments: 40, Votes: 60, Seed: 17}
+	b := startBackend(t, InterleavedJoins, func(c *client.Client) Backend { return &Interleaved{C: c} })
+	if err := d.Populate(b); err != nil {
+		t.Fatal(err)
+	}
+	ops := d.Sessions(400, 0.5, 21)
+	if _, err := RunSessions(b, ops, 8); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package partition implements Pequod's key-space partitioning (§2.4):
+// "Each base key has a home server to which updates are directed (a
+// partition function maps key ranges to home servers)", plus the Twip
+// client-routing helper S(u) that sends all of one user's timeline reads
+// to the same compute server.
+package partition
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"pequod/internal/keys"
+)
+
+// Map assigns contiguous key ranges to servers: server i owns
+// [bounds[i-1], bounds[i]) with implicit bounds[-1] = "" and
+// bounds[n-1] = +infinity. A Map with no bounds assigns everything to
+// server 0.
+type Map struct {
+	bounds []string // sorted; len(bounds) = servers-1
+}
+
+// New builds a Map from split points, which must be strictly increasing.
+func New(bounds ...string) (*Map, error) {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("partition: bounds not strictly increasing at %d", i)
+		}
+	}
+	return &Map{bounds: append([]string(nil), bounds...)}, nil
+}
+
+// MustNew is New that panics on error, for static configurations.
+func MustNew(bounds ...string) *Map {
+	m, err := New(bounds...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Servers returns the number of servers the map distributes over.
+func (m *Map) Servers() int { return len(m.bounds) + 1 }
+
+// Owner returns the home server index for key.
+func (m *Map) Owner(key string) int {
+	return sort.SearchStrings(m.bounds, key+"\x00")
+}
+
+// Shard is one piece of a range split across owners.
+type Shard struct {
+	R     keys.Range
+	Owner int
+}
+
+// Split divides r into per-owner shards in key order. Containing ranges
+// that straddle home servers become one fetch per owner.
+func (m *Map) Split(r keys.Range) []Shard {
+	if r.Empty() {
+		return nil
+	}
+	var out []Shard
+	lo := r.Lo
+	owner := m.Owner(lo)
+	for owner < len(m.bounds) {
+		bound := m.bounds[owner]
+		if r.Hi != "" && bound >= r.Hi {
+			break
+		}
+		out = append(out, Shard{R: keys.Range{Lo: lo, Hi: bound}, Owner: owner})
+		lo = bound
+		owner++
+	}
+	out = append(out, Shard{R: keys.Range{Lo: lo, Hi: r.Hi}, Owner: owner})
+	return out
+}
+
+// UserBounds builds split points that spread fixed-width user IDs of the
+// form prefix + zero-padded number evenly across n servers, for each of
+// the given tables. For example, UserBounds(4, 1000, 7, "p", "s")
+// produces bounds like p|u0000250, p|u0000500, ... — matching the
+// synthetic Twip graph's u%07d identifiers.
+func UserBounds(n, users, width int, idPrefix string, tables ...string) []string {
+	var bounds []string
+	for _, t := range tables {
+		for i := 1; i < n; i++ {
+			// Ceiling split: the bound is the smallest id on shard i, so
+			// id*n/users recovers the shard exactly at the boundary.
+			id := (users*i + n - 1) / n
+			bounds = append(bounds, fmt.Sprintf("%s|%s%0*d", t, idPrefix, width, id))
+		}
+	}
+	sort.Strings(bounds)
+	return bounds
+}
+
+// UserShard is the Twip client-routing function S(u) (§2.4): all timeline
+// checks for user u go to compute server S(u), minimizing duplicate
+// timeline storage.
+func UserShard(user string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(user))
+	return int(h.Sum32() % uint32(n))
+}

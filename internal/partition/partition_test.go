@@ -1,0 +1,139 @@
+package partition
+
+import (
+	"testing"
+
+	"pequod/internal/keys"
+)
+
+func TestOwner(t *testing.T) {
+	m := MustNew("g", "p")
+	cases := []struct {
+		key  string
+		want int
+	}{
+		{"a", 0}, {"f", 0}, {"g", 1}, {"m", 1}, {"p", 2}, {"z", 2}, {"", 0},
+	}
+	for _, c := range cases {
+		if got := m.Owner(c.key); got != c.want {
+			t.Errorf("Owner(%q) = %d, want %d", c.key, got, c.want)
+		}
+	}
+	if m.Servers() != 3 {
+		t.Fatalf("Servers = %d", m.Servers())
+	}
+}
+
+func TestSingleServerMap(t *testing.T) {
+	m := MustNew()
+	if m.Owner("anything") != 0 || m.Servers() != 1 {
+		t.Fatal("empty map should own everything at server 0")
+	}
+	sh := m.Split(keys.Range{Lo: "a", Hi: "z"})
+	if len(sh) != 1 || sh[0].Owner != 0 {
+		t.Fatalf("Split = %v", sh)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("b", "a"); err == nil {
+		t.Fatal("unsorted bounds accepted")
+	}
+	if _, err := New("a", "a"); err == nil {
+		t.Fatal("duplicate bounds accepted")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	m := MustNew("g", "p")
+	sh := m.Split(keys.Range{Lo: "c", Hi: "t"})
+	if len(sh) != 3 {
+		t.Fatalf("Split = %v", sh)
+	}
+	if sh[0].R != (keys.Range{Lo: "c", Hi: "g"}) || sh[0].Owner != 0 {
+		t.Errorf("shard 0 = %v", sh[0])
+	}
+	if sh[1].R != (keys.Range{Lo: "g", Hi: "p"}) || sh[1].Owner != 1 {
+		t.Errorf("shard 1 = %v", sh[1])
+	}
+	if sh[2].R != (keys.Range{Lo: "p", Hi: "t"}) || sh[2].Owner != 2 {
+		t.Errorf("shard 2 = %v", sh[2])
+	}
+	// Range within one shard.
+	sh = m.Split(keys.Range{Lo: "h", Hi: "i"})
+	if len(sh) != 1 || sh[0].Owner != 1 {
+		t.Fatalf("single-shard split = %v", sh)
+	}
+	// Unbounded range reaches the last server.
+	sh = m.Split(keys.Range{Lo: "a", Hi: ""})
+	if len(sh) != 3 || sh[2].R.Hi != "" {
+		t.Fatalf("unbounded split = %v", sh)
+	}
+	// Empty range splits to nothing.
+	if sh := m.Split(keys.Range{Lo: "x", Hi: "x"}); sh != nil {
+		t.Fatalf("empty split = %v", sh)
+	}
+}
+
+func TestSplitCoversExactly(t *testing.T) {
+	m := MustNew("d", "h", "m", "r")
+	r := keys.Range{Lo: "b", Hi: "z"}
+	sh := m.Split(r)
+	// Shards must tile r exactly, in order.
+	if sh[0].R.Lo != r.Lo || sh[len(sh)-1].R.Hi != r.Hi {
+		t.Fatalf("ends wrong: %v", sh)
+	}
+	for i := 1; i < len(sh); i++ {
+		if sh[i].R.Lo != sh[i-1].R.Hi {
+			t.Fatalf("gap between shards %d and %d: %v", i-1, i, sh)
+		}
+		if sh[i].Owner != sh[i-1].Owner+1 {
+			t.Fatalf("owners not increasing: %v", sh)
+		}
+	}
+	// Every shard's keys belong to its owner.
+	for _, s := range sh {
+		if m.Owner(s.R.Lo) != s.Owner {
+			t.Fatalf("shard lo %q owned by %d, labeled %d", s.R.Lo, m.Owner(s.R.Lo), s.Owner)
+		}
+	}
+}
+
+func TestUserBounds(t *testing.T) {
+	bounds := UserBounds(4, 1000, 7, "u", "p", "s")
+	m := MustNew(bounds...)
+	if m.Servers() != 7 {
+		t.Fatalf("Servers = %d (bounds %v)", m.Servers(), bounds)
+	}
+	// Keys for the same user land on one server per table region, and
+	// low/high users land on different servers.
+	lowP := m.Owner("p|u0000001|0000000001")
+	highP := m.Owner("p|u0000999|0000000001")
+	if lowP == highP {
+		t.Fatal("user spread failed")
+	}
+	// All of one user's posts are on one server.
+	if m.Owner("p|u0000400|0000000001") != m.Owner("p|u0000400|9999999999") {
+		t.Fatal("one user's post range split across servers")
+	}
+}
+
+func TestUserShardStable(t *testing.T) {
+	a := UserShard("u0001234", 8)
+	for i := 0; i < 10; i++ {
+		if UserShard("u0001234", 8) != a {
+			t.Fatal("unstable shard")
+		}
+	}
+	if UserShard("anyone", 1) != 0 {
+		t.Fatal("single shard")
+	}
+	// Spread check: many users hit more than one shard.
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		seen[UserShard(string(rune('a'+i%26))+"user", 4)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("no spread")
+	}
+}

@@ -1,0 +1,378 @@
+// Package rpc implements Pequod's wire protocol: length-prefixed binary
+// frames over TCP, with pipelined request/response matching by sequence
+// number and unsolicited server-push Notify frames for cross-server
+// subscriptions (§2.4).
+//
+// Frame layout:
+//
+//	uint32 little-endian payload length
+//	byte   message type
+//	uvarint sequence number
+//	type-specific fields (uvarint-length-prefixed strings, uvarints)
+//
+// The same Message structure carries every request and reply; unused
+// fields are encoded as empty. This keeps the codec small and the
+// protocol easy to extend, at a few bytes per frame of overhead.
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MsgType identifies a frame's meaning.
+type MsgType byte
+
+// Protocol message types.
+const (
+	MsgGet         MsgType = iota + 1 // Key -> Found/Value
+	MsgPut                            // Key, Value
+	MsgRemove                         // Key -> Found
+	MsgScan                           // Lo, Hi, Limit, SubscribeFlag -> KVs
+	MsgCount                          // Lo, Hi -> Count
+	MsgAddJoin                        // Text
+	MsgNotify                         // Changes (server push; no reply)
+	MsgStat                           // -> Value (JSON)
+	MsgFlush                          // clear store (test/bench support)
+	MsgSetSubtable                    // Table, Depth
+	MsgReply                          // Status, reply fields
+	MsgCommand                        // Args (generic command; baseline engines)
+)
+
+// Status codes in replies.
+const (
+	StatusOK    byte = 0
+	StatusError byte = 1
+)
+
+// ChangeOp mirrors core.ChangeOp on the wire.
+type ChangeOp byte
+
+// Change operations for Notify frames.
+const (
+	ChangePut ChangeOp = iota
+	ChangeRemove
+)
+
+// Change is one replicated store mutation.
+type Change struct {
+	Op    ChangeOp
+	Key   string
+	Value string
+}
+
+// KV is a scan result pair.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// Message is the union of all frame payloads.
+type Message struct {
+	Type MsgType
+	Seq  uint64
+
+	// Request fields.
+	Key, Value    string
+	Lo, Hi        string
+	Limit         int
+	SubscribeFlag bool
+	Text          string
+	Table         string
+	Depth         int
+	Changes       []Change
+	Args          []string // MsgCommand
+
+	// Reply fields.
+	Status byte
+	Found  bool
+	KVs    []KV
+	Count  int64
+	Err    string
+}
+
+// MaxFrame bounds a single frame; scans larger than this must be limited
+// by the client. 256 MiB accommodates full-timeline warm scans.
+const MaxFrame = 256 << 20
+
+// appendUvarint/appendString build the wire form.
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// Encode appends the message's frame (including length prefix) to buf and
+// returns the extended slice. The caller may reuse buf across calls.
+func (m *Message) Encode(buf []byte) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length placeholder
+	buf = append(buf, byte(m.Type))
+	buf = appendUvarint(buf, m.Seq)
+	switch m.Type {
+	case MsgGet, MsgRemove:
+		buf = appendString(buf, m.Key)
+	case MsgPut:
+		buf = appendString(buf, m.Key)
+		buf = appendString(buf, m.Value)
+	case MsgScan:
+		buf = appendString(buf, m.Lo)
+		buf = appendString(buf, m.Hi)
+		buf = appendUvarint(buf, uint64(m.Limit))
+		flag := byte(0)
+		if m.SubscribeFlag {
+			flag = 1
+		}
+		buf = append(buf, flag)
+	case MsgCount:
+		buf = appendString(buf, m.Lo)
+		buf = appendString(buf, m.Hi)
+	case MsgAddJoin:
+		buf = appendString(buf, m.Text)
+	case MsgNotify:
+		buf = appendUvarint(buf, uint64(len(m.Changes)))
+		for _, c := range m.Changes {
+			buf = append(buf, byte(c.Op))
+			buf = appendString(buf, c.Key)
+			buf = appendString(buf, c.Value)
+		}
+	case MsgStat, MsgFlush:
+		// no payload
+	case MsgSetSubtable:
+		buf = appendString(buf, m.Table)
+		buf = appendUvarint(buf, uint64(m.Depth))
+	case MsgCommand:
+		buf = appendUvarint(buf, uint64(len(m.Args)))
+		for _, a := range m.Args {
+			buf = appendString(buf, a)
+		}
+	case MsgReply:
+		buf = append(buf, m.Status)
+		found := byte(0)
+		if m.Found {
+			found = 1
+		}
+		buf = append(buf, found)
+		buf = appendString(buf, m.Value)
+		buf = appendString(buf, m.Err)
+		buf = appendUvarint(buf, uint64(m.Count))
+		buf = appendUvarint(buf, uint64(len(m.KVs)))
+		for _, kv := range m.KVs {
+			buf = appendString(buf, kv.Key)
+			buf = appendString(buf, kv.Value)
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
+}
+
+// decoder walks a frame payload.
+type decoder struct {
+	b   []byte
+	pos int
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("rpc: truncated uvarint")
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if d.pos+int(n) > len(d.b) {
+		return "", fmt.Errorf("rpc: truncated string")
+	}
+	s := string(d.b[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.pos >= len(d.b) {
+		return 0, fmt.Errorf("rpc: truncated byte")
+	}
+	c := d.b[d.pos]
+	d.pos++
+	return c, nil
+}
+
+// Decode parses a frame payload (without the length prefix).
+func Decode(payload []byte) (*Message, error) {
+	d := &decoder{b: payload}
+	t, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	m := &Message{Type: MsgType(t)}
+	if m.Seq, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	switch m.Type {
+	case MsgGet, MsgRemove:
+		m.Key, err = d.str()
+	case MsgPut:
+		if m.Key, err = d.str(); err == nil {
+			m.Value, err = d.str()
+		}
+	case MsgScan:
+		if m.Lo, err = d.str(); err != nil {
+			return nil, err
+		}
+		if m.Hi, err = d.str(); err != nil {
+			return nil, err
+		}
+		var lim uint64
+		if lim, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		m.Limit = int(lim)
+		var flag byte
+		if flag, err = d.byte(); err == nil {
+			m.SubscribeFlag = flag == 1
+		}
+	case MsgCount:
+		if m.Lo, err = d.str(); err == nil {
+			m.Hi, err = d.str()
+		}
+	case MsgAddJoin:
+		m.Text, err = d.str()
+	case MsgNotify:
+		var n uint64
+		if n, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		m.Changes = make([]Change, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var op byte
+			if op, err = d.byte(); err != nil {
+				return nil, err
+			}
+			var k, v string
+			if k, err = d.str(); err != nil {
+				return nil, err
+			}
+			if v, err = d.str(); err != nil {
+				return nil, err
+			}
+			m.Changes = append(m.Changes, Change{Op: ChangeOp(op), Key: k, Value: v})
+		}
+	case MsgStat, MsgFlush:
+		// no payload
+	case MsgSetSubtable:
+		if m.Table, err = d.str(); err != nil {
+			return nil, err
+		}
+		var depth uint64
+		if depth, err = d.uvarint(); err == nil {
+			m.Depth = int(depth)
+		}
+	case MsgCommand:
+		var n uint64
+		if n, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		m.Args = make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var a string
+			if a, err = d.str(); err != nil {
+				return nil, err
+			}
+			m.Args = append(m.Args, a)
+		}
+	case MsgReply:
+		if m.Status, err = d.byte(); err != nil {
+			return nil, err
+		}
+		var found byte
+		if found, err = d.byte(); err != nil {
+			return nil, err
+		}
+		m.Found = found == 1
+		if m.Value, err = d.str(); err != nil {
+			return nil, err
+		}
+		if m.Err, err = d.str(); err != nil {
+			return nil, err
+		}
+		var cnt uint64
+		if cnt, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		m.Count = int64(cnt)
+		var n uint64
+		if n, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		m.KVs = make([]KV, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var k, v string
+			if k, err = d.str(); err != nil {
+				return nil, err
+			}
+			if v, err = d.str(); err != nil {
+				return nil, err
+			}
+			m.KVs = append(m.KVs, KV{k, v})
+		}
+	default:
+		return nil, fmt.Errorf("rpc: unknown message type %d", t)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ReadMessage reads one frame from br. scratch (possibly nil) is reused
+// for the payload when large enough; the returned buffer may be the grown
+// scratch for the caller to reuse.
+func ReadMessage(br *bufio.Reader, scratch []byte) (*Message, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+		return nil, scratch, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n > MaxFrame {
+		return nil, scratch, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	if cap(scratch) < int(n) {
+		scratch = make([]byte, n)
+	}
+	buf := scratch[:n]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, scratch, err
+	}
+	m, err := Decode(buf)
+	return m, scratch, err
+}
+
+// WriteMessage encodes m and writes its frame to w (typically a
+// bufio.Writer; the caller controls flushing). scratch is reused as the
+// encode buffer.
+func WriteMessage(w io.Writer, m *Message, scratch []byte) ([]byte, error) {
+	buf := m.Encode(scratch[:0])
+	_, err := w.Write(buf)
+	return buf, err
+}
+
+// OKReply builds a success reply for seq.
+func OKReply(seq uint64) *Message {
+	return &Message{Type: MsgReply, Seq: seq, Status: StatusOK}
+}
+
+// ErrReply builds an error reply.
+func ErrReply(seq uint64, err error) *Message {
+	return &Message{Type: MsgReply, Seq: seq, Status: StatusError, Err: err.Error()}
+}

@@ -1,0 +1,169 @@
+package rpc
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, m *Message) *Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := WriteMessage(&buf, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadMessage(bufio.NewReader(&buf), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	msgs := []*Message{
+		{Type: MsgGet, Seq: 1, Key: "p|bob|100"},
+		{Type: MsgPut, Seq: 2, Key: "p|bob|100", Value: "Hi"},
+		{Type: MsgRemove, Seq: 3, Key: "p|bob|100"},
+		{Type: MsgScan, Seq: 4, Lo: "t|ann|", Hi: "t|ann}", Limit: 50, SubscribeFlag: true},
+		{Type: MsgScan, Seq: 5, Lo: "a", Hi: "", Limit: 0},
+		{Type: MsgCount, Seq: 6, Lo: "x", Hi: "y"},
+		{Type: MsgAddJoin, Seq: 7, Text: "t|<u> = copy p|<u>"},
+		{Type: MsgNotify, Seq: 0, Changes: []Change{
+			{Op: ChangePut, Key: "k1", Value: "v1"},
+			{Op: ChangeRemove, Key: "k2", Value: ""},
+		}},
+		{Type: MsgStat, Seq: 8},
+		{Type: MsgFlush, Seq: 9},
+		{Type: MsgSetSubtable, Seq: 10, Table: "t", Depth: 2},
+		{Type: MsgReply, Seq: 11, Status: StatusOK, Found: true, Value: "v",
+			Count: 42, KVs: []KV{{"a", "1"}, {"b", "2"}}},
+		{Type: MsgReply, Seq: 12, Status: StatusError, Err: "boom"},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		// Normalize nil vs empty slices for comparison.
+		if len(got.KVs) == 0 {
+			got.KVs = m.KVs
+		}
+		if len(got.Changes) == 0 {
+			got.Changes = m.Changes
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", m, got)
+		}
+	}
+}
+
+func TestPipelinedFrames(t *testing.T) {
+	var buf bytes.Buffer
+	var scratch []byte
+	var err error
+	for i := 0; i < 100; i++ {
+		scratch, err = WriteMessage(&buf, &Message{Type: MsgGet, Seq: uint64(i), Key: "k"}, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(&buf)
+	var rs []byte
+	for i := 0; i < 100; i++ {
+		var m *Message
+		m, rs, err = ReadMessage(br, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Seq != uint64(i) {
+			t.Fatalf("frame %d has seq %d", i, m.Seq)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	// Unknown type.
+	if _, err := Decode([]byte{255, 0}); err == nil {
+		t.Error("unknown type accepted")
+	}
+	// Truncated payloads of every type must error, not panic.
+	full := (&Message{Type: MsgReply, Seq: 9, Status: StatusOK, Found: true,
+		Value: "hello", KVs: []KV{{"k", "v"}}}).Encode(nil)
+	payload := full[4:]
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := Decode(payload[:cut]); err == nil && cut < len(payload)-1 {
+			// Some prefixes may decode to a valid shorter message only if
+			// all fields happen to be present; with this message shape
+			// every strict prefix is invalid.
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff}) // 4 GiB length
+	if _, _, err := ReadMessage(bufio.NewReader(&buf), nil); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+func TestReadEOF(t *testing.T) {
+	_, _, err := ReadMessage(bufio.NewReader(bytes.NewReader(nil)), nil)
+	if err == nil {
+		t.Fatal("expected EOF")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	ok := OKReply(7)
+	if ok.Type != MsgReply || ok.Seq != 7 || ok.Status != StatusOK {
+		t.Fatal("OKReply")
+	}
+	er := ErrReply(8, errors.New("nope"))
+	if er.Status != StatusError || er.Err != "nope" {
+		t.Fatal("ErrReply")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary string content, including
+// separators, NULs, and high bytes.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seq uint64, key, value string) bool {
+		m := &Message{Type: MsgPut, Seq: seq, Key: key, Value: value}
+		var buf bytes.Buffer
+		if _, err := WriteMessage(&buf, m, nil); err != nil {
+			return false
+		}
+		got, _, err := ReadMessage(bufio.NewReader(&buf), nil)
+		return err == nil && got.Key == key && got.Value == value && got.Seq == seq
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodePut(b *testing.B) {
+	m := &Message{Type: MsgPut, Seq: 12345, Key: "p|u0001234|0000005678", Value: "a typical tweet body of some length"}
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = m.Encode(buf[:0])
+	}
+}
+
+func BenchmarkDecodeScanReply(b *testing.B) {
+	m := &Message{Type: MsgReply, Seq: 1, Status: StatusOK}
+	for i := 0; i < 100; i++ {
+		m.KVs = append(m.KVs, KV{"t|u0001234|0000005678|u0004321", "tweet tweet"})
+	}
+	payload := m.Encode(nil)[4:]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package server
+
+import (
+	"pequod/internal/backdb"
+	"pequod/internal/core"
+	"pequod/internal/keys"
+)
+
+// AttachDB configures the server as a write-around cache over db (§2):
+// the listed tables load on demand from the database, and the database
+// pushes updates for loaded ranges back into the cache, keeping base data
+// fresh without any application cache-maintenance code.
+func (s *Server) AttachDB(db *backdb.DB, tables ...string) {
+	s.e.SetLoader(&dbLoader{s: s, db: db}, tables...)
+}
+
+type dbLoader struct {
+	s  *Server
+	db *backdb.DB
+}
+
+// StartLoad implements core.BaseLoader over the database: snapshot +
+// subscription are installed atomically, and both the snapshot and all
+// later updates arrive through the database dispatcher in write order,
+// so the cache never applies an old value over a newer one.
+func (l *dbLoader) StartLoad(table string, r keys.Range) {
+	s := l.s
+	l.db.ScanAndSubscribe(r.Lo, r.Hi,
+		func(kvs []core.KV) {
+			s.mu.Lock()
+			s.e.LoadComplete(table, r, kvs)
+			s.loadCond.Broadcast()
+			s.mu.Unlock()
+		},
+		func(u backdb.Update) {
+			s.mu.Lock()
+			if u.Op == backdb.OpDelete {
+				s.e.Remove(u.Key)
+			} else {
+				s.e.Put(u.Key, u.Value)
+			}
+			s.loadCond.Broadcast()
+			s.mu.Unlock()
+		})
+}

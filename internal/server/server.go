@@ -1,0 +1,520 @@
+// Package server implements the networked Pequod cache server: the RPC
+// surface over one core.Engine, cross-server base-data subscriptions with
+// asynchronous update notification (§2.4), and remote/database loaders
+// that drive the engine's restart contexts (§3.3).
+//
+// Concurrency model: the engine is single-writer like the paper's
+// event-driven server; a mutex serializes request application while
+// per-connection goroutines handle framing, and per-connection notifier
+// goroutines drain subscription pushes so slow subscribers never block
+// the engine.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"sync"
+
+	"pequod/internal/client"
+	"pequod/internal/core"
+	"pequod/internal/interval"
+	"pequod/internal/keys"
+	"pequod/internal/partition"
+	"pequod/internal/rpc"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Name identifies the server in logs/stats.
+	Name string
+	// Engine options (optimization toggles, memory limit).
+	Engine core.Options
+	// Joins, if non-empty, is installed at startup.
+	Joins string
+	// SubtableDepths configures §4.1 boundaries at startup.
+	SubtableDepths map[string]int
+}
+
+// subscription is a cross-server base-data subscription (§2.4): the
+// paper's "H installs a subscription for S to k"; ours are range-level,
+// installed by Scan requests carrying the subscribe flag.
+type subscription struct {
+	cn *conn
+	r  keys.Range
+}
+
+// Server is one Pequod cache server.
+type Server struct {
+	name string
+
+	mu       sync.Mutex // serializes engine access (single-writer engine)
+	e        *core.Engine
+	loadCond *sync.Cond // signaled when an async load completes
+
+	subs *interval.Tree[*subscription]
+
+	ln     net.Listener
+	connWG sync.WaitGroup
+	cmu    sync.Mutex
+	conns  map[*conn]struct{}
+	closed bool
+
+	peers []*client.Client // distributed mode: connections to home servers
+}
+
+// New creates a server.
+func New(cfg Config) (*Server, error) {
+	s := &Server{
+		name:  cfg.Name,
+		e:     core.New(cfg.Engine),
+		subs:  interval.New[*subscription](),
+		conns: make(map[*conn]struct{}),
+	}
+	s.loadCond = sync.NewCond(&s.mu)
+	for t, d := range cfg.SubtableDepths {
+		s.e.SetSubtableDepth(t, d)
+	}
+	if cfg.Joins != "" {
+		if err := s.e.InstallText(cfg.Joins); err != nil {
+			return nil, err
+		}
+	}
+	s.e.SetChangeHook(s.forwardChange)
+	return s, nil
+}
+
+// Engine exposes the engine for embedded use; callers must hold Lock.
+func (s *Server) Engine() *core.Engine { return s.e }
+
+// Lock/Unlock expose the engine mutex for embedded (in-process) callers
+// such as the workload drivers' warm-up phases.
+func (s *Server) Lock()   { s.mu.Lock() }
+func (s *Server) Unlock() { s.mu.Unlock() }
+
+// forwardChange pushes a base-data change to subscribed peers. Called
+// with s.mu held (from inside engine mutation), so it only enqueues.
+func (s *Server) forwardChange(c core.Change) {
+	if c.Op == core.OpEvict {
+		// Eviction drops this server's cache, not the data's validity;
+		// replicas keep their copies (§2.5).
+		return
+	}
+	if s.subs.Len() == 0 {
+		return
+	}
+	op := rpc.ChangePut
+	if c.Op == core.OpRemove {
+		op = rpc.ChangeRemove
+	}
+	s.subs.Stab(c.Key, func(en *interval.Entry[*subscription]) bool {
+		en.Val.cn.pushNotify(rpc.Change{Op: op, Key: c.Key, Value: c.Value})
+		return true
+	})
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.cmu.Lock()
+	if s.closed {
+		s.cmu.Unlock()
+		return errors.New("pequod server: closed")
+	}
+	s.ln = ln
+	s.cmu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.cmu.Lock()
+			closed := s.closed
+			s.cmu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		cn := newConn(s, c)
+		s.cmu.Lock()
+		s.conns[cn] = struct{}{}
+		s.cmu.Unlock()
+		s.connWG.Add(1)
+		go cn.serve()
+	}
+}
+
+// Start listens on a free loopback port and serves in the background,
+// returning the address (test/bench convenience).
+func (s *Server) Start() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	go s.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() {
+	s.cmu.Lock()
+	if s.closed {
+		s.cmu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for cn := range s.conns {
+		conns = append(conns, cn)
+	}
+	s.cmu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, cn := range conns {
+		cn.close()
+	}
+	s.connWG.Wait()
+	for _, p := range s.peers {
+		p.Close()
+	}
+}
+
+// dropConn unregisters a closed connection and its subscriptions.
+func (s *Server) dropConn(cn *conn) {
+	s.cmu.Lock()
+	delete(s.conns, cn)
+	s.cmu.Unlock()
+	s.mu.Lock()
+	for _, en := range cn.subEntries {
+		s.subs.Delete(en)
+	}
+	cn.subEntries = nil
+	s.mu.Unlock()
+}
+
+// statJSON renders server statistics.
+func (s *Server) statJSON() string {
+	s.mu.Lock()
+	st := s.e.Stats()
+	entries := s.e.Store().Len()
+	bytes := s.e.Store().Bytes()
+	s.mu.Unlock()
+	out, _ := json.Marshal(struct {
+		Name    string     `json:"name"`
+		Entries int        `json:"entries"`
+		Bytes   int64      `json:"bytes"`
+		Stats   core.Stats `json:"stats"`
+	}{s.name, entries, bytes, st})
+	return string(out)
+}
+
+// handle processes one request message, returning the reply (nil for
+// one-way messages).
+func (s *Server) handle(cn *conn, m *rpc.Message) *rpc.Message {
+	switch m.Type {
+	case rpc.MsgGet:
+		for {
+			s.mu.Lock()
+			v, found, pending := s.e.Get(m.Key)
+			if pending == 0 {
+				s.mu.Unlock()
+				r := rpc.OKReply(m.Seq)
+				r.Value, r.Found = v, found
+				return r
+			}
+			s.waitLoadsLocked()
+			s.mu.Unlock()
+		}
+
+	case rpc.MsgPut:
+		s.mu.Lock()
+		s.e.Put(m.Key, m.Value)
+		s.mu.Unlock()
+		return rpc.OKReply(m.Seq)
+
+	case rpc.MsgRemove:
+		s.mu.Lock()
+		found := s.e.Remove(m.Key)
+		s.mu.Unlock()
+		r := rpc.OKReply(m.Seq)
+		r.Found = found
+		return r
+
+	case rpc.MsgScan:
+		for {
+			s.mu.Lock()
+			kvs, pending := s.e.ScanInto(m.Lo, m.Hi, m.Limit, cn.kvBuf)
+			cn.kvBuf = kvs // reuse capacity on the next request
+			if pending == 0 {
+				if m.SubscribeFlag {
+					en := s.subs.Insert(m.Lo, m.Hi, &subscription{cn: cn, r: keys.Range{Lo: m.Lo, Hi: m.Hi}})
+					cn.subEntries = append(cn.subEntries, en)
+				}
+				s.mu.Unlock()
+				r := rpc.OKReply(m.Seq)
+				if cap(cn.rpcKVBuf) < len(kvs) {
+					cn.rpcKVBuf = make([]rpc.KV, len(kvs))
+				}
+				r.KVs = cn.rpcKVBuf[:len(kvs)]
+				for i, kv := range kvs {
+					r.KVs[i] = rpc.KV{Key: kv.Key, Value: kv.Value}
+				}
+				return r
+			}
+			s.waitLoadsLocked()
+			s.mu.Unlock()
+		}
+
+	case rpc.MsgCount:
+		for {
+			s.mu.Lock()
+			n, pending := s.e.Count(m.Lo, m.Hi)
+			if pending == 0 {
+				s.mu.Unlock()
+				r := rpc.OKReply(m.Seq)
+				r.Count = int64(n)
+				return r
+			}
+			s.waitLoadsLocked()
+			s.mu.Unlock()
+		}
+
+	case rpc.MsgAddJoin:
+		s.mu.Lock()
+		err := s.e.InstallText(m.Text)
+		s.mu.Unlock()
+		if err != nil {
+			return rpc.ErrReply(m.Seq, err)
+		}
+		return rpc.OKReply(m.Seq)
+
+	case rpc.MsgNotify:
+		// Change batch from a peer (home-server subscription push) or
+		// from a write-around database feed: apply as base writes.
+		s.ApplyChanges(m.Changes)
+		return nil // one-way
+
+	case rpc.MsgStat:
+		r := rpc.OKReply(m.Seq)
+		r.Value = s.statJSON()
+		return r
+
+	case rpc.MsgFlush:
+		s.mu.Lock()
+		// Rebuild the engine preserving configuration: used by benches to
+		// reset between runs.
+		s.mu.Unlock()
+		return rpc.ErrReply(m.Seq, errors.New("flush unsupported; restart the server"))
+
+	case rpc.MsgSetSubtable:
+		s.mu.Lock()
+		s.e.SetSubtableDepth(m.Table, m.Depth)
+		s.mu.Unlock()
+		return rpc.OKReply(m.Seq)
+	}
+	return rpc.ErrReply(m.Seq, errors.New("unknown request"))
+}
+
+// waitLoadsLocked blocks (holding s.mu via the cond) until some async
+// load completes, then lets the caller retry — the iterative evaluation
+// of §3.3.
+func (s *Server) waitLoadsLocked() {
+	gen := s.e.LoadGen()
+	for s.e.LoadGen() == gen {
+		s.loadCond.Wait()
+	}
+}
+
+// ApplyChanges applies replicated changes (thread-safe).
+func (s *Server) ApplyChanges(changes []rpc.Change) {
+	s.mu.Lock()
+	for _, c := range changes {
+		if c.Op == rpc.ChangeRemove {
+			s.e.Remove(c.Key)
+		} else {
+			s.e.Put(c.Key, c.Value)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// --- connection ---
+
+type conn struct {
+	s  *Server
+	c  net.Conn
+	bw *bufio.Writer
+
+	wmu     sync.Mutex // guards bw
+	scratch []byte
+
+	// Scan result buffers, reused across this connection's requests:
+	// request handling is sequential per connection and the reply is
+	// fully encoded before the next request is read, so reuse is safe.
+	kvBuf    []core.KV
+	rpcKVBuf []rpc.KV
+
+	// notify queue drained by the notifier goroutine
+	nmu     sync.Mutex
+	ncond   *sync.Cond
+	nqueue  []rpc.Change
+	nclosed bool
+
+	subEntries []*interval.Entry[*subscription]
+}
+
+func newConn(s *Server, c net.Conn) *conn {
+	cn := &conn{s: s, c: c, bw: bufio.NewWriterSize(c, 64<<10)}
+	cn.ncond = sync.NewCond(&cn.nmu)
+	return cn
+}
+
+func (cn *conn) serve() {
+	defer cn.s.connWG.Done()
+	defer cn.s.dropConn(cn)
+	defer cn.close()
+	go cn.notifyLoop()
+	br := bufio.NewReaderSize(cn.c, 64<<10)
+	var scratch []byte
+	for {
+		m, sc, err := rpc.ReadMessage(br, scratch)
+		if err != nil {
+			return
+		}
+		scratch = sc
+		if r := cn.s.handle(cn, m); r != nil {
+			// Batch flushes across pipelined requests: only force bytes
+			// out when the input buffer has drained, so a burst of
+			// pipelined requests costs one write syscall, not one per
+			// reply.
+			if err := cn.write(r, br.Buffered() == 0); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// write sends a frame, flushing when requested (end of a pipelined
+// burst) — the notifier goroutine always flushes its own pushes.
+func (cn *conn) write(m *rpc.Message, flush bool) error {
+	cn.wmu.Lock()
+	defer cn.wmu.Unlock()
+	var err error
+	cn.scratch, err = rpc.WriteMessage(cn.bw, m, cn.scratch)
+	if err != nil {
+		return err
+	}
+	if flush {
+		return cn.bw.Flush()
+	}
+	return nil
+}
+
+// pushNotify enqueues a subscription push (called with s.mu held; must
+// not block).
+func (cn *conn) pushNotify(c rpc.Change) {
+	cn.nmu.Lock()
+	cn.nqueue = append(cn.nqueue, c)
+	cn.nmu.Unlock()
+	cn.ncond.Signal()
+}
+
+// notifyLoop drains the notify queue into batched MsgNotify frames —
+// asynchronous update propagation, the source of Pequod's eventual
+// consistency (§2.4).
+func (cn *conn) notifyLoop() {
+	for {
+		cn.nmu.Lock()
+		for len(cn.nqueue) == 0 && !cn.nclosed {
+			cn.ncond.Wait()
+		}
+		if cn.nclosed && len(cn.nqueue) == 0 {
+			cn.nmu.Unlock()
+			return
+		}
+		batch := cn.nqueue
+		cn.nqueue = nil
+		cn.nmu.Unlock()
+		if err := cn.write(&rpc.Message{Type: rpc.MsgNotify, Changes: batch}, true); err != nil {
+			return
+		}
+	}
+}
+
+func (cn *conn) close() {
+	cn.nmu.Lock()
+	cn.nclosed = true
+	cn.nmu.Unlock()
+	cn.ncond.Signal()
+	cn.c.Close()
+}
+
+// --- remote loader (distributed deployments) ---
+
+// remoteLoader fetches missing base ranges from home servers over peer
+// connections, subscribing for future updates (§2.4, §3.3).
+type remoteLoader struct {
+	s     *Server
+	peers []*client.Client
+	pmap  *partition.Map
+}
+
+// ConnectPeers wires this server to its home servers: pmap maps key
+// ranges to indexes in addrs, and tables lists the loader-backed base
+// tables. Incoming subscription pushes apply as base writes.
+func (s *Server) ConnectPeers(pmap *partition.Map, addrs []string, tables ...string) error {
+	peers := make([]*client.Client, len(addrs))
+	for i, a := range addrs {
+		c, err := client.Dial(a)
+		if err != nil {
+			return err
+		}
+		c.OnNotify = func(changes []rpc.Change) {
+			s.ApplyChanges(changes)
+			s.mu.Lock()
+			s.loadCond.Broadcast()
+			s.mu.Unlock()
+		}
+		peers[i] = c
+	}
+	s.peers = peers
+	s.e.SetLoader(&remoteLoader{s: s, peers: peers, pmap: pmap}, tables...)
+	return nil
+}
+
+// StartLoad implements core.BaseLoader: fetch each shard from its home
+// server with a subscription, then deliver to the engine.
+func (l *remoteLoader) StartLoad(table string, r keys.Range) {
+	shards := l.pmap.Split(r)
+	go func() {
+		var kvs []core.KV
+		futs := make([]*client.Future, len(shards))
+		for i, sh := range shards {
+			futs[i] = l.peers[sh.Owner].ScanAsync(sh.R.Lo, sh.R.Hi, 0, true)
+		}
+		for _, f := range futs {
+			m, err := f.Wait()
+			if err != nil || m.Status != rpc.StatusOK {
+				continue // the range stays pending-free but absent; a
+				// retry will refetch
+			}
+			for _, kv := range m.KVs {
+				kvs = append(kvs, core.KV{Key: kv.Key, Value: kv.Value})
+			}
+		}
+		l.s.mu.Lock()
+		l.s.e.LoadComplete(table, r, kvs)
+		l.s.loadCond.Broadcast()
+		l.s.mu.Unlock()
+	}()
+}

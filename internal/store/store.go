@@ -1,0 +1,398 @@
+// Package store implements Pequod's ordered key-value store (§4): a
+// layered arrangement of red-black trees visible to clients as a single
+// ordered keyspace.
+//
+// The first layer separates logical tables (the prefix before the first
+// '|'), "separating concerns for different ranges" as Fig 6 shows. Tables
+// may be subdivided into subtables at developer-marked component
+// boundaries; a hash index lets operations that lie entirely within a
+// subtable jump to it in O(1) instead of O(log N), while cross-boundary
+// scans still execute in full key order (§4.1).
+//
+// Values are reference-counted (§4.3): the copy operator can install the
+// same *Value under many output keys, and the store's memory accounting
+// counts each shared payload once. The engine decides whether to share;
+// the store only tracks references.
+//
+// Ordering caveat: the single-ordered-keyspace guarantee assumes table
+// names are prefix-free (no table name is a proper prefix of another),
+// which every Pequod application in the paper satisfies. Subtable
+// boundary prefixes are prefix-free by construction.
+package store
+
+import (
+	"pequod/internal/keys"
+	"pequod/internal/rbtree"
+)
+
+// Approximate per-object memory overheads used for accounting, sized to
+// the real footprint of the Go structures (tree node + headers). Absolute
+// bytes matter less than relative movement for the §4 ablations.
+const (
+	nodeOverhead     = 96  // tree node, pointers, color, key header
+	valueOverhead    = 24  // Value struct + string header
+	subtableOverhead = 512 // subtable tree + hash index slot + prefix copy
+)
+
+// Value is a reference-counted string value (§4.3). A Value may be
+// installed under many keys; the store counts its payload bytes once.
+// Values are not safe for concurrent mutation — Pequod engines are
+// single-writer, as in the paper.
+type Value struct {
+	s    string
+	refs int32
+}
+
+// NewValue returns a fresh, unshared value.
+func NewValue(s string) *Value { return &Value{s: s} }
+
+// String returns the value's contents.
+func (v *Value) String() string { return v.s }
+
+// Len returns the payload length in bytes.
+func (v *Value) Len() int { return len(v.s) }
+
+// Refs returns the current reference count (for tests and stats).
+func (v *Value) Refs() int { return int(v.refs) }
+
+// node is the concrete tree node type.
+type node = rbtree.Node[*Value]
+
+// Hint is an output hint (§4.2): a pointer to the last key a join status
+// range updated, enabling O(1) amortized inserts of the common
+// "immediately after the previous update" case. Hints stay usable across
+// deletions because the underlying tree never relocates payloads; a dead
+// node simply downgrades the hinted insert to a normal one.
+type Hint struct {
+	node *node
+	tree *rbtree.Tree[*Value]
+}
+
+// Valid reports whether the hint still points at a live node.
+func (h *Hint) Valid() bool { return h != nil && h.node != nil && !h.node.Dead() }
+
+// subtable is one hash-indexed shard of a table.
+type subtable struct {
+	prefix string
+	tree   rbtree.Tree[*Value]
+}
+
+// Table is one logical table: a named subtree of the store.
+type Table struct {
+	name  string
+	depth int // subtable boundary depth in components; 0 = no subtables
+
+	tree     rbtree.Tree[*Value]  // used when depth == 0
+	subs     map[string]*subtable // hash index over subtables (§4.1)
+	subOrder rbtree.Tree[*subtable]
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Len returns the number of keys in the table.
+func (t *Table) Len() int {
+	if t.depth == 0 {
+		return t.tree.Len()
+	}
+	n := 0
+	t.subOrder.Ascend("", "", func(sn *rbtree.Node[*subtable]) bool {
+		n += sn.Val.tree.Len()
+		return true
+	})
+	return n
+}
+
+// treeFor returns the tree holding key, creating the subtable if asked.
+func (t *Table) treeFor(key string, create bool) *rbtree.Tree[*Value] {
+	if t.depth == 0 {
+		return &t.tree
+	}
+	pfx := keys.Prefix(key, t.depth)
+	sub := t.subs[pfx]
+	if sub == nil {
+		if !create {
+			return nil
+		}
+		sub = &subtable{prefix: pfx}
+		t.subs[pfx] = sub
+		t.subOrder.Insert(pfx, sub)
+	}
+	return &sub.tree
+}
+
+// Store is the full layered store. It is not safe for concurrent use; the
+// engine (like the paper's single-threaded server) serializes access.
+type Store struct {
+	tables map[string]*Table
+	order  rbtree.Tree[*Table]
+
+	bytes   int64
+	entries int
+
+	// SubtableDepths configures tables to be created with subtable
+	// boundaries; see SetSubtableDepth.
+	depths map[string]int
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		tables: make(map[string]*Table),
+		depths: make(map[string]int),
+	}
+}
+
+// SetSubtableDepth marks a natural key boundary for a table (§4.1): keys
+// are sharded into hash-indexed subtables on their first depth
+// components. Existing table contents are re-sharded, so the call is
+// valid at any time, though it is cheapest before data arrives.
+func (s *Store) SetSubtableDepth(table string, depth int) {
+	if depth < 0 {
+		depth = 0
+	}
+	s.depths[table] = depth
+	t := s.tables[table]
+	if t == nil || t.depth == depth {
+		return
+	}
+	// Re-shard: collect and reinsert. Memory accounting for entries is
+	// unchanged (same keys and values); subtable overhead adjusts.
+	type kv struct {
+		k string
+		v *Value
+	}
+	var all []kv
+	s.scanTable(t, "", "", func(k string, v *Value) bool {
+		all = append(all, kv{k, v})
+		return true
+	})
+	s.bytes -= int64(len(t.subs)) * subtableOverhead
+	t.depth = depth
+	t.tree = rbtree.Tree[*Value]{}
+	t.subs = nil
+	t.subOrder = rbtree.Tree[*subtable]{}
+	if depth > 0 {
+		t.subs = make(map[string]*subtable)
+	}
+	before := len(t.subs)
+	for _, e := range all {
+		t.treeFor(e.k, true).Insert(e.k, e.v)
+	}
+	s.bytes += int64(len(t.subs)-before) * subtableOverhead
+}
+
+// table returns the Table for key, creating it if asked.
+func (s *Store) table(key string, create bool) *Table {
+	name := keys.Table(key)
+	t := s.tables[name]
+	if t == nil && create {
+		t = &Table{name: name, depth: s.depths[name]}
+		if t.depth > 0 {
+			t.subs = make(map[string]*subtable)
+		}
+		s.tables[name] = t
+		s.order.Insert(name, t)
+	}
+	return t
+}
+
+// Table returns the named table, or nil.
+func (s *Store) Table(name string) *Table { return s.tables[name] }
+
+// Tables calls fn for each table in name order.
+func (s *Store) Tables(fn func(t *Table) bool) {
+	s.order.Ascend("", "", func(n *rbtree.Node[*Table]) bool { return fn(n.Val) })
+}
+
+// retain/release maintain shared-value accounting (§4.3).
+func (s *Store) retain(v *Value) {
+	if v.refs == 0 {
+		s.bytes += int64(v.Len()) + valueOverhead
+	}
+	v.refs++
+}
+
+func (s *Store) release(v *Value) {
+	v.refs--
+	if v.refs == 0 {
+		s.bytes -= int64(v.Len()) + valueOverhead
+	}
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(key string) (*Value, bool) {
+	t := s.table(key, false)
+	if t == nil {
+		return nil, false
+	}
+	tr := t.treeFor(key, false)
+	if tr == nil {
+		return nil, false
+	}
+	n := tr.Find(key)
+	if n == nil {
+		return nil, false
+	}
+	return n.Val, true
+}
+
+// Put installs v under key, replacing and returning any previous value.
+// The store takes a reference on v and drops one on the replaced value.
+func (s *Store) Put(key string, v *Value) (old *Value) {
+	old, _ = s.putIn(key, v, nil)
+	return old
+}
+
+// PutHint is Put through an output hint (§4.2). The hint is updated to
+// point at the written node; pass the same Hint on consecutive calls to
+// get O(1) amortized appends. A nil hint behaves like Put.
+func (s *Store) PutHint(key string, v *Value, h *Hint) (old *Value) {
+	old, _ = s.putIn(key, v, h)
+	return old
+}
+
+func (s *Store) putIn(key string, v *Value, h *Hint) (old *Value, n *node) {
+	t := s.table(key, true)
+	var subsBefore int
+	if t.depth > 0 {
+		subsBefore = len(t.subs)
+	}
+	tr := t.treeFor(key, true)
+	if t.depth > 0 && len(t.subs) != subsBefore {
+		s.bytes += subtableOverhead
+	}
+	var existed bool
+	if h != nil && h.tree == tr && h.Valid() {
+		n, existed = tr.InsertAfterHint(h.node, key, v)
+	} else {
+		// A hint pointing into a different subtable (or a dead node)
+		// cannot be used; the tree insert would corrupt structure.
+		n, existed = tr.Insert(key, v)
+	}
+	if h != nil {
+		h.node, h.tree = n, tr
+	}
+	if existed {
+		old = n.Val
+		n.Val = v
+	} else {
+		s.entries++
+		s.bytes += int64(len(key)) + nodeOverhead
+	}
+	// Retain before releasing so re-putting the same Value never drops
+	// its refcount to zero transiently.
+	s.retain(v)
+	if old != nil {
+		s.release(old)
+	}
+	return old, n
+}
+
+// Remove deletes key, returning the removed value.
+func (s *Store) Remove(key string) (*Value, bool) {
+	t := s.table(key, false)
+	if t == nil {
+		return nil, false
+	}
+	tr := t.treeFor(key, false)
+	if tr == nil {
+		return nil, false
+	}
+	n := tr.Find(key)
+	if n == nil {
+		return nil, false
+	}
+	v := n.Val
+	tr.Delete(n)
+	s.entries--
+	s.bytes -= int64(len(key)) + nodeOverhead
+	s.release(v)
+	return v, true
+}
+
+// scanTable iterates one table's keys in [lo, hi).
+func (s *Store) scanTable(t *Table, lo, hi string, fn func(k string, v *Value) bool) bool {
+	if t.depth == 0 {
+		ok := true
+		t.tree.Ascend(lo, hi, func(n *node) bool {
+			ok = fn(n.Key(), n.Val)
+			return ok
+		})
+		return ok
+	}
+	start := keys.Prefix(lo, t.depth)
+	ok := true
+	t.subOrder.Ascend(start, "", func(sn *rbtree.Node[*subtable]) bool {
+		sub := sn.Val
+		if hi != "" && sub.prefix >= hi {
+			return false
+		}
+		sub.tree.Ascend(lo, hi, func(n *node) bool {
+			ok = fn(n.Key(), n.Val)
+			return ok
+		})
+		return ok
+	})
+	return ok
+}
+
+// Scan calls fn for every key in [lo, hi) in ascending order (hi == ""
+// means unbounded), stopping early if fn returns false.
+func (s *Store) Scan(lo, hi string, fn func(k string, v *Value) bool) {
+	startTable := keys.Table(lo)
+	s.order.Ascend(startTable, "", func(n *rbtree.Node[*Table]) bool {
+		t := n.Val
+		if hi != "" && t.name >= hi {
+			return false
+		}
+		return s.scanTable(t, lo, hi, fn)
+	})
+}
+
+// CountRange returns the number of keys in [lo, hi).
+func (s *Store) CountRange(lo, hi string) int {
+	c := 0
+	s.Scan(lo, hi, func(string, *Value) bool { c++; return true })
+	return c
+}
+
+// RemoveRange deletes every key in [lo, hi), invoking fn (if non-nil) for
+// each removed pair, and returns the number removed. Used by eviction and
+// invalidation.
+func (s *Store) RemoveRange(lo, hi string, fn func(k string, v *Value)) int {
+	type kv struct {
+		k string
+		v *Value
+	}
+	var doomed []kv
+	s.Scan(lo, hi, func(k string, v *Value) bool {
+		doomed = append(doomed, kv{k, v})
+		return true
+	})
+	for _, e := range doomed {
+		s.Remove(e.k)
+		if fn != nil {
+			fn(e.k, e.v)
+		}
+	}
+	return len(doomed)
+}
+
+// Len returns the total number of keys.
+func (s *Store) Len() int { return s.entries }
+
+// Bytes returns the store's approximate memory footprint, counting shared
+// value payloads once (§4.3).
+func (s *Store) Bytes() int64 { return s.bytes }
+
+// SubtableCount reports the number of subtables in a table (0 if the
+// table has no boundary configured or doesn't exist); used by the §4.1
+// ablation to report bookkeeping overhead.
+func (s *Store) SubtableCount(table string) int {
+	t := s.tables[table]
+	if t == nil {
+		return 0
+	}
+	return len(t.subs)
+}

@@ -1,0 +1,371 @@
+package twip
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pequod/internal/baselines/sqlsim"
+	"pequod/internal/client"
+	"pequod/internal/keys"
+	"pequod/internal/partition"
+	"pequod/internal/rpc"
+)
+
+// Backend abstracts the systems under comparison in Figure 7 (§5.2): the
+// identical Twip workload drives each implementation through this
+// interface. Implementations must be safe for concurrent use by the
+// runner's workers.
+type Backend interface {
+	Name() string
+	// Subscribe makes user follow poster (with timeline backfill where
+	// the system requires client-side maintenance).
+	Subscribe(user, poster int32) error
+	// Post publishes a tweet at logical time ts.
+	Post(poster int32, ts int64, text string) error
+	// Check reads user's timeline entries with time >= since, returning
+	// the entry count. login distinguishes §5.1's initial scans.
+	Check(user int32, since int64, login bool) (int, error)
+}
+
+// shard routes user-owned keys to one of n servers (the Twip S(u)
+// affinity function, §2.4).
+func shard(owner int32, n int) int {
+	return partition.UserShard(UserID(owner), n)
+}
+
+// --- Pequod (server-side cache joins) ---
+
+// PequodBackend drives real Pequod servers: timelines are produced by the
+// timeline cache join; the client writes base data and scans timelines.
+type PequodBackend struct {
+	Clients []*client.Client // one per server, timelines partitioned by user
+}
+
+// Name implements Backend.
+func (b *PequodBackend) Name() string { return "Pequod" }
+
+// Subscribe writes the subscription row; the cache join does the rest.
+func (b *PequodBackend) Subscribe(user, poster int32) error {
+	c := b.Clients[shard(user, len(b.Clients))]
+	return c.Put(keys.Join("s", UserID(user), UserID(poster)), "1")
+}
+
+// Post writes the post. Timelines are partitioned by user across
+// servers, so each server needs the post visible for its local joins: the
+// put is broadcast ("a popular user's tweets are copied to all servers",
+// §2.4 — with look-aside clients the copy happens at write time).
+func (b *PequodBackend) Post(poster int32, ts int64, text string) error {
+	key := keys.Join("p", UserID(poster), TimeID(ts))
+	futs := make([]*client.Future, len(b.Clients))
+	for i, c := range b.Clients {
+		futs[i] = c.PutAsync(key, text)
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Check scans the timeline range [t|u|since, t|u|+).
+func (b *PequodBackend) Check(user int32, since int64, login bool) (int, error) {
+	c := b.Clients[shard(user, len(b.Clients))]
+	u := UserID(user)
+	lo := keys.Join("t", u, TimeID(since))
+	kvs, err := c.Scan(lo, keys.RangeEnd("t", u), 0)
+	return len(kvs), err
+}
+
+// --- Client Pequod (no joins; clients maintain timelines) ---
+
+// ClientPequodBackend uses the same Pequod servers with no cache joins
+// installed: "After making a post, the posting client sends a timeline
+// update for every subscribed user" (§5.2). It isolates the performance
+// impact of server-managed computation.
+type ClientPequodBackend struct {
+	Clients []*client.Client
+}
+
+// Name implements Backend.
+func (b *ClientPequodBackend) Name() string { return "Client Pequod" }
+
+// Subscribe records the edge plus a reverse index, then backfills the
+// user's timeline from the poster's history — all client work.
+func (b *ClientPequodBackend) Subscribe(user, poster int32) error {
+	n := len(b.Clients)
+	u, p := UserID(user), UserID(poster)
+	uc := b.Clients[shard(user, n)]
+	pc := b.Clients[shard(poster, n)]
+	f1 := uc.PutAsync(keys.Join("s", u, p), "1")
+	f2 := pc.PutAsync(keys.Join("rs", p, u), "1")
+	posts, err := pc.Scan(keys.Join("p", p)+"|", keys.RangeEnd("p", p), 0)
+	if err != nil {
+		return err
+	}
+	futs := make([]*client.Future, 0, len(posts))
+	for _, kv := range posts {
+		ts := keys.Split(kv.Key)[2]
+		futs = append(futs, uc.PutAsync(keys.Join("t", u, ts, p), kv.Value))
+	}
+	for _, f := range append(futs, f1, f2) {
+		if _, err := f.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Post writes the post, reads the follower list, and fans the tweet out
+// to every follower's timeline — one RPC per follower.
+func (b *ClientPequodBackend) Post(poster int32, ts int64, text string) error {
+	n := len(b.Clients)
+	p := UserID(poster)
+	pc := b.Clients[shard(poster, n)]
+	if err := pc.Put(keys.Join("p", p, TimeID(ts)), text); err != nil {
+		return err
+	}
+	followers, err := pc.Scan(keys.Join("rs", p)+"|", keys.RangeEnd("rs", p), 0)
+	if err != nil {
+		return err
+	}
+	futs := make([]*client.Future, 0, len(followers))
+	for _, kv := range followers {
+		f := keys.Split(kv.Key)[2]
+		fc := b.Clients[partition.UserShard(f, n)]
+		futs = append(futs, fc.PutAsync(keys.Join("t", f, TimeID(ts), p), text))
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Check scans the client-maintained timeline.
+func (b *ClientPequodBackend) Check(user int32, since int64, login bool) (int, error) {
+	c := b.Clients[shard(user, len(b.Clients))]
+	u := UserID(user)
+	kvs, err := c.Scan(keys.Join("t", u, TimeID(since)), keys.RangeEnd("t", u), 0)
+	return len(kvs), err
+}
+
+// --- Redis-like (sorted-set timelines, client-managed) ---
+
+// RedisBackend drives redisim servers: "Redis stores timelines as sorted
+// sets of tweets" with client-side fan-out (§5.2).
+type RedisBackend struct {
+	Clients []*client.Client
+}
+
+// Name implements Backend.
+func (b *RedisBackend) Name() string { return "Redis" }
+
+func zmember(poster int32, ts int64, text string) string {
+	return TimeID(ts) + "|" + UserID(poster) + "|" + text
+}
+
+// Subscribe adds to the follower set and backfills from the poster's
+// post zset.
+func (b *RedisBackend) Subscribe(user, poster int32) error {
+	n := len(b.Clients)
+	u, p := UserID(user), UserID(poster)
+	pc := b.Clients[shard(poster, n)]
+	uc := b.Clients[shard(user, n)]
+	if _, err := pc.Command("SADD", "followers:"+p, u); err != nil {
+		return err
+	}
+	m, err := pc.Command("ZRANGEBYSCORE", "posts:"+p, "-inf", "+inf")
+	if err != nil {
+		return err
+	}
+	futs := make([]*client.Future, 0, len(m.KVs))
+	for _, kv := range m.KVs {
+		futs = append(futs, uc.CommandAsync("ZADD", "tl:"+u, kv.Key, kv.Value))
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Post appends to the poster's zset and fans out to follower timelines.
+func (b *RedisBackend) Post(poster int32, ts int64, text string) error {
+	n := len(b.Clients)
+	p := UserID(poster)
+	pc := b.Clients[shard(poster, n)]
+	member := zmember(poster, ts, text)
+	score := strconv.FormatInt(ts, 10)
+	if _, err := pc.Command("ZADD", "posts:"+p, score, member); err != nil {
+		return err
+	}
+	m, err := pc.Command("SMEMBERS", "followers:"+p)
+	if err != nil {
+		return err
+	}
+	futs := make([]*client.Future, 0, len(m.KVs))
+	for _, kv := range m.KVs {
+		fc := b.Clients[partition.UserShard(kv.Key, n)]
+		futs = append(futs, fc.CommandAsync("ZADD", "tl:"+kv.Key, score, member))
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Check reads the timeline zset by score range.
+func (b *RedisBackend) Check(user int32, since int64, login bool) (int, error) {
+	c := b.Clients[shard(user, len(b.Clients))]
+	m, err := c.Command("ZRANGEBYSCORE", "tl:"+UserID(user), strconv.FormatInt(since, 10), "+inf")
+	if err != nil {
+		return 0, err
+	}
+	return len(m.KVs), nil
+}
+
+// --- memcached-like (string timelines, client-managed) ---
+
+// MemcachedBackend drives memsim servers: timelines are strings "to which
+// tweets are appended"; checks reread and parse the whole string (§5.2).
+type MemcachedBackend struct {
+	Clients []*client.Client
+}
+
+// Name implements Backend.
+func (b *MemcachedBackend) Name() string { return "memcached" }
+
+func record(poster int32, ts int64, text string) string {
+	return TimeID(ts) + "|" + UserID(poster) + "|" + text + "\n"
+}
+
+// Subscribe appends to the follower list and backfills the timeline.
+func (b *MemcachedBackend) Subscribe(user, poster int32) error {
+	n := len(b.Clients)
+	u, p := UserID(user), UserID(poster)
+	pc := b.Clients[shard(poster, n)]
+	uc := b.Clients[shard(user, n)]
+	if _, err := pc.Command("append", "fl:"+p, u+","); err != nil {
+		return err
+	}
+	m, err := pc.Command("get", "posts:"+p)
+	if err != nil {
+		return err
+	}
+	if m.Value != "" {
+		if _, err := uc.Command("append", "tl:"+u, m.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Post appends the record and fans out to each follower's string.
+func (b *MemcachedBackend) Post(poster int32, ts int64, text string) error {
+	n := len(b.Clients)
+	p := UserID(poster)
+	pc := b.Clients[shard(poster, n)]
+	rec := record(poster, ts, text)
+	if _, err := pc.Command("append", "posts:"+p, rec); err != nil {
+		return err
+	}
+	m, err := pc.Command("get", "fl:"+p)
+	if err != nil {
+		return err
+	}
+	var futs []*client.Future
+	seen := map[string]bool{}
+	for _, f := range strings.Split(m.Value, ",") {
+		if f == "" || seen[f] {
+			continue // real memcached clients dedupe their follower list
+		}
+		seen[f] = true
+		fc := b.Clients[partition.UserShard(f, n)]
+		futs = append(futs, fc.CommandAsync("append", "tl:"+f, rec))
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Check rereads the whole timeline string and filters client-side —
+// memcached has no range reads.
+func (b *MemcachedBackend) Check(user int32, since int64, login bool) (int, error) {
+	c := b.Clients[shard(user, len(b.Clients))]
+	m, err := c.Command("get", "tl:"+UserID(user))
+	if err != nil {
+		return 0, err
+	}
+	cutoff := TimeID(since)
+	count := 0
+	for _, line := range strings.Split(m.Value, "\n") {
+		if len(line) >= 10 && line[:10] >= cutoff {
+			count++
+		}
+	}
+	return count, nil
+}
+
+// --- PostgreSQL-like (trigger-maintained timelines) ---
+
+// PostgresBackend drives the sqlsim Twip profile with real SQL text:
+// server-side timeline maintenance via triggers, the paper's stand-in
+// for materialized views. Every operation is a statement the server
+// parses, plans, and executes.
+type PostgresBackend struct {
+	Client *client.Client // single database instance, as in §5.2
+}
+
+// Name implements Backend.
+func (b *PostgresBackend) Name() string { return "PostgreSQL" }
+
+func (b *PostgresBackend) sql(stmt string) (*rpc.Message, error) {
+	return b.Client.Command("SQL", stmt)
+}
+
+// Subscribe inserts the subscription row; the trigger backfills.
+func (b *PostgresBackend) Subscribe(user, poster int32) error {
+	_, err := b.sql("INSERT INTO subs VALUES (" +
+		sqlsim.Quote(UserID(user)) + ", " + sqlsim.Quote(UserID(poster)) + ")")
+	return err
+}
+
+// Post inserts the post row; the trigger fans out.
+func (b *PostgresBackend) Post(poster int32, ts int64, text string) error {
+	_, err := b.sql("INSERT INTO posts VALUES (" +
+		sqlsim.Quote(UserID(poster)) + ", " + sqlsim.Quote(TimeID(ts)) + ", " + sqlsim.Quote(text) + ")")
+	return err
+}
+
+// Check selects the timeline index range — the §2.1 query.
+func (b *PostgresBackend) Check(user int32, since int64, login bool) (int, error) {
+	m, err := b.sql("SELECT * FROM timelines WHERE user = " + sqlsim.Quote(UserID(user)) +
+		" AND time >= " + sqlsim.Quote(TimeID(since)) + " ORDER BY time")
+	if err != nil {
+		return 0, err
+	}
+	return len(m.KVs), nil
+}
+
+// ensure interface conformance
+var (
+	_ Backend = (*PequodBackend)(nil)
+	_ Backend = (*ClientPequodBackend)(nil)
+	_ Backend = (*RedisBackend)(nil)
+	_ Backend = (*MemcachedBackend)(nil)
+	_ Backend = (*PostgresBackend)(nil)
+)
+
+// Describe returns a one-line summary for experiment logs.
+func Describe(b Backend, servers int) string {
+	return fmt.Sprintf("%s (%d server(s))", b.Name(), servers)
+}

@@ -1,0 +1,131 @@
+// Package twip implements the paper's Twitter-like example application
+// (§2.1, §5.1): the social graph, the operation mix, the cache joins, and
+// pluggable backends so the identical workload drives Pequod, client
+// Pequod, and the §5.2 comparison systems.
+package twip
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Graph is a synthetic follower graph standing in for the 2009 Twitter
+// crawl (see DESIGN.md §4): follower counts follow a Zipf-like power law,
+// reproducing the heavy tail that drives updater fan-out, celebrity
+// behavior, and log-proportional post rates.
+type Graph struct {
+	Users int
+	// Following[u] lists the posters u subscribes to (sorted, unique).
+	Following [][]int32
+	// Followers[p] lists the users subscribed to p (sorted, unique).
+	Followers [][]int32
+
+	// postCDF is the cumulative post-probability distribution: "The
+	// probability that a user posts a message is proportional to the log
+	// of their follower count" (§5.1).
+	postCDF []float64
+}
+
+// UserID renders a user index as its fixed-width key component; fixed
+// width keeps slot values prefix-free (see package pattern).
+func UserID(i int32) string { return fmt.Sprintf("u%07d", i) }
+
+// TimeID renders a logical timestamp fixed-width so timelines sort by
+// time lexicographically.
+func TimeID(t int64) string { return fmt.Sprintf("%010d", t) }
+
+// Generate builds a graph with the given user and edge count,
+// deterministically from seed.
+func Generate(users, edges int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Graph{
+		Users:     users,
+		Following: make([][]int32, users),
+		Followers: make([][]int32, users),
+	}
+	// Popularity via Zipf over a permuted ID space so popular users are
+	// scattered across the partitioned keyspace.
+	zipf := rand.NewZipf(rng, 1.3, 4, uint64(users-1))
+	perm := rng.Perm(users)
+
+	type edge struct{ u, p int32 }
+	seen := make(map[edge]bool, edges)
+	for len(seen) < edges {
+		u := int32(rng.Intn(users))
+		p := int32(perm[zipf.Uint64()])
+		if u == p {
+			continue
+		}
+		e := edge{u, p}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		g.Following[u] = append(g.Following[u], p)
+		g.Followers[p] = append(g.Followers[p], u)
+	}
+	for i := range g.Following {
+		sortInt32(g.Following[i])
+		sortInt32(g.Followers[i])
+	}
+	g.buildPostCDF()
+	return g
+}
+
+func sortInt32(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func (g *Graph) buildPostCDF() {
+	g.postCDF = make([]float64, g.Users)
+	sum := 0.0
+	for i := 0; i < g.Users; i++ {
+		w := math.Log(1 + float64(len(g.Followers[i])))
+		if w < 0.01 {
+			w = 0.01 // users with no followers still tweet occasionally
+		}
+		sum += w
+		g.postCDF[i] = sum
+	}
+}
+
+// SamplePoster picks a poster with probability proportional to the log of
+// their follower count (§5.1).
+func (g *Graph) SamplePoster(rng *rand.Rand) int32 {
+	x := rng.Float64() * g.postCDF[g.Users-1]
+	return int32(sort.SearchFloat64s(g.postCDF, x))
+}
+
+// Celebrities returns the users with at least minFollowers followers, for
+// the §2.3 celebrity-join experiments.
+func (g *Graph) Celebrities(minFollowers int) []int32 {
+	var out []int32
+	for i := 0; i < g.Users; i++ {
+		if len(g.Followers[i]) >= minFollowers {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// Edges returns the total relationship count.
+func (g *Graph) Edges() int {
+	n := 0
+	for _, f := range g.Following {
+		n += len(f)
+	}
+	return n
+}
+
+// MaxFollowers reports the largest follower count (tail heaviness check).
+func (g *Graph) MaxFollowers() int {
+	m := 0
+	for _, f := range g.Followers {
+		if len(f) > m {
+			m = len(f)
+		}
+	}
+	return m
+}

@@ -1,0 +1,177 @@
+package twip
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RunResult summarizes one experiment run.
+type RunResult struct {
+	Backend    string
+	Duration   time.Duration
+	Ops        int
+	Checks     int
+	Entries    int64 // timeline entries returned by checks
+	Subs       int
+	Posts      int
+	Logins     int
+	Errors     int64
+	Throughput float64 // ops/sec
+}
+
+func (r RunResult) String() string {
+	return fmt.Sprintf("%-14s %10.3fs  %9d ops  %9.0f ops/s  (%d logins, %d checks, %d subs, %d posts)",
+		r.Backend, r.Duration.Seconds(), r.Ops, r.Throughput, r.Logins, r.Checks, r.Subs, r.Posts)
+}
+
+// LoadGraph installs the subscription graph through the backend (untimed
+// setup). Subscriptions are loaded before historical posts so backfill
+// work is empty for every system, putting all five Figure 7 backends in
+// the same warmed state.
+func LoadGraph(b Backend, g *Graph, workers int) error {
+	return parallelUsers(g.Users, workers, func(u int32) error {
+		for _, p := range g.Following[u] {
+			if err := b.Subscribe(u, p); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// LoadPosts feeds historical posts through the backend (untimed setup;
+// fan-out costs land where each system's design puts them).
+func LoadPosts(b Backend, posts []Op, workers int) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	chunk := (len(posts) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(posts))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(ops []Op) {
+			defer wg.Done()
+			for _, op := range ops {
+				if err := b.Post(op.User, op.Time, op.Text); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(posts[lo:hi])
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+func parallelUsers(users, workers int, fn func(u int32) error) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for u := w; u < users; u += workers {
+				if err := fn(int32(u)); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Run executes the workload to completion as fast as possible (§5.1:
+// "run the workload to completion ... and measure the elapsed time").
+// Workers process interleaved slices of the op stream, keeping many RPCs
+// outstanding like the paper's event-driven clients.
+func Run(b Backend, w *Workload, workers int) (RunResult, error) {
+	res := RunResult{Backend: b.Name(), Ops: len(w.Ops)}
+	for _, op := range w.Ops {
+		switch op.Kind {
+		case OpLogin:
+			res.Logins++
+		case OpCheck:
+			res.Checks++
+		case OpSubscribe:
+			res.Subs++
+		case OpPost:
+			res.Posts++
+		}
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var entries int64
+	var errs int64
+	start := time.Now()
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			var localEntries int64
+			var localErrs int64
+			for i := wk; i < len(w.Ops); i += workers {
+				op := w.Ops[i]
+				var err error
+				switch op.Kind {
+				case OpLogin:
+					var n int
+					n, err = b.Check(op.User, 0, true)
+					localEntries += int64(n)
+				case OpCheck:
+					var n int
+					n, err = b.Check(op.User, op.Since, false)
+					localEntries += int64(n)
+				case OpSubscribe:
+					err = b.Subscribe(op.User, op.Target)
+				case OpPost:
+					err = b.Post(op.User, op.Time, op.Text)
+				}
+				if err != nil {
+					localErrs++
+				}
+			}
+			mu.Lock()
+			entries += localEntries
+			errs += localErrs
+			mu.Unlock()
+		}(wk)
+	}
+	wg.Wait()
+	res.Duration = time.Since(start)
+	res.Entries = entries
+	res.Errors = errs
+	if res.Duration > 0 {
+		res.Throughput = float64(res.Ops) / res.Duration.Seconds()
+	}
+	return res, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,265 @@
+package twip
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pequod/internal/baselines"
+	"pequod/internal/baselines/memsim"
+	"pequod/internal/baselines/redisim"
+	"pequod/internal/baselines/sqlsim"
+	"pequod/internal/client"
+	"pequod/internal/server"
+)
+
+func TestGraphDeterministicAndSkewed(t *testing.T) {
+	g1 := Generate(500, 3000, 42)
+	g2 := Generate(500, 3000, 42)
+	if g1.Edges() != 3000 || g2.Edges() != 3000 {
+		t.Fatalf("edges = %d, %d", g1.Edges(), g2.Edges())
+	}
+	for u := range g1.Following {
+		if len(g1.Following[u]) != len(g2.Following[u]) {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	// Heavy tail: the most-followed user far exceeds the mean.
+	mean := float64(g1.Edges()) / float64(g1.Users)
+	if float64(g1.MaxFollowers()) < 5*mean {
+		t.Fatalf("no heavy tail: max=%d mean=%.1f", g1.MaxFollowers(), mean)
+	}
+	// Follower/following lists are consistent.
+	count := 0
+	for p, fs := range g1.Followers {
+		count += len(fs)
+		for _, u := range fs {
+			found := false
+			for _, q := range g1.Following[u] {
+				if q == int32(p) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatal("follower/following inconsistency")
+			}
+		}
+	}
+	if count != 3000 {
+		t.Fatalf("follower total = %d", count)
+	}
+}
+
+func TestSamplePosterPrefersPopular(t *testing.T) {
+	g := Generate(300, 3000, 7)
+	rngCounts := make([]int, g.Users)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 30000; i++ {
+		rngCounts[g.SamplePoster(rng)]++
+	}
+	// The most-followed user should be sampled more than a friendless one.
+	most, least := 0, 0
+	for u := 1; u < g.Users; u++ {
+		if len(g.Followers[u]) > len(g.Followers[most]) {
+			most = u
+		}
+		if len(g.Followers[u]) < len(g.Followers[least]) {
+			least = u
+		}
+	}
+	if rngCounts[most] <= rngCounts[least] {
+		t.Fatalf("sampling not log-weighted: popular=%d unpopular=%d", rngCounts[most], rngCounts[least])
+	}
+}
+
+func TestWorkloadMix(t *testing.T) {
+	g := Generate(200, 1000, 3)
+	w := GenerateWorkload(g, WorkloadConfig{ActiveFraction: 0.5, ChecksPerUser: 40, Seed: 9})
+	var logins, checks, subs, posts int
+	for _, op := range w.Ops {
+		switch op.Kind {
+		case OpLogin:
+			logins++
+		case OpCheck:
+			checks++
+		case OpSubscribe:
+			subs++
+		case OpPost:
+			posts++
+		}
+	}
+	total := len(w.Ops)
+	frac := func(n int) float64 { return float64(n) / float64(total) }
+	// §5.1 mix (5/85/9/1) within tolerance; forced first-op logins skew
+	// login fraction slightly high.
+	if frac(logins) < 0.03 || frac(logins) > 0.10 {
+		t.Errorf("login fraction %.3f", frac(logins))
+	}
+	if frac(checks) < 0.78 || frac(checks) > 0.90 {
+		t.Errorf("check fraction %.3f", frac(checks))
+	}
+	if frac(subs) < 0.05 || frac(subs) > 0.13 {
+		t.Errorf("subscribe fraction %.3f", frac(subs))
+	}
+	if frac(posts) < 0.002 || frac(posts) > 0.03 {
+		t.Errorf("post fraction %.3f", frac(posts))
+	}
+	// No duplicate subscriptions (cross-backend fairness).
+	type edge struct{ u, p int32 }
+	seen := map[edge]bool{}
+	for u, ps := range g.Following {
+		for _, p := range ps {
+			seen[edge{int32(u), p}] = true
+		}
+	}
+	for _, op := range w.Ops {
+		if op.Kind == OpSubscribe {
+			e := edge{op.User, op.Target}
+			if seen[e] {
+				t.Fatal("duplicate subscription generated")
+			}
+			seen[e] = true
+		}
+	}
+}
+
+// startPequod boots n Pequod servers (with joins unless clientManaged).
+func startPequod(t *testing.T, n int, joins string) []*client.Client {
+	t.Helper()
+	cs := make([]*client.Client, n)
+	for i := 0; i < n; i++ {
+		s, err := server.New(server.Config{Name: fmt.Sprintf("twip%d", i), Joins: joins})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := s.Start()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := client.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close(); s.Close() })
+		cs[i] = c
+	}
+	return cs
+}
+
+func startBaseline(t *testing.T, n int, mk func() baselines.Handler) []*client.Client {
+	t.Helper()
+	cs := make([]*client.Client, n)
+	for i := 0; i < n; i++ {
+		srv := baselines.NewServer(mk())
+		addr, err := srv.Start()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := client.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close(); srv.Close() })
+		cs[i] = c
+	}
+	return cs
+}
+
+// TestAllBackendsAgree is the Figure 7 correctness check: every system,
+// running the identical sequential workload, must return identical
+// timeline entry totals — the comparison then measures speed, not
+// semantics.
+func TestAllBackendsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-system comparison is slow")
+	}
+	g := Generate(150, 900, 11)
+	posts := GeneratePosts(g, 300, 12, 40)
+	w := GenerateWorkload(g, WorkloadConfig{
+		ActiveFraction: 0.4, ChecksPerUser: 8, Seed: 13,
+		StartTime: int64(len(posts)), TweetLen: 40,
+	})
+
+	backends := []Backend{
+		&PequodBackend{Clients: startPequod(t, 2, Joins)},
+		&ClientPequodBackend{Clients: startPequod(t, 2, "")},
+		&RedisBackend{Clients: startBaseline(t, 2, func() baselines.Handler { return redisim.New() })},
+		&MemcachedBackend{Clients: startBaseline(t, 2, func() baselines.Handler { return memsim.New() })},
+		&PostgresBackend{Client: startBaseline(t, 1, func() baselines.Handler { return sqlsim.NewTwip() })[0]},
+	}
+
+	var entryTotals []int64
+	for _, b := range backends {
+		if err := LoadGraph(b, g, 4); err != nil {
+			t.Fatalf("%s: LoadGraph: %v", b.Name(), err)
+		}
+		if err := LoadPosts(b, posts, 4); err != nil {
+			t.Fatalf("%s: LoadPosts: %v", b.Name(), err)
+		}
+		res, err := Run(b, w, 1) // sequential for exact comparability
+		if err != nil {
+			t.Fatalf("%s: Run: %v", b.Name(), err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("%s: %d op errors", b.Name(), res.Errors)
+		}
+		t.Logf("%s", res)
+		entryTotals = append(entryTotals, res.Entries)
+	}
+	for i := 1; i < len(entryTotals); i++ {
+		if entryTotals[i] != entryTotals[0] {
+			t.Fatalf("backend %s returned %d timeline entries, %s returned %d",
+				backends[i].Name(), entryTotals[i], backends[0].Name(), entryTotals[0])
+		}
+	}
+	if entryTotals[0] == 0 {
+		t.Fatal("workload produced no timeline entries; comparison is vacuous")
+	}
+}
+
+func TestPequodBackendConcurrent(t *testing.T) {
+	g := Generate(100, 600, 21)
+	posts := GeneratePosts(g, 200, 22, 30)
+	w := GenerateWorkload(g, WorkloadConfig{
+		ActiveFraction: 0.5, ChecksPerUser: 6, Seed: 23,
+		StartTime: int64(len(posts)), TweetLen: 30,
+	})
+	b := &PequodBackend{Clients: startPequod(t, 2, Joins)}
+	if err := LoadGraph(b, g, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadPosts(b, posts, 8); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(b, w, 8)
+	if err != nil || res.Errors != 0 {
+		t.Fatalf("concurrent run: %v, %d errors", err, res.Errors)
+	}
+	if res.Entries == 0 {
+		t.Fatal("no entries")
+	}
+}
+
+func TestCelebrityJoins(t *testing.T) {
+	// §2.3: celebrity posts go to cp|, reach timelines via the pull join,
+	// and are never materialized.
+	cs := startPequod(t, 1, CelebrityJoins)
+	c := cs[0]
+	if err := c.Put("s|u0000001|u0000009", "1"); err != nil {
+		t.Fatal(err)
+	}
+	c.Put("s|u0000001|u0000002", "1")
+	c.Put("p|u0000002|0000000100", "normal post")
+	c.Put("cp|u0000009|0000000150", "celebrity post")
+	kvs, err := c.Scan("t|u0000001|", "t|u0000001}", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 2 {
+		t.Fatalf("celebrity timeline = %v", kvs)
+	}
+	if kvs[1].Value != "celebrity post" {
+		t.Fatalf("celebrity entry = %v", kvs[1])
+	}
+}

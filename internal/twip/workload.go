@@ -1,0 +1,204 @@
+package twip
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Joins is the Twip cache-join set (§2.2): the timeline join.
+const Joins = "t|<user>|<time:10>|<poster>" +
+	" = check s|<user>|<poster> copy p|<poster>|<time:10>"
+
+// CelebrityJoins is the §2.3 variant: non-celebrity posts flow through
+// the eager timeline join; celebrity posts are stored under cp|, gathered
+// into the time-primary helper range ct|, and joined lazily (pull) at
+// read time to save timeline memory.
+const CelebrityJoins = `
+  ct|<time:10>|<poster> = copy cp|<poster>|<time:10>;
+  t|<user>|<time:10>|<poster> = check s|<user>|<poster> copy p|<poster>|<time:10>;
+  t|<user>|<time:10>|<poster> = pull copy ct|<time:10>|<poster> check s|<user>|<poster>
+`
+
+// OpKind is a workload operation type.
+type OpKind int
+
+// Twip operations, with the §5.1 frequencies: "5% initial timeline scans,
+// 9% new subscriptions, 85% incremental timeline updates, and 1% posts."
+const (
+	OpLogin OpKind = iota // initial timeline scan (many recent tweets)
+	OpCheck               // incremental timeline update
+	OpSubscribe
+	OpPost
+)
+
+// Op is one generated operation. Time carries the logical timestamp for
+// posts; Since carries the lower bound for checks.
+type Op struct {
+	Kind   OpKind
+	User   int32
+	Target int32 // subscription target / poster
+	Time   int64
+	Since  int64
+	Text   string
+}
+
+// Mix describes an operation mix in percent. Login+Check+Subscribe+Post
+// must total 100.
+type Mix struct {
+	Login, Check, Subscribe, Post int
+}
+
+// DefaultMix is the paper's §5.1 mix.
+var DefaultMix = Mix{Login: 5, Check: 85, Subscribe: 9, Post: 1}
+
+// WorkloadConfig parameterizes generation.
+type WorkloadConfig struct {
+	// ActiveFraction is the fraction of users that ever check timelines
+	// (the remainder only exist in the graph), §5.1's 70% default and
+	// Figure 8's sweep variable.
+	ActiveFraction float64
+	// ChecksPerUser is the average number of timeline checks per active
+	// user (50 in §5.1).
+	ChecksPerUser int
+	// Mix is the operation mix (DefaultMix if zero).
+	Mix Mix
+	// Seed makes generation deterministic.
+	Seed int64
+	// StartTime is the first logical post timestamp (pre-population uses
+	// lower times).
+	StartTime int64
+	// TweetLen sizes the synthetic tweet body.
+	TweetLen int
+}
+
+// tweetBody builds a deterministic payload of roughly n bytes.
+func tweetBody(rng *rand.Rand, n int) string {
+	if n <= 0 {
+		n = 100
+	}
+	const words = "pequod cache join timeline fresh tweet scan range key value "
+	var b strings.Builder
+	for b.Len() < n {
+		w := words[rng.Intn(len(words)-8):]
+		if i := strings.IndexByte(w, ' '); i >= 0 {
+			w = w[:i+1]
+		}
+		b.WriteString(w)
+	}
+	return b.String()[:n]
+}
+
+// Workload is a generated operation stream plus bookkeeping.
+type Workload struct {
+	Ops    []Op
+	Active []int32 // active user ids
+	// EndTime is the logical clock after the last post.
+	EndTime int64
+}
+
+// GenerateWorkload produces the §5.1 session-style stream: each active
+// user logs in (initial scan), then performs incremental checks,
+// subscriptions, and posts in the configured mix. Operations from
+// different users interleave round-robin, modeling concurrent sessions.
+func GenerateWorkload(g *Graph, cfg WorkloadConfig) *Workload {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mix := cfg.Mix
+	if mix.Login+mix.Check+mix.Subscribe+mix.Post == 0 {
+		mix = DefaultMix
+	}
+	if cfg.ChecksPerUser == 0 {
+		cfg.ChecksPerUser = 50
+	}
+	nActive := int(float64(g.Users) * cfg.ActiveFraction)
+	if nActive < 1 {
+		nActive = 1
+	}
+	active := make([]int32, 0, nActive)
+	for _, u := range rng.Perm(g.Users)[:nActive] {
+		active = append(active, int32(u))
+	}
+
+	// Track follow edges (static graph plus workload additions) so
+	// generated subscriptions are never duplicates: every backend then
+	// performs identical logical work.
+	follows := make(map[int64]bool)
+	edge := func(u, p int32) int64 { return int64(u)<<32 | int64(uint32(p)) }
+	for u, ps := range g.Following {
+		for _, p := range ps {
+			follows[edge(int32(u), p)] = true
+		}
+	}
+	pickTarget := func(u int32) (int32, bool) {
+		for tries := 0; tries < 8; tries++ {
+			p := int32(rng.Intn(g.Users))
+			if p != u && !follows[edge(u, p)] {
+				follows[edge(u, p)] = true
+				return p, true
+			}
+		}
+		return 0, false
+	}
+
+	// Ops per user so that checks average ChecksPerUser.
+	opsPerUser := cfg.ChecksPerUser * 100 / mix.Check
+	clock := cfg.StartTime
+	lastCheck := make(map[int32]int64, nActive)
+
+	w := &Workload{Active: active}
+	w.Ops = make([]Op, 0, opsPerUser*nActive)
+	// Interleave sessions round-robin so server-side state (timelines,
+	// subscriptions) evolves concurrently, as live sessions would.
+	for i := 0; i < opsPerUser; i++ {
+		for _, u := range active {
+			var op Op
+			if i == 0 {
+				op = Op{Kind: OpLogin, User: u, Since: 0}
+			} else {
+				switch r := rng.Intn(100); {
+				case r < mix.Login:
+					op = Op{Kind: OpLogin, User: u, Since: 0}
+				case r < mix.Login+mix.Check:
+					op = Op{Kind: OpCheck, User: u, Since: lastCheck[u]}
+				case r < mix.Login+mix.Check+mix.Subscribe:
+					if target, ok := pickTarget(u); ok {
+						op = Op{Kind: OpSubscribe, User: u, Target: target}
+					} else {
+						op = Op{Kind: OpCheck, User: u, Since: lastCheck[u]}
+					}
+				default:
+					clock++
+					op = Op{Kind: OpPost, User: g.SamplePoster(rng), Time: clock,
+						Text: tweetBody(rng, cfg.TweetLen)}
+				}
+			}
+			if op.Kind == OpLogin || op.Kind == OpCheck {
+				lastCheck[op.User] = clock
+			}
+			w.Ops = append(w.Ops, op)
+		}
+	}
+	w.EndTime = clock
+	return w
+}
+
+// Prepopulation describes initial state: the subscription graph plus a
+// body of historical posts (Figure 8 uses 1M posts distributed
+// log-proportionally).
+type Prepopulation struct {
+	Posts []Op // OpPost entries, times below StartTime
+}
+
+// GeneratePosts builds n historical posts with timestamps 1..n.
+func GeneratePosts(g *Graph, n int, seed int64, tweetLen int) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Op, n)
+	for i := 0; i < n; i++ {
+		out[i] = Op{
+			Kind: OpPost,
+			User: g.SamplePoster(rng),
+			Time: int64(i + 1),
+			Text: tweetBody(rng, tweetLen),
+		}
+	}
+	return out
+}

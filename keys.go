@@ -1,0 +1,22 @@
+package pequod
+
+import "pequod/internal/keys"
+
+// Key helpers re-exported for applications composing Pequod keys.
+
+// keysPrefixEnd delegates to the internal key utilities.
+func keysPrefixEnd(p string) string { return keys.PrefixEnd(p) }
+
+// JoinKey joins key components with '|': JoinKey("t", "ann", "100") ==
+// "t|ann|100".
+func JoinKey(comps ...string) string { return keys.Join(comps...) }
+
+// SplitKey splits a key into its '|'-separated components.
+func SplitKey(key string) []string { return keys.Split(key) }
+
+// RangeOf returns the scan bounds covering exactly the keys that begin
+// with the given components: RangeOf("t", "ann") == ("t|ann|", "t|ann}").
+func RangeOf(comps ...string) (lo, hi string) {
+	r := keys.RangeOf(comps...)
+	return r.Lo, r.Hi
+}

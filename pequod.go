@@ -1,0 +1,175 @@
+// Package pequod is a Go implementation of Pequod, the distributed
+// application-level key-value cache with cache joins from
+//
+//	Kate, Kohler, Kester, Narula, Mao, Morris.
+//	"Easy Freshness with Pequod Cache Joins." NSDI '14.
+//
+// A cache join declaratively defines computed data in terms of simple
+// transformations of base data; Pequod computes joined ranges on demand,
+// keeps them fresh with eager incremental maintenance and lazy
+// invalidation, and serves them with ordinary ordered key-value reads.
+// The paper's running example, the Twip timeline join, is written
+//
+//	t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>
+//
+// and makes the scan of [t|ann|, t|ann}) return ann's timeline, computed
+// from her subscriptions (s|…) and her followees' posts (p|…), kept up
+// to date as posts and subscriptions change.
+//
+// Three deployment shapes are supported:
+//
+//   - Embedded: New() returns a thread-safe in-process Cache.
+//   - Networked: NewServer/ListenAndServe + Dial, speaking a compact
+//     binary protocol with pipelining.
+//   - Distributed: multiple servers with key-range partitioning,
+//     cross-server base-data subscriptions, and asynchronous update
+//     notification (eventually consistent), plus an optional
+//     write-around backing database.
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package pequod
+
+import (
+	"sync"
+
+	"pequod/internal/backdb"
+	"pequod/internal/client"
+	"pequod/internal/core"
+	"pequod/internal/join"
+	"pequod/internal/server"
+)
+
+// KV is one key-value pair in a scan result.
+type KV = core.KV
+
+// Options configure a Cache or a Server's engine; the zero value enables
+// all of the paper's optimizations and never evicts.
+type Options = core.Options
+
+// Stats are engine activity counters.
+type Stats = core.Stats
+
+// ServerConfig configures a networked server.
+type ServerConfig = server.Config
+
+// Server is a networked Pequod cache server.
+type Server = server.Server
+
+// Client is a connection to a Server.
+type Client = client.Client
+
+// DB is an in-memory stand-in for the backing database of a write-around
+// deployment; see Server.AttachDB.
+type DB = backdb.DB
+
+// NewServer creates a networked server. Call Start (loopback, test
+// convenience), Serve, or ListenAndServe on the result.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) { return client.Dial(addr) }
+
+// NewDB creates a backing database for write-around deployments.
+func NewDB() *DB { return backdb.New() }
+
+// ParseJoins parses a semicolon/newline-separated cache-join
+// specification without installing it (syntax checking, tooling).
+func ParseJoins(text string) error {
+	_, err := join.ParseAll(text)
+	return err
+}
+
+// Cache is an embedded, thread-safe Pequod engine: the full cache-join
+// machinery without the network. A Cache is what one server process
+// hosts; applications embedding Pequod use it directly.
+type Cache struct {
+	mu sync.Mutex
+	e  *core.Engine
+}
+
+// New returns an embedded cache.
+func New(opts Options) *Cache {
+	return &Cache{e: core.New(opts)}
+}
+
+// Install parses and installs cache joins ("add-join", §3).
+func (c *Cache) Install(joins string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.e.InstallText(joins)
+}
+
+// Put stores value under key and runs incremental view maintenance.
+func (c *Cache) Put(key, value string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.e.Put(key, value)
+}
+
+// Remove deletes key, reporting whether it existed.
+func (c *Cache) Remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.e.Remove(key)
+}
+
+// Get returns the value under key, computing covering joins on demand.
+func (c *Cache) Get(key string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok, _ := c.e.Get(key)
+	return v, ok
+}
+
+// Scan returns up to limit (0 = all) pairs in [lo, hi), computing
+// overlapping joins on demand. An empty hi means "to the end of the
+// keyspace"; use keys like "t|ann}" (see PrefixEnd) for prefix scans.
+func (c *Cache) Scan(lo, hi string, limit int) []KV {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kvs, _ := c.e.Scan(lo, hi, limit)
+	return kvs
+}
+
+// Count returns the number of keys in [lo, hi) after join computation.
+func (c *Cache) Count(lo, hi string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, _ := c.e.Count(lo, hi)
+	return n
+}
+
+// SetSubtableDepth marks a natural key boundary for a table (§4.1).
+func (c *Cache) SetSubtableDepth(table string, depth int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.e.SetSubtableDepth(table, depth)
+}
+
+// Stats snapshots the engine counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.e.Stats()
+}
+
+// Bytes returns the approximate memory footprint of the cache.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.e.Store().Bytes()
+}
+
+// Len returns the number of cached keys (base + computed).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.e.Store().Len()
+}
+
+// PrefixEnd returns the smallest key greater than every key with the
+// given prefix — the paper's "t|ann|+" bound, spelled "t|ann}".
+func PrefixEnd(prefix string) string {
+	return keysPrefixEnd(prefix)
+}

@@ -1,0 +1,126 @@
+package pequod
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestEmbeddedCacheQuickstart(t *testing.T) {
+	c := New(Options{})
+	if err := c.Install("t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>"); err != nil {
+		t.Fatal(err)
+	}
+	c.Put("s|ann|bob", "1")
+	c.Put("p|bob|100", "Hi")
+	lo, hi := RangeOf("t", "ann")
+	kvs := c.Scan(lo, hi, 0)
+	if len(kvs) != 1 || kvs[0].Key != "t|ann|100|bob" || kvs[0].Value != "Hi" {
+		t.Fatalf("timeline = %v", kvs)
+	}
+	if v, ok := c.Get("t|ann|100|bob"); !ok || v != "Hi" {
+		t.Fatal("get")
+	}
+	if c.Count(lo, hi) != 1 {
+		t.Fatal("count")
+	}
+	if !c.Remove("p|bob|100") {
+		t.Fatal("remove")
+	}
+	if kvs := c.Scan(lo, hi, 0); len(kvs) != 0 {
+		t.Fatalf("after remove: %v", kvs)
+	}
+	if c.Stats().JoinExecs == 0 {
+		t.Fatal("stats")
+	}
+	if c.Bytes() <= 0 || c.Len() == 0 {
+		t.Fatal("size accounting")
+	}
+}
+
+func TestInstallError(t *testing.T) {
+	c := New(Options{})
+	if err := c.Install("bogus join"); err == nil {
+		t.Fatal("bad join accepted")
+	}
+	if err := ParseJoins("also bogus"); err == nil {
+		t.Fatal("ParseJoins accepted garbage")
+	}
+	if err := ParseJoins("a|<x> = copy b|<x>"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyHelpers(t *testing.T) {
+	if JoinKey("t", "ann", "100") != "t|ann|100" {
+		t.Fatal("JoinKey")
+	}
+	parts := SplitKey("t|ann|100")
+	if len(parts) != 3 || parts[1] != "ann" {
+		t.Fatal("SplitKey")
+	}
+	if PrefixEnd("t|ann|") != "t|ann}" {
+		t.Fatal("PrefixEnd")
+	}
+	lo, hi := RangeOf("t", "ann")
+	if lo != "t|ann|" || hi != "t|ann}" {
+		t.Fatal("RangeOf")
+	}
+}
+
+func TestNetworkedQuickstart(t *testing.T) {
+	s, err := NewServer(ServerConfig{Name: "facade-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.AddJoin("karma|<a> = count vote|<a>|<id>|<v>"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Put(fmt.Sprintf("vote|liz|a1|u%d", i), "1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, found, err := c.Get("karma|liz")
+	if err != nil || !found || v != "5" {
+		t.Fatalf("karma = %q %v %v", v, found, err)
+	}
+}
+
+func TestWriteAroundQuickstart(t *testing.T) {
+	db := NewDB()
+	defer db.Close()
+	db.Put("p|bob|100", "from the database")
+	db.Put("s|ann|bob", "1")
+
+	s, err := NewServer(ServerConfig{
+		Joins: "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachDB(db, "p", "s")
+	addr, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	kvs, err := c.Scan("t|ann|", PrefixEnd("t|ann|"), 0)
+	if err != nil || len(kvs) != 1 || kvs[0].Value != "from the database" {
+		t.Fatalf("write-around timeline = %v, %v", kvs, err)
+	}
+}
