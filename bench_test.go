@@ -117,6 +117,26 @@ func BenchmarkFig10Scalability(b *testing.B) {
 	}
 }
 
+// BenchmarkShardScaling measures within-process read scaling: closed-loop
+// multi-goroutine timeline checks against the embedded shard pool as the
+// shard count sweeps (target: ≥2x at 4 shards on a 4+ core machine;
+// sharded results are verified byte-identical to a single engine inside
+// the experiment).
+func BenchmarkShardScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ShardScale(benchScale, []int{1, 2, 4}, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.QPS, fmt.Sprintf("qps_%dshard", r.Shards))
+				b.ReportMetric(r.Speedup, fmt.Sprintf("speedup_%dshard", r.Shards))
+			}
+		}
+	}
+}
+
 // BenchmarkAblationSubtables regenerates the §4.1 measurement (paper:
 // 1.55x faster, 1.17x memory with subtables).
 func BenchmarkAblationSubtables(b *testing.B) {

@@ -4,6 +4,12 @@
 //
 //	pequod-server [-addr :7744] [-joins file.pql] [-subtable t=2]...
 //	              [-mem bytes] [-no-hints] [-no-sharing]
+//	              [-shards n] [-bounds k1,k2,...]
+//
+// -shards runs n partitioned engines served concurrently (§2.4 scaled
+// into one process); -bounds sets the n-1 split points between them
+// (comma-separated keys, e.g. -bounds "p|u0000500,s|,t|"). With -shards
+// alone the key space is split evenly by key prefix.
 //
 // The joins file holds cache-join specifications, one per line or
 // semicolon-separated (// comments allowed), e.g. the Twip timeline join:
@@ -41,6 +47,14 @@ func (s subtableFlags) Set(v string) error {
 	return nil
 }
 
+// splitBounds parses the -bounds flag ("" means none).
+func splitBounds(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
 func main() {
 	log.SetPrefix("pequod-server: ")
 	log.SetFlags(0)
@@ -51,6 +65,8 @@ func main() {
 	noHints := flag.Bool("no-hints", false, "disable output hints (§4.2)")
 	noSharing := flag.Bool("no-sharing", false, "disable value sharing (§4.3)")
 	name := flag.String("name", "pequod", "server name for stats")
+	shards := flag.Int("shards", 0, "number of partitioned in-process engines (0 = derived from -bounds, else 1); without -bounds the raw byte space is split evenly, which clusters ASCII-prefixed keys")
+	bounds := flag.String("bounds", "", "comma-separated partition split points (shards-1 keys)")
 	subtables := subtableFlags{}
 	flag.Var(subtables, "subtable", "subtable boundary, table=depth (repeatable, §4.1)")
 	flag.Parse()
@@ -64,6 +80,11 @@ func main() {
 		joins = string(data)
 	}
 
+	if *shards > 1 && *bounds == "" {
+		log.Printf("warning: -shards without -bounds splits the raw byte space evenly;" +
+			" keys with ASCII table prefixes (p|, s|, t|, ...) all land on one shard" +
+			" — pass -bounds matched to your key distribution")
+	}
 	s, err := server.New(server.Config{
 		Name: *name,
 		Engine: core.Options{
@@ -73,6 +94,8 @@ func main() {
 		},
 		Joins:          joins,
 		SubtableDepths: subtables,
+		Shards:         *shards,
+		Bounds:         splitBounds(*bounds),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -81,7 +104,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err) // unreachable: server.New validated already
 	}
-	log.Printf("listening on %s (%d joins installed)", *addr, len(installed))
+	log.Printf("listening on %s (%d joins installed, %d shards)", *addr, len(installed), s.Pool().NumShards())
 	if err := s.ListenAndServe(*addr); err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module pequod
+
+go 1.24

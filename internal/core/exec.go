@@ -266,6 +266,17 @@ func (ex *exec) flushAggs() {
 // joins that output into it, and starting async loads for loader-backed
 // base tables. Returns the number of loads started.
 func (e *Engine) ensureSource(table string, cr keys.Range) (missing int) {
+	missing = e.ensureSourceJoins(table, cr)
+	if pt := e.presence[table]; pt != nil {
+		missing += e.ensurePresent(table, pt, cr)
+	}
+	return missing
+}
+
+// ensureSourceJoins recursively freshens the joins that output into a
+// source table over cr — shared by ensureSource and ensure's Pass 0,
+// which deliberately skips the presence/loader half.
+func (e *Engine) ensureSourceJoins(table string, cr keys.Range) (missing int) {
 	for _, sub := range e.outJoins[table] {
 		if sub.j.Maint == join.Pull {
 			// Pull joins never materialize, so they cannot feed other
@@ -274,9 +285,6 @@ func (e *Engine) ensureSource(table string, cr keys.Range) (missing int) {
 			continue
 		}
 		missing += e.ensure(sub, cr)
-	}
-	if pt := e.presence[table]; pt != nil {
-		missing += e.ensurePresent(table, pt, cr)
 	}
 	return missing
 }

@@ -57,6 +57,27 @@ type logEntry struct {
 // pending logs, recomputes invalid or expired ranges, and forward-executes
 // uncovered gaps (Fig 5). It returns outstanding load count.
 func (e *Engine) ensure(ij *installedJoin, rr keys.Range) (pending int) {
+	// Pass 0: freshen cascaded sources. A valid status here may have been
+	// computed from another join's output whose own maintenance was
+	// lazily logged (check sources, §3.2); reading only this join would
+	// otherwise serve results the pending log entries invalidate. Ensure
+	// source joins over their containing ranges first — their eager
+	// updaters then propagate any late changes into this range before we
+	// trust it. Base-table sources skip this entirely.
+	if b, clip := ij.j.Out.ScanBinding(rr); !clip.Empty() {
+		for _, src := range ij.j.Sources {
+			table := src.Pat.Table()
+			if len(e.outJoins[table]) == 0 {
+				continue
+			}
+			cr := pattern.ContainingRange(src.Pat, ij.j.Out, b, rr)
+			if cr.Empty() {
+				continue
+			}
+			pending += e.ensureSourceJoins(table, cr)
+		}
+	}
+
 	// Pass 1: collect overlapping statuses; decide their fate.
 	var overlapping []*JoinStatus
 	// The only status that can straddle rr.Lo is the last one starting at

@@ -2,11 +2,20 @@ package experiments
 
 import (
 	"io"
+	"runtime"
 	"testing"
 )
 
 // The experiment harness tests run at Tiny scale and assert the *shape*
 // of each result — who wins, where crossovers sit — not absolute numbers.
+
+// perfShape gates the timing/throughput shape assertions: they hold on
+// an idle multi-core machine (the paper's setting) but not under the
+// race detector's non-uniform slowdown or on 1-2 core boxes, where
+// multi-server/multi-worker runs can't beat single ones and tiny-scale
+// runtimes are dominated by scheduling noise. Structural assertions
+// (RPC counts, memory, row shapes) always run.
+var perfShape = !raceEnabled && runtime.GOMAXPROCS(0) >= 4
 
 func TestFig7Shape(t *testing.T) {
 	if testing.Short() {
@@ -27,7 +36,7 @@ func TestFig7Shape(t *testing.T) {
 	// caches are within transport noise of each other here; see
 	// EXPERIMENTS.md). Runtime-based assertions are skipped under the
 	// race detector, whose slowdown is non-uniform across systems.
-	if !raceEnabled {
+	if perfShape {
 		// 1. "Pequod performs no worse than widely available key-value
 		//    caches" — within a noise margin of the fastest system. The
 		// margin is generous because the full test suite runs packages in
@@ -79,7 +88,7 @@ func TestFig8Shape(t *testing.T) {
 		return Fig8Row{}
 	}
 	// At high check rates materialization must beat recompute-per-read.
-	if !raceEnabled && get("Dynamic materialization", 50).Runtime >= get("No materialization", 50).Runtime {
+	if perfShape && get("Dynamic materialization", 50).Runtime >= get("No materialization", 50).Runtime {
 		t.Error("dynamic should beat no-materialization at 50% active")
 	}
 	// Dynamic uses no more memory than full (it materializes a subset).
@@ -107,7 +116,7 @@ func TestFig9Shape(t *testing.T) {
 	}
 	// "interleaved cache joins are superior for most vote rates" (§5.4):
 	// at a 10% vote rate interleaved must win.
-	if !raceEnabled && get("Interleaved").Runtime >= get("Non-interleaved").Runtime {
+	if perfShape && get("Interleaved").Runtime >= get("Non-interleaved").Runtime {
 		t.Errorf("interleaved (%v) should beat non-interleaved (%v) at low vote rates",
 			get("Interleaved").Runtime, get("Non-interleaved").Runtime)
 	}
@@ -127,7 +136,7 @@ func TestFig10Shape(t *testing.T) {
 	// More compute servers must not lose throughput dramatically; the
 	// paper sees 3x at 4x servers. At tiny scale we only require
 	// non-collapse (>= 0.9x) and successful distributed execution.
-	if !raceEnabled && rows[1].QPS < rows[0].QPS*0.9 {
+	if perfShape && rows[1].QPS < rows[0].QPS*0.9 {
 		t.Errorf("scaling collapsed: 1 server %.0f qps, 2 servers %.0f qps", rows[0].QPS, rows[1].QPS)
 	}
 }

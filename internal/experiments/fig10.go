@@ -301,14 +301,10 @@ func runFig10(g *twip.Graph, posts []twip.Op, w *twip.Workload, sc Scale, nBase,
 		QPS:            float64(len(w.Ops)) / runtime.Seconds(),
 	}
 	for _, s := range c.baseServers {
-		s.Lock()
-		row.BaseBytes += s.Engine().Store().Bytes()
-		s.Unlock()
+		row.BaseBytes += s.Bytes()
 	}
 	for _, s := range c.computeServers {
-		s.Lock()
-		row.ComputeBytes += s.Engine().Store().Bytes()
-		s.Unlock()
+		row.ComputeBytes += s.Bytes()
 	}
 	return row, nil
 }

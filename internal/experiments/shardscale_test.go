@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"io"
+	"runtime"
+	"testing"
+)
+
+// TestShardScaleShape runs the shard-scaling sweep at Tiny scale. The
+// byte-identity of sharded vs single-engine timelines is asserted inside
+// ShardScale for every count; here we check the rows are sane. The ≥2x
+// speedup at 4 shards only manifests with 4+ cores, so it is reported,
+// not asserted, on smaller machines.
+func TestShardScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	counts := []int{1, 2, 4}
+	rows, err := ShardScale(Tiny, counts, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(counts) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Shards != counts[i] || r.QPS <= 0 || r.Speedup <= 0 {
+			t.Fatalf("row %d = %+v", i, r)
+		}
+	}
+	if rows[0].Speedup != 1.0 {
+		t.Fatalf("baseline speedup = %v", rows[0].Speedup)
+	}
+	t.Logf("GOMAXPROCS=%d: 1 shard %.0f qps, 4 shards %.0f qps (%.2fx)",
+		runtime.GOMAXPROCS(0), rows[0].QPS, rows[2].QPS, rows[2].Speedup)
+}

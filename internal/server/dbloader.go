@@ -4,18 +4,25 @@ import (
 	"pequod/internal/backdb"
 	"pequod/internal/core"
 	"pequod/internal/keys"
+	"pequod/internal/shard"
 )
 
 // AttachDB configures the server as a write-around cache over db (§2):
 // the listed tables load on demand from the database, and the database
 // pushes updates for loaded ranges back into the cache, keeping base data
-// fresh without any application cache-maintenance code.
+// fresh without any application cache-maintenance code. Each shard loads
+// and subscribes to the ranges it needs (its owned pieces for client
+// reads, plus any source ranges its joins scan).
 func (s *Server) AttachDB(db *backdb.DB, tables ...string) {
-	s.e.SetLoader(&dbLoader{s: s, db: db}, tables...)
+	s.pool.SetExternalTables(tables...)
+	for i := 0; i < s.pool.NumShards(); i++ {
+		sh := s.pool.Shard(i)
+		sh.SetLoader(&dbLoader{sh: sh, db: db}, tables...)
+	}
 }
 
 type dbLoader struct {
-	s  *Server
+	sh *shard.Shard
 	db *backdb.DB
 }
 
@@ -24,22 +31,16 @@ type dbLoader struct {
 // later updates arrive through the database dispatcher in write order,
 // so the cache never applies an old value over a newer one.
 func (l *dbLoader) StartLoad(table string, r keys.Range) {
-	s := l.s
+	sh := l.sh
 	l.db.ScanAndSubscribe(r.Lo, r.Hi,
 		func(kvs []core.KV) {
-			s.mu.Lock()
-			s.e.LoadComplete(table, r, kvs)
-			s.loadCond.Broadcast()
-			s.mu.Unlock()
+			sh.LoadComplete(table, r, kvs)
 		},
 		func(u backdb.Update) {
-			s.mu.Lock()
+			op := core.OpPut
 			if u.Op == backdb.OpDelete {
-				s.e.Remove(u.Key)
-			} else {
-				s.e.Put(u.Key, u.Value)
+				op = core.OpRemove
 			}
-			s.loadCond.Broadcast()
-			s.mu.Unlock()
+			sh.ApplyBatch([]core.Change{{Op: op, Key: u.Key, Value: u.Value}})
 		})
 }

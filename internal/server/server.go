@@ -1,13 +1,17 @@
 // Package server implements the networked Pequod cache server: the RPC
-// surface over one core.Engine, cross-server base-data subscriptions with
-// asynchronous update notification (§2.4), and remote/database loaders
-// that drive the engine's restart contexts (§3.3).
+// surface over a sharded pool of core engines, cross-server base-data
+// subscriptions with asynchronous update notification (§2.4), and
+// remote/database loaders that drive the engines' restart contexts
+// (§3.3).
 //
-// Concurrency model: the engine is single-writer like the paper's
-// event-driven server; a mutex serializes request application while
-// per-connection goroutines handle framing, and per-connection notifier
-// goroutines drain subscription pushes so slow subscribers never block
-// the engine.
+// Concurrency model: each engine is single-writer like the paper's
+// event-driven server, but the server hosts Config.Shards of them,
+// partitioned by key range (internal/shard). Requests lock only the
+// shard owning their key; cross-shard scans fan out concurrently, so a
+// multi-core machine serves reads from all cores instead of behind one
+// global mutex. Per-connection goroutines handle framing, and
+// per-connection notifier goroutines drain subscription pushes so slow
+// subscribers never block an engine.
 package server
 
 import (
@@ -16,6 +20,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"pequod/internal/client"
 	"pequod/internal/core"
@@ -23,18 +28,27 @@ import (
 	"pequod/internal/keys"
 	"pequod/internal/partition"
 	"pequod/internal/rpc"
+	"pequod/internal/shard"
 )
 
 // Config configures a Server.
 type Config struct {
 	// Name identifies the server in logs/stats.
 	Name string
-	// Engine options (optimization toggles, memory limit).
+	// Engine options (optimization toggles, memory limit). A MemLimit is
+	// split evenly across the shards.
 	Engine core.Options
 	// Joins, if non-empty, is installed at startup.
 	Joins string
 	// SubtableDepths configures §4.1 boundaries at startup.
 	SubtableDepths map[string]int
+	// Shards is the number of in-process engines (default 1). Serving
+	// scales with shards when Bounds matches the workload's key
+	// distribution.
+	Shards int
+	// Bounds are the partition split points between shards
+	// (len = Shards-1); see shard.Config.
+	Bounds []string
 }
 
 // subscription is a cross-server base-data subscription (§2.4): the
@@ -49,11 +63,11 @@ type subscription struct {
 type Server struct {
 	name string
 
-	mu       sync.Mutex // serializes engine access (single-writer engine)
-	e        *core.Engine
-	loadCond *sync.Cond // signaled when an async load completes
+	pool *shard.Pool
 
-	subs *interval.Tree[*subscription]
+	smu   sync.Mutex // guards subs and conn.subEntries
+	subs  *interval.Tree[*subscription]
+	nsubs atomic.Int64 // == subs.Len(); lock-free no-subscriber fast path
 
 	ln     net.Listener
 	connWG sync.WaitGroup
@@ -66,44 +80,57 @@ type Server struct {
 
 // New creates a server.
 func New(cfg Config) (*Server, error) {
+	pool, err := shard.New(shard.Config{
+		Shards: cfg.Shards,
+		Bounds: cfg.Bounds,
+		Engine: cfg.Engine,
+	})
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		name:  cfg.Name,
-		e:     core.New(cfg.Engine),
+		pool:  pool,
 		subs:  interval.New[*subscription](),
 		conns: make(map[*conn]struct{}),
 	}
-	s.loadCond = sync.NewCond(&s.mu)
 	for t, d := range cfg.SubtableDepths {
-		s.e.SetSubtableDepth(t, d)
+		pool.SetSubtableDepth(t, d)
 	}
 	if cfg.Joins != "" {
-		if err := s.e.InstallText(cfg.Joins); err != nil {
+		if err := pool.InstallText(cfg.Joins); err != nil {
+			pool.Close()
 			return nil, err
 		}
 	}
-	s.e.SetChangeHook(s.forwardChange)
+	pool.SetHook(s.forwardChange)
 	return s, nil
 }
 
-// Engine exposes the engine for embedded use; callers must hold Lock.
-func (s *Server) Engine() *core.Engine { return s.e }
+// Pool exposes the shard pool for embedded use (stats, tests, warm-up).
+func (s *Server) Pool() *shard.Pool { return s.pool }
 
-// Lock/Unlock expose the engine mutex for embedded (in-process) callers
-// such as the workload drivers' warm-up phases.
-func (s *Server) Lock()   { s.mu.Lock() }
-func (s *Server) Unlock() { s.mu.Unlock() }
+// Bytes returns the approximate memory footprint across all shards.
+func (s *Server) Bytes() int64 { return s.pool.Bytes() }
 
-// forwardChange pushes a base-data change to subscribed peers. Called
-// with s.mu held (from inside engine mutation), so it only enqueues.
-func (s *Server) forwardChange(c core.Change) {
+// forwardChange pushes an owner-authoritative change to subscribed
+// peers. Called with the owning shard's lock held (from inside engine
+// mutation), so it only enqueues.
+func (s *Server) forwardChange(_ int, c core.Change) {
 	if c.Op == core.OpEvict {
 		// Eviction drops this server's cache, not the data's validity;
 		// replicas keep their copies (§2.5).
 		return
 	}
-	if s.subs.Len() == 0 {
+	if s.nsubs.Load() == 0 {
+		// No subscribers: skip the subscription tree entirely so shards'
+		// write paths don't re-serialize on one mutex. A subscription
+		// racing in here was installed after this change's snapshot
+		// scan, which already included the change.
 		return
 	}
+	s.smu.Lock()
+	defer s.smu.Unlock()
 	op := rpc.ChangePut
 	if c.Op == core.OpRemove {
 		op = rpc.ChangeRemove
@@ -163,7 +190,7 @@ func (s *Server) Start() (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener and all connections.
+// Close stops the listener, all connections, and the shard pool.
 func (s *Server) Close() {
 	s.cmu.Lock()
 	if s.closed {
@@ -187,6 +214,7 @@ func (s *Server) Close() {
 	for _, p := range s.peers {
 		p.Close()
 	}
+	s.pool.Close()
 }
 
 // dropConn unregisters a closed connection and its subscriptions.
@@ -194,106 +222,85 @@ func (s *Server) dropConn(cn *conn) {
 	s.cmu.Lock()
 	delete(s.conns, cn)
 	s.cmu.Unlock()
-	s.mu.Lock()
+	s.smu.Lock()
 	for _, en := range cn.subEntries {
 		s.subs.Delete(en)
 	}
+	s.nsubs.Add(int64(-len(cn.subEntries)))
 	cn.subEntries = nil
-	s.mu.Unlock()
+	s.smu.Unlock()
 }
 
-// statJSON renders server statistics.
+// statJSON renders server statistics aggregated across shards.
 func (s *Server) statJSON() string {
-	s.mu.Lock()
-	st := s.e.Stats()
-	entries := s.e.Store().Len()
-	bytes := s.e.Store().Bytes()
-	s.mu.Unlock()
 	out, _ := json.Marshal(struct {
 		Name    string     `json:"name"`
+		Shards  int        `json:"shards"`
 		Entries int        `json:"entries"`
 		Bytes   int64      `json:"bytes"`
 		Stats   core.Stats `json:"stats"`
-	}{s.name, entries, bytes, st})
+	}{s.name, s.pool.NumShards(), s.pool.Len(), s.pool.Bytes(), s.pool.Stats()})
 	return string(out)
 }
 
 // handle processes one request message, returning the reply (nil for
-// one-way messages).
+// one-way messages). Blocking on outstanding base-data loads (§3.3)
+// happens inside the pool, per shard.
 func (s *Server) handle(cn *conn, m *rpc.Message) *rpc.Message {
 	switch m.Type {
 	case rpc.MsgGet:
-		for {
-			s.mu.Lock()
-			v, found, pending := s.e.Get(m.Key)
-			if pending == 0 {
-				s.mu.Unlock()
-				r := rpc.OKReply(m.Seq)
-				r.Value, r.Found = v, found
-				return r
-			}
-			s.waitLoadsLocked()
-			s.mu.Unlock()
-		}
+		v, found := s.pool.Get(m.Key)
+		r := rpc.OKReply(m.Seq)
+		r.Value, r.Found = v, found
+		return r
 
 	case rpc.MsgPut:
-		s.mu.Lock()
-		s.e.Put(m.Key, m.Value)
-		s.mu.Unlock()
+		s.pool.Put(m.Key, m.Value)
 		return rpc.OKReply(m.Seq)
 
 	case rpc.MsgRemove:
-		s.mu.Lock()
-		found := s.e.Remove(m.Key)
-		s.mu.Unlock()
+		found := s.pool.Remove(m.Key)
 		r := rpc.OKReply(m.Seq)
 		r.Found = found
 		return r
 
 	case rpc.MsgScan:
-		for {
-			s.mu.Lock()
-			kvs, pending := s.e.ScanInto(m.Lo, m.Hi, m.Limit, cn.kvBuf)
-			cn.kvBuf = kvs // reuse capacity on the next request
-			if pending == 0 {
-				if m.SubscribeFlag {
-					en := s.subs.Insert(m.Lo, m.Hi, &subscription{cn: cn, r: keys.Range{Lo: m.Lo, Hi: m.Hi}})
-					cn.subEntries = append(cn.subEntries, en)
-				}
-				s.mu.Unlock()
-				r := rpc.OKReply(m.Seq)
-				if cap(cn.rpcKVBuf) < len(kvs) {
-					cn.rpcKVBuf = make([]rpc.KV, len(kvs))
-				}
-				r.KVs = cn.rpcKVBuf[:len(kvs)]
-				for i, kv := range kvs {
-					r.KVs[i] = rpc.KV{Key: kv.Key, Value: kv.Value}
-				}
-				return r
+		var sub func(int, keys.Range)
+		if m.SubscribeFlag {
+			// Install one subscription per shard piece, while that
+			// piece's shard lock is still held: the snapshot the scan
+			// returned and the subscription's update stream meet with no
+			// gap (§2.4's atomic snapshot+subscribe).
+			sub = func(_ int, r keys.Range) {
+				s.smu.Lock()
+				en := s.subs.Insert(r.Lo, r.Hi, &subscription{cn: cn, r: r})
+				cn.subEntries = append(cn.subEntries, en)
+				s.smu.Unlock()
+				// Published while the piece's shard lock is still held,
+				// so the owning shard's next change sees the subscriber
+				// (forwardChange's fast path reads this without smu).
+				s.nsubs.Add(1)
 			}
-			s.waitLoadsLocked()
-			s.mu.Unlock()
 		}
+		kvs := s.pool.Scan(m.Lo, m.Hi, m.Limit, cn.kvBuf, sub)
+		cn.kvBuf = kvs // reuse capacity on the next request
+		r := rpc.OKReply(m.Seq)
+		if cap(cn.rpcKVBuf) < len(kvs) {
+			cn.rpcKVBuf = make([]rpc.KV, len(kvs))
+		}
+		r.KVs = cn.rpcKVBuf[:len(kvs)]
+		for i, kv := range kvs {
+			r.KVs[i] = rpc.KV{Key: kv.Key, Value: kv.Value}
+		}
+		return r
 
 	case rpc.MsgCount:
-		for {
-			s.mu.Lock()
-			n, pending := s.e.Count(m.Lo, m.Hi)
-			if pending == 0 {
-				s.mu.Unlock()
-				r := rpc.OKReply(m.Seq)
-				r.Count = int64(n)
-				return r
-			}
-			s.waitLoadsLocked()
-			s.mu.Unlock()
-		}
+		r := rpc.OKReply(m.Seq)
+		r.Count = int64(s.pool.Count(m.Lo, m.Hi))
+		return r
 
 	case rpc.MsgAddJoin:
-		s.mu.Lock()
-		err := s.e.InstallText(m.Text)
-		s.mu.Unlock()
-		if err != nil {
+		if err := s.pool.InstallText(m.Text); err != nil {
 			return rpc.ErrReply(m.Seq, err)
 		}
 		return rpc.OKReply(m.Seq)
@@ -310,42 +317,32 @@ func (s *Server) handle(cn *conn, m *rpc.Message) *rpc.Message {
 		return r
 
 	case rpc.MsgFlush:
-		s.mu.Lock()
-		// Rebuild the engine preserving configuration: used by benches to
-		// reset between runs.
-		s.mu.Unlock()
 		return rpc.ErrReply(m.Seq, errors.New("flush unsupported; restart the server"))
 
 	case rpc.MsgSetSubtable:
-		s.mu.Lock()
-		s.e.SetSubtableDepth(m.Table, m.Depth)
-		s.mu.Unlock()
+		s.pool.SetSubtableDepth(m.Table, m.Depth)
 		return rpc.OKReply(m.Seq)
 	}
 	return rpc.ErrReply(m.Seq, errors.New("unknown request"))
 }
 
-// waitLoadsLocked blocks (holding s.mu via the cond) until some async
-// load completes, then lets the caller retry — the iterative evaluation
-// of §3.3.
-func (s *Server) waitLoadsLocked() {
-	gen := s.e.LoadGen()
-	for s.e.LoadGen() == gen {
-		s.loadCond.Wait()
-	}
+// ApplyChanges applies replicated changes to their owning shards
+// (thread-safe).
+func (s *Server) ApplyChanges(changes []rpc.Change) {
+	s.pool.Apply(coreChanges(changes))
 }
 
-// ApplyChanges applies replicated changes (thread-safe).
-func (s *Server) ApplyChanges(changes []rpc.Change) {
-	s.mu.Lock()
-	for _, c := range changes {
+// coreChanges converts wire changes to engine changes.
+func coreChanges(changes []rpc.Change) []core.Change {
+	out := make([]core.Change, len(changes))
+	for i, c := range changes {
+		op := core.OpPut
 		if c.Op == rpc.ChangeRemove {
-			s.e.Remove(c.Key)
-		} else {
-			s.e.Put(c.Key, c.Value)
+			op = core.OpRemove
 		}
+		out[i] = core.Change{Op: op, Key: c.Key, Value: c.Value}
 	}
-	s.mu.Unlock()
+	return out
 }
 
 // --- connection ---
@@ -370,7 +367,7 @@ type conn struct {
 	nqueue  []rpc.Change
 	nclosed bool
 
-	subEntries []*interval.Entry[*subscription]
+	subEntries []*interval.Entry[*subscription] // guarded by s.smu
 }
 
 func newConn(s *Server, c net.Conn) *conn {
@@ -420,8 +417,8 @@ func (cn *conn) write(m *rpc.Message, flush bool) error {
 	return nil
 }
 
-// pushNotify enqueues a subscription push (called with s.mu held; must
-// not block).
+// pushNotify enqueues a subscription push (called with a shard lock
+// held; must not block).
 func (cn *conn) pushNotify(c rpc.Change) {
 	cn.nmu.Lock()
 	cn.nqueue = append(cn.nqueue, c)
@@ -461,46 +458,52 @@ func (cn *conn) close() {
 
 // --- remote loader (distributed deployments) ---
 
-// remoteLoader fetches missing base ranges from home servers over peer
-// connections, subscribing for future updates (§2.4, §3.3).
+// remoteLoader fetches missing base ranges for one shard from home
+// servers over peer connections, subscribing for future updates (§2.4,
+// §3.3).
 type remoteLoader struct {
-	s     *Server
+	sh    *shard.Shard
 	peers []*client.Client
 	pmap  *partition.Map
 }
 
 // ConnectPeers wires this server to its home servers: pmap maps key
 // ranges to indexes in addrs, and tables lists the loader-backed base
-// tables. Incoming subscription pushes apply as base writes.
+// tables. Each shard dials its own peer connections, so incoming
+// subscription pushes apply to the shard that subscribed.
 func (s *Server) ConnectPeers(pmap *partition.Map, addrs []string, tables ...string) error {
-	peers := make([]*client.Client, len(addrs))
-	for i, a := range addrs {
-		c, err := client.Dial(a)
-		if err != nil {
-			return err
+	s.pool.SetExternalTables(tables...)
+	for i := 0; i < s.pool.NumShards(); i++ {
+		sh := s.pool.Shard(i)
+		peers := make([]*client.Client, len(addrs))
+		for k, a := range addrs {
+			c, err := client.Dial(a)
+			if err != nil {
+				// Connections dialed so far are already in s.peers, so
+				// Close tears them down; the server is half-wired and
+				// must not serve.
+				return err
+			}
+			c.OnNotify = func(changes []rpc.Change) {
+				sh.ApplyBatch(coreChanges(changes))
+			}
+			peers[k] = c
+			s.peers = append(s.peers, c)
 		}
-		c.OnNotify = func(changes []rpc.Change) {
-			s.ApplyChanges(changes)
-			s.mu.Lock()
-			s.loadCond.Broadcast()
-			s.mu.Unlock()
-		}
-		peers[i] = c
+		sh.SetLoader(&remoteLoader{sh: sh, peers: peers, pmap: pmap}, tables...)
 	}
-	s.peers = peers
-	s.e.SetLoader(&remoteLoader{s: s, peers: peers, pmap: pmap}, tables...)
 	return nil
 }
 
-// StartLoad implements core.BaseLoader: fetch each shard from its home
-// server with a subscription, then deliver to the engine.
+// StartLoad implements core.BaseLoader: fetch each home-server piece of
+// the range with a subscription, then deliver to the shard's engine.
 func (l *remoteLoader) StartLoad(table string, r keys.Range) {
-	shards := l.pmap.Split(r)
+	pieces := l.pmap.Split(r)
 	go func() {
 		var kvs []core.KV
-		futs := make([]*client.Future, len(shards))
-		for i, sh := range shards {
-			futs[i] = l.peers[sh.Owner].ScanAsync(sh.R.Lo, sh.R.Hi, 0, true)
+		futs := make([]*client.Future, len(pieces))
+		for i, pc := range pieces {
+			futs[i] = l.peers[pc.Owner].ScanAsync(pc.R.Lo, pc.R.Hi, 0, true)
 		}
 		for _, f := range futs {
 			m, err := f.Wait()
@@ -512,9 +515,6 @@ func (l *remoteLoader) StartLoad(table string, r keys.Range) {
 				kvs = append(kvs, core.KV{Key: kv.Key, Value: kv.Value})
 			}
 		}
-		l.s.mu.Lock()
-		l.s.e.LoadComplete(table, r, kvs)
-		l.s.loadCond.Broadcast()
-		l.s.mu.Unlock()
+		l.sh.LoadComplete(table, r, kvs)
 	}()
 }

@@ -293,18 +293,18 @@ func TestConnCloseCleansSubscriptions(t *testing.T) {
 	if err != nil || m.Status != rpc.StatusOK {
 		t.Fatal(err)
 	}
-	s.mu.Lock()
+	s.smu.Lock()
 	n := s.subs.Len()
-	s.mu.Unlock()
+	s.smu.Unlock()
 	if n != 1 {
 		t.Fatalf("subscriptions = %d", n)
 	}
 	c.Close()
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		s.mu.Lock()
+		s.smu.Lock()
 		n = s.subs.Len()
-		s.mu.Unlock()
+		s.smu.Unlock()
 		if n == 0 {
 			break
 		}

@@ -1,0 +1,683 @@
+// Package shard implements Pequod's in-process sharded engine pool: N
+// single-writer core.Engine instances partitioned by key range, served
+// concurrently. It is the within-process analogue of the paper's
+// scale-out deployment (§2.4, §5.5), where "each base key has a home
+// server" and many single-threaded engines divide the key space.
+//
+// Routing: Get/Put/Remove go to the shard owning the key (partition.Map);
+// Scans and Counts that straddle shards fan out concurrently, one
+// goroutine per owning shard, and concatenate the per-shard sorted
+// results (pieces arrive in key order, so concatenation is a merge).
+//
+// Joins are installed on every shard. Each shard computes the join
+// outputs it owns locally — cascaded source joins recursively, exactly
+// like a single engine — which requires the *base* source tables to be
+// visible everywhere. The pool therefore mirrors §2.4 cross-server
+// subscriptions within the process: a base write to a join source table
+// is applied at its owner and forwarded, through the engine's Change
+// hook and in owner-mutation order, to every sibling shard's apply
+// queue. Appliers drain the queues asynchronously, so sibling replicas
+// are eventually consistent — the same freshness model as the paper's
+// asynchronous update notification. Quiesce waits for the queues to
+// drain. Tables backed by an external loader (a backing database or a
+// remote home server) are excluded from forwarding: each shard loads and
+// subscribes to those ranges itself through the §3.3 presence machinery.
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pequod/internal/core"
+	"pequod/internal/join"
+	"pequod/internal/keys"
+	"pequod/internal/partition"
+)
+
+// Config configures a Pool.
+type Config struct {
+	// Shards is the number of engines; <= 1 means a single unsharded
+	// engine (identical behavior to the pre-pool server).
+	Shards int
+	// Bounds are explicit partition split points (len = Shards-1). When
+	// empty and Shards > 1, DefaultBounds splits the raw byte space
+	// evenly — fine for uniformly distributed binary keys, but ASCII
+	// table-prefixed keys cluster onto one shard, so real workloads
+	// should pass bounds matched to their key distribution
+	// (partition.UserBounds).
+	Bounds []string
+	// Engine holds per-engine options. A MemLimit is divided evenly
+	// across the shards so the configured total is preserved.
+	Engine core.Options
+}
+
+// DefaultBounds returns n-1 split points dividing the 16-bit key-prefix
+// space evenly: the fallback partition when no workload-aware bounds are
+// given. Split points are distinct for any practical n (up to 65536).
+func DefaultBounds(n int) []string {
+	var bounds []string
+	for i := 1; i < n; i++ {
+		v := 65536 * i / n
+		bounds = append(bounds, string([]byte{byte(v >> 8), byte(v)}))
+	}
+	return bounds
+}
+
+// Pool is a set of partitioned engines served concurrently.
+type Pool struct {
+	pmap   *partition.Map
+	shards []*Shard
+
+	// hook observes owner-authoritative changes (for cross-server
+	// subscription forwarding at the network layer). Set before serving.
+	hook func(shard int, c core.Change)
+
+	// fwd is the set of base source tables replicated to sibling shards;
+	// copy-on-write so the change hook reads it without extra locking.
+	fwd atomic.Pointer[map[string]bool]
+
+	// imu serializes install/loader bookkeeping (join set, fwd/ext
+	// recomputation, backfill).
+	imu       sync.Mutex
+	installed []*join.Join
+	texts     []string        // install texts, replayed to dry-run new ones
+	ext       map[string]bool // externally loader-backed tables
+
+	wg sync.WaitGroup
+}
+
+// Shard is one engine plus its lock, load condition, and apply queue.
+type Shard struct {
+	p   *Pool
+	idx int
+
+	mu       sync.Mutex
+	e        *core.Engine
+	loadCond *sync.Cond // signaled when an async load or replica apply lands
+
+	qmu    sync.Mutex
+	qcond  *sync.Cond
+	queue  []core.Change
+	busy   bool // applier is mid-batch
+	closed bool
+}
+
+// New builds a pool. Shards and Bounds must agree (n shards need n-1
+// bounds); either may be omitted and is derived from the other.
+func New(cfg Config) (*Pool, error) {
+	n := cfg.Shards
+	bounds := cfg.Bounds
+	switch {
+	case n <= 0 && len(bounds) == 0:
+		n = 1
+	case n <= 0:
+		n = len(bounds) + 1
+	case len(bounds) == 0 && n > 1:
+		if n > 65536 {
+			return nil, fmt.Errorf("shard: %d shards exceeds the default-bounds limit (65536); pass explicit Bounds", n)
+		}
+		bounds = DefaultBounds(n)
+	}
+	if len(bounds) != n-1 {
+		return nil, fmt.Errorf("shard: %d shards need %d bounds, have %d", n, n-1, len(bounds))
+	}
+	pmap, err := partition.New(bounds...)
+	if err != nil {
+		return nil, err
+	}
+	opts := cfg.Engine
+	if opts.MemLimit > 0 && n > 1 {
+		opts.MemLimit = (opts.MemLimit + int64(n) - 1) / int64(n)
+	}
+	p := &Pool{pmap: pmap, ext: make(map[string]bool)}
+	empty := map[string]bool{}
+	p.fwd.Store(&empty)
+	for i := 0; i < n; i++ {
+		sh := &Shard{p: p, idx: i, e: core.New(opts)}
+		sh.loadCond = sync.NewCond(&sh.mu)
+		sh.qcond = sync.NewCond(&sh.qmu)
+		i := i
+		sh.e.SetChangeHook(func(c core.Change) { p.onChange(i, c) })
+		p.shards = append(p.shards, sh)
+	}
+	if n > 1 {
+		for _, sh := range p.shards {
+			p.wg.Add(1)
+			go sh.applyLoop()
+		}
+	}
+	return p, nil
+}
+
+// Close stops the apply goroutines after draining their queues.
+func (p *Pool) Close() {
+	for _, sh := range p.shards {
+		sh.qmu.Lock()
+		sh.closed = true
+		sh.qmu.Unlock()
+		sh.qcond.Broadcast()
+	}
+	p.wg.Wait()
+}
+
+// NumShards returns the number of engines in the pool.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+// Owner returns the index of the shard owning key.
+func (p *Pool) Owner(key string) int { return p.pmap.Owner(key) }
+
+// Shard returns the i'th shard handle (loader wiring, tests).
+func (p *Pool) Shard(i int) *Shard { return p.shards[i] }
+
+// Map returns the pool's partition map.
+func (p *Pool) Map() *partition.Map { return p.pmap }
+
+// SetHook registers the observer of owner-authoritative changes, called
+// with the owning shard's lock held (it must only enqueue, like the
+// server's subscription forwarding). Set before serving traffic.
+func (p *Pool) SetHook(fn func(shard int, c core.Change)) { p.hook = fn }
+
+// onChange is every engine's change hook, called during mutation with
+// shard i's lock held. Only owner-authoritative changes propagate:
+// locally computed replicas of ranges owned elsewhere (cascaded source
+// joins clip to containing ranges, not ownership) stay local, so each
+// logical change is forwarded by exactly one shard, in that shard's
+// mutation order.
+func (p *Pool) onChange(i int, c core.Change) {
+	if len(p.shards) > 1 && p.pmap.Owner(c.Key) != i {
+		return
+	}
+	// Evictions drop this shard's cached copy, not the data's validity;
+	// siblings keep their replicas (§2.5).
+	if c.Op != core.OpEvict && len(p.shards) > 1 && (*p.fwd.Load())[keys.Table(c.Key)] {
+		for j, sh := range p.shards {
+			if j != i {
+				sh.enqueue(c)
+			}
+		}
+	}
+	if p.hook != nil {
+		p.hook(i, c)
+	}
+}
+
+// enqueue appends a forwarded change to this shard's apply queue. Called
+// with the *sender's* lock held so the queue preserves owner order.
+func (sh *Shard) enqueue(c core.Change) {
+	sh.qmu.Lock()
+	sh.queue = append(sh.queue, c)
+	sh.qmu.Unlock()
+	sh.qcond.Signal()
+}
+
+// applyLoop drains forwarded base-data changes into the engine — the
+// in-process twin of the server's MsgNotify path.
+func (sh *Shard) applyLoop() {
+	defer sh.p.wg.Done()
+	for {
+		sh.qmu.Lock()
+		for len(sh.queue) == 0 && !sh.closed {
+			sh.qcond.Wait()
+		}
+		if len(sh.queue) == 0 && sh.closed {
+			sh.qmu.Unlock()
+			return
+		}
+		batch := sh.queue
+		sh.queue = nil
+		sh.busy = true
+		sh.qmu.Unlock()
+
+		sh.mu.Lock()
+		for _, c := range batch {
+			if c.Op == core.OpRemove {
+				sh.e.Remove(c.Key)
+			} else {
+				sh.e.Put(c.Key, c.Value)
+			}
+		}
+		sh.loadCond.Broadcast()
+		sh.mu.Unlock()
+
+		sh.qmu.Lock()
+		sh.busy = false
+		sh.qmu.Unlock()
+		sh.qcond.Broadcast()
+	}
+}
+
+// Quiesce blocks until every apply queue is drained and idle: after it
+// returns, all previously forwarded base-data changes are visible on all
+// shards. Replica applies never re-forward (they are not owner-
+// authoritative at the receiver), so a single settled pass suffices; the
+// outer loop re-checks in case an in-flight mutation raced the first
+// pass.
+func (p *Pool) Quiesce() {
+	for {
+		for _, sh := range p.shards {
+			sh.qmu.Lock()
+			for len(sh.queue) > 0 || sh.busy {
+				sh.qcond.Wait()
+			}
+			sh.qmu.Unlock()
+		}
+		settled := true
+		for _, sh := range p.shards {
+			sh.qmu.Lock()
+			if len(sh.queue) > 0 || sh.busy {
+				settled = false
+			}
+			sh.qmu.Unlock()
+		}
+		if settled {
+			return
+		}
+	}
+}
+
+// --- routed operations ---
+
+// Put stores value under key at its owning shard and runs incremental
+// maintenance there (forwarding to siblings via the change hook).
+func (p *Pool) Put(key, value string) {
+	sh := p.shards[p.pmap.Owner(key)]
+	sh.mu.Lock()
+	sh.e.Put(key, value)
+	sh.mu.Unlock()
+}
+
+// Remove deletes key at its owning shard, reporting whether it existed.
+func (p *Pool) Remove(key string) bool {
+	sh := p.shards[p.pmap.Owner(key)]
+	sh.mu.Lock()
+	found := sh.e.Remove(key)
+	sh.mu.Unlock()
+	return found
+}
+
+// Get returns the value under key from its owning shard, blocking on
+// outstanding base-data loads (§3.3 restart contexts) like the server's
+// command loop.
+func (p *Pool) Get(key string) (string, bool) {
+	sh := p.shards[p.pmap.Owner(key)]
+	sh.mu.Lock()
+	for {
+		v, ok, pending := sh.e.Get(key)
+		if pending == 0 {
+			sh.mu.Unlock()
+			return v, ok
+		}
+		sh.waitLoadsLocked()
+	}
+}
+
+// Scan returns up to limit (0 = all) pairs in [lo, hi), fanning
+// cross-shard ranges out concurrently and concatenating the per-shard
+// sorted pieces (which arrive in key order). buf's capacity is reused
+// for the first piece. If sub is non-nil it is invoked for each piece
+// while the owning shard's lock is still held, immediately after that
+// piece's final (complete) scan — the atomic snapshot+subscribe window
+// cross-server subscriptions need (§2.4).
+func (p *Pool) Scan(lo, hi string, limit int, buf []core.KV, sub func(shard int, r keys.Range)) []core.KV {
+	pieces := p.pmap.Split(keys.Range{Lo: lo, Hi: hi})
+	if len(pieces) == 0 {
+		return buf[:0]
+	}
+	if len(pieces) == 1 {
+		return p.scanPiece(pieces[0], limit, buf, sub)
+	}
+	if limit > 0 && sub == nil {
+		// A limited scan stops at the first piece that satisfies it:
+		// visiting pieces sequentially with the remaining limit avoids
+		// forcing join materialization (and the cache state it creates)
+		// in pieces whose rows would be truncated anyway. Subscribing
+		// scans still fan out to every piece — each subscription needs
+		// its piece's complete snapshot.
+		out := p.scanPiece(pieces[0], limit, buf, nil)
+		var scratch []core.KV
+		for _, pc := range pieces[1:] {
+			if len(out) >= limit {
+				break
+			}
+			scratch = p.scanPiece(pc, limit-len(out), scratch[:0], nil)
+			out = append(out, scratch...)
+		}
+		return out
+	}
+	results := make([][]core.KV, len(pieces))
+	var wg sync.WaitGroup
+	for i, pc := range pieces {
+		i, pc := i, pc
+		var b []core.KV
+		if i == 0 {
+			b = buf
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = p.scanPiece(pc, limit, b, sub)
+		}()
+	}
+	wg.Wait()
+	out := results[0]
+	for _, r := range results[1:] {
+		out = append(out, r...)
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// scanPiece scans one owner's piece, retrying until no loads are pending.
+func (p *Pool) scanPiece(pc partition.Shard, limit int, buf []core.KV, sub func(int, keys.Range)) []core.KV {
+	sh := p.shards[pc.Owner]
+	sh.mu.Lock()
+	for {
+		kvs, pending := sh.e.ScanInto(pc.R.Lo, pc.R.Hi, limit, buf)
+		buf = kvs
+		if pending == 0 {
+			if sub != nil {
+				sub(pc.Owner, pc.R)
+			}
+			sh.mu.Unlock()
+			return kvs
+		}
+		sh.waitLoadsLocked()
+	}
+}
+
+// Count returns the number of keys in [lo, hi) after join computation,
+// summing concurrent per-shard counts.
+func (p *Pool) Count(lo, hi string) int {
+	pieces := p.pmap.Split(keys.Range{Lo: lo, Hi: hi})
+	if len(pieces) == 0 {
+		return 0
+	}
+	counts := make([]int, len(pieces))
+	var wg sync.WaitGroup
+	for i, pc := range pieces {
+		i, pc := i, pc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sh := p.shards[pc.Owner]
+			sh.mu.Lock()
+			for {
+				n, pending := sh.e.Count(pc.R.Lo, pc.R.Hi)
+				if pending == 0 {
+					counts[i] = n
+					sh.mu.Unlock()
+					return
+				}
+				sh.waitLoadsLocked()
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}
+
+// Apply routes a batch of replicated changes (peer pushes, database
+// feeds) to their owning shards.
+func (p *Pool) Apply(changes []core.Change) {
+	if len(p.shards) == 1 {
+		p.shards[0].ApplyBatch(changes)
+		return
+	}
+	byOwner := make([][]core.Change, len(p.shards))
+	for _, c := range changes {
+		o := p.pmap.Owner(c.Key)
+		byOwner[o] = append(byOwner[o], c)
+	}
+	for i, mine := range byOwner {
+		if len(mine) > 0 {
+			p.shards[i].ApplyBatch(mine)
+		}
+	}
+}
+
+// InstallText parses a join specification and installs it on every shard
+// (each shard re-parses so engines share no mutable state). The text is
+// first dry-run on a scratch engine replaying the pool's already
+// installed joins, so a rejected join — even one late in a multi-join
+// text — fails atomically before any shard is touched. Newly needed base
+// source tables are backfilled to all shards and replicated from then on.
+func (p *Pool) InstallText(text string) error {
+	js, err := join.ParseAll(text)
+	if err != nil {
+		return err
+	}
+	p.imu.Lock()
+	defer p.imu.Unlock()
+	scratch := core.New(core.Options{})
+	for _, prev := range p.texts {
+		replay, err := join.ParseAll(prev)
+		if err != nil {
+			panic("shard: installed join text no longer parses: " + err.Error())
+		}
+		for _, j := range replay {
+			if err := scratch.Install(j); err != nil {
+				panic("shard: installed join text no longer installs: " + err.Error())
+			}
+		}
+	}
+	trial, err := join.ParseAll(text) // scratch gets its own copies too
+	if err != nil {
+		return err
+	}
+	for _, j := range trial {
+		if err := scratch.Install(j); err != nil {
+			return err
+		}
+	}
+	for _, sh := range p.shards {
+		own, err := join.ParseAll(text)
+		if err != nil {
+			panic("shard: validated join text no longer parses: " + err.Error())
+		}
+		sh.mu.Lock()
+		for _, j := range own {
+			if err := sh.e.Install(j); err != nil {
+				sh.mu.Unlock()
+				// The scratch replay accepted this exact sequence and all
+				// engines see identical join sets, so this is
+				// unreachable — but fail loudly rather than diverge.
+				panic("shard: divergent join installation: " + err.Error())
+			}
+		}
+		sh.mu.Unlock()
+	}
+	p.texts = append(p.texts, text)
+	p.installed = append(p.installed, js...)
+	p.refreshForwardingLocked()
+	return nil
+}
+
+// SetExternalTables marks tables as backed by an external loader (a
+// database or remote home server): each shard loads and subscribes to
+// those ranges itself, so the pool stops replicating them. Call under
+// the same setup phase as Shard.SetLoader.
+func (p *Pool) SetExternalTables(tables ...string) {
+	p.imu.Lock()
+	defer p.imu.Unlock()
+	for _, t := range tables {
+		p.ext[t] = true
+	}
+	p.refreshForwardingLocked()
+}
+
+// refreshForwardingLocked recomputes the forwarded-table set — base
+// source tables of installed joins that are neither some join's output
+// (each shard computes those locally, recursively) nor externally
+// loaded — and backfills tables that just became forwarded. Caller holds
+// imu.
+func (p *Pool) refreshForwardingLocked() {
+	if len(p.shards) == 1 {
+		return
+	}
+	outputs := map[string]bool{}
+	for _, j := range p.installed {
+		outputs[j.Out.Table()] = true
+	}
+	next := map[string]bool{}
+	for _, j := range p.installed {
+		for _, t := range j.SourceTables() {
+			if !outputs[t] && !p.ext[t] {
+				next[t] = true
+			}
+		}
+	}
+	prev := *p.fwd.Load()
+	p.fwd.Store(&next)
+	for t := range next {
+		if !prev[t] {
+			p.backfill(t)
+		}
+	}
+}
+
+// backfill replicates the current contents of a newly forwarded table
+// from each owner to every sibling. Enqueueing happens under the owner's
+// lock so concurrent writes forward in order behind the snapshot.
+func (p *Pool) backfill(table string) {
+	tr := keys.Range{Lo: table + keys.SepString, Hi: keys.PrefixEnd(table + keys.SepString)}
+	for _, pc := range p.pmap.Split(tr) {
+		sh := p.shards[pc.Owner]
+		sh.mu.Lock()
+		kvs, _ := sh.e.Scan(pc.R.Lo, pc.R.Hi, 0)
+		for _, kv := range kvs {
+			if p.pmap.Owner(kv.Key) != pc.Owner {
+				continue // a stray replica; its owner backfills it
+			}
+			c := core.Change{Op: core.OpPut, Key: kv.Key, Value: kv.Value}
+			for j, dst := range p.shards {
+				if j != pc.Owner {
+					dst.enqueue(c)
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// SetSubtableDepth marks a §4.1 boundary on every shard.
+func (p *Pool) SetSubtableDepth(table string, depth int) {
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		sh.e.SetSubtableDepth(table, depth)
+		sh.mu.Unlock()
+	}
+}
+
+// Stats sums the engine counters across shards.
+func (p *Pool) Stats() core.Stats {
+	var total core.Stats
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		addStats(&total, sh.e.Stats())
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Bytes sums the approximate memory footprint across shards.
+func (p *Pool) Bytes() int64 {
+	var total int64
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		total += sh.e.Store().Bytes()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Len sums the number of cached keys across shards.
+func (p *Pool) Len() int {
+	total := 0
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		total += sh.e.Store().Len()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+func addStats(dst *core.Stats, s core.Stats) {
+	dst.Gets += s.Gets
+	dst.Puts += s.Puts
+	dst.Removes += s.Removes
+	dst.Scans += s.Scans
+	dst.ScannedKeys += s.ScannedKeys
+	dst.JoinExecs += s.JoinExecs
+	dst.PullExecs += s.PullExecs
+	dst.UpdatersInstalled += s.UpdatersInstalled
+	dst.UpdatersMerged += s.UpdatersMerged
+	dst.UpdaterFires += s.UpdaterFires
+	dst.LogsApplied += s.LogsApplied
+	dst.Invalidations += s.Invalidations
+	dst.Evictions += s.Evictions
+	dst.LoadsStarted += s.LoadsStarted
+	dst.NotifiedChanges += s.NotifiedChanges
+}
+
+// --- shard handle (loader wiring) ---
+
+// Index returns this shard's position in the pool.
+func (sh *Shard) Index() int { return sh.idx }
+
+// SetLoader registers a base-data loader on this shard's engine for the
+// given tables (§3.3). Callers must also mark the tables external on the
+// pool so replication skips them.
+func (sh *Shard) SetLoader(l core.BaseLoader, tables ...string) {
+	sh.mu.Lock()
+	sh.e.SetLoader(l, tables...)
+	sh.mu.Unlock()
+}
+
+// LoadComplete delivers an asynchronous load result to this shard and
+// wakes requests blocked on it.
+func (sh *Shard) LoadComplete(table string, r keys.Range, kvs []core.KV) {
+	sh.mu.Lock()
+	sh.e.LoadComplete(table, r, kvs)
+	sh.loadCond.Broadcast()
+	sh.mu.Unlock()
+}
+
+// ApplyBatch applies replicated changes to this shard (database update
+// feeds, peer subscription pushes) and wakes blocked requests.
+func (sh *Shard) ApplyBatch(changes []core.Change) {
+	sh.mu.Lock()
+	for _, c := range changes {
+		if c.Op == core.OpRemove {
+			sh.e.Remove(c.Key)
+		} else {
+			sh.e.Put(c.Key, c.Value)
+		}
+	}
+	sh.loadCond.Broadcast()
+	sh.mu.Unlock()
+}
+
+// WithEngine runs fn with the shard lock held — stats snapshots, tests,
+// and warm-up phases that want direct engine access.
+func (sh *Shard) WithEngine(fn func(e *core.Engine)) {
+	sh.mu.Lock()
+	fn(sh.e)
+	sh.mu.Unlock()
+}
+
+// waitLoadsLocked blocks (holding sh.mu via the cond) until some async
+// load completes, then lets the caller retry — the iterative evaluation
+// of §3.3.
+func (sh *Shard) waitLoadsLocked() {
+	gen := sh.e.LoadGen()
+	for sh.e.LoadGen() == gen {
+		sh.loadCond.Wait()
+	}
+}

@@ -26,18 +26,35 @@
 //     notification (eventually consistent), plus an optional
 //     write-around backing database.
 //
+// # Concurrency
+//
+// Each core engine is single-writer, like the paper's event-driven
+// server, but a Cache or Server hosts a pool of them partitioned by key
+// range (§2.4, §5.5 scaled down into one process): pass WithShards /
+// WithBounds to New, or set ServerConfig.Shards/Bounds. Operations lock
+// only the shard owning their key, and cross-shard scans fan out
+// concurrently, so read throughput scales with shards on a multi-core
+// machine. Joins run on every shard; base writes to join source tables
+// are forwarded between shards asynchronously, in owner order — the same
+// eventual-consistency model as the paper's cross-server subscriptions.
+// Quiesce waits for that propagation to settle. The default is one
+// shard, which is fully synchronous.
+//
+// To verify a checkout, run the tier-1 gate:
+//
+//	go build ./... && go test ./...
+//
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation.
 package pequod
 
 import (
-	"sync"
-
 	"pequod/internal/backdb"
 	"pequod/internal/client"
 	"pequod/internal/core"
 	"pequod/internal/join"
 	"pequod/internal/server"
+	"pequod/internal/shard"
 )
 
 // KV is one key-value pair in a scan result.
@@ -80,92 +97,120 @@ func ParseJoins(text string) error {
 	return err
 }
 
-// Cache is an embedded, thread-safe Pequod engine: the full cache-join
-// machinery without the network. A Cache is what one server process
-// hosts; applications embedding Pequod use it directly.
+// CacheOption tunes an embedded Cache beyond the engine Options — shard
+// count and partition bounds.
+type CacheOption func(*shard.Config)
+
+// WithShards runs the cache as n partitioned engines served
+// concurrently (default 1). Pair with WithBounds: without it the key
+// space is split evenly by 16-bit prefix, which only balances uniformly
+// distributed binary keys — ASCII table-prefixed keys ("t|ann|...")
+// cluster onto one shard.
+func WithShards(n int) CacheOption {
+	return func(c *shard.Config) { c.Shards = n }
+}
+
+// WithBounds sets the partition split points between shards: shard i
+// owns [bounds[i-1], bounds[i]). n bounds imply n+1 shards; combine with
+// WithShards only if the counts agree. partition.UserBounds builds
+// bounds for the Twip-style zero-padded user keyspace.
+func WithBounds(bounds ...string) CacheOption {
+	return func(c *shard.Config) { c.Bounds = append([]string(nil), bounds...) }
+}
+
+// Cache is an embedded, thread-safe Pequod cache: the full cache-join
+// machinery without the network, over a pool of one or more partitioned
+// engines. A Cache is what one server process hosts; applications
+// embedding Pequod use it directly.
 type Cache struct {
-	mu sync.Mutex
-	e  *core.Engine
+	p *shard.Pool
 }
 
-// New returns an embedded cache.
-func New(opts Options) *Cache {
-	return &Cache{e: core.New(opts)}
+// New returns an embedded cache. Shard options that do not form a valid
+// partition (mismatched counts, unsorted bounds) panic, like a malformed
+// static partition.Map — they are configuration errors.
+func New(opts Options, extra ...CacheOption) *Cache {
+	cfg := shard.Config{Engine: opts}
+	for _, o := range extra {
+		o(&cfg)
+	}
+	p, err := shard.New(cfg)
+	if err != nil {
+		panic("pequod: " + err.Error())
+	}
+	return &Cache{p: p}
 }
 
-// Install parses and installs cache joins ("add-join", §3).
+// Shards returns the number of partitioned engines serving this cache.
+func (c *Cache) Shards() int { return c.p.NumShards() }
+
+// Install parses and installs cache joins ("add-join", §3) on every
+// shard.
 func (c *Cache) Install(joins string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.e.InstallText(joins)
+	return c.p.InstallText(joins)
 }
 
-// Put stores value under key and runs incremental view maintenance.
+// Put stores value under key and runs incremental view maintenance on
+// the owning shard, forwarding source-table writes to sibling shards.
 func (c *Cache) Put(key, value string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.e.Put(key, value)
+	c.p.Put(key, value)
 }
 
 // Remove deletes key, reporting whether it existed.
 func (c *Cache) Remove(key string) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.e.Remove(key)
+	return c.p.Remove(key)
 }
 
 // Get returns the value under key, computing covering joins on demand.
 func (c *Cache) Get(key string) (string, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	v, ok, _ := c.e.Get(key)
-	return v, ok
+	return c.p.Get(key)
 }
 
 // Scan returns up to limit (0 = all) pairs in [lo, hi), computing
-// overlapping joins on demand. An empty hi means "to the end of the
-// keyspace"; use keys like "t|ann}" (see PrefixEnd) for prefix scans.
+// overlapping joins on demand; cross-shard ranges are scanned
+// concurrently. An empty hi means "to the end of the keyspace"; use keys
+// like "t|ann}" (see PrefixEnd) for prefix scans.
 func (c *Cache) Scan(lo, hi string, limit int) []KV {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	kvs, _ := c.e.Scan(lo, hi, limit)
-	return kvs
+	return c.p.Scan(lo, hi, limit, nil, nil)
 }
 
 // Count returns the number of keys in [lo, hi) after join computation.
 func (c *Cache) Count(lo, hi string) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n, _ := c.e.Count(lo, hi)
-	return n
+	return c.p.Count(lo, hi)
 }
 
 // SetSubtableDepth marks a natural key boundary for a table (§4.1).
 func (c *Cache) SetSubtableDepth(table string, depth int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.e.SetSubtableDepth(table, depth)
+	c.p.SetSubtableDepth(table, depth)
 }
 
-// Stats snapshots the engine counters.
+// Stats snapshots the engine counters, summed across shards.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.e.Stats()
+	return c.p.Stats()
 }
 
 // Bytes returns the approximate memory footprint of the cache.
 func (c *Cache) Bytes() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.e.Store().Bytes()
+	return c.p.Bytes()
 }
 
-// Len returns the number of cached keys (base + computed).
+// Len returns the number of cached keys (base + computed + replicated).
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.e.Store().Len()
+	return c.p.Len()
+}
+
+// Quiesce blocks until cross-shard source replication has settled: after
+// it returns, reads anywhere see every write issued before the call. A
+// single-shard cache is always settled.
+func (c *Cache) Quiesce() {
+	c.p.Quiesce()
+}
+
+// Close stops the cache's background shard appliers. Only multi-shard
+// caches run goroutines; closing a single-shard cache is a no-op and
+// using a cache after Close is not allowed.
+func (c *Cache) Close() {
+	c.p.Close()
 }
 
 // PrefixEnd returns the smallest key greater than every key with the
