@@ -10,6 +10,7 @@ package pequod
 // One table: go test -bench=BenchmarkFig7 -benchtime=1x
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -184,26 +185,30 @@ func BenchmarkAblationValueSharing(b *testing.B) {
 // with the timeline join installed: the per-op costs underlying every
 // macro result above.
 func BenchmarkEmbeddedOps(b *testing.B) {
+	ctx := context.Background()
 	setup := func() *Cache {
-		c := New(Options{})
-		if err := c.Install("t|<user>|<time:10>|<poster> = check s|<user>|<poster> copy p|<poster>|<time:10>"); err != nil {
+		c, err := NewCache(Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Install(ctx, "t|<user>|<time:10>|<poster> = check s|<user>|<poster> copy p|<poster>|<time:10>"); err != nil {
 			b.Fatal(err)
 		}
 		c.SetSubtableDepth("t", 2)
 		for u := 0; u < 100; u++ {
 			for p := 0; p < 20; p++ {
-				c.Put(fmt.Sprintf("s|u%07d|u%07d", u, (u+p+1)%100), "1")
+				c.Put(ctx, fmt.Sprintf("s|u%07d|u%07d", u, (u+p+1)%100), "1")
 			}
 		}
 		for p := 0; p < 100; p++ {
 			for i := 0; i < 50; i++ {
-				c.Put(fmt.Sprintf("p|u%07d|%010d", p, i), "tweet body text")
+				c.Put(ctx, fmt.Sprintf("p|u%07d|%010d", p, i), "tweet body text")
 			}
 		}
 		// Warm all timelines.
 		for u := 0; u < 100; u++ {
-			lo, hi := RangeOf("t", fmt.Sprintf("u%07d", u))
-			c.Scan(lo, hi, 0)
+			r := ScanRange("t", fmt.Sprintf("u%07d", u))
+			c.Scan(ctx, r.Lo, r.Hi, 0)
 		}
 		return c
 	}
@@ -213,15 +218,15 @@ func BenchmarkEmbeddedOps(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			// Each post eagerly updates ~20 materialized timelines.
-			c.Put(fmt.Sprintf("p|u%07d|%010d", i%100, 1000+i), "new tweet")
+			c.Put(ctx, fmt.Sprintf("p|u%07d|%010d", i%100, 1000+i), "new tweet")
 		}
 	})
 	b.Run("WarmTimelineScan", func(b *testing.B) {
 		c := setup()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			lo, hi := RangeOf("t", fmt.Sprintf("u%07d", i%100))
-			c.Scan(lo, hi, 0)
+			r := ScanRange("t", fmt.Sprintf("u%07d", i%100))
+			c.Scan(ctx, r.Lo, r.Hi, 0)
 		}
 	})
 	b.Run("IncrementalCheck", func(b *testing.B) {
@@ -229,7 +234,84 @@ func BenchmarkEmbeddedOps(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			u := fmt.Sprintf("u%07d", i%100)
-			c.Scan(JoinKey("t", u, fmt.Sprintf("%010d", 40)), PrefixEnd(JoinKey("t", u)+"|"), 0)
+			c.Scan(ctx, JoinKey("t", u, fmt.Sprintf("%010d", 40)), PrefixEnd(JoinKey("t", u)+"|"), 0)
 		}
 	})
+}
+
+// BenchmarkClusterScan measures networked scan fan-out: warm timeline
+// scans against a Cluster of 1, 2, and 4 single-shard servers, the
+// on-the-wire counterpart of BenchmarkShardScaling. Cross-server ranges
+// split by owner, fetch concurrently, and merge at the client.
+func BenchmarkClusterScan(b *testing.B) {
+	ctx := context.Background()
+	const users = 64
+	uid := func(u int) string { return fmt.Sprintf("u%03d", u%users) }
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("servers=%d", n), func(b *testing.B) {
+			var addrs []string
+			var bounds []string
+			for i := 0; i < n; i++ {
+				s, err := NewServer(ServerConfig{Name: fmt.Sprintf("b%d", i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				addr, err := s.Start()
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				addrs = append(addrs, addr)
+				if i > 0 {
+					// Split the timeline table across the members; base
+					// tables land on member 0.
+					bounds = append(bounds, fmt.Sprintf("t|%s", uid(users*i/n)))
+				}
+			}
+			cl, err := NewCluster(ctx, ClusterConfig{
+				Addrs:  addrs,
+				Bounds: bounds,
+				Joins:  "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>",
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			var pairs []KV
+			for u := 0; u < users; u++ {
+				for p := 0; p < 8; p++ {
+					pairs = append(pairs, KV{Key: JoinKey("s", uid(u), uid(u+p+1)), Value: "1"})
+				}
+				for i := 0; i < 16; i++ {
+					pairs = append(pairs, KV{Key: JoinKey("p", uid(u), fmt.Sprintf("%04d", i)), Value: "tweet body text"})
+				}
+			}
+			if err := cl.PutBatch(ctx, pairs); err != nil {
+				b.Fatal(err)
+			}
+			if err := cl.Quiesce(ctx); err != nil {
+				b.Fatal(err)
+			}
+			// Warm every timeline, then measure: per-user warm scans plus
+			// one full cross-server sweep per round.
+			for u := 0; u < users; u++ {
+				r := ScanRange("t", uid(u))
+				if _, err := cl.Scan(ctx, r.Lo, r.Hi, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := ScanRange("t", uid(i))
+				if _, err := cl.Scan(ctx, r.Lo, r.Hi, 0); err != nil {
+					b.Fatal(err)
+				}
+				if i%users == 0 {
+					if _, err := cl.Scan(ctx, "t|", "t}", 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
 }

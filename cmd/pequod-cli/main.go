@@ -1,8 +1,12 @@
-// Command pequod-cli is a command-line client for a Pequod server.
+// Command pequod-cli is a command-line client for Pequod servers. It
+// speaks the unified Store API: point it at one server (-addr) or at a
+// partitioned cluster (-addrs with -bounds), and the same commands work
+// against either.
 //
 // Usage:
 //
 //	pequod-cli [-addr host:port] command args...
+//	pequod-cli -addrs a:1,a:2 -bounds 'm' command args...
 //
 // Commands:
 //
@@ -13,47 +17,70 @@
 //	scanpfx COMP [COMP...]   print pairs with the component prefix
 //	count LO HI              count keys in [LO, HI)
 //	addjoin SPEC             install a cache join
-//	stat                     print server statistics (JSON)
+//	quiesce                  settle asynchronous replication
+//	stat                     print engine counters
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strconv"
+	"strings"
+	"time"
 
-	"pequod/internal/client"
-	"pequod/internal/keys"
+	"pequod"
 )
 
 func main() {
 	log.SetPrefix("pequod-cli: ")
 	log.SetFlags(0)
 	addr := flag.String("addr", "127.0.0.1:7744", "server address")
+	addrs := flag.String("addrs", "", "comma-separated cluster member addresses, one per partition range")
+	bounds := flag.String("bounds", "", "comma-separated partition split points (cluster mode; one fewer than -addrs)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-invocation deadline")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	c, err := client.Dial(*addr)
-	if err != nil {
-		log.Fatal(err)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var store pequod.Store
+	if *addrs != "" {
+		cfg := pequod.ClusterConfig{Addrs: strings.Split(*addrs, ",")}
+		if *bounds != "" {
+			cfg.Bounds = strings.Split(*bounds, ",")
+		}
+		cl, err := pequod.NewCluster(ctx, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store = cl
+	} else {
+		c, err := pequod.DialContext(ctx, *addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store = c
 	}
-	defer c.Close()
-	if err := run(c, args); err != nil {
+	defer store.Close()
+	if err := run(ctx, store, args); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(c *client.Client, args []string) error {
+func run(ctx context.Context, c pequod.Store, args []string) error {
 	switch cmd := args[0]; cmd {
 	case "get":
 		if len(args) != 2 {
 			return fmt.Errorf("get KEY")
 		}
-		v, found, err := c.Get(args[1])
+		v, found, err := c.Get(ctx, args[1])
 		if err != nil {
 			return err
 		}
@@ -65,12 +92,12 @@ func run(c *client.Client, args []string) error {
 		if len(args) != 3 {
 			return fmt.Errorf("put KEY VALUE")
 		}
-		return c.Put(args[1], args[2])
+		return c.Put(ctx, args[1], args[2])
 	case "rm":
 		if len(args) != 2 {
 			return fmt.Errorf("rm KEY")
 		}
-		found, err := c.Remove(args[1])
+		found, err := c.Remove(ctx, args[1])
 		if err != nil {
 			return err
 		}
@@ -89,30 +116,18 @@ func run(c *client.Client, args []string) error {
 				return err
 			}
 		}
-		kvs, err := c.Scan(args[1], args[2], limit)
-		if err != nil {
-			return err
-		}
-		for _, kv := range kvs {
-			fmt.Printf("%s\t%s\n", kv.Key, kv.Value)
-		}
+		return printScan(ctx, c, args[1], args[2], limit)
 	case "scanpfx":
 		if len(args) < 2 {
 			return fmt.Errorf("scanpfx COMP [COMP...]")
 		}
-		r := keys.RangeOf(args[1:]...)
-		kvs, err := c.Scan(r.Lo, r.Hi, 0)
-		if err != nil {
-			return err
-		}
-		for _, kv := range kvs {
-			fmt.Printf("%s\t%s\n", kv.Key, kv.Value)
-		}
+		r := pequod.ScanRange(args[1:]...)
+		return printScan(ctx, c, r.Lo, r.Hi, 0)
 	case "count":
 		if len(args) != 3 {
 			return fmt.Errorf("count LO HI")
 		}
-		n, err := c.Count(args[1], args[2])
+		n, err := c.Count(ctx, args[1], args[2])
 		if err != nil {
 			return err
 		}
@@ -121,15 +136,28 @@ func run(c *client.Client, args []string) error {
 		if len(args) != 2 {
 			return fmt.Errorf("addjoin SPEC")
 		}
-		return c.AddJoin(args[1])
+		return c.Install(ctx, args[1])
+	case "quiesce":
+		return c.Quiesce(ctx)
 	case "stat":
-		s, err := c.Stat()
+		st, err := c.Stats(ctx)
 		if err != nil {
 			return err
 		}
-		fmt.Println(s)
+		fmt.Printf("%+v\n", st)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+func printScan(ctx context.Context, c pequod.Store, lo, hi string, limit int) error {
+	kvs, err := c.Scan(ctx, lo, hi, limit)
+	if err != nil {
+		return err
+	}
+	for _, kv := range kvs {
+		fmt.Printf("%s\t%s\n", kv.Key, kv.Value)
 	}
 	return nil
 }

@@ -1,76 +1,83 @@
-// Distributed example: the §2.4 topology — base (home) servers absorbing
-// writes, a compute server executing the timeline join against remotely
-// fetched base data, kept fresh by cross-server subscriptions.
+// Distributed example: the §2.4 topology — servers partitioned by key
+// range, the timeline join computed where the timelines live, kept
+// fresh by cross-server subscriptions.
+//
+// The application never routes a key itself: it builds a
+// pequod.Cluster, which owns the partition map, sends every write to
+// its home server, fans cross-server scans out and merges them, and
+// wires the server-to-server subscription mesh when the join is
+// installed.
 //
 // Run: go run ./examples/distributed
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"pequod"
-	"pequod/internal/partition"
 )
 
 func main() {
-	// Two home servers split the base tables: posters a–m on home0,
-	// n–z on home1 (posts by poster; subscriptions by user).
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Two servers split the key space into four ranges: posters a-m and
+	// n-z on alternating homes for the base tables, and the computed
+	// timelines (t|...) on both.
 	home0 := mustServer(pequod.ServerConfig{Name: "home0"})
 	home1 := mustServer(pequod.ServerConfig{Name: "home1"})
 	addr0 := mustStart(home0)
 	addr1 := mustStart(home1)
 	defer home0.Close()
 	defer home1.Close()
+	fmt.Printf("servers: %s %s\n", addr0, addr1)
 
-	// The partition function maps key ranges to home servers (§2.4).
-	pmap := partition.MustNew("p|n", "s|", "s|n")
-	addrs := []string{addr0, addr1, addr0, addr1}
-
-	compute := mustServer(pequod.ServerConfig{
-		Name:  "compute",
-		Joins: "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>",
+	// The partition function maps key ranges to home servers (§2.4):
+	// range i is [bounds[i-1], bounds[i]), served by addrs[i]. Building
+	// the cluster installs the timeline join on every member and wires
+	// the cross-server base-data subscriptions for its source tables.
+	cluster, err := pequod.NewCluster(ctx, pequod.ClusterConfig{
+		Bounds: []string{"p|n", "s|", "t|"},
+		Addrs:  []string{addr0, addr1, addr0, addr1},
+		Joins:  "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>",
 	})
-	if err := compute.ConnectPeers(pmap, addrs, "p", "s"); err != nil {
+	if err != nil {
 		log.Fatal(err)
 	}
-	caddr := mustStart(compute)
-	defer compute.Close()
-	fmt.Printf("homes: %s %s; compute: %s\n", addr0, addr1, caddr)
+	defer cluster.Close()
 
-	h0 := mustDial(addr0)
-	h1 := mustDial(addr1)
-	cc := mustDial(caddr)
-	defer h0.Close()
-	defer h1.Close()
-	defer cc.Close()
+	// Application writes go wherever the cluster routes them; ann's
+	// subscriptions and bob's posts land on home0, zed's posts on home1.
+	must(cluster.Put(ctx, "s|ann|bob", "1"))
+	must(cluster.Put(ctx, "s|ann|zed", "1"))
+	must(cluster.PutBatch(ctx, []pequod.KV{
+		{Key: "p|bob|100", Value: "bob from home0"},
+		{Key: "p|zed|150", Value: "zed from home1"},
+	}))
 
-	// Application writes go to home servers (write-around style).
-	must(h0.Put("s|ann|bob", "1"))
-	must(h0.Put("s|ann|zed", "1"))
-	must(h0.Put("p|bob|100", "bob from home0"))
-	must(h1.Put("p|zed|150", "zed from home1"))
-
-	// Reading ann's timeline at the compute server fetches base ranges
-	// from both homes, installs subscriptions, and computes the join.
-	kvs, err := cc.Scan("t|ann|", pequod.PrefixEnd("t|ann|"), 0)
+	// Reading ann's timeline routes to the member owning t|ann, which
+	// fetches base ranges from both homes, installs subscriptions, and
+	// computes the join.
+	r := pequod.ScanRange("t", "ann")
+	kvs, err := cluster.Scan(ctx, r.Lo, r.Hi, 0)
 	must(err)
 	fmt.Println("ann's timeline (computed from two home servers):")
 	for _, kv := range kvs {
 		fmt.Printf("  %s -> %q\n", kv.Key, kv.Value)
 	}
 
-	// A new post at its home flows to the compute server's materialized
-	// timeline through the subscription — asynchronously (eventual
-	// consistency, §2.4).
-	must(h1.Put("p|zed|200", "zed again"))
-	for i := 0; i < 100; i++ {
-		if v, found, _ := cc.Get("t|ann|200|zed"); found {
-			fmt.Printf("subscription delivered: t|ann|200|zed -> %q\n", v)
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
+	// A new post at its home flows to the materialized timeline through
+	// the subscription — asynchronously (eventual consistency, §2.4).
+	// Quiesce settles the propagation deterministically.
+	must(cluster.Put(ctx, "p|zed|200", "zed again"))
+	must(cluster.Quiesce(ctx))
+	if v, found, err := cluster.Get(ctx, "t|ann|200|zed"); err == nil && found {
+		fmt.Printf("subscription delivered: t|ann|200|zed -> %q\n", v)
+	} else {
+		log.Fatalf("timeline not fresh after quiesce: %q %v %v", v, found, err)
 	}
 }
 
@@ -88,14 +95,6 @@ func mustStart(s *pequod.Server) string {
 		log.Fatal(err)
 	}
 	return addr
-}
-
-func mustDial(addr string) *pequod.Client {
-	c, err := pequod.Dial(addr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return c
 }
 
 func must(err error) {

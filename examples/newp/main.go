@@ -6,9 +6,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"strings"
 
 	"pequod"
 )
@@ -23,36 +23,44 @@ const joins = `
 `
 
 func main() {
-	cache := pequod.New(pequod.Options{})
-	if err := cache.Install(joins); err != nil {
+	ctx := context.Background()
+	cache, err := pequod.NewCache(pequod.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cache.Close()
+	if err := cache.Install(ctx, joins); err != nil {
 		log.Fatal(err)
 	}
 
 	// bob posts an article; liz and pat comment; votes arrive — including
 	// votes on liz's own article, which give liz karma.
-	cache.Put("article|bob|101", "A deep dive into cache joins")
-	cache.Put("comment|bob|101|c1|liz", "great article!")
-	cache.Put("comment|bob|101|c2|pat", "needs more benchmarks")
-	cache.Put("vote|bob|101|u1", "1")
-	cache.Put("vote|bob|101|u2", "1")
-	cache.Put("article|liz|x1", "liz's own piece")
-	cache.Put("vote|liz|x1|u3", "1")
+	must(cache.PutBatch(ctx, []pequod.KV{
+		{Key: "article|bob|101", Value: "A deep dive into cache joins"},
+		{Key: "comment|bob|101|c1|liz", Value: "great article!"},
+		{Key: "comment|bob|101|c2|pat", Value: "needs more benchmarks"},
+		{Key: "vote|bob|101|u1", Value: "1"},
+		{Key: "vote|bob|101|u2", Value: "1"},
+		{Key: "article|liz|x1", Value: "liz's own piece"},
+		{Key: "vote|liz|x1|u3", Value: "1"},
+	}))
 
-	renderPage(cache, "bob", "101")
+	renderPage(ctx, cache, "bob", "101")
 
 	// A new vote on liz's article cascades: vote -> karma|liz ->
 	// page|bob|101|k|c1|liz (join-on-join, two hops, §2.3).
 	fmt.Println("\nanother vote for liz's article lands...")
-	cache.Put("vote|liz|x1|u4", "1")
-	renderPage(cache, "bob", "101")
+	must(cache.Put(ctx, "vote|liz|x1|u4", "1"))
+	renderPage(ctx, cache, "bob", "101")
 }
 
-func renderPage(cache *pequod.Cache, author, id string) {
+func renderPage(ctx context.Context, cache *pequod.Cache, author, id string) {
 	// "Newp can issue one scan on [page|bob|101, page|bob|101|+) to
 	// retrieve all of the disparate data needed to render an article
 	// page" (§2.3).
 	lo := pequod.JoinKey("page", author, id) + "|"
-	kvs := cache.Scan(lo, pequod.PrefixEnd(lo), 0)
+	kvs, err := cache.Scan(ctx, lo, pequod.PrefixEnd(lo), 0)
+	must(err)
 	fmt.Printf("— page %s/%s (%d items in one scan) —\n", author, id, len(kvs))
 	for _, kv := range kvs {
 		comps := pequod.SplitKey(kv.Key)
@@ -67,5 +75,10 @@ func renderPage(cache *pequod.Cache, author, id string) {
 			fmt.Printf("  %s's karma: %s\n", comps[5], kv.Value)
 		}
 	}
-	_ = strings.TrimSpace
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,9 +1,11 @@
-// Quickstart: the paper's §2.2 walkthrough on an embedded Pequod cache.
+// Quickstart: the paper's §2.2 walkthrough on an embedded Pequod cache,
+// through the unified Store API.
 //
 // Run: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,46 +13,64 @@ import (
 )
 
 func main() {
-	cache := pequod.New(pequod.Options{})
+	ctx := context.Background()
+	cache, err := pequod.NewCache(pequod.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cache.Close()
 
 	// The Twip timeline join (§2.2): "defines the value of
 	// t|user|time|poster as a copy of the value of p|poster|time
 	// whenever s|user|poster exists."
-	err := cache.Install(
+	err = cache.Install(ctx,
 		"t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>")
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// ann follows bob; bob tweets at time 100.
-	cache.Put("s|ann|bob", "1")
-	cache.Put("p|bob|100", "Hi")
+	must(cache.Put(ctx, "s|ann|bob", "1"))
+	must(cache.Put(ctx, "p|bob|100", "Hi"))
 
 	// ann checks her timeline: one ordered scan of [t|ann|, t|ann}).
-	lo, hi := pequod.RangeOf("t", "ann")
+	r := pequod.ScanRange("t", "ann")
 	fmt.Println("ann's timeline after bob's first tweet:")
-	for _, kv := range cache.Scan(lo, hi, 0) {
-		fmt.Printf("  %s -> %q\n", kv.Key, kv.Value)
-	}
+	printScan(ctx, cache, r)
 
 	// "If bob tweets again at time 120, the database will notify Pequod...
 	// This put triggers a process that automatically copies the tweet to
 	// key t|ann|120|bob" — eager incremental maintenance; no join rerun.
-	cache.Put("p|bob|120", "Hi again")
+	must(cache.Put(ctx, "p|bob|120", "Hi again"))
 	fmt.Println("after bob tweets again (maintained incrementally):")
-	for _, kv := range cache.Scan(lo, hi, 0) {
-		fmt.Printf("  %s -> %q\n", kv.Key, kv.Value)
-	}
+	printScan(ctx, cache, r)
 
 	// Subscription changes recompute lazily on the next read (§3.2).
-	cache.Put("s|ann|liz", "1")
-	cache.Put("p|liz|110", "liz was here")
+	must(cache.PutBatch(ctx, []pequod.KV{
+		{Key: "s|ann|liz", Value: "1"},
+		{Key: "p|liz|110", Value: "liz was here"},
+	}))
 	fmt.Println("after ann follows liz (lazy backfill on read):")
-	for _, kv := range cache.Scan(lo, hi, 0) {
-		fmt.Printf("  %s -> %q\n", kv.Key, kv.Value)
-	}
+	printScan(ctx, cache, r)
 
-	st := cache.Stats()
+	st, err := cache.Stats(ctx)
+	must(err)
 	fmt.Printf("stats: %d join executions, %d updater fires, %d log entries applied\n",
 		st.JoinExecs, st.UpdaterFires, st.LogsApplied)
+}
+
+// printScan works against any Store — the same code serves an embedded
+// cache, one server, or a cluster.
+func printScan(ctx context.Context, s pequod.Store, r pequod.Range) {
+	kvs, err := s.Scan(ctx, r.Lo, r.Hi, 0)
+	must(err)
+	for _, kv := range kvs {
+		fmt.Printf("  %s -> %q\n", kv.Key, kv.Value)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
 }

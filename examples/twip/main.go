@@ -5,13 +5,18 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"pequod"
 )
 
 func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	// Celebrity join set (§2.3): normal posts flow through the eager
 	// timeline join; celebrity posts are stored under cp|, collected
 	// time-primary in ct|, and joined at read time (pull) to save the
@@ -35,36 +40,40 @@ func main() {
 	defer srv.Close()
 	fmt.Println("twip server on", addr)
 
-	c, err := pequod.Dial(addr)
+	c, err := pequod.DialContext(ctx, addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer c.Close()
 
-	// ann follows bob (a regular user) and celeb (a celebrity).
-	must(c.Put("s|ann|bob", "1"))
-	must(c.Put("s|ann|celeb", "1"))
-	// bea follows only bob.
-	must(c.Put("s|bea|bob", "1"))
+	// ann follows bob (a regular user) and celeb (a celebrity); bea
+	// follows only bob. One pipelined batch: every put is sent before
+	// any reply is awaited.
+	must(c.PutBatch(ctx, []pequod.KV{
+		{Key: "s|ann|bob", Value: "1"},
+		{Key: "s|ann|celeb", Value: "1"},
+		{Key: "s|bea|bob", Value: "1"},
+		{Key: "p|bob|0100", Value: "bob: regular tweet"},
+		{Key: "cp|celeb|0150", Value: "celeb: to my millions of followers"},
+		{Key: "p|bob|0200", Value: "bob: another one"},
+	}))
 
-	must(c.Put("p|bob|0100", "bob: regular tweet"))
-	must(c.Put("cp|celeb|0150", "celeb: to my millions of followers"))
-	must(c.Put("p|bob|0200", "bob: another one"))
-
-	for _, user := range []string{"ann", "bea"} {
-		kvs, err := c.Scan("t|"+user+"|", pequod.PrefixEnd("t|"+user+"|"), 0)
-		if err != nil {
-			log.Fatal(err)
-		}
+	// Both timelines in one pipelined batch of range scans.
+	timelines, err := c.ScanBatch(ctx, []pequod.Range{
+		pequod.ScanRange("t", "ann"),
+		pequod.ScanRange("t", "bea"),
+	}, 0)
+	must(err)
+	for i, user := range []string{"ann", "bea"} {
 		fmt.Printf("%s's timeline:\n", user)
-		for _, kv := range kvs {
+		for _, kv := range timelines[i] {
 			fmt.Printf("  %s -> %q\n", kv.Key, kv.Value)
 		}
 	}
 
 	// The celebrity tweet reached ann through the pull join without ever
 	// being materialized; server stats show the difference.
-	st, err := c.Stat()
+	st, err := c.Stat(ctx)
 	must(err)
 	fmt.Println("server stats:", st)
 }

@@ -10,17 +10,26 @@ package client
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"pequod/internal/core"
 	"pequod/internal/rpc"
 )
 
 // ErrClosed is returned for operations on a closed client.
 var ErrClosed = errors.New("pequod client: connection closed")
+
+// DefaultDialTimeout bounds Dial's connection attempt; before it existed
+// a dead address hung for the kernel's default (minutes). DialContext
+// callers control their own bound.
+const DefaultDialTimeout = 10 * time.Second
 
 // Client is a connection to one Pequod server. Methods are safe for
 // concurrent use; requests pipeline on the single connection.
@@ -50,9 +59,19 @@ type Client struct {
 
 // Future is a pending reply.
 type Future struct {
+	c   *Client // nil for futures failed at creation
+	seq uint64
 	ch  chan struct{}
 	m   *rpc.Message
 	err error
+
+	// onReply, if set, runs on the reader goroutine when the reply
+	// arrives, before the future resolves — in program order with this
+	// connection's OnNotify deliveries. Cross-server subscriptions use
+	// it to apply a snapshot before any push that followed it on the
+	// wire. Like OnNotify, it must not block on this client's sync
+	// calls. Not called on transport failure.
+	onReply func(*rpc.Message)
 }
 
 // Wait blocks until the reply arrives.
@@ -61,9 +80,57 @@ func (f *Future) Wait() (*rpc.Message, error) {
 	return f.m, f.err
 }
 
-// Dial connects to a Pequod server.
+// WaitCtx blocks until the reply arrives or ctx is done. A canceled wait
+// fails the future (a later Wait returns the same error) and abandons
+// the in-flight request: its eventual reply is discarded, and the
+// connection stays usable for subsequent calls.
+func (f *Future) WaitCtx(ctx context.Context) (*rpc.Message, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return f.Wait()
+	}
+	select {
+	case <-f.ch:
+		return f.m, f.err
+	case <-ctx.Done():
+	}
+	if f.c != nil && f.c.abandon(f, ctx.Err()) {
+		return nil, f.err
+	}
+	// The reply (or a connection failure) raced the cancellation;
+	// deliver it rather than dropping a completed result.
+	<-f.ch
+	return f.m, f.err
+}
+
+// abandon detaches a still-pending future after cancellation, failing it
+// with cause. It reports false when the reply already landed (or the
+// connection already failed the future).
+func (c *Client) abandon(f *Future, cause error) bool {
+	c.mu.Lock()
+	if c.pending[f.seq] != f {
+		c.mu.Unlock()
+		return false
+	}
+	delete(c.pending, f.seq)
+	c.mu.Unlock()
+	f.err = cause
+	close(f.ch)
+	return true
+}
+
+// Dial connects to a Pequod server, bounding the attempt by
+// DefaultDialTimeout.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	ctx, cancel := context.WithTimeout(context.Background(), DefaultDialTimeout)
+	defer cancel()
+	return DialContext(ctx, addr)
+}
+
+// DialContext connects to a Pequod server under ctx: cancellation or
+// deadline expiry aborts the connection attempt.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -97,9 +164,12 @@ func (c *Client) Close() error {
 func (c *Client) RPCs() int64 { return c.rpcs.Load() }
 
 // send enqueues a request and returns its future.
-func (c *Client) send(m *rpc.Message) *Future {
+func (c *Client) send(m *rpc.Message) *Future { return c.sendCB(m, nil) }
+
+// sendCB is send with an optional reader-goroutine reply callback.
+func (c *Client) sendCB(m *rpc.Message, onReply func(*rpc.Message)) *Future {
 	c.rpcs.Add(1)
-	f := &Future{ch: make(chan struct{})}
+	f := &Future{c: c, ch: make(chan struct{}), onReply: onReply}
 	c.mu.Lock()
 	if c.closed != nil {
 		err := c.closed
@@ -110,6 +180,7 @@ func (c *Client) send(m *rpc.Message) *Future {
 	}
 	c.seq++
 	m.Seq = c.seq
+	f.seq = m.Seq
 	c.pending[m.Seq] = f
 	var err error
 	c.scratch, err = rpc.WriteMessage(c.bw, m, c.scratch)
@@ -172,6 +243,9 @@ func (c *Client) readLoop() {
 		c.mu.Unlock()
 		if f != nil {
 			f.m = m
+			if f.onReply != nil {
+				f.onReply(m)
+			}
 			close(f.ch)
 		}
 	}
@@ -204,6 +278,57 @@ func replyErr(m *rpc.Message, err error) error {
 	return nil
 }
 
+// ReplyErr folds a (reply, transport error) pair into one error,
+// surfacing server-reported failures — the shared error path for callers
+// driving the async API directly.
+func ReplyErr(m *rpc.Message, err error) error { return replyErr(m, err) }
+
+// CollectReplies waits out every future under ctx — the second half of
+// a pipelined batch (many Sends, then one CollectReplies). All futures
+// are waited even after a failure, so sibling requests settle rather
+// than being abandoned mid-batch; the first error (transport,
+// cancellation, or server-reported) is returned after they do. On
+// success the replies align with futs.
+func CollectReplies(ctx context.Context, futs []*Future) ([]*rpc.Message, error) {
+	out := make([]*rpc.Message, len(futs))
+	var first error
+	for i, f := range futs {
+		m, err := f.WaitCtx(ctx)
+		if err := replyErr(m, err); err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		out[i] = m
+	}
+	if first != nil {
+		return nil, first
+	}
+	return out, nil
+}
+
+// WaitAll is CollectReplies for batches that only need the error.
+func WaitAll(ctx context.Context, futs []*Future) error {
+	_, err := CollectReplies(ctx, futs)
+	return err
+}
+
+// Do sends m and waits for its reply under ctx, stamping the remaining
+// deadline budget onto the frame so the server can bound blocking work.
+// It returns an error for transport failures, cancellation, and
+// server-reported errors alike.
+func (c *Client) Do(ctx context.Context, m *rpc.Message) (*rpc.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r, err := c.Send(ctx, m).WaitCtx(ctx)
+	if err := replyErr(r, err); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
 // --- Async API ---
 
 // GetAsync fetches a key.
@@ -226,6 +351,25 @@ func (c *Client) RemoveAsync(key string) *Future {
 // (server-to-server replication, §2.4).
 func (c *Client) ScanAsync(lo, hi string, limit int, subscribe bool) *Future {
 	return c.send(&rpc.Message{Type: rpc.MsgScan, Lo: lo, Hi: hi, Limit: limit, SubscribeFlag: subscribe})
+}
+
+// ScanSubAsync issues a subscribing scan whose onReply callback runs on
+// the reader goroutine (see Future.onReply): the snapshot is observed in
+// order with the subscription pushes that race it on the wire.
+func (c *Client) ScanSubAsync(lo, hi string, onReply func(*rpc.Message)) *Future {
+	return c.sendCB(&rpc.Message{Type: rpc.MsgScan, Lo: lo, Hi: hi, SubscribeFlag: true}, onReply)
+}
+
+// Send stamps ctx's remaining deadline budget onto m and enqueues it,
+// returning the future — the pipelining-friendly building block batch
+// operations use (many Sends, then WaitCtx each).
+func (c *Client) Send(ctx context.Context, m *rpc.Message) *Future {
+	if dl, ok := ctx.Deadline(); ok {
+		if remain := time.Until(dl); remain > 0 {
+			m.TimeoutMS = uint64((remain + time.Millisecond - 1) / time.Millisecond)
+		}
+	}
+	return c.send(m)
 }
 
 // CountAsync counts keys in [lo, hi).
@@ -303,6 +447,22 @@ func (c *Client) Stat() (string, error) {
 	return m.Value, nil
 }
 
+// Stats fetches and decodes the server's engine counters (summed across
+// its shards).
+func (c *Client) Stats(ctx context.Context) (core.Stats, error) {
+	m, err := c.Do(ctx, &rpc.Message{Type: rpc.MsgStat})
+	if err != nil {
+		return core.Stats{}, err
+	}
+	var snap struct {
+		Stats core.Stats `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(m.Value), &snap); err != nil {
+		return core.Stats{}, fmt.Errorf("pequod client: bad stat reply: %w", err)
+	}
+	return snap.Stats, nil
+}
+
 // Flush clears the server's store (benchmark support).
 func (c *Client) Flush() error {
 	m, err := c.send(&rpc.Message{Type: rpc.MsgFlush}).Wait()
@@ -313,6 +473,40 @@ func (c *Client) Flush() error {
 func (c *Client) SetSubtableDepth(table string, depth int) error {
 	m, err := c.send(&rpc.Message{Type: rpc.MsgSetSubtable, Table: table, Depth: depth}).Wait()
 	return replyErr(m, err)
+}
+
+// Quiesce blocks until replication visible to the server has settled:
+// its in-process shard forwarding, its outbound subscription pushes, and
+// — by pinging each of its upstream peers — the subscription pushes in
+// flight toward it. After it returns, reads at this server see every
+// write acknowledged before the call.
+func (c *Client) Quiesce(ctx context.Context) error {
+	_, err := c.Do(ctx, &rpc.Message{Type: rpc.MsgQuiesce})
+	return err
+}
+
+// Ping round-trips the connection. The server drains this connection's
+// pending subscription pushes before replying, so a ping doubles as a
+// delivery fence: every push enqueued before the ping was handled is in
+// the stream ahead of the reply.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.Do(ctx, &rpc.Message{Type: rpc.MsgPing})
+	return err
+}
+
+// ConnectPeers asks the server to wire itself into a partitioned mesh:
+// dial the peer at addrs[i] for each owner range i it does not itself
+// own (self lists the owner indexes that are the recipient), and load +
+// subscribe to the listed base tables remotely (§2.4).
+func (c *Client) ConnectPeers(ctx context.Context, bounds, addrs []string, self []int, tables []string) error {
+	_, err := c.Do(ctx, &rpc.Message{
+		Type:   rpc.MsgConnectPeers,
+		Bounds: bounds,
+		Peers:  addrs,
+		Self:   self,
+		Tables: tables,
+	})
+	return err
 }
 
 // CommandAsync issues a generic command (baseline comparison engines:

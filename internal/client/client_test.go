@@ -2,8 +2,11 @@ package client
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -86,6 +89,11 @@ func (es *echoServer) handle(ec *echoConn) {
 		r := rpc.OKReply(m.Seq)
 		switch m.Type {
 		case rpc.MsgGet:
+			// Keys prefixed "slow:" simulate a server stuck on base-data
+			// loads; cancellation tests race against this delay.
+			if strings.HasPrefix(m.Key, "slow:") {
+				time.Sleep(200 * time.Millisecond)
+			}
 			r.Found = true
 			r.Value = "value-of-" + m.Key
 		case rpc.MsgScan:
@@ -184,6 +192,92 @@ func TestNotifyDelivery(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("notify not delivered")
+	}
+}
+
+// TestWaitCtxCancellation is the issue's contract: a canceled call
+// fails fast, fails its Future, and leaves the connection usable for
+// subsequent calls.
+func TestWaitCtxCancellation(t *testing.T) {
+	_, c := startEcho(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	f := c.GetAsync("slow:k")
+	start := time.Now()
+	_, err := f.WaitCtx(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitCtx = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("cancellation took %v; not fast", elapsed)
+	}
+	// The future itself is failed: a later Wait sees the same error.
+	if _, err := f.Wait(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("abandoned future Wait = %v", err)
+	}
+	// The connection is still usable — including for the same key, whose
+	// stale reply must have been discarded, not delivered to a new call.
+	if v, found, err := c.Get("k2"); err != nil || !found || v != "value-of-k2" {
+		t.Fatalf("Get after cancellation = %q %v %v", v, found, err)
+	}
+	if v, _, err := c.Get("slow:k"); err != nil || v != "value-of-slow:k" {
+		t.Fatalf("slow Get after cancellation = %q %v", v, err)
+	}
+}
+
+// TestWaitCtxDeliversRacedReply: when the reply lands before the
+// cancellation takes effect, the completed result is delivered.
+func TestWaitCtxDeliversRacedReply(t *testing.T) {
+	_, c := startEcho(t)
+	f := c.GetAsync("k")
+	f.Wait() // reply is in
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, err := f.WaitCtx(ctx)
+	if err != nil || m.Value != "value-of-k" {
+		t.Fatalf("raced WaitCtx = %v %v", m, err)
+	}
+}
+
+// TestDoStampsDeadline: Do carries the remaining budget on the wire.
+func TestDoStampsDeadline(t *testing.T) {
+	_, c := startEcho(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	m := &rpc.Message{Type: rpc.MsgGet, Key: "k"}
+	if _, err := c.Do(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	if m.TimeoutMS == 0 || m.TimeoutMS > 1000 {
+		t.Fatalf("TimeoutMS = %d, want (0, 1000]", m.TimeoutMS)
+	}
+	// An already-expired context fails without sending.
+	before := c.RPCs()
+	expired, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := c.Do(expired, &rpc.Message{Type: rpc.MsgGet, Key: "k"}); err == nil {
+		t.Fatal("expired Do succeeded")
+	}
+	if c.RPCs() != before {
+		t.Fatal("expired Do still sent a request")
+	}
+}
+
+func TestDialContext(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	c, err := DialContext(context.Background(), ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DialContext(canceled, ln.Addr().String()); err == nil {
+		t.Fatal("dial under canceled context succeeded")
 	}
 }
 

@@ -1,0 +1,406 @@
+// Package cluster implements the multi-server Pequod client: one handle
+// over a partitioned deployment (§2.4, §5.5) that owns the key routing
+// applications previously hand-rolled with partition.Map.
+//
+// A Cluster embeds the partition map. Point operations (Get/Put/Remove)
+// go to the key's home server; range operations (Scan/Count) split the
+// range by owner, fan the pieces out concurrently over the per-server
+// pipelined connections, and concatenate the sorted pieces — the same
+// merge the in-process shard.Pool performs, lifted onto the wire. Batch
+// operations pipeline every element before waiting on any, so a batch
+// costs one network round trip per server touched, not per element.
+//
+// Installing joins through the cluster also wires the mesh: every
+// member receives the join set, and each member is told (via the
+// ConnectPeers RPC) to remotely load and subscribe to the base source
+// tables it does not own, so computed ranges anywhere stay fresh as
+// base writes land at their home servers — the paper's cross-server
+// subscription and asynchronous update notification, eventually
+// consistent. Quiesce settles it.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"pequod/internal/client"
+	"pequod/internal/core"
+	"pequod/internal/join"
+	"pequod/internal/keys"
+	"pequod/internal/partition"
+	"pequod/internal/rpc"
+)
+
+// Config describes a cluster: the partition of the key space and the
+// member serving each range.
+type Config struct {
+	// Addrs holds one server address per partition range (len(Bounds)+1
+	// entries). The same address may serve several ranges.
+	Addrs []string
+	// Bounds are the partition split points: range i is
+	// [Bounds[i-1], Bounds[i]), with the usual implicit extremes.
+	Bounds []string
+	// Joins, if non-empty, is installed on every member at New, and the
+	// cross-server subscription mesh for its base source tables is
+	// wired before New returns.
+	Joins string
+}
+
+// member is one distinct server and the partition ranges it owns.
+type member struct {
+	addr   string
+	c      *client.Client
+	owners []int
+}
+
+// Cluster is a client for a partitioned set of Pequod servers.
+type Cluster struct {
+	pmap    *partition.Map
+	addrs   []string
+	members []*member
+	byOwner []*member
+
+	// imu guards the installed-join bookkeeping (Install derives the
+	// source-table set from everything installed so far).
+	imu       sync.Mutex
+	installed []*join.Join
+}
+
+// New dials every member and, if cfg.Joins is set, installs the joins
+// and wires the subscription mesh. On error, connections dialed so far
+// are closed.
+func New(ctx context.Context, cfg Config) (*Cluster, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("cluster: no addresses")
+	}
+	if len(cfg.Addrs) != len(cfg.Bounds)+1 {
+		return nil, fmt.Errorf("cluster: %d bounds need %d addresses, have %d",
+			len(cfg.Bounds), len(cfg.Bounds)+1, len(cfg.Addrs))
+	}
+	pmap, err := partition.New(cfg.Bounds...)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Cluster{
+		pmap:    pmap,
+		addrs:   append([]string(nil), cfg.Addrs...),
+		byOwner: make([]*member, len(cfg.Addrs)),
+	}
+	byAddr := make(map[string]*member)
+	for i, a := range cfg.Addrs {
+		m := byAddr[a]
+		if m == nil {
+			c, err := client.DialContext(ctx, a)
+			if err != nil {
+				cl.Close()
+				return nil, fmt.Errorf("cluster: dial %s: %w", a, err)
+			}
+			m = &member{addr: a, c: c}
+			byAddr[a] = m
+			cl.members = append(cl.members, m)
+		}
+		m.owners = append(m.owners, i)
+		cl.byOwner[i] = m
+	}
+	if cfg.Joins != "" {
+		if err := cl.Install(ctx, cfg.Joins); err != nil {
+			cl.Close()
+			return nil, err
+		}
+	}
+	return cl, nil
+}
+
+// Members returns the number of distinct servers in the cluster.
+func (cl *Cluster) Members() int { return len(cl.members) }
+
+// Map returns the cluster's partition map.
+func (cl *Cluster) Map() *partition.Map { return cl.pmap }
+
+// RPCs sums the requests sent across all member connections.
+func (cl *Cluster) RPCs() int64 {
+	var n int64
+	for _, m := range cl.members {
+		n += m.c.RPCs()
+	}
+	return n
+}
+
+// Close closes every member connection. The servers themselves are not
+// owned by the cluster and keep running.
+func (cl *Cluster) Close() error {
+	var first error
+	for _, m := range cl.members {
+		if err := m.c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// owner returns the member homing key.
+func (cl *Cluster) owner(key string) *member { return cl.byOwner[cl.pmap.Owner(key)] }
+
+// Get returns the value under key from its home server.
+func (cl *Cluster) Get(ctx context.Context, key string) (string, bool, error) {
+	m, err := cl.owner(key).c.Do(ctx, &rpc.Message{Type: rpc.MsgGet, Key: key})
+	if err != nil {
+		return "", false, err
+	}
+	return m.Value, m.Found, nil
+}
+
+// Put stores value under key at its home server.
+func (cl *Cluster) Put(ctx context.Context, key, value string) error {
+	_, err := cl.owner(key).c.Do(ctx, &rpc.Message{Type: rpc.MsgPut, Key: key, Value: value})
+	return err
+}
+
+// Remove deletes key at its home server, reporting whether it existed.
+func (cl *Cluster) Remove(ctx context.Context, key string) (bool, error) {
+	m, err := cl.owner(key).c.Do(ctx, &rpc.Message{Type: rpc.MsgRemove, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return m.Found, nil
+}
+
+// Scan returns up to limit (0 = all) pairs in [lo, hi), splitting the
+// range by home server, fetching the pieces concurrently, and
+// concatenating the sorted pieces in key order — shard.Pool's fan-out
+// on the wire. Limited scans visit pieces sequentially with the
+// remaining limit, like the pool, so servers whose rows would be
+// truncated anyway are not forced to materialize joins.
+func (cl *Cluster) Scan(ctx context.Context, lo, hi string, limit int) ([]core.KV, error) {
+	pieces := cl.pmap.Split(keys.Range{Lo: lo, Hi: hi})
+	switch {
+	case len(pieces) == 0:
+		return nil, nil
+	case len(pieces) == 1:
+		return cl.scanPiece(ctx, pieces[0], limit)
+	case limit > 0:
+		var out []core.KV
+		for _, pc := range pieces {
+			kvs, err := cl.scanPiece(ctx, pc, limit-len(out))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, kvs...)
+			if len(out) >= limit {
+				break
+			}
+		}
+		return out, nil
+	}
+	results := make([][]core.KV, len(pieces))
+	errs := make([]error, len(pieces))
+	var wg sync.WaitGroup
+	for i, pc := range pieces {
+		i, pc := i, pc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = cl.scanPiece(ctx, pc, limit)
+		}()
+	}
+	wg.Wait()
+	var out []core.KV
+	for i, r := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, r...)
+	}
+	return out, nil
+}
+
+func (cl *Cluster) scanPiece(ctx context.Context, pc partition.Shard, limit int) ([]core.KV, error) {
+	m, err := cl.byOwner[pc.Owner].c.Do(ctx, &rpc.Message{Type: rpc.MsgScan, Lo: pc.R.Lo, Hi: pc.R.Hi, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	return m.KVs, nil
+}
+
+// Count returns the number of keys in [lo, hi), summing concurrent
+// per-server counts.
+func (cl *Cluster) Count(ctx context.Context, lo, hi string) (int64, error) {
+	pieces := cl.pmap.Split(keys.Range{Lo: lo, Hi: hi})
+	counts := make([]int64, len(pieces))
+	errs := make([]error, len(pieces))
+	var wg sync.WaitGroup
+	for i, pc := range pieces {
+		i, pc := i, pc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m, err := cl.byOwner[pc.Owner].c.Do(ctx, &rpc.Message{Type: rpc.MsgCount, Lo: pc.R.Lo, Hi: pc.R.Hi})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			counts[i] = m.Count
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for i, n := range counts {
+		if errs[i] != nil {
+			return 0, errs[i]
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// GetBatch fetches many keys with one pipelined round per server: all
+// requests are sent before any reply is awaited. Results align with
+// keys; Found distinguishes missing keys.
+func (cl *Cluster) GetBatch(ctx context.Context, getKeys []string) ([]core.Lookup, error) {
+	futs := make([]*client.Future, len(getKeys))
+	for i, k := range getKeys {
+		futs[i] = cl.owner(k).c.Send(ctx, &rpc.Message{Type: rpc.MsgGet, Key: k})
+	}
+	replies, err := client.CollectReplies(ctx, futs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Lookup, len(replies))
+	for i, m := range replies {
+		out[i] = core.Lookup{Value: m.Value, Found: m.Found}
+	}
+	return out, nil
+}
+
+// PutBatch stores many pairs with one pipelined round per server.
+// Writes to the same server apply in slice order; writes to different
+// servers are concurrent, like independent callers.
+func (cl *Cluster) PutBatch(ctx context.Context, pairs []core.KV) error {
+	futs := make([]*client.Future, len(pairs))
+	for i, kv := range pairs {
+		futs[i] = cl.owner(kv.Key).c.Send(ctx, &rpc.Message{Type: rpc.MsgPut, Key: kv.Key, Value: kv.Value})
+	}
+	return client.WaitAll(ctx, futs)
+}
+
+// ScanBatch runs several range scans concurrently, each with its own
+// limit budget, returning results aligned with ranges.
+func (cl *Cluster) ScanBatch(ctx context.Context, ranges []keys.Range, limit int) ([][]core.KV, error) {
+	out := make([][]core.KV, len(ranges))
+	errs := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for i, r := range ranges {
+		i, r := i, r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i], errs[i] = cl.Scan(ctx, r.Lo, r.Hi, limit)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Install parses joins, wires the subscription mesh for their base
+// source tables, and installs the joins on every member. Wiring comes
+// first so no member computes a join before its remote sources are
+// loader-backed.
+func (cl *Cluster) Install(ctx context.Context, text string) error {
+	js, err := join.ParseAll(text)
+	if err != nil {
+		return err
+	}
+	cl.imu.Lock()
+	defer cl.imu.Unlock()
+	all := append(append([]*join.Join(nil), cl.installed...), js...)
+	tables := sourceTables(all)
+	bounds := cl.pmap.Bounds()
+	for _, m := range cl.members {
+		if err := m.c.ConnectPeers(ctx, bounds, cl.addrs, m.owners, tables); err != nil {
+			return fmt.Errorf("cluster: wiring %s: %w", m.addr, err)
+		}
+	}
+	for _, m := range cl.members {
+		if _, err := m.c.Do(ctx, &rpc.Message{Type: rpc.MsgAddJoin, Text: text}); err != nil {
+			return fmt.Errorf("cluster: installing joins on %s: %w", m.addr, err)
+		}
+	}
+	cl.installed = all
+	return nil
+}
+
+// sourceTables returns the base source tables of a join set: sources
+// that are not themselves some join's output (those are computed
+// locally, recursively, wherever they are needed) — the same rule
+// shard.Pool uses to pick its forwarded tables.
+func sourceTables(js []*join.Join) []string {
+	outputs := map[string]bool{}
+	for _, j := range js {
+		outputs[j.Out.Table()] = true
+	}
+	seen := map[string]bool{}
+	var tables []string
+	for _, j := range js {
+		for _, t := range j.SourceTables() {
+			if !outputs[t] && !seen[t] {
+				seen[t] = true
+				tables = append(tables, t)
+			}
+		}
+	}
+	return tables
+}
+
+// Stats sums the engine counters across all members.
+func (cl *Cluster) Stats(ctx context.Context) (core.Stats, error) {
+	var total core.Stats
+	for _, m := range cl.members {
+		st, err := m.c.Stats(ctx)
+		if err != nil {
+			return core.Stats{}, err
+		}
+		total.Add(st)
+	}
+	return total, nil
+}
+
+// Quiesce blocks until replication across the cluster has settled: each
+// member settles its in-process forwarding, drains its outbound
+// subscription pushes, and fences the pushes in flight toward it (see
+// client.Quiesce). After it returns, reads anywhere in the cluster see
+// every write acknowledged before the call.
+func (cl *Cluster) Quiesce(ctx context.Context) error {
+	errs := make([]error, len(cl.members))
+	var wg sync.WaitGroup
+	for i, m := range cl.members {
+		i, m := i, m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = m.c.Quiesce(ctx)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetSubtableDepth marks a §4.1 natural key boundary on every member.
+func (cl *Cluster) SetSubtableDepth(ctx context.Context, table string, depth int) error {
+	for _, m := range cl.members {
+		if _, err := m.c.Do(ctx, &rpc.Message{Type: rpc.MsgSetSubtable, Table: table, Depth: depth}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

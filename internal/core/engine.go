@@ -26,6 +26,13 @@ type KV struct {
 	Value string
 }
 
+// Lookup is one result of a batched point read: the value and whether
+// the key existed.
+type Lookup struct {
+	Value string
+	Found bool
+}
+
 // ChangeOp classifies a store mutation reported through OnChange.
 type ChangeOp int
 
@@ -84,6 +91,25 @@ type Stats struct {
 	Evictions                  int64
 	LoadsStarted               int64 // §3.3 async base-data fetches
 	NotifiedChanges            int64
+}
+
+// Add accumulates o into s — aggregation across shards and servers.
+func (s *Stats) Add(o Stats) {
+	s.Gets += o.Gets
+	s.Puts += o.Puts
+	s.Removes += o.Removes
+	s.Scans += o.Scans
+	s.ScannedKeys += o.ScannedKeys
+	s.JoinExecs += o.JoinExecs
+	s.PullExecs += o.PullExecs
+	s.UpdatersInstalled += o.UpdatersInstalled
+	s.UpdatersMerged += o.UpdatersMerged
+	s.UpdaterFires += o.UpdaterFires
+	s.LogsApplied += o.LogsApplied
+	s.Invalidations += o.Invalidations
+	s.Evictions += o.Evictions
+	s.LoadsStarted += o.LoadsStarted
+	s.NotifiedChanges += o.NotifiedChanges
 }
 
 // Engine is a single Pequod cache engine.

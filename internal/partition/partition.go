@@ -43,6 +43,10 @@ func MustNew(bounds ...string) *Map {
 // Servers returns the number of servers the map distributes over.
 func (m *Map) Servers() int { return len(m.bounds) + 1 }
 
+// Bounds returns a copy of the split points, for shipping a Map over the
+// wire (the cluster client's ConnectPeers RPC).
+func (m *Map) Bounds() []string { return append([]string(nil), m.bounds...) }
+
 // Owner returns the home server index for key.
 func (m *Map) Owner(key string) int {
 	return sort.SearchStrings(m.bounds, key+"\x00")

@@ -16,7 +16,7 @@ func FuzzDecode(f *testing.F) {
 		{Type: MsgScan, Seq: 3, Lo: "a", Hi: "b", Limit: 10, SubscribeFlag: true},
 		{Type: MsgNotify, Changes: []Change{{Op: ChangePut, Key: "k", Value: "v"}}},
 		{Type: MsgReply, Seq: 4, Status: StatusOK, Found: true, Value: "v",
-			KVs: []KV{{"a", "1"}}},
+			KVs: []KV{{Key: "a", Value: "1"}}},
 		{Type: MsgCommand, Seq: 5, Args: []string{"ZADD", "k", "1", "m"}},
 	}
 	for _, m := range seeds {

@@ -8,6 +8,7 @@
 //	uint32 little-endian payload length
 //	byte   message type
 //	uvarint sequence number
+//	uvarint deadline budget (milliseconds remaining; 0 = none)
 //	type-specific fields (uvarint-length-prefixed strings, uvarints)
 //
 // The same Message structure carries every request and reply; unused
@@ -20,6 +21,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"pequod/internal/core"
 )
 
 // MsgType identifies a frame's meaning.
@@ -27,18 +30,21 @@ type MsgType byte
 
 // Protocol message types.
 const (
-	MsgGet         MsgType = iota + 1 // Key -> Found/Value
-	MsgPut                            // Key, Value
-	MsgRemove                         // Key -> Found
-	MsgScan                           // Lo, Hi, Limit, SubscribeFlag -> KVs
-	MsgCount                          // Lo, Hi -> Count
-	MsgAddJoin                        // Text
-	MsgNotify                         // Changes (server push; no reply)
-	MsgStat                           // -> Value (JSON)
-	MsgFlush                          // clear store (test/bench support)
-	MsgSetSubtable                    // Table, Depth
-	MsgReply                          // Status, reply fields
-	MsgCommand                        // Args (generic command; baseline engines)
+	MsgGet          MsgType = iota + 1 // Key -> Found/Value
+	MsgPut                             // Key, Value
+	MsgRemove                          // Key -> Found
+	MsgScan                            // Lo, Hi, Limit, SubscribeFlag -> KVs
+	MsgCount                           // Lo, Hi -> Count
+	MsgAddJoin                         // Text
+	MsgNotify                          // Changes (server push; no reply)
+	MsgStat                            // -> Value (JSON)
+	MsgFlush                           // clear store (test/bench support)
+	MsgSetSubtable                     // Table, Depth
+	MsgReply                           // Status, reply fields
+	MsgCommand                         // Args (generic command; baseline engines)
+	MsgQuiesce                         // settle replication (in-process + subscriptions)
+	MsgPing                            // drain this connection's pushes, then reply
+	MsgConnectPeers                    // Bounds, Peers, Self, Tables: wire the §2.4 mesh
 )
 
 // Status codes in replies.
@@ -63,16 +69,20 @@ type Change struct {
 	Value string
 }
 
-// KV is a scan result pair.
-type KV struct {
-	Key   string
-	Value string
-}
+// KV is a scan result pair. It aliases the engine's KV so scan results
+// cross the client/server/pool layers without element-wise conversion.
+type KV = core.KV
 
 // Message is the union of all frame payloads.
 type Message struct {
 	Type MsgType
 	Seq  uint64
+
+	// TimeoutMS is the caller's remaining deadline budget in
+	// milliseconds when the request was sent (0 = no deadline). Servers
+	// use it to bound blocking work — waiting on outstanding base-data
+	// loads — rather than holding a doomed request open.
+	TimeoutMS uint64
 
 	// Request fields.
 	Key, Value    string
@@ -84,6 +94,15 @@ type Message struct {
 	Depth         int
 	Changes       []Change
 	Args          []string // MsgCommand
+
+	// MsgConnectPeers fields: the partition map (Bounds), the member
+	// address per owner index (Peers), the owner indexes that are the
+	// recipient itself (Self), and the base tables to load remotely and
+	// subscribe to (Tables).
+	Bounds []string
+	Peers  []string
+	Self   []int
+	Tables []string
 
 	// Reply fields.
 	Status byte
@@ -107,6 +126,14 @@ func appendString(b []byte, s string) []byte {
 	return append(b, s...)
 }
 
+func appendStrings(b []byte, ss []string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = appendString(b, s)
+	}
+	return b
+}
+
 // Encode appends the message's frame (including length prefix) to buf and
 // returns the extended slice. The caller may reuse buf across calls.
 func (m *Message) Encode(buf []byte) []byte {
@@ -114,6 +141,7 @@ func (m *Message) Encode(buf []byte) []byte {
 	buf = append(buf, 0, 0, 0, 0) // length placeholder
 	buf = append(buf, byte(m.Type))
 	buf = appendUvarint(buf, m.Seq)
+	buf = appendUvarint(buf, m.TimeoutMS)
 	switch m.Type {
 	case MsgGet, MsgRemove:
 		buf = appendString(buf, m.Key)
@@ -141,7 +169,7 @@ func (m *Message) Encode(buf []byte) []byte {
 			buf = appendString(buf, c.Key)
 			buf = appendString(buf, c.Value)
 		}
-	case MsgStat, MsgFlush:
+	case MsgStat, MsgFlush, MsgQuiesce, MsgPing:
 		// no payload
 	case MsgSetSubtable:
 		buf = appendString(buf, m.Table)
@@ -151,6 +179,14 @@ func (m *Message) Encode(buf []byte) []byte {
 		for _, a := range m.Args {
 			buf = appendString(buf, a)
 		}
+	case MsgConnectPeers:
+		buf = appendStrings(buf, m.Bounds)
+		buf = appendStrings(buf, m.Peers)
+		buf = appendUvarint(buf, uint64(len(m.Self)))
+		for _, s := range m.Self {
+			buf = appendUvarint(buf, uint64(s))
+		}
+		buf = appendStrings(buf, m.Tables)
 	case MsgReply:
 		buf = append(buf, m.Status)
 		found := byte(0)
@@ -199,6 +235,25 @@ func (d *decoder) str() (string, error) {
 	return s, nil
 }
 
+func (d *decoder) strs() ([]string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.b)) {
+		return nil, fmt.Errorf("rpc: string-list count %d exceeds payload", n)
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		s, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
 func (d *decoder) byte() (byte, error) {
 	if d.pos >= len(d.b) {
 		return 0, fmt.Errorf("rpc: truncated byte")
@@ -217,6 +272,9 @@ func Decode(payload []byte) (*Message, error) {
 	}
 	m := &Message{Type: MsgType(t)}
 	if m.Seq, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if m.TimeoutMS, err = d.uvarint(); err != nil {
 		return nil, err
 	}
 	switch m.Type {
@@ -268,7 +326,7 @@ func Decode(payload []byte) (*Message, error) {
 			}
 			m.Changes = append(m.Changes, Change{Op: ChangeOp(op), Key: k, Value: v})
 		}
-	case MsgStat, MsgFlush:
+	case MsgStat, MsgFlush, MsgQuiesce, MsgPing:
 		// no payload
 	case MsgSetSubtable:
 		if m.Table, err = d.str(); err != nil {
@@ -277,6 +335,31 @@ func Decode(payload []byte) (*Message, error) {
 		var depth uint64
 		if depth, err = d.uvarint(); err == nil {
 			m.Depth = int(depth)
+		}
+	case MsgConnectPeers:
+		if m.Bounds, err = d.strs(); err != nil {
+			return nil, err
+		}
+		if m.Peers, err = d.strs(); err != nil {
+			return nil, err
+		}
+		var n uint64
+		if n, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if n > uint64(len(d.b)) {
+			return nil, fmt.Errorf("rpc: self-list count %d exceeds payload", n)
+		}
+		m.Self = make([]int, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var s uint64
+			if s, err = d.uvarint(); err != nil {
+				return nil, err
+			}
+			m.Self = append(m.Self, int(s))
+		}
+		if m.Tables, err = d.strs(); err != nil {
+			return nil, err
 		}
 	case MsgCommand:
 		var n uint64
@@ -324,7 +407,7 @@ func Decode(payload []byte) (*Message, error) {
 			if v, err = d.str(); err != nil {
 				return nil, err
 			}
-			m.KVs = append(m.KVs, KV{k, v})
+			m.KVs = append(m.KVs, KV{Key: k, Value: v})
 		}
 	default:
 		return nil, fmt.Errorf("rpc: unknown message type %d", t)

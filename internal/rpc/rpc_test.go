@@ -39,8 +39,16 @@ func TestRoundTripAllTypes(t *testing.T) {
 		{Type: MsgStat, Seq: 8},
 		{Type: MsgFlush, Seq: 9},
 		{Type: MsgSetSubtable, Seq: 10, Table: "t", Depth: 2},
+		{Type: MsgGet, Seq: 13, Key: "k", TimeoutMS: 1500},
+		{Type: MsgQuiesce, Seq: 14},
+		{Type: MsgPing, Seq: 15},
+		{Type: MsgConnectPeers, Seq: 16,
+			Bounds: []string{"p|n", "s|"},
+			Peers:  []string{"a:1", "a:2", "a:1"},
+			Self:   []int{1},
+			Tables: []string{"p", "s"}},
 		{Type: MsgReply, Seq: 11, Status: StatusOK, Found: true, Value: "v",
-			Count: 42, KVs: []KV{{"a", "1"}, {"b", "2"}}},
+			Count: 42, KVs: []KV{{Key: "a", Value: "1"}, {Key: "b", Value: "2"}}},
 		{Type: MsgReply, Seq: 12, Status: StatusError, Err: "boom"},
 	}
 	for _, m := range msgs {
@@ -89,7 +97,7 @@ func TestDecodeErrors(t *testing.T) {
 	}
 	// Truncated payloads of every type must error, not panic.
 	full := (&Message{Type: MsgReply, Seq: 9, Status: StatusOK, Found: true,
-		Value: "hello", KVs: []KV{{"k", "v"}}}).Encode(nil)
+		Value: "hello", KVs: []KV{{Key: "k", Value: "v"}}}).Encode(nil)
 	payload := full[4:]
 	for cut := 0; cut < len(payload); cut++ {
 		if _, err := Decode(payload[:cut]); err == nil && cut < len(payload)-1 {
@@ -157,7 +165,7 @@ func BenchmarkEncodePut(b *testing.B) {
 func BenchmarkDecodeScanReply(b *testing.B) {
 	m := &Message{Type: MsgReply, Seq: 1, Status: StatusOK}
 	for i := 0; i < 100; i++ {
-		m.KVs = append(m.KVs, KV{"t|u0001234|0000005678|u0004321", "tweet tweet"})
+		m.KVs = append(m.KVs, KV{Key: "t|u0001234|0000005678|u0004321", Value: "tweet tweet"})
 	}
 	payload := m.Encode(nil)[4:]
 	b.ResetTimer()

@@ -16,11 +16,14 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pequod/internal/client"
 	"pequod/internal/core"
@@ -75,7 +78,21 @@ type Server struct {
 	conns  map[*conn]struct{}
 	closed bool
 
-	peers []*client.Client // distributed mode: connections to home servers
+	// Distributed mode: connections to home/peer servers, and the mesh
+	// wiring installed by ConnectMesh (guarded by mmu).
+	mmu   sync.Mutex
+	peers []*client.Client
+	mesh  *meshState
+}
+
+// meshState records a server's position in a partitioned mesh so later
+// ConnectMesh calls (a join installed at runtime adding source tables)
+// can reuse the dialed peer connections.
+type meshState struct {
+	pmap    *partition.Map
+	addrs   []string
+	loaders []*remoteLoader // one per shard
+	tables  map[string]bool
 }
 
 // New creates a server.
@@ -211,7 +228,11 @@ func (s *Server) Close() {
 		cn.close()
 	}
 	s.connWG.Wait()
-	for _, p := range s.peers {
+	s.mmu.Lock()
+	peers := s.peers
+	s.peers = nil
+	s.mmu.Unlock()
+	for _, p := range peers {
 		p.Close()
 	}
 	s.pool.Close()
@@ -245,11 +266,20 @@ func (s *Server) statJSON() string {
 
 // handle processes one request message, returning the reply (nil for
 // one-way messages). Blocking on outstanding base-data loads (§3.3)
-// happens inside the pool, per shard.
+// happens inside the pool, per shard; a request carrying a deadline
+// budget (TimeoutMS) bounds that blocking and gets an error reply
+// instead of holding a doomed request open.
 func (s *Server) handle(cn *conn, m *rpc.Message) *rpc.Message {
+	var dl time.Time // zero = no deadline
+	if m.TimeoutMS > 0 {
+		dl = time.Now().Add(time.Duration(m.TimeoutMS) * time.Millisecond)
+	}
 	switch m.Type {
 	case rpc.MsgGet:
-		v, found := s.pool.Get(m.Key)
+		v, found, err := s.pool.GetDeadline(m.Key, dl)
+		if err != nil {
+			return rpc.ErrReply(m.Seq, err)
+		}
 		r := rpc.OKReply(m.Seq)
 		r.Value, r.Found = v, found
 		return r
@@ -282,21 +312,22 @@ func (s *Server) handle(cn *conn, m *rpc.Message) *rpc.Message {
 				s.nsubs.Add(1)
 			}
 		}
-		kvs := s.pool.Scan(m.Lo, m.Hi, m.Limit, cn.kvBuf, sub)
+		kvs, err := s.pool.ScanDeadline(m.Lo, m.Hi, m.Limit, cn.kvBuf, sub, dl)
+		if err != nil {
+			return rpc.ErrReply(m.Seq, err)
+		}
 		cn.kvBuf = kvs // reuse capacity on the next request
 		r := rpc.OKReply(m.Seq)
-		if cap(cn.rpcKVBuf) < len(kvs) {
-			cn.rpcKVBuf = make([]rpc.KV, len(kvs))
-		}
-		r.KVs = cn.rpcKVBuf[:len(kvs)]
-		for i, kv := range kvs {
-			r.KVs[i] = rpc.KV{Key: kv.Key, Value: kv.Value}
-		}
+		r.KVs = kvs // rpc.KV aliases core.KV; no per-element conversion
 		return r
 
 	case rpc.MsgCount:
+		n, err := s.pool.CountDeadline(m.Lo, m.Hi, dl)
+		if err != nil {
+			return rpc.ErrReply(m.Seq, err)
+		}
 		r := rpc.OKReply(m.Seq)
-		r.Count = int64(s.pool.Count(m.Lo, m.Hi))
+		r.Count = int64(n)
 		return r
 
 	case rpc.MsgAddJoin:
@@ -322,8 +353,84 @@ func (s *Server) handle(cn *conn, m *rpc.Message) *rpc.Message {
 	case rpc.MsgSetSubtable:
 		s.pool.SetSubtableDepth(m.Table, m.Depth)
 		return rpc.OKReply(m.Seq)
+
+	case rpc.MsgQuiesce:
+		if err := s.quiesce(dl); err != nil {
+			return rpc.ErrReply(m.Seq, err)
+		}
+		return rpc.OKReply(m.Seq)
+
+	case rpc.MsgPing:
+		// Drain this connection's queued subscription pushes before
+		// replying: the reply then fences delivery — every push enqueued
+		// before the ping was handled precedes it in the stream.
+		if !cn.drainNotify(dl) {
+			return rpc.ErrReply(m.Seq, errDrainDeadline)
+		}
+		return rpc.OKReply(m.Seq)
+
+	case rpc.MsgConnectPeers:
+		pmap, err := partition.New(m.Bounds...)
+		if err != nil {
+			return rpc.ErrReply(m.Seq, err)
+		}
+		if len(m.Peers) != pmap.Servers() {
+			return rpc.ErrReply(m.Seq, fmt.Errorf("pequod server: %d bounds need %d peers, have %d",
+				len(m.Bounds), pmap.Servers(), len(m.Peers)))
+		}
+		if err := s.ConnectMesh(pmap, m.Peers, m.Self, m.Tables...); err != nil {
+			return rpc.ErrReply(m.Seq, err)
+		}
+		return rpc.OKReply(m.Seq)
 	}
 	return rpc.ErrReply(m.Seq, errors.New("unknown request"))
+}
+
+// errDrainDeadline reports a quiesce/ping that could not flush pushes
+// in time — typically a subscriber that has stopped reading its socket.
+var errDrainDeadline = errors.New("pequod server: deadline exceeded draining subscription pushes")
+
+// quiesce settles replication visible to this server: in-process shard
+// forwarding, outbound subscription pushes (drained into the sockets),
+// and inbound pushes from upstream peers (fenced by pinging each peer —
+// the ping reply follows any pushes the peer had queued for us, and our
+// reader applies pushes in order). After it returns nil, reads here see
+// every write acknowledged before the quiesce request. A deadline
+// bounds the socket drains and peer fences (a subscriber that stopped
+// reading would otherwise wedge quiesce forever); the in-process
+// pool.Quiesce is not network-dependent and settles on its own.
+func (s *Server) quiesce(dl time.Time) error {
+	s.pool.Quiesce()
+	s.cmu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for cn := range s.conns {
+		conns = append(conns, cn)
+	}
+	s.cmu.Unlock()
+	for _, cn := range conns {
+		if !cn.drainNotify(dl) {
+			return errDrainDeadline
+		}
+	}
+	s.mmu.Lock()
+	peers := append([]*client.Client(nil), s.peers...)
+	s.mmu.Unlock()
+	ctx := context.Background()
+	if !dl.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, dl)
+		defer cancel()
+	}
+	for _, p := range peers {
+		// A transport error means a dead peer, which cannot owe us
+		// pushes; a context error means the deadline cut the fence
+		// short, which quiesce must report.
+		if err := p.Ping(ctx); err != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	s.pool.Quiesce()
+	return nil
 }
 
 // ApplyChanges applies replicated changes to their owning shards
@@ -355,16 +462,19 @@ type conn struct {
 	wmu     sync.Mutex // guards bw
 	scratch []byte
 
-	// Scan result buffers, reused across this connection's requests:
+	// Scan result buffer, reused across this connection's requests:
 	// request handling is sequential per connection and the reply is
-	// fully encoded before the next request is read, so reuse is safe.
-	kvBuf    []core.KV
-	rpcKVBuf []rpc.KV
+	// fully encoded before the next request is read, so reuse is safe
+	// (the reply aliases it directly — rpc.KV is core.KV).
+	kvBuf []core.KV
 
-	// notify queue drained by the notifier goroutine
+	// notify queue drained by the notifier goroutine; nbusy marks a
+	// batch mid-write so drainNotify can wait for bytes to reach the
+	// socket, not just the queue to empty
 	nmu     sync.Mutex
 	ncond   *sync.Cond
 	nqueue  []rpc.Change
+	nbusy   bool
 	nclosed bool
 
 	subEntries []*interval.Entry[*subscription] // guarded by s.smu
@@ -418,12 +528,14 @@ func (cn *conn) write(m *rpc.Message, flush bool) error {
 }
 
 // pushNotify enqueues a subscription push (called with a shard lock
-// held; must not block).
+// held; must not block). Broadcast, not Signal: the cond is shared with
+// drainNotify waiters, and a Signal could wake one of those instead of
+// the notifier goroutine.
 func (cn *conn) pushNotify(c rpc.Change) {
 	cn.nmu.Lock()
 	cn.nqueue = append(cn.nqueue, c)
 	cn.nmu.Unlock()
-	cn.ncond.Signal()
+	cn.ncond.Broadcast()
 }
 
 // notifyLoop drains the notify queue into batched MsgNotify frames —
@@ -441,18 +553,49 @@ func (cn *conn) notifyLoop() {
 		}
 		batch := cn.nqueue
 		cn.nqueue = nil
+		cn.nbusy = true
 		cn.nmu.Unlock()
-		if err := cn.write(&rpc.Message{Type: rpc.MsgNotify, Changes: batch}, true); err != nil {
+		err := cn.write(&rpc.Message{Type: rpc.MsgNotify, Changes: batch}, true)
+		cn.nmu.Lock()
+		cn.nbusy = false
+		cn.nmu.Unlock()
+		cn.ncond.Broadcast()
+		if err != nil {
 			return
 		}
 	}
+}
+
+// drainNotify blocks until this connection's queued pushes are written
+// out (or the connection is closed), reporting false when a non-zero
+// deadline expired first. Called by the quiesce and ping paths; the
+// notifier goroutine does the writing. The timer's broadcast cannot be
+// lost: it needs nmu, which the waiter holds until it parks.
+func (cn *conn) drainNotify(dl time.Time) bool {
+	cn.nmu.Lock()
+	defer cn.nmu.Unlock()
+	if !dl.IsZero() {
+		t := time.AfterFunc(time.Until(dl), func() {
+			cn.nmu.Lock()
+			cn.ncond.Broadcast()
+			cn.nmu.Unlock()
+		})
+		defer t.Stop()
+	}
+	for (len(cn.nqueue) > 0 || cn.nbusy) && !cn.nclosed {
+		if !dl.IsZero() && !time.Now().Before(dl) {
+			return false
+		}
+		cn.ncond.Wait()
+	}
+	return true
 }
 
 func (cn *conn) close() {
 	cn.nmu.Lock()
 	cn.nclosed = true
 	cn.nmu.Unlock()
-	cn.ncond.Signal()
+	cn.ncond.Broadcast()
 	cn.c.Close()
 }
 
@@ -460,11 +603,106 @@ func (cn *conn) close() {
 
 // remoteLoader fetches missing base ranges for one shard from home
 // servers over peer connections, subscribing for future updates (§2.4,
-// §3.3).
+// §3.3). Pieces whose owner is this server itself (a symmetric mesh,
+// where every member is home for part of each table) are skipped: their
+// data arrives as direct writes, is already in the local store, and a
+// network self-fetch would recurse into this same loader.
 type remoteLoader struct {
 	sh    *shard.Shard
-	peers []*client.Client
+	peers []*client.Client // nil at self-owned indexes
+	feeds []*subFeed       // parallel to peers
 	pmap  *partition.Map
+	self  map[int]bool
+}
+
+// subFeed serializes one peer connection's subscription stream against
+// the snapshot scans that install its subscriptions. A snapshot's reply
+// and the pushes for mutations after it race on the wire in either
+// order (the push queue and the reply path are separate writers at the
+// peer), so the subscriber buffers pushes that overlap an in-flight
+// snapshot and applies them after it: the snapshot — strictly older than
+// every push, because it is taken atomically with the subscription
+// install — can then never clobber a newer pushed value. Both notify
+// and the snapshot callback run on the peer client's reader goroutine;
+// the mutex covers registration from the loader goroutine.
+type subFeed struct {
+	sh     *shard.Shard
+	mu     sync.Mutex
+	pieces []*feedPiece
+}
+
+// feedPiece is one in-flight snapshot range and the pushes buffered
+// behind it.
+type feedPiece struct {
+	r   keys.Range
+	buf []core.Change
+}
+
+// register enters a snapshot range before its scan is sent, so a push
+// racing ahead of the reply is buffered rather than applied early.
+func (fd *subFeed) register(r keys.Range) *feedPiece {
+	p := &feedPiece{r: r}
+	fd.mu.Lock()
+	fd.pieces = append(fd.pieces, p)
+	fd.mu.Unlock()
+	return p
+}
+
+// notify is the connection's OnNotify: changes overlapping an in-flight
+// snapshot are buffered behind it, the rest apply immediately.
+func (fd *subFeed) notify(changes []rpc.Change) {
+	out := coreChanges(changes)
+	fd.mu.Lock()
+	if len(fd.pieces) > 0 {
+		direct := out[:0]
+		for _, c := range out {
+			buffered := false
+			for _, p := range fd.pieces {
+				if p.r.Contains(c.Key) {
+					p.buf = append(p.buf, c)
+					buffered = true
+					break
+				}
+			}
+			if !buffered {
+				direct = append(direct, c)
+			}
+		}
+		out = direct
+	}
+	fd.mu.Unlock()
+	if len(out) > 0 {
+		fd.sh.ApplyBatch(out)
+	}
+}
+
+// complete lands a snapshot: apply its pairs, then the pushes buffered
+// behind it, and release the piece. kvs is nil when the scan failed —
+// buffered pushes (if any) still apply. Idempotent per piece.
+func (fd *subFeed) complete(p *feedPiece, kvs []core.KV) {
+	fd.mu.Lock()
+	found := false
+	for i, q := range fd.pieces {
+		if q == p {
+			fd.pieces = append(fd.pieces[:i], fd.pieces[i+1:]...)
+			found = true
+			break
+		}
+	}
+	buf := p.buf
+	p.buf = nil
+	fd.mu.Unlock()
+	if !found {
+		return
+	}
+	changes := make([]core.Change, 0, len(kvs)+len(buf))
+	for _, kv := range kvs {
+		changes = append(changes, core.Change{Op: core.OpPut, Key: kv.Key, Value: kv.Value})
+	}
+	changes = append(changes, buf...)
+	if len(changes) > 0 {
+		fd.sh.ApplyBatch(changes)
+	}
 }
 
 // ConnectPeers wires this server to its home servers: pmap maps key
@@ -472,49 +710,129 @@ type remoteLoader struct {
 // tables. Each shard dials its own peer connections, so incoming
 // subscription pushes apply to the shard that subscribed.
 func (s *Server) ConnectPeers(pmap *partition.Map, addrs []string, tables ...string) error {
-	s.pool.SetExternalTables(tables...)
-	for i := 0; i < s.pool.NumShards(); i++ {
-		sh := s.pool.Shard(i)
-		peers := make([]*client.Client, len(addrs))
-		for k, a := range addrs {
-			c, err := client.Dial(a)
-			if err != nil {
-				// Connections dialed so far are already in s.peers, so
-				// Close tears them down; the server is half-wired and
-				// must not serve.
-				return err
-			}
-			c.OnNotify = func(changes []rpc.Change) {
-				sh.ApplyBatch(coreChanges(changes))
-			}
-			peers[k] = c
-			s.peers = append(s.peers, c)
+	return s.ConnectMesh(pmap, addrs, nil, tables...)
+}
+
+// ConnectMesh is ConnectPeers for symmetric meshes: self lists the owner
+// indexes that are this server itself, whose ranges it serves from
+// direct writes instead of remote fetches. Calling it again with the
+// same topology extends the loader-backed table set (a join installed at
+// runtime adding source tables) reusing the dialed connections; a
+// different topology is rejected. Wiring is atomic: if any peer dial
+// fails, the connections dialed for this call are closed and the server
+// is left exactly as before, so a retry does not leak or duplicate.
+func (s *Server) ConnectMesh(pmap *partition.Map, addrs []string, self []int, tables ...string) error {
+	s.mmu.Lock()
+	defer s.mmu.Unlock()
+	if s.mesh == nil {
+		selfSet := make(map[int]bool, len(self))
+		for _, i := range self {
+			selfSet[i] = true
 		}
-		sh.SetLoader(&remoteLoader{sh: sh, peers: peers, pmap: pmap}, tables...)
+		mesh := &meshState{pmap: pmap, addrs: append([]string(nil), addrs...), tables: make(map[string]bool)}
+		var dialed []*client.Client
+		for i := 0; i < s.pool.NumShards(); i++ {
+			sh := s.pool.Shard(i)
+			peers := make([]*client.Client, len(addrs))
+			feeds := make([]*subFeed, len(addrs))
+			for k, a := range addrs {
+				if selfSet[k] {
+					continue // no connection to ourselves
+				}
+				c, err := client.Dial(a)
+				if err != nil {
+					for _, d := range dialed {
+						d.Close()
+					}
+					return fmt.Errorf("pequod server: mesh peer %s: %w", a, err)
+				}
+				feed := &subFeed{sh: sh}
+				c.OnNotify = feed.notify
+				peers[k] = c
+				feeds[k] = feed
+				dialed = append(dialed, c)
+			}
+			mesh.loaders = append(mesh.loaders, &remoteLoader{sh: sh, peers: peers, feeds: feeds, pmap: pmap, self: selfSet})
+		}
+		s.peers = append(s.peers, dialed...)
+		s.mesh = mesh
+	} else if err := s.mesh.sameTopology(pmap, addrs); err != nil {
+		return err
+	}
+	var fresh []string
+	for _, t := range tables {
+		if !s.mesh.tables[t] {
+			s.mesh.tables[t] = true
+			fresh = append(fresh, t)
+		}
+	}
+	if len(fresh) > 0 {
+		s.pool.SetExternalTables(fresh...)
+		for i, l := range s.mesh.loaders {
+			s.pool.Shard(i).SetLoader(l, fresh...)
+		}
+	}
+	return nil
+}
+
+// sameTopology rejects re-wiring under a different partition or member
+// set: silently keeping the old map would route remote loads to the
+// wrong owners and return silently incomplete scans.
+func (m *meshState) sameTopology(pmap *partition.Map, addrs []string) error {
+	prev, next := m.pmap.Bounds(), pmap.Bounds()
+	if len(prev) != len(next) || len(m.addrs) != len(addrs) {
+		return fmt.Errorf("pequod server: already meshed over %d ranges, got %d", len(prev)+1, len(next)+1)
+	}
+	for i := range prev {
+		if prev[i] != next[i] {
+			return fmt.Errorf("pequod server: mesh bound %d differs: %q vs %q", i, prev[i], next[i])
+		}
+	}
+	for i := range m.addrs {
+		if m.addrs[i] != addrs[i] {
+			return fmt.Errorf("pequod server: mesh member %d differs: %q vs %q", i, m.addrs[i], addrs[i])
+		}
 	}
 	return nil
 }
 
 // StartLoad implements core.BaseLoader: fetch each home-server piece of
-// the range with a subscription, then deliver to the shard's engine.
+// the range with a subscription. Snapshots apply through the peer
+// connection's subFeed — on its reader goroutine, ordered against the
+// subscription pushes — and the final LoadComplete only marks presence
+// (no data) once every piece has landed.
 func (l *remoteLoader) StartLoad(table string, r keys.Range) {
 	pieces := l.pmap.Split(r)
 	go func() {
-		var kvs []core.KV
-		futs := make([]*client.Future, len(pieces))
-		for i, pc := range pieces {
-			futs[i] = l.peers[pc.Owner].ScanAsync(pc.R.Lo, pc.R.Hi, 0, true)
+		type wait struct {
+			p    *feedPiece
+			feed *subFeed
+			f    *client.Future
 		}
-		for _, f := range futs {
-			m, err := f.Wait()
-			if err != nil || m.Status != rpc.StatusOK {
-				continue // the range stays pending-free but absent; a
-				// retry will refetch
+		var waits []wait
+		for _, pc := range pieces {
+			if l.self[pc.Owner] {
+				continue // already local; only presence is missing
 			}
-			for _, kv := range m.KVs {
-				kvs = append(kvs, core.KV{Key: kv.Key, Value: kv.Value})
+			feed := l.feeds[pc.Owner]
+			p := feed.register(pc.R)
+			fut := l.peers[pc.Owner].ScanSubAsync(pc.R.Lo, pc.R.Hi, func(m *rpc.Message) {
+				if m.Status == rpc.StatusOK {
+					feed.complete(p, m.KVs)
+				} else {
+					feed.complete(p, nil)
+				}
+			})
+			waits = append(waits, wait{p: p, feed: feed, f: fut})
+		}
+		for _, w := range waits {
+			if _, err := w.f.Wait(); err != nil {
+				// Transport failure: the callback never ran. Release the
+				// piece so later pushes aren't buffered forever; the
+				// range stays absent and a retry refetches it.
+				w.feed.complete(w.p, nil)
 			}
 		}
-		l.sh.LoadComplete(table, r, kvs)
+		l.sh.LoadComplete(table, r, nil)
 	}()
 }

@@ -1,0 +1,81 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file hosts the shared equivalence-test workload: a randomized
+// Twip operation sequence with interleaved reads, used both by the
+// in-process sharded-pool property test (TestShardedEqualsSingleEngine)
+// and by the networked cluster's equivalence test in internal/cluster.
+// It lives outside _test.go files so other packages' tests can import
+// it; nothing here runs in production paths.
+
+// Op is one generated operation. Scans carry their range in Lo/Hi.
+type Op struct {
+	Kind   OpKind
+	Key    string // put/remove key
+	Value  string // put value
+	Lo, Hi string // scan range
+}
+
+// OpKind discriminates generated operations.
+type OpKind int
+
+// Generated operation kinds.
+const (
+	OpPut OpKind = iota
+	OpRemove
+	OpScan // a read that forces join materialization at this moment
+)
+
+// EquivJoins is the join set the equivalence workload exercises: the
+// paper's timeline join plus a cascaded archive join, so sharded (or
+// clustered) evaluation must recursively compute foreign timeline
+// ranges.
+const EquivJoins = "t|<user>|<time>|<poster> = check s|<user>|<poster> copy p|<poster>|<time>\n" +
+	"z|<user>|<time>|<poster> = copy t|<user>|<time>|<poster>"
+
+// GenTwipOps generates n randomized Twip operations over nUsers users:
+// posts, subscribes, unsubscribes/deletions, and interleaved timeline
+// and archive checks that materialize joins at varied moments.
+func GenTwipOps(seed int64, n, nUsers int) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	user := func() string { return fmt.Sprintf("u%d", rng.Intn(nUsers)) }
+	var ops []Op
+	for i := 0; i < n; i++ {
+		switch r := rng.Intn(100); {
+		case r < 35: // post
+			ops = append(ops, Op{Kind: OpPut, Key: fmt.Sprintf("p|%s|%03d", user(), rng.Intn(200)), Value: fmt.Sprintf("tweet%d", i)})
+		case r < 60: // subscribe
+			ops = append(ops, Op{Kind: OpPut, Key: fmt.Sprintf("s|%s|%s", user(), user()), Value: "1"})
+		case r < 70: // unsubscribe or delete post
+			if rng.Intn(2) == 0 {
+				ops = append(ops, Op{Kind: OpRemove, Key: fmt.Sprintf("s|%s|%s", user(), user())})
+			} else {
+				ops = append(ops, Op{Kind: OpRemove, Key: fmt.Sprintf("p|%s|%03d", user(), rng.Intn(200))})
+			}
+		case r < 90: // timeline check
+			u := user()
+			ops = append(ops, Op{Kind: OpScan, Lo: "t|" + u + "|", Hi: "t|" + u + "}"})
+		default: // archive check (materializes the cascade)
+			u := user()
+			ops = append(ops, Op{Kind: OpScan, Lo: "z|" + u + "|", Hi: "z|" + u + "}"})
+		}
+	}
+	return ops
+}
+
+// EquivRanges returns the comparison ranges for an equivalence check:
+// every table in full, plus randomized sub-ranges straddling users.
+func EquivRanges(seed int64, nUsers int) [][2]string {
+	rng := rand.New(rand.NewSource(seed))
+	ranges := [][2]string{{"", ""}, {"p|", "p}"}, {"s|", "s}"}, {"t|", "t}"}, {"z|", "z}"}}
+	for i := 0; i < 20; i++ {
+		u1 := fmt.Sprintf("u%d", rng.Intn(nUsers))
+		u2 := fmt.Sprintf("u%d", rng.Intn(nUsers))
+		ranges = append(ranges, [2]string{"t|" + u1 + "|", "t|" + u2 + "}"})
+	}
+	return ranges
+}

@@ -25,15 +25,22 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pequod/internal/core"
 	"pequod/internal/join"
 	"pequod/internal/keys"
 	"pequod/internal/partition"
 )
+
+// ErrDeadline is returned by the deadline-taking operations when the
+// deadline expires while blocked on outstanding base-data loads (§3.3
+// restart contexts that never complete in time).
+var ErrDeadline = errors.New("shard: deadline exceeded waiting for base data")
 
 // Config configures a Pool.
 type Config struct {
@@ -300,15 +307,26 @@ func (p *Pool) Remove(key string) bool {
 // outstanding base-data loads (§3.3 restart contexts) like the server's
 // command loop.
 func (p *Pool) Get(key string) (string, bool) {
+	v, ok, _ := p.GetDeadline(key, time.Time{})
+	return v, ok
+}
+
+// GetDeadline is Get bounded by a deadline (zero = none): if base-data
+// loads are still outstanding at dl, it returns ErrDeadline instead of
+// blocking further.
+func (p *Pool) GetDeadline(key string, dl time.Time) (string, bool, error) {
 	sh := p.shards[p.pmap.Owner(key)]
 	sh.mu.Lock()
 	for {
 		v, ok, pending := sh.e.Get(key)
 		if pending == 0 {
 			sh.mu.Unlock()
-			return v, ok
+			return v, ok, nil
 		}
-		sh.waitLoadsLocked()
+		if !sh.waitLoadsLocked(dl) {
+			sh.mu.Unlock()
+			return "", false, ErrDeadline
+		}
 	}
 }
 
@@ -320,12 +338,19 @@ func (p *Pool) Get(key string) (string, bool) {
 // piece's final (complete) scan — the atomic snapshot+subscribe window
 // cross-server subscriptions need (§2.4).
 func (p *Pool) Scan(lo, hi string, limit int, buf []core.KV, sub func(shard int, r keys.Range)) []core.KV {
+	kvs, _ := p.ScanDeadline(lo, hi, limit, buf, sub, time.Time{})
+	return kvs
+}
+
+// ScanDeadline is Scan bounded by a deadline (zero = none); an expired
+// deadline while waiting on base-data loads yields ErrDeadline.
+func (p *Pool) ScanDeadline(lo, hi string, limit int, buf []core.KV, sub func(shard int, r keys.Range), dl time.Time) ([]core.KV, error) {
 	pieces := p.pmap.Split(keys.Range{Lo: lo, Hi: hi})
 	if len(pieces) == 0 {
-		return buf[:0]
+		return buf[:0], nil
 	}
 	if len(pieces) == 1 {
-		return p.scanPiece(pieces[0], limit, buf, sub)
+		return p.scanPiece(pieces[0], limit, buf, sub, dl)
 	}
 	if limit > 0 && sub == nil {
 		// A limited scan stops at the first piece that satisfies it:
@@ -334,18 +359,26 @@ func (p *Pool) Scan(lo, hi string, limit int, buf []core.KV, sub func(shard int,
 		// in pieces whose rows would be truncated anyway. Subscribing
 		// scans still fan out to every piece — each subscription needs
 		// its piece's complete snapshot.
-		out := p.scanPiece(pieces[0], limit, buf, nil)
+		out, err := p.scanPiece(pieces[0], limit, buf, nil, dl)
+		if err != nil {
+			return nil, err
+		}
 		var scratch []core.KV
 		for _, pc := range pieces[1:] {
 			if len(out) >= limit {
 				break
 			}
-			scratch = p.scanPiece(pc, limit-len(out), scratch[:0], nil)
+			var err error
+			scratch, err = p.scanPiece(pc, limit-len(out), scratch[:0], nil, dl)
+			if err != nil {
+				return nil, err
+			}
 			out = append(out, scratch...)
 		}
-		return out
+		return out, nil
 	}
 	results := make([][]core.KV, len(pieces))
+	errs := make([]error, len(pieces))
 	var wg sync.WaitGroup
 	for i, pc := range pieces {
 		i, pc := i, pc
@@ -356,10 +389,15 @@ func (p *Pool) Scan(lo, hi string, limit int, buf []core.KV, sub func(shard int,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[i] = p.scanPiece(pc, limit, b, sub)
+			results[i], errs[i] = p.scanPiece(pc, limit, b, sub, dl)
 		}()
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	out := results[0]
 	for _, r := range results[1:] {
 		out = append(out, r...)
@@ -367,11 +405,11 @@ func (p *Pool) Scan(lo, hi string, limit int, buf []core.KV, sub func(shard int,
 	if limit > 0 && len(out) > limit {
 		out = out[:limit]
 	}
-	return out
+	return out, nil
 }
 
 // scanPiece scans one owner's piece, retrying until no loads are pending.
-func (p *Pool) scanPiece(pc partition.Shard, limit int, buf []core.KV, sub func(int, keys.Range)) []core.KV {
+func (p *Pool) scanPiece(pc partition.Shard, limit int, buf []core.KV, sub func(int, keys.Range), dl time.Time) ([]core.KV, error) {
 	sh := p.shards[pc.Owner]
 	sh.mu.Lock()
 	for {
@@ -382,20 +420,30 @@ func (p *Pool) scanPiece(pc partition.Shard, limit int, buf []core.KV, sub func(
 				sub(pc.Owner, pc.R)
 			}
 			sh.mu.Unlock()
-			return kvs
+			return kvs, nil
 		}
-		sh.waitLoadsLocked()
+		if !sh.waitLoadsLocked(dl) {
+			sh.mu.Unlock()
+			return nil, ErrDeadline
+		}
 	}
 }
 
 // Count returns the number of keys in [lo, hi) after join computation,
 // summing concurrent per-shard counts.
 func (p *Pool) Count(lo, hi string) int {
+	n, _ := p.CountDeadline(lo, hi, time.Time{})
+	return n
+}
+
+// CountDeadline is Count bounded by a deadline (zero = none).
+func (p *Pool) CountDeadline(lo, hi string, dl time.Time) (int, error) {
 	pieces := p.pmap.Split(keys.Range{Lo: lo, Hi: hi})
 	if len(pieces) == 0 {
-		return 0
+		return 0, nil
 	}
 	counts := make([]int, len(pieces))
+	errs := make([]error, len(pieces))
 	var wg sync.WaitGroup
 	for i, pc := range pieces {
 		i, pc := i, pc
@@ -411,16 +459,23 @@ func (p *Pool) Count(lo, hi string) int {
 					sh.mu.Unlock()
 					return
 				}
-				sh.waitLoadsLocked()
+				if !sh.waitLoadsLocked(dl) {
+					sh.mu.Unlock()
+					errs[i] = ErrDeadline
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
 	total := 0
-	for _, n := range counts {
+	for i, n := range counts {
+		if errs[i] != nil {
+			return 0, errs[i]
+		}
 		total += n
 	}
-	return total
+	return total, nil
 }
 
 // Apply routes a batch of replicated changes (peer pushes, database
@@ -580,7 +635,7 @@ func (p *Pool) Stats() core.Stats {
 	var total core.Stats
 	for _, sh := range p.shards {
 		sh.mu.Lock()
-		addStats(&total, sh.e.Stats())
+		total.Add(sh.e.Stats())
 		sh.mu.Unlock()
 	}
 	return total
@@ -606,24 +661,6 @@ func (p *Pool) Len() int {
 		sh.mu.Unlock()
 	}
 	return total
-}
-
-func addStats(dst *core.Stats, s core.Stats) {
-	dst.Gets += s.Gets
-	dst.Puts += s.Puts
-	dst.Removes += s.Removes
-	dst.Scans += s.Scans
-	dst.ScannedKeys += s.ScannedKeys
-	dst.JoinExecs += s.JoinExecs
-	dst.PullExecs += s.PullExecs
-	dst.UpdatersInstalled += s.UpdatersInstalled
-	dst.UpdatersMerged += s.UpdatersMerged
-	dst.UpdaterFires += s.UpdaterFires
-	dst.LogsApplied += s.LogsApplied
-	dst.Invalidations += s.Invalidations
-	dst.Evictions += s.Evictions
-	dst.LoadsStarted += s.LoadsStarted
-	dst.NotifiedChanges += s.NotifiedChanges
 }
 
 // --- shard handle (loader wiring) ---
@@ -674,10 +711,29 @@ func (sh *Shard) WithEngine(fn func(e *core.Engine)) {
 
 // waitLoadsLocked blocks (holding sh.mu via the cond) until some async
 // load completes, then lets the caller retry — the iterative evaluation
-// of §3.3.
-func (sh *Shard) waitLoadsLocked() {
+// of §3.3. A non-zero deadline bounds the wait; it reports false when
+// the deadline expired before any load landed. The timer's broadcast
+// cannot be lost: it needs sh.mu, which the waiter holds until it parks
+// on the cond.
+func (sh *Shard) waitLoadsLocked(dl time.Time) bool {
 	gen := sh.e.LoadGen()
+	if dl.IsZero() {
+		for sh.e.LoadGen() == gen {
+			sh.loadCond.Wait()
+		}
+		return true
+	}
+	t := time.AfterFunc(time.Until(dl), func() {
+		sh.mu.Lock()
+		sh.loadCond.Broadcast()
+		sh.mu.Unlock()
+	})
+	defer t.Stop()
 	for sh.e.LoadGen() == gen {
+		if !time.Now().Before(dl) {
+			return false
+		}
 		sh.loadCond.Wait()
 	}
+	return true
 }

@@ -140,64 +140,34 @@ func TestInstallBackfill(t *testing.T) {
 }
 
 // applyOps drives an identical operation sequence into any pool.
-func applyOps(p *Pool, ops []op) {
+func applyOps(p *Pool, ops []Op) {
 	for _, o := range ops {
-		switch o.kind {
-		case 0:
-			p.Put(o.key, o.value)
-		case 1:
-			p.Remove(o.key)
-		case 2:
+		switch o.Kind {
+		case OpPut:
+			p.Put(o.Key, o.Value)
+		case OpRemove:
+			p.Remove(o.Key)
+		case OpScan:
 			p.Quiesce()
-			p.Scan(o.key, o.value, 0, nil, nil) // key/value abused as lo/hi
+			p.Scan(o.Lo, o.Hi, 0, nil, nil)
 		}
 	}
-}
-
-type op struct {
-	kind       int // 0 put, 1 remove, 2 scan
-	key, value string
 }
 
 // TestShardedEqualsSingleEngine is the equivalence property: for the
 // same operation sequence — including interleaved scans that force join
 // materialization at different moments — a sharded pool and a
-// single-engine pool return byte-identical results for every range.
+// single-engine pool return byte-identical results for every range. The
+// workload generator (opsgen.go) is shared with the networked cluster's
+// equivalence test in internal/cluster.
 func TestShardedEqualsSingleEngine(t *testing.T) {
-	joins := timelineJoin + "\n" +
-		// A cascaded join: archives copy the computed timelines, so the
-		// sharded pool must recursively compute foreign timeline ranges.
-		"z|<user>|<time>|<poster> = copy t|<user>|<time>|<poster>"
 	for seed := int64(1); seed <= 5; seed++ {
-		rng := rand.New(rand.NewSource(seed))
-		var ops []op
-		nUsers := 10
-		user := func() string { return fmt.Sprintf("u%d", rng.Intn(nUsers)) }
-		for i := 0; i < 400; i++ {
-			switch r := rng.Intn(100); {
-			case r < 35: // post
-				ops = append(ops, op{0, fmt.Sprintf("p|%s|%03d", user(), rng.Intn(200)), fmt.Sprintf("tweet%d", i)})
-			case r < 60: // subscribe
-				ops = append(ops, op{0, fmt.Sprintf("s|%s|%s", user(), user()), "1"})
-			case r < 70: // unsubscribe or delete post
-				if rng.Intn(2) == 0 {
-					ops = append(ops, op{1, fmt.Sprintf("s|%s|%s", user(), user()), ""})
-				} else {
-					ops = append(ops, op{1, fmt.Sprintf("p|%s|%03d", user(), rng.Intn(200)), ""})
-				}
-			case r < 90: // timeline check (materializes t at varied times)
-				u := user()
-				ops = append(ops, op{2, "t|" + u + "|", "t|" + u + "}"})
-			default: // archive check (materializes the cascade)
-				u := user()
-				ops = append(ops, op{2, "z|" + u + "|", "z|" + u + "}"})
-			}
-		}
+		ops := GenTwipOps(seed, 400, 10)
 
 		single := newPool(t, Config{})
 		sharded := newPool(t, Config{Bounds: testBounds})
 		for _, p := range []*Pool{single, sharded} {
-			if err := p.InstallText(joins); err != nil {
+			if err := p.InstallText(EquivJoins); err != nil {
 				t.Fatal(err)
 			}
 			applyOps(p, ops)
@@ -205,12 +175,7 @@ func TestShardedEqualsSingleEngine(t *testing.T) {
 		}
 
 		// Every row of every table, plus random sub-ranges, byte-identical.
-		ranges := [][2]string{{"", ""}, {"p|", "p}"}, {"s|", "s}"}, {"t|", "t}"}, {"z|", "z}"}}
-		for i := 0; i < 20; i++ {
-			u1, u2 := user(), user()
-			ranges = append(ranges, [2]string{"t|" + u1 + "|", "t|" + u2 + "}"})
-		}
-		for _, r := range ranges {
+		for _, r := range EquivRanges(seed, 10) {
 			want := single.Scan(r[0], r[1], 0, nil, nil)
 			got := sharded.Scan(r[0], r[1], 0, nil, nil)
 			if len(want) == 0 && len(got) == 0 {

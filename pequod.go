@@ -16,23 +16,29 @@
 // from her subscriptions (s|…) and her followees' posts (p|…), kept up
 // to date as posts and subscriptions change.
 //
-// Three deployment shapes are supported:
+// # The Store interface
 //
-//   - Embedded: New() returns a thread-safe in-process Cache.
-//   - Networked: NewServer/ListenAndServe + Dial, speaking a compact
-//     binary protocol with pipelining.
-//   - Distributed: multiple servers with key-range partitioning,
-//     cross-server base-data subscriptions, and asynchronous update
-//     notification (eventually consistent), plus an optional
-//     write-around backing database.
+// Applications talk to Pequod through one interface, Store — context-
+// aware, error-returning, with pipelined batch forms — implemented by
+// all three deployment shapes:
+//
+//   - Embedded: NewCache returns a thread-safe in-process Cache.
+//   - Networked: NewServer/ListenAndServe + DialContext, speaking a
+//     compact binary protocol with pipelining and per-call deadlines.
+//   - Distributed: NewCluster connects to multiple servers with
+//     key-range partitioning. The Cluster owns the routing: point ops
+//     go to the key's home server, cross-server scans fan out
+//     concurrently and merge, and installing joins wires cross-server
+//     base-data subscriptions with asynchronous update notification
+//     (eventually consistent; Quiesce settles it).
 //
 // # Concurrency
 //
 // Each core engine is single-writer, like the paper's event-driven
 // server, but a Cache or Server hosts a pool of them partitioned by key
 // range (§2.4, §5.5 scaled down into one process): pass WithShards /
-// WithBounds to New, or set ServerConfig.Shards/Bounds. Operations lock
-// only the shard owning their key, and cross-shard scans fan out
+// WithBounds to NewCache, or set ServerConfig.Shards/Bounds. Operations
+// lock only the shard owning their key, and cross-shard scans fan out
 // concurrently, so read throughput scales with shards on a multi-core
 // machine. Joins run on every shard; base writes to join source tables
 // are forwarded between shards asynchronously, in owner order — the same
@@ -44,15 +50,21 @@
 //
 //	go build ./... && go test ./...
 //
-// See DESIGN.md for the architecture and EXPERIMENTS.md for the
-// reproduction of the paper's evaluation.
+// See DESIGN.md for the architecture (Store, Cache, Client, Cluster,
+// and the shard pool); bench_test.go and cmd/repro reproduce the
+// paper's evaluation.
 package pequod
 
 import (
+	"context"
+	"time"
+
 	"pequod/internal/backdb"
 	"pequod/internal/client"
+	"pequod/internal/cluster"
 	"pequod/internal/core"
 	"pequod/internal/join"
+	"pequod/internal/rpc"
 	"pequod/internal/server"
 	"pequod/internal/shard"
 )
@@ -73,19 +85,16 @@ type ServerConfig = server.Config
 // Server is a networked Pequod cache server.
 type Server = server.Server
 
-// Client is a connection to a Server.
-type Client = client.Client
-
 // DB is an in-memory stand-in for the backing database of a write-around
 // deployment; see Server.AttachDB.
 type DB = backdb.DB
 
+// ErrClosed is returned for operations on a closed networked store.
+var ErrClosed = client.ErrClosed
+
 // NewServer creates a networked server. Call Start (loopback, test
 // convenience), Serve, or ListenAndServe on the result.
 func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
-
-// Dial connects to a server.
-func Dial(addr string) (*Client, error) { return client.Dial(addr) }
 
 // NewDB creates a backing database for write-around deployments.
 func NewDB() *DB { return backdb.New() }
@@ -96,6 +105,35 @@ func ParseJoins(text string) error {
 	_, err := join.ParseAll(text)
 	return err
 }
+
+// PrefixEnd returns the smallest key greater than every key with the
+// given prefix — the paper's "t|ann|+" bound, spelled "t|ann}".
+func PrefixEnd(prefix string) string {
+	return keysPrefixEnd(prefix)
+}
+
+// ctxDeadline extracts a context's deadline as the zero-able time the
+// shard pool understands.
+func ctxDeadline(ctx context.Context) time.Time {
+	dl, _ := ctx.Deadline()
+	return dl
+}
+
+// ctxErr maps a pool deadline failure back onto the context's own error
+// when the deadline came from the context.
+func ctxErr(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------
+// Embedded deployment: Cache
+// ---------------------------------------------------------------------
 
 // CacheOption tunes an embedded Cache beyond the engine Options — shard
 // count and partition bounds.
@@ -121,24 +159,38 @@ func WithBounds(bounds ...string) CacheOption {
 // Cache is an embedded, thread-safe Pequod cache: the full cache-join
 // machinery without the network, over a pool of one or more partitioned
 // engines. A Cache is what one server process hosts; applications
-// embedding Pequod use it directly.
+// embedding Pequod use it directly. It implements Store with thin
+// adapters over the shard pool; context deadlines bound the waits on
+// outstanding base-data loads.
 type Cache struct {
 	p *shard.Pool
 }
 
-// New returns an embedded cache. Shard options that do not form a valid
-// partition (mismatched counts, unsorted bounds) panic, like a malformed
-// static partition.Map — they are configuration errors.
-func New(opts Options, extra ...CacheOption) *Cache {
+// NewCache returns an embedded cache, or an error when the shard
+// options do not form a valid partition (mismatched counts, unsorted
+// bounds).
+func NewCache(opts Options, extra ...CacheOption) (*Cache, error) {
 	cfg := shard.Config{Engine: opts}
 	for _, o := range extra {
 		o(&cfg)
 	}
 	p, err := shard.New(cfg)
 	if err != nil {
+		return nil, err
+	}
+	return &Cache{p: p}, nil
+}
+
+// New returns an embedded cache, panicking on invalid shard options.
+//
+// Deprecated: use NewCache, which returns the configuration error
+// instead of panicking.
+func New(opts Options, extra ...CacheOption) *Cache {
+	c, err := NewCache(opts, extra...)
+	if err != nil {
 		panic("pequod: " + err.Error())
 	}
-	return &Cache{p: p}
+	return c
 }
 
 // Shards returns the number of partitioned engines serving this cache.
@@ -146,37 +198,94 @@ func (c *Cache) Shards() int { return c.p.NumShards() }
 
 // Install parses and installs cache joins ("add-join", §3) on every
 // shard.
-func (c *Cache) Install(joins string) error {
+func (c *Cache) Install(ctx context.Context, joins string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return c.p.InstallText(joins)
 }
 
 // Put stores value under key and runs incremental view maintenance on
 // the owning shard, forwarding source-table writes to sibling shards.
-func (c *Cache) Put(key, value string) {
+func (c *Cache) Put(ctx context.Context, key, value string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	c.p.Put(key, value)
+	return nil
 }
 
 // Remove deletes key, reporting whether it existed.
-func (c *Cache) Remove(key string) bool {
-	return c.p.Remove(key)
+func (c *Cache) Remove(ctx context.Context, key string) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return c.p.Remove(key), nil
 }
 
 // Get returns the value under key, computing covering joins on demand.
-func (c *Cache) Get(key string) (string, bool) {
-	return c.p.Get(key)
+func (c *Cache) Get(ctx context.Context, key string) (string, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return "", false, err
+	}
+	v, ok, err := c.p.GetDeadline(key, ctxDeadline(ctx))
+	return v, ok, ctxErr(ctx, err)
 }
 
 // Scan returns up to limit (0 = all) pairs in [lo, hi), computing
 // overlapping joins on demand; cross-shard ranges are scanned
-// concurrently. An empty hi means "to the end of the keyspace"; use keys
-// like "t|ann}" (see PrefixEnd) for prefix scans.
-func (c *Cache) Scan(lo, hi string, limit int) []KV {
-	return c.p.Scan(lo, hi, limit, nil, nil)
+// concurrently.
+func (c *Cache) Scan(ctx context.Context, lo, hi string, limit int) ([]KV, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	kvs, err := c.p.ScanDeadline(lo, hi, limit, nil, nil, ctxDeadline(ctx))
+	return kvs, ctxErr(ctx, err)
 }
 
 // Count returns the number of keys in [lo, hi) after join computation.
-func (c *Cache) Count(lo, hi string) int {
-	return c.p.Count(lo, hi)
+func (c *Cache) Count(ctx context.Context, lo, hi string) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	n, err := c.p.CountDeadline(lo, hi, ctxDeadline(ctx))
+	return int64(n), ctxErr(ctx, err)
+}
+
+// GetBatch fetches many keys; results align with keys.
+func (c *Cache) GetBatch(ctx context.Context, keys []string) ([]Lookup, error) {
+	out := make([]Lookup, len(keys))
+	for i, k := range keys {
+		v, ok, err := c.Get(ctx, k)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Lookup{Value: v, Found: ok}
+	}
+	return out, nil
+}
+
+// PutBatch stores many pairs in order.
+func (c *Cache) PutBatch(ctx context.Context, pairs []KV) error {
+	for _, kv := range pairs {
+		if err := c.Put(ctx, kv.Key, kv.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanBatch runs several range scans, each with its own limit budget.
+func (c *Cache) ScanBatch(ctx context.Context, ranges []Range, limit int) ([][]KV, error) {
+	out := make([][]KV, len(ranges))
+	for i, r := range ranges {
+		kvs, err := c.Scan(ctx, r.Lo, r.Hi, limit)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = kvs
+	}
+	return out, nil
 }
 
 // SetSubtableDepth marks a natural key boundary for a table (§4.1).
@@ -185,8 +294,11 @@ func (c *Cache) SetSubtableDepth(table string, depth int) {
 }
 
 // Stats snapshots the engine counters, summed across shards.
-func (c *Cache) Stats() Stats {
-	return c.p.Stats()
+func (c *Cache) Stats(ctx context.Context) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
+	return c.p.Stats(), nil
 }
 
 // Bytes returns the approximate memory footprint of the cache.
@@ -202,19 +314,212 @@ func (c *Cache) Len() int {
 // Quiesce blocks until cross-shard source replication has settled: after
 // it returns, reads anywhere see every write issued before the call. A
 // single-shard cache is always settled.
-func (c *Cache) Quiesce() {
+func (c *Cache) Quiesce(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	c.p.Quiesce()
+	return nil
 }
 
 // Close stops the cache's background shard appliers. Only multi-shard
 // caches run goroutines; closing a single-shard cache is a no-op and
 // using a cache after Close is not allowed.
-func (c *Cache) Close() {
+func (c *Cache) Close() error {
 	c.p.Close()
+	return nil
 }
 
-// PrefixEnd returns the smallest key greater than every key with the
-// given prefix — the paper's "t|ann|+" bound, spelled "t|ann}".
-func PrefixEnd(prefix string) string {
-	return keysPrefixEnd(prefix)
+// Pool exposes the shard pool for benchmarks and tests that need the
+// raw, context-free surface.
+func (c *Cache) Pool() *shard.Pool { return c.p }
+
+// ---------------------------------------------------------------------
+// Networked deployment: Client
+// ---------------------------------------------------------------------
+
+// Client is a connection to one Server, implementing Store over the
+// pipelined binary protocol: methods are safe for concurrent use,
+// requests from concurrent callers pipeline on the single connection,
+// context deadlines travel with each request (the server bounds its
+// blocking work by them), and cancellation fails the call fast while
+// leaving the connection usable.
+type Client struct {
+	raw *client.Client
+}
+
+// Dial connects to a server, bounding the attempt by a default connect
+// timeout.
+//
+// Deprecated: use DialContext, which makes the bound explicit.
+func Dial(addr string) (*Client, error) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{raw: c}, nil
+}
+
+// DialContext connects to a server under ctx: cancellation or deadline
+// expiry aborts the connection attempt.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	c, err := client.DialContext(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{raw: c}, nil
+}
+
+// Raw returns the low-level pipelined client (async futures, notify
+// hooks) for callers that outgrow Store.
+func (c *Client) Raw() *client.Client { return c.raw }
+
+// RPCs reports the number of requests sent on this connection; the §5.2
+// comparison uses it to show client-managed systems' RPC amplification.
+func (c *Client) RPCs() int64 { return c.raw.RPCs() }
+
+// Close shuts the connection down; outstanding calls fail.
+func (c *Client) Close() error { return c.raw.Close() }
+
+// Get returns the value under key.
+func (c *Client) Get(ctx context.Context, key string) (string, bool, error) {
+	m, err := c.raw.Do(ctx, &rpc.Message{Type: rpc.MsgGet, Key: key})
+	if err != nil {
+		return "", false, err
+	}
+	return m.Value, m.Found, nil
+}
+
+// Put stores value under key.
+func (c *Client) Put(ctx context.Context, key, value string) error {
+	_, err := c.raw.Do(ctx, &rpc.Message{Type: rpc.MsgPut, Key: key, Value: value})
+	return err
+}
+
+// Remove deletes key, reporting whether it existed.
+func (c *Client) Remove(ctx context.Context, key string) (bool, error) {
+	m, err := c.raw.Do(ctx, &rpc.Message{Type: rpc.MsgRemove, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return m.Found, nil
+}
+
+// Scan returns up to limit (0 = all) pairs from [lo, hi).
+func (c *Client) Scan(ctx context.Context, lo, hi string, limit int) ([]KV, error) {
+	m, err := c.raw.Do(ctx, &rpc.Message{Type: rpc.MsgScan, Lo: lo, Hi: hi, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	return m.KVs, nil
+}
+
+// Count returns the number of keys in [lo, hi).
+func (c *Client) Count(ctx context.Context, lo, hi string) (int64, error) {
+	m, err := c.raw.Do(ctx, &rpc.Message{Type: rpc.MsgCount, Lo: lo, Hi: hi})
+	if err != nil {
+		return 0, err
+	}
+	return m.Count, nil
+}
+
+// Install installs cache joins ("add-join" RPC, §3).
+func (c *Client) Install(ctx context.Context, joins string) error {
+	_, err := c.raw.Do(ctx, &rpc.Message{Type: rpc.MsgAddJoin, Text: joins})
+	return err
+}
+
+// GetBatch fetches many keys in one pipelined burst: every request is
+// sent before any reply is awaited.
+func (c *Client) GetBatch(ctx context.Context, keys []string) ([]Lookup, error) {
+	futs := make([]*client.Future, len(keys))
+	for i, k := range keys {
+		futs[i] = c.raw.Send(ctx, &rpc.Message{Type: rpc.MsgGet, Key: k})
+	}
+	replies, err := client.CollectReplies(ctx, futs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Lookup, len(replies))
+	for i, m := range replies {
+		out[i] = Lookup{Value: m.Value, Found: m.Found}
+	}
+	return out, nil
+}
+
+// PutBatch stores many pairs in one pipelined burst, applied in order.
+func (c *Client) PutBatch(ctx context.Context, pairs []KV) error {
+	futs := make([]*client.Future, len(pairs))
+	for i, kv := range pairs {
+		futs[i] = c.raw.Send(ctx, &rpc.Message{Type: rpc.MsgPut, Key: kv.Key, Value: kv.Value})
+	}
+	return client.WaitAll(ctx, futs)
+}
+
+// ScanBatch runs several range scans in one pipelined burst, each with
+// its own limit budget.
+func (c *Client) ScanBatch(ctx context.Context, ranges []Range, limit int) ([][]KV, error) {
+	futs := make([]*client.Future, len(ranges))
+	for i, r := range ranges {
+		futs[i] = c.raw.Send(ctx, &rpc.Message{Type: rpc.MsgScan, Lo: r.Lo, Hi: r.Hi, Limit: limit})
+	}
+	replies, err := client.CollectReplies(ctx, futs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]KV, len(replies))
+	for i, m := range replies {
+		out[i] = m.KVs
+	}
+	return out, nil
+}
+
+// Stats fetches the server's engine counters, summed across its shards.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	return c.raw.Stats(ctx)
+}
+
+// Stat returns the server's raw JSON statistics snapshot (name, shard
+// count, entries, bytes, counters).
+func (c *Client) Stat(ctx context.Context) (string, error) {
+	m, err := c.raw.Do(ctx, &rpc.Message{Type: rpc.MsgStat})
+	if err != nil {
+		return "", err
+	}
+	return m.Value, nil
+}
+
+// SetSubtableDepth configures a table's subtable boundary (§4.1).
+func (c *Client) SetSubtableDepth(ctx context.Context, table string, depth int) error {
+	_, err := c.raw.Do(ctx, &rpc.Message{Type: rpc.MsgSetSubtable, Table: table, Depth: depth})
+	return err
+}
+
+// Quiesce blocks until replication visible to the server has settled;
+// see Store.Quiesce.
+func (c *Client) Quiesce(ctx context.Context) error {
+	return c.raw.Quiesce(ctx)
+}
+
+// ---------------------------------------------------------------------
+// Distributed deployment: Cluster
+// ---------------------------------------------------------------------
+
+// Cluster is a client for a partitioned set of servers that owns the
+// key routing: point operations go to the key's home server, range
+// operations split by owner and fan out concurrently, batches pipeline
+// per server, and installing joins wires the cross-server base-data
+// subscriptions that keep computed ranges fresh (§2.4). It implements
+// Store.
+type Cluster = cluster.Cluster
+
+// ClusterConfig describes the partition of the key space and the member
+// serving each range; see NewCluster.
+type ClusterConfig = cluster.Config
+
+// NewCluster connects to every member of a partitioned deployment and,
+// if cfg.Joins is set, installs the joins everywhere and wires the
+// subscription mesh before returning.
+func NewCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
+	return cluster.New(ctx, cfg)
 }
