@@ -19,6 +19,9 @@
 //	addjoin SPEC             install a cache join
 //	quiesce                  settle asynchronous replication
 //	stat                     print engine counters
+//	statjson                 print the raw per-server stats JSON
+//	                         (entries, bytes, rebalancer state) —
+//	                         single-server mode only
 package main
 
 import (
@@ -145,6 +148,16 @@ func run(ctx context.Context, c pequod.Store, args []string) error {
 			return err
 		}
 		fmt.Printf("%+v\n", st)
+	case "statjson":
+		cl, ok := c.(*pequod.Client)
+		if !ok {
+			return fmt.Errorf("statjson needs a single server (-addr); cluster members each have their own")
+		}
+		raw, err := cl.Stat(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(raw)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}

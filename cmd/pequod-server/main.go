@@ -5,11 +5,19 @@
 //	pequod-server [-addr :7744] [-joins file.pql] [-subtable t=2]...
 //	              [-mem bytes] [-no-hints] [-no-sharing]
 //	              [-shards n] [-bounds k1,k2,...]
+//	              [-rebalance 100ms] [-rebalance-ratio 1.5]
 //
 // -shards runs n partitioned engines served concurrently (§2.4 scaled
 // into one process); -bounds sets the n-1 split points between them
 // (comma-separated keys, e.g. -bounds "p|u0000500,s|,t|"). With -shards
 // alone the key space is split evenly by key prefix.
+//
+// -rebalance enables load-aware rebalancing at the given sampling
+// interval (0 disables): hot key ranges migrate live between
+// neighboring shards, so -bounds need not anticipate the workload's
+// skew; -rebalance-ratio sets how far above the mean a shard's load
+// must run to trigger a migration. The stat RPC reports migrations,
+// the live bounds, and per-shard load.
 //
 // The joins file holds cache-join specifications, one per line or
 // semicolon-separated (// comments allowed), e.g. the Twip timeline join:
@@ -28,6 +36,7 @@ import (
 	"pequod/internal/core"
 	"pequod/internal/join"
 	"pequod/internal/server"
+	"pequod/internal/shard"
 )
 
 type subtableFlags map[string]int
@@ -67,6 +76,8 @@ func main() {
 	name := flag.String("name", "pequod", "server name for stats")
 	shards := flag.Int("shards", 0, "number of partitioned in-process engines (0 = derived from -bounds, else 1); without -bounds the raw byte space is split evenly, which clusters ASCII-prefixed keys")
 	bounds := flag.String("bounds", "", "comma-separated partition split points (shards-1 keys)")
+	rebalance := flag.Duration("rebalance", 0, "load sampling interval for live shard rebalancing (0 = static bounds)")
+	rebalanceRatio := flag.Float64("rebalance-ratio", 0, "hot-shard load ratio over the mean that triggers a migration (0 = default 1.5)")
 	subtables := subtableFlags{}
 	flag.Var(subtables, "subtable", "subtable boundary, table=depth (repeatable, §4.1)")
 	flag.Parse()
@@ -80,10 +91,15 @@ func main() {
 		joins = string(data)
 	}
 
-	if *shards > 1 && *bounds == "" {
+	if *shards > 1 && *bounds == "" && *rebalance == 0 {
 		log.Printf("warning: -shards without -bounds splits the raw byte space evenly;" +
 			" keys with ASCII table prefixes (p|, s|, t|, ...) all land on one shard" +
-			" — pass -bounds matched to your key distribution")
+			" — pass -bounds matched to your key distribution, or -rebalance to" +
+			" let the server migrate hot ranges itself")
+	}
+	var reb *shard.Rebalance
+	if *rebalance > 0 {
+		reb = &shard.Rebalance{Interval: *rebalance, Ratio: *rebalanceRatio}
 	}
 	s, err := server.New(server.Config{
 		Name: *name,
@@ -96,6 +112,7 @@ func main() {
 		SubtableDepths: subtables,
 		Shards:         *shards,
 		Bounds:         splitBounds(*bounds),
+		Rebalance:      reb,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,244 @@
+package core
+
+// Live range migration (the shard pool's rebalancer): ExtractRange pulls
+// one key range's state out of an engine and SpliceRange folds it into a
+// neighbor, so a partition boundary can move without a stop-the-world
+// rebuild. The contract divides an engine's state in a range into three
+// kinds, each handled differently:
+//
+//   - Owned rows — tables that are neither replicated join sources nor
+//     loader-backed (plain client data, including hand-written rows in
+//     output tables). These exist only at the owner and move physically.
+//
+//   - Replicated rows — join source tables forwarded to every shard.
+//     Both sides already hold them; ownership flips in the partition map
+//     and nothing moves (the pool's keep predicate excludes them).
+//
+//   - Derived and loader-backed state — computed join ranges (statuses +
+//     outputs) and presence-tracked base ranges. These are caches over
+//     data that survives elsewhere (sibling replicas, the backing
+//     database, a remote home server), so migration drops them with
+//     eviction semantics (§2.5: evicting cached ranges is always safe,
+//     notified as OpEvict so subscribers and siblings keep their copies)
+//     and the destination recomputes or reloads on demand. The ranges
+//     that were materialized and valid at the source are recorded in
+//     RangeState.Warm so the destination can recompute them eagerly
+//     during the splice — hot ranges arrive hot, they are not re-derived
+//     from a cold start by the first unlucky reader.
+//
+// Both calls must run on the engine's driving goroutine (under the
+// shard's lock, like every other engine entry point).
+
+import (
+	"pequod/internal/keys"
+	"pequod/internal/store"
+)
+
+// WarmRange records one previously-valid computed range: Join indexes
+// the engine's installed joins (identical order on every shard — the
+// pool installs join texts in lockstep).
+type WarmRange struct {
+	Join int
+	R    keys.Range
+}
+
+// PresenceRange records one evicted loader-backed range, for stats and
+// tests.
+type PresenceRange struct {
+	Table string
+	R     keys.Range
+}
+
+// RangeState is the extracted state of one key range, produced by
+// ExtractRange and consumed by SpliceRange on the destination engine.
+type RangeState struct {
+	R    keys.Range
+	KVs  []KV        // physically moved owned rows
+	Warm []WarmRange // computed coverage to rebuild eagerly at the destination
+
+	// EvictedPresence lists the loader-backed ranges dropped at the
+	// source; the destination loads its own (per-shard subscriptions and
+	// write-around feeds are wired per engine, so residency metadata
+	// cannot transfer with its freshness guarantees).
+	EvictedPresence []PresenceRange
+}
+
+// ExtractRange removes range r's state from the engine and returns the
+// portion a destination engine needs. keep reports tables whose rows are
+// replicated on every shard (the pool's forwarded source set) — those
+// rows stay in place and are not captured. Owned rows are removed
+// silently (no change notification, no updater cascade: the data is
+// moving, not being deleted; dependent computed ranges are invalidated
+// so they recompute against post-migration state).
+func (e *Engine) ExtractRange(r keys.Range, keep func(table string) bool) RangeState {
+	rs := RangeState{R: r}
+
+	// Computed state: drop every join status overlapping r, recording the
+	// valid coverage for the destination's warm rebuild. A status
+	// straddling r's edge is dropped whole — its outputs outside r would
+	// otherwise linger uncovered — and the source recomputes its retained
+	// side on the next read.
+	for idx, ij := range e.joins {
+		for _, st := range e.statusesOverlapping(ij, r) {
+			if st.valid {
+				if wr := st.r.Intersect(r); !wr.Empty() {
+					rs.Warm = append(rs.Warm, WarmRange{Join: idx, R: wr})
+				}
+			}
+			e.stats.Invalidations++
+			e.detachStatus(st)
+			e.removeOutputsOp(ij, st.r, OpEvict)
+		}
+	}
+
+	// Loader-backed state: evict resident rows of presence tables inside
+	// r and clip the residency records. Records still loading are dropped
+	// whole (LoadComplete matches ranges exactly; a clipped record would
+	// never be marked resident) — their data lands unmarked and a retry
+	// refetches whatever the post-migration owner needs.
+	for table, pt := range e.presence {
+		tr := keys.Range{Lo: table, Hi: keys.PrefixEnd(table + keys.SepString)}
+		rr := r.Intersect(tr)
+		if rr.Empty() {
+			continue
+		}
+		var overlapping []*presRange
+		start := pt.ranges.SeekAtOrBefore(rr.Lo)
+		if start == nil {
+			start = pt.ranges.Seek(rr.Lo)
+		}
+		for n := start; n != nil; n = n.Next() {
+			pr := n.Val
+			if rr.Hi != "" && pr.r.Lo >= rr.Hi {
+				break
+			}
+			if pr.r.Overlaps(rr) {
+				overlapping = append(overlapping, pr)
+			}
+		}
+		for _, pr := range overlapping {
+			cut := pr.r.Intersect(rr)
+			rs.EvictedPresence = append(rs.EvictedPresence, PresenceRange{Table: table, R: cut})
+			if pr.loading {
+				pt.ranges.Delete(pr.node)
+				pr.node = nil
+				continue
+			}
+			sides := []keys.Range{{Lo: pr.r.Lo, Hi: cut.Lo}}
+			if cut.Hi != "" { // a cut to +inf leaves nothing above
+				sides = append(sides, keys.Range{Lo: cut.Hi, Hi: pr.r.Hi})
+			}
+			e.lruRemovePresence(pr)
+			pt.ranges.Delete(pr.node)
+			pr.node = nil
+			for _, side := range sides {
+				if side.Empty() {
+					continue
+				}
+				np := &presRange{table: table, r: side}
+				n, _ := pt.ranges.Insert(side.Lo, np)
+				n.Val = np
+				np.node = n
+				e.lruTouch2(&np.lru, np)
+			}
+			// Drop the evicted rows like memory-pressure eviction does
+			// (§2.5): OpEvict, dependents invalidated, replicas keep
+			// theirs.
+			e.evictRows(cut)
+		}
+	}
+
+	// Owned rows: capture and silently remove everything left in r that
+	// is not replicated (kept) and not loader-backed (just evicted).
+	e.s.Scan(r.Lo, r.Hi, func(k string, v *store.Value) bool {
+		t := keys.Table(k)
+		if keep(t) || e.presence[t] != nil {
+			return true
+		}
+		rs.KVs = append(rs.KVs, KV{Key: k, Value: v.String()})
+		return true
+	})
+	for _, kv := range rs.KVs {
+		if _, ok := e.s.Remove(kv.Key); ok {
+			e.invalidateDependents(kv.Key)
+		}
+	}
+	return rs
+}
+
+// SpliceRange folds an extracted range into this engine, which is about
+// to become (or just became) the range's owner. Its own cached computed
+// state overlapping the range is dropped first — the spliced rows are
+// now the authority and stale local replicas must not shadow them — then
+// the moved rows are installed silently, and the source's previously
+// valid computed coverage is rebuilt eagerly from this engine's own
+// replicated sources so the range arrives warm.
+func (e *Engine) SpliceRange(rs RangeState) {
+	for _, ij := range e.joins {
+		for _, st := range e.statusesOverlapping(ij, rs.R) {
+			e.stats.Invalidations++
+			e.detachStatus(st)
+			e.removeOutputsOp(ij, st.r, OpEvict)
+		}
+	}
+	for _, kv := range rs.KVs {
+		e.s.Put(kv.Key, store.NewValue(kv.Value))
+		e.invalidateDependents(kv.Key)
+	}
+	for _, w := range rs.Warm {
+		if w.Join >= len(e.joins) {
+			continue // source had joins this engine lacks; cannot happen via the pool
+		}
+		ij := e.joins[w.Join]
+		if rr := w.R.Intersect(ij.j.Out.TableRange()); !rr.Empty() {
+			e.ensure(ij, rr)
+		}
+	}
+	// Spliced rows may satisfy readers blocked waiting for data; bump
+	// the load generation so they retry (and re-route if the wait began
+	// before the migration).
+	e.loadGen++
+	e.evictIfNeeded()
+}
+
+// statusesOverlapping collects ij's join statuses overlapping r, in
+// range order.
+func (e *Engine) statusesOverlapping(ij *installedJoin, r keys.Range) []*JoinStatus {
+	var out []*JoinStatus
+	start := ij.status.SeekAtOrBefore(r.Lo)
+	if start == nil {
+		start = ij.status.Seek(r.Lo)
+	}
+	for n := start; n != nil; n = n.Next() {
+		st := n.Val
+		if r.Hi != "" && st.r.Lo >= r.Hi {
+			break
+		}
+		if st.r.Overlaps(r) {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// evictRows removes every stored row in r with eviction semantics:
+// OpEvict notification (ignored by replication and subscription
+// forwarding) and dependent invalidation.
+func (e *Engine) evictRows(r keys.Range) {
+	var doomed []string
+	e.s.Scan(r.Lo, r.Hi, func(k string, v *store.Value) bool {
+		doomed = append(doomed, k)
+		return true
+	})
+	for _, k := range doomed {
+		old, ok := e.s.Remove(k)
+		if !ok {
+			continue
+		}
+		e.notify(Change{Op: OpEvict, Key: k, Value: old.String()})
+		e.invalidateDependents(k)
+	}
+}
+
+// lruRemovePresence unlinks a presence range from the LRU.
+func (e *Engine) lruRemovePresence(pr *presRange) { e.lru.remove(&pr.lru) }

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+
+	"pequod/internal/keys"
+)
+
+// keepNone is the keep predicate of a pool with no replicated tables.
+func keepNone(string) bool { return false }
+
+// TestExtractSpliceMovesOwnedRows: plain rows inside the range move to
+// the destination; rows outside stay; nothing is notified as a logical
+// removal.
+func TestExtractSpliceMovesOwnedRows(t *testing.T) {
+	src, dst := New(Options{}), New(Options{})
+	var changes []Change
+	src.SetChangeHook(func(c Change) { changes = append(changes, c) })
+	src.Put("a|1", "v1")
+	src.Put("a|5", "v5")
+	src.Put("a|9", "v9")
+	changes = nil
+
+	rs := src.ExtractRange(keys.Range{Lo: "a|3", Hi: "a|7"}, keepNone)
+	if len(rs.KVs) != 1 || rs.KVs[0] != (KV{Key: "a|5", Value: "v5"}) {
+		t.Fatalf("extracted %v", rs.KVs)
+	}
+	for _, c := range changes {
+		if c.Op == OpRemove {
+			t.Fatalf("extraction notified a logical removal: %+v", c)
+		}
+	}
+	if _, ok := src.Store().Get("a|5"); ok {
+		t.Fatal("moved row still at source")
+	}
+	for _, k := range []string{"a|1", "a|9"} {
+		if _, ok := src.Store().Get(k); !ok {
+			t.Fatalf("row %q outside the range left the source", k)
+		}
+	}
+	dst.SpliceRange(rs)
+	if v, ok := dst.Store().Get("a|5"); !ok || v.String() != "v5" {
+		t.Fatal("moved row missing at destination")
+	}
+}
+
+// TestExtractDropsComputedAndRecordsWarm: computed coverage overlapping
+// the migrated range is dropped at the source (whole statuses, outputs
+// removed with OpEvict so nothing downstream treats it as deletion) and
+// the valid portions are reported for the destination's warm rebuild.
+func TestExtractDropsComputedAndRecordsWarm(t *testing.T) {
+	src := newTwipEngine(t, Options{})
+	src.Put("s|ann|bob", "1")
+	src.Put("p|bob|100", "Hi")
+	scanKeys(t, src, "t|ann|", "t|ann}") // materialize a valid status
+
+	var evicts, removes int
+	src.SetChangeHook(func(c Change) {
+		switch c.Op {
+		case OpEvict:
+			evicts++
+		case OpRemove:
+			removes++
+		}
+	})
+	rs := src.ExtractRange(keys.Range{Lo: "t|", Hi: "t}"}, func(table string) bool {
+		return table == "s" || table == "p" // the pool's forwarded sources
+	})
+	if len(rs.Warm) != 1 || rs.Warm[0].Join != 0 {
+		t.Fatalf("warm ranges = %+v", rs.Warm)
+	}
+	if len(rs.KVs) != 0 {
+		t.Fatalf("computed rows were captured as owned: %v", rs.KVs)
+	}
+	if evicts == 0 || removes != 0 {
+		t.Fatalf("drop notified evicts=%d removes=%d", evicts, removes)
+	}
+	if got := scanKeys(t, src, "p|", "p}"); len(got) != 1 {
+		t.Fatalf("replicated source rows left the source: %v", got)
+	}
+	if n := src.LRULen(); n != 0 {
+		t.Fatalf("status still tracked after extraction: LRULen=%d", n)
+	}
+
+	// A destination holding the same replicated sources rebuilds the
+	// warm coverage during the splice: the first read is already warm.
+	dst := newTwipEngine(t, Options{})
+	dst.Put("s|ann|bob", "1")
+	dst.Put("p|bob|100", "Hi")
+	dst.SpliceRange(rs)
+	execs := dst.Stats().JoinExecs
+	got := scanKeys(t, dst, "t|ann|", "t|ann}")
+	wantKeys(t, got, "t|ann|100|bob")
+	if dst.Stats().JoinExecs != execs {
+		t.Fatal("read after warm splice re-executed the join")
+	}
+}
+
+// TestExtractClipsPresence: a resident loader-backed range straddling
+// the migrated range is clipped — the evicted middle reloads on demand,
+// the survivors stay resident — and rows under it are evicted, not
+// moved.
+func TestExtractClipsPresence(t *testing.T) {
+	e := New(Options{})
+	ld := &recordingLoader{}
+	e.SetLoader(ld, "x")
+	e.Scan("x|a", "x|z", 0) // one gap load for [x|a, x|z)
+	if len(ld.loads) != 1 {
+		t.Fatalf("loads = %v", ld.loads)
+	}
+	e.LoadComplete("x", ld.loads[0], []KV{{"x|b", "1"}, {"x|m", "2"}, {"x|y", "3"}})
+
+	rs := e.ExtractRange(keys.Range{Lo: "x|g", Hi: "x|p"}, keepNone)
+	if len(rs.KVs) != 0 {
+		t.Fatalf("loader-backed rows captured as owned: %v", rs.KVs)
+	}
+	if len(rs.EvictedPresence) != 1 || rs.EvictedPresence[0].R != (keys.Range{Lo: "x|g", Hi: "x|p"}) {
+		t.Fatalf("evicted presence = %+v", rs.EvictedPresence)
+	}
+	if _, ok := e.Store().Get("x|m"); ok {
+		t.Fatal("row inside the migrated range survived")
+	}
+	for _, k := range []string{"x|b", "x|y"} {
+		if _, ok := e.Store().Get(k); !ok {
+			t.Fatalf("row %q under a surviving presence clip was evicted", k)
+		}
+	}
+	// Reads over the survivors stay resident (no new load); the evicted
+	// middle triggers a reload.
+	ld.loads = nil
+	if _, pending := e.Scan("x|a", "x|g", 0); pending != 0 || len(ld.loads) != 0 {
+		t.Fatalf("left clip not resident: pending=%d loads=%v", pending, ld.loads)
+	}
+	if _, pending := e.Scan("x|g", "x|p", 0); pending != 1 || len(ld.loads) != 1 {
+		t.Fatalf("evicted middle did not reload: loads=%v", ld.loads)
+	}
+}
+
+// recordingLoader records StartLoad calls without completing them.
+type recordingLoader struct{ loads []keys.Range }
+
+func (l *recordingLoader) StartLoad(table string, r keys.Range) {
+	l.loads = append(l.loads, r)
+}
+
+// TestEvictSkipsInFlightRanges is the regression test for the eviction
+// sweep: a range with loads in flight must be skipped without escaping
+// the LRU (re-linked, still tracked by LRULen) and without being counted
+// as an eviction — and a sweep where every range is in flight must
+// terminate.
+func TestEvictSkipsInFlightRanges(t *testing.T) {
+	e := newTwipEngine(t, Options{})
+	e.Put("s|ann|bob", "1")
+	e.Put("p|bob|100", "Hi")
+	scanKeys(t, e, "t|ann|", "t|ann}")
+	if e.LRULen() != 1 {
+		t.Fatalf("LRULen = %d", e.LRULen())
+	}
+	e.opts.MemLimit = 1 // from here on any byte is over the limit
+	st := e.joins[0].status.First().Val
+	st.pendingLoads = 1 // loads in flight: unevictable for now
+
+	before := e.Stats().Evictions
+	e.evictIfNeeded()
+	if e.LRULen() != 1 {
+		t.Fatalf("in-flight range escaped the LRU: LRULen = %d", e.LRULen())
+	}
+	if got := e.Stats().Evictions; got != before {
+		t.Fatalf("skipped range counted as %d evictions", got-before)
+	}
+
+	// Once the loads land the same range must evict normally.
+	st.pendingLoads = 0
+	e.evictIfNeeded()
+	if e.LRULen() != 0 || e.Stats().Evictions != before+1 {
+		t.Fatalf("range did not evict after loads landed: LRULen=%d evictions=%d",
+			e.LRULen(), e.Stats().Evictions-before)
+	}
+	if _, ok := e.Store().Get("t|ann|100|bob"); ok {
+		t.Fatal("evicted output still stored")
+	}
+}

@@ -185,6 +185,13 @@ func (e *Engine) detachStatus(st *JoinStatus) {
 // invalidates dependent downstream joins rather than updating them, as
 // eviction/invalidation semantics require (§2.5).
 func (e *Engine) removeOutputs(ij *installedJoin, r keys.Range) {
+	e.removeOutputsOp(ij, r, OpRemove)
+}
+
+// removeOutputsOp is removeOutputs notifying the given op: migration
+// drops computed ranges with OpEvict, which subscription forwarding
+// ignores — the data stays valid, it just stops being cached here.
+func (e *Engine) removeOutputsOp(ij *installedJoin, r keys.Range, op ChangeOp) {
 	var doomed []string
 	e.s.Scan(r.Lo, r.Hi, func(k string, v *store.Value) bool {
 		if _, ok := ij.j.Out.Match(k, st0); ok {
@@ -197,7 +204,7 @@ func (e *Engine) removeOutputs(ij *installedJoin, r keys.Range) {
 		if !ok {
 			continue
 		}
-		e.notify(Change{Op: OpRemove, Key: k, Value: old.String()})
+		e.notify(Change{Op: op, Key: k, Value: old.String()})
 		e.invalidateDependents(k)
 	}
 }

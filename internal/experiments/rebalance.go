@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"pequod/internal/shard"
+	"pequod/internal/twip"
+)
+
+// RebalanceRow is one configuration's measurement from RebalanceScale.
+type RebalanceRow struct {
+	Rebalance  bool
+	QPS        float64 // steady-state timeline checks per second
+	Speedup    float64 // QPS relative to the static partition
+	Migrations int64   // boundary moves the rebalancer ran
+	HotShare   float64 // hottest shard's fraction of the served load
+}
+
+// RebalanceScale measures what live rebalancing buys under skew: a
+// 4-shard pool with the *default* bounds — which cluster every
+// ASCII-prefixed Twip key onto one shard, the worst realistic
+// mispartition — serves a Zipf-skewed closed-loop timeline-check stream
+// with rebalancing off, then on. The static pool funnels every check
+// through the one hot shard's lock no matter how many workers run; the
+// rebalancer watches per-shard load, migrates hot timeline ranges to
+// the idle shards live under the same traffic, and the steady-state
+// throughput afterwards is the payoff. Both pools' timelines are
+// verified byte-identical to a single-engine baseline before anything
+// is timed.
+func RebalanceScale(sc Scale, out io.Writer) ([]RebalanceRow, error) {
+	g := twip.Generate(sc.Users, sc.Edges, 42)
+	posts := twip.GeneratePosts(g, sc.Posts, 43, sc.TweetLen)
+
+	// The skewed read stream: Zipf over user ids, so the hot users form
+	// a contiguous hot key range — exactly the case a boundary move can
+	// spread. The stream is long enough for a stable steady-state
+	// window even at tiny scales (migrations cost microseconds, not
+	// milliseconds, but a 10ms window would still be all noise).
+	totalChecks := sc.Users * sc.ChecksPerUser
+	if totalChecks < 40000 {
+		totalChecks = 40000
+	}
+	zipf := rand.NewZipf(rand.New(rand.NewSource(45)), 1.2, 8, uint64(g.Users-1))
+	users := make([]int32, totalChecks)
+	for i := range users {
+		users[i] = int32(zipf.Uint64())
+	}
+
+	base, err := warmShardPool(g, posts, 1)
+	if err != nil {
+		return nil, err
+	}
+	defer base.Close()
+	want := base.Scan("t|", "t}", 0, nil, nil)
+
+	fprintf(out, "Rebalance (%s): %d users, %d Zipf checks, %d workers, 4 shards, default (clustered) bounds\n",
+		sc.Name, g.Users, totalChecks, sc.Workers)
+
+	const nShards = 4
+	var rows []RebalanceRow
+	for _, reb := range []bool{false, true} {
+		cfg := shard.Config{Shards: nShards}
+		if reb {
+			cfg.Rebalance = &shard.Rebalance{
+				Interval: 3 * time.Millisecond,
+				Ratio:    1.25,
+				MinOps:   64,
+			}
+		}
+		p, err := warmPool(g, posts, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if reb {
+			// Adaptation phase: serve the same skewed stream until the
+			// rebalancer stops moving ranges. The quiet window must
+			// outlast the rebalancer's post-migration cooldown, or a
+			// pause mid-cascade reads as convergence and the remaining
+			// migrations get charged to the steady state.
+			quiet, prev := 0, int64(0)
+			for pass := 0; pass < 80 && quiet < 4; pass++ {
+				driveShardChecks(p, users[:min(len(users), 4096)], sc.Workers)
+				time.Sleep(8 * time.Millisecond) // let sampling ticks fire
+				if st := p.RebalanceStats(); st.Migrations == prev && st.Migrations > 0 {
+					quiet++
+				} else {
+					quiet, prev = 0, p.RebalanceStats().Migrations
+				}
+			}
+		}
+		p.Quiesce()
+		got := p.Scan("t|", "t}", 0, nil, nil)
+		if err := kvsEqual(got, want); err != nil {
+			p.Close()
+			return nil, fmt.Errorf("rebalance=%v timelines diverge from single engine: %w", reb, err)
+		}
+		before := p.ShardLoads()
+		qps := float64(totalChecks) / driveShardChecks(p, users, sc.Workers).Seconds()
+
+		// How concentrated was the measured load? The hottest shard's
+		// share of the checks served is the "hot shard cooling off"
+		// metric: ~1.0 statically (everything funnels through one
+		// engine), a fair fraction of 1/shards once ranges migrated.
+		hotShare := hotUnitShare(before, p.ShardLoads())
+		st := p.RebalanceStats()
+		p.Close()
+
+		row := RebalanceRow{Rebalance: reb, QPS: qps, Migrations: st.Migrations, HotShare: hotShare}
+		row.Speedup = 1
+		if len(rows) > 0 {
+			row.Speedup = qps / rows[0].QPS
+		}
+		rows = append(rows, row)
+		fprintf(out, "  rebalance=%-5v %9.0f checks/s  (%.2fx, %d migrations, hottest shard served %.0f%%)\n",
+			row.Rebalance, row.QPS, row.Speedup, row.Migrations, 100*row.HotShare)
+	}
+	return rows, nil
+}
+
+// hotUnitShare returns the hottest shard's fraction of the load served
+// between two cumulative ShardLoads snapshots.
+func hotUnitShare(before, after []float64) float64 {
+	total, hot := 0.0, 0.0
+	for i := range after {
+		d := after[i] - before[i]
+		total += d
+		if d > hot {
+			hot = d
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return hot / total
+}

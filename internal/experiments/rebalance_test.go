@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"io"
+	"runtime"
+	"testing"
+)
+
+// TestRebalanceScaleShape runs the rebalance experiment at Tiny scale.
+// Byte-identity of both pools' timelines against a single engine is
+// asserted inside RebalanceScale; here we check the rows are sane and
+// that the rebalancer actually migrated off the clustered default
+// bounds. The throughput win only manifests with multiple cores, so it
+// is reported, not asserted.
+func TestRebalanceScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rows, err := RebalanceScale(Tiny, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Rebalance || !rows[1].Rebalance {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for i, r := range rows {
+		if r.QPS <= 0 || r.Speedup <= 0 {
+			t.Fatalf("row %d = %+v", i, r)
+		}
+	}
+	if rows[0].Migrations != 0 {
+		t.Fatalf("static pool migrated: %+v", rows[0])
+	}
+	if rows[1].Migrations == 0 {
+		t.Fatalf("rebalancer never migrated: %+v", rows[1])
+	}
+	// The hot shard must demonstrably cool off: statically one shard
+	// serves essentially everything; after rebalancing it serves a
+	// strictly smaller share. (The throughput ratio depends on core
+	// count, so it is logged, not asserted.)
+	if rows[0].HotShare < 0.95 {
+		t.Fatalf("static pool was not hot to begin with: %+v", rows[0])
+	}
+	if rows[1].HotShare > 0.8 {
+		t.Fatalf("hot shard did not cool off: %+v", rows[1])
+	}
+	t.Logf("GOMAXPROCS=%d: static %.0f qps (hottest %.0f%%), rebalanced %.0f qps (hottest %.0f%%, %.2fx, %d migrations)",
+		runtime.GOMAXPROCS(0), rows[0].QPS, 100*rows[0].HotShare,
+		rows[1].QPS, 100*rows[1].HotShare, rows[1].Speedup, rows[1].Migrations)
+}

@@ -1,0 +1,176 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pequod/internal/keys"
+)
+
+// checkTotal asserts the ownership invariants a Map must keep across any
+// sequence of MoveBound operations: the bound list stays strictly
+// increasing, Split of the full keyspace yields exactly one contiguous
+// piece per server with no gaps or overlaps, and Owner agrees with Split
+// for every probed key — every key owned exactly once.
+func checkTotal(t *testing.T, m *Map, probes []string) {
+	t.Helper()
+	bounds := m.Bounds()
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not strictly increasing: %q >= %q", bounds[i-1], bounds[i])
+		}
+	}
+	pieces := m.Split(keys.Range{})
+	if len(pieces) != m.Servers() {
+		t.Fatalf("full split has %d pieces, want %d servers", len(pieces), m.Servers())
+	}
+	cursor := ""
+	for i, pc := range pieces {
+		if pc.Owner != i {
+			t.Fatalf("piece %d owned by %d", i, pc.Owner)
+		}
+		if pc.R.Lo != cursor {
+			t.Fatalf("piece %d starts at %q, want %q (gap or overlap)", i, pc.R.Lo, cursor)
+		}
+		if i < len(pieces)-1 {
+			if pc.R.Hi == "" || pc.R.Hi <= pc.R.Lo {
+				t.Fatalf("piece %d range [%q,%q) empty or unbounded", i, pc.R.Lo, pc.R.Hi)
+			}
+			cursor = pc.R.Hi
+		} else if pc.R.Hi != "" {
+			t.Fatalf("last piece ends at %q, want +inf", pc.R.Hi)
+		}
+	}
+	for _, k := range probes {
+		owner := m.Owner(k)
+		holders := 0
+		for _, pc := range pieces {
+			if pc.R.Contains(k) {
+				holders++
+				if pc.Owner != owner {
+					t.Fatalf("key %q: Owner = %d but piece says %d", k, owner, pc.Owner)
+				}
+			}
+		}
+		if holders != 1 {
+			t.Fatalf("key %q owned by %d pieces", k, holders)
+		}
+	}
+}
+
+// fuzzProbe builds a key set that straddles every bound: the bounds
+// themselves, their immediate neighbors, and a few fixed keys.
+func fuzzProbe(m *Map, rng *rand.Rand) []string {
+	probes := []string{"", "a", "p|u0000001", "t|u0000042|99", "zz", "\xff\xff"}
+	for _, b := range m.Bounds() {
+		probes = append(probes, b, b+"\x00")
+		if len(b) > 0 {
+			probes = append(probes, b[:len(b)-1])
+		}
+	}
+	for i := 0; i < 8; i++ {
+		probes = append(probes, fmt.Sprintf("%c|u%07d", 'a'+rng.Intn(26), rng.Intn(1000)))
+	}
+	return probes
+}
+
+// applyMoves drives nMoves randomized MoveBound operations (some invalid
+// on purpose) from seed, checking invariants after every accepted move.
+// It returns the final map.
+func applyMoves(t *testing.T, seed int64, nMoves int) *Map {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(6)
+	bounds := make([]string, 0, n-1)
+	for i := 1; i < n; i++ {
+		bounds = append(bounds, fmt.Sprintf("%c|", 'b'+3*i))
+	}
+	m := MustNew(bounds...)
+	version := m.Version()
+	accepted := 0
+	for i := 0; i < nMoves; i++ {
+		idx := rng.Intn(len(bounds)+1) - 1 // sometimes out of range
+		var bound string
+		switch rng.Intn(4) {
+		case 0: // random printable key
+			bound = fmt.Sprintf("%c|u%07d", 'a'+rng.Intn(26), rng.Intn(1000))
+		case 1: // nudge an existing bound
+			b := m.Bound(rng.Intn(len(bounds)))
+			bound = b + string(rune('a'+rng.Intn(26)))
+		case 2: // duplicate an existing bound (must be rejected)
+			bound = m.Bound(rng.Intn(len(bounds)))
+		case 3: // empty key (must be rejected)
+			bound = ""
+		}
+		next, err := m.MoveBound(idx, bound)
+		if err != nil {
+			continue
+		}
+		accepted++
+		if next.Version() != version+1 {
+			t.Fatalf("version %d after move, want %d", next.Version(), version+1)
+		}
+		version = next.Version()
+		if next.Servers() != m.Servers() {
+			t.Fatalf("move changed server count %d -> %d", m.Servers(), next.Servers())
+		}
+		m = next
+		checkTotal(t, m, fuzzProbe(m, rng))
+	}
+	if nMoves >= 50 && accepted == 0 {
+		t.Fatalf("no move accepted in %d attempts", nMoves)
+	}
+	return m
+}
+
+// FuzzMapMoves fuzzes sequences of boundary moves: after any accepted
+// sequence the map must still assign every key to exactly one owner with
+// no gaps or overlaps. `go test` runs the seed corpus; `go test
+// -fuzz=FuzzMapMoves ./internal/partition` explores further.
+func FuzzMapMoves(f *testing.F) {
+	f.Add(int64(1), 50)
+	f.Add(int64(2), 200)
+	f.Add(int64(42), 120)
+	f.Add(int64(-7), 80)
+	f.Fuzz(func(t *testing.T, seed int64, nMoves int) {
+		if nMoves < 0 {
+			nMoves = -nMoves
+		}
+		if nMoves > 500 {
+			nMoves = nMoves % 500
+		}
+		applyMoves(t, seed, nMoves)
+	})
+}
+
+// TestMoveBoundRejections pins the validation rules MoveBound enforces.
+func TestMoveBoundRejections(t *testing.T) {
+	m := MustNew("g", "p")
+	for _, c := range []struct {
+		idx   int
+		bound string
+	}{
+		{-1, "h"}, // index below range
+		{2, "h"},  // index above range
+		{0, "g"},  // no-op move
+		{0, "p"},  // collides with right neighbor
+		{0, "q"},  // beyond right neighbor
+		{1, "g"},  // collides with left neighbor
+		{1, "a"},  // below left neighbor
+		{0, ""},   // empty bound
+	} {
+		if _, err := m.MoveBound(c.idx, c.bound); err == nil {
+			t.Errorf("MoveBound(%d, %q) accepted", c.idx, c.bound)
+		}
+	}
+	if m.Version() != 0 {
+		t.Fatalf("rejected moves changed version: %d", m.Version())
+	}
+	next, err := m.MoveBound(0, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Owner("h") != 0 || next.Owner("k") != 1 || m.Owner("h") != 1 {
+		t.Fatal("move did not shift ownership (or mutated the receiver)")
+	}
+}

@@ -17,8 +17,15 @@ import (
 // [bounds[i-1], bounds[i]) with implicit bounds[-1] = "" and
 // bounds[n-1] = +infinity. A Map with no bounds assigns everything to
 // server 0.
+//
+// A Map is immutable. Rebalancing produces successor Maps through
+// MoveBound, each carrying a version one higher than its parent, so
+// concurrent readers holding an old Map can detect that ownership has
+// moved on (the shard pool's live migration swaps Maps atomically and
+// re-validates ownership under shard locks).
 type Map struct {
-	bounds []string // sorted; len(bounds) = servers-1
+	bounds  []string // sorted; len(bounds) = servers-1
+	version int64    // 0 for a fresh Map; +1 per MoveBound
 }
 
 // New builds a Map from split points, which must be strictly increasing.
@@ -43,6 +50,42 @@ func MustNew(bounds ...string) *Map {
 // Servers returns the number of servers the map distributes over.
 func (m *Map) Servers() int { return len(m.bounds) + 1 }
 
+// Version returns the map's rebalance generation: 0 for a Map built by
+// New, incremented by every MoveBound.
+func (m *Map) Version() int64 { return m.version }
+
+// Bound returns the i'th split point (the lower edge of server i+1's
+// range).
+func (m *Map) Bound(i int) string { return m.bounds[i] }
+
+// MoveBound returns a successor Map with bounds[i] moved to bound — the
+// rebalancer's primitive. Lowering the bound shifts [bound, old) from
+// server i to server i+1; raising it shifts [old, bound) from server i+1
+// to server i. The new bound must stay strictly between its neighbors so
+// every server keeps a non-empty range; a bound equal to the current one
+// is rejected (a no-op move would spend a migration for nothing). The
+// receiver is unchanged.
+func (m *Map) MoveBound(i int, bound string) (*Map, error) {
+	if i < 0 || i >= len(m.bounds) {
+		return nil, fmt.Errorf("partition: bound index %d out of range [0,%d)", i, len(m.bounds))
+	}
+	if bound == m.bounds[i] {
+		return nil, fmt.Errorf("partition: bound %d already at %q", i, bound)
+	}
+	if i > 0 && bound <= m.bounds[i-1] {
+		return nil, fmt.Errorf("partition: bound %d = %q not above left neighbor %q", i, bound, m.bounds[i-1])
+	}
+	if i < len(m.bounds)-1 && bound >= m.bounds[i+1] {
+		return nil, fmt.Errorf("partition: bound %d = %q not below right neighbor %q", i, bound, m.bounds[i+1])
+	}
+	if bound == "" {
+		return nil, fmt.Errorf("partition: bound %d cannot be the empty key", i)
+	}
+	next := append([]string(nil), m.bounds...)
+	next[i] = bound
+	return &Map{bounds: next, version: m.version + 1}, nil
+}
+
 // Bounds returns a copy of the split points, for shipping a Map over the
 // wire (the cluster client's ConnectPeers RPC).
 func (m *Map) Bounds() []string { return append([]string(nil), m.bounds...) }
@@ -50,6 +93,19 @@ func (m *Map) Bounds() []string { return append([]string(nil), m.bounds...) }
 // Owner returns the home server index for key.
 func (m *Map) Owner(key string) int {
 	return sort.SearchStrings(m.bounds, key+"\x00")
+}
+
+// OwnsRange reports whether server owner holds every key of r — the
+// shard pool's post-lock validation that a scan piece computed against
+// an older Map is still wholly served by the locked shard.
+func (m *Map) OwnsRange(owner int, r keys.Range) bool {
+	if m.Owner(r.Lo) != owner {
+		return false
+	}
+	if owner == len(m.bounds) {
+		return true // last server: owns up to +inf
+	}
+	return r.Hi != "" && r.Hi <= m.bounds[owner]
 }
 
 // Shard is one piece of a range split across owners.

@@ -52,6 +52,11 @@ type Config struct {
 	// Bounds are the partition split points between shards
 	// (len = Shards-1); see shard.Config.
 	Bounds []string
+	// Rebalance, when non-nil, enables load-aware shard rebalancing:
+	// hot key ranges migrate live between neighboring shards, so the
+	// initial Bounds need not anticipate the workload's skew. See
+	// shard.Rebalance for the knobs.
+	Rebalance *shard.Rebalance
 }
 
 // subscription is a cross-server base-data subscription (§2.4): the
@@ -98,9 +103,10 @@ type meshState struct {
 // New creates a server.
 func New(cfg Config) (*Server, error) {
 	pool, err := shard.New(shard.Config{
-		Shards: cfg.Shards,
-		Bounds: cfg.Bounds,
-		Engine: cfg.Engine,
+		Shards:    cfg.Shards,
+		Bounds:    cfg.Bounds,
+		Engine:    cfg.Engine,
+		Rebalance: cfg.Rebalance,
 	})
 	if err != nil {
 		return nil, err
@@ -252,15 +258,18 @@ func (s *Server) dropConn(cn *conn) {
 	s.smu.Unlock()
 }
 
-// statJSON renders server statistics aggregated across shards.
+// statJSON renders server statistics aggregated across shards, plus the
+// rebalancer's view of the partition (migrations run, current bounds,
+// per-shard load).
 func (s *Server) statJSON() string {
 	out, _ := json.Marshal(struct {
-		Name    string     `json:"name"`
-		Shards  int        `json:"shards"`
-		Entries int        `json:"entries"`
-		Bytes   int64      `json:"bytes"`
-		Stats   core.Stats `json:"stats"`
-	}{s.name, s.pool.NumShards(), s.pool.Len(), s.pool.Bytes(), s.pool.Stats()})
+		Name      string               `json:"name"`
+		Shards    int                  `json:"shards"`
+		Entries   int                  `json:"entries"`
+		Bytes     int64                `json:"bytes"`
+		Stats     core.Stats           `json:"stats"`
+		Rebalance shard.RebalanceStats `json:"rebalance"`
+	}{s.name, s.pool.NumShards(), s.pool.Len(), s.pool.Bytes(), s.pool.Stats(), s.pool.RebalanceStats()})
 	return string(out)
 }
 

@@ -57,6 +57,10 @@ type Config struct {
 	// Engine holds per-engine options. A MemLimit is divided evenly
 	// across the shards so the configured total is preserved.
 	Engine core.Options
+	// Rebalance, when non-nil, runs the load-aware rebalancer: per-shard
+	// load is sampled into an EWMA and hot ranges migrate live between
+	// neighboring shards (rebalance.go). Ignored for single-shard pools.
+	Rebalance *Rebalance
 }
 
 // DefaultBounds returns n-1 split points dividing the 16-bit key-prefix
@@ -73,8 +77,20 @@ func DefaultBounds(n int) []string {
 
 // Pool is a set of partitioned engines served concurrently.
 type Pool struct {
-	pmap   *partition.Map
+	// pmap is the current partition of the key space. It is replaced —
+	// never mutated — by live migration (MoveBound), which holds both
+	// affected shards' locks across the state transfer and the swap.
+	// Every routed operation therefore re-validates ownership after
+	// acquiring a shard lock: if the key (or scan piece) is no longer
+	// owned by the locked shard, the operation reroutes against the
+	// fresh map, so readers never observe a gap or duplicate and writes
+	// can never land on a shard that has given the range away.
+	pmap   atomic.Pointer[partition.Map]
 	shards []*Shard
+
+	// reb is the load-aware rebalancer (rebalance.go); zero-valued and
+	// inert unless Config.Rebalance was set.
+	reb rebState
 
 	// hook observes owner-authoritative changes (for cross-server
 	// subscription forwarding at the network layer). Set before serving.
@@ -85,7 +101,8 @@ type Pool struct {
 	fwd atomic.Pointer[map[string]bool]
 
 	// imu serializes install/loader bookkeeping (join set, fwd/ext
-	// recomputation, backfill).
+	// recomputation, backfill) and live migrations (rebalance.go), so
+	// the forwarded-table set and partition map are stable across each.
 	imu       sync.Mutex
 	installed []*join.Join
 	texts     []string        // install texts, replayed to dry-run new ones
@@ -108,6 +125,42 @@ type Shard struct {
 	queue  []core.Change
 	busy   bool // applier is mid-batch
 	closed bool
+
+	// Load accounting for the rebalancer: units counts work served
+	// (one per op plus one per row scanned) since the last rebalancer
+	// sample, unitsTotal the same since the pool started (experiments
+	// and stats read it; nothing resets it); samples is a ring of
+	// recently served keys (guarded by mu, which every recording path
+	// already holds) from which boundary moves pick their split points.
+	units      atomic.Int64
+	unitsTotal atomic.Int64
+	samples    [loadSampleRing]string
+	samplePos  int
+}
+
+// loadSampleRing is the per-shard key-sample capacity (a power of two).
+const loadSampleRing = 256
+
+// applyChange applies one replicated or forwarded change to the engine.
+// Called with sh.mu held. Every non-remove op applies as a put: evict
+// ops never reach these paths (both the pool's forwarding and the
+// server's subscription push filter them out), and treating an unknown
+// op as a put in four call sites beats four diverging switches.
+func (sh *Shard) applyChange(c core.Change) {
+	if c.Op == core.OpRemove {
+		sh.e.Remove(c.Key)
+	} else {
+		sh.e.Put(c.Key, c.Value)
+	}
+}
+
+// record notes one served operation for load accounting. Called with
+// sh.mu held.
+func (sh *Shard) record(key string, units int64) {
+	sh.units.Add(units)
+	sh.unitsTotal.Add(units)
+	sh.samples[sh.samplePos&(loadSampleRing-1)] = key
+	sh.samplePos++
 }
 
 // New builds a pool. Shards and Bounds must agree (n shards need n-1
@@ -137,7 +190,8 @@ func New(cfg Config) (*Pool, error) {
 	if opts.MemLimit > 0 && n > 1 {
 		opts.MemLimit = (opts.MemLimit + int64(n) - 1) / int64(n)
 	}
-	p := &Pool{pmap: pmap, ext: make(map[string]bool)}
+	p := &Pool{ext: make(map[string]bool)}
+	p.pmap.Store(pmap)
 	empty := map[string]bool{}
 	p.fwd.Store(&empty)
 	for i := 0; i < n; i++ {
@@ -153,12 +207,17 @@ func New(cfg Config) (*Pool, error) {
 			p.wg.Add(1)
 			go sh.applyLoop()
 		}
+		if cfg.Rebalance != nil {
+			p.startRebalancer(*cfg.Rebalance)
+		}
 	}
 	return p, nil
 }
 
-// Close stops the apply goroutines after draining their queues.
+// Close stops the rebalancer and the apply goroutines (after draining
+// their queues).
 func (p *Pool) Close() {
+	p.stopRebalancer()
 	for _, sh := range p.shards {
 		sh.qmu.Lock()
 		sh.closed = true
@@ -171,14 +230,17 @@ func (p *Pool) Close() {
 // NumShards returns the number of engines in the pool.
 func (p *Pool) NumShards() int { return len(p.shards) }
 
-// Owner returns the index of the shard owning key.
-func (p *Pool) Owner(key string) int { return p.pmap.Owner(key) }
+// Owner returns the index of the shard currently owning key. With the
+// rebalancer running the answer may be stale by the time it is used;
+// the routed operations re-validate under the shard lock.
+func (p *Pool) Owner(key string) int { return p.pmap.Load().Owner(key) }
 
 // Shard returns the i'th shard handle (loader wiring, tests).
 func (p *Pool) Shard(i int) *Shard { return p.shards[i] }
 
-// Map returns the pool's partition map.
-func (p *Pool) Map() *partition.Map { return p.pmap }
+// Map returns the pool's current partition map (immutable; rebalancing
+// replaces it).
+func (p *Pool) Map() *partition.Map { return p.pmap.Load() }
 
 // SetHook registers the observer of owner-authoritative changes, called
 // with the owning shard's lock held (it must only enqueue, like the
@@ -192,7 +254,7 @@ func (p *Pool) SetHook(fn func(shard int, c core.Change)) { p.hook = fn }
 // logical change is forwarded by exactly one shard, in that shard's
 // mutation order.
 func (p *Pool) onChange(i int, c core.Change) {
-	if len(p.shards) > 1 && p.pmap.Owner(c.Key) != i {
+	if len(p.shards) > 1 && p.pmap.Load().Owner(c.Key) != i {
 		return
 	}
 	// Evictions drop this shard's cached copy, not the data's validity;
@@ -219,7 +281,13 @@ func (sh *Shard) enqueue(c core.Change) {
 }
 
 // applyLoop drains forwarded base-data changes into the engine — the
-// in-process twin of the server's MsgNotify path.
+// in-process twin of the server's MsgNotify path. The batch is popped
+// only once the shard lock is held: a pending forwarded write is either
+// still in the queue or already applied, never in limbo in between.
+// Live migration depends on that invariant — holding the shard lock, it
+// drains the queued writes for the moving range and knows none are
+// hiding in a half-popped batch that would replay stale values after
+// ownership flips.
 func (sh *Shard) applyLoop() {
 	defer sh.p.wg.Done()
 	for {
@@ -231,18 +299,16 @@ func (sh *Shard) applyLoop() {
 			sh.qmu.Unlock()
 			return
 		}
-		batch := sh.queue
-		sh.queue = nil
-		sh.busy = true
 		sh.qmu.Unlock()
 
 		sh.mu.Lock()
+		sh.qmu.Lock()
+		batch := sh.queue
+		sh.queue = nil
+		sh.busy = len(batch) > 0
+		sh.qmu.Unlock()
 		for _, c := range batch {
-			if c.Op == core.OpRemove {
-				sh.e.Remove(c.Key)
-			} else {
-				sh.e.Put(c.Key, c.Value)
-			}
+			sh.applyChange(c)
 		}
 		sh.loadCond.Broadcast()
 		sh.mu.Unlock()
@@ -285,20 +351,36 @@ func (p *Pool) Quiesce() {
 
 // --- routed operations ---
 
+// lockOwner locks and returns the shard owning key, re-validating
+// ownership after acquiring the lock: a migration that moved the key
+// completed while we waited (it held this shard's lock), so routing
+// retries against the fresh map. Terminates because each retry follows
+// an observed map change and migrations are finite.
+func (p *Pool) lockOwner(key string) *Shard {
+	for {
+		sh := p.shards[p.pmap.Load().Owner(key)]
+		sh.mu.Lock()
+		if p.pmap.Load().Owner(key) == sh.idx {
+			return sh
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // Put stores value under key at its owning shard and runs incremental
 // maintenance there (forwarding to siblings via the change hook).
 func (p *Pool) Put(key, value string) {
-	sh := p.shards[p.pmap.Owner(key)]
-	sh.mu.Lock()
+	sh := p.lockOwner(key)
 	sh.e.Put(key, value)
+	sh.record(key, 1)
 	sh.mu.Unlock()
 }
 
 // Remove deletes key at its owning shard, reporting whether it existed.
 func (p *Pool) Remove(key string) bool {
-	sh := p.shards[p.pmap.Owner(key)]
-	sh.mu.Lock()
+	sh := p.lockOwner(key)
 	found := sh.e.Remove(key)
+	sh.record(key, 1)
 	sh.mu.Unlock()
 	return found
 }
@@ -313,19 +395,27 @@ func (p *Pool) Get(key string) (string, bool) {
 
 // GetDeadline is Get bounded by a deadline (zero = none): if base-data
 // loads are still outstanding at dl, it returns ErrDeadline instead of
-// blocking further.
+// blocking further. Waiting for loads releases the shard lock, so the
+// key may migrate away mid-wait; the read then reroutes to the new
+// owner.
 func (p *Pool) GetDeadline(key string, dl time.Time) (string, bool, error) {
-	sh := p.shards[p.pmap.Owner(key)]
-	sh.mu.Lock()
 	for {
-		v, ok, pending := sh.e.Get(key)
-		if pending == 0 {
-			sh.mu.Unlock()
-			return v, ok, nil
-		}
-		if !sh.waitLoadsLocked(dl) {
-			sh.mu.Unlock()
-			return "", false, ErrDeadline
+		sh := p.lockOwner(key)
+		for {
+			v, ok, pending := sh.e.Get(key)
+			if pending == 0 {
+				sh.record(key, 1)
+				sh.mu.Unlock()
+				return v, ok, nil
+			}
+			if !sh.waitLoadsLocked(dl) {
+				sh.mu.Unlock()
+				return "", false, ErrDeadline
+			}
+			if p.pmap.Load().Owner(key) != sh.idx {
+				sh.mu.Unlock()
+				break // migrated away while waiting; reroute
+			}
 		}
 	}
 }
@@ -342,10 +432,29 @@ func (p *Pool) Scan(lo, hi string, limit int, buf []core.KV, sub func(shard int,
 	return kvs
 }
 
+// errMoved reports that a scan piece's ownership changed between
+// computing the piece list and locking the shard (a live migration
+// completed in between): the caller re-splits against the fresh map and
+// retries, so no piece is ever served by a shard that owns only part of
+// it.
+var errMoved = errors.New("shard: range migrated mid-scan")
+
 // ScanDeadline is Scan bounded by a deadline (zero = none); an expired
 // deadline while waiting on base-data loads yields ErrDeadline.
 func (p *Pool) ScanDeadline(lo, hi string, limit int, buf []core.KV, sub func(shard int, r keys.Range), dl time.Time) ([]core.KV, error) {
-	pieces := p.pmap.Split(keys.Range{Lo: lo, Hi: hi})
+	for {
+		kvs, err := p.scanOnce(lo, hi, limit, buf, sub, dl)
+		if err == errMoved {
+			continue
+		}
+		return kvs, err
+	}
+}
+
+// scanOnce runs one scan attempt against a snapshot of the partition
+// map, failing with errMoved if a migration invalidated a piece.
+func (p *Pool) scanOnce(lo, hi string, limit int, buf []core.KV, sub func(shard int, r keys.Range), dl time.Time) ([]core.KV, error) {
+	pieces := p.pmap.Load().Split(keys.Range{Lo: lo, Hi: hi})
 	if len(pieces) == 0 {
 		return buf[:0], nil
 	}
@@ -408,17 +517,25 @@ func (p *Pool) ScanDeadline(lo, hi string, limit int, buf []core.KV, sub func(sh
 	return out, nil
 }
 
-// scanPiece scans one owner's piece, retrying until no loads are pending.
+// scanPiece scans one owner's piece, retrying until no loads are
+// pending. After taking the shard lock (and after every load wait,
+// which releases it) the piece must still be wholly owned by this
+// shard; a migration in between fails the attempt with errMoved.
 func (p *Pool) scanPiece(pc partition.Shard, limit int, buf []core.KV, sub func(int, keys.Range), dl time.Time) ([]core.KV, error) {
 	sh := p.shards[pc.Owner]
 	sh.mu.Lock()
 	for {
+		if !p.pmap.Load().OwnsRange(pc.Owner, pc.R) {
+			sh.mu.Unlock()
+			return nil, errMoved
+		}
 		kvs, pending := sh.e.ScanInto(pc.R.Lo, pc.R.Hi, limit, buf)
 		buf = kvs
 		if pending == 0 {
 			if sub != nil {
 				sub(pc.Owner, pc.R)
 			}
+			sh.record(pc.R.Lo, 1+int64(len(kvs)))
 			sh.mu.Unlock()
 			return kvs, nil
 		}
@@ -438,62 +555,98 @@ func (p *Pool) Count(lo, hi string) int {
 
 // CountDeadline is Count bounded by a deadline (zero = none).
 func (p *Pool) CountDeadline(lo, hi string, dl time.Time) (int, error) {
-	pieces := p.pmap.Split(keys.Range{Lo: lo, Hi: hi})
-	if len(pieces) == 0 {
-		return 0, nil
-	}
-	counts := make([]int, len(pieces))
-	errs := make([]error, len(pieces))
-	var wg sync.WaitGroup
-	for i, pc := range pieces {
-		i, pc := i, pc
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sh := p.shards[pc.Owner]
-			sh.mu.Lock()
-			for {
-				n, pending := sh.e.Count(pc.R.Lo, pc.R.Hi)
-				if pending == 0 {
-					counts[i] = n
-					sh.mu.Unlock()
-					return
-				}
-				if !sh.waitLoadsLocked(dl) {
-					sh.mu.Unlock()
-					errs[i] = ErrDeadline
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	total := 0
-	for i, n := range counts {
-		if errs[i] != nil {
-			return 0, errs[i]
+retry:
+	for {
+		pieces := p.pmap.Load().Split(keys.Range{Lo: lo, Hi: hi})
+		if len(pieces) == 0 {
+			return 0, nil
 		}
-		total += n
+		counts := make([]int, len(pieces))
+		errs := make([]error, len(pieces))
+		var wg sync.WaitGroup
+		for i, pc := range pieces {
+			i, pc := i, pc
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sh := p.shards[pc.Owner]
+				sh.mu.Lock()
+				for {
+					if !p.pmap.Load().OwnsRange(pc.Owner, pc.R) {
+						sh.mu.Unlock()
+						errs[i] = errMoved
+						return
+					}
+					n, pending := sh.e.Count(pc.R.Lo, pc.R.Hi)
+					if pending == 0 {
+						counts[i] = n
+						sh.record(pc.R.Lo, 1+int64(n))
+						sh.mu.Unlock()
+						return
+					}
+					if !sh.waitLoadsLocked(dl) {
+						sh.mu.Unlock()
+						errs[i] = ErrDeadline
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		total := 0
+		for i, n := range counts {
+			if errs[i] == errMoved {
+				continue retry
+			}
+			if errs[i] != nil {
+				return 0, errs[i]
+			}
+			total += n
+		}
+		return total, nil
 	}
-	return total, nil
 }
 
 // Apply routes a batch of replicated changes (peer pushes, database
-// feeds) to their owning shards.
+// feeds) to their owning shards. Ownership is re-checked under each
+// shard's lock; changes whose keys migrated between routing and locking
+// are rerouted, so a concurrent boundary move cannot strand a feed's
+// write on a shard that no longer owns it.
 func (p *Pool) Apply(changes []core.Change) {
 	if len(p.shards) == 1 {
 		p.shards[0].ApplyBatch(changes)
 		return
 	}
-	byOwner := make([][]core.Change, len(p.shards))
-	for _, c := range changes {
-		o := p.pmap.Owner(c.Key)
-		byOwner[o] = append(byOwner[o], c)
-	}
-	for i, mine := range byOwner {
-		if len(mine) > 0 {
-			p.shards[i].ApplyBatch(mine)
+	for len(changes) > 0 {
+		byOwner := make([][]core.Change, len(p.shards))
+		m := p.pmap.Load()
+		for _, c := range changes {
+			o := m.Owner(c.Key)
+			byOwner[o] = append(byOwner[o], c)
 		}
+		var rerouted []core.Change
+		for i, mine := range byOwner {
+			if len(mine) == 0 {
+				continue
+			}
+			sh := p.shards[i]
+			sh.mu.Lock()
+			cur := p.pmap.Load()
+			for _, c := range mine {
+				if cur.Owner(c.Key) != i {
+					rerouted = append(rerouted, c)
+					continue
+				}
+				sh.applyChange(c)
+				// Feed-driven writes are owner work like any Put; without
+				// accounting them a database-fed hot shard would look
+				// idle to the rebalancer.
+				sh.record(c.Key, 1)
+			}
+			sh.loadCond.Broadcast()
+			sh.mu.Unlock()
+		}
+		changes = rerouted
 	}
 }
 
@@ -599,15 +752,18 @@ func (p *Pool) refreshForwardingLocked() {
 
 // backfill replicates the current contents of a newly forwarded table
 // from each owner to every sibling. Enqueueing happens under the owner's
-// lock so concurrent writes forward in order behind the snapshot.
+// lock so concurrent writes forward in order behind the snapshot. The
+// caller holds imu, which migration also takes, so the partition map is
+// stable for the whole pass.
 func (p *Pool) backfill(table string) {
+	m := p.pmap.Load()
 	tr := keys.Range{Lo: table + keys.SepString, Hi: keys.PrefixEnd(table + keys.SepString)}
-	for _, pc := range p.pmap.Split(tr) {
+	for _, pc := range m.Split(tr) {
 		sh := p.shards[pc.Owner]
 		sh.mu.Lock()
 		kvs, _ := sh.e.Scan(pc.R.Lo, pc.R.Hi, 0)
 		for _, kv := range kvs {
-			if p.pmap.Owner(kv.Key) != pc.Owner {
+			if m.Owner(kv.Key) != pc.Owner {
 				continue // a stray replica; its owner backfills it
 			}
 			c := core.Change{Op: core.OpPut, Key: kv.Key, Value: kv.Value}
@@ -691,11 +847,7 @@ func (sh *Shard) LoadComplete(table string, r keys.Range, kvs []core.KV) {
 func (sh *Shard) ApplyBatch(changes []core.Change) {
 	sh.mu.Lock()
 	for _, c := range changes {
-		if c.Op == core.OpRemove {
-			sh.e.Remove(c.Key)
-		} else {
-			sh.e.Put(c.Key, c.Value)
-		}
+		sh.applyChange(c)
 	}
 	sh.loadCond.Broadcast()
 	sh.mu.Unlock()
