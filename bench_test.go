@@ -162,6 +162,31 @@ func BenchmarkRebalance(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterRebalance measures cluster-level live re-partitioning
+// under skew: Zipf timeline checks against four networked servers whose
+// bounds cram every key onto one member. The client-driven rebalancer
+// migrates hot ranges between servers live (ExtractRange/SpliceRange/
+// MapUpdate on the wire); the headline metric is the hottest server's
+// share of the served load — ~1.0 statically, dropping toward
+// 1/servers once ranges have moved. Timelines are verified
+// byte-identical to a reference inside the experiment.
+func BenchmarkClusterRebalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ClusterRebalance(benchScale, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].QPS, "qps_static")
+			b.ReportMetric(rows[1].QPS, "qps_rebalance")
+			b.ReportMetric(rows[1].Speedup, "speedup_x")
+			b.ReportMetric(float64(rows[1].Migrations), "migrations")
+			b.ReportMetric(rows[0].HotShare, "hotshare_static")
+			b.ReportMetric(rows[1].HotShare, "hotshare_rebalance")
+		}
+	}
+}
+
 // BenchmarkAblationSubtables regenerates the §4.1 measurement (paper:
 // 1.55x faster, 1.17x memory with subtables).
 func BenchmarkAblationSubtables(b *testing.B) {

@@ -1,14 +1,23 @@
 // Command pequod-cli is a command-line client for Pequod servers. It
 // speaks the unified Store API: point it at one server (-addr) or at a
 // partitioned cluster (-addrs with -bounds), and the same commands work
-// against either.
+// against either. Cluster mode additionally drives live re-partitioning
+// (the move and rebalance subcommands).
 //
 // Usage:
 //
 //	pequod-cli [-addr host:port] command args...
 //	pequod-cli -addrs a:1,a:2 -bounds 'm' command args...
 //
-// Commands:
+// Flags:
+//
+//	-addr host:port   single server address (default 127.0.0.1:7744)
+//	-addrs a,b,...    cluster member addresses, one per partition range
+//	-bounds k1,k2     partition split points (cluster mode; one fewer
+//	                  than -addrs)
+//	-timeout dur      per-invocation deadline (default 10s)
+//
+// Commands (both modes):
 //
 //	get KEY                  print the value under KEY
 //	put KEY VALUE            store VALUE under KEY
@@ -19,9 +28,22 @@
 //	addjoin SPEC             install a cache join
 //	quiesce                  settle asynchronous replication
 //	stat                     print engine counters
+//
+// Commands (single-server mode only):
+//
 //	statjson                 print the raw per-server stats JSON
-//	                         (entries, bytes, rebalancer state) —
-//	                         single-server mode only
+//	                         (entries, bytes, rebalancer state, load,
+//	                         cluster map) — cluster members each have
+//	                         their own; point -addr at one to inspect it
+//
+// Commands (cluster mode only):
+//
+//	move IDX BOUND           live-migrate: move partition bound IDX to
+//	                         BOUND, transferring the implied key range
+//	                         between the servers on either side
+//	rebalance [DUR]          watch per-server load and migrate hot
+//	                         ranges for DUR (default 30s), one decision
+//	                         per second, printing each move
 package main
 
 import (
@@ -37,6 +59,33 @@ import (
 	"pequod"
 )
 
+// usageText is the -h command summary (the flag package prints the
+// flags themselves).
+const usageText = `usage:
+  pequod-cli [-addr host:port] command args...
+  pequod-cli -addrs a:1,a:2 -bounds 'm' command args...
+
+commands (both modes):
+  get KEY                  print the value under KEY
+  put KEY VALUE            store VALUE under KEY
+  rm KEY                   remove KEY
+  scan LO HI [LIMIT]       print pairs in [LO, HI)
+  scanpfx COMP [COMP...]   print pairs with the component prefix
+  count LO HI              count keys in [LO, HI)
+  addjoin SPEC             install a cache join
+  quiesce                  settle asynchronous replication
+  stat                     print engine counters
+
+commands (single-server mode only):
+  statjson                 print the raw per-server stats JSON
+
+commands (cluster mode only):
+  move IDX BOUND           live-migrate bound IDX to BOUND
+  rebalance [DUR]          auto-migrate hot ranges for DUR (default 30s)
+
+flags:
+`
+
 func main() {
 	log.SetPrefix("pequod-cli: ")
 	log.SetFlags(0)
@@ -44,6 +93,10 @@ func main() {
 	addrs := flag.String("addrs", "", "comma-separated cluster member addresses, one per partition range")
 	bounds := flag.String("bounds", "", "comma-separated partition split points (cluster mode; one fewer than -addrs)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-invocation deadline")
+	flag.Usage = func() {
+		fmt.Fprint(flag.CommandLine.Output(), usageText)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -158,10 +211,69 @@ func run(ctx context.Context, c pequod.Store, args []string) error {
 			return err
 		}
 		fmt.Println(raw)
+	case "move":
+		cl, ok := c.(*pequod.Cluster)
+		if !ok {
+			return fmt.Errorf("move needs cluster mode (-addrs with -bounds)")
+		}
+		if len(args) != 3 {
+			return fmt.Errorf("move IDX BOUND")
+		}
+		idx, err := strconv.Atoi(args[1])
+		if err != nil {
+			return err
+		}
+		if err := cl.MoveBound(ctx, idx, args[2]); err != nil {
+			return err
+		}
+		m := cl.Map()
+		fmt.Printf("moved bound %d to %q (map v%d: %q)\n", idx, args[2], m.Version(), m.Bounds())
+	case "rebalance":
+		cl, ok := c.(*pequod.Cluster)
+		if !ok {
+			return fmt.Errorf("rebalance needs cluster mode (-addrs with -bounds)")
+		}
+		dur := 30 * time.Second
+		if len(args) > 2 {
+			return fmt.Errorf("rebalance [DUR]")
+		}
+		if len(args) == 2 {
+			var err error
+			if dur, err = time.ParseDuration(args[1]); err != nil {
+				return err
+			}
+		}
+		return rebalance(cl, dur)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 	return nil
+}
+
+// rebalance drives one load-sampling/migration decision per second for
+// dur, printing each executed move. Each tick gets its own deadline so
+// a long watch is not cut short by the -timeout connection budget.
+func rebalance(cl *pequod.Cluster, dur time.Duration) error {
+	deadline := time.Now().Add(dur)
+	for {
+		tctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		moved, err := cl.RebalanceTick(tctx)
+		cancel()
+		if err != nil {
+			return err
+		}
+		if moved {
+			st := cl.RebalancerStats()
+			fmt.Printf("migration %d: map v%d, bounds %q, loads %.0f\n",
+				st.Migrations, st.Version, st.Bounds, st.Loads)
+		}
+		if !time.Now().Add(time.Second).Before(deadline) {
+			st := cl.RebalancerStats()
+			fmt.Printf("done: %d migrations, map v%d\n", st.Migrations, st.Version)
+			return nil
+		}
+		time.Sleep(time.Second)
+	}
 }
 
 func printScan(ctx context.Context, c pequod.Store, lo, hi string, limit int) error {

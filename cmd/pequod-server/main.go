@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	pequod-server [-addr :7744] [-joins file.pql] [-subtable t=2]...
+//	pequod-server [-addr :7744] [-name pequod]
+//	              [-joins file.pql] [-subtable t=2]...
 //	              [-mem bytes] [-no-hints] [-no-sharing]
 //	              [-shards n] [-bounds k1,k2,...]
 //	              [-rebalance 100ms] [-rebalance-ratio 1.5]
@@ -10,14 +11,22 @@
 // -shards runs n partitioned engines served concurrently (§2.4 scaled
 // into one process); -bounds sets the n-1 split points between them
 // (comma-separated keys, e.g. -bounds "p|u0000500,s|,t|"). With -shards
-// alone the key space is split evenly by key prefix.
+// alone the key space is split evenly by key prefix. -name labels the
+// server in stats; -mem sets the §2.5 eviction threshold; -no-hints and
+// -no-sharing disable the §4.2/§4.3 optimizations (ablations).
 //
-// -rebalance enables load-aware rebalancing at the given sampling
-// interval (0 disables): hot key ranges migrate live between
+// -rebalance enables load-aware *in-process* rebalancing at the given
+// sampling interval (0 disables): hot key ranges migrate live between
 // neighboring shards, so -bounds need not anticipate the workload's
 // skew; -rebalance-ratio sets how far above the mean a shard's load
 // must run to trigger a migration. The stat RPC reports migrations,
 // the live bounds, and per-shard load.
+//
+// Cluster deployments need no flags here: a pequod cluster client (or
+// pequod-cli -addrs ... move/rebalance) publishes the cluster partition
+// map to each member and drives *server-to-server* live migration over
+// the wire; the stat RPC's cluster block shows this member's current
+// map and owned ranges.
 //
 // The joins file holds cache-join specifications, one per line or
 // semicolon-separated (// comments allowed), e.g. the Twip timeline join:

@@ -268,9 +268,25 @@ func (c *Client) fail(err error) {
 	c.conn.Close()
 }
 
+// NotOwnerError reports that the server does not (or no longer does)
+// own the request's keys in the cluster partition — a live migration
+// moved them. It carries the server's current map so the caller can
+// adopt it, re-route, and retry.
+type NotOwnerError struct {
+	Version int64
+	Bounds  []string
+}
+
+func (e *NotOwnerError) Error() string {
+	return fmt.Sprintf("pequod: not the owner of the requested range (cluster map v%d)", e.Version)
+}
+
 func replyErr(m *rpc.Message, err error) error {
 	if err != nil {
 		return err
+	}
+	if m.Status == rpc.StatusNotOwner {
+		return &NotOwnerError{Version: m.MapVersion, Bounds: m.Bounds}
 	}
 	if m.Status != rpc.StatusOK {
 		return fmt.Errorf("pequod: %s", m.Err)
@@ -306,6 +322,18 @@ func CollectReplies(ctx context.Context, futs []*Future) ([]*rpc.Message, error)
 		return nil, first
 	}
 	return out, nil
+}
+
+// ReplyWaitCtx waits out one future under ctx and folds the reply
+// status into the error — the per-element form of CollectReplies, for
+// callers that handle element failures (e.g. NotOwner re-routing)
+// individually.
+func ReplyWaitCtx(ctx context.Context, f *Future) (*rpc.Message, error) {
+	m, err := f.WaitCtx(ctx)
+	if err := replyErr(m, err); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // WaitAll is CollectReplies for batches that only need the error.
@@ -461,6 +489,39 @@ func (c *Client) Stats(ctx context.Context) (core.Stats, error) {
 		return core.Stats{}, fmt.Errorf("pequod client: bad stat reply: %w", err)
 	}
 	return snap.Stats, nil
+}
+
+// StatSnapshot is the decoded form of the server's stat JSON: identity,
+// footprint, engine counters, the load block a cluster rebalancer
+// polls, and (on cluster members) the published cluster map.
+type StatSnapshot struct {
+	Name    string     `json:"name"`
+	Shards  int        `json:"shards"`
+	Entries int        `json:"entries"`
+	Bytes   int64      `json:"bytes"`
+	Stats   core.Stats `json:"stats"`
+	Load    struct {
+		Units   int64    `json:"units"`
+		Samples []string `json:"samples"`
+	} `json:"load"`
+	Cluster *struct {
+		Version int64    `json:"version"`
+		Bounds  []string `json:"bounds"`
+		Self    []int    `json:"self"`
+	} `json:"cluster"`
+}
+
+// StatSnapshot fetches and decodes the server's statistics snapshot.
+func (c *Client) StatSnapshot(ctx context.Context) (*StatSnapshot, error) {
+	m, err := c.Do(ctx, &rpc.Message{Type: rpc.MsgStat})
+	if err != nil {
+		return nil, err
+	}
+	var s StatSnapshot
+	if err := json.Unmarshal([]byte(m.Value), &s); err != nil {
+		return nil, fmt.Errorf("pequod client: bad stat reply: %w", err)
+	}
+	return &s, nil
 }
 
 // Flush clears the server's store (benchmark support).

@@ -1,28 +1,12 @@
-// Package cluster implements the multi-server Pequod client: one handle
-// over a partitioned deployment (§2.4, §5.5) that owns the key routing
-// applications previously hand-rolled with partition.Map.
-//
-// A Cluster embeds the partition map. Point operations (Get/Put/Remove)
-// go to the key's home server; range operations (Scan/Count) split the
-// range by owner, fan the pieces out concurrently over the per-server
-// pipelined connections, and concatenate the sorted pieces — the same
-// merge the in-process shard.Pool performs, lifted onto the wire. Batch
-// operations pipeline every element before waiting on any, so a batch
-// costs one network round trip per server touched, not per element.
-//
-// Installing joins through the cluster also wires the mesh: every
-// member receives the join set, and each member is told (via the
-// ConnectPeers RPC) to remotely load and subscribe to the base source
-// tables it does not own, so computed ranges anywhere stay fresh as
-// base writes land at their home servers — the paper's cross-server
-// subscription and asynchronous update notification, eventually
-// consistent. Quiesce settles it.
 package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"pequod/internal/client"
 	"pequod/internal/core"
@@ -49,6 +33,7 @@ type Config struct {
 
 // member is one distinct server and the partition ranges it owns.
 type member struct {
+	idx    int // position in Cluster.members
 	addr   string
 	c      *client.Client
 	owners []int
@@ -56,7 +41,13 @@ type member struct {
 
 // Cluster is a client for a partitioned set of Pequod servers.
 type Cluster struct {
-	pmap    *partition.Map
+	// pmap is the cluster's current versioned partition map. Live
+	// migration replaces it — either through this client's own MoveBound
+	// or by adopting the newer map carried on a NotOwner reply from a
+	// server that has moved on. Operations route against a snapshot and
+	// retry on NotOwner, so a stale map costs a round trip, never a
+	// wrong result.
+	pmap    atomic.Pointer[partition.Map]
 	addrs   []string
 	members []*member
 	byOwner []*member
@@ -65,6 +56,12 @@ type Cluster struct {
 	// source-table set from everything installed so far).
 	imu       sync.Mutex
 	installed []*join.Join
+
+	// mvmu serializes migrations driven through this client.
+	mvmu sync.Mutex
+
+	// reb is the client-driven cluster rebalancer (rebalance.go).
+	reb rebState
 }
 
 // New dials every member and, if cfg.Joins is set, installs the joins
@@ -83,10 +80,10 @@ func New(ctx context.Context, cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	cl := &Cluster{
-		pmap:    pmap,
 		addrs:   append([]string(nil), cfg.Addrs...),
 		byOwner: make([]*member, len(cfg.Addrs)),
 	}
+	cl.pmap.Store(pmap)
 	byAddr := make(map[string]*member)
 	for i, a := range cfg.Addrs {
 		m := byAddr[a]
@@ -96,12 +93,24 @@ func New(ctx context.Context, cfg Config) (*Cluster, error) {
 				cl.Close()
 				return nil, fmt.Errorf("cluster: dial %s: %w", a, err)
 			}
-			m = &member{addr: a, c: c}
+			m = &member{idx: len(cl.members), addr: a, c: c}
 			byAddr[a] = m
 			cl.members = append(cl.members, m)
 		}
 		m.owners = append(m.owners, i)
 		cl.byOwner[i] = m
+	}
+	// Publish the cluster view to every member: each learns the
+	// versioned map and which owner indexes it serves, and from then on
+	// rejects operations outside its ranges with NotOwner — the
+	// precondition for live migration to be loss-free. Members that saw
+	// a newer map already (another client migrated) keep it; the first
+	// misrouted operation teaches this client the newer map.
+	for _, m := range cl.members {
+		if err := cl.publishView(ctx, m, pmap); err != nil {
+			cl.Close()
+			return nil, err
+		}
 	}
 	if cfg.Joins != "" {
 		if err := cl.Install(ctx, cfg.Joins); err != nil {
@@ -112,11 +121,33 @@ func New(ctx context.Context, cfg Config) (*Cluster, error) {
 	return cl, nil
 }
 
+// publishView sends member m the cluster map and its self set. The
+// reply carries the map the member actually holds; when that is newer —
+// this client started from the deployment's original bounds after
+// migrations had already run — the newer map is adopted.
+func (cl *Cluster) publishView(ctx context.Context, m *member, pmap *partition.Map) error {
+	r, err := m.c.Do(ctx, &rpc.Message{
+		Type:       rpc.MsgMapUpdate,
+		MapVersion: pmap.Version(),
+		Bounds:     pmap.Bounds(),
+		Peers:      cl.addrs,
+		Self:       m.owners,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: publishing map to %s: %w", m.addr, err)
+	}
+	if r.MapVersion > pmap.Version() {
+		cl.adopt(r.MapVersion, r.Bounds)
+	}
+	return nil
+}
+
 // Members returns the number of distinct servers in the cluster.
 func (cl *Cluster) Members() int { return len(cl.members) }
 
-// Map returns the cluster's partition map.
-func (cl *Cluster) Map() *partition.Map { return cl.pmap }
+// Map returns the cluster's current partition map (immutable; live
+// migration replaces it).
+func (cl *Cluster) Map() *partition.Map { return cl.pmap.Load() }
 
 // RPCs sums the requests sent across all member connections.
 func (cl *Cluster) RPCs() int64 {
@@ -130,6 +161,7 @@ func (cl *Cluster) RPCs() int64 {
 // Close closes every member connection. The servers themselves are not
 // owned by the cluster and keep running.
 func (cl *Cluster) Close() error {
+	cl.StopRebalancer()
 	var first error
 	for _, m := range cl.members {
 		if err := m.c.Close(); err != nil && first == nil {
@@ -140,11 +172,76 @@ func (cl *Cluster) Close() error {
 }
 
 // owner returns the member homing key.
-func (cl *Cluster) owner(key string) *member { return cl.byOwner[cl.pmap.Owner(key)] }
+func (cl *Cluster) owner(key string) *member { return cl.byOwner[cl.pmap.Load().Owner(key)] }
+
+// opRetries bounds NotOwner re-routing per operation; each retry follows
+// an adopted newer map or a short pause (the window between a range
+// leaving its old home and landing at its new one), so a retry budget
+// this size outlasts any single migration.
+const opRetries = 16
+
+// retryPause is the wait before retrying when no newer map was learned.
+const retryPause = 2 * time.Millisecond
+
+// adopt installs a newer map learned from a NotOwner reply (no-op when
+// ours is as new, or the carried map does not match this cluster's
+// shape).
+func (cl *Cluster) adopt(version int64, bounds []string) {
+	if len(bounds)+1 != len(cl.byOwner) {
+		return
+	}
+	next, err := partition.NewVersioned(version, bounds...)
+	if err != nil {
+		return
+	}
+	for {
+		cur := cl.pmap.Load()
+		if cur.Version() >= version {
+			return
+		}
+		if cl.pmap.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// retryNotOwner handles one NotOwner failure: adopt the newer map it
+// carries and report whether the caller should retry — immediately when
+// the routing map changed, after a short pause otherwise (the range is
+// mid-transfer, or a lagging server has not yet seen our map).
+func (cl *Cluster) retryNotOwner(ctx context.Context, err error, attempt int) bool {
+	var noe *client.NotOwnerError
+	if !errors.As(err, &noe) || attempt >= opRetries-1 {
+		return false
+	}
+	before := cl.pmap.Load().Version()
+	cl.adopt(noe.Version, noe.Bounds)
+	if cl.pmap.Load().Version() == before {
+		t := time.NewTimer(retryPause)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return false
+		case <-t.C:
+		}
+	}
+	return true
+}
+
+// doKey sends a point operation to key's home server, re-routing and
+// retrying when a live migration moved the key (NotOwner).
+func (cl *Cluster) doKey(ctx context.Context, key string, m *rpc.Message) (*rpc.Message, error) {
+	for attempt := 0; ; attempt++ {
+		r, err := cl.owner(key).c.Do(ctx, m)
+		if err == nil || !cl.retryNotOwner(ctx, err, attempt) {
+			return r, err
+		}
+	}
+}
 
 // Get returns the value under key from its home server.
 func (cl *Cluster) Get(ctx context.Context, key string) (string, bool, error) {
-	m, err := cl.owner(key).c.Do(ctx, &rpc.Message{Type: rpc.MsgGet, Key: key})
+	m, err := cl.doKey(ctx, key, &rpc.Message{Type: rpc.MsgGet, Key: key})
 	if err != nil {
 		return "", false, err
 	}
@@ -153,13 +250,13 @@ func (cl *Cluster) Get(ctx context.Context, key string) (string, bool, error) {
 
 // Put stores value under key at its home server.
 func (cl *Cluster) Put(ctx context.Context, key, value string) error {
-	_, err := cl.owner(key).c.Do(ctx, &rpc.Message{Type: rpc.MsgPut, Key: key, Value: value})
+	_, err := cl.doKey(ctx, key, &rpc.Message{Type: rpc.MsgPut, Key: key, Value: value})
 	return err
 }
 
 // Remove deletes key at its home server, reporting whether it existed.
 func (cl *Cluster) Remove(ctx context.Context, key string) (bool, error) {
-	m, err := cl.owner(key).c.Do(ctx, &rpc.Message{Type: rpc.MsgRemove, Key: key})
+	m, err := cl.doKey(ctx, key, &rpc.Message{Type: rpc.MsgRemove, Key: key})
 	if err != nil {
 		return false, err
 	}
@@ -171,9 +268,22 @@ func (cl *Cluster) Remove(ctx context.Context, key string) (bool, error) {
 // concatenating the sorted pieces in key order — shard.Pool's fan-out
 // on the wire. Limited scans visit pieces sequentially with the
 // remaining limit, like the pool, so servers whose rows would be
-// truncated anyway are not forced to materialize joins.
+// truncated anyway are not forced to materialize joins. A piece whose
+// range migrated mid-scan fails with NotOwner; the scan adopts the
+// newer map, re-splits, and retries whole, so no piece is ever served
+// by a server that owns only part of it.
 func (cl *Cluster) Scan(ctx context.Context, lo, hi string, limit int) ([]core.KV, error) {
-	pieces := cl.pmap.Split(keys.Range{Lo: lo, Hi: hi})
+	for attempt := 0; ; attempt++ {
+		kvs, err := cl.scanOnce(ctx, lo, hi, limit)
+		if err == nil || !cl.retryNotOwner(ctx, err, attempt) {
+			return kvs, err
+		}
+	}
+}
+
+// scanOnce runs one scan attempt against a snapshot of the map.
+func (cl *Cluster) scanOnce(ctx context.Context, lo, hi string, limit int) ([]core.KV, error) {
+	pieces := cl.pmap.Load().Split(keys.Range{Lo: lo, Hi: hi})
 	switch {
 	case len(pieces) == 0:
 		return nil, nil
@@ -224,9 +334,19 @@ func (cl *Cluster) scanPiece(ctx context.Context, pc partition.Shard, limit int)
 }
 
 // Count returns the number of keys in [lo, hi), summing concurrent
-// per-server counts.
+// per-server counts. Like Scan, it re-splits and retries whole when a
+// piece migrated mid-count.
 func (cl *Cluster) Count(ctx context.Context, lo, hi string) (int64, error) {
-	pieces := cl.pmap.Split(keys.Range{Lo: lo, Hi: hi})
+	for attempt := 0; ; attempt++ {
+		n, err := cl.countOnce(ctx, lo, hi)
+		if err == nil || !cl.retryNotOwner(ctx, err, attempt) {
+			return n, err
+		}
+	}
+}
+
+func (cl *Cluster) countOnce(ctx context.Context, lo, hi string) (int64, error) {
+	pieces := cl.pmap.Load().Split(keys.Range{Lo: lo, Hi: hi})
 	counts := make([]int64, len(pieces))
 	errs := make([]error, len(pieces))
 	var wg sync.WaitGroup
@@ -256,32 +376,64 @@ func (cl *Cluster) Count(ctx context.Context, lo, hi string) (int64, error) {
 
 // GetBatch fetches many keys with one pipelined round per server: all
 // requests are sent before any reply is awaited. Results align with
-// keys; Found distinguishes missing keys.
+// keys; Found distinguishes missing keys. Elements whose key migrated
+// mid-batch are retried individually against the adopted map.
 func (cl *Cluster) GetBatch(ctx context.Context, getKeys []string) ([]core.Lookup, error) {
 	futs := make([]*client.Future, len(getKeys))
 	for i, k := range getKeys {
 		futs[i] = cl.owner(k).c.Send(ctx, &rpc.Message{Type: rpc.MsgGet, Key: k})
 	}
-	replies, err := client.CollectReplies(ctx, futs)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]core.Lookup, len(replies))
-	for i, m := range replies {
+	out := make([]core.Lookup, len(getKeys))
+	var firstErr error
+	for i, f := range futs {
+		m, err := client.ReplyWaitCtx(ctx, f)
+		if err != nil {
+			var noe *client.NotOwnerError
+			if errors.As(err, &noe) {
+				cl.adopt(noe.Version, noe.Bounds)
+				m, err = cl.doKey(ctx, getKeys[i], &rpc.Message{Type: rpc.MsgGet, Key: getKeys[i]})
+			}
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+		}
 		out[i] = core.Lookup{Value: m.Value, Found: m.Found}
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }
 
 // PutBatch stores many pairs with one pipelined round per server.
 // Writes to the same server apply in slice order; writes to different
-// servers are concurrent, like independent callers.
+// servers are concurrent, like independent callers. Pairs whose key
+// migrated mid-batch are retried individually against the adopted map —
+// a retried write can land after a later same-key write in the batch,
+// the same last-writer-wins race as two independent callers.
 func (cl *Cluster) PutBatch(ctx context.Context, pairs []core.KV) error {
 	futs := make([]*client.Future, len(pairs))
 	for i, kv := range pairs {
 		futs[i] = cl.owner(kv.Key).c.Send(ctx, &rpc.Message{Type: rpc.MsgPut, Key: kv.Key, Value: kv.Value})
 	}
-	return client.WaitAll(ctx, futs)
+	var firstErr error
+	for i, f := range futs {
+		_, err := client.ReplyWaitCtx(ctx, f)
+		if err != nil {
+			var noe *client.NotOwnerError
+			if errors.As(err, &noe) {
+				cl.adopt(noe.Version, noe.Bounds)
+				_, err = cl.doKey(ctx, pairs[i].Key, &rpc.Message{Type: rpc.MsgPut, Key: pairs[i].Key, Value: pairs[i].Value})
+			}
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
 }
 
 // ScanBatch runs several range scans concurrently, each with its own
@@ -320,7 +472,7 @@ func (cl *Cluster) Install(ctx context.Context, text string) error {
 	defer cl.imu.Unlock()
 	all := append(append([]*join.Join(nil), cl.installed...), js...)
 	tables := sourceTables(all)
-	bounds := cl.pmap.Bounds()
+	bounds := cl.pmap.Load().Bounds()
 	for _, m := range cl.members {
 		if err := m.c.ConnectPeers(ctx, bounds, cl.addrs, m.owners, tables); err != nil {
 			return fmt.Errorf("cluster: wiring %s: %w", m.addr, err)
@@ -357,17 +509,24 @@ func sourceTables(js []*join.Join) []string {
 	return tables
 }
 
-// Stats sums the engine counters across all members.
+// Stats sums the engine counters across all members. A member that
+// cannot be reached does not zero the aggregate: the counters collected
+// from the live members are returned alongside the first failure, so a
+// monitoring caller still sees the surviving cluster's activity.
 func (cl *Cluster) Stats(ctx context.Context) (core.Stats, error) {
 	var total core.Stats
+	var firstErr error
 	for _, m := range cl.members {
 		st, err := m.c.Stats(ctx)
 		if err != nil {
-			return core.Stats{}, err
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: stats from %s: %w", m.addr, err)
+			}
+			continue
 		}
 		total.Add(st)
 	}
-	return total, nil
+	return total, firstErr
 }
 
 // Quiesce blocks until replication across the cluster has settled: each

@@ -1,0 +1,38 @@
+// Package cluster implements the multi-server Pequod client: one handle
+// over a partitioned deployment (§2.4, §5.5) that owns the key routing
+// applications previously hand-rolled with partition.Map, plus the
+// coordination of cluster-level live re-partitioning.
+//
+// A Cluster holds a versioned partition map. Point operations
+// (Get/Put/Remove) go to the key's home server; range operations
+// (Scan/Count) split the range by owner, fan the pieces out concurrently
+// over the per-server pipelined connections, and concatenate the sorted
+// pieces — the same merge the in-process shard.Pool performs, lifted
+// onto the wire. Batch operations pipeline every element before waiting
+// on any, so a batch costs one network round trip per server touched,
+// not per element.
+//
+// Installing joins through the cluster also wires the mesh: every
+// member receives the join set, and each member is told (via the
+// ConnectPeers RPC) to remotely load and subscribe to the base source
+// tables it does not own, so computed ranges anywhere stay fresh as
+// base writes land at their home servers — the paper's cross-server
+// subscription and asynchronous update notification, eventually
+// consistent. Quiesce settles it.
+//
+// # Live re-partitioning
+//
+// The partition is not static: MoveBound (migrate.go) relocates the key
+// range on one side of a partition bound between the two servers
+// serving it, live — extract at the source, splice at the destination,
+// then a MapUpdate publishing the successor map to every member. Every
+// server re-validates ownership per request under its shard locks and
+// answers NotOwner (carrying its current map) when a range has moved;
+// the cluster client adopts the newer map and retries, so concurrent
+// callers — even other, stale clients — see no lost writes, gaps, or
+// duplicates. A client-driven rebalancer (rebalance.go) polls
+// per-server load through the stat RPC and moves hot ranges to cooler
+// neighbors with the same hysteresis as the in-process shard
+// rebalancer. See DESIGN.md ("Cluster-level live re-partitioning") for
+// the full protocol.
+package cluster

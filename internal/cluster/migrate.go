@@ -1,0 +1,194 @@
+package cluster
+
+// Client-driven cluster migration: MoveBound relocates a key range
+// between the servers on either side of a partition bound, live, with
+// no lost writes, gaps, or duplicates. The cluster client is the
+// coordinator — it drives three RPCs in order and publishes the result:
+//
+//  1. ExtractRange at the source. The source atomically stops serving
+//     the range (its pool swaps the ownership gate under the owning
+//     shards' locks) and returns the owned rows plus the warm computed
+//     coverage. Writes that raced the extraction either landed before
+//     it (and are in the returned rows) or bounce with NotOwner and
+//     retry at the destination.
+//  2. SpliceRange at the destination. The destination fences in-flight
+//     subscription pushes from the source (a ping; the reply follows
+//     every queued push), drops its own subscriber-era cached copies of
+//     the range, installs the moved rows, rebuilds the previously valid
+//     computed coverage warm, and atomically starts serving the range.
+//  3. MapUpdate at every member. Each member adopts the new map,
+//     fences the old owner, and drops (with §2.5 eviction semantics)
+//     its cached replicas of the moved range, so the next read
+//     re-fetches from — and re-subscribes at — the new home.
+//
+// Between steps 1 and 2 the range is owned by nobody reachable:
+// operations on it get NotOwner from both sides and retry with a short
+// pause until the splice lands. That window is the transfer itself —
+// bounded by one round trip carrying the range's rows.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pequod/internal/client"
+	"pequod/internal/keys"
+	"pequod/internal/partition"
+	"pequod/internal/rpc"
+)
+
+// spliceAttempts bounds retries of the splice RPC. After a successful
+// extract the moved rows exist only in this coordinator's memory, so the
+// splice is retried hard before giving up.
+const spliceAttempts = 3
+
+// MoveBound migrates the key range implied by moving partition bound i
+// to bound between the two servers on either side of it, live. Lowering
+// the bound moves [bound, old) from owner i to owner i+1; raising it
+// moves [old, bound) from owner i+1 to owner i. When both owner indexes
+// are served by the same member, only the map version moves. Migrations
+// through one client serialize; a concurrent coordinator's move
+// surfaces as a version-conflict error carrying the newer map, which
+// this client adopts.
+func (cl *Cluster) MoveBound(ctx context.Context, i int, bound string) error {
+	cl.mvmu.Lock()
+	defer cl.mvmu.Unlock()
+	err := cl.moveBoundOnce(ctx, i, bound)
+	var noe *client.NotOwnerError
+	if errors.As(err, &noe) && cl.pmap.Load().Version() >= noe.Version {
+		// Version conflict: the source holds a newer map than we
+		// proposed against (another coordinator moved first, or this
+		// client started from the deployment's original bounds). The
+		// conflict reply carried that map and adopt installed it; one
+		// retry re-proposes against it.
+		err = cl.moveBoundOnce(ctx, i, bound)
+	}
+	return err
+}
+
+// moveBoundOnce runs one migration attempt against the current map.
+func (cl *Cluster) moveBoundOnce(ctx context.Context, i int, bound string) error {
+	cur := cl.pmap.Load()
+	next, err := cur.MoveBound(i, bound)
+	if err != nil {
+		return err
+	}
+	old := cur.Bound(i)
+	var src, dst int
+	var r keys.Range
+	if bound < old {
+		src, dst, r = i, i+1, keys.Range{Lo: bound, Hi: old}
+	} else {
+		src, dst, r = i+1, i, keys.Range{Lo: old, Hi: bound}
+	}
+	srcM, dstM := cl.byOwner[src], cl.byOwner[dst]
+	if srcM != dstM {
+		em, err := srcM.c.Do(ctx, &rpc.Message{
+			Type: rpc.MsgExtractRange, Lo: r.Lo, Hi: r.Hi,
+			MapVersion: next.Version(), Bounds: next.Bounds(),
+		})
+		if err != nil {
+			var noe *client.NotOwnerError
+			if errors.As(err, &noe) {
+				cl.adopt(noe.Version, noe.Bounds)
+			}
+			return fmt.Errorf("cluster: extracting [%q, %q) from %s: %w", r.Lo, r.Hi, srcM.addr, err)
+		}
+		sm := &rpc.Message{
+			Type: rpc.MsgSpliceRange, Lo: r.Lo, Hi: r.Hi,
+			MapVersion: next.Version(), Bounds: next.Bounds(),
+			KVs: em.KVs, Warm: em.Warm, Owner: src,
+		}
+		var serr error
+		for attempt := 0; attempt < spliceAttempts; attempt++ {
+			if _, serr = dstM.c.Do(ctx, sm); serr == nil {
+				break
+			}
+			if ctx.Err() != nil {
+				break
+			}
+			time.Sleep(retryPause)
+		}
+		if serr != nil {
+			// The source no longer serves the range and the destination
+			// never accepted it: the extracted rows ride only in this
+			// error path now. Operators re-run the move (the source
+			// answers with a version conflict carrying its map) or
+			// restore from the application's source of truth.
+			return fmt.Errorf("cluster: splicing [%q, %q) into %s failed after extract — range may be stranded: %w",
+				r.Lo, r.Hi, dstM.addr, serr)
+		}
+	}
+	// Publish, one concurrent RPC per member (the Scan fan-out pattern):
+	// src and dst already hold the new map (the transfer RPCs install
+	// it), so for them this is an idempotent no-op; everyone else fences
+	// the old owner and drops the moved range's replicas.
+	errs := make([]error, len(cl.members))
+	var wg sync.WaitGroup
+	for i, m := range cl.members {
+		i, m := i, m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = cl.publishView(ctx, m, next)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	cl.adopt(next.Version(), next.Bounds())
+	return nil
+}
+
+// MemberLoads polls every member's stat RPC and returns the per-member
+// cumulative load units and recent key samples — the cluster
+// rebalancer's input, exported for tools and tests.
+func (cl *Cluster) MemberLoads(ctx context.Context) ([]MemberLoad, error) {
+	out := make([]MemberLoad, len(cl.members))
+	errs := make([]error, len(cl.members))
+	var wg sync.WaitGroup
+	for i, m := range cl.members {
+		i, m := i, m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := m.c.StatSnapshot(ctx)
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: stat from %s: %w", m.addr, err)
+				return
+			}
+			out[i] = MemberLoad{Addr: m.addr, Units: st.Load.Units, Samples: st.Load.Samples}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// MemberLoad is one member's load snapshot.
+type MemberLoad struct {
+	Addr    string
+	Units   int64
+	Samples []string
+}
+
+// ownerRange returns the key range owner index o serves under m.
+func ownerRange(m *partition.Map, o int) keys.Range {
+	var r keys.Range
+	if o > 0 {
+		r.Lo = m.Bound(o - 1)
+	}
+	if o < m.Servers()-1 {
+		r.Hi = m.Bound(o)
+	}
+	return r
+}

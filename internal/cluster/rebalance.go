@@ -1,0 +1,297 @@
+package cluster
+
+// Client-driven cluster rebalancing: the cross-server twin of the shard
+// pool's in-process rebalancer (internal/shard/rebalance.go), built on
+// the same knobs and hysteresis. The cluster client polls every
+// member's stat RPC for its cumulative load units and recent key
+// samples, folds the per-member deltas into an EWMA, and when one
+// server runs persistently hot migrates a slice of its range — through
+// MoveBound's live transfer protocol — to the cooler server on the
+// other side of a partition bound. No server-side coordinator exists:
+// any client (or the pequod-cli rebalance subcommand) can drive it, and
+// concurrent coordinators serialize through map version conflicts.
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"pequod/internal/shard"
+)
+
+// Rebalance re-exports the shard rebalancer's knob set: the same
+// Interval/Ratio/MinOps/HalfLife tuning applies at cluster scope.
+type Rebalance = shard.Rebalance
+
+// hotPersist and cooldownTicks mirror the in-process rebalancer's
+// hysteresis: a server must run hot for hotPersist consecutive ticks
+// before a move triggers, and after a move the rebalancer sits out
+// cooldownTicks ticks. Cluster moves are costlier than in-process ones
+// (a network transfer plus a map publish), so thrash damping matters
+// even more here.
+const (
+	hotPersist    = 2
+	cooldownTicks = 5
+)
+
+// minSamples is the fewest in-range key samples a bound pick trusts.
+const minSamples = 16
+
+// rebState is the cluster rebalancer's bookkeeping.
+type rebState struct {
+	mu         sync.Mutex
+	running    bool
+	stop       chan struct{}
+	done       chan struct{}
+	cfg        Rebalance
+	ewma       []float64 // per member
+	last       []int64   // per member, previous cumulative units
+	primed     bool
+	migrations int64
+	hotStreak  int
+	cooldown   int
+}
+
+// RebalancerStats snapshots the cluster rebalancer's activity.
+type RebalancerStats struct {
+	Enabled    bool      `json:"enabled"`
+	Migrations int64     `json:"migrations"`
+	Version    int64     `json:"version"`
+	Bounds     []string  `json:"bounds"`
+	Loads      []float64 `json:"loads"` // per-member EWMA load
+}
+
+// RebalancerStats returns the rebalancer's current view.
+func (cl *Cluster) RebalancerStats() RebalancerStats {
+	cl.reb.mu.Lock()
+	defer cl.reb.mu.Unlock()
+	m := cl.pmap.Load()
+	return RebalancerStats{
+		Enabled:    cl.reb.running,
+		Migrations: cl.reb.migrations,
+		Version:    m.Version(),
+		Bounds:     m.Bounds(),
+		Loads:      append([]float64(nil), cl.reb.ewma...),
+	}
+}
+
+// StartRebalancer launches the background rebalance loop (idempotent:
+// a second start while running is a no-op). Stop it with StopRebalancer
+// or Close.
+func (cl *Cluster) StartRebalancer(cfg Rebalance) {
+	cfg = withDefaults(cfg)
+	cl.reb.mu.Lock()
+	if cl.reb.running {
+		cl.reb.mu.Unlock()
+		return
+	}
+	cl.reb.running = true
+	cl.reb.cfg = cfg
+	cl.reb.stop = make(chan struct{})
+	cl.reb.done = make(chan struct{})
+	stop, done := cl.reb.stop, cl.reb.done
+	cl.reb.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), cfg.Interval*4+time.Second)
+				cl.RebalanceTick(ctx)
+				cancel()
+			}
+		}
+	}()
+}
+
+// SetRebalanceConfig sets the knobs RebalanceTick uses without starting
+// the background loop, for harnesses (tests, pequod-cli rebalance) that
+// drive ticks themselves.
+func (cl *Cluster) SetRebalanceConfig(cfg Rebalance) {
+	cl.reb.mu.Lock()
+	cl.reb.cfg = cfg
+	cl.reb.mu.Unlock()
+}
+
+// StopRebalancer stops the background loop and waits for it
+// (idempotent).
+func (cl *Cluster) StopRebalancer() {
+	cl.reb.mu.Lock()
+	running := cl.reb.running
+	cl.reb.running = false
+	stop, done := cl.reb.stop, cl.reb.done
+	cl.reb.mu.Unlock()
+	if running {
+		close(stop)
+		<-done
+	}
+}
+
+// withDefaults mirrors shard.Rebalance's defaults with a cluster-scale
+// sampling interval (stat polls cost a network round per member).
+func withDefaults(r Rebalance) Rebalance {
+	if r.Interval <= 0 {
+		r.Interval = time.Second
+	}
+	if r.Ratio <= 1 {
+		r.Ratio = 1.5
+	}
+	if r.MinOps <= 0 {
+		r.MinOps = 128
+	}
+	if r.HalfLife <= 0 || r.HalfLife > 1 {
+		r.HalfLife = 0.5
+	}
+	return r
+}
+
+// RebalanceTick takes one load sample across the members and migrates
+// at most one range, reporting whether a migration ran. The background
+// loop calls it each interval; tests and the pequod-cli rebalance
+// subcommand drive it directly.
+func (cl *Cluster) RebalanceTick(ctx context.Context) (bool, error) {
+	loads, err := cl.MemberLoads(ctx)
+	if err != nil {
+		return false, err
+	}
+	n := len(cl.members)
+
+	cl.reb.mu.Lock()
+	cfg := withDefaults(cl.reb.cfg)
+	if cl.reb.ewma == nil {
+		cl.reb.ewma = make([]float64, n)
+		cl.reb.last = make([]int64, n)
+	}
+	var raw int64
+	hot, total := 0, 0.0
+	for i, ml := range loads {
+		d := ml.Units - cl.reb.last[i]
+		cl.reb.last[i] = ml.Units
+		if !cl.reb.primed {
+			d = 0 // first poll: cumulative counters, not a delta
+		}
+		raw += d
+		cl.reb.ewma[i] = (1-cfg.HalfLife)*cl.reb.ewma[i] + cfg.HalfLife*float64(d)
+		total += cl.reb.ewma[i]
+		if cl.reb.ewma[i] > cl.reb.ewma[hot] {
+			hot = i
+		}
+	}
+	cl.reb.primed = true
+	ewma := append([]float64(nil), cl.reb.ewma...)
+	mean := total / float64(n)
+	idle := raw < cfg.MinOps || total == 0
+	over := !idle && ewma[hot] > cfg.Ratio*mean
+	if cl.reb.cooldown > 0 {
+		cl.reb.cooldown--
+		over = false
+	} else if over {
+		cl.reb.hotStreak++
+		over = cl.reb.hotStreak >= hotPersist
+	} else {
+		cl.reb.hotStreak = 0
+	}
+	cl.reb.mu.Unlock()
+
+	if !over {
+		return false, nil
+	}
+
+	boundIdx, q, ok := cl.pickMove(hot, ewma, loads[hot].Samples)
+	if !ok {
+		return false, nil
+	}
+	if err := cl.MoveBound(ctx, boundIdx, q); err != nil {
+		return false, err
+	}
+	cl.reb.mu.Lock()
+	cl.reb.migrations++
+	cl.reb.hotStreak = 0
+	cl.reb.cooldown = cooldownTicks
+	cl.reb.mu.Unlock()
+	return true, nil
+}
+
+// pickMove chooses the partition bound to move and its new split point:
+// among the bounds separating the hot member from a cooler one, the one
+// with the coolest neighbor, split at the load-weighted quantile of the
+// hot member's key samples that sheds half the imbalance. Returns false
+// when no eligible bound exists or too few samples fall in the hot
+// range to trust a quantile.
+func (cl *Cluster) pickMove(hot int, ewma []float64, samples []string) (int, string, bool) {
+	m := cl.pmap.Load()
+	hotM := cl.members[hot]
+	type cand struct {
+		boundIdx int
+		hotOwner int // owner index on the hot member's side of the bound
+		nb       int // neighbor member index
+	}
+	best, bestLoad := cand{}, 0.0
+	found := false
+	for b := 0; b < m.Servers()-1; b++ {
+		l, r := cl.byOwner[b], cl.byOwner[b+1]
+		if l == r {
+			continue
+		}
+		if l == hotM && ewma[r.idx] < ewma[hot] {
+			if !found || ewma[r.idx] < bestLoad {
+				best, bestLoad, found = cand{b, b, r.idx}, ewma[r.idx], true
+			}
+		}
+		if r == hotM && ewma[l.idx] < ewma[hot] {
+			if !found || ewma[l.idx] < bestLoad {
+				best, bestLoad, found = cand{b, b + 1, l.idx}, ewma[l.idx], true
+			}
+		}
+	}
+	if !found || ewma[hot] == 0 {
+		return 0, "", false
+	}
+	hr := ownerRange(m, best.hotOwner)
+	var in []string
+	for _, k := range samples {
+		if hr.Contains(k) {
+			in = append(in, k)
+		}
+	}
+	if len(in) < minSamples {
+		return 0, "", false
+	}
+	sort.Strings(in)
+	frac := (ewma[hot] - ewma[best.nb]) / (2 * ewma[hot])
+	if frac <= 0 {
+		return 0, "", false
+	}
+	var q string
+	if best.hotOwner == best.boundIdx {
+		// Hot side is left of the bound: lower the bound to the (1-frac)
+		// quantile, shedding the top slice rightward.
+		q = in[clampIndex(int(float64(len(in))*(1-frac)), len(in))]
+	} else {
+		// Hot side is right: raise the bound to the frac quantile,
+		// shedding the bottom slice leftward.
+		q = in[clampIndex(int(float64(len(in))*frac), len(in))]
+	}
+	// The quantile can land on the current bound (a previous move's
+	// split point) or collide with a neighbor; a dry run against the map
+	// turns that into "no move this tick" instead of an error.
+	if _, err := m.MoveBound(best.boundIdx, q); err != nil {
+		return 0, "", false
+	}
+	return best.boundIdx, q, true
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}

@@ -70,7 +70,18 @@ type RangeState struct {
 // silently (no change notification, no updater cascade: the data is
 // moving, not being deleted; dependent computed ranges are invalidated
 // so they recompute against post-migration state).
-func (e *Engine) ExtractRange(r keys.Range, keep func(table string) bool) RangeState {
+//
+// movePresence selects what loader-backed (presence-tracked) rows in r
+// mean. In-process migration passes false: the rows are a cache over a
+// remote home or a backing database, so they are evicted and the
+// destination shard reloads its own (per-shard subscriptions cannot
+// transfer). Cluster-level migration passes true: the extracting server
+// IS the range's home — in a symmetric mesh its own tables are presence-
+// tracked too — so those rows are the authoritative copy and move
+// physically like owned rows. Presence records are clipped either way;
+// the destination re-marks residency through its own loader (self-owned
+// pieces mark without fetching).
+func (e *Engine) ExtractRange(r keys.Range, keep func(table string) bool, movePresence bool) RangeState {
 	rs := RangeState{R: r}
 
 	// Computed state: drop every join status overlapping r, recording the
@@ -141,18 +152,23 @@ func (e *Engine) ExtractRange(r keys.Range, keep func(table string) bool) RangeS
 				np.node = n
 				e.lruTouch2(&np.lru, np)
 			}
-			// Drop the evicted rows like memory-pressure eviction does
-			// (§2.5): OpEvict, dependents invalidated, replicas keep
-			// theirs.
-			e.evictRows(cut)
+			if !movePresence {
+				// Drop the evicted rows like memory-pressure eviction
+				// does (§2.5): OpEvict, dependents invalidated, replicas
+				// keep theirs.
+				e.evictRows(cut)
+			}
+			// movePresence: leave the rows in place; the owned-row
+			// capture below moves them with the rest.
 		}
 	}
 
 	// Owned rows: capture and silently remove everything left in r that
-	// is not replicated (kept) and not loader-backed (just evicted).
+	// is not replicated (kept) and not loader-backed (just evicted) —
+	// plus, under movePresence, the authoritative presence-table rows.
 	e.s.Scan(r.Lo, r.Hi, func(k string, v *store.Value) bool {
 		t := keys.Table(k)
-		if keep(t) || e.presence[t] != nil {
+		if keep(t) || (!movePresence && e.presence[t] != nil) {
 			return true
 		}
 		rs.KVs = append(rs.KVs, KV{Key: k, Value: v.String()})
@@ -199,6 +215,79 @@ func (e *Engine) SpliceRange(rs RangeState) {
 	// before the migration).
 	e.loadGen++
 	e.evictIfNeeded()
+}
+
+// DropRange discards every cached trace of range r with §2.5 eviction
+// semantics: computed join coverage is invalidated and its outputs
+// removed as OpEvict, presence records are clipped (in-flight loads are
+// abandoned; a late LoadComplete for a dropped record is a no-op), and
+// the rows themselves are evicted with dependent invalidation. Members
+// of a cluster run it when a published partition map moves a range they
+// had loaded (or computed from) to a new home server: everything local
+// is a stale replica the moment ownership flips, and the §2.5 rule —
+// evicting cached data is always safe, because it can be re-fetched or
+// recomputed — is exactly the invalidation-correct way to retire it.
+// The next read re-loads from, and re-subscribes at, the new owner.
+func (e *Engine) DropRange(r keys.Range) {
+	for _, ij := range e.joins {
+		for _, st := range e.statusesOverlapping(ij, r) {
+			e.stats.Invalidations++
+			e.detachStatus(st)
+			e.removeOutputsOp(ij, st.r, OpEvict)
+		}
+	}
+	for table, pt := range e.presence {
+		tr := keys.Range{Lo: table, Hi: keys.PrefixEnd(table + keys.SepString)}
+		rr := r.Intersect(tr)
+		if rr.Empty() {
+			continue
+		}
+		var overlapping []*presRange
+		start := pt.ranges.SeekAtOrBefore(rr.Lo)
+		if start == nil {
+			start = pt.ranges.Seek(rr.Lo)
+		}
+		for n := start; n != nil; n = n.Next() {
+			pr := n.Val
+			if rr.Hi != "" && pr.r.Lo >= rr.Hi {
+				break
+			}
+			if pr.r.Overlaps(rr) {
+				overlapping = append(overlapping, pr)
+			}
+		}
+		for _, pr := range overlapping {
+			cut := pr.r.Intersect(rr)
+			if pr.loading {
+				// Abandon the in-flight load whole: LoadComplete matches
+				// ranges exactly, so the late result cannot re-mark it.
+				pt.ranges.Delete(pr.node)
+				pr.node = nil
+				continue
+			}
+			sides := []keys.Range{{Lo: pr.r.Lo, Hi: cut.Lo}}
+			if cut.Hi != "" {
+				sides = append(sides, keys.Range{Lo: cut.Hi, Hi: pr.r.Hi})
+			}
+			e.lruRemovePresence(pr)
+			pt.ranges.Delete(pr.node)
+			pr.node = nil
+			for _, side := range sides {
+				if side.Empty() {
+					continue
+				}
+				np := &presRange{table: table, r: side}
+				n, _ := pt.ranges.Insert(side.Lo, np)
+				n.Val = np
+				np.node = n
+				e.lruTouch2(&np.lru, np)
+			}
+		}
+	}
+	e.evictRows(r)
+	// Readers blocked on the abandoned loads must retry (and re-route);
+	// their retry restarts the load against the new owner.
+	e.loadGen++
 }
 
 // statusesOverlapping collects ij's join statuses overlapping r, in

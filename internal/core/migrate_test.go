@@ -21,7 +21,7 @@ func TestExtractSpliceMovesOwnedRows(t *testing.T) {
 	src.Put("a|9", "v9")
 	changes = nil
 
-	rs := src.ExtractRange(keys.Range{Lo: "a|3", Hi: "a|7"}, keepNone)
+	rs := src.ExtractRange(keys.Range{Lo: "a|3", Hi: "a|7"}, keepNone, false)
 	if len(rs.KVs) != 1 || rs.KVs[0] != (KV{Key: "a|5", Value: "v5"}) {
 		t.Fatalf("extracted %v", rs.KVs)
 	}
@@ -65,7 +65,7 @@ func TestExtractDropsComputedAndRecordsWarm(t *testing.T) {
 	})
 	rs := src.ExtractRange(keys.Range{Lo: "t|", Hi: "t}"}, func(table string) bool {
 		return table == "s" || table == "p" // the pool's forwarded sources
-	})
+	}, false)
 	if len(rs.Warm) != 1 || rs.Warm[0].Join != 0 {
 		t.Fatalf("warm ranges = %+v", rs.Warm)
 	}
@@ -110,7 +110,7 @@ func TestExtractClipsPresence(t *testing.T) {
 	}
 	e.LoadComplete("x", ld.loads[0], []KV{{"x|b", "1"}, {"x|m", "2"}, {"x|y", "3"}})
 
-	rs := e.ExtractRange(keys.Range{Lo: "x|g", Hi: "x|p"}, keepNone)
+	rs := e.ExtractRange(keys.Range{Lo: "x|g", Hi: "x|p"}, keepNone, false)
 	if len(rs.KVs) != 0 {
 		t.Fatalf("loader-backed rows captured as owned: %v", rs.KVs)
 	}
@@ -141,6 +141,134 @@ type recordingLoader struct{ loads []keys.Range }
 
 func (l *recordingLoader) StartLoad(table string, r keys.Range) {
 	l.loads = append(l.loads, r)
+}
+
+// TestExtractMovePresence: under movePresence (cluster migration — the
+// extracting server is the range's home), loader-backed rows inside the
+// range are captured and moved instead of evicted, and presence records
+// are still clipped.
+func TestExtractMovePresence(t *testing.T) {
+	e := New(Options{})
+	ld := &recordingLoader{}
+	e.SetLoader(ld, "x")
+	e.Scan("x|a", "x|z", 0)
+	e.LoadComplete("x", ld.loads[0], []KV{{"x|b", "1"}, {"x|m", "2"}, {"x|y", "3"}})
+	e.Put("y|m", "owned") // a plain owned row in the same range
+
+	rs := e.ExtractRange(keys.Range{Lo: "x|g", Hi: "y}"}, keepNone, true)
+	want := map[string]string{"x|m": "2", "x|y": "3", "y|m": "owned"}
+	if len(rs.KVs) != len(want) {
+		t.Fatalf("extracted %v, want %v", rs.KVs, want)
+	}
+	for _, kv := range rs.KVs {
+		if want[kv.Key] != kv.Value {
+			t.Fatalf("extracted %v, want %v", rs.KVs, want)
+		}
+	}
+	for k := range want {
+		if _, ok := e.Store().Get(k); ok {
+			t.Fatalf("moved row %q still at source", k)
+		}
+	}
+	if _, ok := e.Store().Get("x|b"); !ok {
+		t.Fatal("row outside the range left the source")
+	}
+	// The clipped left side stays resident; the extracted side reloads.
+	ld.loads = nil
+	if _, pending := e.Scan("x|a", "x|g", 0); pending != 0 || len(ld.loads) != 0 {
+		t.Fatalf("left clip not resident: loads=%v", ld.loads)
+	}
+	if _, pending := e.Scan("x|g", "x|o", 0); pending != 1 {
+		t.Fatal("extracted side did not reload")
+	}
+}
+
+// TestDropRange: every cached trace of the range goes — computed
+// coverage (as OpEvict), presence records, and the rows themselves —
+// with dependents invalidated, while state outside the range survives.
+func TestDropRange(t *testing.T) {
+	e := newTwipEngine(t, Options{})
+	e.Put("s|ann|bob", "1")
+	e.Put("p|bob|100", "Hi")
+	e.Put("s|cat|dan", "1")
+	e.Put("p|dan|200", "Yo")
+	scanKeys(t, e, "t|ann|", "t|ann}")
+	scanKeys(t, e, "t|cat|", "t|cat}")
+
+	var evicts, removes int
+	e.SetChangeHook(func(c Change) {
+		switch c.Op {
+		case OpEvict:
+			evicts++
+		case OpRemove:
+			removes++
+		}
+	})
+	e.DropRange(keys.Range{Lo: "p|bob|", Hi: "p|bob}"})
+	if evicts == 0 || removes != 0 {
+		t.Fatalf("drop notified evicts=%d removes=%d", evicts, removes)
+	}
+	if _, ok := e.Store().Get("p|bob|100"); ok {
+		t.Fatal("dropped row survived")
+	}
+	if _, ok := e.Store().Get("p|dan|200"); !ok {
+		t.Fatal("row outside the dropped range went too")
+	}
+	// ann's timeline was computed from the dropped source: it must have
+	// been invalidated, and recompute against post-drop state (empty).
+	if got := scanKeys(t, e, "t|ann|", "t|ann}"); len(got) != 0 {
+		t.Fatalf("dependent computed range served stale rows: %v", got)
+	}
+	// cat's timeline is untouched.
+	wantKeys(t, scanKeys(t, e, "t|cat|", "t|cat}"), "t|cat|200|dan")
+}
+
+// TestDropRangeAbandonsLoads: an in-flight load overlapping the drop is
+// abandoned whole — the late LoadComplete must not re-mark it resident —
+// and the next read restarts it.
+func TestDropRangeAbandonsLoads(t *testing.T) {
+	e := New(Options{})
+	ld := &recordingLoader{}
+	e.SetLoader(ld, "x")
+	e.Scan("x|a", "x|z", 0)
+	if len(ld.loads) != 1 {
+		t.Fatalf("loads = %v", ld.loads)
+	}
+	gen := e.LoadGen()
+	e.DropRange(keys.Range{Lo: "x|g", Hi: "x|p"})
+	if e.LoadGen() == gen {
+		t.Fatal("drop did not advance the load generation")
+	}
+	// The late result of the abandoned load: applied rows are fine (the
+	// range will be refetched) but nothing may be marked resident.
+	e.LoadComplete("x", ld.loads[0], nil)
+	ld.loads = nil
+	if _, pending := e.Scan("x|a", "x|z", 0); pending == 0 || len(ld.loads) == 0 {
+		t.Fatalf("abandoned load left the range marked resident (loads=%v)", ld.loads)
+	}
+}
+
+// TestLoadFailed: a failed load drops its loading record (no false
+// residency) and advances the generation so waiters retry.
+func TestLoadFailed(t *testing.T) {
+	e := New(Options{})
+	ld := &recordingLoader{}
+	e.SetLoader(ld, "x")
+	e.Scan("x|a", "x|z", 0)
+	gen := e.LoadGen()
+	e.LoadFailed("x", ld.loads[0])
+	if e.LoadGen() == gen {
+		t.Fatal("LoadFailed did not advance the load generation")
+	}
+	ld.loads = nil
+	if _, pending := e.Scan("x|a", "x|z", 0); pending != 1 || len(ld.loads) != 1 {
+		t.Fatalf("failed load did not restart: pending=%d loads=%v", 1, ld.loads)
+	}
+	// Completing the restarted load works normally.
+	e.LoadComplete("x", ld.loads[0], []KV{{"x|m", "1"}})
+	if kvs, pending := e.Scan("x|a", "x|z", 0); pending != 0 || len(kvs) != 1 {
+		t.Fatalf("restarted load did not land: pending=%d kvs=%v", pending, kvs)
+	}
 }
 
 // TestEvictSkipsInFlightRanges is the regression test for the eviction

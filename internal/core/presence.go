@@ -112,6 +112,25 @@ func (e *Engine) LoadComplete(table string, r keys.Range, kvs []KV) {
 	e.loadGen++
 }
 
+// LoadFailed abandons a StartLoad that could not be satisfied (the
+// remote owner refused — e.g. the range migrated away mid-fetch — or the
+// transport died): the loading record is dropped so nothing is falsely
+// marked resident, and the load generation advances so blocked readers
+// retry, which restarts the load — by then against a refreshed owner
+// map. Must be called from the engine's driving goroutine, like
+// LoadComplete.
+func (e *Engine) LoadFailed(table string, r keys.Range) {
+	pt := e.presence[table]
+	if pt == nil {
+		return
+	}
+	if n := pt.ranges.Find(r.Lo); n != nil && n.Val.r == r && n.Val.loading {
+		pt.ranges.Delete(n)
+		n.Val.node = nil
+	}
+	e.loadGen++
+}
+
 // evictPresence drops a resident base range under memory pressure: its
 // keys are removed (with OpEvict, which subscription forwarding ignores)
 // and dependent computed ranges are invalidated (§2.5).

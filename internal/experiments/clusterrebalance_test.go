@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"io"
+	"runtime"
+	"testing"
+)
+
+// TestClusterRebalanceShape runs the cluster rebalance experiment at
+// Tiny scale: timeline byte-identity against a reference is asserted
+// inside ClusterRebalance; here we check the rebalancer actually moved
+// ranges between servers and the hot server demonstrably cooled off.
+// The throughput win depends on core count, so it is logged, not
+// asserted.
+func TestClusterRebalanceShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rows, err := ClusterRebalance(Tiny, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Rebalance || !rows[1].Rebalance {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for i, r := range rows {
+		if r.QPS <= 0 || r.Speedup <= 0 {
+			t.Fatalf("row %d = %+v", i, r)
+		}
+	}
+	if rows[0].Migrations != 0 {
+		t.Fatalf("static cluster migrated: %+v", rows[0])
+	}
+	if rows[1].Migrations == 0 {
+		t.Fatalf("rebalancer never migrated: %+v", rows[1])
+	}
+	if rows[0].HotShare < 0.95 {
+		t.Fatalf("static cluster was not hot to begin with: %+v", rows[0])
+	}
+	if rows[1].HotShare > 0.85 {
+		t.Fatalf("hot server did not cool off: %+v", rows[1])
+	}
+	t.Logf("GOMAXPROCS=%d: static %.0f checks/s (hottest %.0f%%), rebalanced %.0f checks/s (hottest %.0f%%, %.2fx, %d moves)",
+		runtime.GOMAXPROCS(0), rows[0].QPS, 100*rows[0].HotShare,
+		rows[1].QPS, 100*rows[1].HotShare, rows[1].Speedup, rows[1].Migrations)
+}

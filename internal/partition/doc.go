@@ -1,0 +1,18 @@
+// Package partition implements Pequod's key-space partitioning (§2.4):
+// "Each base key has a home server to which updates are directed (a
+// partition function maps key ranges to home servers)", plus the Twip
+// client-routing helper S(u) that sends all of one user's timeline
+// reads to the same compute server.
+//
+// The central type is Map: an immutable assignment of contiguous key
+// ranges to owner indexes (shards in a pool, servers in a cluster),
+// carrying a version. Rebalancing never mutates a Map; it derives a
+// successor through MoveBound, one version higher, and publishes it
+// atomically — concurrent readers holding the old Map detect that
+// ownership moved on by re-validating (Owner, OwnsRange) against the
+// current one. NewVersioned rebuilds a Map shipped over the wire at its
+// original generation, and Diff reports exactly the ranges that changed
+// hands between two generations — what a cluster member must drop and
+// re-fetch when it adopts a newer map. Every key is owned by exactly
+// one range under every Map (fuzzed in FuzzMapMoves).
+package partition

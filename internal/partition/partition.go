@@ -1,8 +1,3 @@
-// Package partition implements Pequod's key-space partitioning (§2.4):
-// "Each base key has a home server to which updates are directed (a
-// partition function maps key ranges to home servers)", plus the Twip
-// client-routing helper S(u) that sends all of one user's timeline reads
-// to the same compute server.
 package partition
 
 import (
@@ -45,6 +40,19 @@ func MustNew(bounds ...string) *Map {
 		panic(err)
 	}
 	return m
+}
+
+// NewVersioned is New at an explicit version — rebuilding a Map that was
+// shipped over the wire (the cluster migration RPCs carry version +
+// bounds, and both sides must agree on the generation, not just the
+// split points).
+func NewVersioned(version int64, bounds ...string) (*Map, error) {
+	m, err := New(bounds...)
+	if err != nil {
+		return nil, err
+	}
+	m.version = version
+	return m, nil
 }
 
 // Servers returns the number of servers the map distributes over.
@@ -106,6 +114,44 @@ func (m *Map) OwnsRange(owner int, r keys.Range) bool {
 		return true // last server: owns up to +inf
 	}
 	return r.Hi != "" && r.Hi <= m.bounds[owner]
+}
+
+// Diff returns the key ranges whose owner differs between two Maps over
+// the same number of servers, in key order. Each returned range has a
+// single owner under both maps (segments are cut at every split point of
+// either map, never merged across one). Members use it when a new
+// cluster map is published: the returned ranges are exactly the state
+// that changed hands and must be dropped (with eviction semantics) so it
+// is re-fetched from — and re-subscribed at — its new home.
+func Diff(old, new *Map) []keys.Range {
+	if old.Servers() != new.Servers() {
+		// Caller error; treat everything as changed rather than guess.
+		return []keys.Range{{}}
+	}
+	// Segment the key space at every split point of either map; within a
+	// segment both maps assign one owner, so comparing the owners of the
+	// segment's low edge decides the whole segment.
+	points := append(append([]string(nil), old.bounds...), new.bounds...)
+	sort.Strings(points)
+	var out []keys.Range
+	lo := ""
+	for i := 0; i <= len(points); i++ {
+		hi := ""
+		if i < len(points) {
+			hi = points[i]
+			if hi == lo { // duplicate split point
+				continue
+			}
+		}
+		if old.Owner(lo) != new.Owner(lo) {
+			out = append(out, keys.Range{Lo: lo, Hi: hi})
+		}
+		if hi == "" {
+			break
+		}
+		lo = hi
+	}
+	return out
 }
 
 // Shard is one piece of a range split across owners.

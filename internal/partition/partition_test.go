@@ -24,6 +24,55 @@ func TestOwner(t *testing.T) {
 	}
 }
 
+func TestNewVersioned(t *testing.T) {
+	m, err := NewVersioned(7, "g", "p")
+	if err != nil || m.Version() != 7 || m.Servers() != 3 {
+		t.Fatalf("NewVersioned = %v, %v", m, err)
+	}
+	if _, err := NewVersioned(1, "b", "a"); err == nil {
+		t.Fatal("unsorted bounds accepted")
+	}
+	// A successor of a rebuilt map continues the generation.
+	n, err := m.MoveBound(0, "h")
+	if err != nil || n.Version() != 8 {
+		t.Fatalf("MoveBound from rebuilt map: %v, %v", n, err)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	old := MustNew("g", "p")
+	if d := Diff(old, MustNew("g", "p")); len(d) != 0 {
+		t.Fatalf("identical maps diff = %v", d)
+	}
+	// One bound lowered: exactly the shifted slice changes owner.
+	if d := Diff(old, MustNew("d", "p")); len(d) != 1 || d[0] != (keys.Range{Lo: "d", Hi: "g"}) {
+		t.Fatalf("lowered-bound diff = %v", d)
+	}
+	// One bound raised.
+	if d := Diff(old, MustNew("g", "t")); len(d) != 1 || d[0] != (keys.Range{Lo: "p", Hi: "t"}) {
+		t.Fatalf("raised-bound diff = %v", d)
+	}
+	// Both bounds moved: two changed ranges, each with one owner per
+	// side (never merged across a split point).
+	d := Diff(old, MustNew("d", "t"))
+	if len(d) != 2 || d[0] != (keys.Range{Lo: "d", Hi: "g"}) || d[1] != (keys.Range{Lo: "p", Hi: "t"}) {
+		t.Fatalf("double-move diff = %v", d)
+	}
+	for _, r := range d {
+		if old.Owner(r.Lo) == MustNew("d", "t").Owner(r.Lo) {
+			t.Fatalf("diff range %v did not change owner", r)
+		}
+	}
+	// Last bound raised toward +inf keeps the open tail intact.
+	if d := Diff(MustNew("g"), MustNew("x")); len(d) != 1 || d[0] != (keys.Range{Lo: "g", Hi: "x"}) {
+		t.Fatalf("tail diff = %v", d)
+	}
+	// Mismatched shapes: everything reported changed.
+	if d := Diff(MustNew("g"), MustNew("g", "p")); len(d) != 1 || d[0] != (keys.Range{}) {
+		t.Fatalf("shape-mismatch diff = %v", d)
+	}
+}
+
 func TestSingleServerMap(t *testing.T) {
 	m := MustNew()
 	if m.Owner("anything") != 0 || m.Servers() != 1 {

@@ -1,19 +1,3 @@
-// Package rpc implements Pequod's wire protocol: length-prefixed binary
-// frames over TCP, with pipelined request/response matching by sequence
-// number and unsolicited server-push Notify frames for cross-server
-// subscriptions (§2.4).
-//
-// Frame layout:
-//
-//	uint32 little-endian payload length
-//	byte   message type
-//	uvarint sequence number
-//	uvarint deadline budget (milliseconds remaining; 0 = none)
-//	type-specific fields (uvarint-length-prefixed strings, uvarints)
-//
-// The same Message structure carries every request and reply; unused
-// fields are encoded as empty. This keeps the codec small and the
-// protocol easy to extend, at a few bytes per frame of overhead.
 package rpc
 
 import (
@@ -45,12 +29,22 @@ const (
 	MsgQuiesce                         // settle replication (in-process + subscriptions)
 	MsgPing                            // drain this connection's pushes, then reply
 	MsgConnectPeers                    // Bounds, Peers, Self, Tables: wire the §2.4 mesh
+
+	// Cluster-level live migration (server-to-server range transfer).
+	MsgExtractRange // MapVersion, Bounds, Lo, Hi -> KVs, Warm: extract + flip ownership at src
+	MsgSpliceRange  // MapVersion, Bounds, Lo, Hi, Owner, KVs, Warm: install at dst
+	MsgMapUpdate    // MapVersion, Bounds, Peers, Self: publish the new cluster map
 )
 
 // Status codes in replies.
 const (
 	StatusOK    byte = 0
 	StatusError byte = 1
+	// StatusNotOwner reports that the serving process does not (or no
+	// longer does) own the request's keys in the cluster partition: a
+	// live migration moved them. The reply carries the server's current
+	// map (MapVersion, Bounds) so the client re-routes and retries.
+	StatusNotOwner byte = 2
 )
 
 // ChangeOp mirrors core.ChangeOp on the wire.
@@ -72,6 +66,13 @@ type Change struct {
 // KV is a scan result pair. It aliases the engine's KV so scan results
 // cross the client/server/pool layers without element-wise conversion.
 type KV = core.KV
+
+// WarmRange aliases the engine's warm-coverage record (a previously
+// valid computed range, identified by installed-join index) so extracted
+// range state crosses the wire without conversion. Join indexes agree
+// between servers because the cluster installs join texts on every
+// member in the same order.
+type WarmRange = core.WarmRange
 
 // Message is the union of all frame payloads.
 type Message struct {
@@ -104,6 +105,16 @@ type Message struct {
 	Self   []int
 	Tables []string
 
+	// Cluster migration fields. MapVersion and Bounds carry the
+	// versioned cluster partition map the message publishes (requests)
+	// or the server's current map (StatusNotOwner replies). Warm is the
+	// extracted computed coverage to rebuild at the destination; Owner is
+	// the owner index losing the range in a MsgSpliceRange (-1 = none),
+	// which the destination fences before splicing.
+	MapVersion int64
+	Warm       []WarmRange
+	Owner      int
+
 	// Reply fields.
 	Status byte
 	Found  bool
@@ -130,6 +141,33 @@ func appendStrings(b []byte, ss []string) []byte {
 	b = binary.AppendUvarint(b, uint64(len(ss)))
 	for _, s := range ss {
 		b = appendString(b, s)
+	}
+	return b
+}
+
+func appendKVs(b []byte, kvs []KV) []byte {
+	b = binary.AppendUvarint(b, uint64(len(kvs)))
+	for _, kv := range kvs {
+		b = appendString(b, kv.Key)
+		b = appendString(b, kv.Value)
+	}
+	return b
+}
+
+func appendWarm(b []byte, ws []WarmRange) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ws)))
+	for _, w := range ws {
+		b = binary.AppendUvarint(b, uint64(w.Join))
+		b = appendString(b, w.R.Lo)
+		b = appendString(b, w.R.Hi)
+	}
+	return b
+}
+
+func appendInts(b []byte, is []int) []byte {
+	b = binary.AppendUvarint(b, uint64(len(is)))
+	for _, i := range is {
+		b = binary.AppendUvarint(b, uint64(i))
 	}
 	return b
 }
@@ -182,11 +220,26 @@ func (m *Message) Encode(buf []byte) []byte {
 	case MsgConnectPeers:
 		buf = appendStrings(buf, m.Bounds)
 		buf = appendStrings(buf, m.Peers)
-		buf = appendUvarint(buf, uint64(len(m.Self)))
-		for _, s := range m.Self {
-			buf = appendUvarint(buf, uint64(s))
-		}
+		buf = appendInts(buf, m.Self)
 		buf = appendStrings(buf, m.Tables)
+	case MsgExtractRange:
+		buf = appendUvarint(buf, uint64(m.MapVersion))
+		buf = appendStrings(buf, m.Bounds)
+		buf = appendString(buf, m.Lo)
+		buf = appendString(buf, m.Hi)
+	case MsgSpliceRange:
+		buf = appendUvarint(buf, uint64(m.MapVersion))
+		buf = appendStrings(buf, m.Bounds)
+		buf = appendString(buf, m.Lo)
+		buf = appendString(buf, m.Hi)
+		buf = appendUvarint(buf, uint64(m.Owner+1)) // -1 = no fence target
+		buf = appendKVs(buf, m.KVs)
+		buf = appendWarm(buf, m.Warm)
+	case MsgMapUpdate:
+		buf = appendUvarint(buf, uint64(m.MapVersion))
+		buf = appendStrings(buf, m.Bounds)
+		buf = appendStrings(buf, m.Peers)
+		buf = appendInts(buf, m.Self)
 	case MsgReply:
 		buf = append(buf, m.Status)
 		found := byte(0)
@@ -197,11 +250,13 @@ func (m *Message) Encode(buf []byte) []byte {
 		buf = appendString(buf, m.Value)
 		buf = appendString(buf, m.Err)
 		buf = appendUvarint(buf, uint64(m.Count))
-		buf = appendUvarint(buf, uint64(len(m.KVs)))
-		for _, kv := range m.KVs {
-			buf = appendString(buf, kv.Key)
-			buf = appendString(buf, kv.Value)
-		}
+		buf = appendKVs(buf, m.KVs)
+		// Migration extensions: the current map on NotOwner replies, the
+		// extracted warm coverage on ExtractRange replies. Empty (three
+		// bytes) on every other reply.
+		buf = appendUvarint(buf, uint64(m.MapVersion))
+		buf = appendStrings(buf, m.Bounds)
+		buf = appendWarm(buf, m.Warm)
 	}
 	binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
 	return buf
@@ -261,6 +316,77 @@ func (d *decoder) byte() (byte, error) {
 	c := d.b[d.pos]
 	d.pos++
 	return c, nil
+}
+
+func (d *decoder) ints() ([]int, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.b)) {
+		return nil, fmt.Errorf("rpc: int-list count %d exceeds payload", n)
+	}
+	out := make([]int, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, int(v))
+	}
+	return out, nil
+}
+
+func (d *decoder) kvs() ([]KV, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.b)) {
+		return nil, fmt.Errorf("rpc: kv count %d exceeds payload", n)
+	}
+	out := make([]KV, 0, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, KV{Key: k, Value: v})
+	}
+	return out, nil
+}
+
+func (d *decoder) warm() ([]WarmRange, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.b)) {
+		return nil, fmt.Errorf("rpc: warm count %d exceeds payload", n)
+	}
+	out := make([]WarmRange, 0, n)
+	for i := uint64(0); i < n; i++ {
+		j, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		lo, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		hi, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		w := WarmRange{Join: int(j)}
+		w.R.Lo, w.R.Hi = lo, hi
+		out = append(out, w)
+	}
+	return out, nil
 }
 
 // Decode parses a frame payload (without the length prefix).
@@ -343,24 +469,62 @@ func Decode(payload []byte) (*Message, error) {
 		if m.Peers, err = d.strs(); err != nil {
 			return nil, err
 		}
-		var n uint64
-		if n, err = d.uvarint(); err != nil {
+		if m.Self, err = d.ints(); err != nil {
 			return nil, err
-		}
-		if n > uint64(len(d.b)) {
-			return nil, fmt.Errorf("rpc: self-list count %d exceeds payload", n)
-		}
-		m.Self = make([]int, 0, n)
-		for i := uint64(0); i < n; i++ {
-			var s uint64
-			if s, err = d.uvarint(); err != nil {
-				return nil, err
-			}
-			m.Self = append(m.Self, int(s))
 		}
 		if m.Tables, err = d.strs(); err != nil {
 			return nil, err
 		}
+	case MsgExtractRange:
+		var v uint64
+		if v, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		m.MapVersion = int64(v)
+		if m.Bounds, err = d.strs(); err != nil {
+			return nil, err
+		}
+		if m.Lo, err = d.str(); err != nil {
+			return nil, err
+		}
+		m.Hi, err = d.str()
+	case MsgSpliceRange:
+		var v uint64
+		if v, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		m.MapVersion = int64(v)
+		if m.Bounds, err = d.strs(); err != nil {
+			return nil, err
+		}
+		if m.Lo, err = d.str(); err != nil {
+			return nil, err
+		}
+		if m.Hi, err = d.str(); err != nil {
+			return nil, err
+		}
+		var owner uint64
+		if owner, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		m.Owner = int(owner) - 1
+		if m.KVs, err = d.kvs(); err != nil {
+			return nil, err
+		}
+		m.Warm, err = d.warm()
+	case MsgMapUpdate:
+		var v uint64
+		if v, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		m.MapVersion = int64(v)
+		if m.Bounds, err = d.strs(); err != nil {
+			return nil, err
+		}
+		if m.Peers, err = d.strs(); err != nil {
+			return nil, err
+		}
+		m.Self, err = d.ints()
 	case MsgCommand:
 		var n uint64
 		if n, err = d.uvarint(); err != nil {
@@ -394,21 +558,18 @@ func Decode(payload []byte) (*Message, error) {
 			return nil, err
 		}
 		m.Count = int64(cnt)
-		var n uint64
-		if n, err = d.uvarint(); err != nil {
+		if m.KVs, err = d.kvs(); err != nil {
 			return nil, err
 		}
-		m.KVs = make([]KV, 0, n)
-		for i := uint64(0); i < n; i++ {
-			var k, v string
-			if k, err = d.str(); err != nil {
-				return nil, err
-			}
-			if v, err = d.str(); err != nil {
-				return nil, err
-			}
-			m.KVs = append(m.KVs, KV{Key: k, Value: v})
+		var mv uint64
+		if mv, err = d.uvarint(); err != nil {
+			return nil, err
 		}
+		m.MapVersion = int64(mv)
+		if m.Bounds, err = d.strs(); err != nil {
+			return nil, err
+		}
+		m.Warm, err = d.warm()
 	default:
 		return nil, fmt.Errorf("rpc: unknown message type %d", t)
 	}
@@ -458,4 +619,15 @@ func OKReply(seq uint64) *Message {
 // ErrReply builds an error reply.
 func ErrReply(seq uint64, err error) *Message {
 	return &Message{Type: MsgReply, Seq: seq, Status: StatusError, Err: err.Error()}
+}
+
+// NotOwnerReply builds a StatusNotOwner reply carrying the server's
+// current cluster map so the client can re-route and retry.
+func NotOwnerReply(seq uint64, version int64, bounds []string) *Message {
+	return &Message{
+		Type: MsgReply, Seq: seq, Status: StatusNotOwner,
+		Err:        "not the owner of the requested range",
+		MapVersion: version,
+		Bounds:     bounds,
+	}
 }

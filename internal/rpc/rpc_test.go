@@ -50,6 +50,22 @@ func TestRoundTripAllTypes(t *testing.T) {
 		{Type: MsgReply, Seq: 11, Status: StatusOK, Found: true, Value: "v",
 			Count: 42, KVs: []KV{{Key: "a", Value: "1"}, {Key: "b", Value: "2"}}},
 		{Type: MsgReply, Seq: 12, Status: StatusError, Err: "boom"},
+		{Type: MsgExtractRange, Seq: 17, MapVersion: 3,
+			Bounds: []string{"m", "t|"}, Lo: "t|", Hi: "t|u5"},
+		{Type: MsgSpliceRange, Seq: 18, MapVersion: 4, Owner: 2,
+			Bounds: []string{"m", "t|u3"}, Lo: "t|u3", Hi: "t|u5",
+			KVs:  []KV{{Key: "t|u4|1", Value: "x"}},
+			Warm: warm(0, "t|u3|", "t|u4|")},
+		{Type: MsgSpliceRange, Seq: 19, MapVersion: 1, Owner: -1,
+			Lo: "a", Hi: "b"},
+		{Type: MsgMapUpdate, Seq: 20, MapVersion: 7,
+			Bounds: []string{"p|", "t|"},
+			Peers:  []string{"a:1", "a:2", "a:3"},
+			Self:   []int{1}},
+		{Type: MsgReply, Seq: 21, Status: StatusNotOwner, Err: "moved",
+			MapVersion: 9, Bounds: []string{"q|"}},
+		{Type: MsgReply, Seq: 22, Status: StatusOK,
+			Warm: warm(1, "t|", "t|u5")},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -60,10 +76,30 @@ func TestRoundTripAllTypes(t *testing.T) {
 		if len(got.Changes) == 0 {
 			got.Changes = m.Changes
 		}
+		for _, p := range [][2]*[]string{
+			{&got.Bounds, &m.Bounds}, {&got.Peers, &m.Peers}, {&got.Tables, &m.Tables},
+		} {
+			if len(*p[0]) == 0 {
+				*p[0] = *p[1]
+			}
+		}
+		if len(got.Self) == 0 {
+			got.Self = m.Self
+		}
+		if len(got.Warm) == 0 {
+			got.Warm = m.Warm
+		}
 		if !reflect.DeepEqual(m, got) {
 			t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", m, got)
 		}
 	}
+}
+
+// warm builds a one-element warm-coverage list.
+func warm(join int, lo, hi string) []WarmRange {
+	w := WarmRange{Join: join}
+	w.R.Lo, w.R.Hi = lo, hi
+	return []WarmRange{w}
 }
 
 func TestPipelinedFrames(t *testing.T) {

@@ -1,0 +1,169 @@
+package server
+
+// Cluster-level live migration, server side: the three transfer RPCs
+// that move a key range between servers without stopping the cluster.
+//
+//	ExtractRange  (at the source)       capture the range + flip ownership
+//	SpliceRange   (at the destination)  fence stale pushes + install
+//	MapUpdate     (at every member)     adopt the map, drop stale replicas
+//
+// The coordinator — pequod's cluster client, or the pequod-cli move /
+// rebalance subcommands — drives them in that order; see
+// internal/cluster. The correctness-critical parts live in the layers
+// below: the shard pool swaps its ownership gate under the affected
+// shards' locks (internal/shard/clustergate.go), and every routed
+// operation re-validates ownership under the lock it holds, so a racing
+// client gets a NotOwner reply (and retries at the new owner) instead of
+// a lost write or a gap. This file contributes the network-level fences:
+// before the destination splices, and before a member drops a moved
+// range, in-flight subscription pushes from the range's old owner are
+// fenced with a ping — the reply follows every queued push on that
+// connection, so nothing stale can be applied afterwards and overwrite a
+// newer value.
+
+import (
+	"context"
+	"time"
+
+	"pequod/internal/client"
+	"pequod/internal/core"
+	"pequod/internal/keys"
+	"pequod/internal/partition"
+	"pequod/internal/rpc"
+)
+
+// handleExtractRange serves MsgExtractRange: remove [m.Lo, m.Hi) from
+// this server and return its owned rows and warm computed coverage,
+// atomically ceasing to serve the range. The request carries the
+// successor map (exactly one version ahead); a stale coordinator gets
+// StatusNotOwner with the current map.
+func (s *Server) handleExtractRange(m *rpc.Message) *rpc.Message {
+	next, err := partition.NewVersioned(m.MapVersion, m.Bounds...)
+	if err != nil {
+		return rpc.ErrReply(m.Seq, err)
+	}
+	rs, err := s.pool.ExtractClusterRange(keys.Range{Lo: m.Lo, Hi: m.Hi}, next)
+	if err != nil {
+		return errReply(m.Seq, err)
+	}
+	s.adoptMeshView(next)
+	r := rpc.OKReply(m.Seq)
+	r.KVs = rs.KVs
+	r.Warm = rs.Warm
+	return r
+}
+
+// handleSpliceRange serves MsgSpliceRange: install an extracted range
+// and atomically start serving it. m.Owner names the owner index the
+// range came from; pushes in flight from that peer are fenced first so a
+// stale replicated write cannot land after the splice and overwrite a
+// newer owner write here.
+func (s *Server) handleSpliceRange(m *rpc.Message, dl time.Time) *rpc.Message {
+	next, err := partition.NewVersioned(m.MapVersion, m.Bounds...)
+	if err != nil {
+		return rpc.ErrReply(m.Seq, err)
+	}
+	if m.Owner >= 0 {
+		if err := s.fencePeer(m.Owner, dl); err != nil {
+			return rpc.ErrReply(m.Seq, err)
+		}
+	}
+	rs := core.RangeState{R: keys.Range{Lo: m.Lo, Hi: m.Hi}, KVs: m.KVs, Warm: m.Warm}
+	if err := s.pool.SpliceClusterRange(rs, next); err != nil {
+		return errReply(m.Seq, err)
+	}
+	s.adoptMeshView(next)
+	return rpc.OKReply(m.Seq)
+}
+
+// handleMapUpdate serves MsgMapUpdate: adopt a newer cluster map. On
+// first contact it installs the member's view (map + self set); on a
+// migration it fences the old owners of every range that changed hands
+// between two other servers, then drops the member's cached state for
+// those ranges so the next read re-fetches from — and re-subscribes at —
+// the new home.
+func (s *Server) handleMapUpdate(m *rpc.Message, dl time.Time) *rpc.Message {
+	next, err := partition.NewVersioned(m.MapVersion, m.Bounds...)
+	if err != nil {
+		return rpc.ErrReply(m.Seq, err)
+	}
+	self := make(map[int]bool, len(m.Self))
+	for _, i := range m.Self {
+		self[i] = true
+	}
+	if g := s.pool.Gate(); g != nil && g.Map.Version() < next.Version() {
+		// Fence before the drop: every change the old owners pushed for
+		// the departing ranges must be applied (or discarded as stale by
+		// the feeds) before the local copies go, or a late push would
+		// resurrect dropped data.
+		fenced := map[int]bool{}
+		for _, d := range partition.Diff(g.Map, next) {
+			old := g.Map.Owner(d.Lo)
+			if g.Self[old] || g.Self[next.Owner(d.Lo)] || fenced[old] {
+				continue
+			}
+			fenced[old] = true
+			if err := s.fencePeer(old, dl); err != nil {
+				return rpc.ErrReply(m.Seq, err)
+			}
+		}
+	}
+	s.pool.ApplyMapUpdate(next, self)
+	s.adoptMeshView(next)
+	r := rpc.OKReply(m.Seq)
+	// Teach the publisher the map this server actually holds: a client
+	// that starts from the deployment's original bounds (version 0)
+	// after migrations have run publishes a stale map, which the pool
+	// ignores — the reply carries the newer one so the client adopts it
+	// instead of discovering it through NotOwner bounces.
+	if g := s.pool.Gate(); g != nil {
+		r.MapVersion = g.Map.Version()
+		r.Bounds = g.Map.Bounds()
+	}
+	return r
+}
+
+// fencePeer pings this server's connections to the peer at owner index,
+// if any: the replies follow every subscription push the peer had queued
+// for us, and our readers apply pushes in order, so afterwards nothing
+// sent before the fence is still in flight. A dead peer owes us nothing.
+func (s *Server) fencePeer(owner int, dl time.Time) error {
+	s.mmu.Lock()
+	var conns []*client.Client
+	if s.mesh != nil {
+		for _, l := range s.mesh.loaders {
+			if owner < len(l.peers) && l.peers[owner] != nil {
+				conns = append(conns, l.peers[owner])
+			}
+		}
+	}
+	s.mmu.Unlock()
+	if len(conns) == 0 {
+		return nil
+	}
+	ctx := context.Background()
+	if !dl.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, dl)
+		defer cancel()
+	}
+	for _, c := range conns {
+		if err := c.Ping(ctx); err != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// adoptMeshView publishes a newer cluster map to the mesh's loaders and
+// feeds (no-op when not meshed or not newer).
+func (s *Server) adoptMeshView(next *partition.Map) {
+	s.mmu.Lock()
+	defer s.mmu.Unlock()
+	if s.mesh == nil {
+		return
+	}
+	if cur := s.mesh.view.Load(); cur == nil || cur.Version() < next.Version() {
+		s.mesh.view.Store(next)
+	}
+}

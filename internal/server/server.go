@@ -92,9 +92,12 @@ type Server struct {
 
 // meshState records a server's position in a partitioned mesh so later
 // ConnectMesh calls (a join installed at runtime adding source tables)
-// can reuse the dialed peer connections.
+// can reuse the dialed peer connections. view is the mesh's current
+// cluster partition map — shared with every loader, and atomically
+// replaced when a live migration publishes a successor (the owner
+// indexes stay positional, so the peer connections survive the move).
 type meshState struct {
-	pmap    *partition.Map
+	view    atomic.Pointer[partition.Map]
 	addrs   []string
 	loaders []*remoteLoader // one per shard
 	tables  map[string]bool
@@ -260,17 +263,43 @@ func (s *Server) dropConn(cn *conn) {
 
 // statJSON renders server statistics aggregated across shards, plus the
 // rebalancer's view of the partition (migrations run, current bounds,
-// per-shard load).
+// per-shard load), the server's cumulative load snapshot (a cluster
+// rebalancer polls it to find hot servers and pick split points), and —
+// on cluster members — the published cluster map this server serves
+// under.
 func (s *Server) statJSON() string {
-	out, _ := json.Marshal(struct {
+	snap := struct {
 		Name      string               `json:"name"`
 		Shards    int                  `json:"shards"`
 		Entries   int                  `json:"entries"`
 		Bytes     int64                `json:"bytes"`
 		Stats     core.Stats           `json:"stats"`
 		Rebalance shard.RebalanceStats `json:"rebalance"`
-	}{s.name, s.pool.NumShards(), s.pool.Len(), s.pool.Bytes(), s.pool.Stats(), s.pool.RebalanceStats()})
+		Load      shard.LoadInfo       `json:"load"`
+		Cluster   *clusterStat         `json:"cluster,omitempty"`
+	}{
+		Name: s.name, Shards: s.pool.NumShards(), Entries: s.pool.Len(),
+		Bytes: s.pool.Bytes(), Stats: s.pool.Stats(),
+		Rebalance: s.pool.RebalanceStats(), Load: s.pool.LoadInfo(),
+	}
+	if g := s.pool.Gate(); g != nil {
+		cs := &clusterStat{Version: g.Map.Version(), Bounds: g.Map.Bounds()}
+		for i := 0; i < g.Map.Servers(); i++ {
+			if g.Self[i] {
+				cs.Self = append(cs.Self, i)
+			}
+		}
+		snap.Cluster = cs
+	}
+	out, _ := json.Marshal(snap)
 	return string(out)
+}
+
+// clusterStat is the stat RPC's view of a member's cluster position.
+type clusterStat struct {
+	Version int64    `json:"version"`
+	Bounds  []string `json:"bounds"`
+	Self    []int    `json:"self"`
 }
 
 // handle processes one request message, returning the reply (nil for
@@ -287,18 +316,23 @@ func (s *Server) handle(cn *conn, m *rpc.Message) *rpc.Message {
 	case rpc.MsgGet:
 		v, found, err := s.pool.GetDeadline(m.Key, dl)
 		if err != nil {
-			return rpc.ErrReply(m.Seq, err)
+			return errReply(m.Seq, err)
 		}
 		r := rpc.OKReply(m.Seq)
 		r.Value, r.Found = v, found
 		return r
 
 	case rpc.MsgPut:
-		s.pool.Put(m.Key, m.Value)
+		if err := s.pool.PutGated(m.Key, m.Value); err != nil {
+			return errReply(m.Seq, err)
+		}
 		return rpc.OKReply(m.Seq)
 
 	case rpc.MsgRemove:
-		found := s.pool.Remove(m.Key)
+		found, err := s.pool.RemoveGated(m.Key)
+		if err != nil {
+			return errReply(m.Seq, err)
+		}
 		r := rpc.OKReply(m.Seq)
 		r.Found = found
 		return r
@@ -323,7 +357,7 @@ func (s *Server) handle(cn *conn, m *rpc.Message) *rpc.Message {
 		}
 		kvs, err := s.pool.ScanDeadline(m.Lo, m.Hi, m.Limit, cn.kvBuf, sub, dl)
 		if err != nil {
-			return rpc.ErrReply(m.Seq, err)
+			return errReply(m.Seq, err)
 		}
 		cn.kvBuf = kvs // reuse capacity on the next request
 		r := rpc.OKReply(m.Seq)
@@ -333,7 +367,7 @@ func (s *Server) handle(cn *conn, m *rpc.Message) *rpc.Message {
 	case rpc.MsgCount:
 		n, err := s.pool.CountDeadline(m.Lo, m.Hi, dl)
 		if err != nil {
-			return rpc.ErrReply(m.Seq, err)
+			return errReply(m.Seq, err)
 		}
 		r := rpc.OKReply(m.Seq)
 		r.Count = int64(n)
@@ -391,8 +425,28 @@ func (s *Server) handle(cn *conn, m *rpc.Message) *rpc.Message {
 			return rpc.ErrReply(m.Seq, err)
 		}
 		return rpc.OKReply(m.Seq)
+
+	case rpc.MsgExtractRange:
+		return s.handleExtractRange(m)
+
+	case rpc.MsgSpliceRange:
+		return s.handleSpliceRange(m, dl)
+
+	case rpc.MsgMapUpdate:
+		return s.handleMapUpdate(m, dl)
 	}
 	return rpc.ErrReply(m.Seq, errors.New("unknown request"))
+}
+
+// errReply maps an error onto the wire: cluster-ownership failures
+// become StatusNotOwner replies carrying the server's current map, so
+// clients re-route and retry instead of failing.
+func errReply(seq uint64, err error) *rpc.Message {
+	var noe *shard.NotOwnerError
+	if errors.As(err, &noe) {
+		return rpc.NotOwnerReply(seq, noe.Version, noe.Bounds)
+	}
+	return rpc.ErrReply(seq, err)
 }
 
 // errDrainDeadline reports a quiesce/ping that could not flush pushes
@@ -616,11 +670,19 @@ func (cn *conn) close() {
 // where every member is home for part of each table) are skipped: their
 // data arrives as direct writes, is already in the local store, and a
 // network self-fetch would recurse into this same loader.
+//
+// Ownership is read through the mesh's shared view, so a load started
+// after a live migration routes to the range's new home. A fetch that
+// races a migration gets a StatusNotOwner reply carrying the newer map;
+// the loader adopts it and retries against the new owner, and if pieces
+// still cannot be fetched the load *fails* (shard.LoadFailed) rather
+// than marking an absent range resident — blocked readers retry and
+// re-route instead of silently seeing a gap.
 type remoteLoader struct {
 	sh    *shard.Shard
 	peers []*client.Client // nil at self-owned indexes
 	feeds []*subFeed       // parallel to peers
-	pmap  *partition.Map
+	view  *atomic.Pointer[partition.Map]
 	self  map[int]bool
 }
 
@@ -634,8 +696,16 @@ type remoteLoader struct {
 // install — can then never clobber a newer pushed value. Both notify
 // and the snapshot callback run on the peer client's reader goroutine;
 // the mutex covers registration from the loader goroutine.
+//
+// The feed also guards against stale deliveries from a peer that lost a
+// range to a live migration: pushes and snapshots are discarded when the
+// current map no longer homes their keys at this feed's peer, so an
+// in-flight delivery from the old owner cannot overwrite a newer value
+// written at (and replicated from) the new owner.
 type subFeed struct {
 	sh     *shard.Shard
+	owner  int // this feed's peer owner index
+	view   *atomic.Pointer[partition.Map]
 	mu     sync.Mutex
 	pieces []*feedPiece
 }
@@ -658,9 +728,21 @@ func (fd *subFeed) register(r keys.Range) *feedPiece {
 }
 
 // notify is the connection's OnNotify: changes overlapping an in-flight
-// snapshot are buffered behind it, the rest apply immediately.
+// snapshot are buffered behind it, the rest apply immediately. Changes
+// whose keys the peer no longer owns (migrated away after the push was
+// enqueued) are dropped — the new owner's replication stream is the
+// authority now.
 func (fd *subFeed) notify(changes []rpc.Change) {
 	out := coreChanges(changes)
+	if v := fd.view.Load(); v != nil {
+		fresh := out[:0]
+		for _, c := range out {
+			if v.Owner(c.Key) == fd.owner {
+				fresh = append(fresh, c)
+			}
+		}
+		out = fresh
+	}
 	fd.mu.Lock()
 	if len(fd.pieces) > 0 {
 		direct := out[:0]
@@ -687,7 +769,10 @@ func (fd *subFeed) notify(changes []rpc.Change) {
 
 // complete lands a snapshot: apply its pairs, then the pushes buffered
 // behind it, and release the piece. kvs is nil when the scan failed —
-// buffered pushes (if any) still apply. Idempotent per piece.
+// buffered pushes (if any) still apply. Idempotent per piece. A
+// snapshot whose range migrated away from the peer while in flight is
+// discarded whole (pairs and buffered pushes): it describes the old
+// owner's state, and the loader refetches from the new home.
 func (fd *subFeed) complete(p *feedPiece, kvs []core.KV) {
 	fd.mu.Lock()
 	found := false
@@ -704,11 +789,24 @@ func (fd *subFeed) complete(p *feedPiece, kvs []core.KV) {
 	if !found {
 		return
 	}
+	// Per-key staleness check: a migration completing mid-flight may
+	// have moved part (a bound landed inside the piece) or all of the
+	// snapshot's range away from this peer; only keys it still homes
+	// apply. Buffered pushes were filtered on arrival, but the map may
+	// have moved since they were buffered — re-check them too.
+	v := fd.view.Load()
+	owns := func(key string) bool { return v == nil || v.Owner(key) == fd.owner }
 	changes := make([]core.Change, 0, len(kvs)+len(buf))
 	for _, kv := range kvs {
-		changes = append(changes, core.Change{Op: core.OpPut, Key: kv.Key, Value: kv.Value})
+		if owns(kv.Key) {
+			changes = append(changes, core.Change{Op: core.OpPut, Key: kv.Key, Value: kv.Value})
+		}
 	}
-	changes = append(changes, buf...)
+	for _, c := range buf {
+		if owns(c.Key) {
+			changes = append(changes, c)
+		}
+	}
 	if len(changes) > 0 {
 		fd.sh.ApplyBatch(changes)
 	}
@@ -734,11 +832,22 @@ func (s *Server) ConnectMesh(pmap *partition.Map, addrs []string, self []int, ta
 	s.mmu.Lock()
 	defer s.mmu.Unlock()
 	if s.mesh == nil {
+		// If a cluster client already published a versioned view (the
+		// gate), that is the authority: the wire bounds must agree, and
+		// the mesh adopts the gate's map so its version survives.
+		if g := s.pool.Gate(); g != nil {
+			if err := sameBounds(g.Map.Bounds(), pmap.Bounds()); err != nil {
+				return fmt.Errorf("pequod server: mesh bounds disagree with the published cluster map (v%d): %w",
+					g.Map.Version(), err)
+			}
+			pmap = g.Map
+		}
 		selfSet := make(map[int]bool, len(self))
 		for _, i := range self {
 			selfSet[i] = true
 		}
-		mesh := &meshState{pmap: pmap, addrs: append([]string(nil), addrs...), tables: make(map[string]bool)}
+		mesh := &meshState{addrs: append([]string(nil), addrs...), tables: make(map[string]bool)}
+		mesh.view.Store(pmap)
 		var dialed []*client.Client
 		for i := 0; i < s.pool.NumShards(); i++ {
 			sh := s.pool.Shard(i)
@@ -755,13 +864,13 @@ func (s *Server) ConnectMesh(pmap *partition.Map, addrs []string, self []int, ta
 					}
 					return fmt.Errorf("pequod server: mesh peer %s: %w", a, err)
 				}
-				feed := &subFeed{sh: sh}
+				feed := &subFeed{sh: sh, owner: k, view: &mesh.view}
 				c.OnNotify = feed.notify
 				peers[k] = c
 				feeds[k] = feed
 				dialed = append(dialed, c)
 			}
-			mesh.loaders = append(mesh.loaders, &remoteLoader{sh: sh, peers: peers, feeds: feeds, pmap: pmap, self: selfSet})
+			mesh.loaders = append(mesh.loaders, &remoteLoader{sh: sh, peers: peers, feeds: feeds, view: &mesh.view, self: selfSet})
 		}
 		s.peers = append(s.peers, dialed...)
 		s.mesh = mesh
@@ -788,14 +897,11 @@ func (s *Server) ConnectMesh(pmap *partition.Map, addrs []string, self []int, ta
 // set: silently keeping the old map would route remote loads to the
 // wrong owners and return silently incomplete scans.
 func (m *meshState) sameTopology(pmap *partition.Map, addrs []string) error {
-	prev, next := m.pmap.Bounds(), pmap.Bounds()
-	if len(prev) != len(next) || len(m.addrs) != len(addrs) {
-		return fmt.Errorf("pequod server: already meshed over %d ranges, got %d", len(prev)+1, len(next)+1)
+	if err := sameBounds(m.view.Load().Bounds(), pmap.Bounds()); err != nil {
+		return fmt.Errorf("pequod server: already meshed: %w", err)
 	}
-	for i := range prev {
-		if prev[i] != next[i] {
-			return fmt.Errorf("pequod server: mesh bound %d differs: %q vs %q", i, prev[i], next[i])
-		}
+	if len(m.addrs) != len(addrs) {
+		return fmt.Errorf("pequod server: already meshed over %d members, got %d", len(m.addrs), len(addrs))
 	}
 	for i := range m.addrs {
 		if m.addrs[i] != addrs[i] {
@@ -805,43 +911,118 @@ func (m *meshState) sameTopology(pmap *partition.Map, addrs []string) error {
 	return nil
 }
 
+// sameBounds compares two split-point lists.
+func sameBounds(prev, next []string) error {
+	if len(prev) != len(next) {
+		return fmt.Errorf("partition has %d ranges, got %d", len(prev)+1, len(next)+1)
+	}
+	for i := range prev {
+		if prev[i] != next[i] {
+			return fmt.Errorf("bound %d differs: %q vs %q", i, prev[i], next[i])
+		}
+	}
+	return nil
+}
+
 // StartLoad implements core.BaseLoader: fetch each home-server piece of
 // the range with a subscription. Snapshots apply through the peer
 // connection's subFeed — on its reader goroutine, ordered against the
 // subscription pushes — and the final LoadComplete only marks presence
-// (no data) once every piece has landed.
+// (no data) once every piece has landed. If pieces cannot be fetched
+// even after adopting a newer map from NotOwner replies, the load fails
+// instead: marking an unfetched range resident would serve a silent gap.
 func (l *remoteLoader) StartLoad(table string, r keys.Range) {
-	pieces := l.pmap.Split(r)
 	go func() {
-		type wait struct {
-			p    *feedPiece
-			feed *subFeed
-			f    *client.Future
+		if l.fetch(r, loadAttempts) {
+			l.sh.LoadComplete(table, r, nil)
+		} else {
+			l.sh.LoadFailed(table, r)
 		}
-		var waits []wait
-		for _, pc := range pieces {
-			if l.self[pc.Owner] {
-				continue // already local; only presence is missing
-			}
-			feed := l.feeds[pc.Owner]
-			p := feed.register(pc.R)
-			fut := l.peers[pc.Owner].ScanSubAsync(pc.R.Lo, pc.R.Hi, func(m *rpc.Message) {
-				if m.Status == rpc.StatusOK {
-					feed.complete(p, m.KVs)
-				} else {
-					feed.complete(p, nil)
-				}
-			})
-			waits = append(waits, wait{p: p, feed: feed, f: fut})
-		}
-		for _, w := range waits {
-			if _, err := w.f.Wait(); err != nil {
-				// Transport failure: the callback never ran. Release the
-				// piece so later pushes aren't buffered forever; the
-				// range stays absent and a retry refetches it.
-				w.feed.complete(w.p, nil)
-			}
-		}
-		l.sh.LoadComplete(table, r, nil)
 	}()
+}
+
+// loadAttempts bounds re-splitting a load against refreshed maps; each
+// retry follows either an adopted newer map or a short pause, so a load
+// racing a migration converges on the new owner.
+const loadAttempts = 4
+
+// fetch loads every home-server piece of r, retrying pieces whose owner
+// moved mid-fetch. It reports whether everything landed.
+func (l *remoteLoader) fetch(r keys.Range, attempts int) bool {
+	type wait struct {
+		p    *feedPiece
+		feed *subFeed
+		f    *client.Future
+		r    keys.Range
+	}
+	var waits []wait
+	for _, pc := range l.view.Load().Split(r) {
+		if l.self[pc.Owner] {
+			continue // already local; only presence is missing
+		}
+		feed := l.feeds[pc.Owner]
+		p := feed.register(pc.R)
+		fut := l.peers[pc.Owner].ScanSubAsync(pc.R.Lo, pc.R.Hi, func(m *rpc.Message) {
+			if m.Status == rpc.StatusOK {
+				feed.complete(p, m.KVs)
+			} else {
+				// Release the piece so later pushes aren't buffered
+				// forever; the range stays absent for now.
+				feed.complete(p, nil)
+			}
+		})
+		waits = append(waits, wait{p: p, feed: feed, f: fut, r: pc.R})
+	}
+	var failed []keys.Range
+	for _, w := range waits {
+		m, err := w.f.Wait()
+		switch {
+		case err != nil:
+			// Transport failure: the callback never ran. Release the
+			// piece and retry the fetch.
+			w.feed.complete(w.p, nil)
+			failed = append(failed, w.r)
+		case m.Status == rpc.StatusNotOwner:
+			// The piece migrated away from its home mid-fetch. Adopt the
+			// newer map the reply carries and refetch from the new owner.
+			l.adopt(m.MapVersion, m.Bounds)
+			failed = append(failed, w.r)
+		case m.Status != rpc.StatusOK:
+			failed = append(failed, w.r)
+		}
+	}
+	if len(failed) == 0 {
+		return true
+	}
+	if attempts <= 1 {
+		return false
+	}
+	// Give a publishing coordinator a moment to finish its MapUpdate
+	// round before re-splitting against the (possibly adopted) map.
+	time.Sleep(2 * time.Millisecond)
+	for _, fr := range failed {
+		if !l.fetch(fr, attempts-1) {
+			return false
+		}
+	}
+	return true
+}
+
+// adopt installs a newer cluster map into the mesh view (no-op when the
+// view is already as new) — freshness learned from a NotOwner reply
+// propagating to every loader and feed sharing the view.
+func (l *remoteLoader) adopt(version int64, bounds []string) {
+	next, err := partition.NewVersioned(version, bounds...)
+	if err != nil {
+		return
+	}
+	for {
+		cur := l.view.Load()
+		if cur != nil && cur.Version() >= version {
+			return
+		}
+		if l.view.CompareAndSwap(cur, next) {
+			return
+		}
+	}
 }

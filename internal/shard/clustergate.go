@@ -1,0 +1,377 @@
+package shard
+
+// Cluster-level live migration: the pool-side half of moving a key range
+// between *servers* (the in-process half, moving ranges between shards,
+// is rebalance.go). A mesh-wired server installs a Gate — its view of
+// the cluster's versioned partition map plus the owner indexes that are
+// this process — and from then on every routed operation re-validates
+// cluster ownership under the shard lock it already holds, exactly the
+// way pool-internal migration re-validates the shard map. An operation
+// whose range has migrated to another server fails with *NotOwnerError
+// carrying the current map, which travels back to the client as a
+// StatusNotOwner reply; the client adopts the newer map and retries
+// against the new owner. The same lock-ordered swap discipline as
+// MoveBound makes the ownership flip atomic with the data transfer:
+//
+//   - ExtractClusterRange (at the source) locks every shard overlapping
+//     the range, swaps the gate to the successor map, settles queued
+//     forwarded writes, and extracts the range's state. A write that
+//     held a shard lock first is captured in the extracted rows; one
+//     that acquires the lock afterwards re-checks the gate and bounces.
+//   - SpliceClusterRange (at the destination) locks the shards, swaps
+//     the gate, drops its own stale cached copies of the range (it may
+//     have loaded and computed over it as a subscriber), and installs
+//     the moved rows plus the source's warm computed coverage — all
+//     before any reader under those locks can observe the new map.
+//   - ApplyMapUpdate (at every other member) adopts the new map and
+//     drops, with §2.5 eviction semantics, the cached state for ranges
+//     that changed hands, so the next read re-fetches from and
+//     re-subscribes at the new home. The server fences in-flight
+//     subscription pushes from the old owner before calling it.
+//
+// Readers never observe a gap or duplicate for the same reason as
+// in-process migration: every key is owned by exactly one server under
+// every published map, state moves while the owning shards are locked,
+// and every operation re-checks ownership under the lock it holds.
+
+import (
+	"fmt"
+
+	"pequod/internal/core"
+	"pequod/internal/keys"
+	"pequod/internal/partition"
+)
+
+// Gate is a pool's view of the cluster partition: the versioned map and
+// the owner indexes this process serves. A Gate is immutable; migration
+// replaces it (under the affected shards' locks) like the pool's own
+// partition map.
+type Gate struct {
+	Map  *partition.Map
+	Self map[int]bool
+}
+
+// OwnsKey reports whether this process is key's home under the gate's
+// map.
+func (g *Gate) OwnsKey(key string) bool { return g.Self[g.Map.Owner(key)] }
+
+// OwnsRange reports whether every key of r is homed at this process.
+func (g *Gate) OwnsRange(r keys.Range) bool {
+	if r.Empty() {
+		return true
+	}
+	for _, pc := range g.Map.Split(r) {
+		if !g.Self[pc.Owner] {
+			return false
+		}
+	}
+	return true
+}
+
+// notOwner builds the error for an operation outside the gate.
+func (g *Gate) notOwner() *NotOwnerError {
+	return &NotOwnerError{Version: g.Map.Version(), Bounds: g.Map.Bounds()}
+}
+
+// NotOwnerError reports that an operation's keys are not homed at this
+// process under the current cluster map (a live migration moved them).
+// It carries that map so the caller — ultimately the cluster client —
+// can re-route and retry instead of failing.
+type NotOwnerError struct {
+	Version int64
+	Bounds  []string
+}
+
+func (e *NotOwnerError) Error() string {
+	return fmt.Sprintf("shard: not the owner of the requested range (cluster map v%d)", e.Version)
+}
+
+// Gate returns the pool's current cluster view (nil when the pool is
+// not part of a gated cluster).
+func (p *Pool) Gate() *Gate { return p.gate.Load() }
+
+// SetGate installs or replaces the pool's cluster view wholesale —
+// initial wiring (ConnectMesh, a cluster client publishing its map), not
+// migration, which swaps the gate under shard locks itself. A nil map
+// clears the gate.
+func (p *Pool) SetGate(g *Gate) {
+	if g == nil {
+		p.gate.Store(nil)
+		return
+	}
+	p.gate.Store(g)
+}
+
+// gateCheckKey validates key against the cluster gate. Called with the
+// owning shard's lock held, so a concurrent migration either completed
+// before this check (new gate visible) or will lock this shard after the
+// caller releases it.
+func (p *Pool) gateCheckKey(key string) error {
+	if g := p.gate.Load(); g != nil && !g.OwnsKey(key) {
+		return g.notOwner()
+	}
+	return nil
+}
+
+// gateCheckRange validates a scanned range against the cluster gate,
+// under the owning shard's lock.
+func (p *Pool) gateCheckRange(r keys.Range) error {
+	if g := p.gate.Load(); g != nil && !g.OwnsRange(r) {
+		return g.notOwner()
+	}
+	return nil
+}
+
+// lockShardsOverlapping locks (in index order) every shard whose range
+// overlaps r under the pool's current map, returning the locked shards
+// and the per-shard pieces of r. Caller holds imu, so the pool map is
+// stable.
+func (p *Pool) lockShardsOverlapping(r keys.Range) ([]*Shard, []partition.Shard) {
+	pieces := p.pmap.Load().Split(r)
+	locked := make([]*Shard, 0, len(p.shards))
+	seen := make(map[int]bool, len(pieces))
+	for _, pc := range pieces {
+		seen[pc.Owner] = true
+	}
+	for i, sh := range p.shards { // index order: the pool's lock hierarchy
+		if seen[i] {
+			sh.mu.Lock()
+			locked = append(locked, sh)
+		}
+	}
+	return locked, pieces
+}
+
+func unlockShards(locked []*Shard) {
+	for i := len(locked) - 1; i >= 0; i-- {
+		locked[i].mu.Unlock()
+	}
+}
+
+// ExtractClusterRange removes range r's state from this pool so it can
+// move to another server, atomically flipping cluster ownership: next
+// must be the successor map (exactly one version ahead of the gate's).
+// On success the returned state holds the owned rows — including
+// presence-backed rows, whose home this server was — and the warm
+// computed coverage for the destination to rebuild. On a version
+// conflict or if r is not wholly self-owned, *NotOwnerError carries the
+// current map and nothing changes.
+func (p *Pool) ExtractClusterRange(r keys.Range, next *partition.Map) (core.RangeState, error) {
+	p.imu.Lock()
+	defer p.imu.Unlock()
+	g := p.gate.Load()
+	if g == nil {
+		return core.RangeState{}, fmt.Errorf("shard: no cluster view installed")
+	}
+	if next.Version() != g.Map.Version()+1 || !g.OwnsRange(r) {
+		return core.RangeState{}, g.notOwner()
+	}
+	locked, pieces := p.lockShardsOverlapping(r)
+	defer unlockShards(locked)
+	// Publish first: every operation that acquires one of the locked
+	// shards' locks after us re-validates against this gate and bounces.
+	p.gate.Store(&Gate{Map: next, Self: g.Self})
+
+	rs := core.RangeState{R: r}
+	fwdSet := *p.fwd.Load()
+	// Nothing is kept: unlike an in-process bound move, the range is
+	// leaving this server entirely, so even rows of internally
+	// forwarded source tables — whose authoritative copy lives on the
+	// owning shard — are captured and moved. (The destination
+	// re-replicates them to its own sibling shards during the splice.)
+	keepNone := func(string) bool { return false }
+	for _, pc := range pieces {
+		sh := p.shards[pc.Owner]
+		// Settle forwarded writes queued for the departing range so the
+		// extraction captures them (in-process replication order).
+		sh.applyQueuedRange(pc.R)
+		one := sh.e.ExtractRange(pc.R, keepNone, true)
+		rs.KVs = append(rs.KVs, one.KVs...)
+		rs.Warm = append(rs.Warm, one.Warm...)
+		rs.EvictedPresence = append(rs.EvictedPresence, one.EvictedPresence...)
+	}
+	// Sibling shards may hold forwarded replicas of departing source
+	// rows; those are stale the moment the range is homed elsewhere.
+	if len(fwdSet) > 0 {
+		for i, sh := range p.shards {
+			owns := false
+			for _, pc := range pieces {
+				if pc.Owner == i {
+					owns = true
+				}
+			}
+			if !owns {
+				sh.mu.Lock()
+				sh.e.DropRange(r)
+				sh.mu.Unlock()
+			}
+		}
+	}
+	p.reb.migrations++
+	p.reb.keysMoved += int64(len(rs.KVs))
+	return rs, nil
+}
+
+// SpliceClusterRange folds a range extracted at another server into this
+// pool, atomically flipping cluster ownership to us: next must be the
+// successor map under which we own rs.R. The pool's own cached traces of
+// the range — loaded source rows, computed coverage, presence records
+// from its time as a subscriber — are dropped first (§2.5), then the
+// moved rows land and the source's previously valid computed coverage
+// rebuilds warm.
+func (p *Pool) SpliceClusterRange(rs core.RangeState, next *partition.Map) error {
+	p.imu.Lock()
+	defer p.imu.Unlock()
+	g := p.gate.Load()
+	if g == nil {
+		return fmt.Errorf("shard: no cluster view installed")
+	}
+	if next.Version() <= g.Map.Version() {
+		// Only a retry of the exact splice already applied is an
+		// idempotent success. A *different* map at the same version is a
+		// concurrent coordinator that lost the race — succeeding here
+		// would silently drop its extracted rows; the conflict error
+		// sends them back up the coordinator's failure path instead.
+		if next.Version() == g.Map.Version() && sameBounds(next, g.Map) {
+			return nil
+		}
+		return g.notOwner()
+	}
+	if next.Version() != g.Map.Version()+1 {
+		return g.notOwner()
+	}
+	ng := &Gate{Map: next, Self: g.Self}
+	if !ng.OwnsRange(rs.R) {
+		return g.notOwner()
+	}
+	locked, pieces := p.lockShardsOverlapping(rs.R)
+	p.gate.Store(ng)
+	for _, pc := range pieces {
+		sh := p.shards[pc.Owner]
+		// Stale queued forwards and subscriber-era cached state for the
+		// range must not shadow the moved rows.
+		sh.applyQueuedRange(pc.R)
+		sh.e.DropRange(pc.R)
+		sh.e.SpliceRange(clipState(rs, pc.R))
+		sh.loadCond.Broadcast()
+	}
+	// Arriving rows of internally forwarded source tables must reach
+	// this pool's sibling shards too (every shard computes joins from
+	// its own replica of the sources). Enqueued while the owning shards
+	// are still locked, so later owner writes forward in order behind
+	// this backfill.
+	if fwdSet := *p.fwd.Load(); len(fwdSet) > 0 {
+		m := p.pmap.Load()
+		for _, kv := range rs.KVs {
+			if !fwdSet[keys.Table(kv.Key)] {
+				continue
+			}
+			owner := m.Owner(kv.Key)
+			c := core.Change{Op: core.OpPut, Key: kv.Key, Value: kv.Value}
+			for j, sh := range p.shards {
+				if j != owner {
+					sh.enqueue(c)
+				}
+			}
+		}
+	}
+	unlockShards(locked)
+	p.reb.migrations++
+	p.reb.warmMoved += int64(len(rs.Warm))
+	return nil
+}
+
+// sameBounds reports whether two maps carry identical split points.
+func sameBounds(a, b *partition.Map) bool {
+	ab, bb := a.Bounds(), b.Bounds()
+	if len(ab) != len(bb) {
+		return false
+	}
+	for i := range ab {
+		if ab[i] != bb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// clipState restricts an extracted range state to one shard piece.
+func clipState(rs core.RangeState, r keys.Range) core.RangeState {
+	out := core.RangeState{R: r}
+	for _, kv := range rs.KVs {
+		if r.Contains(kv.Key) {
+			out.KVs = append(out.KVs, kv)
+		}
+	}
+	for _, w := range rs.Warm {
+		if rr := w.R.Intersect(r); !rr.Empty() {
+			out.Warm = append(out.Warm, core.WarmRange{Join: w.Join, R: rr})
+		}
+	}
+	return out
+}
+
+// ApplyMapUpdate adopts a newer cluster map published after a migration
+// between two other servers, dropping (with eviction semantics) the
+// cached state for every changed range this process neither lost through
+// an extraction nor gained through a splice. It reports the ranges
+// dropped. The server fences in-flight subscription pushes from the old
+// owners before calling. A first call (no gate yet) just installs the
+// view.
+func (p *Pool) ApplyMapUpdate(next *partition.Map, self map[int]bool) []keys.Range {
+	p.imu.Lock()
+	defer p.imu.Unlock()
+	g := p.gate.Load()
+	if g == nil {
+		p.gate.Store(&Gate{Map: next, Self: self})
+		return nil
+	}
+	if next.Version() <= g.Map.Version() {
+		return nil
+	}
+	var dropped []keys.Range
+	for _, d := range partition.Diff(g.Map, next) {
+		// Ranges we own under either map were handled by extract/splice
+		// (or never left this process); everything else changed hands
+		// between two other servers and our cached copy is now a stale
+		// replica of data homed elsewhere.
+		if g.Self[g.Map.Owner(d.Lo)] || g.Self[next.Owner(d.Lo)] {
+			continue
+		}
+		dropped = append(dropped, d)
+	}
+	p.gate.Store(&Gate{Map: next, Self: g.Self})
+	for _, d := range dropped {
+		for _, sh := range p.shards {
+			sh.mu.Lock()
+			sh.e.DropRange(d)
+			sh.loadCond.Broadcast()
+			sh.mu.Unlock()
+		}
+	}
+	return dropped
+}
+
+// LoadInfo snapshots the pool's cumulative served load and recent key
+// samples — the raw material a cluster-level rebalancer polls through
+// the stat RPC to find hot servers and pick split points.
+type LoadInfo struct {
+	Units   int64    `json:"units"`   // ops + rows served since start
+	Samples []string `json:"samples"` // recently served keys (ring snapshot)
+}
+
+// LoadInfo returns the pool's current load snapshot.
+func (p *Pool) LoadInfo() LoadInfo {
+	var li LoadInfo
+	for _, sh := range p.shards {
+		li.Units += sh.unitsTotal.Load()
+		sh.mu.Lock()
+		for _, k := range sh.samples {
+			if k != "" {
+				li.Samples = append(li.Samples, k)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return li
+}

@@ -1,0 +1,46 @@
+// Package shard implements Pequod's in-process sharded engine pool: N
+// single-writer core.Engine instances partitioned by key range, served
+// concurrently. It is the within-process analogue of the paper's
+// scale-out deployment (§2.4, §5.5), where "each base key has a home
+// server" and many single-threaded engines divide the key space.
+//
+// Routing: Get/Put/Remove go to the shard owning the key
+// (partition.Map); Scans and Counts that straddle shards fan out
+// concurrently, one goroutine per owning shard, and concatenate the
+// per-shard sorted results (pieces arrive in key order, so
+// concatenation is a merge).
+//
+// Joins are installed on every shard. Each shard computes the join
+// outputs it owns locally — cascaded source joins recursively, exactly
+// like a single engine — which requires the *base* source tables to be
+// visible everywhere. The pool therefore mirrors §2.4 cross-server
+// subscriptions within the process: a base write to a join source table
+// is applied at its owner and forwarded, through the engine's Change
+// hook and in owner-mutation order, to every sibling shard's apply
+// queue. Appliers drain the queues asynchronously, so sibling replicas
+// are eventually consistent — the same freshness model as the paper's
+// asynchronous update notification. Quiesce waits for the queues to
+// drain. Tables backed by an external loader (a backing database or a
+// remote home server) are excluded from forwarding: each shard loads
+// and subscribes to those ranges itself through the §3.3 presence
+// machinery.
+//
+// # Live migration, at two scopes
+//
+// The partition is self-adjusting at both scopes the pool serves:
+//
+//   - Within the process (rebalance.go): per-shard load accounting
+//     feeds a rebalancer goroutine that migrates hot key ranges live
+//     between neighboring shards (Pool.MoveBound), publishing a
+//     versioned successor partition.Map. Every routed operation
+//     re-validates shard ownership under the shard lock it holds.
+//   - Between servers (clustergate.go): a mesh-wired cluster member
+//     holds a Gate — the versioned cluster map plus its own owner
+//     indexes — and the same under-lock re-validation makes
+//     server-to-server migration loss-free: ExtractClusterRange
+//     atomically stops serving a departing range (later operations fail
+//     with NotOwnerError carrying the current map), SpliceClusterRange
+//     atomically starts serving an arriving one, and ApplyMapUpdate
+//     retires stale replicas of ranges that moved between other
+//     servers.
+package shard

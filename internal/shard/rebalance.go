@@ -310,7 +310,7 @@ func (p *Pool) MoveBound(i int, bound string) error {
 	// Step 4: move state. Replicated source tables stay in place on
 	// both sides; imu (held) keeps the forwarded set stable.
 	fwdSet := *p.fwd.Load()
-	rs := a.e.ExtractRange(r, func(table string) bool { return fwdSet[table] })
+	rs := a.e.ExtractRange(r, func(table string) bool { return fwdSet[table] }, false)
 	b.e.SpliceRange(rs)
 
 	// Step 5: publish. From here every routed operation that locks

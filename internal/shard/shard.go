@@ -1,27 +1,3 @@
-// Package shard implements Pequod's in-process sharded engine pool: N
-// single-writer core.Engine instances partitioned by key range, served
-// concurrently. It is the within-process analogue of the paper's
-// scale-out deployment (§2.4, §5.5), where "each base key has a home
-// server" and many single-threaded engines divide the key space.
-//
-// Routing: Get/Put/Remove go to the shard owning the key (partition.Map);
-// Scans and Counts that straddle shards fan out concurrently, one
-// goroutine per owning shard, and concatenate the per-shard sorted
-// results (pieces arrive in key order, so concatenation is a merge).
-//
-// Joins are installed on every shard. Each shard computes the join
-// outputs it owns locally — cascaded source joins recursively, exactly
-// like a single engine — which requires the *base* source tables to be
-// visible everywhere. The pool therefore mirrors §2.4 cross-server
-// subscriptions within the process: a base write to a join source table
-// is applied at its owner and forwarded, through the engine's Change
-// hook and in owner-mutation order, to every sibling shard's apply
-// queue. Appliers drain the queues asynchronously, so sibling replicas
-// are eventually consistent — the same freshness model as the paper's
-// asynchronous update notification. Quiesce waits for the queues to
-// drain. Tables backed by an external loader (a backing database or a
-// remote home server) are excluded from forwarding: each shard loads and
-// subscribes to those ranges itself through the §3.3 presence machinery.
 package shard
 
 import (
@@ -87,6 +63,13 @@ type Pool struct {
 	// can never land on a shard that has given the range away.
 	pmap   atomic.Pointer[partition.Map]
 	shards []*Shard
+
+	// gate is the cluster-ownership view (clustergate.go): nil except on
+	// mesh-wired cluster members. When set, routed operations re-validate
+	// cluster ownership under their shard lock exactly as they re-validate
+	// pmap, so a server-to-server migration can atomically stop this
+	// process serving a range.
+	gate atomic.Pointer[Gate]
 
 	// reb is the load-aware rebalancer (rebalance.go); zero-valued and
 	// inert unless Config.Rebalance was set.
@@ -376,6 +359,24 @@ func (p *Pool) Put(key, value string) {
 	sh.mu.Unlock()
 }
 
+// PutGated is Put that first re-validates cluster ownership under the
+// shard lock, failing with *NotOwnerError when a server-to-server
+// migration has moved the key — the write path network servers use, so
+// a racing client cannot land a write on a server that just gave the
+// range away (the write would be silently lost). Identical to Put on
+// ungated pools.
+func (p *Pool) PutGated(key, value string) error {
+	sh := p.lockOwner(key)
+	if err := p.gateCheckKey(key); err != nil {
+		sh.mu.Unlock()
+		return err
+	}
+	sh.e.Put(key, value)
+	sh.record(key, 1)
+	sh.mu.Unlock()
+	return nil
+}
+
 // Remove deletes key at its owning shard, reporting whether it existed.
 func (p *Pool) Remove(key string) bool {
 	sh := p.lockOwner(key)
@@ -383,6 +384,20 @@ func (p *Pool) Remove(key string) bool {
 	sh.record(key, 1)
 	sh.mu.Unlock()
 	return found
+}
+
+// RemoveGated is Remove with the cluster-ownership re-validation of
+// PutGated.
+func (p *Pool) RemoveGated(key string) (bool, error) {
+	sh := p.lockOwner(key)
+	if err := p.gateCheckKey(key); err != nil {
+		sh.mu.Unlock()
+		return false, err
+	}
+	found := sh.e.Remove(key)
+	sh.record(key, 1)
+	sh.mu.Unlock()
+	return found, nil
 }
 
 // Get returns the value under key from its owning shard, blocking on
@@ -402,6 +417,10 @@ func (p *Pool) GetDeadline(key string, dl time.Time) (string, bool, error) {
 	for {
 		sh := p.lockOwner(key)
 		for {
+			if err := p.gateCheckKey(key); err != nil {
+				sh.mu.Unlock()
+				return "", false, err
+			}
 			v, ok, pending := sh.e.Get(key)
 			if pending == 0 {
 				sh.record(key, 1)
@@ -529,6 +548,10 @@ func (p *Pool) scanPiece(pc partition.Shard, limit int, buf []core.KV, sub func(
 			sh.mu.Unlock()
 			return nil, errMoved
 		}
+		if err := p.gateCheckRange(pc.R); err != nil {
+			sh.mu.Unlock()
+			return nil, err
+		}
 		kvs, pending := sh.e.ScanInto(pc.R.Lo, pc.R.Hi, limit, buf)
 		buf = kvs
 		if pending == 0 {
@@ -575,6 +598,11 @@ retry:
 					if !p.pmap.Load().OwnsRange(pc.Owner, pc.R) {
 						sh.mu.Unlock()
 						errs[i] = errMoved
+						return
+					}
+					if err := p.gateCheckRange(pc.R); err != nil {
+						sh.mu.Unlock()
+						errs[i] = err
 						return
 					}
 					n, pending := sh.e.Count(pc.R.Lo, pc.R.Hi)
@@ -838,6 +866,16 @@ func (sh *Shard) SetLoader(l core.BaseLoader, tables ...string) {
 func (sh *Shard) LoadComplete(table string, r keys.Range, kvs []core.KV) {
 	sh.mu.Lock()
 	sh.e.LoadComplete(table, r, kvs)
+	sh.loadCond.Broadcast()
+	sh.mu.Unlock()
+}
+
+// LoadFailed abandons an asynchronous load on this shard (the remote
+// owner refused or the transport died) and wakes blocked requests so
+// they retry — and, if the failure was a migration, re-route.
+func (sh *Shard) LoadFailed(table string, r keys.Range) {
+	sh.mu.Lock()
+	sh.e.LoadFailed(table, r)
 	sh.loadCond.Broadcast()
 	sh.mu.Unlock()
 }

@@ -30,7 +30,12 @@
 //     go to the key's home server, cross-server scans fan out
 //     concurrently and merge, and installing joins wires cross-server
 //     base-data subscriptions with asynchronous update notification
-//     (eventually consistent; Quiesce settles it).
+//     (eventually consistent; Quiesce settles it). The partition is
+//     live: Cluster.MoveBound migrates a key range between servers
+//     without downtime, and Cluster.StartRebalancer watches per-server
+//     load and moves hot ranges itself — servers publish a versioned
+//     cluster map and re-validate ownership per request, so clients
+//     (even stale ones) re-route and retry instead of losing writes.
 //
 // # Concurrency
 //

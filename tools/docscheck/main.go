@@ -1,0 +1,125 @@
+// Command docscheck is the CI docs gate: it fails on broken relative
+// links in the given markdown files and on Go code snippets that do not
+// parse.
+//
+// Usage:
+//
+//	go run ./tools/docscheck README.md DESIGN.md ROADMAP.md
+//
+// Links: every inline markdown link [text](target) whose target is not
+// an absolute URL or a pure #anchor must resolve to an existing file
+// (or directory) relative to the document. Go snippets: every fenced
+// ```go block must parse — as a file, as declarations, or as statements
+// — so documentation examples cannot rot silently when the API moves.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docscheck FILE.md ...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			failed = true
+			continue
+		}
+		for _, problem := range check(path, string(data)) {
+			fmt.Fprintf(os.Stderr, "docscheck: %s\n", problem)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: ok")
+}
+
+// check returns every problem found in one document.
+func check(path, doc string) []string {
+	var problems []string
+	dir := filepath.Dir(path)
+	for _, m := range linkRE.FindAllStringSubmatch(stripCodeBlocks(doc), -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+			continue
+		}
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target = target[:i]
+		}
+		if target == "" {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+			problems = append(problems, fmt.Sprintf("%s: broken relative link %q", path, m[1]))
+		}
+	}
+	for i, snippet := range goSnippets(doc) {
+		if err := parseGo(snippet); err != nil {
+			problems = append(problems, fmt.Sprintf("%s: go snippet %d does not parse: %v", path, i+1, err))
+		}
+	}
+	return problems
+}
+
+// stripCodeBlocks removes fenced code blocks so example links inside
+// them are not treated as document links.
+func stripCodeBlocks(doc string) string {
+	var out []string
+	in := false
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			in = !in
+			continue
+		}
+		if !in {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// goSnippets extracts the bodies of ```go fenced blocks.
+func goSnippets(doc string) []string {
+	var out []string
+	lines := strings.Split(doc, "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```go" {
+			continue
+		}
+		var body []string
+		for i++; i < len(lines) && strings.TrimSpace(lines[i]) != "```"; i++ {
+			body = append(body, lines[i])
+		}
+		out = append(out, strings.Join(body, "\n"))
+	}
+	return out
+}
+
+// parseGo accepts a snippet that parses as a whole file, as a set of
+// declarations, or as a statement list.
+func parseGo(src string) error {
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "snippet.go", src, 0); err == nil {
+		return nil
+	}
+	if _, err := parser.ParseFile(fset, "snippet.go", "package snippet\n"+src, 0); err == nil {
+		return nil
+	}
+	_, err := parser.ParseFile(fset, "snippet.go", "package snippet\nfunc _() {\n"+src+"\n}", 0)
+	return err
+}
