@@ -44,6 +44,18 @@
 //	rebalance [DUR]          watch per-server load and migrate hot
 //	                         ranges for DUR (default 30s), one decision
 //	                         per second, printing each move
+//	add ADDR [OWNER BOUND]   join the server at ADDR to the cluster
+//	                         live: wire it into the mesh, grant it an
+//	                         initial slice (owner OWNER's range split
+//	                         at BOUND; picked from load samples when
+//	                         omitted), and publish the grown map
+//	drain ADDR               stream every range the member at ADDR
+//	                         owns to its neighbors, remove it from the
+//	                         map, and tear down its mesh wiring — then
+//	                         it is safe to stop the process
+//
+// See docs/OPERATIONS.md for the full add/drain runbooks (including
+// what the failure modes look like and how to read the stat output).
 package main
 
 import (
@@ -82,6 +94,8 @@ commands (single-server mode only):
 commands (cluster mode only):
   move IDX BOUND           live-migrate bound IDX to BOUND
   rebalance [DUR]          auto-migrate hot ranges for DUR (default 30s)
+  add ADDR [OWNER BOUND]   join the server at ADDR live (see docs/OPERATIONS.md)
+  drain ADDR               drain the member at ADDR live, then remove it
 
 flags:
 `
@@ -228,6 +242,44 @@ func run(ctx context.Context, c pequod.Store, args []string) error {
 		}
 		m := cl.Map()
 		fmt.Printf("moved bound %d to %q (map v%d: %q)\n", idx, args[2], m.Version(), m.Bounds())
+	case "add":
+		cl, ok := c.(*pequod.Cluster)
+		if !ok {
+			return fmt.Errorf("add needs cluster mode (-addrs with -bounds)")
+		}
+		switch len(args) {
+		case 2:
+			if err := cl.AddServer(ctx, args[1]); err != nil {
+				return err
+			}
+		case 4:
+			owner, err := strconv.Atoi(args[2])
+			if err != nil {
+				return err
+			}
+			if err := cl.AddServerAt(ctx, args[1], owner, args[3]); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("add ADDR [OWNER BOUND]")
+		}
+		m := cl.Map()
+		fmt.Printf("added %s (map e%d v%d: %d members, bounds %q)\n",
+			args[1], m.Epoch(), m.Version(), cl.Members(), m.Bounds())
+	case "drain":
+		cl, ok := c.(*pequod.Cluster)
+		if !ok {
+			return fmt.Errorf("drain needs cluster mode (-addrs with -bounds)")
+		}
+		if len(args) != 2 {
+			return fmt.Errorf("drain ADDR")
+		}
+		if err := cl.DrainServer(ctx, args[1]); err != nil {
+			return err
+		}
+		m := cl.Map()
+		fmt.Printf("drained %s (map e%d v%d: %d members, bounds %q); the process can be stopped\n",
+			args[1], m.Epoch(), m.Version(), cl.Members(), m.Bounds())
 	case "rebalance":
 		cl, ok := c.(*pequod.Cluster)
 		if !ok {

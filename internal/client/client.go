@@ -159,6 +159,15 @@ func (c *Client) Close() error {
 	return err
 }
 
+// Failed reports whether the connection has permanently failed (Close
+// was called or the transport died); every operation on it returns an
+// error. Connection caches use it to decide a redial is needed.
+func (c *Client) Failed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed != nil
+}
+
 // RPCs reports the number of requests sent on this connection; the §5.2
 // comparison uses it to show client-managed systems' RPC amplification.
 func (c *Client) RPCs() int64 { return c.rpcs.Load() }
@@ -269,16 +278,20 @@ func (c *Client) fail(err error) {
 }
 
 // NotOwnerError reports that the server does not (or no longer does)
-// own the request's keys in the cluster partition — a live migration
-// moved them. It carries the server's current map so the caller can
-// adopt it, re-route, and retry.
+// own the request's keys in the cluster partition — a live migration or
+// membership change moved them. It carries the server's current map —
+// total-order position (Epoch, Version), Bounds, and member addresses
+// (Peers) — so the caller can adopt it, re-route, and retry, even when
+// the member set itself changed.
 type NotOwnerError struct {
+	Epoch   int64
 	Version int64
 	Bounds  []string
+	Peers   []string
 }
 
 func (e *NotOwnerError) Error() string {
-	return fmt.Sprintf("pequod: not the owner of the requested range (cluster map v%d)", e.Version)
+	return fmt.Sprintf("pequod: not the owner of the requested range (cluster map e%d v%d)", e.Epoch, e.Version)
 }
 
 func replyErr(m *rpc.Message, err error) error {
@@ -286,7 +299,7 @@ func replyErr(m *rpc.Message, err error) error {
 		return err
 	}
 	if m.Status == rpc.StatusNotOwner {
-		return &NotOwnerError{Version: m.MapVersion, Bounds: m.Bounds}
+		return &NotOwnerError{Epoch: m.Epoch, Version: m.MapVersion, Bounds: m.Bounds, Peers: m.Peers}
 	}
 	if m.Status != rpc.StatusOK {
 		return fmt.Errorf("pequod: %s", m.Err)
@@ -504,10 +517,14 @@ type StatSnapshot struct {
 		Units   int64    `json:"units"`
 		Samples []string `json:"samples"`
 	} `json:"load"`
+	Joins   string `json:"joins"`
 	Cluster *struct {
-		Version int64    `json:"version"`
-		Bounds  []string `json:"bounds"`
-		Self    []int    `json:"self"`
+		Epoch    int64    `json:"epoch"`
+		Version  int64    `json:"version"`
+		Bounds   []string `json:"bounds"`
+		Peers    []string `json:"peers"`
+		Self     []int    `json:"self"`
+		Retained int      `json:"retained"`
 	} `json:"cluster"`
 }
 
@@ -567,6 +584,16 @@ func (c *Client) ConnectPeers(ctx context.Context, bounds, addrs []string, self 
 		Self:   self,
 		Tables: tables,
 	})
+	return err
+}
+
+// Drain asks the server to tear down its cluster mesh wiring — the last
+// step of DrainServer, sent after the member's final range has moved
+// out and the shrunk map has been published. The server keeps its gate
+// (so stale clients still get NotOwner replies carrying the post-drain
+// map) but closes its peer connections and stops loading remotely.
+func (c *Client) Drain(ctx context.Context) error {
+	_, err := c.Do(ctx, &rpc.Message{Type: rpc.MsgDrain})
 	return err
 }
 

@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -29,35 +31,104 @@ type Config struct {
 	// cross-server subscription mesh for its base source tables is
 	// wired before New returns.
 	Joins string
+	// CoordinatorID, if non-zero, fixes this client's coordinator
+	// identity (the low bits of the epochs it mints — see
+	// partition's epoch ordering). Distinct coordinators must use
+	// distinct IDs; the default is a random 31-bit value, which tests
+	// override for determinism.
+	CoordinatorID int64
 }
 
-// member is one distinct server and the partition ranges it owns.
+// view is one immutable generation of the cluster's shape: the
+// versioned partition map, the serving address per owner index, and the
+// distinct members. Operations route against a snapshot; migrations and
+// membership changes publish a successor and swap it atomically.
+type view struct {
+	pmap  *partition.Map
+	addrs []string  // serving address per owner index
+	mbrs  []*member // distinct members, in first-appearance order
+}
+
+// member is one distinct server and the partition ranges it owns under
+// the enclosing view.
 type member struct {
-	idx    int // position in Cluster.members
 	addr   string
-	c      *client.Client
 	owners []int
 }
 
-// Cluster is a client for a partitioned set of Pequod servers.
+// newView assembles a view from a map and its per-owner addresses.
+func newView(pmap *partition.Map, addrs []string) (*view, error) {
+	if len(addrs) != pmap.Servers() {
+		return nil, fmt.Errorf("cluster: %d ranges need %d addresses, have %d",
+			pmap.Servers(), pmap.Servers(), len(addrs))
+	}
+	v := &view{pmap: pmap, addrs: append([]string(nil), addrs...)}
+	byAddr := make(map[string]*member)
+	for i, a := range v.addrs {
+		m := byAddr[a]
+		if m == nil {
+			m = &member{addr: a}
+			byAddr[a] = m
+			v.mbrs = append(v.mbrs, m)
+		}
+		m.owners = append(m.owners, i)
+	}
+	return v, nil
+}
+
+// ownerAddr returns the serving address for key.
+func (v *view) ownerAddr(key string) string { return v.addrs[v.pmap.Owner(key)] }
+
+// ownersOf returns the owner indexes addr serves under this view (nil
+// when it is not a member).
+func (v *view) ownersOf(addr string) []int {
+	for _, m := range v.mbrs {
+		if m.addr == addr {
+			return m.owners
+		}
+	}
+	return nil
+}
+
+// Cluster is a client for a partitioned set of Pequod servers. It is
+// also the coordinator for live re-partitioning (migrate.go) and
+// elastic membership (membership.go): servers never coordinate among
+// themselves, any client can drive a change, and concurrent
+// coordinators serialize through the epoch-ordered map versions.
 type Cluster struct {
-	// pmap is the cluster's current versioned partition map. Live
-	// migration replaces it — either through this client's own MoveBound
+	// v is the cluster's current shape. Live migration and membership
+	// changes replace it — either through this client's own coordination
 	// or by adopting the newer map carried on a NotOwner reply from a
 	// server that has moved on. Operations route against a snapshot and
-	// retry on NotOwner, so a stale map costs a round trip, never a
+	// retry on NotOwner, so a stale view costs a round trip, never a
 	// wrong result.
-	pmap    atomic.Pointer[partition.Map]
-	addrs   []string
-	members []*member
-	byOwner []*member
+	v atomic.Pointer[view]
+
+	// coordID is this client's coordinator identity: the low bits of
+	// every epoch it mints, making concurrent coordinators' maps
+	// comparable instead of tied (see partition). epoch is the epoch of
+	// the client's last mint, ratcheted past every epoch it observes.
+	coordID int64
+	epoch   atomic.Int64
+
+	// cmu guards conns: one persistent connection per member address,
+	// shared across view generations and dialed on first use. A failed
+	// connection is redialed on the next routing decision that needs
+	// it; its request count rolls into retiredRPCs so RPCs() stays
+	// cumulative across redials.
+	cmu         sync.Mutex
+	conns       map[string]*client.Client
+	retiredRPCs int64
 
 	// imu guards the installed-join bookkeeping (Install derives the
-	// source-table set from everything installed so far).
+	// source-table set from everything installed so far; AddServer
+	// replays the texts onto joining members).
 	imu       sync.Mutex
 	installed []*join.Join
+	texts     []string
 
-	// mvmu serializes migrations driven through this client.
+	// mvmu serializes migrations and membership changes driven through
+	// this client.
 	mvmu sync.Mutex
 
 	// reb is the client-driven cluster rebalancer (rebalance.go).
@@ -79,35 +150,33 @@ func New(ctx context.Context, cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	cl := &Cluster{
-		addrs:   append([]string(nil), cfg.Addrs...),
-		byOwner: make([]*member, len(cfg.Addrs)),
+	v, err := newView(pmap, cfg.Addrs)
+	if err != nil {
+		return nil, err
 	}
-	cl.pmap.Store(pmap)
-	byAddr := make(map[string]*member)
-	for i, a := range cfg.Addrs {
-		m := byAddr[a]
-		if m == nil {
-			c, err := client.DialContext(ctx, a)
-			if err != nil {
-				cl.Close()
-				return nil, fmt.Errorf("cluster: dial %s: %w", a, err)
-			}
-			m = &member{idx: len(cl.members), addr: a, c: c}
-			byAddr[a] = m
-			cl.members = append(cl.members, m)
+	cl := &Cluster{
+		coordID: cfg.CoordinatorID,
+		conns:   make(map[string]*client.Client),
+	}
+	if cl.coordID == 0 {
+		cl.coordID = randomCoordID()
+	}
+	cl.coordID &= epochIDMask
+	cl.v.Store(v)
+	for _, m := range v.mbrs {
+		if _, err := cl.conn(ctx, m.addr); err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("cluster: dial %s: %w", m.addr, err)
 		}
-		m.owners = append(m.owners, i)
-		cl.byOwner[i] = m
 	}
 	// Publish the cluster view to every member: each learns the
 	// versioned map and which owner indexes it serves, and from then on
 	// rejects operations outside its ranges with NotOwner — the
 	// precondition for live migration to be loss-free. Members that saw
-	// a newer map already (another client migrated) keep it; the first
-	// misrouted operation teaches this client the newer map.
-	for _, m := range cl.members {
-		if err := cl.publishView(ctx, m, pmap); err != nil {
+	// a newer map already (another client migrated) keep it; the reply
+	// teaches this client the newer map.
+	for _, m := range v.mbrs {
+		if err := cl.publishView(ctx, v, m.addr); err != nil {
 			cl.Close()
 			return nil, err
 		}
@@ -121,39 +190,153 @@ func New(ctx context.Context, cfg Config) (*Cluster, error) {
 	return cl, nil
 }
 
-// publishView sends member m the cluster map and its self set. The
+// epochIDBits splits an epoch into a ratchet round (high bits) and a
+// coordinator identity (low bits): two coordinators minting from the
+// same parent take the same next round but different identities, so
+// their maps are ordered instead of tied.
+const epochIDBits = 31
+
+const epochIDMask = (int64(1) << epochIDBits) - 1
+
+// randomCoordID draws a non-zero 31-bit coordinator identity.
+func randomCoordID() int64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to a fixed odd constant; collisions then order
+		// arbitrarily but deterministically.
+		return 0x2e8ba2e9 & epochIDMask
+	}
+	id := int64(binary.LittleEndian.Uint64(b[:])) & epochIDMask
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// mintEpoch returns the epoch for a successor of a map at cur: the
+// client's own epoch when it already leads (its successive moves order
+// by version), otherwise the next round stamped with this coordinator's
+// identity — strictly above cur, and distinct from what any other
+// coordinator mints from the same parent.
+func (cl *Cluster) mintEpoch(cur int64) int64 {
+	if own := cl.epoch.Load(); own >= cur && own != 0 && own&epochIDMask == cl.coordID {
+		return own
+	}
+	next := (cur>>epochIDBits+1)<<epochIDBits | cl.coordID
+	return next
+}
+
+// noteEpoch ratchets the client's mint position after publishing (or
+// observing) an epoch.
+func (cl *Cluster) noteEpoch(e int64) {
+	for {
+		cur := cl.epoch.Load()
+		if cur >= e || cl.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// conn returns the connection to addr, dialing on first use and
+// redialing if a previous connection failed (a member restarted, or a
+// drain-test killed it and a later test target reuses the address).
+// The dial happens outside cmu — one dead member must not serialize
+// every operation to healthy members behind its connect timeout — so
+// concurrent callers may race a dial; the loser's connection closes.
+func (cl *Cluster) conn(ctx context.Context, addr string) (*client.Client, error) {
+	cl.cmu.Lock()
+	if cl.conns == nil {
+		cl.cmu.Unlock()
+		return nil, client.ErrClosed
+	}
+	if c, ok := cl.conns[addr]; ok {
+		if !c.Failed() {
+			cl.cmu.Unlock()
+			return c, nil
+		}
+		delete(cl.conns, addr)
+		cl.retiredRPCs += c.RPCs()
+	}
+	cl.cmu.Unlock()
+	c, err := client.DialContext(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	cl.cmu.Lock()
+	defer cl.cmu.Unlock()
+	if cl.conns == nil {
+		c.Close()
+		return nil, client.ErrClosed
+	}
+	if cur, ok := cl.conns[addr]; ok && !cur.Failed() {
+		c.Close() // lost a dial race; use the winner
+		return cur, nil
+	}
+	cl.conns[addr] = c
+	return c, nil
+}
+
+// do sends one request to the member at addr.
+func (cl *Cluster) do(ctx context.Context, addr string, m *rpc.Message) (*rpc.Message, error) {
+	c, err := cl.conn(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return c.Do(ctx, m)
+}
+
+// publishView sends member addr the cluster map and its self set. The
 // reply carries the map the member actually holds; when that is newer —
 // this client started from the deployment's original bounds after
 // migrations had already run — the newer map is adopted.
-func (cl *Cluster) publishView(ctx context.Context, m *member, pmap *partition.Map) error {
-	r, err := m.c.Do(ctx, &rpc.Message{
+func (cl *Cluster) publishView(ctx context.Context, v *view, addr string) error {
+	r, err := cl.do(ctx, addr, &rpc.Message{
 		Type:       rpc.MsgMapUpdate,
-		MapVersion: pmap.Version(),
-		Bounds:     pmap.Bounds(),
-		Peers:      cl.addrs,
-		Self:       m.owners,
+		Epoch:      v.pmap.Epoch(),
+		MapVersion: v.pmap.Version(),
+		Bounds:     v.pmap.Bounds(),
+		Peers:      v.addrs,
+		Self:       v.ownersOf(addr),
 	})
 	if err != nil {
-		return fmt.Errorf("cluster: publishing map to %s: %w", m.addr, err)
+		return fmt.Errorf("cluster: publishing map to %s: %w", addr, err)
 	}
-	if r.MapVersion > pmap.Version() {
-		cl.adopt(r.MapVersion, r.Bounds)
+	if r.MapVersion != 0 || r.Epoch != 0 || len(r.Bounds) > 0 {
+		cl.adopt(r.Epoch, r.MapVersion, r.Bounds, r.Peers)
 	}
 	return nil
 }
 
 // Members returns the number of distinct servers in the cluster.
-func (cl *Cluster) Members() int { return len(cl.members) }
+func (cl *Cluster) Members() int { return len(cl.v.Load().mbrs) }
+
+// MemberAddrs returns the distinct member addresses under the current
+// view, in first-appearance order.
+func (cl *Cluster) MemberAddrs() []string {
+	v := cl.v.Load()
+	out := make([]string, len(v.mbrs))
+	for i, m := range v.mbrs {
+		out[i] = m.addr
+	}
+	return out
+}
 
 // Map returns the cluster's current partition map (immutable; live
 // migration replaces it).
-func (cl *Cluster) Map() *partition.Map { return cl.pmap.Load() }
+func (cl *Cluster) Map() *partition.Map { return cl.v.Load().pmap }
 
-// RPCs sums the requests sent across all member connections.
+// Addrs returns the serving address per owner index under the current
+// view.
+func (cl *Cluster) Addrs() []string { return append([]string(nil), cl.v.Load().addrs...) }
+
+// RPCs sums the requests sent across all member connections, including
+// connections retired by a redial.
 func (cl *Cluster) RPCs() int64 {
-	var n int64
-	for _, m := range cl.members {
-		n += m.c.RPCs()
+	cl.cmu.Lock()
+	defer cl.cmu.Unlock()
+	n := cl.retiredRPCs
+	for _, c := range cl.conns {
+		n += c.RPCs()
 	}
 	return n
 }
@@ -162,17 +345,18 @@ func (cl *Cluster) RPCs() int64 {
 // owned by the cluster and keep running.
 func (cl *Cluster) Close() error {
 	cl.StopRebalancer()
+	cl.cmu.Lock()
+	conns := cl.conns
+	cl.conns = nil
+	cl.cmu.Unlock()
 	var first error
-	for _, m := range cl.members {
-		if err := m.c.Close(); err != nil && first == nil {
+	for _, c := range conns {
+		if err := c.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
 }
-
-// owner returns the member homing key.
-func (cl *Cluster) owner(key string) *member { return cl.byOwner[cl.pmap.Load().Owner(key)] }
 
 // opRetries bounds NotOwner re-routing per operation; each retry follows
 // an adopted newer map or a short pause (the window between a range
@@ -183,23 +367,49 @@ const opRetries = 16
 // retryPause is the wait before retrying when no newer map was learned.
 const retryPause = 2 * time.Millisecond
 
-// adopt installs a newer map learned from a NotOwner reply (no-op when
-// ours is as new, or the carried map does not match this cluster's
-// shape).
-func (cl *Cluster) adopt(version int64, bounds []string) {
-	if len(bounds)+1 != len(cl.byOwner) {
-		return
-	}
-	next, err := partition.NewVersioned(version, bounds...)
+// adopt installs a newer map learned from a NotOwner reply or a
+// MapUpdate response. peers gives the serving address per owner index;
+// when the reply omitted them (a legacy gate), the current addresses
+// are reused if the owner count still matches — otherwise the map
+// cannot be placed and is ignored (the next NotOwner bounce carries the
+// full identity).
+func (cl *Cluster) adopt(epoch, version int64, bounds, peers []string) {
+	next, err := partition.NewEpochVersioned(epoch, version, bounds...)
 	if err != nil {
 		return
 	}
+	cl.noteEpoch(epoch)
 	for {
-		cur := cl.pmap.Load()
-		if cur.Version() >= version {
+		cur := cl.v.Load()
+		if !next.NewerThan(cur.pmap.Epoch(), cur.pmap.Version()) {
 			return
 		}
-		if cl.pmap.CompareAndSwap(cur, next) {
+		addrs := peers
+		if len(addrs) != next.Servers() {
+			if len(cur.addrs) != next.Servers() {
+				return
+			}
+			addrs = cur.addrs
+		}
+		nv, err := newView(next, addrs)
+		if err != nil {
+			return
+		}
+		if cl.v.CompareAndSwap(cur, nv) {
+			return
+		}
+	}
+}
+
+// adoptView installs a view this client itself published.
+func (cl *Cluster) adoptView(nv *view) {
+	cl.noteEpoch(nv.pmap.Epoch())
+	for {
+		cur := cl.v.Load()
+		if !nv.pmap.NewerThan(cur.pmap.Epoch(), cur.pmap.Version()) {
+			return
+		}
+		if cl.v.CompareAndSwap(cur, nv) {
 			return
 		}
 	}
@@ -214,9 +424,10 @@ func (cl *Cluster) retryNotOwner(ctx context.Context, err error, attempt int) bo
 	if !errors.As(err, &noe) || attempt >= opRetries-1 {
 		return false
 	}
-	before := cl.pmap.Load().Version()
-	cl.adopt(noe.Version, noe.Bounds)
-	if cl.pmap.Load().Version() == before {
+	before := cl.v.Load().pmap
+	cl.adopt(noe.Epoch, noe.Version, noe.Bounds, noe.Peers)
+	after := cl.v.Load().pmap
+	if after.Epoch() == before.Epoch() && after.Version() == before.Version() {
 		t := time.NewTimer(retryPause)
 		defer t.Stop()
 		select {
@@ -232,7 +443,7 @@ func (cl *Cluster) retryNotOwner(ctx context.Context, err error, attempt int) bo
 // retrying when a live migration moved the key (NotOwner).
 func (cl *Cluster) doKey(ctx context.Context, key string, m *rpc.Message) (*rpc.Message, error) {
 	for attempt := 0; ; attempt++ {
-		r, err := cl.owner(key).c.Do(ctx, m)
+		r, err := cl.do(ctx, cl.v.Load().ownerAddr(key), m)
 		if err == nil || !cl.retryNotOwner(ctx, err, attempt) {
 			return r, err
 		}
@@ -283,16 +494,17 @@ func (cl *Cluster) Scan(ctx context.Context, lo, hi string, limit int) ([]core.K
 
 // scanOnce runs one scan attempt against a snapshot of the map.
 func (cl *Cluster) scanOnce(ctx context.Context, lo, hi string, limit int) ([]core.KV, error) {
-	pieces := cl.pmap.Load().Split(keys.Range{Lo: lo, Hi: hi})
+	v := cl.v.Load()
+	pieces := v.pmap.Split(keys.Range{Lo: lo, Hi: hi})
 	switch {
 	case len(pieces) == 0:
 		return nil, nil
 	case len(pieces) == 1:
-		return cl.scanPiece(ctx, pieces[0], limit)
+		return cl.scanPiece(ctx, v, pieces[0], limit)
 	case limit > 0:
 		var out []core.KV
 		for _, pc := range pieces {
-			kvs, err := cl.scanPiece(ctx, pc, limit-len(out))
+			kvs, err := cl.scanPiece(ctx, v, pc, limit-len(out))
 			if err != nil {
 				return nil, err
 			}
@@ -311,7 +523,7 @@ func (cl *Cluster) scanOnce(ctx context.Context, lo, hi string, limit int) ([]co
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[i], errs[i] = cl.scanPiece(ctx, pc, limit)
+			results[i], errs[i] = cl.scanPiece(ctx, v, pc, limit)
 		}()
 	}
 	wg.Wait()
@@ -325,8 +537,8 @@ func (cl *Cluster) scanOnce(ctx context.Context, lo, hi string, limit int) ([]co
 	return out, nil
 }
 
-func (cl *Cluster) scanPiece(ctx context.Context, pc partition.Shard, limit int) ([]core.KV, error) {
-	m, err := cl.byOwner[pc.Owner].c.Do(ctx, &rpc.Message{Type: rpc.MsgScan, Lo: pc.R.Lo, Hi: pc.R.Hi, Limit: limit})
+func (cl *Cluster) scanPiece(ctx context.Context, v *view, pc partition.Shard, limit int) ([]core.KV, error) {
+	m, err := cl.do(ctx, v.addrs[pc.Owner], &rpc.Message{Type: rpc.MsgScan, Lo: pc.R.Lo, Hi: pc.R.Hi, Limit: limit})
 	if err != nil {
 		return nil, err
 	}
@@ -346,7 +558,8 @@ func (cl *Cluster) Count(ctx context.Context, lo, hi string) (int64, error) {
 }
 
 func (cl *Cluster) countOnce(ctx context.Context, lo, hi string) (int64, error) {
-	pieces := cl.pmap.Load().Split(keys.Range{Lo: lo, Hi: hi})
+	v := cl.v.Load()
+	pieces := v.pmap.Split(keys.Range{Lo: lo, Hi: hi})
 	counts := make([]int64, len(pieces))
 	errs := make([]error, len(pieces))
 	var wg sync.WaitGroup
@@ -355,7 +568,7 @@ func (cl *Cluster) countOnce(ctx context.Context, lo, hi string) (int64, error) 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			m, err := cl.byOwner[pc.Owner].c.Do(ctx, &rpc.Message{Type: rpc.MsgCount, Lo: pc.R.Lo, Hi: pc.R.Hi})
+			m, err := cl.do(ctx, v.addrs[pc.Owner], &rpc.Message{Type: rpc.MsgCount, Lo: pc.R.Lo, Hi: pc.R.Hi})
 			if err != nil {
 				errs[i] = err
 				return
@@ -379,9 +592,14 @@ func (cl *Cluster) countOnce(ctx context.Context, lo, hi string) (int64, error) 
 // keys; Found distinguishes missing keys. Elements whose key migrated
 // mid-batch are retried individually against the adopted map.
 func (cl *Cluster) GetBatch(ctx context.Context, getKeys []string) ([]core.Lookup, error) {
+	v := cl.v.Load()
 	futs := make([]*client.Future, len(getKeys))
 	for i, k := range getKeys {
-		futs[i] = cl.owner(k).c.Send(ctx, &rpc.Message{Type: rpc.MsgGet, Key: k})
+		c, err := cl.conn(ctx, v.ownerAddr(k))
+		if err != nil {
+			return nil, err
+		}
+		futs[i] = c.Send(ctx, &rpc.Message{Type: rpc.MsgGet, Key: k})
 	}
 	out := make([]core.Lookup, len(getKeys))
 	var firstErr error
@@ -390,7 +608,7 @@ func (cl *Cluster) GetBatch(ctx context.Context, getKeys []string) ([]core.Looku
 		if err != nil {
 			var noe *client.NotOwnerError
 			if errors.As(err, &noe) {
-				cl.adopt(noe.Version, noe.Bounds)
+				cl.adopt(noe.Epoch, noe.Version, noe.Bounds, noe.Peers)
 				m, err = cl.doKey(ctx, getKeys[i], &rpc.Message{Type: rpc.MsgGet, Key: getKeys[i]})
 			}
 			if err != nil {
@@ -415,9 +633,14 @@ func (cl *Cluster) GetBatch(ctx context.Context, getKeys []string) ([]core.Looku
 // a retried write can land after a later same-key write in the batch,
 // the same last-writer-wins race as two independent callers.
 func (cl *Cluster) PutBatch(ctx context.Context, pairs []core.KV) error {
+	v := cl.v.Load()
 	futs := make([]*client.Future, len(pairs))
 	for i, kv := range pairs {
-		futs[i] = cl.owner(kv.Key).c.Send(ctx, &rpc.Message{Type: rpc.MsgPut, Key: kv.Key, Value: kv.Value})
+		c, err := cl.conn(ctx, v.ownerAddr(kv.Key))
+		if err != nil {
+			return err
+		}
+		futs[i] = c.Send(ctx, &rpc.Message{Type: rpc.MsgPut, Key: kv.Key, Value: kv.Value})
 	}
 	var firstErr error
 	for i, f := range futs {
@@ -425,7 +648,7 @@ func (cl *Cluster) PutBatch(ctx context.Context, pairs []core.KV) error {
 		if err != nil {
 			var noe *client.NotOwnerError
 			if errors.As(err, &noe) {
-				cl.adopt(noe.Version, noe.Bounds)
+				cl.adopt(noe.Epoch, noe.Version, noe.Bounds, noe.Peers)
 				_, err = cl.doKey(ctx, pairs[i].Key, &rpc.Message{Type: rpc.MsgPut, Key: pairs[i].Key, Value: pairs[i].Value})
 			}
 			if err != nil && firstErr == nil {
@@ -472,19 +695,51 @@ func (cl *Cluster) Install(ctx context.Context, text string) error {
 	defer cl.imu.Unlock()
 	all := append(append([]*join.Join(nil), cl.installed...), js...)
 	tables := sourceTables(all)
-	bounds := cl.pmap.Load().Bounds()
-	for _, m := range cl.members {
-		if err := m.c.ConnectPeers(ctx, bounds, cl.addrs, m.owners, tables); err != nil {
+	v := cl.v.Load()
+	bounds := v.pmap.Bounds()
+	for _, m := range v.mbrs {
+		c, err := cl.conn(ctx, m.addr)
+		if err != nil {
+			return fmt.Errorf("cluster: wiring %s: %w", m.addr, err)
+		}
+		if err := c.ConnectPeers(ctx, bounds, v.addrs, m.owners, tables); err != nil {
 			return fmt.Errorf("cluster: wiring %s: %w", m.addr, err)
 		}
 	}
-	for _, m := range cl.members {
-		if _, err := m.c.Do(ctx, &rpc.Message{Type: rpc.MsgAddJoin, Text: text}); err != nil {
+	for _, m := range v.mbrs {
+		if _, err := cl.do(ctx, m.addr, &rpc.Message{Type: rpc.MsgAddJoin, Text: text}); err != nil {
 			return fmt.Errorf("cluster: installing joins on %s: %w", m.addr, err)
 		}
 	}
 	cl.installed = all
+	cl.texts = append(cl.texts, text)
 	return nil
+}
+
+// joinState snapshots the installed joins for a joining member: the
+// concatenated install texts (replayed verbatim, so join indexes agree
+// across members) and the base source tables to wire. The cluster
+// itself is the authority — a coordinator that never called Install
+// (a fresh pequod-cli run driving `add`) asks the member at from for
+// the join set its pool reports in stats; the client-local bookkeeping
+// is the fallback when that member is unreachable.
+func (cl *Cluster) joinState(ctx context.Context, from string) (text string, tables []string) {
+	if c, err := cl.conn(ctx, from); err == nil {
+		if st, err := c.StatSnapshot(ctx); err == nil && st.Joins != "" {
+			if js, err := join.ParseAll(st.Joins); err == nil {
+				return st.Joins, sourceTables(js)
+			}
+		}
+	}
+	cl.imu.Lock()
+	defer cl.imu.Unlock()
+	for i, t := range cl.texts {
+		if i > 0 {
+			text += "\n"
+		}
+		text += t
+	}
+	return text, sourceTables(cl.installed)
 }
 
 // sourceTables returns the base source tables of a join set: sources
@@ -516,15 +771,19 @@ func sourceTables(js []*join.Join) []string {
 func (cl *Cluster) Stats(ctx context.Context) (core.Stats, error) {
 	var total core.Stats
 	var firstErr error
-	for _, m := range cl.members {
-		st, err := m.c.Stats(ctx)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("cluster: stats from %s: %w", m.addr, err)
+	for _, m := range cl.v.Load().mbrs {
+		c, err := cl.conn(ctx, m.addr)
+		if err == nil {
+			var st core.Stats
+			st, err = c.Stats(ctx)
+			if err == nil {
+				total.Add(st)
+				continue
 			}
-			continue
 		}
-		total.Add(st)
+		if firstErr == nil {
+			firstErr = fmt.Errorf("cluster: stats from %s: %w", m.addr, err)
+		}
 	}
 	return total, firstErr
 }
@@ -535,14 +794,20 @@ func (cl *Cluster) Stats(ctx context.Context) (core.Stats, error) {
 // client.Quiesce). After it returns, reads anywhere in the cluster see
 // every write acknowledged before the call.
 func (cl *Cluster) Quiesce(ctx context.Context) error {
-	errs := make([]error, len(cl.members))
+	mbrs := cl.v.Load().mbrs
+	errs := make([]error, len(mbrs))
 	var wg sync.WaitGroup
-	for i, m := range cl.members {
+	for i, m := range mbrs {
 		i, m := i, m
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			errs[i] = m.c.Quiesce(ctx)
+			c, err := cl.conn(ctx, m.addr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = c.Quiesce(ctx)
 		}()
 	}
 	wg.Wait()
@@ -556,8 +821,8 @@ func (cl *Cluster) Quiesce(ctx context.Context) error {
 
 // SetSubtableDepth marks a §4.1 natural key boundary on every member.
 func (cl *Cluster) SetSubtableDepth(ctx context.Context, table string, depth int) error {
-	for _, m := range cl.members {
-		if _, err := m.c.Do(ctx, &rpc.Message{Type: rpc.MsgSetSubtable, Table: table, Depth: depth}); err != nil {
+	for _, m := range cl.v.Load().mbrs {
+		if _, err := cl.do(ctx, m.addr, &rpc.Message{Type: rpc.MsgSetSubtable, Table: table, Depth: depth}); err != nil {
 			return err
 		}
 	}

@@ -68,7 +68,11 @@ func TestRoutingAndPointOps(t *testing.T) {
 			t.Fatalf("Get(%q) = %q %v %v", key, v, found, err)
 		}
 		// The key landed on exactly its owning member.
-		st, err := cl.byOwner[i].c.Stats(ctx)
+		c, err := cl.conn(ctx, cl.v.Load().addrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := c.Stats(ctx)
 		if err != nil || st.Puts != 1 {
 			t.Fatalf("member %d puts = %d (%v)", i, st.Puts, err)
 		}

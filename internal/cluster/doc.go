@@ -27,12 +27,33 @@
 // serving it, live — extract at the source, splice at the destination,
 // then a MapUpdate publishing the successor map to every member. Every
 // server re-validates ownership per request under its shard locks and
-// answers NotOwner (carrying its current map) when a range has moved;
-// the cluster client adopts the newer map and retries, so concurrent
-// callers — even other, stale clients — see no lost writes, gaps, or
-// duplicates. A client-driven rebalancer (rebalance.go) polls
-// per-server load through the stat RPC and moves hot ranges to cooler
-// neighbors with the same hysteresis as the in-process shard
-// rebalancer. See DESIGN.md ("Cluster-level live re-partitioning") for
-// the full protocol.
+// answers NotOwner (carrying its current map, member addresses
+// included) when a range has moved; the cluster client adopts the
+// newer map and retries, so concurrent callers — even other, stale
+// clients — see no lost writes, gaps, or duplicates. A client-driven
+// rebalancer (rebalance.go) polls per-server load through the stat RPC
+// and moves hot ranges to cooler neighbors with the same hysteresis as
+// the in-process shard rebalancer.
+//
+// # Elastic membership
+//
+// The member set is not static either (membership.go): AddServer
+// splices a fresh server into the mesh — one JoinCluster RPC wires its
+// gate, mesh connections, and join set, then an ordinary
+// extract/splice grants it a slice of the busiest member's range under
+// a *grown* map (partition.InsertBound) — and DrainServer streams every
+// range a member owns to its neighbors under successive *shrunk* maps
+// (partition.RemoveBound) before tearing its mesh wiring down. A
+// neighbor dying mid-drain re-offers the range to the other neighbor,
+// and a transfer that cannot complete reverts, with the source's
+// retained-extraction buffer (internal/shard) as the backstop — no
+// range is ever stranded in just a coordinator's error message.
+//
+// Maps are totally ordered by (epoch, version): each coordinating
+// client mints successors at its own epoch, so two clients racing from
+// the same parent produce comparable maps — members adopt exactly one
+// winner and the loser's transfer fails with a conflict it recovers
+// from by adopting and re-deriving. See DESIGN.md ("Cluster-level live
+// re-partitioning", "Membership & epochs") for the full protocol and
+// docs/OPERATIONS.md for the operator runbook.
 package cluster

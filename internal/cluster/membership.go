@@ -1,0 +1,478 @@
+package cluster
+
+// Elastic cluster membership: AddServer splices a fresh server into the
+// mesh live, DrainServer streams every range a member owns to its
+// neighbors and removes it — both under traffic, reusing the MoveBound
+// transfer machinery (extract → fence+splice → publish) with maps that
+// change *shape* (partition.InsertBound / RemoveBound) instead of just
+// moving a bound.
+//
+// A join runs:
+//
+//  1. JoinCluster at the fresh server: one RPC installs the current
+//     cluster map as its gate (owning nothing, so it answers NotOwner
+//     until granted a range), wires it into the subscription mesh, and
+//     installs the cluster's join set.
+//  2. The grown map is minted: the donor's range splits at a bound
+//     picked from its load samples (or given explicitly), the new
+//     member taking the upper slice.
+//  3. ExtractRange at the donor, SpliceRange at the new member,
+//     MapUpdate everywhere — the ordinary transfer, under the grown
+//     map. Every member's MapUpdate resizes its mesh to include the
+//     new peer; clients that never heard of it learn its address from
+//     the peers carried on NotOwner replies.
+//
+// A drain runs the transfer in reverse, once per owned range: a shrunk
+// map merges the departing member's range into a neighbor's, the range
+// extracts from the departing member and splices into that neighbor,
+// and the publish (which includes the departing member) retires it from
+// everyone's mesh. When the last range is out, a Drain RPC tears down
+// the departed server's own mesh wiring — its gate stays, so stale
+// clients still get NotOwner replies carrying the post-drain map. If a
+// neighbor dies mid-drain the range is re-offered to the other
+// neighbor, and if that fails too it splices back into the draining
+// member (which is alive — drains are graceful), so no state strands.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"pequod/internal/core"
+	"pequod/internal/keys"
+	"pequod/internal/partition"
+	"pequod/internal/rpc"
+)
+
+// joinMinSamples is the fewest in-range load samples AddServer trusts
+// to pick a split bound before falling back to a key scan.
+const joinMinSamples = 8
+
+// joinScanLimit bounds the fallback scan used to pick a split bound
+// when the donor has too few load samples.
+const joinScanLimit = 256
+
+// AddServer splices the server at addr into the cluster live: the new
+// member is wired into the subscription mesh and granted an initial
+// slice — the upper half of the busiest member's hottest range, split
+// at the median of its load samples (falling back to a key scan when
+// the cluster is quiet). Further rebalancing is the rebalancer's job;
+// the join only has to give the new member a non-empty range to serve.
+// Use AddServerAt to control the donor and bound explicitly.
+func (cl *Cluster) AddServer(ctx context.Context, addr string) error {
+	cl.mvmu.Lock()
+	defer cl.mvmu.Unlock()
+	donor, bound, err := cl.pickJoinSplit(ctx, addr)
+	if err != nil {
+		return err
+	}
+	return cl.addServerAt(ctx, addr, donor, bound)
+}
+
+// AddServerAt is AddServer with an explicit initial grant: donor owner
+// index `owner`'s range splits at bound, the new member taking
+// [bound, hi).
+func (cl *Cluster) AddServerAt(ctx context.Context, addr string, owner int, bound string) error {
+	cl.mvmu.Lock()
+	defer cl.mvmu.Unlock()
+	return cl.addServerAt(ctx, addr, owner, bound)
+}
+
+// addServerAt runs the join under mvmu.
+func (cl *Cluster) addServerAt(ctx context.Context, addr string, owner int, bound string) error {
+	v := cl.v.Load()
+	if v.ownersOf(addr) != nil {
+		return fmt.Errorf("cluster: %s is already a member", addr)
+	}
+	if owner < 0 || owner >= v.pmap.Servers() {
+		return fmt.Errorf("cluster: donor owner %d out of range [0,%d)", owner, v.pmap.Servers())
+	}
+	donorA := v.addrs[owner]
+	// Validate the grant before touching the fresh server: JoinCluster
+	// gates and meshes it irreversibly, so a bad bound must fail here,
+	// not after.
+	if _, err := v.pmap.InsertBound(owner, bound); err != nil {
+		return err
+	}
+	// Wire the fresh server first: gate (owning nothing), mesh, joins.
+	// Until the grown map publishes, no client routes to it. The join
+	// set comes from the donor (the cluster is the authority; this
+	// coordinator may never have installed anything itself).
+	text, tables := cl.joinState(ctx, donorA)
+	if _, err := cl.do(ctx, addr, &rpc.Message{
+		Type:  rpc.MsgJoinCluster,
+		Epoch: v.pmap.Epoch(), MapVersion: v.pmap.Version(),
+		Bounds: v.pmap.Bounds(), Peers: v.addrs, Self: nil,
+		Tables: tables, Text: text,
+	}); err != nil {
+		return fmt.Errorf("cluster: joining %s: %w", addr, err)
+	}
+	// Mint the grown map: donor keeps [lo, bound), the new member (owner
+	// index owner+1; higher indexes shift up) takes [bound, hi).
+	next, err := v.pmap.InsertBound(owner, bound)
+	if err != nil {
+		return err
+	}
+	if next, err = next.WithEpoch(cl.mintEpoch(v.pmap.Epoch())); err != nil {
+		return err
+	}
+	grownAddrs := make([]string, 0, len(v.addrs)+1)
+	grownAddrs = append(grownAddrs, v.addrs[:owner+1]...)
+	grownAddrs = append(grownAddrs, addr)
+	grownAddrs = append(grownAddrs, v.addrs[owner+1:]...)
+	nv, err := newView(next, grownAddrs)
+	if err != nil {
+		return err
+	}
+	r := ownerRange(next, owner+1)
+	rs, err := cl.extract(ctx, donorA, r, nv)
+	if err != nil {
+		return fmt.Errorf("cluster: extracting the initial slice [%q, %q) from %s: %w", r.Lo, r.Hi, donorA, err)
+	}
+	if serr := cl.splice(ctx, addr, donorA, rs, nv); serr != nil {
+		// The fresh member never accepted its slice: revert by merging
+		// the slice back into the donor under a further successor.
+		back, err := next.RemoveBound(owner)
+		if err == nil {
+			back, err = back.WithEpoch(cl.mintEpoch(next.Epoch()))
+		}
+		var bv *view
+		if err == nil {
+			bv, err = newView(back, v.addrs)
+		}
+		if err == nil {
+			err = cl.splice(ctx, donorA, addr, rs, bv)
+		}
+		if err == nil {
+			// Best-effort: the slice is back at the donor; the failed
+			// joiner and any unreachable member converge via NotOwner.
+			cl.publish(ctx, bv, []string{addr}) //nolint:errcheck
+		}
+		if err != nil {
+			return fmt.Errorf("cluster: splicing the initial slice into %s failed (%v) and the revert also failed — slice retained at %s, see its stat RPC: %w",
+				addr, serr, donorA, err)
+		}
+		return fmt.Errorf("cluster: splicing the initial slice into %s failed; join reverted: %w", addr, serr)
+	}
+	return cl.publish(ctx, nv, nil)
+}
+
+// pickJoinSplit chooses the donor owner index and split bound for a
+// join: the busiest member's owner range with the most load samples,
+// split at the samples' median — so the new member lands where the load
+// is. A quiet cluster falls back to scanning the largest-looking range
+// for a middle key. Caller holds mvmu.
+func (cl *Cluster) pickJoinSplit(ctx context.Context, addr string) (int, string, error) {
+	v := cl.v.Load()
+	loads, err := cl.MemberLoads(ctx)
+	if err != nil {
+		return 0, "", fmt.Errorf("cluster: polling loads to place %s: %w", addr, err)
+	}
+	sort.Slice(loads, func(i, j int) bool { return loads[i].Units > loads[j].Units })
+	for _, ml := range loads {
+		owners := v.ownersOf(ml.Addr)
+		bestOwner, bestIn := -1, []string(nil)
+		for _, o := range owners {
+			or := ownerRange(v.pmap, o)
+			var in []string
+			for _, k := range ml.Samples {
+				if or.Contains(k) {
+					in = append(in, k)
+				}
+			}
+			if len(in) > len(bestIn) {
+				bestOwner, bestIn = o, in
+			}
+		}
+		if bestOwner < 0 || len(bestIn) < joinMinSamples {
+			continue
+		}
+		sort.Strings(bestIn)
+		if b, ok := splitPoint(ownerRange(v.pmap, bestOwner), bestIn); ok {
+			return bestOwner, b, nil
+		}
+	}
+	// Quiet cluster: scan each owner range (cheapest first attempt: the
+	// busiest member's first range) for keys and split at the middle.
+	for _, ml := range loads {
+		for _, o := range v.ownersOf(ml.Addr) {
+			or := ownerRange(v.pmap, o)
+			m, err := cl.do(ctx, ml.Addr, &rpc.Message{Type: rpc.MsgScan, Lo: or.Lo, Hi: or.Hi, Limit: joinScanLimit})
+			if err != nil {
+				continue
+			}
+			ks := make([]string, 0, len(m.KVs))
+			for _, kv := range m.KVs {
+				ks = append(ks, kv.Key)
+			}
+			if b, ok := splitPoint(or, ks); ok {
+				return o, b, nil
+			}
+		}
+	}
+	return 0, "", fmt.Errorf("cluster: no key range with enough data to split for %s; use AddServerAt with an explicit bound", addr)
+}
+
+// splitPoint picks a key strictly inside r from the sorted candidates,
+// preferring the median.
+func splitPoint(r keys.Range, sorted []string) (string, bool) {
+	if len(sorted) == 0 {
+		return "", false
+	}
+	mid := len(sorted) / 2
+	for off := 0; off < len(sorted); off++ {
+		for _, i := range []int{mid - off, mid + off} {
+			if i < 0 || i >= len(sorted) {
+				continue
+			}
+			k := sorted[i]
+			if k > r.Lo && (r.Hi == "" || k < r.Hi) && k != "" {
+				return k, true
+			}
+		}
+	}
+	return "", false
+}
+
+// DrainServer streams every range the member at addr owns to its
+// neighbors, removes it from the map, and tears down its mesh wiring —
+// live, under traffic. The drained server keeps running (and keeps
+// answering NotOwner with the post-drain map, so stale clients
+// re-route); re-adding it later is a fresh AddServer. Draining the last
+// member is refused.
+func (cl *Cluster) DrainServer(ctx context.Context, addr string) error {
+	cl.mvmu.Lock()
+	defer cl.mvmu.Unlock()
+	if cl.v.Load().ownersOf(addr) == nil {
+		return fmt.Errorf("cluster: %s is not a member", addr)
+	}
+	// One owned range leaves per iteration; owner indexes shift under
+	// us, so re-derive from the current view each round. A publish that
+	// could not reach some third member does not stop the drain — the
+	// map is already effective at the transfer participants and stale
+	// members converge through NotOwner adoption — but it is reported
+	// once the drain completes, so the operator knows who missed it.
+	var pubErr error
+	for {
+		v := cl.v.Load()
+		owners := v.ownersOf(addr)
+		if owners == nil {
+			break
+		}
+		if len(v.mbrs) == 1 {
+			return fmt.Errorf("cluster: cannot drain %s: it is the last member", addr)
+		}
+		err := cl.drainOneRange(ctx, v, addr, owners[0])
+		var pe *publishError
+		if errors.As(err, &pe) {
+			if pubErr == nil {
+				pubErr = pe.err
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+	}
+	// The final publish already reached the drained member (it needs the
+	// post-drain map for NotOwner replies, and the publish confirms its
+	// retained extraction); now its own mesh wiring can go.
+	c, err := cl.conn(ctx, addr)
+	if err != nil {
+		return fmt.Errorf("cluster: draining %s: %w", addr, err)
+	}
+	if err := c.Drain(ctx); err != nil {
+		return fmt.Errorf("cluster: tearing down %s's mesh: %w", addr, err)
+	}
+	if pubErr != nil {
+		return fmt.Errorf("cluster: %s drained, but publishing the map did not reach every member (they will converge via NotOwner): %w", addr, pubErr)
+	}
+	return nil
+}
+
+// publishError marks a drain step whose data transfer succeeded but
+// whose map publish could not reach every member.
+type publishError struct{ err error }
+
+func (e *publishError) Error() string { return e.err.Error() }
+
+// drainOneRange moves the range at owner index o off addr: a shrunk map
+// merges it into a neighbor, the range extracts and splices, and the
+// result is published to everyone including the draining member. A
+// neighbor that is addr itself (the member owns adjacent ranges) merges
+// with no transfer at all. A dead first neighbor re-offers to the other
+// neighbor; if that fails too the range splices back into the draining
+// member and the drain aborts with the cluster consistent.
+func (cl *Cluster) drainOneRange(ctx context.Context, v *view, addr string, o int) error {
+	// Shrinking at owner o: RemoveBound(o) merges o into its right
+	// neighbor; RemoveBound(o-1) into its left. Either way the new
+	// address list simply drops entry o.
+	shrunkAddrs := make([]string, 0, len(v.addrs)-1)
+	shrunkAddrs = append(shrunkAddrs, v.addrs[:o]...)
+	shrunkAddrs = append(shrunkAddrs, v.addrs[o+1:]...)
+	type offer struct {
+		boundIdx int    // bound removed from v.pmap
+		dst      string // neighbor receiving the range
+	}
+	var offers []offer
+	if o+1 < v.pmap.Servers() {
+		offers = append(offers, offer{o, v.addrs[o+1]})
+	}
+	if o > 0 {
+		offers = append(offers, offer{o - 1, v.addrs[o-1]})
+	}
+	// The member owning an adjacent range too: merge within itself, no
+	// data moves.
+	for _, of := range offers {
+		if of.dst == addr {
+			offers = []offer{of}
+			break
+		}
+	}
+	first := offers[0]
+	next, err := v.pmap.RemoveBound(first.boundIdx)
+	if err != nil {
+		return err
+	}
+	if next, err = next.WithEpoch(cl.mintEpoch(v.pmap.Epoch())); err != nil {
+		return err
+	}
+	nv, err := newView(next, shrunkAddrs)
+	if err != nil {
+		return err
+	}
+	if first.dst == addr {
+		if err := cl.publish(ctx, nv, []string{addr}); err != nil {
+			return &publishError{err}
+		}
+		return nil
+	}
+	r := ownerRange(v.pmap, o)
+	rs, err := cl.extract(ctx, addr, r, nv)
+	if err != nil {
+		return fmt.Errorf("cluster: draining [%q, %q) out of %s: %w", r.Lo, r.Hi, addr, err)
+	}
+	serr := cl.splice(ctx, first.dst, addr, rs, nv)
+	if serr == nil {
+		if err := cl.publish(ctx, nv, []string{addr}); err != nil {
+			return &publishError{err}
+		}
+		return nil
+	}
+	reoffered := false
+	if len(offers) > 1 && offers[1].dst != first.dst {
+		// Re-offer to the other neighbor: under the shrunk map the range
+		// merged into the (dead) first neighbor's owner index; a further
+		// successor moves it over to the live one.
+		reoffered = true
+		if nv2, err2 := cl.reofferView(nv, r, offers[1].dst); err2 == nil {
+			if serr2 := cl.splice(ctx, offers[1].dst, addr, rs, nv2); serr2 == nil {
+				if err := cl.publish(ctx, nv2, []string{addr}); err != nil {
+					return &publishError{err}
+				}
+				return nil
+			}
+		}
+	}
+	return cl.drainRevert(ctx, nv, v, addr, first.dst, o, r, rs, serr, reoffered)
+}
+
+// reofferView derives a successor of nv assigning range r (currently
+// merged into a dead neighbor's owner) to dst, which must own an
+// adjacent range under nv.
+func (cl *Cluster) reofferView(nv *view, r keys.Range, dst string) (*view, error) {
+	m := nv.pmap
+	deadOwner := m.Owner(r.Lo)
+	var next2 *partition.Map
+	var err error
+	switch {
+	case deadOwner > 0 && nv.addrs[deadOwner-1] == dst:
+		// dst is left of the dead owner: raise the bound between them to
+		// r.Hi, handing [r.Lo, r.Hi) leftward.
+		if r.Hi == "" {
+			return nil, fmt.Errorf("cluster: cannot re-offer an open tail leftward")
+		}
+		next2, err = m.MoveBound(deadOwner-1, r.Hi)
+	case deadOwner < m.Servers()-1 && nv.addrs[deadOwner+1] == dst:
+		// dst is right of the dead owner: lower the bound to r.Lo.
+		next2, err = m.MoveBound(deadOwner, r.Lo)
+	default:
+		return nil, fmt.Errorf("cluster: %s is not adjacent to [%q, %q)", dst, r.Lo, r.Hi)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if next2, err = next2.WithEpoch(cl.mintEpoch(m.Epoch())); err != nil {
+		return nil, err
+	}
+	return newView(next2, nv.addrs)
+}
+
+// drainRevert undoes a failed drain step: the draining member rejoins
+// the map at its old position (a successor of the shrunk map re-grows
+// its owner slot) and the extracted state splices back into it. When a
+// re-offer was attempted first, the revert's version jumps past the
+// re-offer's — a lost reply could mean its map was applied after all,
+// and the revert must supersede it everywhere.
+func (cl *Cluster) drainRevert(ctx context.Context, nv, old *view, addr, dstA string, o int, r keys.Range, rs core.RangeState, serr error, reoffered bool) error {
+	bv, err := cl.regrowView(nv, old, addr, o, reoffered)
+	if err == nil {
+		err = cl.splice(ctx, addr, dstA, rs, bv)
+	}
+	if err == nil {
+		// Best-effort: the splice-back restored the data; the dead
+		// neighbor cannot acknowledge, and other members converge
+		// through NotOwner adoption.
+		cl.publish(ctx, bv, nil) //nolint:errcheck
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: draining [%q, %q) into %s failed (%v) and the revert also failed — range retained at %s, see its stat RPC: %w",
+			r.Lo, r.Hi, dstA, serr, addr, err)
+	}
+	return fmt.Errorf("cluster: draining [%q, %q) into %s failed; drain aborted, %s still serves the range: %w",
+		r.Lo, r.Hi, dstA, addr, serr)
+}
+
+// regrowView derives a successor of the shrunk view nv that restores
+// the draining member's owner slot o with the bounds it had under old.
+// skipVersion advances one extra version (past a re-offer map that may
+// or may not have been applied).
+func (cl *Cluster) regrowView(nv, old *view, addr string, o int, skipVersion bool) (*view, error) {
+	r := ownerRange(old.pmap, o)
+	m := nv.pmap
+	merged := m.Owner(r.Lo)
+	mr := ownerRange(m, merged)
+	var next *partition.Map
+	var insertAt int
+	var err error
+	if mr.Lo == r.Lo {
+		// The merge was rightward: the merged owner starts where the
+		// drained range did. Split the range back off its lower side.
+		if r.Hi == "" {
+			return nil, errors.New("cluster: cannot regrow an open-tailed range")
+		}
+		next, err = m.InsertBound(merged, r.Hi)
+		insertAt = merged
+	} else {
+		// Leftward merge: split at the drained range's lower edge; the
+		// regrown slot is the upper part.
+		next, err = m.InsertBound(merged, r.Lo)
+		insertAt = merged + 1
+	}
+	if err != nil {
+		return nil, err
+	}
+	version := next.Version()
+	if skipVersion {
+		version++
+	}
+	if next, err = partition.NewEpochVersioned(cl.mintEpoch(m.Epoch()), version, next.Bounds()...); err != nil {
+		return nil, err
+	}
+	addrs := make([]string, 0, len(nv.addrs)+1)
+	addrs = append(addrs, nv.addrs[:insertAt]...)
+	addrs = append(addrs, addr)
+	addrs = append(addrs, nv.addrs[insertAt:]...)
+	return newView(next, addrs)
+}

@@ -1,0 +1,546 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pequod/internal/client"
+	"pequod/internal/core"
+	"pequod/internal/server"
+	"pequod/internal/shard"
+)
+
+// startServer launches one single-shard server and returns its address
+// and a kill function (for failure-injection tests; graceful cleanups
+// still run via t.Cleanup).
+func startServer(t *testing.T, name string) (string, func()) {
+	t.Helper()
+	s, err := server.New(server.Config{Name: name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return addr, s.Close
+}
+
+// TestAddServerGrowsMap: a fresh server joins live, takes the upper
+// half of a member's range, serves reads and writes there, and
+// participates in the join mesh.
+func TestAddServerGrowsMap(t *testing.T) {
+	ctx := context.Background()
+	addrs := startServers(t, 2)
+	cl := newCluster(t, Config{Addrs: addrs, Bounds: []string{"m"}, Joins: shard.EquivJoins})
+	var want []core.KV
+	for i := 0; i < 20; i++ {
+		kv := core.KV{Key: fmt.Sprintf("x|k%02d", i), Value: fmt.Sprintf("v%d", i)}
+		want = append(want, kv)
+		if err := cl.Put(ctx, kv.Key, kv.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh, _ := startServer(t, "joiner")
+	// Explicit grant: split member 1's range [m, +inf) at x|k10.
+	if err := cl.AddServerAt(ctx, fresh, 1, "x|k10"); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Members() != 3 {
+		t.Fatalf("Members = %d after join", cl.Members())
+	}
+	m := cl.Map()
+	if m.Servers() != 3 || m.Version() == 0 || m.Epoch() == 0 {
+		t.Fatalf("grown map = %d servers, e%d v%d", m.Servers(), m.Epoch(), m.Version())
+	}
+	// All rows still visible, exactly once, and the new member serves
+	// the granted slice.
+	kvs, err := cl.Scan(ctx, "x|", "x}", 0)
+	if err != nil || !reflect.DeepEqual(kvs, want) {
+		t.Fatalf("post-join scan = %v (%v)", kvs, err)
+	}
+	raw, err := client.Dial(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if v, found, err := raw.Get("x|k15"); err != nil || !found || v != "v15" {
+		t.Fatalf("new member does not serve its slice: %q %v %v", v, found, err)
+	}
+	// ...and bounces keys outside it with the grown map.
+	var noe *client.NotOwnerError
+	if err := raw.Put("x|k05", "nope"); !errors.As(err, &noe) {
+		t.Fatalf("new member accepted a key outside its slice: %v", err)
+	}
+	// Writes route to the new member; joins still compute everywhere.
+	if err := cl.Put(ctx, "x|k21", "fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := cl.Get(ctx, "x|k21"); err != nil || !ok || v != "fresh" {
+		t.Fatalf("Get after join = %q %v %v", v, ok, err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(cl.Put(ctx, "s|u2|u8", "1"))
+	must(cl.Put(ctx, "p|u8|100", "Hi"))
+	must(cl.Quiesce(ctx))
+	tl, err := cl.Scan(ctx, "t|u2|", "t|u2}", 0)
+	must(err)
+	if len(tl) != 1 || tl[0].Key != "t|u2|100|u8" {
+		t.Fatalf("timeline after join = %v", tl)
+	}
+}
+
+// TestAddServerAutoPick: AddServer without an explicit bound places the
+// new member where the load is.
+func TestAddServerAutoPick(t *testing.T) {
+	ctx := context.Background()
+	addrs := startServers(t, 2)
+	cl := newCluster(t, Config{Addrs: addrs, Bounds: []string{"e|k0100"}})
+	var pairs []core.KV
+	for i := 0; i < 300; i++ {
+		pairs = append(pairs, core.KV{Key: fmt.Sprintf("e|k%04d", i), Value: "v"})
+	}
+	if err := cl.PutBatch(ctx, pairs); err != nil {
+		t.Fatal(err)
+	}
+	// Drive reads so the busiest member accumulates samples.
+	var ks []string
+	for i := 100; i < 300; i++ {
+		ks = append(ks, fmt.Sprintf("e|k%04d", i))
+	}
+	for pass := 0; pass < 3; pass++ {
+		if _, err := cl.GetBatch(ctx, ks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh, _ := startServer(t, "auto-joiner")
+	if err := cl.AddServer(ctx, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Members() != 3 {
+		t.Fatalf("Members = %d", cl.Members())
+	}
+	if cl.v.Load().ownersOf(fresh) == nil {
+		t.Fatal("joined member owns nothing")
+	}
+	if n, err := cl.Count(ctx, "e|", "e}"); err != nil || n != 300 {
+		t.Fatalf("count after auto join = %d (%v)", n, err)
+	}
+	// Joining the same address twice is refused.
+	if err := cl.AddServer(ctx, fresh); err == nil {
+		t.Fatal("double join accepted")
+	}
+}
+
+// TestDrainServerStreamsRanges: draining a member moves every range it
+// owns to neighbors, the map shrinks, data survives byte-identical, and
+// the drained server answers NotOwner with the post-drain map.
+func TestDrainServerStreamsRanges(t *testing.T) {
+	ctx := context.Background()
+	addrs := startServers(t, 4)
+	cl := newCluster(t, Config{Addrs: addrs, Bounds: testBounds, Joins: shard.EquivJoins})
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(cl.Put(ctx, "s|u2|u8", "1"))
+	must(cl.Put(ctx, "s|u7|u8", "1"))
+	must(cl.Put(ctx, "p|u8|100", "Hi"))
+	must(cl.Quiesce(ctx))
+	want, err := cl.Scan(ctx, "", "", 0)
+	must(err)
+	if len(want) == 0 {
+		t.Fatal("no data to drain")
+	}
+
+	// Drain member 2 — it owns the computed timelines [t|, t|u5).
+	must(cl.DrainServer(ctx, addrs[2]))
+	if cl.Members() != 3 {
+		t.Fatalf("Members = %d after drain", cl.Members())
+	}
+	if got := cl.Map().Servers(); got != 3 {
+		t.Fatalf("map has %d owners after drain", got)
+	}
+	got, err := cl.Scan(ctx, "", "", 0)
+	must(err)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-drain scan diverged:\nbefore %v\nafter  %v", want, got)
+	}
+	// The drained server refuses ownership with the post-drain map.
+	raw, err := client.Dial(addrs[2])
+	must(err)
+	defer raw.Close()
+	var noe *client.NotOwnerError
+	if err := raw.Put("t|u2|zzz", "stale"); !errors.As(err, &noe) {
+		t.Fatalf("drained member accepted a write: %v", err)
+	}
+	if noe.Version != cl.Map().Version() || noe.Epoch != cl.Map().Epoch() {
+		t.Fatalf("drained member's map = e%d v%d, cluster at e%d v%d",
+			noe.Epoch, noe.Version, cl.Map().Epoch(), cl.Map().Version())
+	}
+	// Incremental maintenance still flows to the timelines' new home.
+	must(cl.Put(ctx, "p|u8|150", "again"))
+	must(cl.Quiesce(ctx))
+	if v, ok, err := cl.Get(ctx, "t|u2|150|u8"); err != nil || !ok || v != "again" {
+		t.Fatalf("timeline missed a post after drain: %q %v %v", v, ok, err)
+	}
+	want, err = cl.Scan(ctx, "", "", 0) // the new post is in the expectation now
+	must(err)
+	// Draining everything but one member works; draining the last is
+	// refused.
+	must(cl.DrainServer(ctx, addrs[3]))
+	must(cl.DrainServer(ctx, addrs[0]))
+	if cl.Members() != 1 {
+		t.Fatalf("Members = %d", cl.Members())
+	}
+	if err := cl.DrainServer(ctx, addrs[1]); err == nil {
+		t.Fatal("drained the last member")
+	}
+	got, err = cl.Scan(ctx, "", "", 0)
+	must(err)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scan diverged after draining to one member:\nbefore %v\nafter  %v", want, got)
+	}
+}
+
+// TestStaleClientDuringDrain: a client that never hears about a drain
+// keeps working — its first write into the drained range bounces with
+// NotOwner carrying the post-drain map, it adopts (including the
+// changed member set) and retries successfully.
+func TestStaleClientDuringDrain(t *testing.T) {
+	ctx := context.Background()
+	addrs := startServers(t, 3)
+	cl := newCluster(t, Config{Addrs: addrs, Bounds: []string{"h", "q"}})
+	if err := cl.Put(ctx, "k1", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	stale := newCluster(t, Config{Addrs: addrs, Bounds: []string{"h", "q"}})
+
+	if err := cl.DrainServer(ctx, addrs[1]); err != nil {
+		t.Fatal(err)
+	}
+	// addrs[1] owned [h, q); the stale client still routes "k1" there.
+	if err := stale.Put(ctx, "k1", "v2"); err != nil {
+		t.Fatalf("stale write during drain failed: %v", err)
+	}
+	if got := stale.Map().Servers(); got != 2 {
+		t.Fatalf("stale client adopted %d owners, want 2", got)
+	}
+	if stale.Members() != 2 {
+		t.Fatalf("stale client sees %d members", stale.Members())
+	}
+	if v, ok, err := cl.Get(ctx, "k1"); err != nil || !ok || v != "v2" {
+		t.Fatalf("stale write lost: %q %v %v", v, ok, err)
+	}
+}
+
+// TestDrainReoffersWhenNeighborDies: the destination neighbor dying
+// between extract and splice must not strand the range — it re-offers
+// to the other neighbor, and every row survives.
+func TestDrainReoffersWhenNeighborDies(t *testing.T) {
+	ctx := context.Background()
+	addrA, _ := startServer(t, "a")
+	addrB, _ := startServer(t, "b")
+	addrC, killC := startServer(t, "c")
+	cl := newCluster(t, Config{Addrs: []string{addrA, addrB, addrC}, Bounds: []string{"h", "q"}})
+	var want []core.KV
+	for i := 0; i < 12; i++ {
+		kv := core.KV{Key: fmt.Sprintf("%c%02d", 'a'+byte(i%26), i), Value: fmt.Sprintf("v%d", i)}
+		want = append(want, kv)
+		if err := cl.Put(ctx, kv.Key, kv.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill C, then drain B: the drain first offers B's range [h, q) to
+	// its right neighbor C (dead), must fall back to A.
+	killC()
+	err := cl.DrainServer(ctx, addrB)
+	// The drain itself may report the unreachable member (the final
+	// publish cannot reach C), but B must be out of the map and no row
+	// may be lost.
+	if err != nil && !strings.Contains(err.Error(), addrC) {
+		t.Fatalf("drain failed for an unexpected reason: %v", err)
+	}
+	if owners := cl.v.Load().ownersOf(addrB); owners != nil {
+		t.Fatalf("drained member still owns %v", owners)
+	}
+	// Every row is still served (C's range is gone with C, but the test
+	// data lives in [a, h) and [h, q), now on A).
+	for _, kv := range want {
+		if cl.v.Load().ownerAddr(kv.Key) == addrC {
+			continue
+		}
+		v, ok, err := cl.Get(ctx, kv.Key)
+		if err != nil || !ok || v != kv.Value {
+			t.Fatalf("row %s lost in re-offered drain: %q %v %v", kv.Key, v, ok, err)
+		}
+	}
+	// The re-offered range landed on A.
+	raw, err := client.Dial(addrA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if v, found, err := raw.Get("h07"); err != nil || !found || v != "v7" {
+		t.Fatalf("A does not serve the re-offered range: %q %v %v", v, found, err)
+	}
+}
+
+// TestMoveBoundRevertsOnDeadDestination: a plain bound move whose
+// destination died reverts — the source serves the range again, no row
+// is lost, and the failure is reported.
+func TestMoveBoundRevertsOnDeadDestination(t *testing.T) {
+	ctx := context.Background()
+	addrA, _ := startServer(t, "a")
+	addrB, killB := startServer(t, "b")
+	cl := newCluster(t, Config{Addrs: []string{addrA, addrB}, Bounds: []string{"m"}})
+	for i := 0; i < 10; i++ {
+		if err := cl.Put(ctx, fmt.Sprintf("c%02d", i), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	killB()
+	// Move [g, m) from A to B: extract at A succeeds, splice at dead B
+	// fails, the move reverts.
+	err := cl.MoveBound(ctx, 0, "g")
+	if err == nil {
+		t.Fatal("move to a dead destination reported success")
+	}
+	if !strings.Contains(err.Error(), "reverted") {
+		t.Fatalf("move did not revert: %v", err)
+	}
+	// Every row is still served by A under the reverted map.
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("c%02d", i)
+		v, ok, gerr := cl.Get(ctx, key)
+		if gerr != nil || !ok || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("row %s lost after revert: %q %v %v", key, v, ok, gerr)
+		}
+	}
+	// And writes into the reverted range work.
+	if err := cl.Put(ctx, "g99", "after"); err != nil {
+		t.Fatalf("write after revert: %v", err)
+	}
+}
+
+// TestConcurrentCoordinatorsEpochTieBreak: two coordinators with
+// distinct identities racing from the same parent map cannot publish
+// distinct maps at the same position. The loser's transfer fails with a
+// version conflict, and its MoveBound retry-after-adopt succeeds
+// against the winner's map.
+func TestConcurrentCoordinatorsEpochTieBreak(t *testing.T) {
+	ctx := context.Background()
+	addrs := startServers(t, 2)
+	a := newCluster(t, Config{Addrs: addrs, Bounds: []string{"m"}, CoordinatorID: 7})
+	b := newCluster(t, Config{Addrs: addrs, Bounds: []string{"m"}, CoordinatorID: 9})
+	for i := 0; i < 6; i++ {
+		if err := a.Put(ctx, fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A moves first; B still holds the original map and proposes a
+	// conflicting successor from the same parent. B's transfer must fail
+	// with a version conflict internally and succeed on the
+	// retry-after-adopt inside MoveBound.
+	if err := a.MoveBound(ctx, 0, "k3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.MoveBound(ctx, 0, "k5"); err != nil {
+		t.Fatalf("loser's retry-after-adopt failed: %v", err)
+	}
+	am, bm := a.Map(), b.Map()
+	// B's final map is strictly newer than A's published one and the
+	// cluster converged on it.
+	if !bm.NewerThan(am.Epoch(), am.Version()) && !(bm.Epoch() == am.Epoch() && bm.Version() == am.Version()) {
+		t.Fatalf("maps diverged: a=e%d v%d, b=e%d v%d", am.Epoch(), am.Version(), bm.Epoch(), bm.Version())
+	}
+	if n, err := a.Count(ctx, "", ""); err != nil || n != 6 {
+		t.Fatalf("count after racing coordinators = %d (%v)", n, err)
+	}
+	// A touching the moved range adopts B's map.
+	if _, _, err := a.Get(ctx, "k4"); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Map(); !got.NewerThan(am.Epoch()-1, am.Version()) {
+		t.Fatalf("a did not adopt: e%d v%d", got.Epoch(), got.Version())
+	}
+}
+
+// TestMultiShardMemberMeshSeesSelfOwnedSources is the regression test
+// for the PR 2 mesh gap: a *multi-shard* member whose join output
+// computes on a different internal shard than the one holding its
+// self-owned source rows must still see them — the pool replicates
+// self-owned rows of external tables across its internal shards.
+func TestMultiShardMemberMeshSeesSelfOwnedSources(t *testing.T) {
+	ctx := context.Background()
+	// Member A: two internal shards split at t| — sources (p|, s|) land
+	// on shard 0, computed timelines (t|) on shard 1. It serves cluster
+	// ranges [p|, t|) and [t|, t|u5). Member B serves the rest.
+	a, err := server.New(server.Config{Name: "A", Shards: 2, Bounds: []string{"t|"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrA, err := a.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	addrB, _ := startServer(t, "B")
+	cl := newCluster(t, Config{
+		Addrs:  []string{addrB, addrA, addrA, addrB},
+		Bounds: testBounds,
+		Joins:  shard.EquivJoins,
+	})
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Source rows homed at A (owner 1, internal shard 0): u2's timeline
+	// is computed at A too (owner 2, internal shard 1) — before the fix
+	// the join there missed these rows.
+	must(cl.Put(ctx, "s|u2|u8", "1"))
+	must(cl.Put(ctx, "s|u7|u8", "1"))
+	must(cl.Put(ctx, "p|u8|100", "Hi"))
+	must(cl.Quiesce(ctx))
+	kvs, err := cl.Scan(ctx, "t|u2|", "t|u2}", 0)
+	must(err)
+	if len(kvs) != 1 || kvs[0].Key != "t|u2|100|u8" || kvs[0].Value != "Hi" {
+		t.Fatalf("multi-shard member's own timeline missed self-owned sources: %v", kvs)
+	}
+	// A timeline on the other member still works too (the ordinary
+	// cross-server path).
+	kvs, err = cl.Scan(ctx, "t|u7|", "t|u7}", 0)
+	must(err)
+	if len(kvs) != 1 || kvs[0].Key != "t|u7|100|u8" {
+		t.Fatalf("remote timeline = %v", kvs)
+	}
+	// Incremental maintenance across the internal shards: a new post
+	// reaches the sibling shard's computed timeline.
+	must(cl.Put(ctx, "p|u8|150", "again"))
+	must(cl.Quiesce(ctx))
+	if v, ok, err := cl.Get(ctx, "t|u2|150|u8"); err != nil || !ok || v != "again" {
+		t.Fatalf("sibling shard missed the new post: %q %v %v", v, ok, err)
+	}
+	// Removal propagates too.
+	if _, err := cl.Remove(ctx, "p|u8|100"); err != nil {
+		t.Fatal(err)
+	}
+	must(cl.Quiesce(ctx))
+	if _, ok, _ := cl.Get(ctx, "t|u2|100|u8"); ok {
+		t.Fatal("removed post still on the sibling shard's timeline")
+	}
+}
+
+// TestClusterEqualsEmbeddedUnderMembershipChange is the PR's gate: the
+// randomized Twip workload against a cluster whose membership changes
+// mid-workload — a server joins, absorbs ranges, and later drains back
+// out — returns byte-identical scans to a single embedded engine.
+func TestClusterEqualsEmbeddedUnderMembershipChange(t *testing.T) {
+	nSeeds := int64(3)
+	nOps := 300
+	if testing.Short() {
+		nSeeds, nOps = 1, 120
+	}
+	for seed := int64(1); seed <= nSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ctx := context.Background()
+			ops := shard.GenTwipOps(seed, nOps, 10)
+
+			single, err := shard.New(shard.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(single.Close)
+			if err := single.InstallText(shard.EquivJoins); err != nil {
+				t.Fatal(err)
+			}
+
+			addrs := startServers(t, 3)
+			fresh, _ := startServer(t, "joiner")
+			cl := newCluster(t, Config{Addrs: addrs, Bounds: testBounds[:2], Joins: shard.EquivJoins})
+
+			// Membership changes forced mid-workload: the fresh server
+			// joins (splitting the computed-timeline range), a bound move
+			// shifts load onto it, and it drains back out.
+			changes := []func() error{
+				func() error { return cl.AddServerAt(ctx, fresh, 2, "t|u5") },
+				func() error { return cl.MoveBound(ctx, 2, "t|u3") },
+				func() error { return cl.DrainServer(ctx, fresh) },
+				func() error { return cl.AddServerAt(ctx, fresh, 1, "p|u5|") },
+			}
+			changeEvery := len(ops)/len(changes) + 1
+			next := 0
+			for i, o := range ops {
+				if i > 0 && i%changeEvery == 0 && next < len(changes) {
+					if err := changes[next](); err != nil {
+						t.Fatalf("membership change %d: %v", next, err)
+					}
+					next++
+				}
+				switch o.Kind {
+				case shard.OpPut:
+					single.Put(o.Key, o.Value)
+					if err := cl.Put(ctx, o.Key, o.Value); err != nil {
+						t.Fatal(err)
+					}
+				case shard.OpRemove:
+					single.Remove(o.Key)
+					if _, err := cl.Remove(ctx, o.Key); err != nil {
+						t.Fatal(err)
+					}
+				case shard.OpScan:
+					single.Scan(o.Lo, o.Hi, 0, nil, nil)
+					if err := cl.Quiesce(ctx); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := cl.Scan(ctx, o.Lo, o.Hi, 0); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			for next < len(changes) {
+				if err := changes[next](); err != nil {
+					t.Fatalf("trailing membership change %d: %v", next, err)
+				}
+				next++
+			}
+			if err := cl.Quiesce(ctx); err != nil {
+				t.Fatal(err)
+			}
+
+			for _, r := range shard.EquivRanges(seed, 10) {
+				want := single.Scan(r[0], r[1], 0, nil, nil)
+				got, err := cl.Scan(ctx, r[0], r[1], 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(want) == 0 && len(got) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("scan [%q, %q) diverged after membership changes:\nembedded %v\ncluster  %v", r[0], r[1], want, got)
+				}
+				wn := single.Count(r[0], r[1])
+				gn, err := cl.Count(ctx, r[0], r[1])
+				if err != nil || int64(wn) != gn {
+					t.Fatalf("count [%q, %q) = %d vs %d (%v)", r[0], r[1], wn, gn, err)
+				}
+			}
+		})
+	}
+}

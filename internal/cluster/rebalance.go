@@ -38,16 +38,19 @@ const (
 // minSamples is the fewest in-range key samples a bound pick trusts.
 const minSamples = 16
 
-// rebState is the cluster rebalancer's bookkeeping.
+// rebState is the cluster rebalancer's bookkeeping. Load history is
+// keyed by member *address*, so a membership change (a joining or
+// draining server, owner indexes shifting) neither loses history for
+// the members that stay nor misattributes it: a fresh member simply
+// primes at zero and earns its EWMA over the next ticks.
 type rebState struct {
 	mu         sync.Mutex
 	running    bool
 	stop       chan struct{}
 	done       chan struct{}
 	cfg        Rebalance
-	ewma       []float64 // per member
-	last       []int64   // per member, previous cumulative units
-	primed     bool
+	ewma       map[string]float64 // per member address
+	last       map[string]int64   // per member address, previous cumulative units
 	migrations int64
 	hotStreak  int
 	cooldown   int
@@ -57,23 +60,30 @@ type rebState struct {
 type RebalancerStats struct {
 	Enabled    bool      `json:"enabled"`
 	Migrations int64     `json:"migrations"`
+	Epoch      int64     `json:"epoch"`
 	Version    int64     `json:"version"`
 	Bounds     []string  `json:"bounds"`
-	Loads      []float64 `json:"loads"` // per-member EWMA load
+	Addrs      []string  `json:"addrs"` // distinct members, first-appearance order
+	Loads      []float64 `json:"loads"` // per-member EWMA load, aligned with Addrs
 }
 
 // RebalancerStats returns the rebalancer's current view.
 func (cl *Cluster) RebalancerStats() RebalancerStats {
 	cl.reb.mu.Lock()
 	defer cl.reb.mu.Unlock()
-	m := cl.pmap.Load()
-	return RebalancerStats{
+	v := cl.v.Load()
+	st := RebalancerStats{
 		Enabled:    cl.reb.running,
 		Migrations: cl.reb.migrations,
-		Version:    m.Version(),
-		Bounds:     m.Bounds(),
-		Loads:      append([]float64(nil), cl.reb.ewma...),
+		Epoch:      v.pmap.Epoch(),
+		Version:    v.pmap.Version(),
+		Bounds:     v.pmap.Bounds(),
 	}
+	for _, m := range v.mbrs {
+		st.Addrs = append(st.Addrs, m.addr)
+		st.Loads = append(st.Loads, cl.reb.ewma[m.addr])
+	}
+	return st
 }
 
 // StartRebalancer launches the background rebalance loop (idempotent:
@@ -153,37 +163,51 @@ func withDefaults(r Rebalance) Rebalance {
 // RebalanceTick takes one load sample across the members and migrates
 // at most one range, reporting whether a migration ran. The background
 // loop calls it each interval; tests and the pequod-cli rebalance
-// subcommand drive it directly.
+// subcommand drive it directly. Members that joined since the last
+// tick prime at zero load; members that drained fall out of the
+// bookkeeping.
 func (cl *Cluster) RebalanceTick(ctx context.Context) (bool, error) {
 	loads, err := cl.MemberLoads(ctx)
 	if err != nil {
 		return false, err
 	}
-	n := len(cl.members)
+	n := len(loads)
+	if n == 0 {
+		return false, nil
+	}
 
 	cl.reb.mu.Lock()
 	cfg := withDefaults(cl.reb.cfg)
 	if cl.reb.ewma == nil {
-		cl.reb.ewma = make([]float64, n)
-		cl.reb.last = make([]int64, n)
+		cl.reb.ewma = make(map[string]float64)
+		cl.reb.last = make(map[string]int64)
 	}
 	var raw int64
-	hot, total := 0, 0.0
-	for i, ml := range loads {
-		d := ml.Units - cl.reb.last[i]
-		cl.reb.last[i] = ml.Units
-		if !cl.reb.primed {
-			d = 0 // first poll: cumulative counters, not a delta
+	hot, total := "", 0.0
+	ewma := make(map[string]float64, n)
+	current := make(map[string]bool, n)
+	for _, ml := range loads {
+		current[ml.Addr] = true
+		prev, seen := cl.reb.last[ml.Addr]
+		d := ml.Units - prev
+		cl.reb.last[ml.Addr] = ml.Units
+		if !seen {
+			d = 0 // first poll of this member: cumulative counter, not a delta
 		}
 		raw += d
-		cl.reb.ewma[i] = (1-cfg.HalfLife)*cl.reb.ewma[i] + cfg.HalfLife*float64(d)
-		total += cl.reb.ewma[i]
-		if cl.reb.ewma[i] > cl.reb.ewma[hot] {
-			hot = i
+		cl.reb.ewma[ml.Addr] = (1-cfg.HalfLife)*cl.reb.ewma[ml.Addr] + cfg.HalfLife*float64(d)
+		ewma[ml.Addr] = cl.reb.ewma[ml.Addr]
+		total += ewma[ml.Addr]
+		if hot == "" || ewma[ml.Addr] > ewma[hot] {
+			hot = ml.Addr
 		}
 	}
-	cl.reb.primed = true
-	ewma := append([]float64(nil), cl.reb.ewma...)
+	for addr := range cl.reb.ewma {
+		if !current[addr] {
+			delete(cl.reb.ewma, addr) // drained out
+			delete(cl.reb.last, addr)
+		}
+	}
 	mean := total / float64(n)
 	idle := raw < cfg.MinOps || total == 0
 	over := !idle && ewma[hot] > cfg.Ratio*mean
@@ -202,7 +226,13 @@ func (cl *Cluster) RebalanceTick(ctx context.Context) (bool, error) {
 		return false, nil
 	}
 
-	boundIdx, q, ok := cl.pickMove(hot, ewma, loads[hot].Samples)
+	var hotSamples []string
+	for _, ml := range loads {
+		if ml.Addr == hot {
+			hotSamples = ml.Samples
+		}
+	}
+	boundIdx, q, ok := cl.pickMove(hot, ewma, hotSamples)
 	if !ok {
 		return false, nil
 	}
@@ -220,32 +250,34 @@ func (cl *Cluster) RebalanceTick(ctx context.Context) (bool, error) {
 // pickMove chooses the partition bound to move and its new split point:
 // among the bounds separating the hot member from a cooler one, the one
 // with the coolest neighbor, split at the load-weighted quantile of the
-// hot member's key samples that sheds half the imbalance. Returns false
+// hot member's key samples that sheds half the imbalance. A member that
+// just joined (EWMA near zero) is the coolest neighbor by construction,
+// so the rebalancer naturally sheds hot ranges toward it. Returns false
 // when no eligible bound exists or too few samples fall in the hot
 // range to trust a quantile.
-func (cl *Cluster) pickMove(hot int, ewma []float64, samples []string) (int, string, bool) {
-	m := cl.pmap.Load()
-	hotM := cl.members[hot]
+func (cl *Cluster) pickMove(hot string, ewma map[string]float64, samples []string) (int, string, bool) {
+	v := cl.v.Load()
+	m := v.pmap
 	type cand struct {
 		boundIdx int
-		hotOwner int // owner index on the hot member's side of the bound
-		nb       int // neighbor member index
+		hotOwner int    // owner index on the hot member's side of the bound
+		nb       string // neighbor member address
 	}
 	best, bestLoad := cand{}, 0.0
 	found := false
 	for b := 0; b < m.Servers()-1; b++ {
-		l, r := cl.byOwner[b], cl.byOwner[b+1]
+		l, r := v.addrs[b], v.addrs[b+1]
 		if l == r {
 			continue
 		}
-		if l == hotM && ewma[r.idx] < ewma[hot] {
-			if !found || ewma[r.idx] < bestLoad {
-				best, bestLoad, found = cand{b, b, r.idx}, ewma[r.idx], true
+		if l == hot && ewma[r] < ewma[hot] {
+			if !found || ewma[r] < bestLoad {
+				best, bestLoad, found = cand{b, b, r}, ewma[r], true
 			}
 		}
-		if r == hotM && ewma[l.idx] < ewma[hot] {
-			if !found || ewma[l.idx] < bestLoad {
-				best, bestLoad, found = cand{b, b + 1, l.idx}, ewma[l.idx], true
+		if r == hot && ewma[l] < ewma[hot] {
+			if !found || ewma[l] < bestLoad {
+				best, bestLoad, found = cand{b, b + 1, l}, ewma[l], true
 			}
 		}
 	}

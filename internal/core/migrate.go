@@ -217,6 +217,30 @@ func (e *Engine) SpliceRange(rs RangeState) {
 	e.evictIfNeeded()
 }
 
+// RestoreRange folds a previously extracted range back into this
+// engine without clobbering anything written since: only keys absent
+// from the store are re-installed (with dependent invalidation, so
+// computed coverage over them recomputes). It is the recovery half of
+// the retained-extract buffer — when a published map hands a range back
+// to the server that extracted it, without an accompanying splice, the
+// retained rows are the freshest surviving copy, but any row the engine
+// does hold is newer still.
+func (e *Engine) RestoreRange(rs RangeState) {
+	restored := 0
+	for _, kv := range rs.KVs {
+		if _, ok := e.s.Get(kv.Key); ok {
+			continue
+		}
+		e.s.Put(kv.Key, store.NewValue(kv.Value))
+		e.invalidateDependents(kv.Key)
+		restored++
+	}
+	if restored > 0 {
+		e.loadGen++
+		e.evictIfNeeded()
+	}
+}
+
 // DropRange discards every cached trace of range r with §2.5 eviction
 // semantics: computed join coverage is invalidated and its outputs
 // removed as OpEvict, presence records are clipped (in-flight loads are

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"io"
+	"runtime"
+	"testing"
+)
+
+// TestElasticScaleShape runs the elastic-membership experiment at Tiny
+// scale: timeline byte-identity against a reference is asserted inside
+// ElasticScale before every timed phase; here we check the membership
+// arc actually happened — three members, four after the live join, three
+// again after the drain — and that every phase served traffic. The
+// throughput win from the join depends on core count, so it is logged,
+// not asserted.
+func TestElasticScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rows, err := ElasticScale(Tiny, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Members != 3 || rows[1].Members != 4 || rows[2].Members != 3 {
+		t.Fatalf("membership arc = %d -> %d -> %d, want 3 -> 4 -> 3",
+			rows[0].Members, rows[1].Members, rows[2].Members)
+	}
+	for i, r := range rows {
+		if r.QPS <= 0 || r.Speedup <= 0 {
+			t.Fatalf("row %d = %+v", i, r)
+		}
+	}
+	t.Logf("GOMAXPROCS=%d: static %.0f checks/s, joined %.0f checks/s (%.2fx), drained %.0f checks/s (%.2fx)",
+		runtime.GOMAXPROCS(0), rows[0].QPS, rows[1].QPS, rows[1].Speedup, rows[2].QPS, rows[2].Speedup)
+}

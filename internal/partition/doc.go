@@ -6,13 +6,34 @@
 //
 // The central type is Map: an immutable assignment of contiguous key
 // ranges to owner indexes (shards in a pool, servers in a cluster),
-// carrying a version. Rebalancing never mutates a Map; it derives a
-// successor through MoveBound, one version higher, and publishes it
-// atomically — concurrent readers holding the old Map detect that
-// ownership moved on by re-validating (Owner, OwnsRange) against the
-// current one. NewVersioned rebuilds a Map shipped over the wire at its
-// original generation, and Diff reports exactly the ranges that changed
-// hands between two generations — what a cluster member must drop and
-// re-fetch when it adopts a newer map. Every key is owned by exactly
-// one range under every Map (fuzzed in FuzzMapMoves).
+// carrying an (epoch, version) position in a total order. Rebalancing
+// never mutates a Map; it derives a successor through MoveBound — or,
+// for membership changes, InsertBound (a joining server splits an
+// owner's range) and RemoveBound (a draining server's range merges into
+// a neighbor's) — one version higher, and publishes it atomically.
+// Concurrent readers holding the old Map detect that ownership moved on
+// by re-validating (Owner, OwnsRange) against the current one.
+//
+// # Epochs
+//
+// Versions alone order one coordinator's successive maps; the epoch
+// orders maps from different coordinators. Each coordinator mints
+// successors at its own epoch (WithEpoch), chosen strictly above every
+// epoch it has observed, so two coordinators racing from the same
+// parent produce maps at the same version but different epochs — the
+// total order (Compare, NewerThan: epoch first, version second) picks
+// one winner, members and clients adopt strictly-newer maps only, and
+// the loser's transfer fails with a version conflict it recovers from
+// by adopting and re-deriving. Epoch 0 is the unversioned initial epoch
+// every deployment starts from; the in-process shard pool, which has a
+// single coordinator by construction, stays at epoch 0 forever.
+//
+// NewEpochVersioned rebuilds a Map shipped over the wire at its exact
+// position, Diff reports the ranges that changed owner index between
+// two same-shape generations, and DiffAddrs reports the ranges that
+// changed serving *address* between any two generations — what a
+// cluster member must drop and re-fetch when it adopts a successor map,
+// including across joins and drains where owner indexes shift. Every
+// key is owned by exactly one range under every Map (fuzzed in
+// FuzzMapMoves).
 package partition

@@ -14,13 +14,26 @@ import (
 // server 0.
 //
 // A Map is immutable. Rebalancing produces successor Maps through
-// MoveBound, each carrying a version one higher than its parent, so
-// concurrent readers holding an old Map can detect that ownership has
-// moved on (the shard pool's live migration swaps Maps atomically and
+// MoveBound (and membership changes through InsertBound/RemoveBound),
+// each carrying a version one higher than its parent, so concurrent
+// readers holding an old Map can detect that ownership has moved on
+// (the shard pool's live migration swaps Maps atomically and
 // re-validates ownership under shard locks).
+//
+// Maps are totally ordered by (epoch, version). The version counter
+// orders one coordinator's successive maps; the epoch orders maps from
+// different coordinators. A coordinator mints successors at its own
+// epoch (WithEpoch), chosen strictly above every epoch it has observed,
+// so two coordinators racing from the same parent produce maps at the
+// same version but different epochs — one of them is strictly newer,
+// members adopt only strictly-newer maps, and the loser's transfer is
+// rejected with a version conflict instead of leaving the cluster with
+// two incomparable maps. Epoch 0 is the unversioned initial epoch every
+// deployment starts from.
 type Map struct {
 	bounds  []string // sorted; len(bounds) = servers-1
-	version int64    // 0 for a fresh Map; +1 per MoveBound
+	epoch   int64    // coordinator epoch; 0 for a fresh deployment
+	version int64    // 0 for a fresh Map; +1 per successor
 }
 
 // New builds a Map from split points, which must be strictly increasing.
@@ -42,16 +55,22 @@ func MustNew(bounds ...string) *Map {
 	return m
 }
 
-// NewVersioned is New at an explicit version — rebuilding a Map that was
-// shipped over the wire (the cluster migration RPCs carry version +
-// bounds, and both sides must agree on the generation, not just the
-// split points).
+// NewVersioned is New at an explicit version (epoch 0) — rebuilding a
+// Map that was shipped over the wire (the cluster migration RPCs carry
+// version + bounds, and both sides must agree on the generation, not
+// just the split points).
 func NewVersioned(version int64, bounds ...string) (*Map, error) {
+	return NewEpochVersioned(0, version, bounds...)
+}
+
+// NewEpochVersioned is New at an explicit (epoch, version) — rebuilding
+// a Map shipped over the wire with its full total-order position.
+func NewEpochVersioned(epoch, version int64, bounds ...string) (*Map, error) {
 	m, err := New(bounds...)
 	if err != nil {
 		return nil, err
 	}
-	m.version = version
+	m.epoch, m.version = epoch, version
 	return m, nil
 }
 
@@ -59,8 +78,51 @@ func NewVersioned(version int64, bounds ...string) (*Map, error) {
 func (m *Map) Servers() int { return len(m.bounds) + 1 }
 
 // Version returns the map's rebalance generation: 0 for a Map built by
-// New, incremented by every MoveBound.
+// New, incremented by every successor (MoveBound, InsertBound,
+// RemoveBound).
 func (m *Map) Version() int64 { return m.version }
+
+// Epoch returns the map's coordinator epoch: 0 for a fresh deployment,
+// re-stamped by WithEpoch when a coordinator mints a successor.
+func (m *Map) Epoch() int64 { return m.epoch }
+
+// Compare orders two (epoch, version) pairs: -1, 0, or +1 as a is
+// older than, equal to, or newer than b. Maps are totally ordered by
+// epoch first, version second.
+func Compare(aEpoch, aVersion, bEpoch, bVersion int64) int {
+	switch {
+	case aEpoch < bEpoch:
+		return -1
+	case aEpoch > bEpoch:
+		return 1
+	case aVersion < bVersion:
+		return -1
+	case aVersion > bVersion:
+		return 1
+	}
+	return 0
+}
+
+// NewerThan reports whether m is strictly newer than (epoch, version)
+// in the total order — the adoption test members and clients apply.
+func (m *Map) NewerThan(epoch, version int64) bool {
+	return Compare(m.epoch, m.version, epoch, version) > 0
+}
+
+// WithEpoch returns a copy of m re-stamped at the coordinator epoch e,
+// which must not order the map backwards (e >= m.Epoch()). Coordinators
+// call it on a freshly derived successor so concurrent coordinators
+// racing from the same parent cannot mint two maps at the same
+// position: each mints at its own distinct epoch, and the total order
+// picks the winner.
+func (m *Map) WithEpoch(e int64) (*Map, error) {
+	if e < m.epoch {
+		return nil, fmt.Errorf("partition: epoch %d would order map (e%d v%d) backwards", e, m.epoch, m.version)
+	}
+	next := *m
+	next.epoch = e
+	return &next, nil
+}
 
 // Bound returns the i'th split point (the lower edge of server i+1's
 // range).
@@ -91,7 +153,48 @@ func (m *Map) MoveBound(i int, bound string) (*Map, error) {
 	}
 	next := append([]string(nil), m.bounds...)
 	next[i] = bound
-	return &Map{bounds: next, version: m.version + 1}, nil
+	return &Map{bounds: next, epoch: m.epoch, version: m.version + 1}, nil
+}
+
+// InsertBound returns a successor Map with one more owner: owner's
+// range is split at bound, owner keeping [lo, bound) and a new owner
+// index owner+1 taking [bound, hi); owner indexes above shift up by
+// one. This is the map half of a server join — the caller assigns the
+// new index an address and transfers [bound, hi) to it. bound must lie
+// strictly inside owner's current range.
+func (m *Map) InsertBound(owner int, bound string) (*Map, error) {
+	if owner < 0 || owner > len(m.bounds) {
+		return nil, fmt.Errorf("partition: owner %d out of range [0,%d]", owner, len(m.bounds))
+	}
+	if bound == "" {
+		return nil, fmt.Errorf("partition: inserted bound cannot be the empty key")
+	}
+	if owner > 0 && bound <= m.bounds[owner-1] {
+		return nil, fmt.Errorf("partition: bound %q not above owner %d's lower edge %q", bound, owner, m.bounds[owner-1])
+	}
+	if owner < len(m.bounds) && bound >= m.bounds[owner] {
+		return nil, fmt.Errorf("partition: bound %q not below owner %d's upper edge %q", bound, owner, m.bounds[owner])
+	}
+	next := make([]string, 0, len(m.bounds)+1)
+	next = append(next, m.bounds[:owner]...)
+	next = append(next, bound)
+	next = append(next, m.bounds[owner:]...)
+	return &Map{bounds: next, epoch: m.epoch, version: m.version + 1}, nil
+}
+
+// RemoveBound returns a successor Map with one fewer owner: split point
+// i is removed, merging owners i and i+1 into owner i; owner indexes
+// above shift down by one. This is the map half of a server drain — the
+// caller decides which of the two old owners' addresses serves the
+// merged range and transfers the other's data to it.
+func (m *Map) RemoveBound(i int) (*Map, error) {
+	if i < 0 || i >= len(m.bounds) {
+		return nil, fmt.Errorf("partition: bound index %d out of range [0,%d)", i, len(m.bounds))
+	}
+	next := make([]string, 0, len(m.bounds)-1)
+	next = append(next, m.bounds[:i]...)
+	next = append(next, m.bounds[i+1:]...)
+	return &Map{bounds: next, epoch: m.epoch, version: m.version + 1}, nil
 }
 
 // Bounds returns a copy of the split points, for shipping a Map over the
@@ -145,6 +248,54 @@ func Diff(old, new *Map) []keys.Range {
 		}
 		if old.Owner(lo) != new.Owner(lo) {
 			out = append(out, keys.Range{Lo: lo, Hi: hi})
+		}
+		if hi == "" {
+			break
+		}
+		lo = hi
+	}
+	return out
+}
+
+// DiffAddrs returns the key ranges whose owner *address* differs
+// between two maps, in key order — the shape-change-tolerant Diff.
+// oldAddrs and newAddrs give the serving address per owner index
+// (len = Servers()), so a membership change (different owner counts, or
+// owner indexes shifted by an insert/remove) compares what actually
+// matters: which process serves each key. Members adopting a successor
+// map drop (with eviction semantics) exactly the returned ranges they
+// neither extracted nor spliced.
+func DiffAddrs(old *Map, oldAddrs []string, new *Map, newAddrs []string) []keys.Range {
+	if len(oldAddrs) != old.Servers() || len(newAddrs) != new.Servers() {
+		// Caller error; treat everything as changed rather than guess.
+		return []keys.Range{{}}
+	}
+	points := append(append([]string(nil), old.bounds...), new.bounds...)
+	sort.Strings(points)
+	var out []keys.Range
+	lo, prevOld, prevNew := "", "", ""
+	for i := 0; i <= len(points); i++ {
+		hi := ""
+		if i < len(points) {
+			hi = points[i]
+			if hi == lo { // duplicate split point
+				continue
+			}
+		}
+		oa, na := oldAddrs[old.Owner(lo)], newAddrs[new.Owner(lo)]
+		if oa != na {
+			// Merge with the previous segment only when it is contiguous
+			// and has the same owner addresses on both sides, so each
+			// returned range still has a single serving address under
+			// either map (consumers inspect only d.Lo).
+			if n := len(out); n > 0 && out[n-1].Hi == lo && prevOld == oa && prevNew == na {
+				out[n-1].Hi = hi
+			} else {
+				out = append(out, keys.Range{Lo: lo, Hi: hi})
+			}
+			prevOld, prevNew = oa, na
+		} else {
+			prevOld, prevNew = "", ""
 		}
 		if hi == "" {
 			break

@@ -39,6 +39,132 @@ func TestNewVersioned(t *testing.T) {
 	}
 }
 
+func TestEpochOrdering(t *testing.T) {
+	m, err := NewEpochVersioned(3, 7, "g", "p")
+	if err != nil || m.Epoch() != 3 || m.Version() != 7 {
+		t.Fatalf("NewEpochVersioned = %v, %v", m, err)
+	}
+	// Successors keep the epoch and bump the version.
+	n, err := m.MoveBound(0, "h")
+	if err != nil || n.Epoch() != 3 || n.Version() != 8 {
+		t.Fatalf("MoveBound successor = e%d v%d (%v)", n.Epoch(), n.Version(), err)
+	}
+	// Total order: epoch dominates, version breaks epoch ties.
+	cases := []struct {
+		aE, aV, bE, bV int64
+		want           int
+	}{
+		{3, 7, 3, 7, 0},
+		{3, 7, 3, 8, -1},
+		{3, 8, 3, 7, 1},
+		{2, 99, 3, 0, -1},
+		{4, 0, 3, 99, 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.aE, c.aV, c.bE, c.bV); got != c.want {
+			t.Errorf("Compare(e%d v%d, e%d v%d) = %d, want %d", c.aE, c.aV, c.bE, c.bV, got, c.want)
+		}
+	}
+	if !n.NewerThan(3, 7) || n.NewerThan(3, 8) || n.NewerThan(4, 0) {
+		t.Fatalf("NewerThan inconsistent at e%d v%d", n.Epoch(), n.Version())
+	}
+	// WithEpoch ratchets forward only.
+	w, err := n.WithEpoch(5)
+	if err != nil || w.Epoch() != 5 || w.Version() != 8 || len(w.Bounds()) != 2 {
+		t.Fatalf("WithEpoch = %v, %v", w, err)
+	}
+	if _, err := n.WithEpoch(2); err == nil {
+		t.Fatal("epoch moved backwards")
+	}
+	// Two coordinators racing from one parent mint comparable maps.
+	a, _ := m.MoveBound(0, "d")
+	b, _ := m.MoveBound(0, "k")
+	a, _ = a.WithEpoch(10)
+	b, _ = b.WithEpoch(11)
+	if Compare(a.Epoch(), a.Version(), b.Epoch(), b.Version()) == 0 {
+		t.Fatal("concurrent mints tied")
+	}
+}
+
+func TestInsertRemoveBound(t *testing.T) {
+	m := MustNew("g", "p") // owners: [ ,g) [g,p) [p, )
+	grown, err := m.InsertBound(2, "t")
+	if err != nil || grown.Servers() != 4 || grown.Version() != 1 {
+		t.Fatalf("InsertBound = %v, %v", grown, err)
+	}
+	// New owner 3 serves [t, +inf); owner 2 kept [p, t).
+	if grown.Owner("s") != 2 || grown.Owner("t") != 3 || grown.Owner("z") != 3 {
+		t.Fatalf("grown owners: s=%d t=%d z=%d", grown.Owner("s"), grown.Owner("t"), grown.Owner("z"))
+	}
+	// Splitting a middle owner shifts higher indexes up.
+	mid, err := m.InsertBound(1, "k")
+	if err != nil || mid.Servers() != 4 {
+		t.Fatalf("middle InsertBound: %v, %v", mid, err)
+	}
+	if mid.Owner("h") != 1 || mid.Owner("k") != 2 || mid.Owner("q") != 3 {
+		t.Fatalf("mid owners: h=%d k=%d q=%d", mid.Owner("h"), mid.Owner("k"), mid.Owner("q"))
+	}
+	// Bounds outside the owner's range are rejected.
+	for _, bad := range []string{"a", "g", "p", ""} {
+		if _, err := m.InsertBound(1, bad); err == nil {
+			t.Fatalf("InsertBound(1, %q) accepted", bad)
+		}
+	}
+	if _, err := m.InsertBound(5, "x"); err == nil {
+		t.Fatal("out-of-range owner accepted")
+	}
+
+	shrunk, err := grown.RemoveBound(2)
+	if err != nil || shrunk.Servers() != 3 || shrunk.Version() != 2 {
+		t.Fatalf("RemoveBound = %v, %v", shrunk, err)
+	}
+	// Owners 2 and 3 merged into owner 2.
+	if shrunk.Owner("q") != 2 || shrunk.Owner("z") != 2 {
+		t.Fatalf("shrunk owners: q=%d z=%d", shrunk.Owner("q"), shrunk.Owner("z"))
+	}
+	if _, err := shrunk.RemoveBound(2); err == nil {
+		t.Fatal("out-of-range bound removal accepted")
+	}
+}
+
+func TestDiffAddrs(t *testing.T) {
+	old := MustNew("g", "p")
+	oldA := []string{"a", "b", "c"}
+	// Same shape, one bound lowered: same as Diff.
+	d := DiffAddrs(old, oldA, MustNew("d", "p"), oldA)
+	if len(d) != 1 || d[0] != (keys.Range{Lo: "d", Hi: "g"}) {
+		t.Fatalf("lowered-bound DiffAddrs = %v", d)
+	}
+	// A join: owner 2's range split at t, new server d takes the top.
+	grown, _ := old.InsertBound(2, "t")
+	d = DiffAddrs(old, oldA, grown, []string{"a", "b", "c", "d"})
+	if len(d) != 1 || d[0] != (keys.Range{Lo: "t", Hi: ""}) {
+		t.Fatalf("join DiffAddrs = %v", d)
+	}
+	// A drain: middle owner b removed, its range merged into c; owner
+	// indexes above shift down but c's address still serves its range —
+	// only b's old range changes hands.
+	shrunk, _ := old.RemoveBound(1)
+	d = DiffAddrs(old, oldA, shrunk, []string{"a", "c"})
+	if len(d) != 1 || d[0] != (keys.Range{Lo: "g", Hi: "p"}) {
+		t.Fatalf("drain DiffAddrs = %v", d)
+	}
+	// No change at all.
+	if d := DiffAddrs(old, oldA, old, oldA); len(d) != 0 {
+		t.Fatalf("identical DiffAddrs = %v", d)
+	}
+	// Mis-sized addr lists: everything reported changed.
+	if d := DiffAddrs(old, oldA[:2], old, oldA); len(d) != 1 || d[0] != (keys.Range{}) {
+		t.Fatalf("mis-sized DiffAddrs = %v", d)
+	}
+	// Adjacent segments changing to different destinations stay separate
+	// ranges (consumers inspect only Lo).
+	d = DiffAddrs(old, oldA, MustNew("g", "p"), []string{"x", "y", "c"})
+	if len(d) != 2 {
+		t.Fatalf("two-destination DiffAddrs = %v", d)
+	}
+}
+
 func TestDiff(t *testing.T) {
 	old := MustNew("g", "p")
 	if d := Diff(old, MustNew("g", "p")); len(d) != 0 {

@@ -31,9 +31,18 @@ const (
 	MsgConnectPeers                    // Bounds, Peers, Self, Tables: wire the §2.4 mesh
 
 	// Cluster-level live migration (server-to-server range transfer).
-	MsgExtractRange // MapVersion, Bounds, Lo, Hi -> KVs, Warm: extract + flip ownership at src
-	MsgSpliceRange  // MapVersion, Bounds, Lo, Hi, Owner, KVs, Warm: install at dst
-	MsgMapUpdate    // MapVersion, Bounds, Peers, Self: publish the new cluster map
+	// Every map-bearing message carries the map's full total-order
+	// position (Epoch, MapVersion) plus the member addresses (Peers) and
+	// the recipient's owner indexes (Self), so a membership change —
+	// which reshapes the map and shifts owner indexes — travels with the
+	// transfer that performs it.
+	MsgExtractRange // Epoch, MapVersion, Bounds, Peers, Self, Lo, Hi -> KVs, Warm: extract + flip ownership at src
+	MsgSpliceRange  // Epoch, MapVersion, Bounds, Peers, Self, Lo, Hi, Src, KVs, Warm: install at dst
+	MsgMapUpdate    // Epoch, MapVersion, Bounds, Peers, Self: publish the new cluster map
+
+	// Elastic membership (server join/drain).
+	MsgJoinCluster // Epoch, MapVersion, Bounds, Peers, Self, Tables, Text: wire a fresh member into the mesh
+	MsgDrain       // tear down the recipient's mesh wiring after its last range left
 )
 
 // Status codes in replies.
@@ -105,15 +114,20 @@ type Message struct {
 	Self   []int
 	Tables []string
 
-	// Cluster migration fields. MapVersion and Bounds carry the
+	// Cluster migration fields. (Epoch, MapVersion) and Bounds carry the
 	// versioned cluster partition map the message publishes (requests)
-	// or the server's current map (StatusNotOwner replies). Warm is the
-	// extracted computed coverage to rebuild at the destination; Owner is
-	// the owner index losing the range in a MsgSpliceRange (-1 = none),
-	// which the destination fences before splicing.
+	// or the server's current map (StatusNotOwner replies), with Peers
+	// giving the serving address per owner index so membership changes
+	// travel with the map. Warm is the extracted computed coverage to
+	// rebuild at the destination; Src is the address of the member
+	// losing the range in a MsgSpliceRange ("" = none), which the
+	// destination fences before splicing — an address, not an owner
+	// index, because a membership change shifts indexes and a draining
+	// member is absent from the new map entirely.
+	Epoch      int64
 	MapVersion int64
 	Warm       []WarmRange
-	Owner      int
+	Src        string
 
 	// Reply fields.
 	Status byte
@@ -223,23 +237,40 @@ func (m *Message) Encode(buf []byte) []byte {
 		buf = appendInts(buf, m.Self)
 		buf = appendStrings(buf, m.Tables)
 	case MsgExtractRange:
-		buf = appendUvarint(buf, uint64(m.MapVersion))
-		buf = appendStrings(buf, m.Bounds)
-		buf = appendString(buf, m.Lo)
-		buf = appendString(buf, m.Hi)
-	case MsgSpliceRange:
-		buf = appendUvarint(buf, uint64(m.MapVersion))
-		buf = appendStrings(buf, m.Bounds)
-		buf = appendString(buf, m.Lo)
-		buf = appendString(buf, m.Hi)
-		buf = appendUvarint(buf, uint64(m.Owner+1)) // -1 = no fence target
-		buf = appendKVs(buf, m.KVs)
-		buf = appendWarm(buf, m.Warm)
-	case MsgMapUpdate:
+		buf = appendUvarint(buf, uint64(m.Epoch))
 		buf = appendUvarint(buf, uint64(m.MapVersion))
 		buf = appendStrings(buf, m.Bounds)
 		buf = appendStrings(buf, m.Peers)
 		buf = appendInts(buf, m.Self)
+		buf = appendString(buf, m.Lo)
+		buf = appendString(buf, m.Hi)
+	case MsgSpliceRange:
+		buf = appendUvarint(buf, uint64(m.Epoch))
+		buf = appendUvarint(buf, uint64(m.MapVersion))
+		buf = appendStrings(buf, m.Bounds)
+		buf = appendStrings(buf, m.Peers)
+		buf = appendInts(buf, m.Self)
+		buf = appendString(buf, m.Lo)
+		buf = appendString(buf, m.Hi)
+		buf = appendString(buf, m.Src) // "" = no fence target
+		buf = appendKVs(buf, m.KVs)
+		buf = appendWarm(buf, m.Warm)
+	case MsgMapUpdate:
+		buf = appendUvarint(buf, uint64(m.Epoch))
+		buf = appendUvarint(buf, uint64(m.MapVersion))
+		buf = appendStrings(buf, m.Bounds)
+		buf = appendStrings(buf, m.Peers)
+		buf = appendInts(buf, m.Self)
+	case MsgJoinCluster:
+		buf = appendUvarint(buf, uint64(m.Epoch))
+		buf = appendUvarint(buf, uint64(m.MapVersion))
+		buf = appendStrings(buf, m.Bounds)
+		buf = appendStrings(buf, m.Peers)
+		buf = appendInts(buf, m.Self)
+		buf = appendStrings(buf, m.Tables)
+		buf = appendString(buf, m.Text)
+	case MsgDrain:
+		// no payload
 	case MsgReply:
 		buf = append(buf, m.Status)
 		found := byte(0)
@@ -251,11 +282,13 @@ func (m *Message) Encode(buf []byte) []byte {
 		buf = appendString(buf, m.Err)
 		buf = appendUvarint(buf, uint64(m.Count))
 		buf = appendKVs(buf, m.KVs)
-		// Migration extensions: the current map on NotOwner replies, the
-		// extracted warm coverage on ExtractRange replies. Empty (three
-		// bytes) on every other reply.
+		// Migration extensions: the current map (epoch, version, bounds,
+		// peers) on NotOwner replies, the extracted warm coverage on
+		// ExtractRange replies. Empty (five bytes) on every other reply.
+		buf = appendUvarint(buf, uint64(m.Epoch))
 		buf = appendUvarint(buf, uint64(m.MapVersion))
 		buf = appendStrings(buf, m.Bounds)
+		buf = appendStrings(buf, m.Peers)
 		buf = appendWarm(buf, m.Warm)
 	}
 	binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
@@ -307,6 +340,19 @@ func (d *decoder) strs() ([]string, error) {
 		out = append(out, s)
 	}
 	return out, nil
+}
+
+// mapPos decodes a map's total-order position (epoch, version).
+func (d *decoder) mapPos() (epoch, version int64, err error) {
+	e, err := d.uvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int64(e), int64(v), nil
 }
 
 func (d *decoder) byte() (byte, error) {
@@ -476,12 +522,16 @@ func Decode(payload []byte) (*Message, error) {
 			return nil, err
 		}
 	case MsgExtractRange:
-		var v uint64
-		if v, err = d.uvarint(); err != nil {
+		if m.Epoch, m.MapVersion, err = d.mapPos(); err != nil {
 			return nil, err
 		}
-		m.MapVersion = int64(v)
 		if m.Bounds, err = d.strs(); err != nil {
+			return nil, err
+		}
+		if m.Peers, err = d.strs(); err != nil {
+			return nil, err
+		}
+		if m.Self, err = d.ints(); err != nil {
 			return nil, err
 		}
 		if m.Lo, err = d.str(); err != nil {
@@ -489,12 +539,16 @@ func Decode(payload []byte) (*Message, error) {
 		}
 		m.Hi, err = d.str()
 	case MsgSpliceRange:
-		var v uint64
-		if v, err = d.uvarint(); err != nil {
+		if m.Epoch, m.MapVersion, err = d.mapPos(); err != nil {
 			return nil, err
 		}
-		m.MapVersion = int64(v)
 		if m.Bounds, err = d.strs(); err != nil {
+			return nil, err
+		}
+		if m.Peers, err = d.strs(); err != nil {
+			return nil, err
+		}
+		if m.Self, err = d.ints(); err != nil {
 			return nil, err
 		}
 		if m.Lo, err = d.str(); err != nil {
@@ -503,21 +557,17 @@ func Decode(payload []byte) (*Message, error) {
 		if m.Hi, err = d.str(); err != nil {
 			return nil, err
 		}
-		var owner uint64
-		if owner, err = d.uvarint(); err != nil {
+		if m.Src, err = d.str(); err != nil {
 			return nil, err
 		}
-		m.Owner = int(owner) - 1
 		if m.KVs, err = d.kvs(); err != nil {
 			return nil, err
 		}
 		m.Warm, err = d.warm()
 	case MsgMapUpdate:
-		var v uint64
-		if v, err = d.uvarint(); err != nil {
+		if m.Epoch, m.MapVersion, err = d.mapPos(); err != nil {
 			return nil, err
 		}
-		m.MapVersion = int64(v)
 		if m.Bounds, err = d.strs(); err != nil {
 			return nil, err
 		}
@@ -525,6 +575,25 @@ func Decode(payload []byte) (*Message, error) {
 			return nil, err
 		}
 		m.Self, err = d.ints()
+	case MsgJoinCluster:
+		if m.Epoch, m.MapVersion, err = d.mapPos(); err != nil {
+			return nil, err
+		}
+		if m.Bounds, err = d.strs(); err != nil {
+			return nil, err
+		}
+		if m.Peers, err = d.strs(); err != nil {
+			return nil, err
+		}
+		if m.Self, err = d.ints(); err != nil {
+			return nil, err
+		}
+		if m.Tables, err = d.strs(); err != nil {
+			return nil, err
+		}
+		m.Text, err = d.str()
+	case MsgDrain:
+		// no payload
 	case MsgCommand:
 		var n uint64
 		if n, err = d.uvarint(); err != nil {
@@ -561,12 +630,13 @@ func Decode(payload []byte) (*Message, error) {
 		if m.KVs, err = d.kvs(); err != nil {
 			return nil, err
 		}
-		var mv uint64
-		if mv, err = d.uvarint(); err != nil {
+		if m.Epoch, m.MapVersion, err = d.mapPos(); err != nil {
 			return nil, err
 		}
-		m.MapVersion = int64(mv)
 		if m.Bounds, err = d.strs(); err != nil {
+			return nil, err
+		}
+		if m.Peers, err = d.strs(); err != nil {
 			return nil, err
 		}
 		m.Warm, err = d.warm()
@@ -622,12 +692,15 @@ func ErrReply(seq uint64, err error) *Message {
 }
 
 // NotOwnerReply builds a StatusNotOwner reply carrying the server's
-// current cluster map so the client can re-route and retry.
-func NotOwnerReply(seq uint64, version int64, bounds []string) *Message {
+// current cluster map — position, bounds, and member addresses — so the
+// client can re-route and retry, even across a membership change.
+func NotOwnerReply(seq uint64, epoch, version int64, bounds, peers []string) *Message {
 	return &Message{
 		Type: MsgReply, Seq: seq, Status: StatusNotOwner,
 		Err:        "not the owner of the requested range",
+		Epoch:      epoch,
 		MapVersion: version,
 		Bounds:     bounds,
+		Peers:      peers,
 	}
 }

@@ -50,20 +50,32 @@ func TestRoundTripAllTypes(t *testing.T) {
 		{Type: MsgReply, Seq: 11, Status: StatusOK, Found: true, Value: "v",
 			Count: 42, KVs: []KV{{Key: "a", Value: "1"}, {Key: "b", Value: "2"}}},
 		{Type: MsgReply, Seq: 12, Status: StatusError, Err: "boom"},
-		{Type: MsgExtractRange, Seq: 17, MapVersion: 3,
-			Bounds: []string{"m", "t|"}, Lo: "t|", Hi: "t|u5"},
-		{Type: MsgSpliceRange, Seq: 18, MapVersion: 4, Owner: 2,
-			Bounds: []string{"m", "t|u3"}, Lo: "t|u3", Hi: "t|u5",
+		{Type: MsgExtractRange, Seq: 17, Epoch: 2, MapVersion: 3,
+			Bounds: []string{"m", "t|"},
+			Peers:  []string{"a:1", "a:2", "a:3"},
+			Self:   []int{0}, Lo: "t|", Hi: "t|u5"},
+		{Type: MsgSpliceRange, Seq: 18, Epoch: 5, MapVersion: 4, Src: "a:3",
+			Bounds: []string{"m", "t|u3"},
+			Peers:  []string{"a:1", "a:2", "a:3"},
+			Self:   []int{2}, Lo: "t|u3", Hi: "t|u5",
 			KVs:  []KV{{Key: "t|u4|1", Value: "x"}},
 			Warm: warm(0, "t|u3|", "t|u4|")},
-		{Type: MsgSpliceRange, Seq: 19, MapVersion: 1, Owner: -1,
+		{Type: MsgSpliceRange, Seq: 19, MapVersion: 1,
 			Lo: "a", Hi: "b"},
-		{Type: MsgMapUpdate, Seq: 20, MapVersion: 7,
+		{Type: MsgMapUpdate, Seq: 20, Epoch: 1, MapVersion: 7,
 			Bounds: []string{"p|", "t|"},
 			Peers:  []string{"a:1", "a:2", "a:3"},
 			Self:   []int{1}},
+		{Type: MsgJoinCluster, Seq: 23, Epoch: 4, MapVersion: 9,
+			Bounds: []string{"p|", "t|"},
+			Peers:  []string{"a:1", "a:2", "a:3"},
+			Self:   []int{2},
+			Tables: []string{"p", "s"},
+			Text:   "t|<u> = copy p|<u>"},
+		{Type: MsgDrain, Seq: 24},
 		{Type: MsgReply, Seq: 21, Status: StatusNotOwner, Err: "moved",
-			MapVersion: 9, Bounds: []string{"q|"}},
+			Epoch: 3, MapVersion: 9, Bounds: []string{"q|"},
+			Peers: []string{"a:1", "a:2"}},
 		{Type: MsgReply, Seq: 22, Status: StatusOK,
 			Warm: warm(1, "t|", "t|u5")},
 	}

@@ -1,28 +1,39 @@
 package server
 
-// Cluster-level live migration, server side: the three transfer RPCs
-// that move a key range between servers without stopping the cluster.
+// Cluster-level live migration and elastic membership, server side: the
+// RPCs that move a key range between servers — or a whole server in or
+// out of the cluster — without stopping it.
 //
 //	ExtractRange  (at the source)       capture the range + flip ownership
 //	SpliceRange   (at the destination)  fence stale pushes + install
 //	MapUpdate     (at every member)     adopt the map, drop stale replicas
+//	JoinCluster   (at a fresh server)   wire mesh + joins + gate in one call
+//	Drain         (at a drained server) tear down its mesh wiring
 //
 // The coordinator — pequod's cluster client, or the pequod-cli move /
-// rebalance subcommands — drives them in that order; see
+// rebalance / add / drain subcommands — drives them; see
 // internal/cluster. The correctness-critical parts live in the layers
 // below: the shard pool swaps its ownership gate under the affected
 // shards' locks (internal/shard/clustergate.go), and every routed
 // operation re-validates ownership under the lock it holds, so a racing
 // client gets a NotOwner reply (and retries at the new owner) instead of
-// a lost write or a gap. This file contributes the network-level fences:
-// before the destination splices, and before a member drops a moved
-// range, in-flight subscription pushes from the range's old owner are
-// fenced with a ping — the reply follows every queued push on that
-// connection, so nothing stale can be applied afterwards and overwrite a
-// newer value.
+// a lost write or a gap. Every map-bearing message carries the map's
+// total-order position (epoch, version), its bounds, the member address
+// per owner index, and the recipient's self set — membership changes
+// reshape all of them, and they swap atomically with the data transfer.
+//
+// This file contributes the network-level fences: before the
+// destination splices, and before a member drops a moved range,
+// in-flight subscription pushes from the range's old owner are fenced
+// with a ping — the reply follows every queued push on that connection,
+// so nothing stale can be applied afterwards and overwrite a newer
+// value. Fences are addressed by member address, which stays meaningful
+// when a join or drain shifts owner indexes.
 
 import (
 	"context"
+	"fmt"
+	"strings"
 	"time"
 
 	"pequod/internal/client"
@@ -30,23 +41,26 @@ import (
 	"pequod/internal/keys"
 	"pequod/internal/partition"
 	"pequod/internal/rpc"
+	"pequod/internal/shard"
 )
 
 // handleExtractRange serves MsgExtractRange: remove [m.Lo, m.Hi) from
 // this server and return its owned rows and warm computed coverage,
 // atomically ceasing to serve the range. The request carries the
-// successor map (exactly one version ahead); a stale coordinator gets
-// StatusNotOwner with the current map.
+// successor map (exactly one version ahead) with this member's peers
+// and self under it; a stale coordinator gets StatusNotOwner with the
+// current map. The extracted state is retained pool-side until a
+// published map confirms the destination serves the range.
 func (s *Server) handleExtractRange(m *rpc.Message) *rpc.Message {
-	next, err := partition.NewVersioned(m.MapVersion, m.Bounds...)
+	next, err := partition.NewEpochVersioned(m.Epoch, m.MapVersion, m.Bounds...)
 	if err != nil {
 		return rpc.ErrReply(m.Seq, err)
 	}
-	rs, err := s.pool.ExtractClusterRange(keys.Range{Lo: m.Lo, Hi: m.Hi}, next)
+	rs, err := s.pool.ExtractClusterRange(keys.Range{Lo: m.Lo, Hi: m.Hi}, next, m.Peers, shard.SelfSet(m.Self))
 	if err != nil {
 		return errReply(m.Seq, err)
 	}
-	s.adoptMeshView(next)
+	s.adoptMeshView(next, m.Peers, m.Self)
 	r := rpc.OKReply(m.Seq)
 	r.KVs = rs.KVs
 	r.Warm = rs.Warm
@@ -54,62 +68,62 @@ func (s *Server) handleExtractRange(m *rpc.Message) *rpc.Message {
 }
 
 // handleSpliceRange serves MsgSpliceRange: install an extracted range
-// and atomically start serving it. m.Owner names the owner index the
+// and atomically start serving it. m.Src names the member address the
 // range came from; pushes in flight from that peer are fenced first so a
 // stale replicated write cannot land after the splice and overwrite a
 // newer owner write here.
 func (s *Server) handleSpliceRange(m *rpc.Message, dl time.Time) *rpc.Message {
-	next, err := partition.NewVersioned(m.MapVersion, m.Bounds...)
+	next, err := partition.NewEpochVersioned(m.Epoch, m.MapVersion, m.Bounds...)
 	if err != nil {
 		return rpc.ErrReply(m.Seq, err)
 	}
-	if m.Owner >= 0 {
-		if err := s.fencePeer(m.Owner, dl); err != nil {
+	if m.Src != "" {
+		if err := s.fenceAddr(m.Src, dl); err != nil {
 			return rpc.ErrReply(m.Seq, err)
 		}
 	}
 	rs := core.RangeState{R: keys.Range{Lo: m.Lo, Hi: m.Hi}, KVs: m.KVs, Warm: m.Warm}
-	if err := s.pool.SpliceClusterRange(rs, next); err != nil {
+	if err := s.pool.SpliceClusterRange(rs, next, m.Peers, shard.SelfSet(m.Self)); err != nil {
 		return errReply(m.Seq, err)
 	}
-	s.adoptMeshView(next)
+	s.adoptMeshView(next, m.Peers, m.Self)
 	return rpc.OKReply(m.Seq)
 }
 
 // handleMapUpdate serves MsgMapUpdate: adopt a newer cluster map. On
-// first contact it installs the member's view (map + self set); on a
-// migration it fences the old owners of every range that changed hands
-// between two other servers, then drops the member's cached state for
-// those ranges so the next read re-fetches from — and re-subscribes at —
-// the new home.
+// first contact it installs the member's view (map + peers + self set);
+// on a migration or membership change it fences the old owners of every
+// range that changed hands between two other servers, then lets the
+// pool reconcile its cached state (drop stale replicas, demote ranges
+// lost without an extraction, restore retained ranges handed back) so
+// the next read re-fetches from — and re-subscribes at — the new home.
 func (s *Server) handleMapUpdate(m *rpc.Message, dl time.Time) *rpc.Message {
-	next, err := partition.NewVersioned(m.MapVersion, m.Bounds...)
+	next, err := partition.NewEpochVersioned(m.Epoch, m.MapVersion, m.Bounds...)
 	if err != nil {
 		return rpc.ErrReply(m.Seq, err)
 	}
-	self := make(map[int]bool, len(m.Self))
-	for _, i := range m.Self {
-		self[i] = true
-	}
-	if g := s.pool.Gate(); g != nil && g.Map.Version() < next.Version() {
+	if g := s.pool.Gate(); g != nil && next.NewerThan(g.Map.Epoch(), g.Map.Version()) &&
+		len(g.Peers) == g.Map.Servers() && len(m.Peers) == next.Servers() {
 		// Fence before the drop: every change the old owners pushed for
 		// the departing ranges must be applied (or discarded as stale by
 		// the feeds) before the local copies go, or a late push would
 		// resurrect dropped data.
-		fenced := map[int]bool{}
-		for _, d := range partition.Diff(g.Map, next) {
-			old := g.Map.Owner(d.Lo)
-			if g.Self[old] || g.Self[next.Owner(d.Lo)] || fenced[old] {
+		selfA := selfAddrs(m.Peers, m.Self)
+		fenced := map[string]bool{}
+		for _, d := range partition.DiffAddrs(g.Map, g.Peers, next, m.Peers) {
+			oldA := g.Peers[g.Map.Owner(d.Lo)]
+			newA := m.Peers[next.Owner(d.Lo)]
+			if selfA[oldA] || selfA[newA] || fenced[oldA] {
 				continue
 			}
-			fenced[old] = true
-			if err := s.fencePeer(old, dl); err != nil {
+			fenced[oldA] = true
+			if err := s.fenceAddr(oldA, dl); err != nil {
 				return rpc.ErrReply(m.Seq, err)
 			}
 		}
 	}
-	s.pool.ApplyMapUpdate(next, self)
-	s.adoptMeshView(next)
+	s.pool.ApplyMapUpdate(next, m.Peers, shard.SelfSet(m.Self))
+	s.adoptMeshView(next, m.Peers, m.Self)
 	r := rpc.OKReply(m.Seq)
 	// Teach the publisher the map this server actually holds: a client
 	// that starts from the deployment's original bounds (version 0)
@@ -117,23 +131,91 @@ func (s *Server) handleMapUpdate(m *rpc.Message, dl time.Time) *rpc.Message {
 	// ignores — the reply carries the newer one so the client adopts it
 	// instead of discovering it through NotOwner bounces.
 	if g := s.pool.Gate(); g != nil {
+		r.Epoch = g.Map.Epoch()
 		r.MapVersion = g.Map.Version()
 		r.Bounds = g.Map.Bounds()
+		r.Peers = g.Peers
 	}
 	return r
 }
 
-// fencePeer pings this server's connections to the peer at owner index,
-// if any: the replies follow every subscription push the peer had queued
+// handleJoinCluster serves MsgJoinCluster at a fresh server: one call
+// installs the current cluster map as its gate (owning nothing yet, so
+// it answers NotOwner until a splice grants it a range), wires it into
+// the subscription mesh, and installs the cluster's join set. The
+// coordinator then grants it an initial slice through the ordinary
+// extract/splice/publish protocol — by the time any client routes to
+// the new member, it is gated, meshed, and computing.
+func (s *Server) handleJoinCluster(m *rpc.Message) *rpc.Message {
+	pmap, err := partition.NewEpochVersioned(m.Epoch, m.MapVersion, m.Bounds...)
+	if err != nil {
+		return rpc.ErrReply(m.Seq, err)
+	}
+	if len(m.Peers) != pmap.Servers() {
+		return rpc.ErrReply(m.Seq, fmt.Errorf("pequod server: %d bounds need %d peers, have %d",
+			len(m.Bounds), pmap.Servers(), len(m.Peers)))
+	}
+	// Gate first: from this point every operation outside the (empty)
+	// self set bounces with NotOwner instead of landing on an unwired
+	// server.
+	s.pool.ApplyMapUpdate(pmap, m.Peers, shard.SelfSet(m.Self))
+	if err := s.ConnectMesh(pmap, m.Peers, m.Self, m.Tables...); err != nil {
+		return rpc.ErrReply(m.Seq, err)
+	}
+	// Install the cluster's join set — idempotently, so a drained member
+	// re-joining with the joins already installed (or holding a prefix
+	// of a join set that grew since) does not fail on duplicates.
+	if have := s.pool.InstalledText(); m.Text != "" && m.Text != have {
+		text := m.Text
+		if have != "" {
+			if !strings.HasPrefix(m.Text, have+"\n") {
+				return rpc.ErrReply(m.Seq, fmt.Errorf("pequod server: joining with a conflicting join set already installed"))
+			}
+			text = m.Text[len(have)+1:]
+		}
+		if err := s.pool.InstallText(text); err != nil {
+			return rpc.ErrReply(m.Seq, err)
+		}
+	}
+	return rpc.OKReply(m.Seq)
+}
+
+// handleDrain serves MsgDrain at a member whose last range has moved
+// out: its mesh wiring (peer connections, remote loaders' feeds) is
+// torn down, while the gate — now owning nothing under the published
+// post-drain map — stays, so stale clients still get NotOwner replies
+// carrying that map and re-route instead of failing. The process keeps
+// running; re-adding it later goes through JoinCluster again.
+func (s *Server) handleDrain(m *rpc.Message) *rpc.Message {
+	s.mmu.Lock()
+	mesh := s.mesh
+	s.mesh = nil
+	s.mmu.Unlock()
+	if mesh != nil {
+		mesh.closeAll()
+	}
+	r := rpc.OKReply(m.Seq)
+	if g := s.pool.Gate(); g != nil {
+		r.Epoch = g.Map.Epoch()
+		r.MapVersion = g.Map.Version()
+		r.Bounds = g.Map.Bounds()
+		r.Peers = g.Peers
+	}
+	return r
+}
+
+// fenceAddr pings this server's connections to the peer at addr, if
+// any: the replies follow every subscription push the peer had queued
 // for us, and our readers apply pushes in order, so afterwards nothing
-// sent before the fence is still in flight. A dead peer owes us nothing.
-func (s *Server) fencePeer(owner int, dl time.Time) error {
+// sent before the fence is still in flight. A dead peer owes us
+// nothing.
+func (s *Server) fenceAddr(addr string, dl time.Time) error {
 	s.mmu.Lock()
 	var conns []*client.Client
 	if s.mesh != nil {
 		for _, l := range s.mesh.loaders {
-			if owner < len(l.peers) && l.peers[owner] != nil {
-				conns = append(conns, l.peers[owner])
+			if c := l.connTo(addr); c != nil {
+				conns = append(conns, c)
 			}
 		}
 	}
@@ -155,15 +237,35 @@ func (s *Server) fencePeer(owner int, dl time.Time) error {
 	return nil
 }
 
-// adoptMeshView publishes a newer cluster map to the mesh's loaders and
-// feeds (no-op when not meshed or not newer).
-func (s *Server) adoptMeshView(next *partition.Map) {
+// adoptMeshView publishes a newer cluster view to the mesh's loaders
+// and feeds (no-op when not meshed or not newer) and resizes the peer
+// connection set when the member list changed: connections to members
+// that left close, and members that joined dial on demand (eagerly
+// here, lazily in the load path if this attempt fails).
+func (s *Server) adoptMeshView(next *partition.Map, peers []string, self []int) {
 	s.mmu.Lock()
 	defer s.mmu.Unlock()
-	if s.mesh == nil {
+	if s.mesh == nil || len(peers) != next.Servers() {
 		return
 	}
-	if cur := s.mesh.view.Load(); cur == nil || cur.Version() < next.Version() {
-		s.mesh.view.Store(next)
+	cur := s.mesh.view.Load()
+	if cur != nil && !next.NewerThan(cur.pmap.Epoch(), cur.pmap.Version()) {
+		return
+	}
+	nv := &meshView{pmap: next, addrs: append([]string(nil), peers...), self: selfAddrs(peers, self)}
+	s.mesh.view.Store(nv)
+	want := make(map[string]bool, len(nv.addrs))
+	for _, a := range nv.addrs {
+		if !nv.self[a] {
+			want[a] = true
+		}
+	}
+	// Only close departed members' connections here; fresh members dial
+	// lazily on the load path. An eager dial under mmu would stall this
+	// server's quiesce/fence/map-update handling for the full connect
+	// timeout whenever a published view still names an unreachable
+	// address (a revert after a member died does exactly that).
+	for _, l := range s.mesh.loaders {
+		l.retain(want)
 	}
 }

@@ -83,24 +83,47 @@ type Server struct {
 	conns  map[*conn]struct{}
 	closed bool
 
-	// Distributed mode: connections to home/peer servers, and the mesh
-	// wiring installed by ConnectMesh (guarded by mmu).
-	mmu   sync.Mutex
-	peers []*client.Client
-	mesh  *meshState
+	// Distributed mode: the mesh wiring installed by ConnectMesh or a
+	// JoinCluster RPC (guarded by mmu).
+	mmu  sync.Mutex
+	mesh *meshState
 }
 
 // meshState records a server's position in a partitioned mesh so later
 // ConnectMesh calls (a join installed at runtime adding source tables)
 // can reuse the dialed peer connections. view is the mesh's current
-// cluster partition map — shared with every loader, and atomically
-// replaced when a live migration publishes a successor (the owner
-// indexes stay positional, so the peer connections survive the move).
+// cluster partition — map, member address per owner index, and the
+// addresses that are this process — shared with every loader and
+// atomically replaced when a live migration or membership change
+// publishes a successor. Peer connections are keyed by *address* (one
+// per shard per peer), so they survive owner indexes shifting when a
+// member joins or drains; adoptMeshView resizes the connection set when
+// the member list itself changes.
 type meshState struct {
-	view    atomic.Pointer[partition.Map]
-	addrs   []string
+	view    atomic.Pointer[meshView]
 	loaders []*remoteLoader // one per shard
 	tables  map[string]bool
+}
+
+// meshView is one generation of the mesh's cluster view.
+type meshView struct {
+	pmap  *partition.Map
+	addrs []string        // serving address per owner index
+	self  map[string]bool // addresses that are this process
+}
+
+// ownerAddr returns the serving address for key under this view.
+func (v *meshView) ownerAddr(key string) string { return v.addrs[v.pmap.Owner(key)] }
+
+// selfAddrs derives the address set {addrs[i] : i in self}.
+func selfAddrs(addrs []string, self []int) map[string]bool {
+	out := make(map[string]bool, len(self))
+	for _, i := range self {
+		if i >= 0 && i < len(addrs) {
+			out[addrs[i]] = true
+		}
+	}
+	return out
 }
 
 // New creates a server.
@@ -238,11 +261,11 @@ func (s *Server) Close() {
 	}
 	s.connWG.Wait()
 	s.mmu.Lock()
-	peers := s.peers
-	s.peers = nil
+	mesh := s.mesh
+	s.mesh = nil
 	s.mmu.Unlock()
-	for _, p := range peers {
-		p.Close()
+	if mesh != nil {
+		mesh.closeAll()
 	}
 	s.pool.Close()
 }
@@ -276,14 +299,23 @@ func (s *Server) statJSON() string {
 		Stats     core.Stats           `json:"stats"`
 		Rebalance shard.RebalanceStats `json:"rebalance"`
 		Load      shard.LoadInfo       `json:"load"`
+		Joins     string               `json:"joins,omitempty"`
 		Cluster   *clusterStat         `json:"cluster,omitempty"`
 	}{
 		Name: s.name, Shards: s.pool.NumShards(), Entries: s.pool.Len(),
 		Bytes: s.pool.Bytes(), Stats: s.pool.Stats(),
 		Rebalance: s.pool.RebalanceStats(), Load: s.pool.LoadInfo(),
+		// The installed join set travels in stats so a coordinator that
+		// did not install the joins itself (a fresh pequod-cli run) can
+		// still replay them onto a joining member.
+		Joins: s.pool.InstalledText(),
 	}
 	if g := s.pool.Gate(); g != nil {
-		cs := &clusterStat{Version: g.Map.Version(), Bounds: g.Map.Bounds()}
+		cs := &clusterStat{
+			Epoch: g.Map.Epoch(), Version: g.Map.Version(),
+			Bounds: g.Map.Bounds(), Peers: g.Peers,
+			Retained: s.pool.RetainedStats().Entries,
+		}
 		for i := 0; i < g.Map.Servers(); i++ {
 			if g.Self[i] {
 				cs.Self = append(cs.Self, i)
@@ -295,11 +327,18 @@ func (s *Server) statJSON() string {
 	return string(out)
 }
 
-// clusterStat is the stat RPC's view of a member's cluster position.
+// clusterStat is the stat RPC's view of a member's cluster position:
+// the published map it serves under (position, bounds, member
+// addresses), the owner indexes that are this process, and how many
+// extracted-but-unconfirmed range copies it retains (non-zero outside a
+// migration window means a stranded transfer — see docs/OPERATIONS.md).
 type clusterStat struct {
-	Version int64    `json:"version"`
-	Bounds  []string `json:"bounds"`
-	Self    []int    `json:"self"`
+	Epoch    int64    `json:"epoch"`
+	Version  int64    `json:"version"`
+	Bounds   []string `json:"bounds"`
+	Peers    []string `json:"peers,omitempty"`
+	Self     []int    `json:"self"`
+	Retained int      `json:"retained"`
 }
 
 // handle processes one request message, returning the reply (nil for
@@ -434,6 +473,12 @@ func (s *Server) handle(cn *conn, m *rpc.Message) *rpc.Message {
 
 	case rpc.MsgMapUpdate:
 		return s.handleMapUpdate(m, dl)
+
+	case rpc.MsgJoinCluster:
+		return s.handleJoinCluster(m)
+
+	case rpc.MsgDrain:
+		return s.handleDrain(m)
 	}
 	return rpc.ErrReply(m.Seq, errors.New("unknown request"))
 }
@@ -444,7 +489,7 @@ func (s *Server) handle(cn *conn, m *rpc.Message) *rpc.Message {
 func errReply(seq uint64, err error) *rpc.Message {
 	var noe *shard.NotOwnerError
 	if errors.As(err, &noe) {
-		return rpc.NotOwnerReply(seq, noe.Version, noe.Bounds)
+		return rpc.NotOwnerReply(seq, noe.Epoch, noe.Version, noe.Bounds, noe.Peers)
 	}
 	return rpc.ErrReply(seq, err)
 }
@@ -476,7 +521,10 @@ func (s *Server) quiesce(dl time.Time) error {
 		}
 	}
 	s.mmu.Lock()
-	peers := append([]*client.Client(nil), s.peers...)
+	var peers []*client.Client
+	if s.mesh != nil {
+		peers = s.mesh.allConns()
+	}
 	s.mmu.Unlock()
 	ctx := context.Background()
 	if !dl.IsZero() {
@@ -668,22 +716,114 @@ func (cn *conn) close() {
 // servers over peer connections, subscribing for future updates (§2.4,
 // §3.3). Pieces whose owner is this server itself (a symmetric mesh,
 // where every member is home for part of each table) are skipped: their
-// data arrives as direct writes, is already in the local store, and a
-// network self-fetch would recurse into this same loader.
+// data arrives as direct writes, is replicated across the pool's
+// internal shards, and a network self-fetch would recurse into this
+// same loader.
 //
-// Ownership is read through the mesh's shared view, so a load started
-// after a live migration routes to the range's new home. A fetch that
-// races a migration gets a StatusNotOwner reply carrying the newer map;
-// the loader adopts it and retries against the new owner, and if pieces
-// still cannot be fetched the load *fails* (shard.LoadFailed) rather
-// than marking an absent range resident — blocked readers retry and
-// re-route instead of silently seeing a gap.
+// Connections are keyed by peer *address* and shared across the mesh's
+// generations: ownership is read through the mesh's current view, so a
+// load started after a live migration — or after a membership change
+// shifted owner indexes — routes to the range's current home. A fetch
+// that races a migration gets a StatusNotOwner reply carrying the newer
+// map; the loader adopts it and retries against the new owner, and if
+// pieces still cannot be fetched the load *fails* (shard.LoadFailed)
+// rather than marking an absent range resident — blocked readers retry
+// and re-route instead of silently seeing a gap. Connections to
+// members that left the mesh are closed by the resize that adopts the
+// shrunk view; connections to fresh members dial on demand.
 type remoteLoader struct {
-	sh    *shard.Shard
-	peers []*client.Client // nil at self-owned indexes
-	feeds []*subFeed       // parallel to peers
-	view  *atomic.Pointer[partition.Map]
-	self  map[int]bool
+	sh   *shard.Shard
+	view *atomic.Pointer[meshView]
+
+	mu    sync.Mutex
+	conns map[string]*client.Client // by peer address
+	feeds map[string]*subFeed       // parallel to conns
+}
+
+func newRemoteLoader(sh *shard.Shard, view *atomic.Pointer[meshView]) *remoteLoader {
+	return &remoteLoader{
+		sh: sh, view: view,
+		conns: make(map[string]*client.Client),
+		feeds: make(map[string]*subFeed),
+	}
+}
+
+// conn returns this shard's connection to the peer at addr, dialing on
+// first use (a member that joined after the mesh was wired).
+func (l *remoteLoader) conn(addr string) (*client.Client, *subFeed, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if c, ok := l.conns[addr]; ok {
+		return c, l.feeds[addr], nil
+	}
+	c, err := client.Dial(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	feed := &subFeed{sh: l.sh, addr: addr, view: l.view}
+	c.OnNotify = feed.notify
+	l.conns[addr] = c
+	l.feeds[addr] = feed
+	return c, feed, nil
+}
+
+// retain keeps only the connections to addresses in want, closing the
+// rest (members that drained out of the mesh).
+func (l *remoteLoader) retain(want map[string]bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for addr, c := range l.conns {
+		if !want[addr] {
+			c.Close()
+			delete(l.conns, addr)
+			delete(l.feeds, addr)
+		}
+	}
+}
+
+// connsFor returns the current connections (quiesce fencing, drains).
+func (l *remoteLoader) connSnapshot() []*client.Client {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*client.Client, 0, len(l.conns))
+	for _, c := range l.conns {
+		out = append(out, c)
+	}
+	return out
+}
+
+// connTo returns the connection to addr if one exists (fencing).
+func (l *remoteLoader) connTo(addr string) *client.Client {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.conns[addr]
+}
+
+func (l *remoteLoader) closeAll() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for addr, c := range l.conns {
+		c.Close()
+		delete(l.conns, addr)
+		delete(l.feeds, addr)
+	}
+}
+
+// allConns snapshots every loader's connections. Caller holds mmu.
+func (m *meshState) allConns() []*client.Client {
+	var out []*client.Client
+	for _, l := range m.loaders {
+		out = append(out, l.connSnapshot()...)
+	}
+	return out
+}
+
+// closeAll tears down every loader connection. Caller holds mmu (or
+// owns the mesh exclusively, as Close does).
+func (m *meshState) closeAll() {
+	for _, l := range m.loaders {
+		l.closeAll()
+	}
 }
 
 // subFeed serializes one peer connection's subscription stream against
@@ -698,14 +838,15 @@ type remoteLoader struct {
 // the mutex covers registration from the loader goroutine.
 //
 // The feed also guards against stale deliveries from a peer that lost a
-// range to a live migration: pushes and snapshots are discarded when the
-// current map no longer homes their keys at this feed's peer, so an
-// in-flight delivery from the old owner cannot overwrite a newer value
-// written at (and replicated from) the new owner.
+// range to a live migration or a drain: pushes and snapshots are
+// discarded when the current view no longer homes their keys at this
+// feed's peer address, so an in-flight delivery from the old owner
+// cannot overwrite a newer value written at (and replicated from) the
+// new owner.
 type subFeed struct {
 	sh     *shard.Shard
-	owner  int // this feed's peer owner index
-	view   *atomic.Pointer[partition.Map]
+	addr   string // this feed's peer address
+	view   *atomic.Pointer[meshView]
 	mu     sync.Mutex
 	pieces []*feedPiece
 }
@@ -729,15 +870,15 @@ func (fd *subFeed) register(r keys.Range) *feedPiece {
 
 // notify is the connection's OnNotify: changes overlapping an in-flight
 // snapshot are buffered behind it, the rest apply immediately. Changes
-// whose keys the peer no longer owns (migrated away after the push was
-// enqueued) are dropped — the new owner's replication stream is the
-// authority now.
+// whose keys the peer no longer owns (migrated or drained away after
+// the push was enqueued) are dropped — the new owner's replication
+// stream is the authority now.
 func (fd *subFeed) notify(changes []rpc.Change) {
 	out := coreChanges(changes)
 	if v := fd.view.Load(); v != nil {
 		fresh := out[:0]
 		for _, c := range out {
-			if v.Owner(c.Key) == fd.owner {
+			if v.ownerAddr(c.Key) == fd.addr {
 				fresh = append(fresh, c)
 			}
 		}
@@ -795,7 +936,7 @@ func (fd *subFeed) complete(p *feedPiece, kvs []core.KV) {
 	// apply. Buffered pushes were filtered on arrival, but the map may
 	// have moved since they were buffered — re-check them too.
 	v := fd.view.Load()
-	owns := func(key string) bool { return v == nil || v.Owner(key) == fd.owner }
+	owns := func(key string) bool { return v == nil || v.ownerAddr(key) == fd.addr }
 	changes := make([]core.Change, 0, len(kvs)+len(buf))
 	for _, kv := range kvs {
 		if owns(kv.Key) {
@@ -825,57 +966,55 @@ func (s *Server) ConnectPeers(pmap *partition.Map, addrs []string, tables ...str
 // direct writes instead of remote fetches. Calling it again with the
 // same topology extends the loader-backed table set (a join installed at
 // runtime adding source tables) reusing the dialed connections; a
-// different topology is rejected. Wiring is atomic: if any peer dial
-// fails, the connections dialed for this call are closed and the server
-// is left exactly as before, so a retry does not leak or duplicate.
+// different topology is rejected unless the server already holds a
+// newer published cluster map (the caller is stale; the tables still
+// extend). Wiring is atomic: if any peer dial fails, the connections
+// dialed for this call are closed and the server is left exactly as
+// before, so a retry does not leak or duplicate.
 func (s *Server) ConnectMesh(pmap *partition.Map, addrs []string, self []int, tables ...string) error {
 	s.mmu.Lock()
 	defer s.mmu.Unlock()
 	if s.mesh == nil {
 		// If a cluster client already published a versioned view (the
 		// gate), that is the authority: the wire bounds must agree, and
-		// the mesh adopts the gate's map so its version survives.
+		// the mesh adopts the gate's map so its position survives.
 		if g := s.pool.Gate(); g != nil {
 			if err := sameBounds(g.Map.Bounds(), pmap.Bounds()); err != nil {
-				return fmt.Errorf("pequod server: mesh bounds disagree with the published cluster map (v%d): %w",
-					g.Map.Version(), err)
+				return fmt.Errorf("pequod server: mesh bounds disagree with the published cluster map (e%d v%d): %w",
+					g.Map.Epoch(), g.Map.Version(), err)
 			}
 			pmap = g.Map
 		}
-		selfSet := make(map[int]bool, len(self))
-		for _, i := range self {
-			selfSet[i] = true
-		}
-		mesh := &meshState{addrs: append([]string(nil), addrs...), tables: make(map[string]bool)}
-		mesh.view.Store(pmap)
-		var dialed []*client.Client
+		view := &meshView{pmap: pmap, addrs: append([]string(nil), addrs...), self: selfAddrs(addrs, self)}
+		mesh := &meshState{tables: make(map[string]bool)}
+		mesh.view.Store(view)
 		for i := 0; i < s.pool.NumShards(); i++ {
-			sh := s.pool.Shard(i)
-			peers := make([]*client.Client, len(addrs))
-			feeds := make([]*subFeed, len(addrs))
-			for k, a := range addrs {
-				if selfSet[k] {
+			mesh.loaders = append(mesh.loaders, newRemoteLoader(s.pool.Shard(i), &mesh.view))
+		}
+		// Eager dial so a bad member address fails the wiring visibly
+		// (and atomically) instead of surfacing later as load timeouts.
+		for _, l := range mesh.loaders {
+			for _, a := range view.addrs {
+				if view.self[a] {
 					continue // no connection to ourselves
 				}
-				c, err := client.Dial(a)
-				if err != nil {
-					for _, d := range dialed {
-						d.Close()
-					}
+				if _, _, err := l.conn(a); err != nil {
+					mesh.closeAll()
 					return fmt.Errorf("pequod server: mesh peer %s: %w", a, err)
 				}
-				feed := &subFeed{sh: sh, owner: k, view: &mesh.view}
-				c.OnNotify = feed.notify
-				peers[k] = c
-				feeds[k] = feed
-				dialed = append(dialed, c)
 			}
-			mesh.loaders = append(mesh.loaders, &remoteLoader{sh: sh, peers: peers, feeds: feeds, view: &mesh.view, self: selfSet})
 		}
-		s.peers = append(s.peers, dialed...)
 		s.mesh = mesh
 	} else if err := s.mesh.sameTopology(pmap, addrs); err != nil {
-		return err
+		// A stale caller re-wiring with outdated bounds is harmless when
+		// this server already follows a newer published map — the tables
+		// below still extend. A genuinely different topology at the same
+		// generation is rejected: silently keeping the old map would
+		// route remote loads to the wrong owners.
+		v := s.mesh.view.Load()
+		if !v.pmap.NewerThan(pmap.Epoch(), pmap.Version()) {
+			return err
+		}
 	}
 	var fresh []string
 	for _, t := range tables {
@@ -894,18 +1033,18 @@ func (s *Server) ConnectMesh(pmap *partition.Map, addrs []string, self []int, ta
 }
 
 // sameTopology rejects re-wiring under a different partition or member
-// set: silently keeping the old map would route remote loads to the
-// wrong owners and return silently incomplete scans.
+// set.
 func (m *meshState) sameTopology(pmap *partition.Map, addrs []string) error {
-	if err := sameBounds(m.view.Load().Bounds(), pmap.Bounds()); err != nil {
+	v := m.view.Load()
+	if err := sameBounds(v.pmap.Bounds(), pmap.Bounds()); err != nil {
 		return fmt.Errorf("pequod server: already meshed: %w", err)
 	}
-	if len(m.addrs) != len(addrs) {
-		return fmt.Errorf("pequod server: already meshed over %d members, got %d", len(m.addrs), len(addrs))
+	if len(v.addrs) != len(addrs) {
+		return fmt.Errorf("pequod server: already meshed over %d owners, got %d", len(v.addrs), len(addrs))
 	}
-	for i := range m.addrs {
-		if m.addrs[i] != addrs[i] {
-			return fmt.Errorf("pequod server: mesh member %d differs: %q vs %q", i, m.addrs[i], addrs[i])
+	for i := range v.addrs {
+		if v.addrs[i] != addrs[i] {
+			return fmt.Errorf("pequod server: mesh member %d differs: %q vs %q", i, v.addrs[i], addrs[i])
 		}
 	}
 	return nil
@@ -955,14 +1094,21 @@ func (l *remoteLoader) fetch(r keys.Range, attempts int) bool {
 		f    *client.Future
 		r    keys.Range
 	}
+	v := l.view.Load()
 	var waits []wait
-	for _, pc := range l.view.Load().Split(r) {
-		if l.self[pc.Owner] {
+	var failed []keys.Range
+	for _, pc := range v.pmap.Split(r) {
+		addr := v.addrs[pc.Owner]
+		if v.self[addr] {
 			continue // already local; only presence is missing
 		}
-		feed := l.feeds[pc.Owner]
+		c, feed, err := l.conn(addr)
+		if err != nil {
+			failed = append(failed, pc.R)
+			continue
+		}
 		p := feed.register(pc.R)
-		fut := l.peers[pc.Owner].ScanSubAsync(pc.R.Lo, pc.R.Hi, func(m *rpc.Message) {
+		fut := c.ScanSubAsync(pc.R.Lo, pc.R.Hi, func(m *rpc.Message) {
 			if m.Status == rpc.StatusOK {
 				feed.complete(p, m.KVs)
 			} else {
@@ -973,7 +1119,6 @@ func (l *remoteLoader) fetch(r keys.Range, attempts int) bool {
 		})
 		waits = append(waits, wait{p: p, feed: feed, f: fut, r: pc.R})
 	}
-	var failed []keys.Range
 	for _, w := range waits {
 		m, err := w.f.Wait()
 		switch {
@@ -985,7 +1130,7 @@ func (l *remoteLoader) fetch(r keys.Range, attempts int) bool {
 		case m.Status == rpc.StatusNotOwner:
 			// The piece migrated away from its home mid-fetch. Adopt the
 			// newer map the reply carries and refetch from the new owner.
-			l.adopt(m.MapVersion, m.Bounds)
+			l.adopt(m.Epoch, m.MapVersion, m.Bounds, m.Peers)
 			failed = append(failed, w.r)
 		case m.Status != rpc.StatusOK:
 			failed = append(failed, w.r)
@@ -1010,18 +1155,33 @@ func (l *remoteLoader) fetch(r keys.Range, attempts int) bool {
 
 // adopt installs a newer cluster map into the mesh view (no-op when the
 // view is already as new) — freshness learned from a NotOwner reply
-// propagating to every loader and feed sharing the view.
-func (l *remoteLoader) adopt(version int64, bounds []string) {
-	next, err := partition.NewVersioned(version, bounds...)
+// propagating to every loader and feed sharing the view. The reply's
+// peer addresses come along so a membership change the reply describes
+// re-routes loads too; a reply without them (legacy wiring) only
+// adopts when the owner count is unchanged.
+func (l *remoteLoader) adopt(epoch, version int64, bounds, peers []string) {
+	next, err := partition.NewEpochVersioned(epoch, version, bounds...)
 	if err != nil {
 		return
 	}
 	for {
 		cur := l.view.Load()
-		if cur != nil && cur.Version() >= version {
+		if cur != nil && !next.NewerThan(cur.pmap.Epoch(), cur.pmap.Version()) {
 			return
 		}
-		if l.view.CompareAndSwap(cur, next) {
+		addrs := peers
+		if len(addrs) != next.Servers() {
+			if cur == nil || len(cur.addrs) != next.Servers() {
+				return // cannot place owners; wait for a full MapUpdate
+			}
+			addrs = cur.addrs
+		}
+		var self map[string]bool
+		if cur != nil {
+			self = cur.self
+		}
+		nv := &meshView{pmap: next, addrs: append([]string(nil), addrs...), self: self}
+		if l.view.CompareAndSwap(cur, nv) {
 			return
 		}
 	}

@@ -3,21 +3,24 @@ package shard
 // Cluster-level live migration: the pool-side half of moving a key range
 // between *servers* (the in-process half, moving ranges between shards,
 // is rebalance.go). A mesh-wired server installs a Gate — its view of
-// the cluster's versioned partition map plus the owner indexes that are
-// this process — and from then on every routed operation re-validates
-// cluster ownership under the shard lock it already holds, exactly the
-// way pool-internal migration re-validates the shard map. An operation
-// whose range has migrated to another server fails with *NotOwnerError
-// carrying the current map, which travels back to the client as a
-// StatusNotOwner reply; the client adopts the newer map and retries
-// against the new owner. The same lock-ordered swap discipline as
-// MoveBound makes the ownership flip atomic with the data transfer:
+// the cluster's versioned partition map, the member address serving each
+// owner index, and the owner indexes that are this process — and from
+// then on every routed operation re-validates cluster ownership under
+// the shard lock it already holds, exactly the way pool-internal
+// migration re-validates the shard map. An operation whose range has
+// migrated to another server fails with *NotOwnerError carrying the
+// current map, which travels back to the client as a StatusNotOwner
+// reply; the client adopts the newer map and retries against the new
+// owner. The same lock-ordered swap discipline as MoveBound makes the
+// ownership flip atomic with the data transfer:
 //
 //   - ExtractClusterRange (at the source) locks every shard overlapping
 //     the range, swaps the gate to the successor map, settles queued
 //     forwarded writes, and extracts the range's state. A write that
 //     held a shard lock first is captured in the extracted rows; one
 //     that acquires the lock afterwards re-checks the gate and bounces.
+//     The extracted state is also retained in a bounded side buffer
+//     until the transfer is confirmed (see "Retained extractions").
 //   - SpliceClusterRange (at the destination) locks the shards, swaps
 //     the gate, drops its own stale cached copies of the range (it may
 //     have loaded and computed over it as a subscriber), and installs
@@ -28,6 +31,37 @@ package shard
 //     that changed hands, so the next read re-fetches from and
 //     re-subscribes at the new home. The server fences in-flight
 //     subscription pushes from the old owner before calling it.
+//
+// Membership changes ride the same machinery: a successor map may have
+// more owners (a join split one owner's range for a fresh server) or
+// fewer (a drain merged the departing owner's range into a neighbor's),
+// so every swap carries the successor's full identity — map, peer
+// addresses, and the recipient's new self set. Ownership comparisons
+// across generations are by serving *address* (partition.DiffAddrs),
+// which stays meaningful when owner indexes shift.
+//
+// Maps are totally ordered by (epoch, version) — see partition. A
+// transfer must be the direct successor of the map the member holds
+// (version exactly one ahead, epoch not older); anything else is a
+// concurrent coordinator that lost the race, rejected with a version
+// conflict carrying the current map. Adoption (ApplyMapUpdate, splices
+// ahead of the member's version) takes strictly-newer maps only.
+//
+// # Retained extractions
+//
+// Between a successful extract and a successful splice the moved rows
+// exist only in the coordinator's memory — a crashed coordinator or a
+// dead destination would strand them. The source therefore retains a
+// copy of everything it extracts until the transfer is confirmed: a
+// published map (MapUpdate) under which the intended destination serves
+// the range means the splice landed, and the copy is dropped. If a
+// later map instead hands the range *back* to this server without an
+// accompanying splice — the coordinator reverted a failed transfer, or
+// a competing coordinator's older-epoch map lost and the winner never
+// knew about the move — the retained rows are restored (without
+// clobbering anything written since). The buffer is bounded; entries
+// beyond the cap evict oldest-first and are visible in RetainedStats
+// and the stat RPC so operators can see stranded state.
 //
 // Readers never observe a gap or duplicate for the same reason as
 // in-process migration: every key is owned by exactly one server under
@@ -42,13 +76,14 @@ import (
 	"pequod/internal/partition"
 )
 
-// Gate is a pool's view of the cluster partition: the versioned map and
-// the owner indexes this process serves. A Gate is immutable; migration
-// replaces it (under the affected shards' locks) like the pool's own
-// partition map.
+// Gate is a pool's view of the cluster partition: the versioned map,
+// the member address serving each owner index, and the owner indexes
+// this process serves. A Gate is immutable; migration replaces it
+// (under the affected shards' locks) like the pool's own partition map.
 type Gate struct {
-	Map  *partition.Map
-	Self map[int]bool
+	Map   *partition.Map
+	Peers []string // serving address per owner index; may be nil (legacy wiring)
+	Self  map[int]bool
 }
 
 // OwnsKey reports whether this process is key's home under the gate's
@@ -68,22 +103,39 @@ func (g *Gate) OwnsRange(r keys.Range) bool {
 	return true
 }
 
+// addr returns the serving address for owner index i ("" when the gate
+// carries no peer addresses).
+func (g *Gate) addr(i int) string {
+	if i < 0 || i >= len(g.Peers) {
+		return ""
+	}
+	return g.Peers[i]
+}
+
 // notOwner builds the error for an operation outside the gate.
 func (g *Gate) notOwner() *NotOwnerError {
-	return &NotOwnerError{Version: g.Map.Version(), Bounds: g.Map.Bounds()}
+	return &NotOwnerError{
+		Epoch:   g.Map.Epoch(),
+		Version: g.Map.Version(),
+		Bounds:  g.Map.Bounds(),
+		Peers:   append([]string(nil), g.Peers...),
+	}
 }
 
 // NotOwnerError reports that an operation's keys are not homed at this
-// process under the current cluster map (a live migration moved them).
-// It carries that map so the caller — ultimately the cluster client —
-// can re-route and retry instead of failing.
+// process under the current cluster map (a live migration or membership
+// change moved them). It carries that map — position, bounds, and
+// member addresses — so the caller, ultimately the cluster client, can
+// re-route and retry instead of failing.
 type NotOwnerError struct {
+	Epoch   int64
 	Version int64
 	Bounds  []string
+	Peers   []string
 }
 
 func (e *NotOwnerError) Error() string {
-	return fmt.Sprintf("shard: not the owner of the requested range (cluster map v%d)", e.Version)
+	return fmt.Sprintf("shard: not the owner of the requested range (cluster map e%d v%d)", e.Epoch, e.Version)
 }
 
 // Gate returns the pool's current cluster view (nil when the pool is
@@ -142,38 +194,99 @@ func (p *Pool) lockShardsOverlapping(r keys.Range) ([]*Shard, []partition.Shard)
 	return locked, pieces
 }
 
+// lockAllShards locks every shard in index order — the shape-change
+// paths (splice with an ownership jump, map updates) touch ranges that
+// may land anywhere.
+func (p *Pool) lockAllShards() []*Shard {
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+	}
+	return p.shards
+}
+
 func unlockShards(locked []*Shard) {
 	for i := len(locked) - 1; i >= 0; i-- {
 		locked[i].mu.Unlock()
 	}
 }
 
+// directSuccessor reports whether next is the direct successor of the
+// gate's current map: version exactly one ahead and epoch not moving
+// backwards. Transfers (extract, in-order splices) require it — it
+// proves the coordinator derived next from the map this member holds,
+// so a concurrent coordinator working from a stale parent conflicts
+// here instead of silently forking the partition.
+func directSuccessor(cur, next *partition.Map) bool {
+	return next.Version() == cur.Version()+1 && next.Epoch() >= cur.Epoch()
+}
+
+// newGate assembles the successor gate for a swap.
+func newGate(next *partition.Map, peers []string, self map[int]bool) *Gate {
+	return &Gate{Map: next, Peers: append([]string(nil), peers...), Self: self}
+}
+
+// selfSet builds a Gate self map from owner indexes.
+func selfSet(idx []int) map[int]bool {
+	s := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		s[i] = true
+	}
+	return s
+}
+
+// SelfSet is selfSet for callers outside the package (the server's RPC
+// handlers decode owner-index lists off the wire).
+func SelfSet(idx []int) map[int]bool { return selfSet(idx) }
+
 // ExtractClusterRange removes range r's state from this pool so it can
 // move to another server, atomically flipping cluster ownership: next
-// must be the successor map (exactly one version ahead of the gate's).
-// On success the returned state holds the owned rows — including
+// must be the direct successor of the gate's map (version exactly one
+// ahead), with peers and self giving this member's position under it —
+// a membership change (join split, drain merge) reshapes all three. On
+// success the returned state holds the owned rows — including
 // presence-backed rows, whose home this server was — and the warm
-// computed coverage for the destination to rebuild. On a version
-// conflict or if r is not wholly self-owned, *NotOwnerError carries the
-// current map and nothing changes.
-func (p *Pool) ExtractClusterRange(r keys.Range, next *partition.Map) (core.RangeState, error) {
+// computed coverage for the destination to rebuild; a copy is retained
+// until a published map confirms the destination serves the range (see
+// the package comment). On a version conflict or if r is not wholly
+// self-owned, *NotOwnerError carries the current map and nothing
+// changes.
+func (p *Pool) ExtractClusterRange(r keys.Range, next *partition.Map, peers []string, self map[int]bool) (core.RangeState, error) {
 	p.imu.Lock()
 	defer p.imu.Unlock()
 	g := p.gate.Load()
 	if g == nil {
 		return core.RangeState{}, fmt.Errorf("shard: no cluster view installed")
 	}
-	if next.Version() != g.Map.Version()+1 || !g.OwnsRange(r) {
+	if !directSuccessor(g.Map, next) || !g.OwnsRange(r) {
 		return core.RangeState{}, g.notOwner()
 	}
+	ng := newGate(next, peers, self)
 	locked, pieces := p.lockShardsOverlapping(r)
 	defer unlockShards(locked)
 	// Publish first: every operation that acquires one of the locked
 	// shards' locks after us re-validates against this gate and bounces.
-	p.gate.Store(&Gate{Map: next, Self: g.Self})
+	p.gate.Store(ng)
 
+	rs := p.extractLocked(r, pieces, true)
+	// Retain a copy until a published map shows the destination serving
+	// the range: the extracted rows otherwise live only in the
+	// coordinator's memory between extract and splice.
+	p.addRetained(retainedEntry{
+		rs: rs, epoch: next.Epoch(), version: next.Version(),
+		dst: ng.addr(next.Owner(r.Lo)), confirmable: true,
+	})
+	p.reb.migrations++
+	p.reb.keysMoved += int64(len(rs.KVs))
+	return rs, nil
+}
+
+// extractLocked captures and removes r's state from the owning shards
+// and drops sibling replicas. Caller holds imu and the owning shards'
+// locks (pieces is r split by the pool map); lockSiblings says whether
+// the non-owning shards' locks must still be taken (false when the
+// caller already holds every shard lock).
+func (p *Pool) extractLocked(r keys.Range, pieces []partition.Shard, lockSiblings bool) core.RangeState {
 	rs := core.RangeState{R: r}
-	fwdSet := *p.fwd.Load()
 	// Nothing is kept: unlike an in-process bound move, the range is
 	// leaving this server entirely, so even rows of internally
 	// forwarded source tables — whose authoritative copy lives on the
@@ -190,62 +303,65 @@ func (p *Pool) ExtractClusterRange(r keys.Range, next *partition.Map) (core.Rang
 		rs.Warm = append(rs.Warm, one.Warm...)
 		rs.EvictedPresence = append(rs.EvictedPresence, one.EvictedPresence...)
 	}
-	// Sibling shards may hold forwarded replicas of departing source
-	// rows; those are stale the moment the range is homed elsewhere.
-	if len(fwdSet) > 0 {
+	// Sibling shards may hold forwarded (or self-replicated external)
+	// copies of departing source rows; those are stale the moment the
+	// range is homed elsewhere.
+	if len(*p.fwd.Load())+len(*p.extRep.Load()) > 0 {
+		owns := make(map[int]bool, len(pieces))
+		for _, pc := range pieces {
+			owns[pc.Owner] = true
+		}
 		for i, sh := range p.shards {
-			owns := false
-			for _, pc := range pieces {
-				if pc.Owner == i {
-					owns = true
+			if !owns[i] {
+				if lockSiblings {
+					sh.mu.Lock()
 				}
-			}
-			if !owns {
-				sh.mu.Lock()
 				sh.e.DropRange(r)
-				sh.mu.Unlock()
+				if lockSiblings {
+					sh.mu.Unlock()
+				}
 			}
 		}
 	}
-	p.reb.migrations++
-	p.reb.keysMoved += int64(len(rs.KVs))
-	return rs, nil
+	return rs
 }
 
 // SpliceClusterRange folds a range extracted at another server into this
-// pool, atomically flipping cluster ownership to us: next must be the
-// successor map under which we own rs.R. The pool's own cached traces of
-// the range — loaded source rows, computed coverage, presence records
-// from its time as a subscriber — are dropped first (§2.5), then the
-// moved rows land and the source's previously valid computed coverage
-// rebuilds warm.
-func (p *Pool) SpliceClusterRange(rs core.RangeState, next *partition.Map) error {
+// pool, atomically flipping cluster ownership to us: next must be a
+// strictly newer map under which we own rs.R (peers/self position us
+// under it). The pool's own cached traces of the range — loaded source
+// rows, computed coverage, presence records from its time as a
+// subscriber — are dropped first (§2.5), then the moved rows land and
+// the source's previously valid computed coverage rebuilds warm. A
+// splice may jump several versions ahead (a coordinator re-offering a
+// range whose first destination died); ranges that changed hands
+// elsewhere between the member's map and next are reconciled like a map
+// update.
+func (p *Pool) SpliceClusterRange(rs core.RangeState, next *partition.Map, peers []string, self map[int]bool) error {
 	p.imu.Lock()
 	defer p.imu.Unlock()
 	g := p.gate.Load()
 	if g == nil {
 		return fmt.Errorf("shard: no cluster view installed")
 	}
-	if next.Version() <= g.Map.Version() {
+	if !next.NewerThan(g.Map.Epoch(), g.Map.Version()) {
 		// Only a retry of the exact splice already applied is an
-		// idempotent success. A *different* map at the same version is a
+		// idempotent success. A *different* map at the same position is a
 		// concurrent coordinator that lost the race — succeeding here
 		// would silently drop its extracted rows; the conflict error
 		// sends them back up the coordinator's failure path instead.
-		if next.Version() == g.Map.Version() && sameBounds(next, g.Map) {
+		if next.Epoch() == g.Map.Epoch() && next.Version() == g.Map.Version() && sameBounds(next, g.Map) {
 			return nil
 		}
 		return g.notOwner()
 	}
-	if next.Version() != g.Map.Version()+1 {
-		return g.notOwner()
-	}
-	ng := &Gate{Map: next, Self: g.Self}
+	ng := newGate(next, peers, self)
 	if !ng.OwnsRange(rs.R) {
 		return g.notOwner()
 	}
-	locked, pieces := p.lockShardsOverlapping(rs.R)
+	locked := p.lockAllShards()
 	p.gate.Store(ng)
+	pieces := p.pmap.Load().Split(rs.R)
 	for _, pc := range pieces {
 		sh := p.shards[pc.Owner]
 		// Stale queued forwards and subscriber-era cached state for the
@@ -255,15 +371,18 @@ func (p *Pool) SpliceClusterRange(rs core.RangeState, next *partition.Map) error
 		sh.e.SpliceRange(clipState(rs, pc.R))
 		sh.loadCond.Broadcast()
 	}
-	// Arriving rows of internally forwarded source tables must reach
-	// this pool's sibling shards too (every shard computes joins from
-	// its own replica of the sources). Enqueued while the owning shards
-	// are still locked, so later owner writes forward in order behind
-	// this backfill.
-	if fwdSet := *p.fwd.Load(); len(fwdSet) > 0 {
+	// Arriving rows of internally forwarded source tables — and of
+	// external tables this member now self-owns — must reach this pool's
+	// sibling shards too (every shard computes joins from its own
+	// replica of the sources). Enqueued while the owning shards are
+	// still locked, so later owner writes forward in order behind this
+	// backfill.
+	fwdSet, extSet := *p.fwd.Load(), *p.extRep.Load()
+	if len(fwdSet)+len(extSet) > 0 {
 		m := p.pmap.Load()
 		for _, kv := range rs.KVs {
-			if !fwdSet[keys.Table(kv.Key)] {
+			t := keys.Table(kv.Key)
+			if !fwdSet[t] && !extSet[t] {
 				continue
 			}
 			owner := m.Owner(kv.Key)
@@ -275,7 +394,17 @@ func (p *Pool) SpliceClusterRange(rs core.RangeState, next *partition.Map) error
 			}
 		}
 	}
+	// A splice that jumped versions (a re-offer) may also move ranges
+	// between other members; reconcile them exactly as a map update
+	// would, excluding the spliced range itself.
+	if !directSuccessor(g.Map, next) {
+		p.applyDiffsLocked(g, ng, &rs.R)
+	}
 	unlockShards(locked)
+	// The spliced data is authoritative for rs.R: retained copies of it
+	// are obsolete, and the new map may confirm (or return) others.
+	p.dropRetainedOverlapping(rs.R)
+	p.reconcileRetained(ng)
 	p.reb.migrations++
 	p.reb.warmMoved += int64(len(rs.Warm))
 	return nil
@@ -312,44 +441,226 @@ func clipState(rs core.RangeState, r keys.Range) core.RangeState {
 }
 
 // ApplyMapUpdate adopts a newer cluster map published after a migration
-// between two other servers, dropping (with eviction semantics) the
-// cached state for every changed range this process neither lost through
-// an extraction nor gained through a splice. It reports the ranges
-// dropped. The server fences in-flight subscription pushes from the old
-// owners before calling. A first call (no gate yet) just installs the
-// view.
-func (p *Pool) ApplyMapUpdate(next *partition.Map, self map[int]bool) []keys.Range {
+// or membership change, reconciling every range whose serving address
+// changed: ranges this process neither lost through an extraction nor
+// gained through a splice are dropped (with eviction semantics) so the
+// next read re-fetches from — and re-subscribes at — the new home;
+// ranges it lost *without* an extraction (a competing coordinator's
+// newer map overruled a local move) are demoted into the retained
+// buffer rather than destroyed; ranges handed back to it without a
+// splice are restored from that buffer. It reports the ranges dropped
+// or demoted. The server fences in-flight subscription pushes from the
+// old owners before calling. A first call (no gate yet) just installs
+// the view; republishing the map already held confirms retained
+// extractions (the coordinator only publishes after the splice landed).
+func (p *Pool) ApplyMapUpdate(next *partition.Map, peers []string, self map[int]bool) []keys.Range {
 	p.imu.Lock()
 	defer p.imu.Unlock()
 	g := p.gate.Load()
 	if g == nil {
-		p.gate.Store(&Gate{Map: next, Self: self})
+		p.gate.Store(newGate(next, peers, self))
 		return nil
 	}
-	if next.Version() <= g.Map.Version() {
-		return nil
-	}
-	var dropped []keys.Range
-	for _, d := range partition.Diff(g.Map, next) {
-		// Ranges we own under either map were handled by extract/splice
-		// (or never left this process); everything else changed hands
-		// between two other servers and our cached copy is now a stale
-		// replica of data homed elsewhere.
-		if g.Self[g.Map.Owner(d.Lo)] || g.Self[next.Owner(d.Lo)] {
-			continue
+	ng := newGate(next, peers, self)
+	if !next.NewerThan(g.Map.Epoch(), g.Map.Version()) {
+		if next.Epoch() == g.Map.Epoch() && next.Version() == g.Map.Version() && sameBounds(next, g.Map) {
+			// The coordinator republished the map we already hold: its
+			// splice landed, so retained copies it confirms can go.
+			p.reconcileRetained(g)
 		}
-		dropped = append(dropped, d)
+		return nil
 	}
-	p.gate.Store(&Gate{Map: next, Self: g.Self})
-	for _, d := range dropped {
-		for _, sh := range p.shards {
+	locked := p.lockAllShards()
+	p.gate.Store(ng)
+	changed := p.applyDiffsLocked(g, ng, nil)
+	unlockShards(locked)
+	p.reconcileRetained(ng)
+	return changed
+}
+
+// applyDiffsLocked reconciles cached state with a newer gate: for every
+// range whose serving address changed between old and ng (excluding
+// exclude when non-nil — the caller handled that range with real
+// data), the range is demoted to the retained buffer if this process
+// owned it under old, restored from the buffer if it owns it under ng
+// (reconcileRetained finishes that after the locks drop), or dropped as
+// a stale replica otherwise. Caller holds imu and every shard lock.
+// Reports the ranges that changed hands locally (demoted or dropped).
+func (p *Pool) applyDiffsLocked(old, ng *Gate, exclude *keys.Range) []keys.Range {
+	oldAddrs, newAddrs := gateAddrs(old), gateAddrs(ng)
+	var changed []keys.Range
+	for _, d := range partition.DiffAddrs(old.Map, oldAddrs, ng.Map, newAddrs) {
+		if exclude != nil {
+			if rr := d.Intersect(*exclude); !rr.Empty() && rr == d {
+				continue // wholly the spliced range; caller handled it
+			}
+		}
+		ownedOld := old.Self[old.Map.Owner(d.Lo)]
+		ownedNew := ng.Self[ng.Map.Owner(d.Lo)]
+		switch {
+		case ownedOld && !ownedNew:
+			// Lost without an extraction: a newer map overruled a local
+			// move. Keep the rows recoverable instead of destroying the
+			// only copy.
+			pieces := p.pmap.Load().Split(d)
+			rs := p.extractLocked(d, pieces, false)
+			if len(rs.KVs) > 0 || len(rs.Warm) > 0 {
+				p.addRetained(retainedEntry{
+					rs: rs, epoch: ng.Map.Epoch(), version: ng.Map.Version(),
+					dst: ng.addr(ng.Map.Owner(d.Lo)),
+				})
+			}
+			changed = append(changed, d)
+		case ownedNew && !ownedOld:
+			// Handed to us without a splice; reconcileRetained restores
+			// any retained copy. Nothing to drop — we held at most a
+			// subscriber replica, which is now authoritative-in-waiting
+			// and will be reconciled against the restored rows.
+		case !ownedOld && !ownedNew:
+			// Changed hands between two other servers: our cached copy is
+			// a stale replica of data homed elsewhere.
+			for _, sh := range p.shards {
+				sh.e.DropRange(d)
+				sh.loadCond.Broadcast()
+			}
+			changed = append(changed, d)
+		}
+	}
+	return changed
+}
+
+// gateAddrs returns the gate's serving address per owner index, synthesizing
+// positional placeholders when the gate was wired without addresses
+// (legacy ConnectMesh paths) so DiffAddrs still compares identities.
+func gateAddrs(g *Gate) []string {
+	n := g.Map.Servers()
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		if i < len(g.Peers) && g.Peers[i] != "" {
+			out[i] = g.Peers[i]
+		} else {
+			out[i] = fmt.Sprintf("\x00owner-%d", i)
+		}
+	}
+	return out
+}
+
+// --- retained extractions ---
+
+// retainedCap bounds the retained-extraction buffer; beyond it the
+// oldest entry evicts (and is counted, so operators can see loss).
+const retainedCap = 16
+
+// retainedEntry is one extraction awaiting confirmation.
+type retainedEntry struct {
+	rs          core.RangeState
+	epoch       int64 // position of the map that moved the range out
+	version     int64
+	dst         string // serving address the range moved to ("" unknown)
+	confirmable bool   // true when a coordinator drove this extraction
+}
+
+// RetainedStats snapshots the retained-extraction buffer for stats and
+// operator triage.
+type RetainedStats struct {
+	Entries int `json:"entries"` // extractions awaiting confirmation
+	Rows    int `json:"rows"`    // rows held across them
+	Evicted int `json:"evicted"` // entries dropped at capacity (potential loss)
+}
+
+// RetainedStats returns the current retained-buffer occupancy.
+func (p *Pool) RetainedStats() RetainedStats {
+	p.retmu.Lock()
+	defer p.retmu.Unlock()
+	st := RetainedStats{Entries: len(p.retained), Evicted: p.retainedEvicted}
+	for _, e := range p.retained {
+		st.Rows += len(e.rs.KVs)
+	}
+	return st
+}
+
+// addRetained appends an entry, evicting oldest-first at capacity.
+// Callers hold imu.
+func (p *Pool) addRetained(e retainedEntry) {
+	p.retmu.Lock()
+	defer p.retmu.Unlock()
+	if len(p.retained) >= retainedCap {
+		p.retained = p.retained[1:]
+		p.retainedEvicted++
+	}
+	p.retained = append(p.retained, e)
+}
+
+// dropRetainedOverlapping discards retained entries overlapping r — a
+// splice delivered authoritative data for the range, so the older copy
+// must not resurface. Callers hold imu.
+func (p *Pool) dropRetainedOverlapping(r keys.Range) {
+	p.retmu.Lock()
+	defer p.retmu.Unlock()
+	kept := p.retained[:0]
+	for _, e := range p.retained {
+		if e.rs.R.Intersect(r).Empty() {
+			kept = append(kept, e)
+		}
+	}
+	p.retained = kept
+}
+
+// reconcileRetained applies the adopted gate ng to the retained buffer:
+// entries whose range ng hands back to this process are restored into
+// the owning shards (without clobbering fresher rows) and dropped;
+// confirmable entries whose intended destination serves the range under
+// a map at or beyond theirs are confirmed and dropped; everything else
+// waits. Callers hold imu (so the pool map is stable) but not shard
+// locks.
+func (p *Pool) reconcileRetained(ng *Gate) {
+	p.retmu.Lock()
+	var restore []retainedEntry
+	kept := p.retained[:0]
+	for _, e := range p.retained {
+		owner := ng.Map.Owner(e.rs.R.Lo)
+		switch {
+		case ng.Self[owner] && ng.OwnsRange(e.rs.R):
+			restore = append(restore, e)
+		case e.confirmable && e.dst != "" && ng.addr(owner) == e.dst &&
+			partition.Compare(ng.Map.Epoch(), ng.Map.Version(), e.epoch, e.version) >= 0:
+			// The destination serves the range under a published map at or
+			// past the transfer: the splice landed.
+		default:
+			kept = append(kept, e)
+		}
+	}
+	p.retained = kept
+	p.retmu.Unlock()
+	for _, e := range restore {
+		for _, pc := range p.pmap.Load().Split(e.rs.R) {
+			sh := p.shards[pc.Owner]
 			sh.mu.Lock()
-			sh.e.DropRange(d)
+			sh.e.RestoreRange(clipState(e.rs, pc.R))
 			sh.loadCond.Broadcast()
 			sh.mu.Unlock()
 		}
+		// Restored source rows reach sibling shards through the same
+		// replication path as a splice.
+		fwdSet, extSet := *p.fwd.Load(), *p.extRep.Load()
+		if len(fwdSet)+len(extSet) == 0 {
+			continue
+		}
+		m := p.pmap.Load()
+		for _, kv := range e.rs.KVs {
+			t := keys.Table(kv.Key)
+			if !fwdSet[t] && !extSet[t] {
+				continue
+			}
+			owner := m.Owner(kv.Key)
+			c := core.Change{Op: core.OpPut, Key: kv.Key, Value: kv.Value}
+			for j, sh := range p.shards {
+				if j != owner {
+					sh.enqueue(c)
+				}
+			}
+		}
 	}
-	return dropped
 }
 
 // LoadInfo snapshots the pool's cumulative served load and recent key

@@ -11,6 +11,7 @@ import (
 	"pequod/internal/join"
 	"pequod/internal/keys"
 	"pequod/internal/partition"
+	"pequod/internal/store"
 )
 
 // ErrDeadline is returned by the deadline-taking operations when the
@@ -83,6 +84,15 @@ type Pool struct {
 	// copy-on-write so the change hook reads it without extra locking.
 	fwd atomic.Pointer[map[string]bool]
 
+	// extRep mirrors ext copy-on-write for the change hook: external
+	// (loader-backed) tables whose *self-owned* rows must still
+	// replicate to sibling shards on a gated multi-shard member —
+	// remote-owned rows of those tables arrive per shard through each
+	// shard's own subscription, but self-owned rows arrive as direct
+	// writes to one shard and would otherwise never reach the siblings
+	// whose joins read them.
+	extRep atomic.Pointer[map[string]bool]
+
 	// imu serializes install/loader bookkeeping (join set, fwd/ext
 	// recomputation, backfill) and live migrations (rebalance.go), so
 	// the forwarded-table set and partition map are stable across each.
@@ -90,6 +100,14 @@ type Pool struct {
 	installed []*join.Join
 	texts     []string        // install texts, replayed to dry-run new ones
 	ext       map[string]bool // externally loader-backed tables
+
+	// retained is the bounded buffer of extracted-but-unconfirmed range
+	// states (clustergate.go); retmu guards it. Lock order: shard locks
+	// may be held when taking retmu (extraction and demotion append
+	// under them) — never acquire a shard lock while holding retmu.
+	retmu           sync.Mutex
+	retained        []retainedEntry
+	retainedEvicted int
 
 	wg sync.WaitGroup
 }
@@ -177,6 +195,7 @@ func New(cfg Config) (*Pool, error) {
 	p.pmap.Store(pmap)
 	empty := map[string]bool{}
 	p.fwd.Store(&empty)
+	p.extRep.Store(&empty)
 	for i := 0; i < n; i++ {
 		sh := &Shard{p: p, idx: i, e: core.New(opts)}
 		sh.loadCond = sync.NewCond(&sh.mu)
@@ -242,10 +261,24 @@ func (p *Pool) onChange(i int, c core.Change) {
 	}
 	// Evictions drop this shard's cached copy, not the data's validity;
 	// siblings keep their replicas (§2.5).
-	if c.Op != core.OpEvict && len(p.shards) > 1 && (*p.fwd.Load())[keys.Table(c.Key)] {
-		for j, sh := range p.shards {
-			if j != i {
-				sh.enqueue(c)
+	if c.Op != core.OpEvict && len(p.shards) > 1 {
+		t := keys.Table(c.Key)
+		rep := (*p.fwd.Load())[t]
+		if !rep && (*p.extRep.Load())[t] {
+			// External tables are loaded and subscribed per shard, so
+			// remote-owned rows need no forwarding — but rows this member
+			// is itself the cluster home for arrive as direct writes to
+			// one shard and must replicate to siblings whose joins read
+			// them (no peer pushes them to us).
+			if g := p.gate.Load(); g != nil && g.OwnsKey(c.Key) {
+				rep = true
+			}
+		}
+		if rep {
+			for j, sh := range p.shards {
+				if j != i {
+					sh.enqueue(c)
+				}
 			}
 		}
 	}
@@ -735,17 +768,81 @@ func (p *Pool) InstallText(text string) error {
 	return nil
 }
 
+// InstalledText returns the pool's installed join texts concatenated in
+// install order, newline-separated — the form a JoinCluster RPC ships
+// to a joining member, so a drained member re-joining the cluster can
+// be recognized as already holding (a prefix of) the join set instead
+// of failing on a duplicate install.
+func (p *Pool) InstalledText() string {
+	p.imu.Lock()
+	defer p.imu.Unlock()
+	out := ""
+	for i, t := range p.texts {
+		if i > 0 {
+			out += "\n"
+		}
+		out += t
+	}
+	return out
+}
+
 // SetExternalTables marks tables as backed by an external loader (a
 // database or remote home server): each shard loads and subscribes to
-// those ranges itself, so the pool stops replicating them. Call under
-// the same setup phase as Shard.SetLoader.
+// those ranges itself, so the pool stops replicating them — except for
+// rows this member is itself the cluster home for (a symmetric mesh),
+// which no peer will ever push to us: those keep replicating to sibling
+// shards (onChange's extRep path), and the current self-owned contents
+// are backfilled here so joins computed on a sibling shard see them.
+// Call under the same setup phase as Shard.SetLoader.
 func (p *Pool) SetExternalTables(tables ...string) {
 	p.imu.Lock()
 	defer p.imu.Unlock()
+	var fresh []string
 	for _, t := range tables {
-		p.ext[t] = true
+		if !p.ext[t] {
+			p.ext[t] = true
+			fresh = append(fresh, t)
+		}
 	}
+	extRep := make(map[string]bool, len(p.ext))
+	for t := range p.ext {
+		extRep[t] = true
+	}
+	p.extRep.Store(&extRep)
 	p.refreshForwardingLocked()
+	if g := p.gate.Load(); g != nil && len(p.shards) > 1 {
+		for _, t := range fresh {
+			p.backfillSelfOwned(t, g)
+		}
+	}
+}
+
+// backfillSelfOwned replicates the self-owned rows of a newly external
+// table from their owning shards to every sibling — the in-process
+// subscription a multi-shard mesh member needs for source rows it is
+// itself the home of. Caller holds imu.
+func (p *Pool) backfillSelfOwned(table string, g *Gate) {
+	m := p.pmap.Load()
+	tr := keys.Range{Lo: table + keys.SepString, Hi: keys.PrefixEnd(table + keys.SepString)}
+	for _, pc := range m.Split(tr) {
+		sh := p.shards[pc.Owner]
+		sh.mu.Lock()
+		// Raw store walk: a demand scan would try to load the (external)
+		// table remotely; the backfill wants only rows already here.
+		sh.e.Store().Scan(pc.R.Lo, pc.R.Hi, func(k string, v *store.Value) bool {
+			if m.Owner(k) != pc.Owner || !g.OwnsKey(k) {
+				return true
+			}
+			c := core.Change{Op: core.OpPut, Key: k, Value: v.String()}
+			for j, dst := range p.shards {
+				if j != pc.Owner {
+					dst.enqueue(c)
+				}
+			}
+			return true
+		})
+		sh.mu.Unlock()
+	}
 }
 
 // refreshForwardingLocked recomputes the forwarded-table set — base

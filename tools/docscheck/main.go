@@ -1,44 +1,77 @@
 // Command docscheck is the CI docs gate: it fails on broken relative
-// links in the given markdown files and on Go code snippets that do not
-// parse.
+// links in the given markdown files, on Go code snippets that do not
+// parse, and — when -cli points at the pequod-cli source — on
+// pequod-cli subcommands named in the docs that the CLI's usage text
+// does not actually offer.
 //
 // Usage:
 //
-//	go run ./tools/docscheck README.md DESIGN.md ROADMAP.md
+//	go run ./tools/docscheck [-cli cmd/pequod-cli/main.go] README.md DESIGN.md docs
+//
+// A directory argument expands to every .md file under it, so new
+// documents under docs/ are linted without touching CI.
 //
 // Links: every inline markdown link [text](target) whose target is not
 // an absolute URL or a pure #anchor must resolve to an existing file
 // (or directory) relative to the document. Go snippets: every fenced
 // ```go block must parse — as a file, as declarations, or as statements
 // — so documentation examples cannot rot silently when the API moves.
+// CLI commands: every `pequod-cli <subcommand>` invocation in a checked
+// document (prose or shell block) must name a subcommand present in the
+// usageText constant of the CLI source, so runbooks cannot drift from
+// the tool they describe.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
+	"strconv"
 	"strings"
 )
 
-var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+var (
+	linkRE   = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	cmdShape = regexp.MustCompile(`^[a-z][a-z-]*$`)
+)
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: docscheck FILE.md ...")
+	cliSrc := flag.String("cli", "", "path to the pequod-cli source; its usageText subcommands validate `pequod-cli ...` mentions in the docs")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: docscheck [-cli cmd/pequod-cli/main.go] FILE.md|DIR ...")
 		os.Exit(2)
 	}
+	var cliCmds map[string]bool
+	if *cliSrc != "" {
+		var err error
+		cliCmds, err = usageCommands(*cliSrc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	paths, err := expand(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(1)
+	}
 	failed := false
-	for _, path := range os.Args[1:] {
+	for _, path := range paths {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
 			failed = true
 			continue
 		}
-		for _, problem := range check(path, string(data)) {
+		for _, problem := range check(path, string(data), cliCmds) {
 			fmt.Fprintf(os.Stderr, "docscheck: %s\n", problem)
 			failed = true
 		}
@@ -46,11 +79,41 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Println("docscheck: ok")
+	fmt.Printf("docscheck: ok (%d files)\n", len(paths))
+}
+
+// expand resolves arguments: files stay as-is, directories become every
+// .md file under them (sorted, for stable output).
+func expand(args []string) ([]string, error) {
+	var out []string
+	for _, a := range args {
+		info, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			out = append(out, a)
+			continue
+		}
+		err = filepath.WalkDir(a, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".md") {
+				out = append(out, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
 }
 
 // check returns every problem found in one document.
-func check(path, doc string) []string {
+func check(path, doc string, cliCmds map[string]bool) []string {
 	var problems []string
 	dir := filepath.Dir(path)
 	for _, m := range linkRE.FindAllStringSubmatch(stripCodeBlocks(doc), -1) {
@@ -71,6 +134,13 @@ func check(path, doc string) []string {
 	for i, snippet := range goSnippets(doc) {
 		if err := parseGo(snippet); err != nil {
 			problems = append(problems, fmt.Sprintf("%s: go snippet %d does not parse: %v", path, i+1, err))
+		}
+	}
+	if cliCmds != nil {
+		for _, cmd := range cliMentions(doc) {
+			if !cliCmds[cmd] {
+				problems = append(problems, fmt.Sprintf("%s: pequod-cli subcommand %q is not in the CLI's usage text", path, cmd))
+			}
 		}
 	}
 	return problems
@@ -122,4 +192,104 @@ func parseGo(src string) error {
 	}
 	_, err := parser.ParseFile(fset, "snippet.go", "package snippet\nfunc _() {\n"+src+"\n}", 0)
 	return err
+}
+
+// usageCommands parses the CLI source and collects the subcommand names
+// its usageText constant offers: lines of the form "  name ..." in the
+// command sections (everything before the "flags:" footer).
+func usageCommands(path string) (map[string]bool, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	var usage string
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if name.Name != "usageText" || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				if usage, err = strconv.Unquote(lit.Value); err != nil {
+					return nil, fmt.Errorf("unquoting usageText in %s: %w", path, err)
+				}
+			}
+		}
+	}
+	if usage == "" {
+		return nil, fmt.Errorf("%s: no usageText constant found", path)
+	}
+	cmds := make(map[string]bool)
+	cmdLine := regexp.MustCompile(`^  ([a-z][a-z-]*)\s`)
+	for _, line := range strings.Split(usage, "\n") {
+		if strings.TrimSpace(line) == "flags:" {
+			break
+		}
+		if m := cmdLine.FindStringSubmatch(line); m != nil {
+			cmds[m[1]] = true
+		}
+	}
+	if len(cmds) == 0 {
+		return nil, fmt.Errorf("%s: usageText lists no commands", path)
+	}
+	return cmds, nil
+}
+
+// cliMentions extracts the subcommand of every `pequod-cli ...`
+// invocation in the document (prose and code blocks alike): tokens
+// after "pequod-cli", skipping flags and their values, until the first
+// command-shaped word. Slash-joined mentions ("move/rebalance") yield
+// each part.
+func cliMentions(doc string) []string {
+	var out []string
+	for _, line := range strings.Split(doc, "\n") {
+		fields := strings.Fields(line)
+		for i, f := range fields {
+			if cleanToken(f) != "pequod-cli" {
+				continue
+			}
+			if trimmed := strings.Trim(f, `"'()[]{},.;:*`); strings.HasPrefix(trimmed, "`") && strings.HasSuffix(trimmed, "`") {
+				continue // a fully wrapped `pequod-cli` is prose, not an invocation
+			}
+			rest := fields[i+1:]
+			for j := 0; j < len(rest); j++ {
+				tok := rest[j]
+				if strings.HasPrefix(tok, "-") {
+					if c := cleanToken(tok); c == "-h" || c == "--help" {
+						break // help form; no subcommand follows
+					}
+					// A flag; ours all take a value. "=" keeps flag and
+					// value in one token.
+					if !strings.Contains(tok, "=") {
+						j++ // skip the flag's value
+					}
+					continue
+				}
+				for _, part := range strings.Split(tok, "/") {
+					if p := cleanToken(part); cmdShape.MatchString(p) {
+						out = append(out, p)
+					}
+				}
+				break
+			}
+		}
+	}
+	return out
+}
+
+// cleanToken strips the punctuation prose wraps around a token.
+func cleanToken(tok string) string {
+	return strings.Trim(tok, "`\"'()[]{},.;:*")
 }

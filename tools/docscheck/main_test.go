@@ -1,0 +1,140 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cliFixture is a minimal pequod-cli source carrying the usageText
+// shape docscheck parses.
+const cliFixture = `package main
+
+const usageText = ` + "`" + `usage:
+  pequod-cli [-addr host:port] command args...
+
+commands (both modes):
+  get KEY                  print the value under KEY
+  put KEY VALUE            store VALUE under KEY
+
+commands (cluster mode only):
+  move IDX BOUND           live-migrate bound IDX to BOUND
+  add ADDR [OWNER BOUND]   join the server at ADDR live
+  drain ADDR               drain the member at ADDR live
+
+flags:
+` + "`" + `
+`
+
+// TestRedToGreen is the gate's own gate: a document with a broken
+// link, a rotten snippet, and a stale CLI subcommand fails with one
+// problem each (red); fixing the document clears every problem
+// (green). This is what CI relies on to keep README/DESIGN/docs
+// honest.
+func TestRedToGreen(t *testing.T) {
+	dir := t.TempDir()
+	cliPath := filepath.Join(dir, "cli.go")
+	if err := os.WriteFile(cliPath, []byte(cliFixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmds, err := usageCommands(cliPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"get", "put", "move", "add", "drain"} {
+		if !cmds[want] {
+			t.Fatalf("usageCommands missed %q: %v", want, cmds)
+		}
+	}
+	if cmds["flags"] || cmds["usage"] {
+		t.Fatalf("usageCommands picked up non-commands: %v", cmds)
+	}
+
+	red := `# Ops
+
+See [the design](MISSING.md) for background.
+
+` + "```go" + `
+func broken( {
+` + "```" + `
+
+Run ` + "`pequod-cli -addrs a:1,a:2 -bounds 'm' frobnicate 1`" + ` to proceed.
+`
+	redPath := filepath.Join(dir, "ops.md")
+	if err := os.WriteFile(redPath, []byte(red), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems := check(redPath, red, cmds)
+	if len(problems) != 3 {
+		t.Fatalf("red fixture: got %d problems, want 3: %v", len(problems), problems)
+	}
+	for i, wantSub := range []string{"broken relative link", "does not parse", `subcommand "frobnicate"`} {
+		if !strings.Contains(problems[i], wantSub) {
+			t.Fatalf("problem %d = %q, want it to mention %q", i, problems[i], wantSub)
+		}
+	}
+
+	green := strings.ReplaceAll(red, "MISSING.md", "design.md")
+	green = strings.ReplaceAll(green, "func broken( {", "func fixed() {}")
+	green = strings.ReplaceAll(green, "frobnicate 1", "move 1 't|m'")
+	if err := os.WriteFile(filepath.Join(dir, "design.md"), []byte("# design\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if problems := check(redPath, green, cmds); len(problems) != 0 {
+		t.Fatalf("green fixture still fails: %v", problems)
+	}
+}
+
+// TestExpandDirectories: a directory argument lints every .md beneath
+// it, so new runbooks are covered without CI edits.
+func TestExpandDirectories(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "docs", "deep")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{
+		filepath.Join(dir, "README.md"),
+		filepath.Join(dir, "docs", "OPERATIONS.md"),
+		filepath.Join(sub, "more.md"),
+		filepath.Join(dir, "docs", "not-markdown.txt"),
+	} {
+		if err := os.WriteFile(p, []byte("# x\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := expand([]string{filepath.Join(dir, "README.md"), filepath.Join(dir, "docs")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("expand = %v, want README + 2 docs", got)
+	}
+	for _, p := range got {
+		if strings.HasSuffix(p, ".txt") {
+			t.Fatalf("expand picked up a non-markdown file: %v", got)
+		}
+	}
+}
+
+// TestCLIMentionParsing: flags (with and without values) are skipped,
+// prose punctuation is stripped, and slash-joined mentions check each
+// part.
+func TestCLIMentionParsing(t *testing.T) {
+	doc := "Use `pequod-cli -addrs a:1,a:2 -bounds 'm' move 1 't|m'`,\n" +
+		"then (`pequod-cli drain a:2`). The `pequod-cli move`/`rebalance`\n" +
+		"pair also appears as pequod-cli -timeout=5s add host:1.\n" +
+		"A bare pequod-cli -h prints usage.\n" +
+		"Drive `pequod-cli` in cluster mode for these.\n"
+	got := cliMentions(doc)
+	want := []string{"move", "drain", "move", "rebalance", "add"}
+	if len(got) != len(want) {
+		t.Fatalf("cliMentions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cliMentions[%d] = %q, want %q (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
