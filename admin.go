@@ -1,0 +1,73 @@
+package pequod
+
+import (
+	"context"
+
+	"pequod/internal/cluster"
+)
+
+// Admin is the cluster-operations surface, split from Store: Store is
+// what applications read and write through; Admin is what operators
+// (and pequod-cli) reshape the cluster through. The value returned by
+// NewCluster satisfies both:
+//
+//	st, _ := pequod.NewCluster(ctx, cfg)
+//	var adm pequod.Admin = st
+//
+// (Since NewCluster returns the concrete *Cluster, the methods are also
+// directly callable; the interface exists so tools depend on the
+// operational contract, not the concrete type.)
+//
+// Errors: AddServer and DrainServer wrap ErrMemberDown when a transfer
+// participant is unreachable past the retry budget, DrainServer refuses
+// the last member with ErrDraining, MoveBound reports a concurrent
+// coordinator winning the epoch race as ErrConflict, and Repair with no
+// surviving member fails with ErrMemberDown — all matchable with
+// errors.Is.
+type Admin interface {
+	// Health probes every member concurrently and reports liveness,
+	// durable identity, owned ranges, and replica footprint per member.
+	// It never fails as a whole; an unreachable member is a row with
+	// Alive=false.
+	Health(ctx context.Context) []MemberHealth
+	// Members returns the number of distinct servers in the cluster.
+	Members() int
+	// MemberAddrs returns the distinct member addresses under the
+	// current map, in first-appearance order.
+	MemberAddrs() []string
+	// AddServer splices the server at addr into the cluster live,
+	// wiring it into the subscription mesh and granting it an initial
+	// key-range slice.
+	AddServer(ctx context.Context, addr string) error
+	// AddServerAt is AddServer with an explicit initial grant: donor
+	// owner index owner's range splits at bound, the new member taking
+	// the upper slice.
+	AddServerAt(ctx context.Context, addr string, owner int, bound string) error
+	// DrainServer streams every range the member at addr owns to its
+	// neighbors and removes it from the map, live and loss-free.
+	DrainServer(ctx context.Context, addr string) error
+	// Repair probes the membership and publishes a successor map that
+	// reassigns every unreachable member's ranges to surviving replica
+	// holders, promoting their warm copies. It returns the repaired
+	// addresses (none when all members are healthy). With
+	// ClusterConfig.FailoverInterval set, the failure detector calls it
+	// automatically.
+	Repair(ctx context.Context) ([]string, error)
+	// MoveBound migrates the key range implied by moving partition
+	// bound i between the members on either side of it, live.
+	MoveBound(ctx context.Context, i int, bound string) error
+	// RebalancerStats snapshots the cluster rebalancer's activity and
+	// the live map.
+	RebalancerStats() ClusterRebalancerStats
+}
+
+// MemberHealth is one member's row in an Admin.Health report.
+type MemberHealth = cluster.MemberHealth
+
+// ClusterRebalancerStats snapshots the cluster rebalancer's activity;
+// see Admin.RebalancerStats. (RebalanceStats, without the "r", is the
+// embedded Cache's shard-level equivalent.)
+type ClusterRebalancerStats = cluster.RebalancerStats
+
+// NewCluster's result is both a Store and an Admin.
+var _ Admin = (*Cluster)(nil)

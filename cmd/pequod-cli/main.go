@@ -36,7 +36,7 @@
 //	                         cluster map) — cluster members each have
 //	                         their own; point -addr at one to inspect it
 //
-// Commands (cluster mode only):
+// Commands (cluster mode only — the pequod.Admin surface):
 //
 //	move IDX BOUND           live-migrate: move partition bound IDX to
 //	                         BOUND, transferring the implied key range
@@ -53,9 +53,17 @@
 //	                         owns to its neighbors, remove it from the
 //	                         map, and tear down its mesh wiring — then
 //	                         it is safe to stop the process
+//	health                   probe every member and print one line each:
+//	                         liveness, durable ID, owned ranges, and
+//	                         replicas held
+//	repair                   reassign every unreachable member's ranges
+//	                         to surviving replica holders and publish
+//	                         the repaired map (what the automatic
+//	                         failure detector runs on a confirmed death)
 //
-// See docs/OPERATIONS.md for the full add/drain runbooks (including
-// what the failure modes look like and how to read the stat output).
+// See docs/OPERATIONS.md for the full add/drain/repair runbooks
+// (including what the failure modes look like and how to read the stat
+// output).
 package main
 
 import (
@@ -96,6 +104,8 @@ commands (cluster mode only):
   rebalance [DUR]          auto-migrate hot ranges for DUR (default 30s)
   add ADDR [OWNER BOUND]   join the server at ADDR live (see docs/OPERATIONS.md)
   drain ADDR               drain the member at ADDR live, then remove it
+  health                   probe every member: liveness, ID, ranges, replicas
+  repair                   promote replicas over unreachable members (failover)
 
 flags:
 `
@@ -226,7 +236,7 @@ func run(ctx context.Context, c pequod.Store, args []string) error {
 		}
 		fmt.Println(raw)
 	case "move":
-		cl, ok := c.(*pequod.Cluster)
+		adm, ok := c.(pequod.Admin)
 		if !ok {
 			return fmt.Errorf("move needs cluster mode (-addrs with -bounds)")
 		}
@@ -237,19 +247,19 @@ func run(ctx context.Context, c pequod.Store, args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := cl.MoveBound(ctx, idx, args[2]); err != nil {
+		if err := adm.MoveBound(ctx, idx, args[2]); err != nil {
 			return err
 		}
-		m := cl.Map()
-		fmt.Printf("moved bound %d to %q (map v%d: %q)\n", idx, args[2], m.Version(), m.Bounds())
+		st := adm.RebalancerStats()
+		fmt.Printf("moved bound %d to %q (map v%d: %q)\n", idx, args[2], st.Version, st.Bounds)
 	case "add":
-		cl, ok := c.(*pequod.Cluster)
+		adm, ok := c.(pequod.Admin)
 		if !ok {
 			return fmt.Errorf("add needs cluster mode (-addrs with -bounds)")
 		}
 		switch len(args) {
 		case 2:
-			if err := cl.AddServer(ctx, args[1]); err != nil {
+			if err := adm.AddServer(ctx, args[1]); err != nil {
 				return err
 			}
 		case 4:
@@ -257,29 +267,68 @@ func run(ctx context.Context, c pequod.Store, args []string) error {
 			if err != nil {
 				return err
 			}
-			if err := cl.AddServerAt(ctx, args[1], owner, args[3]); err != nil {
+			if err := adm.AddServerAt(ctx, args[1], owner, args[3]); err != nil {
 				return err
 			}
 		default:
 			return fmt.Errorf("add ADDR [OWNER BOUND]")
 		}
-		m := cl.Map()
+		st := adm.RebalancerStats()
 		fmt.Printf("added %s (map e%d v%d: %d members, bounds %q)\n",
-			args[1], m.Epoch(), m.Version(), cl.Members(), m.Bounds())
+			args[1], st.Epoch, st.Version, adm.Members(), st.Bounds)
 	case "drain":
-		cl, ok := c.(*pequod.Cluster)
+		adm, ok := c.(pequod.Admin)
 		if !ok {
 			return fmt.Errorf("drain needs cluster mode (-addrs with -bounds)")
 		}
 		if len(args) != 2 {
 			return fmt.Errorf("drain ADDR")
 		}
-		if err := cl.DrainServer(ctx, args[1]); err != nil {
+		if err := adm.DrainServer(ctx, args[1]); err != nil {
 			return err
 		}
-		m := cl.Map()
+		st := adm.RebalancerStats()
 		fmt.Printf("drained %s (map e%d v%d: %d members, bounds %q); the process can be stopped\n",
-			args[1], m.Epoch(), m.Version(), cl.Members(), m.Bounds())
+			args[1], st.Epoch, st.Version, adm.Members(), st.Bounds)
+	case "health":
+		adm, ok := c.(pequod.Admin)
+		if !ok {
+			return fmt.Errorf("health needs cluster mode (-addrs with -bounds)")
+		}
+		if len(args) != 1 {
+			return fmt.Errorf("health")
+		}
+		down := 0
+		for _, h := range adm.Health(ctx) {
+			if h.Alive {
+				fmt.Printf("%s\talive\tid=%s\towners=%d\treplicas=%d\n", h.Addr, h.ID, h.Owners, h.Replicas)
+				continue
+			}
+			down++
+			fmt.Printf("%s\tDOWN\towners=%d\t%s\n", h.Addr, h.Owners, h.Err)
+		}
+		if down > 0 {
+			return fmt.Errorf("%d member(s) down; run `pequod-cli repair` (or let the failure detector catch it)", down)
+		}
+	case "repair":
+		adm, ok := c.(pequod.Admin)
+		if !ok {
+			return fmt.Errorf("repair needs cluster mode (-addrs with -bounds)")
+		}
+		if len(args) != 1 {
+			return fmt.Errorf("repair")
+		}
+		repaired, err := adm.Repair(ctx)
+		if err != nil {
+			return err
+		}
+		st := adm.RebalancerStats()
+		if len(repaired) == 0 {
+			fmt.Printf("all members healthy; nothing to repair (map e%d v%d)\n", st.Epoch, st.Version)
+		} else {
+			fmt.Printf("repaired %s out of the map (map e%d v%d: %d members remain)\n",
+				strings.Join(repaired, ","), st.Epoch, st.Version, adm.Members())
+		}
 	case "rebalance":
 		cl, ok := c.(*pequod.Cluster)
 		if !ok {

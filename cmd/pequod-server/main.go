@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	pequod-server [-addr :7744] [-name pequod]
+//	pequod-server [-addr :7744] [-name pequod] [-id node-a]
 //	              [-joins file.pql] [-subtable t=2]...
 //	              [-mem bytes] [-no-hints] [-no-sharing]
 //	              [-shards n] [-bounds k1,k2,...]
@@ -12,8 +12,11 @@
 // into one process); -bounds sets the n-1 split points between them
 // (comma-separated keys, e.g. -bounds "p|u0000500,s|,t|"). With -shards
 // alone the key space is split evenly by key prefix. -name labels the
-// server in stats; -mem sets the §2.5 eviction threshold; -no-hints and
-// -no-sharing disable the §4.2/§4.3 optimizations (ablations).
+// server in stats; -id sets its durable member identity (shown by
+// `pequod-cli health` and the stat RPC, so operators can tell a
+// restarted member from a fresh one; defaults to the name); -mem sets
+// the §2.5 eviction threshold; -no-hints and -no-sharing disable the
+// §4.2/§4.3 optimizations (ablations).
 //
 // -rebalance enables load-aware *in-process* rebalancing at the given
 // sampling interval (0 disables): hot key ranges migrate live between
@@ -83,6 +86,7 @@ func main() {
 	noHints := flag.Bool("no-hints", false, "disable output hints (§4.2)")
 	noSharing := flag.Bool("no-sharing", false, "disable value sharing (§4.3)")
 	name := flag.String("name", "pequod", "server name for stats")
+	id := flag.String("id", "", "durable member identity, stable across restarts and address changes (default: the name)")
 	shards := flag.Int("shards", 0, "number of partitioned in-process engines (0 = derived from -bounds, else 1); without -bounds the raw byte space is split evenly, which clusters ASCII-prefixed keys")
 	bounds := flag.String("bounds", "", "comma-separated partition split points (shards-1 keys)")
 	rebalance := flag.Duration("rebalance", 0, "load sampling interval for live shard rebalancing (0 = static bounds)")
@@ -112,6 +116,7 @@ func main() {
 	}
 	s, err := server.New(server.Config{
 		Name: *name,
+		ID:   *id,
 		Engine: core.Options{
 			DisableOutputHints:  *noHints,
 			DisableValueSharing: *noSharing,

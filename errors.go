@@ -1,0 +1,32 @@
+package pequod
+
+import "pequod/internal/perrs"
+
+// Sentinel errors, matchable with errors.Is against whatever a Store or
+// Admin method returns — implementations wrap them with context (the
+// member address, the range, the underlying transport failure), so
+// match, don't compare:
+//
+//	if errors.Is(err, pequod.ErrMemberDown) { ... }
+var (
+	// ErrNotOwner marks an operation that reached a server not serving
+	// the key's range under the current cluster map. The Cluster client
+	// retries these internally; seeing one escape means the retry
+	// budget was exhausted mid-migration.
+	ErrNotOwner = perrs.ErrNotOwner
+
+	// ErrMemberDown marks an operation or repair that could not reach a
+	// cluster member past the retry budget — the budget spans an
+	// automatic failover, so with replication enabled this escapes only
+	// when no repaired map routed around the death in time (or, from
+	// Repair itself, when no member survived).
+	ErrMemberDown = perrs.ErrMemberDown
+
+	// ErrDraining marks a refused drain: DrainServer will not remove
+	// the last member.
+	ErrDraining = perrs.ErrDraining
+
+	// ErrConflict marks a map change that lost to a concurrent
+	// coordinator even after re-proposing against the winner's map.
+	ErrConflict = perrs.ErrConflict
+)

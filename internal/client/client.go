@@ -509,6 +509,7 @@ func (c *Client) Stats(ctx context.Context) (core.Stats, error) {
 // polls, and (on cluster members) the published cluster map.
 type StatSnapshot struct {
 	Name    string     `json:"name"`
+	ID      string     `json:"id"`
 	Shards  int        `json:"shards"`
 	Entries int        `json:"entries"`
 	Bytes   int64      `json:"bytes"`
@@ -525,6 +526,7 @@ type StatSnapshot struct {
 		Peers    []string `json:"peers"`
 		Self     []int    `json:"self"`
 		Retained int      `json:"retained"`
+		Replicas int      `json:"replicas"`
 	} `json:"cluster"`
 }
 

@@ -1,0 +1,44 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+
+	"pequod/internal/perrs"
+)
+
+// Is makes NotOwnerError match the public sentinel via errors.Is:
+// errors.Is(err, pequod.ErrNotOwner) holds for every NotOwner reply
+// while the richer type (with the server's current map position) stays
+// reachable through errors.As.
+func (e *NotOwnerError) Is(target error) bool {
+	return target == perrs.ErrNotOwner
+}
+
+// IsUnavailable reports whether err means the server could not be
+// reached at all — the connection failed to dial, died mid-request, or
+// was already marked failed — as opposed to the server answering with
+// an error. The cluster client uses it to decide which failures are
+// worth retrying against a (possibly repaired) view: a NotOwner
+// bounce, a caller-cancelled context, and an ordinary reply error all
+// return false.
+func IsUnavailable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var noe *NotOwnerError
+	if errors.As(err, &noe) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, ErrClosed) || errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}

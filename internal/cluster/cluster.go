@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"pequod/internal/join"
 	"pequod/internal/keys"
 	"pequod/internal/partition"
+	"pequod/internal/perrs"
 	"pequod/internal/rpc"
 )
 
@@ -37,6 +39,27 @@ type Config struct {
 	// distinct IDs; the default is a random 31-bit value, which tests
 	// override for determinism.
 	CoordinatorID int64
+	// CoordinatorName, if non-empty and CoordinatorID is zero, derives
+	// the coordinator identity by hashing the name: a restarted
+	// coordinator with the same name mints epochs in the same identity
+	// lane, so its repaired maps order against its own earlier maps by
+	// version instead of racing a fresh random identity.
+	CoordinatorName string
+	// Replicas is the total number of copies of each range kept across
+	// the cluster, counting the serving owner. 0 means the default (2);
+	// 1 keeps only the serving copy, disabling replication. Replicas
+	// are kept fresh through the subscription mesh and promoted by
+	// Repair when their owner dies.
+	Replicas int
+	// FailoverInterval, if non-zero, starts a failure detector: every
+	// interval each member is pinged, and a member that misses
+	// FailoverMisses consecutive probes is declared dead and repaired
+	// out of the map automatically. Zero leaves failover manual
+	// (Repair).
+	FailoverInterval time.Duration
+	// FailoverMisses is the consecutive probe failures that confirm a
+	// death. 0 means the default (3).
+	FailoverMisses int
 }
 
 // view is one immutable generation of the cluster's shape: the
@@ -133,6 +156,18 @@ type Cluster struct {
 
 	// reb is the client-driven cluster rebalancer (rebalance.go).
 	reb rebState
+
+	// copies is the configured total copies per range (owner included);
+	// <= 1 disables replication.
+	copies int
+
+	// failEvery/failMisses configure the failure detector; monStop and
+	// monDone bracket its goroutine's lifetime (failover.go).
+	failEvery  time.Duration
+	failMisses int
+	monStop    chan struct{}
+	monDone    chan struct{}
+	monOnce    sync.Once
 }
 
 // New dials every member and, if cfg.Joins is set, installs the joins
@@ -155,28 +190,56 @@ func New(ctx context.Context, cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	cl := &Cluster{
-		coordID: cfg.CoordinatorID,
-		conns:   make(map[string]*client.Client),
+		coordID:    cfg.CoordinatorID,
+		conns:      make(map[string]*client.Client),
+		copies:     cfg.Replicas,
+		failEvery:  cfg.FailoverInterval,
+		failMisses: cfg.FailoverMisses,
+	}
+	if cl.copies == 0 {
+		cl.copies = defaultReplicas
+	}
+	if cl.failMisses <= 0 {
+		cl.failMisses = defaultFailMisses
+	}
+	if cl.coordID == 0 && cfg.CoordinatorName != "" {
+		cl.coordID = nameCoordID(cfg.CoordinatorName)
 	}
 	if cl.coordID == 0 {
 		cl.coordID = randomCoordID()
 	}
 	cl.coordID &= epochIDMask
 	cl.v.Store(v)
+	// An unreachable member must not block the client from starting:
+	// Health and Repair exist precisely to deal with a dead member, and
+	// both need a running client. Tolerate dial failures as long as at
+	// least one member answers; ops routed at the dead ranges surface
+	// ErrMemberDown until a repair promotes them elsewhere.
+	alive := 0
+	var dialErr error
 	for _, m := range v.mbrs {
 		if _, err := cl.conn(ctx, m.addr); err != nil {
-			cl.Close()
-			return nil, fmt.Errorf("cluster: dial %s: %w", m.addr, err)
+			dialErr = fmt.Errorf("cluster: dial %s: %w", m.addr, wrapDown("", err))
+			continue
 		}
+		alive++
+	}
+	if alive == 0 {
+		cl.Close()
+		return nil, dialErr
 	}
 	// Publish the cluster view to every member: each learns the
 	// versioned map and which owner indexes it serves, and from then on
 	// rejects operations outside its ranges with NotOwner — the
 	// precondition for live migration to be loss-free. Members that saw
 	// a newer map already (another client migrated) keep it; the reply
-	// teaches this client the newer map.
+	// teaches this client the newer map. Unreachable members miss the
+	// publish (they converge through NotOwner adoption if they return).
 	for _, m := range v.mbrs {
 		if err := cl.publishView(ctx, v, m.addr); err != nil {
+			if client.IsUnavailable(err) || errors.Is(err, perrs.ErrMemberDown) {
+				continue
+			}
 			cl.Close()
 			return nil, err
 		}
@@ -186,6 +249,15 @@ func New(ctx context.Context, cfg Config) (*Cluster, error) {
 			cl.Close()
 			return nil, err
 		}
+	} else if cl.copies > 1 {
+		// Install publishes replica assignments itself; without joins,
+		// seed them here so base tables replicate from the start.
+		cl.publishReplicas(ctx, cl.v.Load(), nil)
+	}
+	if cl.failEvery > 0 {
+		cl.monStop = make(chan struct{})
+		cl.monDone = make(chan struct{})
+		go cl.monitor()
 	}
 	return cl, nil
 }
@@ -197,6 +269,26 @@ func New(ctx context.Context, cfg Config) (*Cluster, error) {
 const epochIDBits = 31
 
 const epochIDMask = (int64(1) << epochIDBits) - 1
+
+// defaultReplicas is the total copies per range when Config.Replicas
+// is zero: the owner plus one warm replica.
+const defaultReplicas = 2
+
+// defaultFailMisses is the consecutive probe failures that confirm a
+// death when Config.FailoverMisses is zero.
+const defaultFailMisses = 3
+
+// nameCoordID hashes a durable coordinator name to a non-zero 31-bit
+// identity, so a restarted coordinator keeps its epoch lane.
+func nameCoordID(name string) int64 {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	id := int64(h.Sum32()) & epochIDMask
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
 
 // randomCoordID draws a non-zero 31-bit coordinator identity.
 func randomCoordID() int64 {
@@ -344,6 +436,7 @@ func (cl *Cluster) RPCs() int64 {
 // Close closes every member connection. The servers themselves are not
 // owned by the cluster and keep running.
 func (cl *Cluster) Close() error {
+	cl.stopMonitor()
 	cl.StopRebalancer()
 	cl.cmu.Lock()
 	conns := cl.conns
@@ -415,37 +508,74 @@ func (cl *Cluster) adoptView(nv *view) {
 	}
 }
 
-// retryNotOwner handles one NotOwner failure: adopt the newer map it
-// carries and report whether the caller should retry — immediately when
-// the routing map changed, after a short pause otherwise (the range is
-// mid-transfer, or a lagging server has not yet seen our map).
-func (cl *Cluster) retryNotOwner(ctx context.Context, err error, attempt int) bool {
-	var noe *client.NotOwnerError
-	if !errors.As(err, &noe) || attempt >= opRetries-1 {
+// failPause is the wait before retrying an operation that failed
+// because its member was unreachable: long enough, across the retry
+// budget, for the failure detector to confirm the death and a repair
+// to publish the successor map the retry will route against.
+const failPause = 30 * time.Millisecond
+
+// retryOp handles one routed-operation failure and reports whether the
+// caller should retry. A NotOwner bounce adopts the newer map it
+// carries and retries — immediately when the routing map changed, after
+// a short pause otherwise (the range is mid-transfer, or a lagging
+// server has not yet seen our map). An unreachable member retries after
+// a longer pause: the failure detector needs time to confirm the death
+// and publish a repaired map that routes around it.
+func (cl *Cluster) retryOp(ctx context.Context, err error, attempt int) bool {
+	if attempt >= opRetries-1 {
 		return false
 	}
-	before := cl.v.Load().pmap
-	cl.adopt(noe.Epoch, noe.Version, noe.Bounds, noe.Peers)
-	after := cl.v.Load().pmap
-	if after.Epoch() == before.Epoch() && after.Version() == before.Version() {
-		t := time.NewTimer(retryPause)
-		defer t.Stop()
-		select {
-		case <-ctx.Done():
-			return false
-		case <-t.C:
+	var noe *client.NotOwnerError
+	if errors.As(err, &noe) {
+		before := cl.v.Load().pmap
+		cl.adopt(noe.Epoch, noe.Version, noe.Bounds, noe.Peers)
+		after := cl.v.Load().pmap
+		if after.Epoch() == before.Epoch() && after.Version() == before.Version() {
+			return cl.pause(ctx, retryPause)
 		}
+		return true
 	}
-	return true
+	if client.IsUnavailable(err) {
+		return cl.pause(ctx, failPause)
+	}
+	return false
+}
+
+// pause sleeps for d unless ctx ends first, reporting whether to keep
+// going.
+func (cl *Cluster) pause(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// wrapDown marks an exhausted unreachable-member failure with the
+// ErrMemberDown sentinel so callers can match it without knowing the
+// transport error's concrete type. Other errors pass through.
+func wrapDown(addr string, err error) error {
+	if err == nil || !client.IsUnavailable(err) {
+		return err
+	}
+	if addr != "" {
+		return fmt.Errorf("cluster: member %s: %w: %v", addr, perrs.ErrMemberDown, err)
+	}
+	return fmt.Errorf("cluster: %w: %v", perrs.ErrMemberDown, err)
 }
 
 // doKey sends a point operation to key's home server, re-routing and
-// retrying when a live migration moved the key (NotOwner).
+// retrying when a live migration moved the key (NotOwner) or its member
+// died (the retry budget spans an automatic failover).
 func (cl *Cluster) doKey(ctx context.Context, key string, m *rpc.Message) (*rpc.Message, error) {
 	for attempt := 0; ; attempt++ {
-		r, err := cl.do(ctx, cl.v.Load().ownerAddr(key), m)
-		if err == nil || !cl.retryNotOwner(ctx, err, attempt) {
-			return r, err
+		addr := cl.v.Load().ownerAddr(key)
+		r, err := cl.do(ctx, addr, m)
+		if err == nil || !cl.retryOp(ctx, err, attempt) {
+			return r, wrapDown(addr, err)
 		}
 	}
 }
@@ -486,8 +616,8 @@ func (cl *Cluster) Remove(ctx context.Context, key string) (bool, error) {
 func (cl *Cluster) Scan(ctx context.Context, lo, hi string, limit int) ([]core.KV, error) {
 	for attempt := 0; ; attempt++ {
 		kvs, err := cl.scanOnce(ctx, lo, hi, limit)
-		if err == nil || !cl.retryNotOwner(ctx, err, attempt) {
-			return kvs, err
+		if err == nil || !cl.retryOp(ctx, err, attempt) {
+			return kvs, wrapDown("", err)
 		}
 	}
 }
@@ -551,8 +681,8 @@ func (cl *Cluster) scanPiece(ctx context.Context, v *view, pc partition.Shard, l
 func (cl *Cluster) Count(ctx context.Context, lo, hi string) (int64, error) {
 	for attempt := 0; ; attempt++ {
 		n, err := cl.countOnce(ctx, lo, hi)
-		if err == nil || !cl.retryNotOwner(ctx, err, attempt) {
-			return n, err
+		if err == nil || !cl.retryOp(ctx, err, attempt) {
+			return n, wrapDown("", err)
 		}
 	}
 }
@@ -590,25 +720,34 @@ func (cl *Cluster) countOnce(ctx context.Context, lo, hi string) (int64, error) 
 // GetBatch fetches many keys with one pipelined round per server: all
 // requests are sent before any reply is awaited. Results align with
 // keys; Found distinguishes missing keys. Elements whose key migrated
-// mid-batch are retried individually against the adopted map.
+// mid-batch (NotOwner), or whose member died, are retried individually
+// against the adopted map — like independent doKey callers.
 func (cl *Cluster) GetBatch(ctx context.Context, getKeys []string) ([]core.Lookup, error) {
 	v := cl.v.Load()
 	futs := make([]*client.Future, len(getKeys))
 	for i, k := range getKeys {
 		c, err := cl.conn(ctx, v.ownerAddr(k))
 		if err != nil {
-			return nil, err
+			continue // a dead member's elements retry individually below
 		}
 		futs[i] = c.Send(ctx, &rpc.Message{Type: rpc.MsgGet, Key: k})
 	}
 	out := make([]core.Lookup, len(getKeys))
 	var firstErr error
 	for i, f := range futs {
-		m, err := client.ReplyWaitCtx(ctx, f)
+		var m *rpc.Message
+		var err error
+		if f != nil {
+			m, err = client.ReplyWaitCtx(ctx, f)
+		} else {
+			err = client.ErrClosed
+		}
 		if err != nil {
 			var noe *client.NotOwnerError
 			if errors.As(err, &noe) {
 				cl.adopt(noe.Epoch, noe.Version, noe.Bounds, noe.Peers)
+			}
+			if noe != nil || client.IsUnavailable(err) {
 				m, err = cl.doKey(ctx, getKeys[i], &rpc.Message{Type: rpc.MsgGet, Key: getKeys[i]})
 			}
 			if err != nil {
@@ -629,26 +768,34 @@ func (cl *Cluster) GetBatch(ctx context.Context, getKeys []string) ([]core.Looku
 // PutBatch stores many pairs with one pipelined round per server.
 // Writes to the same server apply in slice order; writes to different
 // servers are concurrent, like independent callers. Pairs whose key
-// migrated mid-batch are retried individually against the adopted map —
-// a retried write can land after a later same-key write in the batch,
-// the same last-writer-wins race as two independent callers.
+// migrated mid-batch (NotOwner), or whose member died, are retried
+// individually against the adopted map — a retried write can land after
+// a later same-key write in the batch, the same last-writer-wins race
+// as two independent callers.
 func (cl *Cluster) PutBatch(ctx context.Context, pairs []core.KV) error {
 	v := cl.v.Load()
 	futs := make([]*client.Future, len(pairs))
 	for i, kv := range pairs {
 		c, err := cl.conn(ctx, v.ownerAddr(kv.Key))
 		if err != nil {
-			return err
+			continue // a dead member's elements retry individually below
 		}
 		futs[i] = c.Send(ctx, &rpc.Message{Type: rpc.MsgPut, Key: kv.Key, Value: kv.Value})
 	}
 	var firstErr error
 	for i, f := range futs {
-		_, err := client.ReplyWaitCtx(ctx, f)
+		var err error
+		if f != nil {
+			_, err = client.ReplyWaitCtx(ctx, f)
+		} else {
+			err = client.ErrClosed
+		}
 		if err != nil {
 			var noe *client.NotOwnerError
 			if errors.As(err, &noe) {
 				cl.adopt(noe.Epoch, noe.Version, noe.Bounds, noe.Peers)
+			}
+			if noe != nil || client.IsUnavailable(err) {
 				_, err = cl.doKey(ctx, pairs[i].Key, &rpc.Message{Type: rpc.MsgPut, Key: pairs[i].Key, Value: pairs[i].Value})
 			}
 			if err != nil && firstErr == nil {
@@ -713,6 +860,11 @@ func (cl *Cluster) Install(ctx context.Context, text string) error {
 	}
 	cl.installed = all
 	cl.texts = append(cl.texts, text)
+	// Re-seed replica assignments: the replicated table set just grew.
+	// Best-effort — every later map publish re-sends the assignment.
+	if cl.copies > 1 {
+		cl.publishReplicas(ctx, v, tables)
+	}
 	return nil
 }
 
@@ -782,7 +934,7 @@ func (cl *Cluster) Stats(ctx context.Context) (core.Stats, error) {
 			}
 		}
 		if firstErr == nil {
-			firstErr = fmt.Errorf("cluster: stats from %s: %w", m.addr, err)
+			firstErr = fmt.Errorf("cluster: stats from %s: %w", m.addr, wrapDown("", err))
 		}
 	}
 	return total, firstErr
@@ -803,11 +955,12 @@ func (cl *Cluster) Quiesce(ctx context.Context) error {
 		go func() {
 			defer wg.Done()
 			c, err := cl.conn(ctx, m.addr)
-			if err != nil {
-				errs[i] = err
-				return
+			if err == nil {
+				err = c.Quiesce(ctx)
 			}
-			errs[i] = c.Quiesce(ctx)
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: quiesce at %s: %w", m.addr, wrapDown("", err))
+			}
 		}()
 	}
 	wg.Wait()

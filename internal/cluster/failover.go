@@ -1,0 +1,319 @@
+package cluster
+
+// Per-range replication and automatic failover, coordinator side.
+//
+// Replication piggybacks on the machinery the cluster already has:
+// after every map publish the coordinator sends each member a
+// MsgReplicate carrying the view plus two scalars — the total copies
+// per range and the base tables to mirror. Which member holds which
+// replica is never listed: both sides derive it from the same ring walk
+// (partition.ReplicaAddrs over the view's distinct members), so the
+// coordinator and the members cannot disagree about placement. Members
+// keep their replicas fresh through the ordinary subscription feed
+// protocol against each range's owner (internal/server/replica.go).
+//
+// Failover closes the loop:
+//
+//	probe    Health / the monitor ping every member; a member that
+//	         misses failMisses consecutive probes is confirmed dead.
+//	repair   Repair substitutes each dead owner's address with the
+//	         surviving ring successor — the member already holding its
+//	         replica — and publishes a same-bounds epoch successor.
+//	promote  Each survivor adopts the repaired map through the normal
+//	         MapUpdate path; the heir's ownership gate flips under its
+//	         shard locks and its warm replica rows become served data
+//	         (clustergate.go's promotion backfill re-seeds computed
+//	         joins from them). Clients re-route through the published
+//	         map or its NotOwner echoes; in-flight operations ride the
+//	         unavailable-retry budget (retryOp) across the outage.
+//
+// Repair mints epochs like any other coordination here, so a repair
+// racing a migration or another coordinator's repair serializes through
+// the epoch-ordered map versions — exactly one successor wins and the
+// losers re-propose against it.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"pequod/internal/client"
+	"pequod/internal/partition"
+	"pequod/internal/perrs"
+	"pequod/internal/rpc"
+)
+
+// probeTimeout bounds one health probe: long enough for a loaded
+// member to answer a ping, short enough that a wedged one is noticed
+// within a few detector ticks.
+const probeTimeout = 250 * time.Millisecond
+
+// repairTimeout bounds one automatic repair round (probe + publish).
+const repairTimeout = 10 * time.Second
+
+// MemberHealth is one member's row in a Health report.
+type MemberHealth struct {
+	// Addr is the member's serving address; ID its durable identity
+	// (the server's configured ID, surviving restarts and address
+	// reuse), known only while it answers.
+	Addr string `json:"addr"`
+	ID   string `json:"id,omitempty"`
+	// Alive reports whether the member answered within the probe
+	// timeout; Err carries the failure otherwise.
+	Alive bool   `json:"alive"`
+	Err   string `json:"err,omitempty"`
+	// Owners is the number of partition ranges the member serves under
+	// the current map; Replicas the number of ranges it holds warm
+	// copies of for other members.
+	Owners   int `json:"owners"`
+	Replicas int `json:"replicas"`
+}
+
+// Health probes every member concurrently and reports each one's
+// liveness, identity, and replica footprint. It never fails as a whole:
+// an unreachable member is a row with Alive=false, which is the point
+// of asking.
+func (cl *Cluster) Health(ctx context.Context) []MemberHealth {
+	v := cl.v.Load()
+	out := make([]MemberHealth, len(v.mbrs))
+	var wg sync.WaitGroup
+	for i, m := range v.mbrs {
+		i, m := i, m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := MemberHealth{Addr: m.addr, Owners: len(m.owners)}
+			pctx, cancel := context.WithTimeout(ctx, probeTimeout)
+			defer cancel()
+			c, err := cl.conn(pctx, m.addr)
+			if err == nil {
+				var st *client.StatSnapshot
+				if st, err = c.StatSnapshot(pctx); err == nil {
+					h.Alive = true
+					h.ID = st.ID
+					if st.Cluster != nil {
+						h.Replicas = st.Cluster.Replicas
+					}
+				}
+			}
+			if err != nil {
+				h.Err = err.Error()
+			}
+			out[i] = h
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// probe pings one member within the probe timeout.
+func (cl *Cluster) probe(ctx context.Context, addr string) error {
+	pctx, cancel := context.WithTimeout(ctx, probeTimeout)
+	defer cancel()
+	c, err := cl.conn(pctx, addr)
+	if err != nil {
+		return err
+	}
+	return c.Ping(pctx)
+}
+
+// Repair probes every member and, if some are unreachable, publishes a
+// same-bounds successor map that reassigns each dead member's ranges to
+// a surviving replica holder (the live ring successor — the member the
+// shared placement walk put the replica on). Survivors adopt the map,
+// the heirs' gates promote their warm replicas to served data, and the
+// repaired addresses are returned. With every member healthy it is a
+// no-op. Repairing a cluster with no survivors fails with
+// ErrMemberDown; nothing can be promoted.
+func (cl *Cluster) Repair(ctx context.Context) ([]string, error) {
+	cl.mvmu.Lock()
+	defer cl.mvmu.Unlock()
+	v := cl.v.Load()
+	probeErrs := make([]error, len(v.mbrs))
+	var wg sync.WaitGroup
+	for i, m := range v.mbrs {
+		i, m := i, m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			probeErrs[i] = cl.probe(ctx, m.addr)
+		}()
+	}
+	wg.Wait()
+	dead := make(map[string]bool)
+	var deadAddrs []string
+	for i, m := range v.mbrs {
+		if probeErrs[i] != nil {
+			dead[m.addr] = true
+			deadAddrs = append(deadAddrs, m.addr)
+		}
+	}
+	if len(deadAddrs) == 0 {
+		return nil, nil
+	}
+	if len(deadAddrs) == len(v.mbrs) {
+		return nil, fmt.Errorf("cluster: repair: all %d members unreachable: %w", len(v.mbrs), perrs.ErrMemberDown)
+	}
+	// Substitute each dead owner with its first live ring successor.
+	// ReplicaAddrs over the full ring yields every other member starting
+	// just past the owner; the first copies-1 of them are exactly where
+	// the replicas live, so walking in that order hands the range to a
+	// member that already holds it warm whenever one survives.
+	heirs := make([]string, len(v.addrs))
+	for o, a := range v.addrs {
+		if !dead[a] {
+			heirs[o] = a
+			continue
+		}
+		for _, s := range partition.ReplicaAddrs(v.addrs, o, len(v.mbrs)) {
+			if !dead[s] {
+				heirs[o] = s
+				break
+			}
+		}
+		if heirs[o] == "" {
+			return nil, fmt.Errorf("cluster: repair: no survivor for owner %d (%s): %w", o, a, perrs.ErrMemberDown)
+		}
+	}
+	next, err := partition.NewEpochVersioned(cl.mintEpoch(v.pmap.Epoch()), v.pmap.Version()+1, v.pmap.Bounds()...)
+	if err != nil {
+		return nil, err
+	}
+	nv, err := newView(next, heirs)
+	if err != nil {
+		return nil, err
+	}
+	// The dead members are not in nv.mbrs, so the publish (and the
+	// replica republish riding it) only contacts survivors. Member-side,
+	// fences toward a dead peer resolve vacuously — a dead peer owes
+	// nothing — and the heirs' gates promote instead of re-fetching.
+	if err := cl.publish(ctx, nv, nil); err != nil {
+		return deadAddrs, fmt.Errorf("cluster: repair published, but not to every survivor (they converge via NotOwner): %w", err)
+	}
+	// Retire the dead members' connections so no later routing decision
+	// waits out a connect timeout to an address known to be gone.
+	cl.cmu.Lock()
+	if cl.conns != nil {
+		for _, a := range deadAddrs {
+			if c := cl.conns[a]; c != nil {
+				cl.retiredRPCs += c.RPCs()
+				c.Close()
+				delete(cl.conns, a)
+			}
+		}
+	}
+	cl.cmu.Unlock()
+	return deadAddrs, nil
+}
+
+// publishReplicas sends every member of v its replica assignment: the
+// view itself, the total copies per range (Limit), and the base tables
+// mirrored (empty = whole ranges). Placement is not in the message —
+// each member derives the ranges it must hold from the same ring walk
+// the coordinator uses (partition.ReplicaAddrs), so the two sides
+// cannot disagree. Best-effort: the assignment rides every map publish,
+// so a missed member converges at the next round. No-op when
+// replication is off or the cluster has a single member.
+func (cl *Cluster) publishReplicas(ctx context.Context, v *view, tables []string) {
+	if cl.copies <= 1 || len(v.mbrs) < 2 {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, m := range v.mbrs {
+		m := m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl.do(ctx, m.addr, &rpc.Message{ //nolint:errcheck // best-effort; see above
+				Type:       rpc.MsgReplicate,
+				Epoch:      v.pmap.Epoch(),
+				MapVersion: v.pmap.Version(),
+				Bounds:     v.pmap.Bounds(),
+				Peers:      v.addrs,
+				Self:       v.ownersOf(m.addr),
+				Limit:      cl.copies,
+				Tables:     tables,
+			})
+		}()
+	}
+	wg.Wait()
+}
+
+// replicaTables returns the base tables replication mirrors: the
+// installed joins' source tables (computed tables are rebuilt from them
+// at promotion), or nil — replicate whole ranges — when no joins are
+// installed through this client.
+func (cl *Cluster) replicaTables() []string {
+	cl.imu.Lock()
+	defer cl.imu.Unlock()
+	return sourceTables(cl.installed)
+}
+
+// monitor is the failure detector: every failEvery it pings each
+// member, counts consecutive misses per address, and once any member
+// misses failMisses in a row runs an automatic Repair. Repaired (or
+// recovered, or departed) addresses reset their counters.
+func (cl *Cluster) monitor() {
+	defer close(cl.monDone)
+	t := time.NewTicker(cl.failEvery)
+	defer t.Stop()
+	misses := make(map[string]int)
+	for {
+		select {
+		case <-cl.monStop:
+			return
+		case <-t.C:
+		}
+		v := cl.v.Load()
+		probeErrs := make([]error, len(v.mbrs))
+		var wg sync.WaitGroup
+		for i, m := range v.mbrs {
+			i, m := i, m
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				probeErrs[i] = cl.probe(context.Background(), m.addr)
+			}()
+		}
+		wg.Wait()
+		confirmed := false
+		for i, m := range v.mbrs {
+			if probeErrs[i] == nil {
+				delete(misses, m.addr)
+				continue
+			}
+			misses[m.addr]++
+			if misses[m.addr] >= cl.failMisses {
+				confirmed = true
+			}
+		}
+		for a := range misses {
+			if v.ownersOf(a) == nil {
+				delete(misses, a) // drained or repaired out since
+			}
+		}
+		if !confirmed {
+			continue
+		}
+		rctx, cancel := context.WithTimeout(context.Background(), repairTimeout)
+		repaired, err := cl.Repair(rctx)
+		cancel()
+		if err == nil {
+			for _, a := range repaired {
+				delete(misses, a)
+			}
+		}
+	}
+}
+
+// stopMonitor stops the failure detector and waits for it to exit.
+func (cl *Cluster) stopMonitor() {
+	if cl.monStop == nil {
+		return
+	}
+	cl.monOnce.Do(func() {
+		close(cl.monStop)
+		<-cl.monDone
+	})
+}

@@ -42,6 +42,7 @@ import (
 	"pequod/internal/core"
 	"pequod/internal/keys"
 	"pequod/internal/partition"
+	"pequod/internal/perrs"
 	"pequod/internal/rpc"
 )
 
@@ -261,7 +262,7 @@ func (cl *Cluster) DrainServer(ctx context.Context, addr string) error {
 			break
 		}
 		if len(v.mbrs) == 1 {
-			return fmt.Errorf("cluster: cannot drain %s: it is the last member", addr)
+			return fmt.Errorf("cluster: cannot drain %s: it is the last member: %w", addr, perrs.ErrDraining)
 		}
 		err := cl.drainOneRange(ctx, v, addr, owners[0])
 		var pe *publishError

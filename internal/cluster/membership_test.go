@@ -10,6 +10,7 @@ import (
 
 	"pequod/internal/client"
 	"pequod/internal/core"
+	"pequod/internal/perrs"
 	"pequod/internal/server"
 	"pequod/internal/shard"
 )
@@ -295,6 +296,50 @@ func TestDrainReoffersWhenNeighborDies(t *testing.T) {
 	defer raw.Close()
 	if v, found, err := raw.Get("h07"); err != nil || !found || v != "v7" {
 		t.Fatalf("A does not serve the re-offered range: %q %v %v", v, found, err)
+	}
+}
+
+// TestDrainRevertsWhenNeighborPermanentlyDead: when the draining
+// member's only neighbor is dead (so there is nobody to re-offer to),
+// the drain must revert — the member stays in the map, keeps serving
+// every row, and the failure is matchable as ErrMemberDown.
+func TestDrainRevertsWhenNeighborPermanentlyDead(t *testing.T) {
+	ctx := context.Background()
+	addrA, _ := startServer(t, "a")
+	addrB, killB := startServer(t, "b")
+	cl := newCluster(t, Config{Addrs: []string{addrA, addrB}, Bounds: []string{"m"}})
+	var want []core.KV
+	for i := 0; i < 10; i++ {
+		kv := core.KV{Key: fmt.Sprintf("c%02d", i), Value: fmt.Sprintf("v%d", i)}
+		want = append(want, kv)
+		if err := cl.Put(ctx, kv.Key, kv.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	killB() // B never comes back: every offer of A's range must fail
+	err := cl.DrainServer(ctx, addrA)
+	if err == nil {
+		t.Fatal("draining with a permanently dead neighbor reported success")
+	}
+	if !errors.Is(err, perrs.ErrMemberDown) {
+		t.Fatalf("drain failure is not ErrMemberDown: %v", err)
+	}
+	// The drain aborted: A is still a member and still serves its range.
+	if owners := cl.v.Load().ownersOf(addrA); owners == nil {
+		t.Fatalf("reverted drain removed %s from the map", addrA)
+	}
+	for _, kv := range want {
+		v, ok, gerr := cl.Get(ctx, kv.Key)
+		if gerr != nil || !ok || v != kv.Value {
+			t.Fatalf("row %s lost in reverted drain: %q %v %v", kv.Key, v, ok, gerr)
+		}
+	}
+	// And the refusal to drain the last member is a typed error too
+	// (on a fresh server: A still carries the two-member map above).
+	addrS, _ := startServer(t, "solo")
+	solo := newCluster(t, Config{Addrs: []string{addrS}})
+	if derr := solo.DrainServer(ctx, addrS); !errors.Is(derr, perrs.ErrDraining) {
+		t.Fatalf("last-member drain refusal is not ErrDraining: %v", derr)
 	}
 }
 

@@ -46,6 +46,7 @@ import (
 	"pequod/internal/core"
 	"pequod/internal/keys"
 	"pequod/internal/partition"
+	"pequod/internal/perrs"
 	"pequod/internal/rpc"
 )
 
@@ -78,6 +79,14 @@ func (cl *Cluster) MoveBound(ctx context.Context, i int, bound string) error {
 			// retry re-proposes against it.
 			err = cl.moveBoundOnce(ctx, i, bound)
 		}
+	}
+	noe = nil
+	if errors.As(err, &noe) {
+		// Still conflicting after re-proposing against the adopted map:
+		// a concurrent coordinator keeps winning. Matchable as
+		// ErrConflict (and still as NotOwnerError, which carries the
+		// winner's map).
+		err = fmt.Errorf("cluster: moving bound %d: %w: %w", i, perrs.ErrConflict, err)
 	}
 	return err
 }
@@ -140,7 +149,7 @@ func (cl *Cluster) extract(ctx context.Context, addr string, r keys.Range, nv *v
 		if errors.As(err, &noe) {
 			cl.adopt(noe.Epoch, noe.Version, noe.Bounds, noe.Peers)
 		}
-		return core.RangeState{}, err
+		return core.RangeState{}, wrapDown(addr, err)
 	}
 	return core.RangeState{R: r, KVs: em.KVs, Warm: em.Warm}, nil
 }
@@ -161,11 +170,11 @@ func (cl *Cluster) splice(ctx context.Context, addr, src string, rs core.RangeSt
 			return nil
 		}
 		if ctx.Err() != nil {
-			return serr
+			return wrapDown(addr, serr)
 		}
 		time.Sleep(retryPause)
 	}
-	return serr
+	return wrapDown(addr, serr)
 }
 
 // revert recovers from a failed splice of a plain bound move: a further
@@ -225,6 +234,12 @@ func (cl *Cluster) publish(ctx context.Context, nv *view, extra []string) error 
 	}
 	wg.Wait()
 	cl.adoptView(nv)
+	// Replica assignments follow the map: every member re-derives its
+	// replica set from the view just published (strictly after the map,
+	// so a promoted owner's gate already owns its ranges when the
+	// assignment arrives). Best-effort — the assignment rides every
+	// publish, so a missed member converges at the next round.
+	cl.publishReplicas(ctx, nv, cl.replicaTables())
 	for _, err := range errs {
 		if err != nil {
 			return err

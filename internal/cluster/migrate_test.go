@@ -11,6 +11,7 @@ import (
 
 	"pequod/internal/client"
 	"pequod/internal/core"
+	"pequod/internal/perrs"
 	"pequod/internal/server"
 	"pequod/internal/shard"
 )
@@ -389,6 +390,9 @@ func TestClusterStatsPartialAggregation(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), addrs[1]) {
 		t.Fatalf("error does not name the dead member: %v", err)
+	}
+	if !errors.Is(err, perrs.ErrMemberDown) {
+		t.Fatalf("dead-member error is not ErrMemberDown: %v", err)
 	}
 	if st.Puts != 1 {
 		t.Fatalf("partial aggregate lost the live member: %+v", st)

@@ -269,9 +269,29 @@ func (e *Engine) Put(key, value string) {
 	e.evictIfNeeded()
 }
 
+// PutQuiet is Put without the served-operation counter: cluster replica
+// maintenance mirrors a write already counted at its owning member, so
+// counting it again would double the cluster's apparent work.
+func (e *Engine) PutQuiet(key, value string) {
+	e.applyValue(key, store.NewValue(value), nil)
+	e.evictIfNeeded()
+}
+
 // Remove deletes key and runs incremental maintenance.
 func (e *Engine) Remove(key string) bool {
 	e.stats.Removes++
+	old, ok := e.s.Remove(key)
+	if !ok {
+		return false
+	}
+	e.notify(Change{Op: OpRemove, Key: key, Value: old.String()})
+	e.fireUpdaters(key, old, nil)
+	return true
+}
+
+// RemoveQuiet is Remove without the served-operation counter; see
+// PutQuiet.
+func (e *Engine) RemoveQuiet(key string) bool {
 	old, ok := e.s.Remove(key)
 	if !ok {
 		return false

@@ -43,6 +43,15 @@ const (
 	// Elastic membership (server join/drain).
 	MsgJoinCluster // Epoch, MapVersion, Bounds, Peers, Self, Tables, Text: wire a fresh member into the mesh
 	MsgDrain       // tear down the recipient's mesh wiring after its last range left
+
+	// Per-range replication (failover). The coordinator publishes the
+	// replica assignment as the cluster view itself plus the replica
+	// count (Limit) and the base tables to replicate (Tables; empty =
+	// whole ranges): each member derives its own replica set from the
+	// ring order of member addresses, so the assignment needs no
+	// explicit range list and can never disagree with the map it rode
+	// in on.
+	MsgReplicate // Epoch, MapVersion, Bounds, Peers, Self, Limit (copies), Tables
 )
 
 // Status codes in replies.
@@ -271,6 +280,14 @@ func (m *Message) Encode(buf []byte) []byte {
 		buf = appendString(buf, m.Text)
 	case MsgDrain:
 		// no payload
+	case MsgReplicate:
+		buf = appendUvarint(buf, uint64(m.Epoch))
+		buf = appendUvarint(buf, uint64(m.MapVersion))
+		buf = appendStrings(buf, m.Bounds)
+		buf = appendStrings(buf, m.Peers)
+		buf = appendInts(buf, m.Self)
+		buf = appendUvarint(buf, uint64(m.Limit))
+		buf = appendStrings(buf, m.Tables)
 	case MsgReply:
 		buf = append(buf, m.Status)
 		found := byte(0)
@@ -594,6 +611,25 @@ func Decode(payload []byte) (*Message, error) {
 		m.Text, err = d.str()
 	case MsgDrain:
 		// no payload
+	case MsgReplicate:
+		if m.Epoch, m.MapVersion, err = d.mapPos(); err != nil {
+			return nil, err
+		}
+		if m.Bounds, err = d.strs(); err != nil {
+			return nil, err
+		}
+		if m.Peers, err = d.strs(); err != nil {
+			return nil, err
+		}
+		if m.Self, err = d.ints(); err != nil {
+			return nil, err
+		}
+		var lim uint64
+		if lim, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		m.Limit = int(lim)
+		m.Tables, err = d.strs()
 	case MsgCommand:
 		var n uint64
 		if n, err = d.uvarint(); err != nil {

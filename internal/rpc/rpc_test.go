@@ -73,6 +73,16 @@ func TestRoundTripAllTypes(t *testing.T) {
 			Tables: []string{"p", "s"},
 			Text:   "t|<u> = copy p|<u>"},
 		{Type: MsgDrain, Seq: 24},
+		{Type: MsgReplicate, Seq: 25, Epoch: 6, MapVersion: 2,
+			Bounds: []string{"p|", "t|"},
+			Peers:  []string{"a:1", "a:2", "a:3"},
+			Self:   []int{0, 2},
+			Limit:  2,
+			Tables: []string{"p", "s"}},
+		{Type: MsgReplicate, Seq: 26, Epoch: 1, MapVersion: 1,
+			Bounds: []string{"m"},
+			Peers:  []string{"a:1", "a:2"},
+			Limit:  3},
 		{Type: MsgReply, Seq: 21, Status: StatusNotOwner, Err: "moved",
 			Epoch: 3, MapVersion: 9, Bounds: []string{"q|"},
 			Peers: []string{"a:1", "a:2"}},

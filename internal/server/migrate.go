@@ -194,6 +194,15 @@ func (s *Server) handleDrain(m *rpc.Message) *rpc.Message {
 	if mesh != nil {
 		mesh.closeAll()
 	}
+	// A drained member holds replicas for no one; re-adding it later
+	// publishes a fresh assignment through JoinCluster's publish round.
+	s.rmu.Lock()
+	repl := s.repl
+	s.repl = nil
+	s.rmu.Unlock()
+	if repl != nil {
+		repl.closeAll()
+	}
 	r := rpc.OKReply(m.Seq)
 	if g := s.pool.Gate(); g != nil {
 		r.Epoch = g.Map.Epoch()

@@ -1,0 +1,474 @@
+package server
+
+// Per-range replication, member side: warm copies of other members'
+// ranges kept fresh through the same subscription machinery the mesh
+// uses for join sources, so a repair can promote this member to serve
+// a dead peer's range without re-fetching anything.
+//
+// The coordinator publishes a replica *assignment* (MsgReplicate): the
+// cluster view itself plus the replica count and the base tables worth
+// copying. Placement is derived, not listed — each member walks the
+// ring of distinct member addresses (partition.ReplicaAddrs) and keeps
+// a copy of every range whose owner it directly succeeds, so the
+// coordinator and every member always agree on who holds what without
+// a second source of truth that could drift from the map.
+//
+// Replica rows are applied through the pool's replica path (no gate
+// check, no load accounting) and land on the shard that would own them
+// if this member served the range. They are invisible to clients —
+// every serving operation re-validates cluster ownership and bounces
+// with NotOwner — until a repaired map promotes this member, at which
+// point the gate swap alone makes them authoritative
+// (shard.Pool.ApplyMapUpdate's promotion case backfills sibling
+// shards' forwarded-source copies).
+//
+// Staleness discipline mirrors subFeed: pushes racing an in-flight
+// snapshot are buffered behind it, and both pushes and snapshot rows
+// are dropped when the current assignment no longer sources their keys
+// from this feed's home — or when the gate says this member now *owns*
+// them, so a late replica delivery can never clobber a post-promotion
+// write.
+
+import (
+	"sync"
+	"time"
+
+	"pequod/internal/client"
+	"pequod/internal/core"
+	"pequod/internal/keys"
+	"pequod/internal/partition"
+	"pequod/internal/rpc"
+)
+
+// replView is one generation of the replica assignment.
+type replView struct {
+	pmap   *partition.Map
+	addrs  []string        // serving address per owner index
+	self   map[string]bool // addresses that are this process
+	copies int             // total copies per range, including the owner's
+	tables []string        // base tables replicated (empty = whole ranges)
+}
+
+// homeAddr returns the address replica rows for key should come from.
+func (v *replView) homeAddr(key string) string { return v.addrs[v.pmap.Owner(key)] }
+
+// replicaState is a member's replication bookkeeping: its current
+// assignment, one connection+feed per home it copies from, and the
+// ranges it holds.
+type replicaState struct {
+	s    *Server
+	view atomicReplView
+
+	mu    sync.Mutex
+	conns map[string]*client.Client // by home address
+	feeds map[string]*replFeed      // parallel to conns
+	held  map[keys.Range]string     // assigned replica range -> home address
+}
+
+// atomicReplView avoids importing sync/atomic generics clutter inline.
+type atomicReplView struct {
+	mu sync.Mutex
+	v  *replView
+}
+
+func (a *atomicReplView) Load() *replView {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.v
+}
+
+func (a *atomicReplView) Store(v *replView) {
+	a.mu.Lock()
+	a.v = v
+	a.mu.Unlock()
+}
+
+// handleReplicate serves MsgReplicate: adopt a replica assignment and
+// reshape the held replica set to match — drop ranges assigned away,
+// snapshot+subscribe ranges gained. Idempotent: republishing the same
+// assignment diffs to nothing. Assignments older than the one held are
+// ignored (a slow coordinator losing to a repair).
+func (s *Server) handleReplicate(m *rpc.Message) *rpc.Message {
+	next, err := partition.NewEpochVersioned(m.Epoch, m.MapVersion, m.Bounds...)
+	if err != nil {
+		return rpc.ErrReply(m.Seq, err)
+	}
+	if len(m.Peers) != next.Servers() {
+		return rpc.ErrReply(m.Seq, errReplicatePeers)
+	}
+	s.applyReplicaAssignment(next, m.Peers, m.Self, m.Limit, m.Tables)
+	return rpc.OKReply(m.Seq)
+}
+
+var errReplicatePeers = &replError{"replica assignment peer count does not match its map"}
+
+type replError struct{ msg string }
+
+func (e *replError) Error() string { return "pequod server: " + e.msg }
+
+// applyReplicaAssignment installs an assignment and reconciles held
+// replicas against it.
+func (s *Server) applyReplicaAssignment(next *partition.Map, peers []string, self []int, copies int, tables []string) {
+	s.rmu.Lock()
+	defer s.rmu.Unlock()
+	if s.repl == nil {
+		s.repl = &replicaState{
+			s:     s,
+			conns: make(map[string]*client.Client),
+			feeds: make(map[string]*replFeed),
+			held:  make(map[keys.Range]string),
+		}
+	}
+	st := s.repl
+	if cur := st.view.Load(); cur != nil &&
+		partition.Compare(next.Epoch(), next.Version(), cur.pmap.Epoch(), cur.pmap.Version()) < 0 {
+		return
+	}
+	nv := &replView{
+		pmap: next, addrs: append([]string(nil), peers...),
+		self: selfAddrs(peers, self), copies: copies,
+		tables: append([]string(nil), tables...),
+	}
+	// Publish the view before reshaping: feeds filter arrivals against
+	// it, so pushes from a home the new assignment demoted die here even
+	// while the teardown below is still running.
+	st.view.Store(nv)
+
+	desired := make(map[keys.Range]string)
+	if copies > 1 {
+		for o := 0; o < next.Servers(); o++ {
+			home := peers[o]
+			if nv.self[home] {
+				continue // we serve it; nothing to copy
+			}
+			mine := false
+			for _, a := range partition.ReplicaAddrs(peers, o, copies) {
+				if nv.self[a] {
+					mine = true
+					break
+				}
+			}
+			if !mine {
+				continue
+			}
+			desired[ownerRange(next, o)] = home
+		}
+	}
+
+	st.mu.Lock()
+	var drop, fetch []keys.Range
+	for r, home := range st.held {
+		if desired[r] != home {
+			delete(st.held, r)
+			drop = append(drop, r)
+		}
+	}
+	for r, home := range desired {
+		if st.held[r] != home {
+			st.held[r] = home
+			fetch = append(fetch, r)
+		}
+	}
+	// Retire connections to homes the new assignment no longer copies
+	// from.
+	want := make(map[string]bool, len(desired))
+	for _, home := range desired {
+		want[home] = true
+	}
+	for addr, c := range st.conns {
+		if !want[addr] {
+			c.Close()
+			delete(st.conns, addr)
+			delete(st.feeds, addr)
+		}
+	}
+	st.mu.Unlock()
+
+	for _, r := range drop {
+		// A range assigned away is a stale copy — except the pieces this
+		// member was just promoted to *serve*: those rows are the whole
+		// point of replication, and the gate already owns them.
+		s.dropUnownedPieces(r)
+	}
+	for _, r := range fetch {
+		// Ghost rows from an earlier stint as this range's replica (or
+		// subscriber) would shadow the fresh snapshot; pieces the gate
+		// owns (a migration just landed part of this range here) are
+		// served data and must survive.
+		s.dropUnownedPieces(r)
+		go st.syncRange(nv, r, desired[r])
+	}
+}
+
+// dropUnownedPieces drops r from every shard, sparing the pieces the
+// ownership gate says this member serves. The split matters: after a
+// bound move, a replica range and an owned range can overlap — a
+// whole-range ownership test would see "not (fully) owned" and drop
+// freshly spliced served rows along with the stale copy.
+func (s *Server) dropUnownedPieces(r keys.Range) {
+	g := s.pool.Gate()
+	if g == nil {
+		s.pool.DropRangeAll(r)
+		return
+	}
+	for _, pc := range g.Map.Split(r) {
+		if !g.Self[pc.Owner] {
+			s.pool.DropRangeAll(pc.R)
+		}
+	}
+}
+
+// ownerRange returns the key range owner index o serves under m.
+func ownerRange(m *partition.Map, o int) keys.Range {
+	bounds := m.Bounds()
+	var r keys.Range
+	if o > 0 {
+		r.Lo = bounds[o-1]
+	}
+	if o < len(bounds) {
+		r.Hi = bounds[o]
+	}
+	return r
+}
+
+// subRanges restricts a replica range to the replicated tables (all of
+// it when the assignment names none).
+func subRanges(r keys.Range, tables []string) []keys.Range {
+	if len(tables) == 0 {
+		return []keys.Range{r}
+	}
+	var out []keys.Range
+	for _, t := range tables {
+		tr := keys.Range{Lo: t + keys.SepString, Hi: keys.PrefixEnd(t + keys.SepString)}
+		if sub := tr.Intersect(r); !sub.Empty() {
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+// replicaAttempts bounds snapshot retries per assignment; a failing
+// home is retried again when the next publish republishes assignments.
+const replicaAttempts = 4
+
+// syncRange snapshots+subscribes one gained replica range at its home.
+// Runs on its own goroutine; failures are retried a few times and then
+// abandoned until the next assignment publish (the coordinator
+// republishes after every map change, and a repair reassigns a dead
+// home's ranges anyway).
+func (st *replicaState) syncRange(v *replView, r keys.Range, home string) {
+	for attempt := 0; attempt < replicaAttempts; attempt++ {
+		if st.view.Load() != v {
+			return // superseded assignment owns the range now
+		}
+		if st.fetchOnce(v, r, home) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// fetchOnce runs one snapshot+subscribe pass over the range's
+// replicated sub-ranges, reporting whether every piece landed.
+func (st *replicaState) fetchOnce(v *replView, r keys.Range, home string) bool {
+	c, feed, err := st.conn(home)
+	if err != nil {
+		return false
+	}
+	type wait struct {
+		p *replPiece
+		f *client.Future
+	}
+	var waits []wait
+	for _, sub := range subRanges(r, v.tables) {
+		p := feed.register(sub)
+		fut := c.ScanSubAsync(sub.Lo, sub.Hi, func(m *rpc.Message) {
+			if m.Status == rpc.StatusOK {
+				feed.complete(p, m.KVs)
+			} else {
+				feed.complete(p, nil)
+			}
+		})
+		waits = append(waits, wait{p: p, f: fut})
+	}
+	ok := true
+	for _, w := range waits {
+		m, err := w.f.Wait()
+		if err != nil {
+			// Transport failure: the callback never ran; release the
+			// piece so pushes stop buffering behind it.
+			feed.complete(w.p, nil)
+			ok = false
+			continue
+		}
+		if m.Status != rpc.StatusOK {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// conn returns the connection+feed to a home, dialing on first use.
+func (st *replicaState) conn(addr string) (*client.Client, *replFeed, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if c, ok := st.conns[addr]; ok {
+		return c, st.feeds[addr], nil
+	}
+	c, err := client.Dial(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	feed := &replFeed{st: st, addr: addr}
+	c.OnNotify = feed.notify
+	st.conns[addr] = c
+	st.feeds[addr] = feed
+	return c, feed, nil
+}
+
+// upstreamConns returns the connections to every home this member
+// copies from. Quiesce fences them like mesh peers: the ping reply is
+// ordered after any replica pushes the home had queued on the socket,
+// so after the fence every held copy contains every write acknowledged
+// before the quiesce — which is what lets a post-quiesce failover
+// promote replicas without losing acknowledged writes.
+func (st *replicaState) upstreamConns() []*client.Client {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*client.Client, 0, len(st.conns))
+	for _, c := range st.conns {
+		out = append(out, c)
+	}
+	return out
+}
+
+// snapshot reports the held replica ranges (stats).
+func (st *replicaState) snapshot() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.held)
+}
+
+// closeAll tears down the replica machinery (server shutdown, drain).
+func (st *replicaState) closeAll() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for addr, c := range st.conns {
+		c.Close()
+		delete(st.conns, addr)
+		delete(st.feeds, addr)
+	}
+	st.held = make(map[keys.Range]string)
+}
+
+// replFeed is subFeed's replica twin: it serializes one home
+// connection's pushes against the snapshot scans that install its
+// subscriptions, applying everything through the pool's replica path.
+type replFeed struct {
+	st     *replicaState
+	addr   string
+	mu     sync.Mutex
+	pieces []*replPiece
+}
+
+// replPiece is one in-flight snapshot range and the pushes buffered
+// behind it.
+type replPiece struct {
+	r   keys.Range
+	buf []core.Change
+}
+
+func (fd *replFeed) register(r keys.Range) *replPiece {
+	p := &replPiece{r: r}
+	fd.mu.Lock()
+	fd.pieces = append(fd.pieces, p)
+	fd.mu.Unlock()
+	return p
+}
+
+// fresh reports whether a key's replica rows should still come from
+// this feed's home: the current assignment sources it here, and the
+// gate does not say this member owns it (a promotion makes local
+// writes authoritative; a late replica delivery must not clobber
+// them).
+func (fd *replFeed) fresh(key string) bool {
+	v := fd.st.view.Load()
+	if v == nil || v.homeAddr(key) != fd.addr {
+		return false
+	}
+	if g := fd.st.s.pool.Gate(); g != nil && g.OwnsKey(key) {
+		return false
+	}
+	return true
+}
+
+// notify is the home connection's OnNotify: filter stale keys, buffer
+// behind in-flight snapshots, apply the rest.
+func (fd *replFeed) notify(changes []rpc.Change) {
+	out := coreChanges(changes)
+	fresh := out[:0]
+	for _, c := range out {
+		if fd.fresh(c.Key) {
+			fresh = append(fresh, c)
+		}
+	}
+	out = fresh
+	fd.mu.Lock()
+	if len(fd.pieces) > 0 {
+		direct := out[:0]
+		for _, c := range out {
+			buffered := false
+			for _, p := range fd.pieces {
+				if p.r.Contains(c.Key) {
+					p.buf = append(p.buf, c)
+					buffered = true
+					break
+				}
+			}
+			if !buffered {
+				direct = append(direct, c)
+			}
+		}
+		out = direct
+	}
+	fd.mu.Unlock()
+	if len(out) > 0 {
+		fd.st.s.pool.ApplyReplica(out)
+	}
+}
+
+// complete lands a snapshot: apply its rows, then the pushes buffered
+// behind it, and release the piece. Staleness is re-checked per key —
+// the assignment (or the gate) may have moved on while the snapshot
+// was in flight.
+func (fd *replFeed) complete(p *replPiece, kvs []core.KV) {
+	fd.mu.Lock()
+	found := false
+	for i, q := range fd.pieces {
+		if q == p {
+			fd.pieces = append(fd.pieces[:i], fd.pieces[i+1:]...)
+			found = true
+			break
+		}
+	}
+	buf := p.buf
+	p.buf = nil
+	fd.mu.Unlock()
+	if !found {
+		return
+	}
+	changes := make([]core.Change, 0, len(kvs)+len(buf))
+	for _, kv := range kvs {
+		if fd.fresh(kv.Key) {
+			changes = append(changes, core.Change{Op: core.OpPut, Key: kv.Key, Value: kv.Value})
+		}
+	}
+	for _, c := range buf {
+		if fd.fresh(c.Key) {
+			changes = append(changes, c)
+		}
+	}
+	if len(changes) > 0 {
+		fd.st.s.pool.ApplyReplica(changes)
+	}
+}

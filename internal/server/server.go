@@ -38,6 +38,11 @@ import (
 type Config struct {
 	// Name identifies the server in logs/stats.
 	Name string
+	// ID is the server's durable identity — stable across restarts and
+	// address changes, surfaced through the stat RPC so coordinators
+	// and operators can tell a restarted member from a fresh one.
+	// Defaults to Name.
+	ID string
 	// Engine options (optimization toggles, memory limit). A MemLimit is
 	// split evenly across the shards.
 	Engine core.Options
@@ -70,6 +75,7 @@ type subscription struct {
 // Server is one Pequod cache server.
 type Server struct {
 	name string
+	id   string
 
 	pool *shard.Pool
 
@@ -87,6 +93,11 @@ type Server struct {
 	// JoinCluster RPC (guarded by mmu).
 	mmu  sync.Mutex
 	mesh *meshState
+
+	// Replica assignment installed by MsgReplicate (guarded by rmu);
+	// nil until a coordinator publishes one. See replica.go.
+	rmu  sync.Mutex
+	repl *replicaState
 }
 
 // meshState records a server's position in a partitioned mesh so later
@@ -139,9 +150,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		name:  cfg.Name,
+		id:    cfg.ID,
 		pool:  pool,
 		subs:  interval.New[*subscription](),
 		conns: make(map[*conn]struct{}),
+	}
+	if s.id == "" {
+		s.id = cfg.Name
 	}
 	for t, d := range cfg.SubtableDepths {
 		pool.SetSubtableDepth(t, d)
@@ -267,6 +282,13 @@ func (s *Server) Close() {
 	if mesh != nil {
 		mesh.closeAll()
 	}
+	s.rmu.Lock()
+	repl := s.repl
+	s.repl = nil
+	s.rmu.Unlock()
+	if repl != nil {
+		repl.closeAll()
+	}
 	s.pool.Close()
 }
 
@@ -293,6 +315,7 @@ func (s *Server) dropConn(cn *conn) {
 func (s *Server) statJSON() string {
 	snap := struct {
 		Name      string               `json:"name"`
+		ID        string               `json:"id,omitempty"`
 		Shards    int                  `json:"shards"`
 		Entries   int                  `json:"entries"`
 		Bytes     int64                `json:"bytes"`
@@ -302,7 +325,7 @@ func (s *Server) statJSON() string {
 		Joins     string               `json:"joins,omitempty"`
 		Cluster   *clusterStat         `json:"cluster,omitempty"`
 	}{
-		Name: s.name, Shards: s.pool.NumShards(), Entries: s.pool.Len(),
+		Name: s.name, ID: s.id, Shards: s.pool.NumShards(), Entries: s.pool.Len(),
 		Bytes: s.pool.Bytes(), Stats: s.pool.Stats(),
 		Rebalance: s.pool.RebalanceStats(), Load: s.pool.LoadInfo(),
 		// The installed join set travels in stats so a coordinator that
@@ -316,6 +339,11 @@ func (s *Server) statJSON() string {
 			Bounds: g.Map.Bounds(), Peers: g.Peers,
 			Retained: s.pool.RetainedStats().Entries,
 		}
+		s.rmu.Lock()
+		if s.repl != nil {
+			cs.Replicas = s.repl.snapshot()
+		}
+		s.rmu.Unlock()
 		for i := 0; i < g.Map.Servers(); i++ {
 			if g.Self[i] {
 				cs.Self = append(cs.Self, i)
@@ -339,6 +367,7 @@ type clusterStat struct {
 	Peers    []string `json:"peers,omitempty"`
 	Self     []int    `json:"self"`
 	Retained int      `json:"retained"`
+	Replicas int      `json:"replicas,omitempty"` // replica ranges held for peers
 }
 
 // handle processes one request message, returning the reply (nil for
@@ -479,6 +508,9 @@ func (s *Server) handle(cn *conn, m *rpc.Message) *rpc.Message {
 
 	case rpc.MsgDrain:
 		return s.handleDrain(m)
+
+	case rpc.MsgReplicate:
+		return s.handleReplicate(m)
 	}
 	return rpc.ErrReply(m.Seq, errors.New("unknown request"))
 }
@@ -526,6 +558,14 @@ func (s *Server) quiesce(dl time.Time) error {
 		peers = s.mesh.allConns()
 	}
 	s.mmu.Unlock()
+	s.rmu.Lock()
+	if s.repl != nil {
+		// Replica homes are upstream peers too: fencing them makes the
+		// post-quiesce replica copies complete, the property failover
+		// promotion relies on.
+		peers = append(peers, s.repl.upstreamConns()...)
+	}
+	s.rmu.Unlock()
 	ctx := context.Background()
 	if !dl.IsZero() {
 		var cancel context.CancelFunc

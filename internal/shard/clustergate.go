@@ -74,6 +74,8 @@ import (
 	"pequod/internal/core"
 	"pequod/internal/keys"
 	"pequod/internal/partition"
+	"pequod/internal/perrs"
+	"pequod/internal/store"
 )
 
 // Gate is a pool's view of the cluster partition: the versioned map,
@@ -137,6 +139,11 @@ type NotOwnerError struct {
 func (e *NotOwnerError) Error() string {
 	return fmt.Sprintf("shard: not the owner of the requested range (cluster map e%d v%d)", e.Epoch, e.Version)
 }
+
+// Is makes NotOwnerError match the public sentinel via errors.Is
+// (pequod.ErrNotOwner) while the carried map position stays reachable
+// through errors.As.
+func (e *NotOwnerError) Is(target error) bool { return target == perrs.ErrNotOwner }
 
 // Gate returns the pool's current cluster view (nil when the pool is
 // not part of a gated cluster).
@@ -512,10 +519,14 @@ func (p *Pool) applyDiffsLocked(old, ng *Gate, exclude *keys.Range) []keys.Range
 			}
 			changed = append(changed, d)
 		case ownedNew && !ownedOld:
-			// Handed to us without a splice; reconcileRetained restores
-			// any retained copy. Nothing to drop — we held at most a
-			// subscriber replica, which is now authoritative-in-waiting
-			// and will be reconciled against the restored rows.
+			// Handed to us without a splice — a failover promotion, or a
+			// revert; reconcileRetained restores any retained copy after
+			// the locks drop. Nothing to drop: we held at most a replica,
+			// which is now authoritative-in-waiting. Replica feeds apply
+			// rows only to their internally owning shard, though, so the
+			// forwarded source tables sibling shards compute joins from
+			// must be backfilled the way a splice would have done.
+			p.promoteBackfillLocked(d)
 		case !ownedOld && !ownedNew:
 			// Changed hands between two other servers: our cached copy is
 			// a stale replica of data homed elsewhere.
@@ -527,6 +538,58 @@ func (p *Pool) applyDiffsLocked(old, ng *Gate, exclude *keys.Range) []keys.Range
 		}
 	}
 	return changed
+}
+
+// promoteBackfillLocked re-replicates the forwarded/external-source
+// rows of a range this member was just promoted to own: replica feeds
+// land rows only on the internally owning shard, while sibling shards'
+// joins read their own copies of the source tables. Caller holds imu
+// and every shard lock; enqueued changes apply once the locks drop,
+// ordered ahead of any later owner write (the owner forwards under the
+// same locks).
+func (p *Pool) promoteBackfillLocked(d keys.Range) {
+	if len(p.shards) == 1 {
+		return
+	}
+	fwdSet, extSet := *p.fwd.Load(), *p.extRep.Load()
+	if len(fwdSet)+len(extSet) == 0 {
+		return
+	}
+	m := p.pmap.Load()
+	for _, pc := range m.Split(d) {
+		sh := p.shards[pc.Owner]
+		// Raw store walk: a demand scan would block on loads; the
+		// backfill wants only the replica rows already here.
+		sh.e.Store().Scan(pc.R.Lo, pc.R.Hi, func(k string, v *store.Value) bool {
+			t := keys.Table(k)
+			if !fwdSet[t] && !extSet[t] {
+				return true
+			}
+			if m.Owner(k) != pc.Owner {
+				return true
+			}
+			c := core.Change{Op: core.OpPut, Key: k, Value: v.String()}
+			for j, dst := range p.shards {
+				if j != pc.Owner {
+					dst.enqueue(c)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// DropRangeAll drops every shard's cached rows of r with eviction
+// semantics — the replica manager's teardown when an assignment moves
+// a replica elsewhere (the manager never calls it for self-owned
+// ranges).
+func (p *Pool) DropRangeAll(r keys.Range) {
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		sh.e.DropRange(r)
+		sh.loadCond.Broadcast()
+		sh.mu.Unlock()
+	}
 }
 
 // gateAddrs returns the gate's serving address per owner index, synthesizing

@@ -155,6 +155,18 @@ func (sh *Shard) applyChange(c core.Change) {
 	}
 }
 
+// applyReplicaChange is applyChange via the engine's quiet path:
+// replica-range maintenance mirrors writes already counted at their
+// owning member, so it must not inflate this member's op counters.
+// Called with sh.mu held.
+func (sh *Shard) applyReplicaChange(c core.Change) {
+	if c.Op == core.OpRemove {
+		sh.e.RemoveQuiet(c.Key)
+	} else {
+		sh.e.PutQuiet(c.Key, c.Value)
+	}
+}
+
 // record notes one served operation for load accounting. Called with
 // sh.mu held.
 func (sh *Shard) record(key string, units int64) {
@@ -674,8 +686,30 @@ retry:
 // are rerouted, so a concurrent boundary move cannot strand a feed's
 // write on a shard that no longer owns it.
 func (p *Pool) Apply(changes []core.Change) {
+	p.apply(changes, true)
+}
+
+// ApplyReplica is Apply without load accounting: replica-range
+// maintenance (failover warm copies) is not served work, and counting
+// it would make the cluster rebalancer chase replica write traffic
+// instead of client load.
+func (p *Pool) ApplyReplica(changes []core.Change) {
+	p.apply(changes, false)
+}
+
+func (p *Pool) apply(changes []core.Change, record bool) {
 	if len(p.shards) == 1 {
-		p.shards[0].ApplyBatch(changes)
+		sh := p.shards[0]
+		sh.mu.Lock()
+		for _, c := range changes {
+			if record {
+				sh.applyChange(c)
+			} else {
+				sh.applyReplicaChange(c)
+			}
+		}
+		sh.loadCond.Broadcast()
+		sh.mu.Unlock()
 		return
 	}
 	for len(changes) > 0 {
@@ -698,11 +732,15 @@ func (p *Pool) Apply(changes []core.Change) {
 					rerouted = append(rerouted, c)
 					continue
 				}
-				sh.applyChange(c)
-				// Feed-driven writes are owner work like any Put; without
-				// accounting them a database-fed hot shard would look
-				// idle to the rebalancer.
-				sh.record(c.Key, 1)
+				if record {
+					sh.applyChange(c)
+					// Feed-driven writes are owner work like any Put; without
+					// accounting them a database-fed hot shard would look
+					// idle to the rebalancer.
+					sh.record(c.Key, 1)
+				} else {
+					sh.applyReplicaChange(c)
+				}
 			}
 			sh.loadCond.Broadcast()
 			sh.mu.Unlock()

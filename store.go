@@ -24,6 +24,13 @@ import (
 // before waiting on any, so it costs one network round trip per server
 // touched rather than one per element. On the embedded Cache they are
 // simple loops.
+//
+// Distributed failures surface as wrapped sentinel errors, matchable
+// with errors.Is: ErrNotOwner when a routing retry budget ran out
+// mid-migration, ErrMemberDown when a member stayed unreachable past
+// the budget (which spans an automatic failover — see Admin.Repair).
+// Cluster-reshaping failures on the Admin surface additionally use
+// ErrDraining and ErrConflict.
 type Store interface {
 	// Get returns the value under key, computing covering joins on
 	// demand.
