@@ -162,9 +162,12 @@ type Cluster struct {
 	copies int
 
 	// failEvery/failMisses configure the failure detector; monStop and
-	// monDone bracket its goroutine's lifetime (failover.go).
+	// monDone bracket its goroutine's lifetime (failover.go). downPause
+	// is the per-attempt wait for unavailable-member retries, scaled at
+	// New so the whole budget spans detection plus repair.
 	failEvery  time.Duration
 	failMisses int
+	downPause  time.Duration
 	monStop    chan struct{}
 	monDone    chan struct{}
 	monOnce    sync.Once
@@ -201,6 +204,19 @@ func New(ctx context.Context, cfg Config) (*Cluster, error) {
 	}
 	if cl.failMisses <= 0 {
 		cl.failMisses = defaultFailMisses
+	}
+	// The unavailable-retry budget must outlast an automatic failover:
+	// detection takes FailoverInterval × FailoverMisses plus the
+	// confirming tick, and the repair itself re-probes and publishes.
+	// Spread that window (with a second of repair slack) across the
+	// retry attempts; without a detector the fixed floor stands, since
+	// only a manual Repair can ever route around the death.
+	cl.downPause = failPause
+	if cl.failEvery > 0 {
+		budget := cl.failEvery*time.Duration(cl.failMisses+1) + time.Second
+		if p := budget / time.Duration(opRetries-1); p > cl.downPause {
+			cl.downPause = p
+		}
 	}
 	if cl.coordID == 0 && cfg.CoordinatorName != "" {
 		cl.coordID = nameCoordID(cfg.CoordinatorName)
@@ -508,10 +524,13 @@ func (cl *Cluster) adoptView(nv *view) {
 	}
 }
 
-// failPause is the wait before retrying an operation that failed
-// because its member was unreachable: long enough, across the retry
-// budget, for the failure detector to confirm the death and a repair
-// to publish the successor map the retry will route against.
+// failPause is the minimum wait before retrying an operation that
+// failed because its member was unreachable. When an automatic failure
+// detector is configured, New scales the actual pause (Cluster.
+// downPause) from FailoverInterval × FailoverMisses so the full retry
+// budget outlasts detection plus repair — fixed constants would
+// exhaust in under half a second while a production detector is still
+// counting misses.
 const failPause = 30 * time.Millisecond
 
 // retryOp handles one routed-operation failure and reports whether the
@@ -536,7 +555,7 @@ func (cl *Cluster) retryOp(ctx context.Context, err error, attempt int) bool {
 		return true
 	}
 	if client.IsUnavailable(err) {
-		return cl.pause(ctx, failPause)
+		return cl.pause(ctx, cl.downPause)
 	}
 	return false
 }

@@ -35,6 +35,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
@@ -118,14 +119,36 @@ func (cl *Cluster) probe(ctx context.Context, addr string) error {
 	return c.Ping(pctx)
 }
 
-// Repair probes every member and, if some are unreachable, publishes a
-// same-bounds successor map that reassigns each dead member's ranges to
-// a surviving replica holder (the live ring successor — the member the
-// shared placement walk put the replica on). Survivors adopt the map,
-// the heirs' gates promote their warm replicas to served data, and the
-// repaired addresses are returned. With every member healthy it is a
-// no-op. Repairing a cluster with no survivors fails with
-// ErrMemberDown; nothing can be promoted.
+// confirmDead decides whether Repair may remove a member: one missed
+// ping must not repair out a merely slow or GC-paused member that
+// would keep accepting writes from clients holding the old map, so
+// death requires failMisses consecutive probe failures — the same
+// threshold the automatic detector applies across its ticks — and any
+// answered probe confirms life immediately. Returns nil for a live
+// member, the last probe error for a confirmed-dead one.
+func (cl *Cluster) confirmDead(ctx context.Context, addr string) error {
+	var err error
+	for i := 0; i < cl.failMisses; i++ {
+		if i > 0 && !cl.pause(ctx, probeTimeout/2) {
+			return err
+		}
+		if err = cl.probe(ctx, addr); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// Repair probes every member and, if some are confirmed unreachable
+// (failMisses consecutive missed probes each — a single missed ping
+// never removes a member), publishes a same-bounds successor map that
+// reassigns each dead member's ranges to a surviving replica holder
+// (the live ring successor — the member the shared placement walk put
+// the replica on). Survivors adopt the map, the heirs' gates promote
+// their warm replicas to served data, and the repaired addresses are
+// returned. With every member healthy it is a no-op. Repairing a
+// cluster with no survivors fails with ErrMemberDown; nothing can be
+// promoted.
 func (cl *Cluster) Repair(ctx context.Context) ([]string, error) {
 	cl.mvmu.Lock()
 	defer cl.mvmu.Unlock()
@@ -137,7 +160,7 @@ func (cl *Cluster) Repair(ctx context.Context) ([]string, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			probeErrs[i] = cl.probe(ctx, m.addr)
+			probeErrs[i] = cl.confirmDead(ctx, m.addr)
 		}()
 	}
 	wg.Wait()
@@ -166,11 +189,19 @@ func (cl *Cluster) Repair(ctx context.Context) ([]string, error) {
 			heirs[o] = a
 			continue
 		}
-		for _, s := range partition.ReplicaAddrs(v.addrs, o, len(v.mbrs)) {
-			if !dead[s] {
-				heirs[o] = s
-				break
+		for i, s := range partition.ReplicaAddrs(v.addrs, o, len(v.mbrs)) {
+			if dead[s] {
+				continue
 			}
+			heirs[o] = s
+			if i >= cl.copies-1 {
+				// The heir is past the first copies-1 successors — every
+				// member actually holding a warm copy of this range died
+				// with its owner. The range comes back empty rather than
+				// unserved, but the operator must know writes were lost.
+				log.Printf("pequod cluster: repair: range %d (owner %s): no replica holder survives; promoting %s without a warm copy — acknowledged writes in this range are lost", o, a, s)
+			}
+			break
 		}
 		if heirs[o] == "" {
 			return nil, fmt.Errorf("cluster: repair: no survivor for owner %d (%s): %w", o, a, perrs.ErrMemberDown)
@@ -191,6 +222,25 @@ func (cl *Cluster) Repair(ctx context.Context) ([]string, error) {
 	if err := cl.publish(ctx, nv, nil); err != nil {
 		return deadAddrs, fmt.Errorf("cluster: repair published, but not to every survivor (they converge via NotOwner): %w", err)
 	}
+	// Best-effort fence toward the removed members: a falsely-dead one
+	// (slow, paused, briefly partitioned) must learn it owns nothing
+	// under the repaired map, or it would keep acknowledging writes from
+	// clients still holding the old map — writes silently lost once
+	// traffic routes to the heirs. Its gate flips to NotOwner-bouncing
+	// everything on adoption; a truly dead member just misses the
+	// message.
+	var fwg sync.WaitGroup
+	for _, a := range deadAddrs {
+		a := a
+		fwg.Add(1)
+		go func() {
+			defer fwg.Done()
+			fctx, cancel := context.WithTimeout(ctx, probeTimeout)
+			defer cancel()
+			cl.publishView(fctx, nv, a) //nolint:errcheck // best-effort fence
+		}()
+	}
+	fwg.Wait()
 	// Retire the dead members' connections so no later routing decision
 	// waits out a connect timeout to an address known to be gone.
 	cl.cmu.Lock()

@@ -28,6 +28,13 @@ package server
 // from this feed's home — or when the gate says this member now *owns*
 // them, so a late replica delivery can never clobber a post-promotion
 // write.
+//
+// A held range is confirmed *synced* only once a full snapshot+
+// subscribe pass lands. Unsynced ranges are re-scheduled by every
+// assignment apply and by a watchdog tick that also retires failed
+// home connections (their push feeds died with them), so neither a
+// republished assignment nor a home restart nor an exhausted retry
+// loop can leave a copy permanently empty or silently stale.
 
 import (
 	"sync"
@@ -59,10 +66,27 @@ type replicaState struct {
 	s    *Server
 	view atomicReplView
 
+	stop     chan struct{} // closed by closeAll; ends the watchdog
+	stopOnce sync.Once
+
 	mu    sync.Mutex
 	conns map[string]*client.Client // by home address
 	feeds map[string]*replFeed      // parallel to conns
-	held  map[keys.Range]string     // assigned replica range -> home address
+	held  map[keys.Range]*replHold  // assigned replica range -> sync state
+}
+
+// replHold is one assigned replica range's sync state. The home is
+// fixed for the life of the entry — a reassignment replaces the entry —
+// so a sync goroutine can verify it still owns its range by pointer
+// identity alone. synced flips true only after a full snapshot+subscribe
+// pass lands, and back to false when the home connection fails (pushes
+// were missed; the copy must re-snapshot). An unsynced entry is
+// re-scheduled by every assignment apply and by the watchdog, so no
+// failure mode leaves a replica permanently empty or stale.
+type replHold struct {
+	home    string
+	synced  bool
+	syncing bool
 }
 
 // atomicReplView avoids importing sync/atomic generics clutter inline.
@@ -114,10 +138,12 @@ func (s *Server) applyReplicaAssignment(next *partition.Map, peers []string, sel
 	if s.repl == nil {
 		s.repl = &replicaState{
 			s:     s,
+			stop:  make(chan struct{}),
 			conns: make(map[string]*client.Client),
 			feeds: make(map[string]*replFeed),
-			held:  make(map[keys.Range]string),
+			held:  make(map[keys.Range]*replHold),
 		}
+		go s.repl.watch()
 	}
 	st := s.repl
 	if cur := st.view.Load(); cur != nil &&
@@ -155,18 +181,36 @@ func (s *Server) applyReplicaAssignment(next *partition.Map, peers []string, sel
 		}
 	}
 
+	type syncJob struct {
+		h     *replHold
+		r     keys.Range
+		fresh bool
+	}
 	st.mu.Lock()
-	var drop, fetch []keys.Range
-	for r, home := range st.held {
-		if desired[r] != home {
+	var drop []keys.Range
+	var jobs []syncJob
+	for r, h := range st.held {
+		if desired[r] != h.home {
 			delete(st.held, r)
 			drop = append(drop, r)
 		}
 	}
 	for r, home := range desired {
-		if st.held[r] != home {
-			st.held[r] = home
-			fetch = append(fetch, r)
+		h := st.held[r]
+		fresh := h == nil
+		if fresh {
+			h = &replHold{home: home}
+			st.held[r] = h
+		}
+		// Schedule a sync for every desired range not yet confirmed
+		// synced — a fresh grant, an earlier sync that exhausted its
+		// attempts, or a copy marked stale by a failed home connection.
+		// An identical republish with a sync already in flight adopts it
+		// (the goroutine re-reads the view each attempt) instead of
+		// cancelling and re-counting held as done.
+		if !h.synced && !h.syncing {
+			h.syncing = true
+			jobs = append(jobs, syncJob{h: h, r: r, fresh: fresh})
 		}
 	}
 	// Retire connections to homes the new assignment no longer copies
@@ -190,13 +234,18 @@ func (s *Server) applyReplicaAssignment(next *partition.Map, peers []string, sel
 		// point of replication, and the gate already owns them.
 		s.dropUnownedPieces(r)
 	}
-	for _, r := range fetch {
-		// Ghost rows from an earlier stint as this range's replica (or
-		// subscriber) would shadow the fresh snapshot; pieces the gate
-		// owns (a migration just landed part of this range here) are
-		// served data and must survive.
-		s.dropUnownedPieces(r)
-		go st.syncRange(nv, r, desired[r])
+	for _, j := range jobs {
+		if j.fresh {
+			// Ghost rows from an earlier stint as this range's replica
+			// (or subscriber) would shadow the fresh snapshot; pieces the
+			// gate owns (a migration just landed part of this range
+			// here) are served data and must survive. Re-scheduled syncs
+			// skip this: their possibly-stale copy is still the best
+			// available promotion source until a snapshot replaces it
+			// (replFeed.complete drops ghosts before applying).
+			s.dropUnownedPieces(j.r)
+		}
+		go st.syncRange(j.h, j.r, j.h.home)
 	}
 }
 
@@ -247,24 +296,97 @@ func subRanges(r keys.Range, tables []string) []keys.Range {
 	return out
 }
 
-// replicaAttempts bounds snapshot retries per assignment; a failing
-// home is retried again when the next publish republishes assignments.
+// replicaAttempts bounds snapshot retries per scheduled sync; a range
+// still unsynced after them is re-scheduled by the next assignment
+// publish or the next watchdog tick, so a failing home is retried
+// until it answers or a repair reassigns its ranges.
 const replicaAttempts = 4
 
-// syncRange snapshots+subscribes one gained replica range at its home.
-// Runs on its own goroutine; failures are retried a few times and then
-// abandoned until the next assignment publish (the coordinator
-// republishes after every map change, and a repair reassigns a dead
-// home's ranges anyway).
-func (st *replicaState) syncRange(v *replView, r keys.Range, home string) {
+// replWatchEvery paces the watchdog that retires failed home
+// connections and re-schedules unsynced ranges.
+const replWatchEvery = 200 * time.Millisecond
+
+// syncRange snapshots+subscribes one assigned replica range at its
+// home. Runs on its own goroutine, at most one per held entry (the
+// syncing flag). It re-reads the current view each attempt, so a
+// republished — even reshaped — assignment that still sources the
+// range from the same home is adopted mid-sync rather than cancelling
+// it; the range is confirmed synced only after a full pass lands.
+func (st *replicaState) syncRange(h *replHold, r keys.Range, home string) {
+	defer func() {
+		st.mu.Lock()
+		h.syncing = false
+		st.mu.Unlock()
+	}()
 	for attempt := 0; attempt < replicaAttempts; attempt++ {
-		if st.view.Load() != v {
-			return // superseded assignment owns the range now
+		v := st.view.Load()
+		st.mu.Lock()
+		live := st.held[r] == h && !h.synced
+		st.mu.Unlock()
+		if v == nil || !live {
+			return // reassigned (or already synced) while we slept
 		}
 		if st.fetchOnce(v, r, home) {
+			st.mu.Lock()
+			if st.held[r] == h {
+				h.synced = true
+			}
+			st.mu.Unlock()
 			return
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// watch is the replica watchdog: every tick it retires home
+// connections that failed (a home restart or TCP reset kills the push
+// feed silently — the copy would otherwise go stale while held still
+// matched the assignment) and re-schedules a sync for every assigned
+// range not confirmed synced, covering both the missed-pushes case and
+// syncs that exhausted their attempts between publishes.
+func (st *replicaState) watch() {
+	t := time.NewTicker(replWatchEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-st.stop:
+			return
+		case <-t.C:
+		}
+		st.resync()
+	}
+}
+
+// resync does one watchdog pass; see watch.
+func (st *replicaState) resync() {
+	type syncJob struct {
+		h *replHold
+		r keys.Range
+	}
+	st.mu.Lock()
+	for addr, c := range st.conns {
+		if !c.Failed() {
+			continue
+		}
+		c.Close()
+		delete(st.conns, addr)
+		delete(st.feeds, addr)
+		for _, h := range st.held {
+			if h.home == addr {
+				h.synced = false // pushes were missed; re-snapshot
+			}
+		}
+	}
+	var jobs []syncJob
+	for r, h := range st.held {
+		if !h.synced && !h.syncing {
+			h.syncing = true
+			jobs = append(jobs, syncJob{h: h, r: r})
+		}
+	}
+	st.mu.Unlock()
+	for _, j := range jobs {
+		go st.syncRange(j.h, j.r, j.h.home)
 	}
 }
 
@@ -284,9 +406,9 @@ func (st *replicaState) fetchOnce(v *replView, r keys.Range, home string) bool {
 		p := feed.register(sub)
 		fut := c.ScanSubAsync(sub.Lo, sub.Hi, func(m *rpc.Message) {
 			if m.Status == rpc.StatusOK {
-				feed.complete(p, m.KVs)
+				feed.complete(p, m.KVs, true)
 			} else {
-				feed.complete(p, nil)
+				feed.complete(p, nil, false)
 			}
 		})
 		waits = append(waits, wait{p: p, f: fut})
@@ -297,7 +419,7 @@ func (st *replicaState) fetchOnce(v *replView, r keys.Range, home string) bool {
 		if err != nil {
 			// Transport failure: the callback never ran; release the
 			// piece so pushes stop buffering behind it.
-			feed.complete(w.p, nil)
+			feed.complete(w.p, nil, false)
 			ok = false
 			continue
 		}
@@ -308,12 +430,27 @@ func (st *replicaState) fetchOnce(v *replView, r keys.Range, home string) bool {
 	return ok
 }
 
-// conn returns the connection+feed to a home, dialing on first use.
+// conn returns the connection+feed to a home, dialing on first use and
+// redialing when the cached connection failed (the home restarted, or
+// the transport reset). A failed connection means its push feed died
+// with it, so every range sourced from the home is marked unsynced —
+// the caller's sync (and the watchdog, for ranges nobody is syncing)
+// re-snapshots them over the fresh connection.
 func (st *replicaState) conn(addr string) (*client.Client, *replFeed, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if c, ok := st.conns[addr]; ok {
-		return c, st.feeds[addr], nil
+		if !c.Failed() {
+			return c, st.feeds[addr], nil
+		}
+		c.Close()
+		delete(st.conns, addr)
+		delete(st.feeds, addr)
+		for _, h := range st.held {
+			if h.home == addr {
+				h.synced = false
+			}
+		}
 	}
 	c, err := client.Dial(addr)
 	if err != nil {
@@ -342,15 +479,23 @@ func (st *replicaState) upstreamConns() []*client.Client {
 	return out
 }
 
-// snapshot reports the held replica ranges (stats).
+// snapshot reports the synced replica ranges (stats): copies actually
+// landed, not merely assigned.
 func (st *replicaState) snapshot() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return len(st.held)
+	n := 0
+	for _, h := range st.held {
+		if h.synced {
+			n++
+		}
+	}
+	return n
 }
 
 // closeAll tears down the replica machinery (server shutdown, drain).
 func (st *replicaState) closeAll() {
+	st.stopOnce.Do(func() { close(st.stop) })
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	for addr, c := range st.conns {
@@ -358,7 +503,7 @@ func (st *replicaState) closeAll() {
 		delete(st.conns, addr)
 		delete(st.feeds, addr)
 	}
-	st.held = make(map[keys.Range]string)
+	st.held = make(map[keys.Range]*replHold)
 }
 
 // replFeed is subFeed's replica twin: it serializes one home
@@ -440,8 +585,14 @@ func (fd *replFeed) notify(changes []rpc.Change) {
 // complete lands a snapshot: apply its rows, then the pushes buffered
 // behind it, and release the piece. Staleness is re-checked per key —
 // the assignment (or the gate) may have moved on while the snapshot
-// was in flight.
-func (fd *replFeed) complete(p *replPiece, kvs []core.KV) {
+// was in flight. ok distinguishes a successful (possibly empty)
+// snapshot from a failed scan: a successful one is the home's full
+// state for the piece, so the old copy is dropped first — rows the
+// snapshot lacks are deletions this feed missed while unsubscribed (a
+// home restart, a resync) and must not survive as ghosts. A failed
+// scan keeps whatever copy exists: still the best promotion source
+// until a retry replaces it.
+func (fd *replFeed) complete(p *replPiece, kvs []core.KV, ok bool) {
 	fd.mu.Lock()
 	found := false
 	for i, q := range fd.pieces {
@@ -456,6 +607,9 @@ func (fd *replFeed) complete(p *replPiece, kvs []core.KV) {
 	fd.mu.Unlock()
 	if !found {
 		return
+	}
+	if ok {
+		fd.st.s.dropUnownedPieces(p.r)
 	}
 	changes := make([]core.Change, 0, len(kvs)+len(buf))
 	for _, kv := range kvs {
