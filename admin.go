@@ -56,6 +56,11 @@ type Admin interface {
 	// MoveBound migrates the key range implied by moving partition
 	// bound i between the members on either side of it, live.
 	MoveBound(ctx context.Context, i int, bound string) error
+	// Snapshot asks every member to write a durable snapshot now,
+	// bounding each one's restart replay to the log written afterwards.
+	// Memory-only members (no data dir) fail theirs; the joined error
+	// names them while the rest still snapshot.
+	Snapshot(ctx context.Context) error
 	// RebalancerStats snapshots the cluster rebalancer's activity and
 	// the live map.
 	RebalancerStats() ClusterRebalancerStats

@@ -54,12 +54,18 @@
 //	                         map, and tear down its mesh wiring — then
 //	                         it is safe to stop the process
 //	health                   probe every member and print one line each:
-//	                         liveness, durable ID, owned ranges, and
-//	                         replicas held
+//	                         liveness, durable ID, owned ranges, replicas
+//	                         held, and — on members running with a
+//	                         -data-dir — durability state (write-behind
+//	                         log lag, last snapshot age)
 //	repair                   reassign every unreachable member's ranges
 //	                         to surviving replica holders and publish
 //	                         the repaired map (what the automatic
 //	                         failure detector runs on a confirmed death)
+//	snapshot                 ask every member to write a durable snapshot
+//	                         now, bounding restart replay before planned
+//	                         maintenance (members without a -data-dir
+//	                         fail theirs and are named in the error)
 //
 // See docs/OPERATIONS.md for the full add/drain/repair runbooks
 // (including what the failure modes look like and how to read the stat
@@ -104,8 +110,10 @@ commands (cluster mode only):
   rebalance [DUR]          auto-migrate hot ranges for DUR (default 30s)
   add ADDR [OWNER BOUND]   join the server at ADDR live (see docs/OPERATIONS.md)
   drain ADDR               drain the member at ADDR live, then remove it
-  health                   probe every member: liveness, ID, ranges, replicas
+  health                   probe every member: liveness, ID, ranges, replicas,
+                           durability (log lag, snapshot age)
   repair                   promote replicas over unreachable members (failover)
+  snapshot                 durable snapshot at every member (bounds restart replay)
 
 flags:
 `
@@ -301,7 +309,15 @@ func run(ctx context.Context, c pequod.Store, args []string) error {
 		down := 0
 		for _, h := range adm.Health(ctx) {
 			if h.Alive {
-				fmt.Printf("%s\talive\tid=%s\towners=%d\treplicas=%d\n", h.Addr, h.ID, h.Owners, h.Replicas)
+				durable := "durable=off"
+				if h.Durable {
+					age := "none"
+					if h.SnapshotAgeMS >= 0 {
+						age = (time.Duration(h.SnapshotAgeMS) * time.Millisecond).String()
+					}
+					durable = fmt.Sprintf("log-lag=%dB\tsnapshot-age=%s", h.LogLagBytes, age)
+				}
+				fmt.Printf("%s\talive\tid=%s\towners=%d\treplicas=%d\t%s\n", h.Addr, h.ID, h.Owners, h.Replicas, durable)
 				continue
 			}
 			down++
@@ -329,6 +345,18 @@ func run(ctx context.Context, c pequod.Store, args []string) error {
 			fmt.Printf("repaired %s out of the map (map e%d v%d: %d members remain)\n",
 				strings.Join(repaired, ","), st.Epoch, st.Version, adm.Members())
 		}
+	case "snapshot":
+		adm, ok := c.(pequod.Admin)
+		if !ok {
+			return fmt.Errorf("snapshot needs cluster mode (-addrs with -bounds)")
+		}
+		if len(args) != 1 {
+			return fmt.Errorf("snapshot")
+		}
+		if err := adm.Snapshot(ctx); err != nil {
+			return err
+		}
+		fmt.Printf("snapshot written at all %d members; restart replay starts from here\n", adm.Members())
 	case "rebalance":
 		cl, ok := c.(*pequod.Cluster)
 		if !ok {

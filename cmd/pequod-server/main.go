@@ -7,6 +7,7 @@
 //	              [-mem bytes] [-no-hints] [-no-sharing]
 //	              [-shards n] [-bounds k1,k2,...]
 //	              [-rebalance 100ms] [-rebalance-ratio 1.5]
+//	              [-data-dir dir] [-sync-interval 25ms] [-snapshot-interval 30s]
 //
 // -shards runs n partitioned engines served concurrently (§2.4 scaled
 // into one process); -bounds sets the n-1 split points between them
@@ -24,6 +25,16 @@
 // skew; -rebalance-ratio sets how far above the mean a shard's load
 // must run to trigger a migration. The stat RPC reports migrations,
 // the live bounds, and per-shard load.
+//
+// -data-dir enables the durable range store: base writes stream to a
+// write-behind log under the directory (fsynced in batches every
+// -sync-interval), periodic snapshots (every -snapshot-interval)
+// truncate the log, and a restart with the same -data-dir recovers the
+// member's rows, cluster position, and mesh wiring from disk before it
+// serves — warm restarts, and the last-resort rebuild source for
+// `pequod-cli` repairs when no live replica holder survives. Without
+// the flag the server is purely in-memory, exactly as before. See
+// docs/OPERATIONS.md for sizing and recovery triage.
 //
 // Cluster deployments need no flags here: a pequod cluster client (or
 // pequod-cli -addrs ... move/rebalance) publishes the cluster partition
@@ -91,6 +102,9 @@ func main() {
 	bounds := flag.String("bounds", "", "comma-separated partition split points (shards-1 keys)")
 	rebalance := flag.Duration("rebalance", 0, "load sampling interval for live shard rebalancing (0 = static bounds)")
 	rebalanceRatio := flag.Float64("rebalance-ratio", 0, "hot-shard load ratio over the mean that triggers a migration (0 = default 1.5)")
+	dataDir := flag.String("data-dir", "", "durable range store directory (empty = in-memory only)")
+	syncInterval := flag.Duration("sync-interval", 0, "write-behind log fsync batching interval (0 = default 25ms; needs -data-dir)")
+	snapshotInterval := flag.Duration("snapshot-interval", 0, "durable snapshot interval (0 = default 30s; needs -data-dir)")
 	subtables := subtableFlags{}
 	flag.Var(subtables, "subtable", "subtable boundary, table=depth (repeatable, §4.1)")
 	flag.Parse()
@@ -104,6 +118,9 @@ func main() {
 		joins = string(data)
 	}
 
+	if *dataDir == "" && (*syncInterval != 0 || *snapshotInterval != 0) {
+		log.Fatal("-sync-interval and -snapshot-interval tune the durable store; pass -data-dir to enable it")
+	}
 	if *shards > 1 && *bounds == "" && *rebalance == 0 {
 		log.Printf("warning: -shards without -bounds splits the raw byte space evenly;" +
 			" keys with ASCII table prefixes (p|, s|, t|, ...) all land on one shard" +
@@ -122,11 +139,14 @@ func main() {
 			DisableValueSharing: *noSharing,
 			MemLimit:            *memLimit,
 		},
-		Joins:          joins,
-		SubtableDepths: subtables,
-		Shards:         *shards,
-		Bounds:         splitBounds(*bounds),
-		Rebalance:      reb,
+		Joins:            joins,
+		SubtableDepths:   subtables,
+		Shards:           *shards,
+		Bounds:           splitBounds(*bounds),
+		Rebalance:        reb,
+		DataDir:          *dataDir,
+		SyncInterval:     *syncInterval,
+		SnapshotInterval: *snapshotInterval,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -135,7 +155,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err) // unreachable: server.New validated already
 	}
-	log.Printf("listening on %s (%d joins installed, %d shards)", *addr, len(installed), s.Pool().NumShards())
+	durably := ""
+	if *dataDir != "" {
+		durably = fmt.Sprintf(", durable in %s", *dataDir)
+	}
+	log.Printf("listening on %s (%d joins installed, %d shards%s)", *addr, len(installed), s.Pool().NumShards(), durably)
 	if err := s.ListenAndServe(*addr); err != nil {
 		log.Fatal(err)
 	}

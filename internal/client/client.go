@@ -519,6 +519,24 @@ type StatSnapshot struct {
 		Samples []string `json:"samples"`
 	} `json:"load"`
 	Joins   string `json:"joins"`
+	Durable *struct {
+		Dir           string `json:"dir"`
+		LagBytes      int64  `json:"lag_bytes"`
+		Segment       int64  `json:"segment"`
+		SegmentBytes  int64  `json:"segment_bytes"`
+		Snapshot      int64  `json:"snapshot"`
+		SnapshotAgeMS int64  `json:"snapshot_age_ms"`
+		Dropped       int64  `json:"dropped_records,omitempty"`
+		Err           string `json:"error,omitempty"`
+		Recovery      *struct {
+			SnapshotRows int  `json:"snapshot_rows"`
+			LogSegments  int  `json:"log_segments"`
+			LogRecords   int  `json:"log_records"`
+			RestoredRows int  `json:"restored_rows"`
+			RestoredWarm int  `json:"restored_warm"`
+			Torn         bool `json:"torn,omitempty"`
+		} `json:"recovery,omitempty"`
+	} `json:"durable,omitempty"`
 	Cluster *struct {
 		Epoch    int64    `json:"epoch"`
 		Version  int64    `json:"version"`
@@ -597,6 +615,30 @@ func (c *Client) ConnectPeers(ctx context.Context, bounds, addrs []string, self 
 func (c *Client) Drain(ctx context.Context) error {
 	_, err := c.Do(ctx, &rpc.Message{Type: rpc.MsgDrain})
 	return err
+}
+
+// SnapshotNow asks the server to commit one durable snapshot before
+// returning, reporting the rows it captured. Errors when the server
+// has no data dir configured.
+func (c *Client) SnapshotNow(ctx context.Context) (int64, error) {
+	m, err := c.Do(ctx, &rpc.Message{Type: rpc.MsgSnapshot})
+	if err != nil {
+		return 0, err
+	}
+	return m.Count, nil
+}
+
+// RebuildRange asks the server to restore [lo, hi) from its own
+// durable store — the last-resort repair path when no live member
+// holds a warm copy — reporting the rows it brought back. Only keys
+// absent from the server's memory are installed, so writes that landed
+// after a promotion are never clobbered by older disk state.
+func (c *Client) RebuildRange(ctx context.Context, lo, hi string) (int64, error) {
+	m, err := c.Do(ctx, &rpc.Message{Type: rpc.MsgRebuildRange, Lo: lo, Hi: hi})
+	if err != nil {
+		return 0, err
+	}
+	return m.Count, nil
 }
 
 // CommandAsync issues a generic command (baseline comparison engines:

@@ -19,12 +19,13 @@ import (
 var testBounds = []string{"p|", "t|", "t|u5"}
 
 // startServers launches n single-shard servers and returns their
-// addresses.
+// addresses. With PEQUOD_TEST_DATADIR set each server persists to its
+// own temp dir, re-running the whole suite with durability on.
 func startServers(t *testing.T, n int) []string {
 	t.Helper()
 	addrs := make([]string, n)
 	for i := 0; i < n; i++ {
-		s, err := server.New(server.Config{Name: fmt.Sprintf("m%d", i)})
+		s, err := server.New(server.Config{Name: fmt.Sprintf("m%d", i), DataDir: testDataDir(t)})
 		if err != nil {
 			t.Fatal(err)
 		}

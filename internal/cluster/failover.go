@@ -34,6 +34,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"sync"
@@ -69,6 +70,14 @@ type MemberHealth struct {
 	// copies of for other members.
 	Owners   int `json:"owners"`
 	Replicas int `json:"replicas"`
+	// Durable reports whether the member runs with a durable range
+	// store (a -data-dir); when it does, LogLagBytes is how much logged
+	// data is still waiting for its batched fsync and SnapshotAgeMS how
+	// old the last durable snapshot is (-1 until the first one lands) —
+	// together, the member's worst-case loss and replay window.
+	Durable       bool  `json:"durable,omitempty"`
+	LogLagBytes   int64 `json:"log_lag_bytes,omitempty"`
+	SnapshotAgeMS int64 `json:"snapshot_age_ms,omitempty"`
 }
 
 // Health probes every member concurrently and reports each one's
@@ -96,6 +105,11 @@ func (cl *Cluster) Health(ctx context.Context) []MemberHealth {
 					if st.Cluster != nil {
 						h.Replicas = st.Cluster.Replicas
 					}
+					if st.Durable != nil {
+						h.Durable = true
+						h.LogLagBytes = st.Durable.LagBytes
+						h.SnapshotAgeMS = st.Durable.SnapshotAgeMS
+					}
 				}
 			}
 			if err != nil {
@@ -106,6 +120,34 @@ func (cl *Cluster) Health(ctx context.Context) []MemberHealth {
 	}
 	wg.Wait()
 	return out
+}
+
+// Snapshot asks every member to write a durable snapshot now — before
+// planned maintenance, an operator bounds every member's restart replay
+// to the log written after this call. Members run their snapshots
+// concurrently; each one's log truncates on success. Memory-only
+// members (no -data-dir) fail theirs, and the joined error names each
+// member that could not comply while the rest still snapshot.
+func (cl *Cluster) Snapshot(ctx context.Context) error {
+	v := cl.v.Load()
+	errs := make([]error, len(v.mbrs))
+	var wg sync.WaitGroup
+	for i, m := range v.mbrs {
+		i, m := i, m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := cl.conn(ctx, m.addr)
+			if err == nil {
+				_, err = c.SnapshotNow(ctx)
+			}
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: snapshot at %s: %w", m.addr, err)
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // probe pings one member within the probe timeout.
@@ -184,6 +226,11 @@ func (cl *Cluster) Repair(ctx context.Context) ([]string, error) {
 	// the replicas live, so walking in that order hands the range to a
 	// member that already holds it warm whenever one survives.
 	heirs := make([]string, len(v.addrs))
+	type coldPromo struct {
+		owner int
+		heir  string
+	}
+	var cold []coldPromo
 	for o, a := range v.addrs {
 		if !dead[a] {
 			heirs[o] = a
@@ -197,9 +244,12 @@ func (cl *Cluster) Repair(ctx context.Context) ([]string, error) {
 			if i >= cl.copies-1 {
 				// The heir is past the first copies-1 successors — every
 				// member actually holding a warm copy of this range died
-				// with its owner. The range comes back empty rather than
-				// unserved, but the operator must know writes were lost.
-				log.Printf("pequod cluster: repair: range %d (owner %s): no replica holder survives; promoting %s without a warm copy — acknowledged writes in this range are lost", o, a, s)
+				// with its owner. Last resort: after the publish, ask the
+				// heir to rebuild the range from its own durable store
+				// (rows from an earlier replica assignment or ownership
+				// stint linger there until its next snapshot).
+				log.Printf("pequod cluster: repair: range %d (owner %s): no replica holder survives; promoting %s without a warm copy", o, a, s)
+				cold = append(cold, coldPromo{owner: o, heir: s})
 			}
 			break
 		}
@@ -221,6 +271,40 @@ func (cl *Cluster) Repair(ctx context.Context) ([]string, error) {
 	// nothing — and the heirs' gates promote instead of re-fetching.
 	if err := cl.publish(ctx, nv, nil); err != nil {
 		return deadAddrs, fmt.Errorf("cluster: repair published, but not to every survivor (they converge via NotOwner): %w", err)
+	}
+	// Cold promotions: the heir owns the range now (the publish landed),
+	// so disk-recovered rows restore behind live writes — absent keys
+	// only — and whatever its durable lineage still holds comes back
+	// instead of nothing. Best-effort: a memory-only heir reports an
+	// error and the promotion stays empty, exactly as before.
+	for _, cp := range cold {
+		r := ownerRange(nv.pmap, cp.owner)
+		c, err := cl.conn(ctx, cp.heir)
+		if err == nil {
+			var n int64
+			if n, err = c.RebuildRange(ctx, r.Lo, r.Hi); err == nil {
+				log.Printf("pequod cluster: repair: range %d: rebuilt %d rows from %s's durable store", cp.owner, n, cp.heir)
+				continue
+			}
+		}
+		log.Printf("pequod cluster: repair: range %d: durable rebuild at %s failed (%v) — acknowledged writes in this range are lost", cp.owner, cp.heir, err)
+	}
+	// The repaired ranges changed homes, so the replica placement walk
+	// lands their copies on new members. The assignment that rode the
+	// publish above is one best-effort shot; a member that missed it
+	// would leave the repaired ranges a copy short until the next map
+	// event, so retry here until every survivor has acknowledged (the
+	// monitor's anti-entropy republish backstops a retry budget spent
+	// against a flaky member).
+	for attempt := 0; cl.copies > 1; attempt++ {
+		failed := cl.publishReplicas(ctx, nv, cl.replicaTables())
+		if len(failed) == 0 {
+			break
+		}
+		if attempt >= 4 || !cl.pause(ctx, probeTimeout/2) {
+			log.Printf("pequod cluster: repair: replica assignment not acknowledged by %v; monitor anti-entropy will converge them", failed)
+			break
+		}
 	}
 	// Best-effort fence toward the removed members: a falsely-dead one
 	// (slow, paused, briefly partitioned) must learn it owns nothing
@@ -262,20 +346,26 @@ func (cl *Cluster) Repair(ctx context.Context) ([]string, error) {
 // mirrored (empty = whole ranges). Placement is not in the message —
 // each member derives the ranges it must hold from the same ring walk
 // the coordinator uses (partition.ReplicaAddrs), so the two sides
-// cannot disagree. Best-effort: the assignment rides every map publish,
-// so a missed member converges at the next round. No-op when
-// replication is off or the cluster has a single member.
-func (cl *Cluster) publishReplicas(ctx context.Context, v *view, tables []string) {
+// cannot disagree. Best-effort: it returns the addresses that did not
+// acknowledge (nil when all did) instead of failing — the assignment
+// rides every map publish, Repair retries it, and the monitor
+// republishes it as anti-entropy, so a missed member converges at
+// whichever round reaches it next. Re-applying an assignment a member
+// already holds diffs to nothing, which is what makes all three rounds
+// safe to overlap. No-op when replication is off or the cluster has a
+// single member.
+func (cl *Cluster) publishReplicas(ctx context.Context, v *view, tables []string) []string {
 	if cl.copies <= 1 || len(v.mbrs) < 2 {
-		return
+		return nil
 	}
+	errs := make([]error, len(v.mbrs))
 	var wg sync.WaitGroup
-	for _, m := range v.mbrs {
-		m := m
+	for i, m := range v.mbrs {
+		i, m := i, m
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cl.do(ctx, m.addr, &rpc.Message{ //nolint:errcheck // best-effort; see above
+			_, errs[i] = cl.do(ctx, m.addr, &rpc.Message{
 				Type:       rpc.MsgReplicate,
 				Epoch:      v.pmap.Epoch(),
 				MapVersion: v.pmap.Version(),
@@ -288,6 +378,13 @@ func (cl *Cluster) publishReplicas(ctx context.Context, v *view, tables []string
 		}()
 	}
 	wg.Wait()
+	var failed []string
+	for i, m := range v.mbrs {
+		if errs[i] != nil {
+			failed = append(failed, m.addr)
+		}
+	}
+	return failed
 }
 
 // replicaTables returns the base tables replication mirrors: the
@@ -344,6 +441,16 @@ func (cl *Cluster) monitor() {
 			}
 		}
 		if !confirmed {
+			// Anti-entropy: re-send the current replica assignment while
+			// the cluster is healthy. A member that missed the assignment
+			// when it was first published (a repair's retry budget ran
+			// out, a restart raced a publish) converges here; members
+			// already holding it diff the republish to nothing.
+			if cl.copies > 1 {
+				actx, cancel := context.WithTimeout(context.Background(), probeTimeout*2)
+				cl.publishReplicas(actx, v, cl.replicaTables())
+				cancel()
+			}
 			continue
 		}
 		rctx, cancel := context.WithTimeout(context.Background(), repairTimeout)

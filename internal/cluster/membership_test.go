@@ -17,10 +17,11 @@ import (
 
 // startServer launches one single-shard server and returns its address
 // and a kill function (for failure-injection tests; graceful cleanups
-// still run via t.Cleanup).
+// still run via t.Cleanup). With PEQUOD_TEST_DATADIR set the server
+// persists to a temp dir, re-running the suite with durability on.
 func startServer(t *testing.T, name string) (string, func()) {
 	t.Helper()
-	s, err := server.New(server.Config{Name: name})
+	s, err := server.New(server.Config{Name: name, DataDir: testDataDir(t)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,359 @@
+// Package durable is the per-member durable range store: an
+// append-only write-behind log plus periodic snapshots, so a restarted
+// member comes back with its gate, joins, and serving data warm instead
+// of cold-loading everything through the mesh.
+//
+// The contract with the hot path is strict: Append only enqueues into
+// an in-memory buffer (one mutexed slice append — it is called under a
+// shard lock and must never touch the disk). A flusher goroutine drains
+// the buffer on a configurable interval, writing one batched, CRC-framed
+// write per tick and fsyncing it. Writes acknowledged inside the last
+// un-synced interval are the exposure window; everything older survives
+// a crash.
+//
+// Snapshots bound replay and truncate the log. The protocol is
+// rotate-first: flush and fsync the current segment, open segment K,
+// then capture state S (the caller scans its shards under their locks)
+// and commit it as snap-K. Replay = S + every segment with index >= K.
+// The rotation order makes this correct without a global pause: a write
+// enqueued before the rotation went to a segment < K, and — because
+// Append runs under the same shard lock as the store mutation — its
+// effect is visible to the later lock-holding scan, so it is in S. A
+// write enqueued after the rotation is in segment K and replays over S;
+// re-applying records the scan already saw is idempotent because replay
+// reduces to last-record-wins per key. Commit is tmp+fsync+rename with
+// a trailing commit marker, so a crash mid-snapshot leaves the previous
+// snapshot+segments lineage intact; only a committed snapshot prunes.
+//
+// Alongside log and snapshots sits meta.json (atomic tmp+rename): the
+// member's cluster position — partition map, peers, self set, installed
+// join text, mesh tables, replica assignment — persisted on every
+// membership event and on drain, so a restarted member re-gates and
+// re-wires itself before serving a single key.
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Op codes for log records. Values are on-disk format — append only.
+const (
+	OpPut    = byte(1)
+	OpRemove = byte(2)
+)
+
+// DefaultSyncInterval paces the flusher when the server config leaves
+// it zero: small enough that the unsynced exposure window is a blink,
+// large enough that fsync cost amortizes over many writes.
+const DefaultSyncInterval = 25 * time.Millisecond
+
+// Store is one member's durable store rooted at a directory.
+type Store struct {
+	dir       string
+	syncEvery time.Duration
+
+	// Records are framed into buf at Append time: a pointer-free byte
+	// buffer costs the GC nothing to scan and, unlike holding the
+	// caller's key/value strings until the next flush, does not extend
+	// their lifetime across collections — on the measured write path
+	// that retention was the durability overhead, not the I/O.
+	mu    sync.Mutex // guards buf, nrec, spare, and lag
+	buf   []byte     // framed records pending flush
+	nrec  int        // records in buf
+	spare []byte     // recycled batch buffer, nil while a flush holds it
+	lag   int64      // bytes enqueued but not yet fsynced
+
+	fmu      sync.Mutex // file state: current segment, rotation, reads
+	seg      *os.File
+	segIdx   int64
+	segBytes int64
+
+	snapMu   sync.Mutex // serializes snapshots
+	snapIdx  int64      // newest committed snapshot index (0 = none)
+	lastSnap time.Time  // commit time of that snapshot
+
+	emu     sync.Mutex // guards err and dropped
+	err     error      // most recent persistence failure, for stats
+	dropped int64      // records dropped because a flush failed
+
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// Open opens (creating if needed) the durable store in dir and starts
+// its flusher. Existing log segments and snapshots are left in place
+// for Recover; new appends go to a fresh segment after them, so a
+// segment torn by the previous crash is never appended to.
+func Open(dir string, syncEvery time.Duration) (*Store, error) {
+	if syncEvery <= 0 {
+		syncEvery = DefaultSyncInterval
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: open %s: %w", dir, err)
+	}
+	segs, snaps, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := int64(1)
+	if n := len(segs); n > 0 && segs[n-1]+1 > next {
+		next = segs[n-1] + 1
+	}
+	if n := len(snaps); n > 0 && snaps[n-1]+1 > next {
+		next = snaps[n-1] + 1
+	}
+	s := &Store{
+		dir:       dir,
+		syncEvery: syncEvery,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	if n := len(snaps); n > 0 {
+		s.snapIdx = snaps[n-1]
+	}
+	if err := s.openSegment(next); err != nil {
+		return nil, err
+	}
+	go s.flushLoop()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Append enqueues one log record. It is called under a shard lock and
+// therefore only frames the record onto the in-memory buffer; the
+// flusher writes and fsyncs it on the next tick.
+func (s *Store) Append(op byte, key, value string) {
+	s.mu.Lock()
+	was := len(s.buf)
+	s.buf = appendRecord(s.buf, op, key, value)
+	s.nrec++
+	s.lag += int64(len(s.buf) - was)
+	s.mu.Unlock()
+}
+
+// LagBytes reports the bytes enqueued but not yet fsynced — the crash
+// exposure window, in data volume.
+func (s *Store) LagBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lag
+}
+
+// flushLoop drains the buffer every sync interval until Close.
+func (s *Store) flushLoop() {
+	defer close(s.done)
+	t := time.NewTicker(s.syncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			// Final drain so Close loses nothing that was enqueued.
+			s.flush()
+			return
+		case <-t.C:
+			s.flush()
+		}
+	}
+}
+
+// flush writes and fsyncs every pending record as one batch. On
+// failure the batch is dropped — the member keeps serving from memory
+// exactly as it would with durability off — and the error is surfaced
+// through Stats so health probes can flag the member.
+func (s *Store) flush() {
+	s.mu.Lock()
+	if len(s.buf) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	batch, nrec := s.buf, s.nrec
+	s.buf, s.nrec = s.spare[:0], 0
+	s.spare = nil
+	s.mu.Unlock()
+	s.fmu.Lock()
+	err := writeAndSync(s.seg, batch)
+	if err == nil {
+		s.segBytes += int64(len(batch))
+	}
+	s.fmu.Unlock()
+	s.mu.Lock()
+	s.lag -= int64(len(batch))
+	if s.spare == nil {
+		s.spare = batch[:0]
+	}
+	s.mu.Unlock()
+	s.emu.Lock()
+	if err != nil {
+		s.err = err
+		s.dropped += int64(nrec)
+	} else {
+		s.err = nil
+	}
+	s.emu.Unlock()
+}
+
+// Sync flushes and fsyncs everything enqueued so far, synchronously.
+func (s *Store) Sync() error {
+	s.flush()
+	s.emu.Lock()
+	defer s.emu.Unlock()
+	return s.err
+}
+
+// Close drains the buffer one final time and releases the store. The
+// final flush means a clean shutdown loses nothing regardless of the
+// sync interval.
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		<-s.done
+	})
+	s.fmu.Lock()
+	defer s.fmu.Unlock()
+	if s.seg != nil {
+		err := s.seg.Close()
+		s.seg = nil
+		return err
+	}
+	return nil
+}
+
+// Stats is a point-in-time durability report for health and stats
+// surfaces.
+type Stats struct {
+	LagBytes      int64  `json:"lag_bytes"`                 // enqueued, not yet fsynced
+	SegmentIndex  int64  `json:"segment"`                   // current log segment
+	SegmentBytes  int64  `json:"segment_bytes"`             // bytes in it
+	SnapshotIndex int64  `json:"snapshot"`                  // newest committed snapshot (0 = none)
+	SnapshotAgeMS int64  `json:"snapshot_age_ms"`           // ms since it committed (-1 = none this run)
+	Dropped       int64  `json:"dropped_records,omitempty"` // records lost to flush failures
+	Err           string `json:"error,omitempty"`           // most recent persistence failure
+}
+
+// Stats reports the store's current durability state.
+func (s *Store) Stats() Stats {
+	st := Stats{LagBytes: s.LagBytes(), SnapshotAgeMS: -1}
+	s.fmu.Lock()
+	st.SegmentIndex = s.segIdx
+	st.SegmentBytes = s.segBytes
+	s.fmu.Unlock()
+	s.snapMu.Lock()
+	st.SnapshotIndex = s.snapIdx
+	if !s.lastSnap.IsZero() {
+		st.SnapshotAgeMS = time.Since(s.lastSnap).Milliseconds()
+	}
+	s.snapMu.Unlock()
+	s.emu.Lock()
+	if s.err != nil {
+		st.Err = s.err.Error()
+	}
+	st.Dropped = s.dropped
+	s.emu.Unlock()
+	return st
+}
+
+// openSegment opens wal segment idx for appending and makes it current.
+// Caller must not hold fmu.
+func (s *Store) openSegment(idx int64) error {
+	f, err := os.OpenFile(segPath(s.dir, idx), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: open segment: %w", err)
+	}
+	s.fmu.Lock()
+	if s.seg != nil {
+		s.seg.Close()
+	}
+	s.seg = f
+	s.segIdx = idx
+	s.segBytes = 0
+	s.fmu.Unlock()
+	return nil
+}
+
+// Meta is the member's persisted cluster position. Zero values mean
+// "not part of a cluster" — an embedded or standalone server persists
+// only Joins. Epoch/Version/Bounds/Peers/Self mirror the gate map the
+// member last applied (Self empty but Peers set = drained: the member
+// keeps answering NotOwner with these bounds). ReplicaCopies/Tables
+// mirror the last replica assignment, MeshTables the subscription mesh
+// wiring.
+type Meta struct {
+	Name          string   `json:"name,omitempty"`
+	ID            string   `json:"id,omitempty"`
+	Epoch         int64    `json:"epoch,omitempty"`
+	Version       int64    `json:"version,omitempty"`
+	Bounds        []string `json:"bounds,omitempty"`
+	Peers         []string `json:"peers,omitempty"`
+	Self          []int    `json:"self,omitempty"`
+	HasGate       bool     `json:"has_gate,omitempty"`
+	Joins         string   `json:"joins,omitempty"`
+	MeshTables    []string `json:"mesh_tables,omitempty"`
+	HasMesh       bool     `json:"has_mesh,omitempty"`
+	ReplicaCopies int      `json:"replica_copies,omitempty"`
+	ReplicaTables []string `json:"replica_tables,omitempty"`
+	SavedUnixNano int64    `json:"saved_unix_nano,omitempty"`
+}
+
+func segPath(dir string, idx int64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", idx))
+}
+
+func snapPath(dir string, idx int64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%08d.snap", idx))
+}
+
+func metaPath(dir string) string { return filepath.Join(dir, "meta.json") }
+
+// scanDir lists existing segment and snapshot indexes, ascending.
+func scanDir(dir string) (segs, snaps []int64, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: scan %s: %w", dir, err)
+	}
+	for _, e := range ents {
+		var idx int64
+		if _, err := fmt.Sscanf(e.Name(), "wal-%08d.log", &idx); err == nil {
+			segs = append(segs, idx)
+			continue
+		}
+		if _, err := fmt.Sscanf(e.Name(), "snap-%08d.snap", &idx); err == nil {
+			snaps = append(snaps, idx)
+		}
+	}
+	sortInt64(segs)
+	sortInt64(snaps)
+	return segs, snaps, nil
+}
+
+func sortInt64(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// writeAndSync writes buf fully and fsyncs the file.
+func writeAndSync(f *os.File, buf []byte) error {
+	if _, err := f.Write(buf); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// syncDir fsyncs a directory so a rename in it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,102 @@
+package durable
+
+// On-disk record framing, shared by log segments and snapshot files:
+//
+//	[u32 payload length][u32 CRC-32 (IEEE) of payload][payload]
+//
+// payload = op byte, uvarint key length, key bytes, uvarint value
+// length, value bytes. A reader stops at the first frame that is
+// truncated or fails its CRC — everything before a torn tail is intact
+// because frames are written in order and fsynced in batches.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+const frameHeader = 8 // length + crc
+
+// appendRecord frames one record onto buf, in place: it runs on the
+// write path (under a shard lock, via Store.Append), so it must not
+// allocate beyond growing buf itself.
+func appendRecord(buf []byte, op byte, key, value string) []byte {
+	var kl, vl [binary.MaxVarintLen64]byte
+	kn := binary.PutUvarint(kl[:], uint64(len(key)))
+	vn := binary.PutUvarint(vl[:], uint64(len(value)))
+	plen := 1 + kn + len(key) + vn + len(value)
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(plen))
+	start := len(buf) + frameHeader
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, op)
+	buf = append(buf, kl[:kn]...)
+	buf = append(buf, key...)
+	buf = append(buf, vl[:vn]...)
+	buf = append(buf, value...)
+	binary.LittleEndian.PutUint32(buf[start-4:start], crc32.ChecksumIEEE(buf[start:]))
+	return buf
+}
+
+// parseRecord decodes one payload.
+func parseRecord(p []byte) (op byte, key, value string, err error) {
+	if len(p) < 1 {
+		return 0, "", "", fmt.Errorf("durable: empty record")
+	}
+	op = p[0]
+	rest := p[1:]
+	kl, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) < kl {
+		return 0, "", "", fmt.Errorf("durable: bad key length")
+	}
+	rest = rest[n:]
+	key = string(rest[:kl])
+	rest = rest[kl:]
+	vl, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) < vl {
+		return 0, "", "", fmt.Errorf("durable: bad value length")
+	}
+	rest = rest[n:]
+	value = string(rest[:vl])
+	return op, key, value, nil
+}
+
+// readRecords replays every intact record in a file in write order. A
+// truncated or corrupt tail ends the replay silently (torn == 0 frames
+// lost before it); a missing file replays nothing. Returns the count of
+// intact records and whether the file ended cleanly (no torn tail).
+func readRecords(path string, fn func(op byte, key, value string)) (n int, clean bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, true, nil
+		}
+		return 0, false, fmt.Errorf("durable: read %s: %w", path, err)
+	}
+	off := 0
+	for {
+		if off == len(data) {
+			return n, true, nil
+		}
+		if len(data)-off < frameHeader {
+			return n, false, nil // torn header
+		}
+		l := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if len(data)-off-frameHeader < l {
+			return n, false, nil // torn payload
+		}
+		p := data[off+frameHeader : off+frameHeader+l]
+		if crc32.ChecksumIEEE(p) != crc {
+			return n, false, nil // corrupt tail
+		}
+		op, key, value, perr := parseRecord(p)
+		if perr != nil {
+			return n, false, nil
+		}
+		fn(op, key, value)
+		off += frameHeader + l
+		n++
+	}
+}

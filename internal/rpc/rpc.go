@@ -52,6 +52,10 @@ const (
 	// explicit range list and can never disagree with the map it rode
 	// in on.
 	MsgReplicate // Epoch, MapVersion, Bounds, Peers, Self, Limit (copies), Tables
+
+	// Durable store (warm restarts and last-resort recovery).
+	MsgSnapshot     // force a durable snapshot now -> Count (rows captured)
+	MsgRebuildRange // Lo, Hi: rebuild a range from the recipient's durable store -> Count (rows restored)
 )
 
 // Status codes in replies.
@@ -288,6 +292,11 @@ func (m *Message) Encode(buf []byte) []byte {
 		buf = appendInts(buf, m.Self)
 		buf = appendUvarint(buf, uint64(m.Limit))
 		buf = appendStrings(buf, m.Tables)
+	case MsgSnapshot:
+		// no payload
+	case MsgRebuildRange:
+		buf = appendString(buf, m.Lo)
+		buf = appendString(buf, m.Hi)
 	case MsgReply:
 		buf = append(buf, m.Status)
 		found := byte(0)
@@ -630,6 +639,13 @@ func Decode(payload []byte) (*Message, error) {
 		}
 		m.Limit = int(lim)
 		m.Tables, err = d.strs()
+	case MsgSnapshot:
+		// no payload
+	case MsgRebuildRange:
+		if m.Lo, err = d.str(); err != nil {
+			return nil, err
+		}
+		m.Hi, err = d.str()
 	case MsgCommand:
 		var n uint64
 		if n, err = d.uvarint(); err != nil {

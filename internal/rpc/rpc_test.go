@@ -83,6 +83,9 @@ func TestRoundTripAllTypes(t *testing.T) {
 			Bounds: []string{"m"},
 			Peers:  []string{"a:1", "a:2"},
 			Limit:  3},
+		{Type: MsgSnapshot, Seq: 27},
+		{Type: MsgRebuildRange, Seq: 28, Lo: "t|u3", Hi: "t|u5"},
+		{Type: MsgRebuildRange, Seq: 29, Lo: "m", Hi: ""},
 		{Type: MsgReply, Seq: 21, Status: StatusNotOwner, Err: "moved",
 			Epoch: 3, MapVersion: 9, Bounds: []string{"q|"},
 			Peers: []string{"a:1", "a:2"}},

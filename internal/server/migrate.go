@@ -61,6 +61,11 @@ func (s *Server) handleExtractRange(m *rpc.Message) *rpc.Message {
 		return errReply(m.Seq, err)
 	}
 	s.adoptMeshView(next, m.Peers, m.Self)
+	// The extracted rows are NOT logged as removes: they linger in the
+	// durable lineage until the next snapshot, which is what makes this
+	// member a last-resort rebuild source if the destination dies before
+	// anyone else holds a copy (see handleRebuildRange).
+	s.persistMeta()
 	r := rpc.OKReply(m.Seq)
 	r.KVs = rs.KVs
 	r.Warm = rs.Warm
@@ -87,6 +92,12 @@ func (s *Server) handleSpliceRange(m *rpc.Message, dl time.Time) *rpc.Message {
 		return errReply(m.Seq, err)
 	}
 	s.adoptMeshView(next, m.Peers, m.Self)
+	// A splice installs rows silently (no change notifications, so
+	// subscribers don't see them as fresh writes), which also bypasses
+	// the write-behind hook — log them explicitly or the migrated range
+	// would not survive a restart here.
+	s.durableLogKVs(m.KVs)
+	s.persistMeta()
 	return rpc.OKReply(m.Seq)
 }
 
@@ -124,6 +135,7 @@ func (s *Server) handleMapUpdate(m *rpc.Message, dl time.Time) *rpc.Message {
 	}
 	s.pool.ApplyMapUpdate(next, m.Peers, shard.SelfSet(m.Self))
 	s.adoptMeshView(next, m.Peers, m.Self)
+	s.persistMeta()
 	r := rpc.OKReply(m.Seq)
 	// Teach the publisher the map this server actually holds: a client
 	// that starts from the deployment's original bounds (version 0)
@@ -177,6 +189,7 @@ func (s *Server) handleJoinCluster(m *rpc.Message) *rpc.Message {
 			return rpc.ErrReply(m.Seq, err)
 		}
 	}
+	s.persistMeta()
 	return rpc.OKReply(m.Seq)
 }
 
@@ -203,6 +216,10 @@ func (s *Server) handleDrain(m *rpc.Message) *rpc.Message {
 	if repl != nil {
 		repl.closeAll()
 	}
+	// Persist the post-drain position: a restarted drained member must
+	// still answer NotOwner with the current bounds, not serve stale
+	// data it no longer owns.
+	s.persistMeta()
 	r := rpc.OKReply(m.Seq)
 	if g := s.pool.Gate(); g != nil {
 		r.Epoch = g.Map.Epoch()

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,7 @@ import (
 
 	"pequod/internal/client"
 	"pequod/internal/core"
+	"pequod/internal/durable"
 	"pequod/internal/interval"
 	"pequod/internal/keys"
 	"pequod/internal/partition"
@@ -62,6 +64,21 @@ type Config struct {
 	// initial Bounds need not anticipate the workload's skew. See
 	// shard.Rebalance for the knobs.
 	Rebalance *shard.Rebalance
+	// DataDir, if non-empty, enables the durable range store: base
+	// writes stream to a write-behind log under this directory,
+	// periodic snapshots truncate it, and a restart recovers rows, the
+	// cluster gate, and mesh wiring from disk before serving. Empty
+	// (the default) keeps the server purely in-memory with zero
+	// durability cost. See internal/durable and DESIGN.md §Durability.
+	DataDir string
+	// SyncInterval paces the write-behind log's batched fsync
+	// (default durable.DefaultSyncInterval). Writes acknowledge from
+	// memory; this bounds how much acknowledged data a crash can lose.
+	SyncInterval time.Duration
+	// SnapshotInterval paces periodic durable snapshots (default
+	// DefaultSnapshotInterval). Shorter intervals bound log replay at
+	// restart; longer ones reduce background I/O.
+	SnapshotInterval time.Duration
 }
 
 // subscription is a cross-server base-data subscription (§2.4): the
@@ -98,6 +115,13 @@ type Server struct {
 	// nil until a coordinator publishes one. See replica.go.
 	rmu  sync.Mutex
 	repl *replicaState
+
+	// Durable range store (nil without Config.DataDir); see
+	// durability.go. recovery is written once in New, before serving.
+	dur      *durable.Store
+	durStop  chan struct{}
+	durDone  chan struct{}
+	recovery *recoveryStats
 }
 
 // meshState records a server's position in a partitioned mesh so later
@@ -114,6 +138,16 @@ type meshState struct {
 	view    atomic.Pointer[meshView]
 	loaders []*remoteLoader // one per shard
 	tables  map[string]bool
+
+	// Watchdog lifecycle (meshWatch): retires failed peer connections
+	// and invalidates the coverage loaded over them, so a peer that
+	// restarted in place — same address, new process, dead
+	// subscriptions — is re-fetched and re-subscribed instead of served
+	// stale forever. stop/done are nil for a mesh that failed wiring
+	// before the watchdog started.
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
 }
 
 // meshView is one generation of the mesh's cluster view.
@@ -167,7 +201,28 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	pool.SetHook(s.forwardChange)
+	if cfg.DataDir == "" {
+		pool.SetHook(s.forwardChange)
+		return s, nil
+	}
+	// Durable mode: recover rows/gate/joins from disk quietly, then set
+	// the (logging) hook, then re-wire mesh and replicas — the ordering
+	// contract is documented in durability.go.
+	meta, warm, err := s.recoverDurable(cfg)
+	if err != nil {
+		pool.Close()
+		return nil, err
+	}
+	s.durStop = make(chan struct{})
+	s.durDone = make(chan struct{})
+	pool.SetHook(s.durableHook)
+	s.wireRecovered(meta, warm)
+	s.persistMeta()
+	every := cfg.SnapshotInterval
+	if every <= 0 {
+		every = DefaultSnapshotInterval
+	}
+	go s.snapshotLoop(every)
 	return s, nil
 }
 
@@ -281,6 +336,11 @@ func (s *Server) Close() {
 	s.mmu.Unlock()
 	if mesh != nil {
 		mesh.closeAll()
+		if mesh.done != nil {
+			// The watchdog may be mid-tick against the pool; it must be
+			// gone before pool.Close below.
+			<-mesh.done
+		}
 	}
 	s.rmu.Lock()
 	repl := s.repl
@@ -288,6 +348,17 @@ func (s *Server) Close() {
 	s.rmu.Unlock()
 	if repl != nil {
 		repl.closeAll()
+	}
+	if s.dur != nil {
+		// Stop the snapshot loop, persist the final cluster position (a
+		// drained member's post-drain map must survive restart), flush
+		// the tail of the log, and let go of the directory.
+		close(s.durStop)
+		<-s.durDone
+		s.persistMeta()
+		if err := s.dur.Close(); err != nil {
+			log.Printf("pequod server %s: durable close: %v", s.name, err)
+		}
 	}
 	s.pool.Close()
 }
@@ -324,6 +395,7 @@ func (s *Server) statJSON() string {
 		Load      shard.LoadInfo       `json:"load"`
 		Joins     string               `json:"joins,omitempty"`
 		Cluster   *clusterStat         `json:"cluster,omitempty"`
+		Durable   *durableStat         `json:"durable,omitempty"`
 	}{
 		Name: s.name, ID: s.id, Shards: s.pool.NumShards(), Entries: s.pool.Len(),
 		Bytes: s.pool.Bytes(), Stats: s.pool.Stats(),
@@ -350,6 +422,13 @@ func (s *Server) statJSON() string {
 			}
 		}
 		snap.Cluster = cs
+	}
+	if s.dur != nil {
+		snap.Durable = &durableStat{
+			Dir:      s.dur.Dir(),
+			Stats:    s.dur.Stats(),
+			Recovery: s.recovery,
+		}
 	}
 	out, _ := json.Marshal(snap)
 	return string(out)
@@ -445,6 +524,7 @@ func (s *Server) handle(cn *conn, m *rpc.Message) *rpc.Message {
 		if err := s.pool.InstallText(m.Text); err != nil {
 			return rpc.ErrReply(m.Seq, err)
 		}
+		s.persistMeta()
 		return rpc.OKReply(m.Seq)
 
 	case rpc.MsgNotify:
@@ -492,6 +572,7 @@ func (s *Server) handle(cn *conn, m *rpc.Message) *rpc.Message {
 		if err := s.ConnectMesh(pmap, m.Peers, m.Self, m.Tables...); err != nil {
 			return rpc.ErrReply(m.Seq, err)
 		}
+		s.persistMeta()
 		return rpc.OKReply(m.Seq)
 
 	case rpc.MsgExtractRange:
@@ -510,7 +591,15 @@ func (s *Server) handle(cn *conn, m *rpc.Message) *rpc.Message {
 		return s.handleDrain(m)
 
 	case rpc.MsgReplicate:
-		return s.handleReplicate(m)
+		r := s.handleReplicate(m)
+		s.persistMeta()
+		return r
+
+	case rpc.MsgSnapshot:
+		return s.handleSnapshot(m)
+
+	case rpc.MsgRebuildRange:
+		return s.handleRebuildRange(m)
 	}
 	return rpc.ErrReply(m.Seq, errors.New("unknown request"))
 }
@@ -794,7 +883,16 @@ func (l *remoteLoader) conn(addr string) (*client.Client, *subFeed, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if c, ok := l.conns[addr]; ok {
-		return c, l.feeds[addr], nil
+		if !c.Failed() {
+			return c, l.feeds[addr], nil
+		}
+		// The peer's process went away (restart, crash). Redial: the new
+		// process accepts fresh subscriptions; the watchdog invalidates
+		// whatever the dead connection's subscriptions were keeping
+		// fresh.
+		c.Close()
+		delete(l.conns, addr)
+		delete(l.feeds, addr)
 	}
 	c, err := client.Dial(addr)
 	if err != nil {
@@ -819,6 +917,24 @@ func (l *remoteLoader) retain(want map[string]bool) {
 			delete(l.feeds, addr)
 		}
 	}
+}
+
+// retireFailed closes and forgets connections whose peer process went
+// away, returning their addresses so the watchdog can invalidate the
+// coverage their subscriptions were keeping fresh.
+func (l *remoteLoader) retireFailed() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []string
+	for addr, c := range l.conns {
+		if c.Failed() {
+			c.Close()
+			delete(l.conns, addr)
+			delete(l.feeds, addr)
+			out = append(out, addr)
+		}
+	}
+	return out
 }
 
 // connsFor returns the current connections (quiesce fencing, drains).
@@ -858,12 +974,104 @@ func (m *meshState) allConns() []*client.Client {
 	return out
 }
 
-// closeAll tears down every loader connection. Caller holds mmu (or
-// owns the mesh exclusively, as Close does).
+// closeAll tears down every loader connection and signals the watchdog
+// to exit. Caller holds mmu (or owns the mesh exclusively, as Close
+// does).
 func (m *meshState) closeAll() {
+	if m.stop != nil {
+		m.stopOnce.Do(func() { close(m.stop) })
+	}
 	for _, l := range m.loaders {
 		l.closeAll()
 	}
+}
+
+// meshWatch notices peers whose process went away — a connection a
+// restarted peer cannot resurrect — and drops the mesh-table coverage
+// this server loaded from them: the subscriptions keeping it fresh died
+// with the old process, so serving it would go silently stale. The drop
+// has eviction semantics; the next read re-fetches from (and
+// re-subscribes at) whatever process answers at the address now. The
+// replica manager runs the same protocol for its copies (replica.go);
+// this watchdog covers the load path.
+func (s *Server) meshWatch(m *meshState) {
+	defer close(m.done)
+	t := time.NewTicker(replWatchEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+		}
+		s.mmu.Lock()
+		if s.mesh != m {
+			s.mmu.Unlock()
+			return
+		}
+		tables := make([]string, 0, len(m.tables))
+		for tb := range m.tables {
+			tables = append(tables, tb)
+		}
+		s.mmu.Unlock()
+		failed := make(map[string]bool)
+		for _, l := range m.loaders {
+			for _, a := range l.retireFailed() {
+				failed[a] = true
+			}
+		}
+		if len(failed) == 0 {
+			continue
+		}
+		v := m.view.Load()
+		if v == nil {
+			continue
+		}
+		held := s.replicaHeldRanges()
+		for o, a := range v.addrs {
+			if !failed[a] || v.self[a] {
+				continue
+			}
+			for _, rr := range subRanges(ownerRange(v.pmap, o), tables) {
+				// A range held as a replica copy is the replica
+				// manager's to invalidate — it re-snapshots stale copies
+				// and they may be the only surviving data for a repair
+				// to promote. Likewise dropUnownedPieces spares pieces
+				// the gate already promoted this member to serve.
+				if overlapsAny(rr, held) {
+					continue
+				}
+				s.dropUnownedPieces(rr)
+			}
+		}
+	}
+}
+
+// replicaHeldRanges snapshots the ranges this member currently holds
+// replica copies of (empty when replication is off).
+func (s *Server) replicaHeldRanges() []keys.Range {
+	s.rmu.Lock()
+	st := s.repl
+	s.rmu.Unlock()
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]keys.Range, 0, len(st.held))
+	for r := range st.held {
+		out = append(out, r)
+	}
+	return out
+}
+
+func overlapsAny(r keys.Range, rs []keys.Range) bool {
+	for _, h := range rs {
+		if r.Overlaps(h) {
+			return true
+		}
+	}
+	return false
 }
 
 // subFeed serializes one peer connection's subscription stream against
@@ -1044,6 +1252,9 @@ func (s *Server) ConnectMesh(pmap *partition.Map, addrs []string, self []int, ta
 				}
 			}
 		}
+		mesh.stop = make(chan struct{})
+		mesh.done = make(chan struct{})
+		go s.meshWatch(mesh)
 		s.mesh = mesh
 	} else if err := s.mesh.sameTopology(pmap, addrs); err != nil {
 		// A stale caller re-wiring with outdated bounds is harmless when

@@ -93,6 +93,12 @@ type Pool struct {
 	// whose joins read them.
 	extRep atomic.Pointer[map[string]bool]
 
+	// outs is the installed joins' output-table set, copy-on-write for
+	// the durable write-behind hook (durable.go): derived rows travel
+	// as warm coverage and are recomputed at recovery, never logged, so
+	// the hook must classify tables without taking imu.
+	outs atomic.Pointer[map[string]bool]
+
 	// imu serializes install/loader bookkeeping (join set, fwd/ext
 	// recomputation, backfill) and live migrations (rebalance.go), so
 	// the forwarded-table set and partition map are stable across each.
@@ -208,6 +214,7 @@ func New(cfg Config) (*Pool, error) {
 	empty := map[string]bool{}
 	p.fwd.Store(&empty)
 	p.extRep.Store(&empty)
+	p.outs.Store(&empty)
 	for i := 0; i < n; i++ {
 		sh := &Shard{p: p, idx: i, e: core.New(opts)}
 		sh.loadCond = sync.NewCond(&sh.mu)
@@ -802,6 +809,11 @@ func (p *Pool) InstallText(text string) error {
 	}
 	p.texts = append(p.texts, text)
 	p.installed = append(p.installed, js...)
+	outs := make(map[string]bool, len(p.installed))
+	for _, j := range p.installed {
+		outs[j.Out.Table()] = true
+	}
+	p.outs.Store(&outs)
 	p.refreshForwardingLocked()
 	return nil
 }
