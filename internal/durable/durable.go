@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 )
@@ -67,10 +68,19 @@ type Store struct {
 	spare []byte     // recycled batch buffer, nil while a flush holds it
 	lag   int64      // bytes enqueued but not yet fsynced
 
+	// flushMu serializes entire flushes — batch swap through fsync — so
+	// concurrent flush callers (ticker, Snapshot, Sync) cannot write
+	// batches to the log out of enqueue order, and a Sync that finds the
+	// buffer empty has necessarily waited for the in-flight batch to
+	// reach disk. Ordered before mu and fmu; never held by Append.
+	flushMu sync.Mutex
+
 	fmu      sync.Mutex // file state: current segment, rotation, reads
 	seg      *os.File
 	segIdx   int64
 	segBytes int64
+
+	metaMu sync.Mutex // serializes SaveMeta (fixed tmp path + rename)
 
 	snapMu   sync.Mutex // serializes snapshots
 	snapIdx  int64      // newest committed snapshot index (0 = none)
@@ -95,6 +105,17 @@ func Open(dir string, syncEvery time.Duration) (*Store, error) {
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("durable: open %s: %w", dir, err)
+	}
+	// A crash mid-snapshot or mid-meta-save leaves a *.tmp behind; the
+	// committed lineage never references one, so clear them here rather
+	// than letting them accumulate (Snapshot's prune only removes
+	// committed names).
+	if ents, err := os.ReadDir(dir); err == nil {
+		for _, e := range ents {
+			if strings.HasSuffix(e.Name(), ".tmp") {
+				os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
 	}
 	segs, snaps, err := scanDir(dir)
 	if err != nil {
@@ -163,11 +184,17 @@ func (s *Store) flushLoop() {
 	}
 }
 
-// flush writes and fsyncs every pending record as one batch. On
-// failure the batch is dropped — the member keeps serving from memory
-// exactly as it would with durability off — and the error is surfaced
-// through Stats so health probes can flag the member.
+// flush writes and fsyncs every pending record as one batch. flushMu
+// makes swap-and-write atomic with respect to other flushes: without
+// it, two in-flight flushes could swap batches under mu in one order
+// and reach the segment in the other, and last-record-wins replay
+// would then resurrect a stale value over a later acknowledged write.
+// On failure the batch is dropped — the member keeps serving from
+// memory exactly as it would with durability off — and the error is
+// surfaced through Stats so health probes can flag the member.
 func (s *Store) flush() {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
 	s.mu.Lock()
 	if len(s.buf) == 0 {
 		s.mu.Unlock()
@@ -200,6 +227,9 @@ func (s *Store) flush() {
 }
 
 // Sync flushes and fsyncs everything enqueued so far, synchronously.
+// If another flush is mid-flight it waits for that batch to reach disk
+// too (flushMu), so on return every previously enqueued record is
+// durable or accounted for in the returned error.
 func (s *Store) Sync() error {
 	s.flush()
 	s.emu.Lock()
@@ -312,18 +342,22 @@ func snapPath(dir string, idx int64) string {
 func metaPath(dir string) string { return filepath.Join(dir, "meta.json") }
 
 // scanDir lists existing segment and snapshot indexes, ascending.
+// Names must match exactly — Sscanf alone ignores trailing input, so a
+// leftover snap-XXXXXXXX.snap.tmp from a crash mid-snapshot would
+// otherwise parse as snapshot X and burn a lineage index at every Open.
 func scanDir(dir string) (segs, snaps []int64, err error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("durable: scan %s: %w", dir, err)
 	}
 	for _, e := range ents {
+		name := e.Name()
 		var idx int64
-		if _, err := fmt.Sscanf(e.Name(), "wal-%08d.log", &idx); err == nil {
+		if _, err := fmt.Sscanf(name, "wal-%08d.log", &idx); err == nil && name == fmt.Sprintf("wal-%08d.log", idx) {
 			segs = append(segs, idx)
 			continue
 		}
-		if _, err := fmt.Sscanf(e.Name(), "snap-%08d.snap", &idx); err == nil {
+		if _, err := fmt.Sscanf(name, "snap-%08d.snap", &idx); err == nil && name == fmt.Sprintf("snap-%08d.snap", idx) {
 			snaps = append(snaps, idx)
 		}
 	}

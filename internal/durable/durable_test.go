@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strconv"
+	"sync"
 	"testing"
 	"time"
 )
@@ -280,5 +282,109 @@ func TestOpenNeverAppendsToOldSegments(t *testing.T) {
 	}
 	if len(segs) < 2 {
 		t.Fatalf("segments = %v, want a fresh segment per open", segs)
+	}
+}
+
+// Concurrent flush callers (the ticker, Sync, Snapshot's rotate) must
+// write batches to the log in enqueue order — replay is
+// last-record-wins, so an out-of-order batch would resurrect a stale
+// value over a later acknowledged overwrite after a crash.
+func TestConcurrentSyncKeepsLogInEnqueueOrder(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir) // 2ms ticker: the flusher races the Syncs below
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				s.Sync()
+			}
+		}
+	}()
+	const n = 4000
+	for i := 0; i < n; i++ {
+		s.Append(OpPut, "k", strconv.Itoa(i))
+		if i%256 == 0 {
+			time.Sleep(time.Millisecond) // let ticker and Sync interleave
+		}
+	}
+	close(done)
+	wg.Wait()
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	s.Close()
+
+	rec := recovered(t, dir)
+	if len(rec.KVs) != 1 || rec.KVs[0].Value != strconv.Itoa(n-1) {
+		t.Fatalf("recovered %v, want the final overwrite %q", rec.KVs, strconv.Itoa(n-1))
+	}
+}
+
+// SaveMeta is called concurrently from RPC handlers, the snapshot
+// loop, and Close; racing saves must never rename a torn file into
+// meta.json (LoadMeta failure used to be fatal at restart).
+func TestSaveMetaConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				m := &Meta{Name: "m", Epoch: int64(g*1000 + i), Joins: "twitter join a|<x> = b|<x>"}
+				if err := s.SaveMeta(m); err != nil {
+					t.Errorf("SaveMeta: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	m, ok, err := s.LoadMeta()
+	if err != nil || !ok || m.Name != "m" {
+		t.Fatalf("LoadMeta after concurrent saves = %+v ok=%v err=%v", m, ok, err)
+	}
+}
+
+// A crash mid-snapshot or mid-meta-save leaves *.tmp files behind;
+// Open must delete them, and scanDir must not mis-parse them as
+// committed lineage entries (burning a snapshot index per restart).
+func TestOpenRemovesAndIgnoresStrayTmpFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	s.Append(OpPut, "k", "v")
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	s.Close()
+	strays := []string{"snap-00000007.snap.tmp", "wal-00000009.log.tmp", "meta.json.tmp"}
+	for _, name := range strays {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("torn"), 0o644); err != nil {
+			t.Fatalf("plant %s: %v", name, err)
+		}
+	}
+
+	s2 := openT(t, dir)
+	for _, name := range strays {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("stray %s survived Open", name)
+		}
+	}
+	if st := s2.Stats(); st.SegmentIndex >= 7 {
+		t.Fatalf("segment index %d, want lineage unaffected by stray tmp names", st.SegmentIndex)
+	}
+	rec, err := s2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if !reflect.DeepEqual(rec.KVs, []KV{{"k", "v"}}) {
+		t.Fatalf("recovered %v, want the pre-crash row", rec.KVs)
 	}
 }

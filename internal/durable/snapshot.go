@@ -224,8 +224,13 @@ func (s *Store) ReadRange(lo, hi string) ([]KV, error) {
 	return out, nil
 }
 
-// SaveMeta atomically persists the member's cluster position.
+// SaveMeta atomically persists the member's cluster position. Callers
+// race freely (RPC handlers, the snapshot loop, Close); metaMu keeps
+// two saves from interleaving WriteFile/Rename on the shared tmp path
+// and renaming a torn file into meta.json.
 func (s *Store) SaveMeta(m *Meta) error {
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
 	m.SavedUnixNano = time.Now().UnixNano()
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {

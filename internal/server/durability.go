@@ -180,10 +180,13 @@ func (s *Server) recoverDurable(cfg Config) (*durable.Meta, []core.WarmRange, er
 		st.Close()
 		return nil, nil, err
 	}
+	// An unreadable meta file costs warm gating/wiring, not data — the
+	// rows and log are intact — so start ungated rather than refusing to
+	// start at all.
 	meta, ok, err := st.LoadMeta()
 	if err != nil {
-		st.Close()
-		return nil, nil, err
+		log.Printf("pequod server %s: recovered meta unusable (%v); starting ungated", s.name, err)
+		ok = false
 	}
 	if !ok {
 		meta = nil
