@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"pequod/internal/cluster"
+	"pequod/internal/durable"
 )
 
 // Admin is the cluster-operations surface, split from Store: Store is
@@ -56,6 +57,16 @@ type Admin interface {
 	// MoveBound migrates the key range implied by moving partition
 	// bound i between the members on either side of it, live.
 	MoveBound(ctx context.Context, i int, bound string) error
+	// Restore substitutes newAddr for the confirmed-dead member oldAddr
+	// in the map, serving oldAddr's ranges from the durable lineage the
+	// server at newAddr recovered. The operator workflow: re-key the
+	// dead member's data dir to the new address (RekeyDataDir, or
+	// `pequod-cli restore -from DIR NEWADDR`), start a server with
+	// -data-dir over it at newAddr, then call Restore. oldAddr must
+	// still be in the map (after a completed Repair its ranges moved on
+	// — use AddServer) and must fail the same consecutive-probe death
+	// test Repair applies; newAddr must be running with a durable store.
+	Restore(ctx context.Context, oldAddr, newAddr string) error
 	// Snapshot asks every member to write a durable snapshot now,
 	// bounding each one's restart replay to the log written afterwards.
 	// Memory-only members (no data dir) fail theirs; the joined error
@@ -73,6 +84,17 @@ type MemberHealth = cluster.MemberHealth
 // see Admin.RebalancerStats. (RebalanceStats, without the "r", is the
 // embedded Cache's shard-level equivalent.)
 type ClusterRebalancerStats = cluster.RebalancerStats
+
+// RekeyDataDir rewrites the meta.json identity of a dead member's data
+// dir so a server started over it at newAddr recovers the lineage as
+// its own — the offline first step of a cross-address restore (see
+// Admin.Restore). It returns the old (dead) address, needed for the
+// Restore call that publishes the substitution. Idempotent; the write
+// is atomic, so a crash mid-rekey leaves either identity intact. The
+// dir must not be in use by a running server.
+func RekeyDataDir(dir, newAddr string) (oldAddr string, err error) {
+	return durable.Rekey(dir, newAddr)
+}
 
 // NewCluster's result is both a Store and an Admin.
 var _ Admin = (*Cluster)(nil)

@@ -57,7 +57,12 @@
 //	                         liveness, durable ID, owned ranges, replicas
 //	                         held, and — on members running with a
 //	                         -data-dir — durability state (write-behind
-//	                         log lag, last snapshot age)
+//	                         log lag, last snapshot age, and lineage
+//	                         damage: a corrupt lineage or dropped records
+//	                         print a CORRUPT/DROPPED marker, while a
+//	                         recovered crash tail prints torn-tail —
+//	                         healthy, nothing beyond the crash window
+//	                         was lost)
 //	repair                   reassign every unreachable member's ranges
 //	                         to surviving replica holders and publish
 //	                         the repaired map (what the automatic
@@ -66,6 +71,19 @@
 //	                         now, bounding restart replay before planned
 //	                         maintenance (members without a -data-dir
 //	                         fail theirs and are named in the error)
+//	restore OLD NEW          substitute NEW for the confirmed-dead member
+//	                         OLD in the map, serving OLD's ranges from
+//	                         the durable lineage the server at NEW
+//	                         recovered (start it with -data-dir over the
+//	                         re-keyed dir first; see -from below)
+//
+// Commands (no server connection — local data dir):
+//
+//	restore -from DIR NEW    re-key the meta.json identity of the dead
+//	                         member's data dir DIR to the new address
+//	                         NEW, the offline first step of a
+//	                         cross-address restore; prints the old
+//	                         address to pass to the cluster-mode restore
 //
 // See docs/OPERATIONS.md for the full add/drain/repair runbooks
 // (including what the failure modes look like and how to read the stat
@@ -111,9 +129,15 @@ commands (cluster mode only):
   add ADDR [OWNER BOUND]   join the server at ADDR live (see docs/OPERATIONS.md)
   drain ADDR               drain the member at ADDR live, then remove it
   health                   probe every member: liveness, ID, ranges, replicas,
-                           durability (log lag, snapshot age)
+                           durability (log lag, snapshot age, lineage damage)
   repair                   promote replicas over unreachable members (failover)
   snapshot                 durable snapshot at every member (bounds restart replay)
+  restore OLD NEW          substitute NEW for dead member OLD, serving OLD's
+                           ranges from the lineage the server at NEW recovered
+
+commands (no server connection):
+  restore -from DIR NEW    re-key the data dir DIR's identity to address NEW
+                           (the offline first step of a cross-address restore)
 
 flags:
 `
@@ -134,6 +158,23 @@ func main() {
 	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	// `restore -from DIR NEW` is purely local (it rewrites a data dir's
+	// meta.json); handle it before dialing anything.
+	if args[0] == "restore" && len(args) == 4 && args[1] == "-from" {
+		dir, newAddr := args[2], args[3]
+		old, err := pequod.RekeyDataDir(dir, newAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if old == newAddr {
+			fmt.Printf("%s already keyed to %s (re-key is idempotent)\n", dir, newAddr)
+		} else {
+			fmt.Printf("re-keyed %s: %s -> %s\n", dir, old, newAddr)
+		}
+		fmt.Printf("next: start the server over it:\n  pequod-server -addr %s -data-dir %s ...\n", newAddr, dir)
+		fmt.Printf("then publish the substitution:\n  pequod-cli -addrs ... -bounds ... restore %s %s\n", old, newAddr)
+		return
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -306,7 +347,7 @@ func run(ctx context.Context, c pequod.Store, args []string) error {
 		if len(args) != 1 {
 			return fmt.Errorf("health")
 		}
-		down := 0
+		down, damaged := 0, 0
 		for _, h := range adm.Health(ctx) {
 			if h.Alive {
 				durable := "durable=off"
@@ -316,6 +357,23 @@ func run(ctx context.Context, c pequod.Store, args []string) error {
 						age = (time.Duration(h.SnapshotAgeMS) * time.Millisecond).String()
 					}
 					durable = fmt.Sprintf("log-lag=%dB\tsnapshot-age=%s", h.LogLagBytes, age)
+					// A recovered crash tail is healthy — only the un-fsynced
+					// window was lost, by design. Corruption and drops mean
+					// fsynced, acknowledged data is gone; mark them loudly.
+					if h.TornTail {
+						durable += "\ttorn-tail (healthy post-crash recovery)"
+					}
+					if h.CorruptSegments > 0 || h.CorruptSnapshots > 0 {
+						damaged++
+						durable += fmt.Sprintf("\tCORRUPT lineage: %d segment(s), %d snapshot(s)", h.CorruptSegments, h.CorruptSnapshots)
+					}
+					if h.DroppedRecords > 0 {
+						damaged++
+						durable += fmt.Sprintf("\tDROPPED %d record(s)", h.DroppedRecords)
+					}
+					if h.PendingRecords > 0 {
+						durable += fmt.Sprintf("\tpending %d record(s) on flush retry", h.PendingRecords)
+					}
 				}
 				fmt.Printf("%s\talive\tid=%s\towners=%d\treplicas=%d\t%s\n", h.Addr, h.ID, h.Owners, h.Replicas, durable)
 				continue
@@ -325,6 +383,9 @@ func run(ctx context.Context, c pequod.Store, args []string) error {
 		}
 		if down > 0 {
 			return fmt.Errorf("%d member(s) down; run `pequod-cli repair` (or let the failure detector catch it)", down)
+		}
+		if damaged > 0 {
+			return fmt.Errorf("%d member(s) report durable lineage damage; see the scrub triage row in docs/OPERATIONS.md", damaged)
 		}
 	case "repair":
 		adm, ok := c.(pequod.Admin)
@@ -345,6 +406,20 @@ func run(ctx context.Context, c pequod.Store, args []string) error {
 			fmt.Printf("repaired %s out of the map (map e%d v%d: %d members remain)\n",
 				strings.Join(repaired, ","), st.Epoch, st.Version, adm.Members())
 		}
+	case "restore":
+		adm, ok := c.(pequod.Admin)
+		if !ok {
+			return fmt.Errorf("restore OLD NEW needs cluster mode (-addrs with -bounds); restore -from DIR NEW needs no connection")
+		}
+		if len(args) != 3 {
+			return fmt.Errorf("restore OLD NEW (or restore -from DIR NEW for the offline re-key step)")
+		}
+		if err := adm.Restore(ctx, args[1], args[2]); err != nil {
+			return err
+		}
+		st := adm.RebalancerStats()
+		fmt.Printf("restored %s as %s (map e%d v%d: %d members, bounds %q)\n",
+			args[1], args[2], st.Epoch, st.Version, adm.Members(), st.Bounds)
 	case "snapshot":
 		adm, ok := c.(pequod.Admin)
 		if !ok {

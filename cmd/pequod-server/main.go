@@ -8,6 +8,7 @@
 //	              [-shards n] [-bounds k1,k2,...]
 //	              [-rebalance 100ms] [-rebalance-ratio 1.5]
 //	              [-data-dir dir] [-sync-interval 25ms] [-snapshot-interval 30s]
+//	              [-scrub-interval 1m] [-compact-interval 10s]
 //
 // -shards runs n partitioned engines served concurrently (§2.4 scaled
 // into one process); -bounds sets the n-1 split points between them
@@ -33,8 +34,15 @@
 // member's rows, cluster position, and mesh wiring from disk before it
 // serves — warm restarts, and the last-resort rebuild source for
 // `pequod-cli` repairs when no live replica holder survives. Without
-// the flag the server is purely in-memory, exactly as before. See
-// docs/OPERATIONS.md for sizing and recovery triage.
+// the flag the server is purely in-memory, exactly as before. Two
+// background loops ride along: a CRC scrub over the committed lineage
+// (every -scrub-interval) that surfaces mid-lineage corruption through
+// stats and `pequod-cli health` while replicas that could repair it
+// still exist, and log compaction (every -compact-interval) that
+// rewrites sealed segments dominated by dead overwrites so restart
+// replay tracks live data rather than write volume. A negative
+// interval disables its loop. See docs/OPERATIONS.md for sizing and
+// recovery triage.
 //
 // Cluster deployments need no flags here: a pequod cluster client (or
 // pequod-cli -addrs ... move/rebalance) publishes the cluster partition
@@ -105,6 +113,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable range store directory (empty = in-memory only)")
 	syncInterval := flag.Duration("sync-interval", 0, "write-behind log fsync batching interval (0 = default 25ms; needs -data-dir)")
 	snapshotInterval := flag.Duration("snapshot-interval", 0, "durable snapshot interval (0 = default 30s; needs -data-dir)")
+	scrubInterval := flag.Duration("scrub-interval", 0, "durable lineage CRC scrub interval (0 = default 1m, negative = off; needs -data-dir)")
+	compactInterval := flag.Duration("compact-interval", 0, "durable log compaction interval (0 = default 10s, negative = off; needs -data-dir)")
 	subtables := subtableFlags{}
 	flag.Var(subtables, "subtable", "subtable boundary, table=depth (repeatable, §4.1)")
 	flag.Parse()
@@ -118,8 +128,8 @@ func main() {
 		joins = string(data)
 	}
 
-	if *dataDir == "" && (*syncInterval != 0 || *snapshotInterval != 0) {
-		log.Fatal("-sync-interval and -snapshot-interval tune the durable store; pass -data-dir to enable it")
+	if *dataDir == "" && (*syncInterval != 0 || *snapshotInterval != 0 || *scrubInterval != 0 || *compactInterval != 0) {
+		log.Fatal("-sync-interval, -snapshot-interval, -scrub-interval, and -compact-interval tune the durable store; pass -data-dir to enable it")
 	}
 	if *shards > 1 && *bounds == "" && *rebalance == 0 {
 		log.Printf("warning: -shards without -bounds splits the raw byte space evenly;" +
@@ -147,6 +157,8 @@ func main() {
 		DataDir:          *dataDir,
 		SyncInterval:     *syncInterval,
 		SnapshotInterval: *snapshotInterval,
+		ScrubInterval:    *scrubInterval,
+		CompactInterval:  *compactInterval,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -528,13 +528,30 @@ type StatSnapshot struct {
 		SnapshotAgeMS int64  `json:"snapshot_age_ms"`
 		Dropped       int64  `json:"dropped_records,omitempty"`
 		Err           string `json:"error,omitempty"`
-		Recovery      *struct {
-			SnapshotRows int  `json:"snapshot_rows"`
-			LogSegments  int  `json:"log_segments"`
-			LogRecords   int  `json:"log_records"`
-			RestoredRows int  `json:"restored_rows"`
-			RestoredWarm int  `json:"restored_warm"`
-			Torn         bool `json:"torn,omitempty"`
+
+		// Failure and damage surfaces: records held for flush retry,
+		// segments rotated away after failed writes, and the lineage
+		// damage set maintained by recovery replay and the background
+		// scrub (corrupt entries mean fsynced data was lost mid-lineage
+		// — unlike a torn recovery tail, which is the expected crash
+		// window).
+		PendingRecords   int64   `json:"pending_records,omitempty"`
+		FailedRotations  int64   `json:"failed_rotations,omitempty"`
+		ScrubRuns        int64   `json:"scrub_runs,omitempty"`
+		CorruptSegments  []int64 `json:"corrupt_segments,omitempty"`
+		CorruptSnapshots []int64 `json:"corrupt_snapshots,omitempty"`
+		Compactions      int64   `json:"compactions,omitempty"`
+		ReclaimedBytes   int64   `json:"reclaimed_bytes,omitempty"`
+
+		Recovery *struct {
+			SnapshotRows     int     `json:"snapshot_rows"`
+			LogSegments      int     `json:"log_segments"`
+			LogRecords       int     `json:"log_records"`
+			RestoredRows     int     `json:"restored_rows"`
+			RestoredWarm     int     `json:"restored_warm"`
+			Torn             bool    `json:"torn,omitempty"`
+			CorruptSegments  []int64 `json:"corrupt_segments,omitempty"`
+			CorruptSnapshots []int64 `json:"corrupt_snapshots,omitempty"`
 		} `json:"recovery,omitempty"`
 	} `json:"durable,omitempty"`
 	Cluster *struct {

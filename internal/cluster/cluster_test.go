@@ -20,12 +20,18 @@ var testBounds = []string{"p|", "t|", "t|u5"}
 
 // startServers launches n single-shard servers and returns their
 // addresses. With PEQUOD_TEST_DATADIR set each server persists to its
-// own temp dir, re-running the whole suite with durability on.
+// own temp dir, re-running the whole suite with durability on (and,
+// with PEQUOD_TEST_SCRUB also set, with the lineage scrub and
+// compaction loops racing the workload — see durableServerConfig).
 func startServers(t *testing.T, n int) []string {
 	t.Helper()
 	addrs := make([]string, n)
 	for i := 0; i < n; i++ {
-		s, err := server.New(server.Config{Name: fmt.Sprintf("m%d", i), DataDir: testDataDir(t)})
+		cfg := server.Config{Name: fmt.Sprintf("m%d", i), DataDir: testDataDir(t)}
+		if cfg.DataDir != "" {
+			cfg = durableServerConfig(cfg.Name, cfg.DataDir)
+		}
+		s, err := server.New(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"pequod/internal/client"
+	"pequod/internal/durable"
 	"pequod/internal/perrs"
 	"pequod/internal/server"
 	"pequod/internal/shard"
@@ -30,14 +31,27 @@ func testDataDir(t *testing.T) string {
 // durableServerConfig is the cluster-test shape of a durable member:
 // fsync fast enough that a graceful close never races the flush loop,
 // snapshots frequent enough that a mid-workload restart exercises
-// snapshot+log replay rather than log-only replay.
+// snapshot+log replay rather than log-only replay. With
+// PEQUOD_TEST_SCRUB set (the CI knob), the background lineage scrub
+// and log compaction loops run at test cadence under the whole suite,
+// so the maintenance work races real snapshots, flushes, restarts, and
+// migrations rather than only its own unit tests.
 func durableServerConfig(name, dir string) server.Config {
-	return server.Config{
+	cfg := server.Config{
 		Name:             name,
 		DataDir:          dir,
 		SyncInterval:     2 * time.Millisecond,
 		SnapshotInterval: 100 * time.Millisecond,
 	}
+	if os.Getenv("PEQUOD_TEST_SCRUB") != "" {
+		cfg.ScrubInterval = 25 * time.Millisecond
+		cfg.CompactInterval = 25 * time.Millisecond
+	} else {
+		// Off by default: unit cadences keep the suite deterministic.
+		cfg.ScrubInterval = -1
+		cfg.CompactInterval = -1
+	}
+	return cfg
 }
 
 // startServerDir launches one single-shard server persisting to dir,
@@ -208,6 +222,160 @@ func TestClusterEqualsEmbeddedUnderWarmRestart(t *testing.T) {
 	}
 	if st.Durable.Recovery == nil || st.Durable.Recovery.RestoredRows == 0 {
 		t.Fatalf("restarted member recovery stats = %+v", st.Durable.Recovery)
+	}
+}
+
+// TestClusterRestoreToNewAddress is the cross-address restore
+// acceptance property: kill a durable member for good, re-key its
+// lineage to a fresh address (durable.Rekey — what `pequod-cli restore
+// -from` runs), start a new server over the re-keyed dir there, and
+// publish the substitution with Admin.Restore. The cluster must end
+// byte-equivalent to the embedded cache over every equivalence range —
+// the restored rows really came from the dead member's disk, and the
+// ops issued after the restore converge through the re-gated member
+// like any other write.
+func TestClusterRestoreToNewAddress(t *testing.T) {
+	ctx := context.Background()
+	seed := int64(5)
+	nOps := 300
+	if testing.Short() {
+		nOps = 140
+	}
+	ops := shard.GenTwipOps(seed, nOps, 10)
+
+	single, err := shard.New(shard.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(single.Close)
+	if err := single.InstallText(shard.EquivJoins); err != nil {
+		t.Fatal(err)
+	}
+
+	dirs := make([]string, 4)
+	addrs := make([]string, 4)
+	kills := make([]func(), 4)
+	for i := range addrs {
+		dirs[i] = t.TempDir()
+		addrs[i], kills[i] = startServerDir(t, fmt.Sprintf("r%d", i), dirs[i])
+	}
+	cl := newCluster(t, Config{
+		Addrs: addrs, Bounds: testBounds, Joins: shard.EquivJoins,
+		Replicas:        2,
+		CoordinatorName: "restore-equiv",
+	})
+
+	quiesce := func() {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			err := cl.Quiesce(ctx)
+			if err == nil {
+				return
+			}
+			if !errors.Is(err, perrs.ErrMemberDown) || time.Now().After(deadline) {
+				t.Fatal(err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Kill the base-table owner (member 1) halfway through and bring its
+	// lineage back on a brand-new address: reserve a port, re-key the
+	// dir to it, start a server over the dir there, and Restore. The
+	// graceful close flushed the log, so the lineage is complete — the
+	// final scans prove the new address serves exactly what the old one
+	// held plus everything written since.
+	var newAddr string
+	killAt := len(ops) / 2
+	for i, o := range ops {
+		if i == killAt {
+			kills[1]()
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			newAddr = ln.Addr().String()
+			old, err := durable.Rekey(dirs[1], newAddr)
+			if err != nil {
+				t.Fatalf("rekey: %v", err)
+			}
+			if old != addrs[1] {
+				t.Fatalf("rekey reported old address %s, want %s", old, addrs[1])
+			}
+			s, err := server.New(durableServerConfig("r1b", dirs[1]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			go s.Serve(ln) //nolint:errcheck // exits when the test closes the server
+			t.Cleanup(s.Close)
+			if err := cl.Restore(ctx, addrs[1], newAddr); err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			// Give the peers' watchdogs time to retire connections to
+			// the dead process and resync against the restored one.
+			time.Sleep(600 * time.Millisecond)
+		}
+		switch o.Kind {
+		case shard.OpPut:
+			single.Put(o.Key, o.Value)
+			if err := cl.Put(ctx, o.Key, o.Value); err != nil {
+				t.Fatalf("op %d Put(%q): %v", i, o.Key, err)
+			}
+		case shard.OpRemove:
+			single.Remove(o.Key)
+			if _, err := cl.Remove(ctx, o.Key); err != nil {
+				t.Fatalf("op %d Remove(%q): %v", i, o.Key, err)
+			}
+		case shard.OpScan:
+			single.Scan(o.Lo, o.Hi, 0, nil, nil)
+			quiesce()
+			if _, err := cl.Scan(ctx, o.Lo, o.Hi, 0); err != nil {
+				t.Fatalf("op %d Scan[%q, %q): %v", i, o.Lo, o.Hi, err)
+			}
+		}
+	}
+	quiesce()
+
+	// The map substituted the new address for the old one.
+	members := cl.MemberAddrs()
+	if contains(members, addrs[1]) || !contains(members, newAddr) {
+		t.Fatalf("membership after restore = %v, want %s replaced by %s", members, addrs[1], newAddr)
+	}
+
+	for _, r := range shard.EquivRanges(seed, 10) {
+		want := single.Scan(r[0], r[1], 0, nil, nil)
+		got, err := cl.Scan(ctx, r[0], r[1], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("scan [%q, %q) diverged after restore:\nembedded %v\ncluster  %v", r[0], r[1], want, got)
+		}
+		wn := single.Count(r[0], r[1])
+		gn, err := cl.Count(ctx, r[0], r[1])
+		if err != nil || int64(wn) != gn {
+			t.Fatalf("count [%q, %q) = %d vs %d (%v)", r[0], r[1], wn, gn, err)
+		}
+	}
+
+	// The restore really served from disk, not a lucky mesh rebuild: the
+	// member at the new address must report rows restored from the dead
+	// member's lineage.
+	c, err := client.DialContext(ctx, newAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.StatSnapshot(ctx)
+	if err != nil || st.Durable == nil {
+		t.Fatalf("restored member durable stat = %+v, %v", st, err)
+	}
+	if st.Durable.Recovery == nil || st.Durable.Recovery.RestoredRows == 0 {
+		t.Fatalf("restored member recovery stats = %+v", st.Durable.Recovery)
 	}
 }
 

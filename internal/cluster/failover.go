@@ -78,6 +78,20 @@ type MemberHealth struct {
 	Durable       bool  `json:"durable,omitempty"`
 	LogLagBytes   int64 `json:"log_lag_bytes,omitempty"`
 	SnapshotAgeMS int64 `json:"snapshot_age_ms,omitempty"`
+	// Lineage damage surfaces, durable members only. TornTail means the
+	// last restart replayed over the expected crash-window tear — a
+	// healthy post-crash recovery. CorruptSegments/CorruptSnapshots
+	// count lineage files where replay or the background scrub found
+	// mid-lineage damage: fsynced data was lost there, and the member's
+	// ranges should be re-synced (or re-replicated) while live copies
+	// exist. DroppedRecords counts log records abandoned after flush
+	// retries exhausted; PendingRecords counts records still riding a
+	// flush retry.
+	TornTail         bool  `json:"torn_tail,omitempty"`
+	CorruptSegments  int   `json:"corrupt_segments,omitempty"`
+	CorruptSnapshots int   `json:"corrupt_snapshots,omitempty"`
+	DroppedRecords   int64 `json:"dropped_records,omitempty"`
+	PendingRecords   int64 `json:"pending_records,omitempty"`
 }
 
 // Health probes every member concurrently and reports each one's
@@ -109,6 +123,13 @@ func (cl *Cluster) Health(ctx context.Context) []MemberHealth {
 						h.Durable = true
 						h.LogLagBytes = st.Durable.LagBytes
 						h.SnapshotAgeMS = st.Durable.SnapshotAgeMS
+						h.CorruptSegments = len(st.Durable.CorruptSegments)
+						h.CorruptSnapshots = len(st.Durable.CorruptSnapshots)
+						h.DroppedRecords = st.Durable.Dropped
+						h.PendingRecords = st.Durable.PendingRecords
+						if r := st.Durable.Recovery; r != nil {
+							h.TornTail = r.Torn
+						}
 					}
 				}
 			}

@@ -1,0 +1,267 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// sealSegment writes records through a store generation and closes it,
+// sealing them into one segment.
+func sealSegment(t *testing.T, dir string, write func(s *Store)) {
+	t.Helper()
+	s, err := Open(dir, 2*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	write(s)
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	s.Close()
+}
+
+func TestCompactDropsDeadRecords(t *testing.T) {
+	dir := t.TempDir()
+	// Segment 1: heavy overwrite churn on few keys — mostly dead.
+	sealSegment(t, dir, func(s *Store) {
+		for i := 0; i < 400; i++ {
+			s.Append(OpPut, fmt.Sprintf("k%d", i%4), fmt.Sprintf("v%d", i))
+		}
+		s.Append(OpPut, "gone", "x")
+	})
+	// Segment 2: the final word on k0 and the remove of "gone" — so
+	// segment 1's k0 records and "gone" are dead *across* segments.
+	sealSegment(t, dir, func(s *Store) {
+		s.Append(OpPut, "k0", "final")
+		s.Append(OpRemove, "gone", "")
+	})
+
+	s := openT(t, dir)
+	before, err := s.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	oldSize, _ := os.Stat(segPath(dir, 1))
+	n, saved, err := s.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if n == 0 || saved <= 0 {
+		t.Fatalf("Compact rewrote %d segments, reclaimed %d bytes; want the churned segment rewritten", n, saved)
+	}
+	newSize, _ := os.Stat(segPath(dir, 1))
+	if newSize.Size() >= oldSize.Size() {
+		t.Fatalf("segment 1 grew: %d -> %d bytes", oldSize.Size(), newSize.Size())
+	}
+	after, err := s.Recover()
+	if err != nil {
+		t.Fatalf("Recover after compact: %v", err)
+	}
+	if !reflect.DeepEqual(after.KVs, before.KVs) {
+		t.Fatalf("compaction changed replay state:\n before %v\n after  %v", before.KVs, after.KVs)
+	}
+	if after.LogRecords >= before.LogRecords {
+		t.Fatalf("log records %d -> %d, want fewer after compaction", before.LogRecords, after.LogRecords)
+	}
+	if st := s.Stats(); st.Compactions == 0 || st.ReclaimedBytes != saved {
+		t.Fatalf("stats = %+v, want compaction counted with %d bytes reclaimed", st, saved)
+	}
+	// A key removed in a later segment must stay removed: its earlier
+	// put was dead, and the remove itself survives as the final record.
+	for _, kv := range after.KVs {
+		if kv.Key == "gone" {
+			t.Fatalf("removed key resurrected by compaction: %v", kv)
+		}
+	}
+}
+
+func TestCompactSkipsLiveAndTinySegments(t *testing.T) {
+	dir := t.TempDir()
+	// All-distinct keys: every record is live, nothing to reclaim.
+	sealSegment(t, dir, func(s *Store) {
+		for i := 0; i < 400; i++ {
+			s.Append(OpPut, fmt.Sprintf("k%d", i), "v")
+		}
+	})
+	s := openT(t, dir)
+	n, saved, err := s.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if n != 0 || saved != 0 {
+		t.Fatalf("Compact rewrote %d segments (%d bytes) of fully-live data, want none", n, saved)
+	}
+}
+
+func TestCompactLeavesDamagedSegmentsAlone(t *testing.T) {
+	dir := t.TempDir()
+	sealSegment(t, dir, func(s *Store) {
+		for i := 0; i < 400; i++ {
+			s.Append(OpPut, fmt.Sprintf("k%d", i%2), "v")
+		}
+	})
+	sealSegment(t, dir, func(s *Store) { s.Append(OpPut, "k0", "final") })
+	flipByteInFrame(t, segPath(dir, 1))
+	s := openT(t, dir)
+	before, _ := os.Stat(segPath(dir, 1))
+	if _, _, err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	after, _ := os.Stat(segPath(dir, 1))
+	if after.Size() != before.Size() {
+		t.Fatalf("compaction rewrote a damaged segment (%d -> %d bytes); it must preserve the evidence", before.Size(), after.Size())
+	}
+}
+
+func TestRekey(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	meta := &Meta{
+		Name:    "m1",
+		HasGate: true,
+		Bounds:  []string{"m"},
+		Peers:   []string{"127.0.0.1:7001", "127.0.0.1:7002"},
+		Self:    []int{1},
+	}
+	if err := s.SaveMeta(meta); err != nil {
+		t.Fatalf("SaveMeta: %v", err)
+	}
+	s.Close()
+
+	old, err := Rekey(dir, "127.0.0.1:9002")
+	if err != nil {
+		t.Fatalf("Rekey: %v", err)
+	}
+	if old != "127.0.0.1:7002" {
+		t.Fatalf("Rekey old = %q, want the dead member's address", old)
+	}
+	s2 := openT(t, dir)
+	m, ok, err := s2.LoadMeta()
+	if err != nil || !ok {
+		t.Fatalf("LoadMeta: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(m.Peers, []string{"127.0.0.1:7001", "127.0.0.1:9002"}) {
+		t.Fatalf("peers after rekey = %v", m.Peers)
+	}
+	if !reflect.DeepEqual(m.Self, []int{1}) {
+		t.Fatalf("self after rekey = %v, want unchanged", m.Self)
+	}
+	s2.Close()
+
+	// Idempotent: re-keying to the same address is a no-op.
+	old2, err := Rekey(dir, "127.0.0.1:9002")
+	if err != nil || old2 != "127.0.0.1:9002" {
+		t.Fatalf("second Rekey = (%q, %v), want idempotent no-op", old2, err)
+	}
+}
+
+func TestRekeyRejectsDrainedAndGatelessLineage(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	if err := s.SaveMeta(&Meta{Joins: "copy a|<k> b|<k>"}); err != nil {
+		t.Fatalf("SaveMeta: %v", err)
+	}
+	s.Close()
+	if _, err := Rekey(dir, "127.0.0.1:9001"); err == nil {
+		t.Fatal("Rekey of a gateless lineage = nil, want an error")
+	}
+
+	dir2 := t.TempDir()
+	s2 := openT(t, dir2)
+	if err := s2.SaveMeta(&Meta{HasGate: true, Peers: []string{"a", "b"}, Self: nil}); err != nil {
+		t.Fatalf("SaveMeta: %v", err)
+	}
+	s2.Close()
+	if _, err := Rekey(dir2, "127.0.0.1:9001"); err == nil {
+		t.Fatal("Rekey of a drained lineage = nil, want an error")
+	}
+	if _, err := Rekey(t.TempDir(), "127.0.0.1:9001"); err == nil {
+		t.Fatal("Rekey of an empty dir = nil, want an error")
+	}
+}
+
+// buildReplayDir seeds a lineage of segs segments, each with recs
+// records, for replay benchmarks.
+func buildReplayDir(b *testing.B, segs, recs int) string {
+	b.Helper()
+	dir := b.TempDir()
+	for g := 0; g < segs; g++ {
+		s, err := Open(dir, time.Hour)
+		if err != nil {
+			b.Fatalf("Open: %v", err)
+		}
+		for i := 0; i < recs; i++ {
+			s.Append(OpPut, fmt.Sprintf("t|%06d", (g*recs+i)%(segs*recs/2)), "value-payload-of-plausible-row-size-000000")
+		}
+		if err := s.Sync(); err != nil {
+			b.Fatalf("Sync: %v", err)
+		}
+		s.Close()
+	}
+	return dir
+}
+
+func benchReplay(b *testing.B, workers int) {
+	dir := buildReplayDir(b, 16, 4000)
+	s, err := Open(dir, time.Hour)
+	if err != nil {
+		b.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := s.recover(workers)
+		if err != nil {
+			b.Fatalf("recover: %v", err)
+		}
+		if rec.LogRecords == 0 {
+			b.Fatal("replayed nothing")
+		}
+	}
+}
+
+// The parallel run pins 4 workers rather than using replayWorkers():
+// on a single-vCPU CI runner replayWorkers() returns 1 and the
+// "parallel" benchmark would silently time the serial path. Pinning
+// keeps the work-stealing fan-out exercised (and timed) on any runner;
+// the speedup itself only shows where cores exist to run it.
+func BenchmarkSerialReplay(b *testing.B)   { benchReplay(b, 1) }
+func BenchmarkParallelReplay(b *testing.B) { benchReplay(b, 4) }
+
+func BenchmarkCompaction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		for g := 0; g < 4; g++ {
+			s, err := Open(dir, time.Hour)
+			if err != nil {
+				b.Fatalf("Open: %v", err)
+			}
+			for j := 0; j < 8000; j++ {
+				s.Append(OpPut, fmt.Sprintf("t|%04d", j%64), "value-payload-of-plausible-row-size-000000")
+			}
+			if err := s.Sync(); err != nil {
+				b.Fatalf("Sync: %v", err)
+			}
+			s.Close()
+		}
+		s, err := Open(dir, time.Hour)
+		if err != nil {
+			b.Fatalf("Open: %v", err)
+		}
+		b.StartTimer()
+		n, saved, err := s.Compact()
+		b.StopTimer()
+		if err != nil {
+			b.Fatalf("Compact: %v", err)
+		}
+		if n == 0 || saved == 0 {
+			b.Fatalf("compacted %d segments, %d bytes; want churn reclaimed", n, saved)
+		}
+		s.Close()
+		b.StartTimer()
+	}
+}

@@ -62,6 +62,39 @@ func parseRecord(p []byte) (op byte, key, value string, err error) {
 	return op, key, value, nil
 }
 
+// scanRecords walks every intact record in a framed byte stream, in
+// write order, stopping at the first frame that is truncated or fails
+// its CRC. It returns the count of intact records, the byte offset of
+// the end of the last intact frame (the known-good prefix length —
+// what a post-crash truncation keeps), and whether the stream ended
+// cleanly.
+func scanRecords(data []byte, fn func(op byte, key, value string)) (n, off int, clean bool) {
+	for {
+		if off == len(data) {
+			return n, off, true
+		}
+		if len(data)-off < frameHeader {
+			return n, off, false // torn header
+		}
+		l := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if len(data)-off-frameHeader < l {
+			return n, off, false // torn payload
+		}
+		p := data[off+frameHeader : off+frameHeader+l]
+		if crc32.ChecksumIEEE(p) != crc {
+			return n, off, false // corrupt tail
+		}
+		op, key, value, perr := parseRecord(p)
+		if perr != nil {
+			return n, off, false
+		}
+		fn(op, key, value)
+		off += frameHeader + l
+		n++
+	}
+}
+
 // readRecords replays every intact record in a file in write order. A
 // truncated or corrupt tail ends the replay silently (torn == 0 frames
 // lost before it); a missing file replays nothing. Returns the count of
@@ -74,29 +107,6 @@ func readRecords(path string, fn func(op byte, key, value string)) (n int, clean
 		}
 		return 0, false, fmt.Errorf("durable: read %s: %w", path, err)
 	}
-	off := 0
-	for {
-		if off == len(data) {
-			return n, true, nil
-		}
-		if len(data)-off < frameHeader {
-			return n, false, nil // torn header
-		}
-		l := int(binary.LittleEndian.Uint32(data[off : off+4]))
-		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
-		if len(data)-off-frameHeader < l {
-			return n, false, nil // torn payload
-		}
-		p := data[off+frameHeader : off+frameHeader+l]
-		if crc32.ChecksumIEEE(p) != crc {
-			return n, false, nil // corrupt tail
-		}
-		op, key, value, perr := parseRecord(p)
-		if perr != nil {
-			return n, false, nil
-		}
-		fn(op, key, value)
-		off += frameHeader + l
-		n++
-	}
+	n, _, clean = scanRecords(data, fn)
+	return n, clean, nil
 }

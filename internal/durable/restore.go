@@ -1,0 +1,87 @@
+package durable
+
+// Cross-address restore, step one: re-keying a lineage's identity.
+//
+// A data dir's meta.json records which cluster address the lineage
+// belongs to (Peers + Self). When the machine behind that address is
+// gone for good, the lineage itself is still the last line of defense
+// for its ranges — but a server started over it on a new address would
+// recover a gate that names the dead address as self and refuse to own
+// anything. Rekey rewrites the identity in place: every occurrence of
+// the dead address in Peers becomes the new address, Self keeps
+// pointing at the same ranges. The restored server then recovers as if
+// it had always lived at the new address, and Cluster.Restore publishes
+// the substitution to the rest of the cluster under a fresh epoch.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Rekey rewrites the meta.json in dir so the member identity oldAddr
+// (derived from the Self set) becomes newAddr, and returns the old
+// address. It is idempotent: re-keying a dir already keyed to newAddr
+// returns newAddr with no change. The write is atomic (tmp+rename+
+// dirsync), so a crash mid-rekey leaves either identity intact, never
+// a torn meta. The store must not be open: Rekey is an offline,
+// operator-driven step (pequod-cli restore -from) taken before the
+// replacement server first starts.
+func Rekey(dir, newAddr string) (oldAddr string, err error) {
+	if newAddr == "" {
+		return "", fmt.Errorf("durable: rekey: empty new address")
+	}
+	data, err := os.ReadFile(metaPath(dir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", fmt.Errorf("durable: rekey %s: no meta.json — not a member data dir (or the member never joined a cluster)", dir)
+		}
+		return "", fmt.Errorf("durable: rekey: %w", err)
+	}
+	m := &Meta{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return "", fmt.Errorf("durable: rekey: %w", err)
+	}
+	if !m.HasGate || len(m.Peers) == 0 {
+		return "", fmt.Errorf("durable: rekey %s: lineage has no cluster gate; start a server over it directly instead", dir)
+	}
+	if len(m.Self) == 0 {
+		return "", fmt.Errorf("durable: rekey %s: member was drained (owns no ranges); nothing to restore", dir)
+	}
+	for _, i := range m.Self {
+		if i < 0 || i >= len(m.Peers) {
+			return "", fmt.Errorf("durable: rekey %s: self index %d out of range", dir, i)
+		}
+		if oldAddr == "" {
+			oldAddr = m.Peers[i]
+		} else if m.Peers[i] != oldAddr {
+			return "", fmt.Errorf("durable: rekey %s: self set spans addresses %s and %s", dir, oldAddr, m.Peers[i])
+		}
+	}
+	if oldAddr == newAddr {
+		return oldAddr, nil
+	}
+	for i, p := range m.Peers {
+		if p == oldAddr {
+			m.Peers[i] = newAddr
+		}
+	}
+	m.SavedUnixNano = time.Now().UnixNano()
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	tmp := metaPath(dir) + ".tmp"
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return "", fmt.Errorf("durable: rekey: %w", err)
+	}
+	if err := os.Rename(tmp, metaPath(dir)); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("durable: rekey: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return "", fmt.Errorf("durable: rekey: %w", err)
+	}
+	return oldAddr, nil
+}

@@ -9,9 +9,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -48,12 +51,21 @@ func (s *Store) Snapshot(capture func(addKV func(k, v string), addWarm func(join
 
 	// Rotate first: everything enqueued so far lands (fsynced) in the
 	// old segment, and the scan below — which runs after the rotation —
-	// observes at least those writes, so nothing pruned is lost.
-	s.flush()
+	// observes at least those writes, so nothing pruned is lost. A batch
+	// held for flush retry is the one exception to "lands in the old
+	// segment": it is not on disk yet, but the lock-holding scan sees
+	// its effects, so it is in the snapshot — and when it later lands in
+	// a segment >= idx, replaying it over the snapshot is idempotent.
+	// flushMu is held across flush *and* rotation so the failed-write
+	// path's own rotation cannot interleave and double-rotate.
+	s.flushMu.Lock()
+	s.flushLocked()
 	s.fmu.Lock()
 	idx := s.segIdx + 1
 	s.fmu.Unlock()
-	if err := s.openSegment(idx); err != nil {
+	err := s.openSegment(idx)
+	s.flushMu.Unlock()
+	if err != nil {
 		return err
 	}
 
@@ -114,9 +126,20 @@ func (s *Store) Snapshot(capture func(addKV func(k, v string), addWarm func(join
 	return nil
 }
 
+// SegmentReplay is per-segment replay provenance: which segment,
+// how many intact records it contributed, how many bytes of it were
+// intact, and whether it ended cleanly.
+type SegmentReplay struct {
+	Index   int64
+	Records int
+	Bytes   int64 // intact prefix length (== file size when Clean)
+	Clean   bool
+}
+
 // Recovered is the result of replaying snapshot+log: the final
-// surviving state (deletes collapsed), plus provenance stats that let
-// tests and health surfaces assert data really came from disk.
+// surviving state (deletes collapsed), plus provenance that lets tests
+// and health surfaces assert data really came from disk — and tell an
+// expected crash tail apart from data-losing damage.
 type Recovered struct {
 	KVs           []KV
 	Warm          []Warm
@@ -124,14 +147,109 @@ type Recovered struct {
 	SnapshotRows  int
 	LogSegments   int
 	LogRecords    int
-	Torn          bool // a segment ended mid-record (crash tail)
+	Segments      []SegmentReplay
+
+	// Torn means the segment that was newest at the last crash ended
+	// mid-record — the expected exposure window of the write-behind
+	// design, bounded by one sync interval; nothing before the tear is
+	// lost. CorruptSegments and CorruptSnapshots list lineage files
+	// with damage that is NOT that tail: a bad frame in a sealed
+	// segment walls off its suffix, so acknowledged, fsynced writes
+	// have been lost there. Recovery proceeds over the hole (serving
+	// partial data beats serving nothing — replicas and the mesh
+	// backfill), but the damage is surfaced via Stats and health
+	// instead of being folded into Torn.
+	Torn             bool
+	CorruptSegments  []int64
+	CorruptSnapshots []int64
+}
+
+// replayWorkers is the default parallelism for segment parsing during
+// Recover: one goroutine per CPU, capped — parsing is CPU-bound (CRC +
+// framing) and a restart replaying a big lineage should not serialize
+// it behind one core.
+func replayWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// parsedSeg is one segment parsed off disk, before folding.
+type parsedSeg struct {
+	recs  []segRec
+	bytes int64
+	size  int64
+	clean bool
+	err   error
+}
+
+type segRec struct {
+	op         byte
+	key, value string
+}
+
+// parseSegments reads and CRC-checks the given segments concurrently
+// (workers goroutines), returning results in input order. Parsing is
+// the expensive half of replay and is independent per segment; only
+// the fold into final state (last-record-wins) is order-dependent, and
+// the caller does that serially over the ordered results.
+func parseSegments(dir string, segs []int64, workers int) []parsedSeg {
+	out := make([]parsedSeg, len(segs))
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(segs) {
+					return
+				}
+				data, err := os.ReadFile(segPath(dir, segs[i]))
+				if err != nil {
+					if os.IsNotExist(err) {
+						out[i].clean = true
+						continue
+					}
+					out[i].err = fmt.Errorf("durable: read segment %d: %w", segs[i], err)
+					continue
+				}
+				recs := make([]segRec, 0, len(data)/32)
+				_, off, clean := scanRecords(data, func(op byte, k, v string) {
+					recs = append(recs, segRec{op: op, key: k, value: v})
+				})
+				out[i] = parsedSeg{recs: recs, bytes: int64(off), size: int64(len(data)), clean: clean}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // Recover replays the newest committed snapshot plus every log segment
 // at or after it, returning the collapsed final state. Call it once,
 // right after Open, before the member starts writing. A store with no
-// history returns an empty result, not an error.
+// history returns an empty result, not an error. Segments are parsed
+// in parallel; the expected crash tail on the previous run's final
+// segment is truncated away so the file is clean for every later
+// generation and for the scrub.
 func (s *Store) Recover() (*Recovered, error) {
+	return s.recover(replayWorkers())
+}
+
+func (s *Store) recover(workers int) (*Recovered, error) {
 	segs, snaps, err := scanDir(s.dir)
 	if err != nil {
 		return nil, err
@@ -140,12 +258,15 @@ func (s *Store) Recover() (*Recovered, error) {
 	state := make(map[string]string)
 
 	// Newest snapshot with an intact commit marker wins; an uncommitted
-	// or corrupt one falls back to the lineage before it.
+	// or corrupt one falls back to the lineage before it — and is
+	// reported as damage, because Snapshot never leaves one behind on
+	// the committed path (tmp files are cleaned at Open, older
+	// snapshots pruned after commit).
 	for i := len(snaps) - 1; i >= 0; i-- {
 		var kvs []KV
 		var warm []Warm
 		committed := false
-		_, _, err := readRecords(snapPath(s.dir, snaps[i]), func(op byte, k, v string) {
+		_, clean, err := readRecords(snapPath(s.dir, snaps[i]), func(op byte, k, v string) {
 			switch op {
 			case opSnapKV:
 				kvs = append(kvs, KV{Key: k, Value: v})
@@ -157,8 +278,12 @@ func (s *Store) Recover() (*Recovered, error) {
 				committed = true
 			}
 		})
-		if err != nil || !committed {
+		if err != nil || !clean || !committed {
+			rec.CorruptSnapshots = append(rec.CorruptSnapshots, snaps[i])
 			continue
+		}
+		if rec.SnapshotIndex > 0 {
+			continue // older than the chosen one; prune will clear it
 		}
 		rec.SnapshotIndex = snaps[i]
 		rec.SnapshotRows = len(kvs)
@@ -166,30 +291,55 @@ func (s *Store) Recover() (*Recovered, error) {
 		for _, kv := range kvs {
 			state[kv.Key] = kv.Value
 		}
-		break
 	}
+	sortInt64(rec.CorruptSnapshots)
 
+	replay := segs[:0:0]
 	for _, idx := range segs {
 		if rec.SnapshotIndex > 0 && idx < rec.SnapshotIndex {
 			continue // truncated by the snapshot
 		}
-		n, clean, err := readRecords(segPath(s.dir, idx), func(op byte, k, v string) {
-			switch op {
-			case OpPut:
-				state[k] = v
-			case OpRemove:
-				delete(state, k)
-			}
-		})
-		if err != nil {
-			return nil, err
+		replay = append(replay, idx)
+	}
+
+	s.fmu.Lock()
+	cur := s.segIdx
+	s.fmu.Unlock()
+	parsed := parseSegments(s.dir, replay, workers)
+	for i, ps := range parsed {
+		idx := replay[i]
+		if ps.err != nil {
+			return nil, ps.err
 		}
 		rec.LogSegments++
-		rec.LogRecords += n
-		if !clean {
-			rec.Torn = true
+		rec.LogRecords += len(ps.recs)
+		rec.Segments = append(rec.Segments, SegmentReplay{Index: idx, Records: len(ps.recs), Bytes: ps.bytes, Clean: ps.clean})
+		if !ps.clean {
+			switch {
+			case idx == s.crashSeg || idx >= cur:
+				// The segment that was newest at the last crash (or is
+				// being appended right now): its tear is the expected
+				// crash window. Truncate a sealed crash tail off so the
+				// lineage is clean from here on — only ever the garbage
+				// suffix, and never the live segment.
+				rec.Torn = true
+				if idx < cur {
+					os.Truncate(segPath(s.dir, idx), ps.bytes) //nolint:errcheck // best effort; scrub re-reports
+				}
+			default:
+				rec.CorruptSegments = append(rec.CorruptSegments, idx)
+			}
+		}
+		for _, r := range ps.recs {
+			switch r.op {
+			case OpPut:
+				state[r.key] = r.value
+			case OpRemove:
+				delete(state, r.key)
+			}
 		}
 	}
+	s.noteReplayDamage(rec.CorruptSegments, rec.CorruptSnapshots)
 
 	rec.KVs = make([]KV, 0, len(state))
 	for k, v := range state {

@@ -42,16 +42,29 @@ import (
 // config leaves it zero.
 const DefaultSnapshotInterval = 30 * time.Second
 
+// DefaultScrubInterval and DefaultCompactInterval pace the durable
+// store's background lineage scrub and log compaction when the config
+// leaves them zero; a negative config value disables the loop.
+const (
+	DefaultScrubInterval   = time.Minute
+	DefaultCompactInterval = 10 * time.Second
+)
+
 // recoveryStats records what the last startup recovered, surfaced
 // through statJSON so tests and operators can verify a restart was
-// warm (rows came from disk) rather than cold.
+// warm (rows came from disk) rather than cold. Torn is the expected
+// crash tail on the previously newest segment; CorruptSegments and
+// CorruptSnapshots are mid-lineage damage — fsynced data lost — which
+// health surfaces report distinctly.
 type recoveryStats struct {
-	SnapshotRows int  `json:"snapshot_rows"`
-	LogSegments  int  `json:"log_segments"`
-	LogRecords   int  `json:"log_records"`
-	RestoredRows int  `json:"restored_rows"`
-	RestoredWarm int  `json:"restored_warm"`
-	Torn         bool `json:"torn,omitempty"`
+	SnapshotRows     int     `json:"snapshot_rows"`
+	LogSegments      int     `json:"log_segments"`
+	LogRecords       int     `json:"log_records"`
+	RestoredRows     int     `json:"restored_rows"`
+	RestoredWarm     int     `json:"restored_warm"`
+	Torn             bool    `json:"torn,omitempty"`
+	CorruptSegments  []int64 `json:"corrupt_segments,omitempty"`
+	CorruptSnapshots []int64 `json:"corrupt_snapshots,omitempty"`
 }
 
 // durableStat is statJSON's durability block.
@@ -171,7 +184,19 @@ func (s *Server) persistMeta() {
 // returns the recovered meta (nil if none was ever saved) and the warm
 // coverage still to rebuild once the mesh is wired.
 func (s *Server) recoverDurable(cfg Config) (*durable.Meta, []core.WarmRange, error) {
-	st, err := durable.Open(cfg.DataDir, cfg.SyncInterval)
+	scrub := cfg.ScrubInterval
+	if scrub == 0 {
+		scrub = DefaultScrubInterval
+	}
+	compact := cfg.CompactInterval
+	if compact == 0 {
+		compact = DefaultCompactInterval
+	}
+	st, err := durable.OpenWith(cfg.DataDir, durable.Options{
+		SyncEvery:    cfg.SyncInterval,
+		ScrubEvery:   max(scrub, 0),
+		CompactEvery: max(compact, 0),
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -179,6 +204,10 @@ func (s *Server) recoverDurable(cfg Config) (*durable.Meta, []core.WarmRange, er
 	if err != nil {
 		st.Close()
 		return nil, nil, err
+	}
+	if len(rec.CorruptSegments) > 0 || len(rec.CorruptSnapshots) > 0 {
+		log.Printf("pequod server %s: recovery found mid-lineage corruption (segments %v, snapshots %v); serving what replayed — replicas and the mesh backfill the rest",
+			s.name, rec.CorruptSegments, rec.CorruptSnapshots)
 	}
 	// An unreadable meta file costs warm gating/wiring, not data — the
 	// rows and log are intact — so start ungated rather than refusing to
@@ -193,10 +222,12 @@ func (s *Server) recoverDurable(cfg Config) (*durable.Meta, []core.WarmRange, er
 	}
 	s.dur = st
 	rs := &recoveryStats{
-		SnapshotRows: rec.SnapshotRows,
-		LogSegments:  rec.LogSegments,
-		LogRecords:   rec.LogRecords,
-		Torn:         rec.Torn,
+		SnapshotRows:     rec.SnapshotRows,
+		LogSegments:      rec.LogSegments,
+		LogRecords:       rec.LogRecords,
+		Torn:             rec.Torn,
+		CorruptSegments:  rec.CorruptSegments,
+		CorruptSnapshots: rec.CorruptSnapshots,
 	}
 	s.recovery = rs
 	warm := coreWarm(rec.Warm)
@@ -258,7 +289,7 @@ func (s *Server) recoverDurable(cfg Config) (*durable.Meta, []core.WarmRange, er
 			kept = append(kept, core.KV{Key: kv.Key, Value: kv.Value})
 		}
 	}
-	rs.RestoredRows = s.pool.RestoreDurable(kept)
+	rs.RestoredRows = s.pool.RestoreDurableParallel(kept)
 	warm = clipWarm(warm, g)
 	return meta, warm, nil
 }

@@ -79,6 +79,16 @@ type Config struct {
 	// DefaultSnapshotInterval). Shorter intervals bound log replay at
 	// restart; longer ones reduce background I/O.
 	SnapshotInterval time.Duration
+	// ScrubInterval paces the background CRC scrub of the committed
+	// durable lineage (default DefaultScrubInterval; negative disables).
+	// The scrub surfaces mid-lineage corruption through stats and
+	// health while replicas that could repair it still exist.
+	ScrubInterval time.Duration
+	// CompactInterval paces durable log compaction between snapshots
+	// (default DefaultCompactInterval; negative disables): sealed
+	// segments dominated by dead overwrites are rewritten without them,
+	// bounding restart replay on write-heavy ranges.
+	CompactInterval time.Duration
 }
 
 // subscription is a cross-server base-data subscription (§2.4): the

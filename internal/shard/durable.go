@@ -8,6 +8,9 @@ package shard
 // disk format and internal/server owns when any of this runs.
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"pequod/internal/core"
 )
 
@@ -66,6 +69,45 @@ func (p *Pool) RestoreDurable(kvs []core.KV) int {
 		n++
 	}
 	return n
+}
+
+// restoreParallelMin is the recovered-row count below which the
+// bucketed fan-out isn't worth its setup; small restores stay serial.
+const restoreParallelMin = 4096
+
+// RestoreDurableParallel is RestoreDurable fanned out across the
+// pool's shards: recovered rows are bucketed by owning shard and the
+// buckets restore concurrently, so a restart with a big data dir stops
+// serializing server startup behind one goroutine's store walk. Each
+// row still goes through the same per-key lockOwner/Get/PutQuiet path
+// — lockOwner re-checks ownership under the shard lock, so a
+// concurrent migration moves the row's bucket worker to the right
+// shard exactly as it would a live write — which keeps the fan-out a
+// pure scheduling change, not a second restore semantics.
+func (p *Pool) RestoreDurableParallel(kvs []core.KV) int {
+	if len(kvs) < restoreParallelMin || len(p.shards) < 2 {
+		return p.RestoreDurable(kvs)
+	}
+	m := p.pmap.Load()
+	buckets := make([][]core.KV, len(p.shards))
+	for _, kv := range kvs {
+		o := m.Owner(kv.Key)
+		buckets[o] = append(buckets[o], kv)
+	}
+	var n int64
+	var wg sync.WaitGroup
+	for _, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(b []core.KV) {
+			defer wg.Done()
+			atomic.AddInt64(&n, int64(p.RestoreDurable(b)))
+		}(b)
+	}
+	wg.Wait()
+	return int(n)
 }
 
 // RebuildWarm eagerly re-derives previously valid computed coverage on
