@@ -15,8 +15,10 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"pequod/internal/experiments"
+	"pequod/internal/loadgen"
 )
 
 // metricName makes a label safe as a testing.B metric unit (no spaces).
@@ -311,6 +313,53 @@ func BenchmarkEmbeddedOps(b *testing.B) {
 			c.Scan(ctx, JoinKey("t", u, fmt.Sprintf("%010d", 40)), PrefixEnd(JoinKey("t", u)+"|"), 0)
 		}
 	})
+}
+
+// BenchmarkOpenLoop runs the open-loop million-user harness at CI
+// scale: a 100k-user universe with Zipf celebrity skew driven at a
+// fixed arrival rate (latency measured from scheduled arrival, so
+// queueing delay is charged — no coordinated omission) across the full
+// chaos script — steady, live join, drain, bound rebalance, warm
+// restart, member kill + automatic repair — with the online checker
+// auditing sampled timelines throughout. Reported metrics: steady-state
+// p50/p99/p999 and achieved vs offered throughput. Any checker
+// violation fails the benchmark. The full-scale run's report is
+// committed as BENCH_9.json (regenerate with cmd/pequod-load).
+func BenchmarkOpenLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+		rep, err := loadgen.Run(ctx, loadgen.Config{
+			Users:       100_000,
+			ActiveUsers: 1000,
+			Rate:        400,
+			Seed:        1,
+			Workers:     8,
+			Budget:      10 * time.Second,
+			Phases:      loadgen.StandardPhases(500 * time.Millisecond),
+			Servers:     4,
+			DataDir:     b.TempDir(),
+			// Shared-runner tolerance: at the 25ms×3 default a scheduling
+			// pause reads as death and a false repair loses warm copies.
+			FailoverInterval: 100 * time.Millisecond,
+			FailoverMisses:   5,
+		})
+		cancel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Checker.Violations != 0 {
+			b.Fatalf("checker violations (%d): %v", rep.Checker.Violations, rep.Checker.Samples)
+		}
+		if i == b.N-1 {
+			steady := rep.Phases[0]
+			b.ReportMetric(float64(steady.P50us), "steady_p50_us")
+			b.ReportMetric(float64(steady.P99us), "steady_p99_us")
+			b.ReportMetric(float64(steady.P999us), "steady_p999_us")
+			b.ReportMetric(steady.OfferedRate, "offered_ops_s")
+			b.ReportMetric(steady.AchievedRate, "achieved_ops_s")
+			b.ReportMetric(float64(rep.Checker.RowsVerified), "rows_verified")
+		}
+	}
 }
 
 // BenchmarkClusterScan measures networked scan fan-out: warm timeline

@@ -26,13 +26,17 @@ func main() {
 	log.SetFlags(0)
 	scaleName := flag.String("scale", "small", "experiment scale: tiny|small|medium")
 	fig := flag.String("fig", "all", "which experiment: 7|8|9|10|celebrity|ablations|all")
+	seed := flag.Int64("seed", 0, "determinism root for graph/post/workload streams (0 = the historical default, 42)")
 	flag.Parse()
 
 	sc, err := experiments.ScaleByName(*scaleName)
 	if err != nil {
 		log.Fatal(err)
 	}
+	sc.Seed = *seed
 	out := os.Stdout
+	fmt.Fprintf(out, "scale=%s seed=%d (every generated stream derives from the seed; rerun with -seed %d to replay)\n",
+		sc.Name, sc.EffectiveSeed(), sc.EffectiveSeed())
 
 	runFig := func(name string, fn func() error) {
 		fmt.Fprintf(out, "\n=== %s ===\n", name)

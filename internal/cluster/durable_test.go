@@ -225,6 +225,88 @@ func TestClusterEqualsEmbeddedUnderWarmRestart(t *testing.T) {
 	}
 }
 
+// TestWarmRestartedComputeOwnerColdComputes pins the close-order
+// regression: Server.Close used to tear down the mesh and replica
+// manager BEFORE persisting the final meta, so a cleanly-closed
+// member's meta recorded HasMesh=false — and after a warm restart the
+// member had no loader for its join source tables. A base-table owner
+// (what the equivalence test restarts) never notices, but a restarted
+// compute owner asked to materialize a timeline it had never computed
+// would pull nothing and silently serve the empty range forever. So:
+// restart the t|u5.. owner, then force a cold join computation on it
+// and demand the rows, plus live maintenance for a post written after
+// the restart.
+func TestWarmRestartedComputeOwnerColdComputes(t *testing.T) {
+	ctx := context.Background()
+	dirs := make([]string, 4)
+	addrs := make([]string, 4)
+	kills := make([]func(), 4)
+	for i := range addrs {
+		dirs[i] = t.TempDir()
+		addrs[i], kills[i] = startServerDir(t, fmt.Sprintf("cc%d", i), dirs[i])
+	}
+	cl := newCluster(t, Config{
+		Addrs: addrs, Bounds: testBounds, Joins: shard.EquivJoins,
+		Replicas:        2,
+		CoordinatorName: "cold-compute-restart",
+	})
+	quiesce := func() {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			err := cl.Quiesce(ctx)
+			if err == nil {
+				return
+			}
+			if !errors.Is(err, perrs.ErrMemberDown) || time.Now().After(deadline) {
+				t.Fatal(err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// u7 follows u3; u3 posts. The timeline t|u7|... lives on member 3
+	// (≥ t|u5) and is deliberately never scanned before the restart, so
+	// materializing it afterwards is a genuinely cold computation that
+	// must pull s| and p| rows from member 1 through the rewired mesh.
+	if err := cl.Put(ctx, "s|u7|u3", "1"); err != nil {
+		t.Fatal(err)
+	}
+	quiesce()
+	for i := 1; i <= 5; i++ {
+		if err := cl.Put(ctx, fmt.Sprintf("p|u3|%03d", i), fmt.Sprintf("tweet%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	quiesce()
+
+	kills[3]()
+	restartServerDir(t, "cc3b", addrs[3], dirs[3])
+	// Let the peers' mesh and replica watchdogs (200ms cadence) retire
+	// connections to the dead process and resync against the new one.
+	time.Sleep(600 * time.Millisecond)
+	quiesce()
+
+	kvs, err := cl.Scan(ctx, "t|u7|", "t|u7}", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 5 {
+		t.Fatalf("cold timeline on restarted compute owner: want 5 rows, got %d: %v", len(kvs), kvs)
+	}
+
+	// The materialized range must also be maintained: a post written
+	// after the restart streams in through the re-established
+	// subscriptions.
+	if err := cl.Put(ctx, "p|u3|006", "tweet6"); err != nil {
+		t.Fatal(err)
+	}
+	quiesce()
+	if kvs, err = cl.Scan(ctx, "t|u7|", "t|u7}", 0); err != nil || len(kvs) != 6 {
+		t.Fatalf("post after restart did not stream into the timeline: %d rows, %v", len(kvs), err)
+	}
+}
+
 // TestClusterRestoreToNewAddress is the cross-address restore
 // acceptance property: kill a durable member for good, re-key its
 // lineage to a fresh address (durable.Rekey — what `pequod-cli restore

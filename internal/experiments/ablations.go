@@ -32,14 +32,14 @@ func runTwipEmbedded(sc Scale, opts core.Options, subtables bool, mix twip.Mix) 
 		e.SetSubtableDepth("t", 2)
 		e.SetSubtableDepth("p", 2)
 	}
-	g := twip.Generate(sc.Users, sc.Edges, 42)
+	g := twip.Generate(sc.Users, sc.Edges, sc.seedAt(42))
 	for u := 0; u < g.Users; u++ {
 		uid := twip.UserID(int32(u))
 		for _, p := range g.Following[u] {
 			e.Put(keys.Join("s", uid, twip.UserID(p)), "1")
 		}
 	}
-	hist := twip.GeneratePosts(g, sc.Posts, 7, sc.TweetLen)
+	hist := twip.GeneratePosts(g, sc.Posts, sc.seedAt(7), sc.TweetLen)
 	for _, op := range hist {
 		e.Put(keys.Join("p", twip.UserID(op.User), twip.TimeID(op.Time)), op.Text)
 	}
@@ -47,7 +47,7 @@ func runTwipEmbedded(sc Scale, opts core.Options, subtables bool, mix twip.Mix) 
 		ActiveFraction: float64(sc.ActivePct) / 100,
 		ChecksPerUser:  sc.ChecksPerUser,
 		Mix:            mix,
-		Seed:           44,
+		Seed:           sc.seedAt(44),
 		StartTime:      int64(len(hist)),
 		TweetLen:       sc.TweetLen,
 	})

@@ -26,7 +26,7 @@ type CelebrityRow struct {
 // join set, where the most-followed users' posts live in cp|/ct| and
 // reach timelines through a pull join at read time, never materialized.
 func Celebrity(sc Scale, out io.Writer) ([]CelebrityRow, error) {
-	g := twip.Generate(sc.Users, sc.Edges, 42)
+	g := twip.Generate(sc.Users, sc.Edges, sc.seedAt(42))
 	// Celebrities: the top 1% most-followed users (at least 1).
 	type uc struct {
 		u int32
@@ -46,7 +46,7 @@ func Celebrity(sc Scale, out io.Writer) ([]CelebrityRow, error) {
 		isCeleb[c.u] = true
 	}
 
-	hist := twip.GeneratePosts(g, sc.Posts, 7, sc.TweetLen)
+	hist := twip.GeneratePosts(g, sc.Posts, sc.seedAt(7), sc.TweetLen)
 
 	run := func(name string, joins string, celebSplit bool) (CelebrityRow, error) {
 		e := core.New(core.Options{})

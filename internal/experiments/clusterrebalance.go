@@ -59,7 +59,7 @@ func ClusterRebalance(sc Scale, out io.Writer) ([]ClusterRebalanceRow, error) {
 	if totalChecks < 6000 {
 		totalChecks = 6000
 	}
-	zipf := rand.NewZipf(rand.New(rand.NewSource(45)), 1.2, 8, uint64(users-1))
+	zipf := rand.NewZipf(rand.New(rand.NewSource(sc.seedAt(45))), 1.2, 8, uint64(users-1))
 	checks := make([]int32, totalChecks)
 	for i := range checks {
 		checks[i] = int32(zipf.Uint64())

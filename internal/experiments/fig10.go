@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -31,12 +32,12 @@ type Fig10Row struct {
 // before measurement; throughput should rise sub-linearly with compute
 // servers (the paper: 3x from 12→48).
 func Fig10(sc Scale, computeCounts []int, baseServers int, out io.Writer) ([]Fig10Row, error) {
-	g := twip.Generate(sc.Users, sc.Edges, 42)
-	posts := twip.GeneratePosts(g, sc.Posts, 43, sc.TweetLen)
+	g := twip.Generate(sc.Users, sc.Edges, sc.seedAt(42))
+	posts := twip.GeneratePosts(g, sc.Posts, sc.seedAt(43), sc.TweetLen)
 	w := twip.GenerateWorkload(g, twip.WorkloadConfig{
 		ActiveFraction: float64(sc.ActivePct) / 100,
 		ChecksPerUser:  sc.ChecksPerUser,
-		Seed:           44,
+		Seed:           sc.seedAt(44),
 		StartTime:      int64(len(posts)),
 		TweetLen:       sc.TweetLen,
 	})
@@ -83,9 +84,15 @@ func (c *fig10Cluster) Close() {
 }
 
 // basePartition builds the home-server map for the Twip base tables and
-// the per-owner address list.
+// the per-owner address list. Besides the per-table user splits, each
+// table after the first gets a bound at its start: without it, one
+// range spans the previous table's tail and this table's head — two
+// spans whose user-id arithmetic picks different servers — and remote
+// loads for the head span would be routed to the tail's server, where
+// the rows never were (clients write them via shardOfBound).
 func basePartition(users, nBase int, baseAddrs []string) (*partition.Map, []string) {
-	bounds := partition.UserBounds(nBase, users, 7, "u", "p", "s")
+	bounds := append(partition.UserBounds(nBase, users, 7, "u", "p", "s"), "s|")
+	sort.Strings(bounds)
 	pmap := partition.MustNew(bounds...)
 	// Owner i covers [bounds[i-1], bounds[i]); its server is determined
 	// by the covering range's low key (table-local user split).

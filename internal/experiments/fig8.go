@@ -26,13 +26,8 @@ type Fig8Row struct {
 // checks and posts; p active-user percentages sweep the check:post ratio
 // from 1:1 toward 100:1.
 func Fig8(sc Scale, activePcts []int, out io.Writer) ([]Fig8Row, error) {
-	g := twip.Generate(sc.Users, sc.Edges, 42)
-	// The check count scales as p × posts (up to 100:1), so the post base
-	// is kept smaller than Figure 7's history.
-	postBase := sc.Posts / 4
-	if postBase < 500 {
-		postBase = 500
-	}
+	g := twip.Generate(sc.Users, sc.Edges, sc.seedAt(42))
+	postBase := fig8PostBase(sc.Posts)
 	fprintf(out, "Figure 8: materialization strategy (scale=%s, %d posts per run)\n", sc.Name, postBase)
 	fprintf(out, "%-22s %8s %12s %14s\n", "Strategy", "active%", "Runtime", "Bytes")
 
@@ -60,6 +55,17 @@ func Fig8(sc Scale, activePcts []int, out io.Writer) ([]Fig8Row, error) {
 	return rows, nil
 }
 
+// fig8PostBase sizes the per-run post count: the check count scales as
+// p × posts (up to 100:1), so the post base is kept smaller than
+// Figure 7's history, with a floor that keeps tiny scales meaningful.
+func fig8PostBase(scalePosts int) int {
+	postBase := scalePosts / 4
+	if postBase < 500 {
+		postBase = 500
+	}
+	return postBase
+}
+
 // runFig8 executes one (strategy, activePct) cell on an embedded engine:
 // the strategies differ in join annotation and warming, not transport, so
 // the comparison runs in process.
@@ -82,12 +88,12 @@ func runFig8(g *twip.Graph, sc Scale, postBase, activePct int, pull, full bool) 
 		}
 	}
 	// Historical posts, distributed log-proportionally (§5.3).
-	hist := twip.GeneratePosts(g, postBase, 7, sc.TweetLen)
+	hist := twip.GeneratePosts(g, postBase, sc.seedAt(7), sc.TweetLen)
 	for _, op := range hist {
 		e.Put(keys.Join("p", twip.UserID(op.User), twip.TimeID(op.Time)), op.Text)
 	}
 
-	rng := rand.New(rand.NewSource(11))
+	rng := rand.New(rand.NewSource(sc.seedAt(11)))
 	nActive := g.Users * activePct / 100
 	if nActive < 1 {
 		nActive = 1
@@ -108,7 +114,7 @@ func runFig8(g *twip.Graph, sc Scale, postBase, activePct int, pull, full bool) 
 	// Timed phase: postBase new posts + p × postBase checks, uniformly
 	// across active users — §5.3's "check:post ratio between 1:1 and
 	// 100:1" as p sweeps 1..100.
-	newPosts := twip.GeneratePosts(g, postBase, 13, sc.TweetLen)
+	newPosts := twip.GeneratePosts(g, postBase, sc.seedAt(13), sc.TweetLen)
 	for i := range newPosts {
 		newPosts[i].Time += int64(postBase) // after history
 	}

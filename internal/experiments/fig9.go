@@ -21,26 +21,7 @@ type Fig9Row struct {
 // two round trips), across vote rates. "We expect the interleaved
 // approach to perform well when article reads far outnumber votes."
 func Fig9(sc Scale, voteRates []int, out io.Writer) ([]Fig9Row, error) {
-	// Dataset ratios follow §5.4 (100K articles : 50K users : 1M comments
-	// : 2M votes), scaled to sc.Users.
-	users := sc.Users / 2
-	if users < 20 {
-		users = 20
-	}
-	ds := func(seed int64) *newp.Dataset {
-		// Paper ratios: 100K articles : 50K users : 1M comments : 2M
-		// votes = 2 : 1 : 20 : 40 per user. The 20 comments/user ratio
-		// drives the karma fan-out that makes interleaving expensive at
-		// high vote rates (each vote copies the commenter's karma into
-		// every page they commented on).
-		return &newp.Dataset{
-			Users:    users,
-			Articles: users * 2,
-			Comments: users * 20,
-			Votes:    users * 40,
-			Seed:     seed,
-		}
-	}
+	users := fig9Users(sc.Users)
 	fprintf(out, "Figure 9: Newp cache-join choice (scale=%s: %d users, %d articles, %d sessions/run)\n",
 		sc.Name, users, users*2, sc.Sessions)
 	fprintf(out, "%-16s %8s %12s\n", "Strategy", "vote%", "Runtime")
@@ -65,12 +46,12 @@ func Fig9(sc Scale, voteRates []int, out io.Writer) ([]Fig9Row, error) {
 				return nil, err
 			}
 			b := s.mk(cl)
-			d := ds(5)
+			d := fig9Dataset(users, sc.seedAt(5))
 			if err := d.Populate(b); err != nil {
 				cl.Close()
 				return nil, fmt.Errorf("%s: populate: %w", s.name, err)
 			}
-			ops := d.Sessions(sc.Sessions, float64(vr)/100, 9)
+			ops := d.Sessions(sc.Sessions, float64(vr)/100, sc.seedAt(9))
 			// Warm the page/aggregate ranges so the timed phase measures
 			// steady-state reads + maintenance, as the paper's
 			// long-running sessions do.
@@ -97,4 +78,30 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// fig9Users scales the Newp population from the Twip scale (§5.4 ran
+// 50K users against Twip's 1.8M; half the scale's user count keeps the
+// same spirit), with a floor that keeps tiny scales runnable.
+func fig9Users(scaleUsers int) int {
+	users := scaleUsers / 2
+	if users < 20 {
+		users = 20
+	}
+	return users
+}
+
+// fig9Dataset applies the §5.4 dataset ratios — 100K articles : 50K
+// users : 1M comments : 2M votes = 2 : 1 : 20 : 40 per user. The 20
+// comments/user ratio drives the karma fan-out that makes interleaving
+// expensive at high vote rates (each vote copies the commenter's karma
+// into every page they commented on).
+func fig9Dataset(users int, seed int64) *newp.Dataset {
+	return &newp.Dataset{
+		Users:    users,
+		Articles: users * 2,
+		Comments: users * 20,
+		Votes:    users * 40,
+		Seed:     seed,
+	}
 }

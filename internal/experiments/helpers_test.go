@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"pequod/internal/twip"
+)
+
+// The helpers below size and route the figure experiments; they were
+// previously untested arithmetic embedded in the run functions.
+
+// seedAt must preserve every historical default when the root is unset
+// (recorded BENCH numbers regenerate from identical streams) and shift
+// all derived seeds together under an override.
+func TestSeedAt(t *testing.T) {
+	var sc Scale
+	for _, def := range []int64{42, 43, 44, 7, 11, 13, 5, 9, 45} {
+		if got := sc.seedAt(def); got != def {
+			t.Fatalf("default root: seedAt(%d) = %d, want unchanged", def, got)
+		}
+	}
+	if sc.EffectiveSeed() != defaultSeedRoot {
+		t.Fatalf("EffectiveSeed = %d, want %d", sc.EffectiveSeed(), defaultSeedRoot)
+	}
+	sc.Seed = 100
+	if got := sc.seedAt(42); got != 100 {
+		t.Fatalf("override root: seedAt(42) = %d, want 100", got)
+	}
+	if got := sc.seedAt(7); got != 7+(100-42) {
+		t.Fatalf("override root: seedAt(7) = %d, want %d", got, 7+(100-42))
+	}
+	// Distinct defaults stay distinct under any root: streams never
+	// collapse onto each other.
+	if sc.seedAt(43)-sc.seedAt(42) != 1 || sc.seedAt(44)-sc.seedAt(43) != 1 {
+		t.Fatal("override root broke the relative spacing of derived seeds")
+	}
+	if sc.EffectiveSeed() != 100 {
+		t.Fatalf("EffectiveSeed = %d, want 100", sc.EffectiveSeed())
+	}
+	// Explicitly setting the historical root is the same as leaving it
+	// unset.
+	sc.Seed = defaultSeedRoot
+	if got := sc.seedAt(13); got != 13 {
+		t.Fatalf("explicit default root: seedAt(13) = %d, want 13", got)
+	}
+}
+
+// shardOfBound must route the empty bound to shard 0, recover the shard
+// from any boundary id exactly, and clamp at the top.
+func TestShardOfBound(t *testing.T) {
+	const users, nBase = 1000, 4
+	if got := shardOfBound("", users, nBase); got != 0 {
+		t.Fatalf("empty bound -> %d, want 0", got)
+	}
+	// A bound's id is the smallest id on its shard (ceiling split), so
+	// the arithmetic must map it back to that shard for both tables.
+	for i := 1; i < nBase; i++ {
+		id := (users*i + nBase - 1) / nBase
+		for _, table := range []string{"p", "s"} {
+			bound := fmt.Sprintf("%s|u%07d", table, id)
+			if got := shardOfBound(bound, users, nBase); got != i {
+				t.Fatalf("shardOfBound(%q) = %d, want %d", bound, got, i)
+			}
+		}
+	}
+	if got := shardOfBound("p|u0000999", users, nBase); got != nBase-1 {
+		t.Fatalf("top id -> %d, want %d", got, nBase-1)
+	}
+	// Ids beyond the universe clamp instead of indexing out of range.
+	if got := shardOfBound("p|u9999999", users, nBase); got != nBase-1 {
+		t.Fatalf("overflow id -> %d, want clamp to %d", got, nBase-1)
+	}
+	if got := shardOfBound("garbage", users, nBase); got != 0 {
+		t.Fatalf("malformed bound -> %d, want 0", got)
+	}
+}
+
+// basePartition must build one owner per range, with every owner's
+// address agreeing with shardOfBound — the invariant that makes client
+// writes and the compute servers' remote loader agree on key homes.
+func TestBasePartition(t *testing.T) {
+	const users, nBase = 1000, 4
+	addrs := []string{"base0", "base1", "base2", "base3"}
+	pmap, ownerAddr := basePartition(users, nBase, addrs)
+	// Two tables (p, s) × (nBase-1) bounds each, plus the s|
+	// table-boundary bound -> 2(nBase-1)+2 ranges.
+	if want := 2*(nBase-1) + 2; pmap.Servers() != want {
+		t.Fatalf("pmap has %d owners, want %d", pmap.Servers(), want)
+	}
+	if len(ownerAddr) != pmap.Servers() {
+		t.Fatalf("ownerAddr has %d entries, want %d", len(ownerAddr), pmap.Servers())
+	}
+	// Every Twip base key must land on the address the shard arithmetic
+	// picks directly.
+	for id := 0; id < users; id += 37 {
+		for _, table := range []string{"p", "s"} {
+			key := fmt.Sprintf("%s|u%07d|x", table, id)
+			owner := pmap.Owner(key)
+			want := addrs[id*nBase/users]
+			if ownerAddr[owner] != want {
+				t.Fatalf("key %q: owner %d -> %s, want %s", key, owner, ownerAddr[owner], want)
+			}
+		}
+	}
+}
+
+// fig8PostBase scales with the history but never collapses below the
+// floor that keeps the check:post interleave meaningful.
+func TestFig8PostBase(t *testing.T) {
+	if got := fig8PostBase(16000); got != 4000 {
+		t.Fatalf("fig8PostBase(16000) = %d, want 4000", got)
+	}
+	for _, posts := range []int{0, 100, 1999} {
+		if got := fig8PostBase(posts); got != 500 {
+			t.Fatalf("fig8PostBase(%d) = %d, want floor 500", posts, got)
+		}
+	}
+	if got := fig8PostBase(2000); got != 500 {
+		t.Fatalf("fig8PostBase(2000) = %d, want 500", got)
+	}
+}
+
+// fig9Users and fig9Dataset must keep the §5.4 ratios (2 articles, 20
+// comments, 40 votes per user) at every scale, with the tiny-scale
+// floor applied before the ratios.
+func TestFig9DatasetRatios(t *testing.T) {
+	if got := fig9Users(2000); got != 1000 {
+		t.Fatalf("fig9Users(2000) = %d, want 1000", got)
+	}
+	if got := fig9Users(10); got != 20 {
+		t.Fatalf("fig9Users(10) = %d, want floor 20", got)
+	}
+	for _, users := range []int{20, 150, 1000} {
+		d := fig9Dataset(users, 5)
+		if d.Users != users || d.Articles != users*2 || d.Comments != users*20 || d.Votes != users*40 {
+			t.Fatalf("fig9Dataset(%d) = %+v, want 1:2:20:40 ratios", users, d)
+		}
+		if d.Seed != 5 {
+			t.Fatalf("fig9Dataset seed = %d, want 5", d.Seed)
+		}
+	}
+}
+
+// The §4.2 write-heavy ablation mix must stay a valid percentage blend,
+// and heavier on writes than the paper's default.
+func TestWriteHeavyMix(t *testing.T) {
+	if writeHeavyMix.Total() != 100 {
+		t.Fatalf("writeHeavyMix sums to %d, want 100", writeHeavyMix.Total())
+	}
+	if writeHeavyMix.Post+writeHeavyMix.Subscribe <= twip.DefaultMix.Post+twip.DefaultMix.Subscribe {
+		t.Fatal("writeHeavyMix is not write-heavier than the default mix")
+	}
+}
+
+// parallel must visit every index exactly once and surface a worker's
+// error.
+func TestParallelHelper(t *testing.T) {
+	const n = 1000
+	var visited [n]atomic.Int32
+	if err := parallel(8, n, func(i int) error {
+		visited[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range visited {
+		if visited[i].Load() != 1 {
+			t.Fatalf("index %d visited %d times", i, visited[i].Load())
+		}
+	}
+	boom := errors.New("boom")
+	if err := parallel(4, 100, func(i int) error {
+		if i == 57 {
+			return boom
+		}
+		return nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("error not surfaced: %v", err)
+	}
+	if err := parallel(0, 3, func(int) error { return nil }); err != nil {
+		t.Fatalf("w<1 must clamp to serial, got %v", err)
+	}
+}
+
+// A seed override must actually change the generated workload while
+// staying deterministic — the property the repro -seed flag sells.
+func TestSeedOverrideChangesStreams(t *testing.T) {
+	a := Tiny
+	b := Tiny
+	b.Seed = 1234
+	_, _, wa := buildTwip(a, a.ActivePct, twip.DefaultMix)
+	_, _, wb := buildTwip(b, b.ActivePct, twip.DefaultMix)
+	_, _, wb2 := buildTwip(b, b.ActivePct, twip.DefaultMix)
+	if len(wb.Ops) == 0 || len(wb2.Ops) != len(wb.Ops) {
+		t.Fatalf("override run not deterministic: %d vs %d ops", len(wb.Ops), len(wb2.Ops))
+	}
+	same := len(wa.Ops) == len(wb.Ops)
+	if same {
+		for i := range wa.Ops {
+			if wa.Ops[i] != wb.Ops[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seed override produced an identical op stream")
+	}
+}

@@ -31,8 +31,8 @@ type RebalanceRow struct {
 // verified byte-identical to a single-engine baseline before anything
 // is timed.
 func RebalanceScale(sc Scale, out io.Writer) ([]RebalanceRow, error) {
-	g := twip.Generate(sc.Users, sc.Edges, 42)
-	posts := twip.GeneratePosts(g, sc.Posts, 43, sc.TweetLen)
+	g := twip.Generate(sc.Users, sc.Edges, sc.seedAt(42))
+	posts := twip.GeneratePosts(g, sc.Posts, sc.seedAt(43), sc.TweetLen)
 
 	// The skewed read stream: Zipf over user ids, so the hot users form
 	// a contiguous hot key range — exactly the case a boundary move can
@@ -43,7 +43,7 @@ func RebalanceScale(sc Scale, out io.Writer) ([]RebalanceRow, error) {
 	if totalChecks < 40000 {
 		totalChecks = 40000
 	}
-	zipf := rand.NewZipf(rand.New(rand.NewSource(45)), 1.2, 8, uint64(g.Users-1))
+	zipf := rand.NewZipf(rand.New(rand.NewSource(sc.seedAt(45))), 1.2, 8, uint64(g.Users-1))
 	users := make([]int32, totalChecks)
 	for i := range users {
 		users[i] = int32(zipf.Uint64())

@@ -29,13 +29,13 @@ type ShardScaleRow struct {
 // verified byte-identical to a single-engine baseline; throughput scales
 // with shards only up to GOMAXPROCS.
 func ShardScale(sc Scale, shardCounts []int, out io.Writer) ([]ShardScaleRow, error) {
-	g := twip.Generate(sc.Users, sc.Edges, 42)
-	posts := twip.GeneratePosts(g, sc.Posts, 43, sc.TweetLen)
+	g := twip.Generate(sc.Users, sc.Edges, sc.seedAt(42))
+	posts := twip.GeneratePosts(g, sc.Posts, sc.seedAt(43), sc.TweetLen)
 
 	// The fixed read stream: each worker drains its stripe of a
 	// precomputed user sequence with no think time (closed loop).
 	totalChecks := sc.Users * sc.ChecksPerUser
-	rng := rand.New(rand.NewSource(45))
+	rng := rand.New(rand.NewSource(sc.seedAt(45)))
 	users := make([]int32, totalChecks)
 	for i := range users {
 		users[i] = int32(rng.Intn(g.Users))

@@ -1,0 +1,309 @@
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pequod/internal/core"
+	"pequod/internal/keys"
+	"pequod/internal/twip"
+)
+
+// Checker is the online freshness/correctness oracle: it shadows a
+// deterministic subset of users (their followee sets frozen for the
+// run) and verifies timeline reads *while the load runs*. For every
+// post issued by the harness it derives which tracked timelines the
+// row must eventually reach; each tracked read is then audited against
+// that expectation:
+//
+//   - missing — an acknowledged post older than the staleness budget
+//     is absent from a scan that covers its time range (a lost or
+//     out-of-budget-stale write);
+//   - phantom — a row the tracked user should never see;
+//   - duplicate — the same key twice in one scan result;
+//   - mismatch — right key, wrong payload.
+//
+// Acknowledged-but-not-yet-visible rows inside the budget are not
+// violations; their ages are recorded into a freshness-lag histogram,
+// turning "how stale are reads under load?" into a measured
+// distribution (the age-of-information view of freshness) rather than
+// a post-quiesce assertion. FinalSweep closes the loop after the run
+// quiesces: every acknowledged row must be present, budget zero.
+type Checker struct {
+	budget time.Duration
+	users  map[int32]*trackedUser
+	// followers indexes poster id → tracked users who follow it, built
+	// once from the frozen followee sets; PostIssued consults it to fan
+	// each post's expectation to the timelines it must reach.
+	followers map[int32][]*trackedUser
+
+	lag *Hist // age (µs) of acked-but-not-yet-visible rows at read time
+
+	postsTracked  atomic.Int64 // expectation rows created
+	acks          atomic.Int64
+	checksTracked atomic.Int64 // scans audited
+	rowsVerified  atomic.Int64 // rows confirmed present and correct
+
+	vmu        sync.Mutex
+	violations int64
+	byKind     map[string]int64
+	samples    []string
+}
+
+// expectRow is one expected timeline row for one tracked user.
+type expectRow struct {
+	time  int64
+	value string
+	state rowState
+	acked time.Time
+	// confirmed: seen in a scan after ack; skipped by missing-checks
+	// so steady-state audit cost tracks the unconfirmed frontier, not
+	// the whole history.
+	confirmed bool
+}
+
+type rowState int
+
+const (
+	rowPending rowState = iota // issued, not yet acknowledged
+	rowAcked                   // acknowledged to the client
+	rowFailed                  // errored: presence and absence both allowed
+)
+
+type trackedUser struct {
+	id int32
+	mu sync.Mutex
+	// rows holds every expected timeline key ever derived for this user
+	// (phantom and mismatch checks need full history); unconfirmed is
+	// the subset still awaiting a covering scan.
+	rows        map[string]*expectRow
+	unconfirmed map[string]*expectRow
+}
+
+const maxViolationSamples = 24
+
+// NewChecker builds a checker over the tracked ids, deriving each
+// user's frozen followee set from followeesOf (typically
+// Universe.Followees). budget is the staleness bound: an acknowledged
+// write absent from a covering read issued more than budget after the
+// ack is a violation.
+func NewChecker(budget time.Duration, tracked []int32, followeesOf func(int32) []int32) *Checker {
+	c := &Checker{
+		budget:    budget,
+		users:     make(map[int32]*trackedUser, len(tracked)),
+		followers: make(map[int32][]*trackedUser),
+		lag:       &Hist{},
+		byKind:    make(map[string]int64),
+	}
+	for _, id := range tracked {
+		if _, ok := c.users[id]; ok {
+			continue
+		}
+		tu := &trackedUser{
+			id:          id,
+			rows:        make(map[string]*expectRow),
+			unconfirmed: make(map[string]*expectRow),
+		}
+		c.users[id] = tu
+		for _, p := range followeesOf(id) {
+			c.followers[p] = append(c.followers[p], tu)
+		}
+	}
+	return c
+}
+
+// Tracked reports whether user id is under checker observation.
+func (c *Checker) Tracked(id int32) bool {
+	_, ok := c.users[id]
+	return ok
+}
+
+// TrackedCount returns the number of tracked users.
+func (c *Checker) TrackedCount() int { return len(c.users) }
+
+// TrackedIDs returns the tracked user ids (order unspecified).
+func (c *Checker) TrackedIDs() []int32 {
+	out := make([]int32, 0, len(c.users))
+	for id := range c.users {
+		out = append(out, id)
+	}
+	return out
+}
+
+// timelineKey is the key the Twip join materializes for a post by
+// poster at time t on user's timeline.
+func timelineKey(user int32, t int64, poster int32) string {
+	return keys.Join("t", twip.UserID(user), twip.TimeID(t), twip.UserID(poster))
+}
+
+// PostIssued registers a post about to be sent: every tracked follower
+// of poster now expects the row (pending — absence fine, presence must
+// match the payload). Call before the write so a racing read can never
+// see a row the checker has no record of. Returns whether any tracked
+// timeline is affected (callers may skip Acked/Failed otherwise).
+func (c *Checker) PostIssued(poster int32, t int64, text string) bool {
+	followers := c.followers[poster]
+	for _, tu := range followers {
+		key := timelineKey(tu.id, t, poster)
+		row := &expectRow{time: t, value: text, state: rowPending}
+		tu.mu.Lock()
+		tu.rows[key] = row
+		tu.unconfirmed[key] = row
+		tu.mu.Unlock()
+		c.postsTracked.Add(1)
+	}
+	return len(followers) > 0
+}
+
+// PostAcked upgrades the post's rows to acknowledged: from now (plus
+// budget) on, covering reads must see them.
+func (c *Checker) PostAcked(poster int32, t int64) {
+	now := time.Now()
+	for _, tu := range c.followers[poster] {
+		key := timelineKey(tu.id, t, poster)
+		tu.mu.Lock()
+		if row := tu.rows[key]; row != nil && row.state == rowPending {
+			row.state = rowAcked
+			row.acked = now
+			c.acks.Add(1)
+		}
+		tu.mu.Unlock()
+	}
+}
+
+// PostFailed marks the post's rows failed: the write errored, so the
+// row may or may not have landed — both visibility outcomes are
+// accepted (the payload must still match if it shows up).
+func (c *Checker) PostFailed(poster int32, t int64) {
+	for _, tu := range c.followers[poster] {
+		key := timelineKey(tu.id, t, poster)
+		tu.mu.Lock()
+		if row := tu.rows[key]; row != nil && row.state == rowPending {
+			row.state = rowFailed
+			delete(tu.unconfirmed, key)
+		}
+		tu.mu.Unlock()
+	}
+}
+
+// OnCheck audits one timeline scan for user id covering times
+// [since, ∞), started at the given time. Untracked users are ignored.
+func (c *Checker) OnCheck(id int32, since int64, kvs []core.KV, started time.Time) {
+	c.audit(id, since, kvs, started, c.budget)
+}
+
+// FinalSweep audits a post-quiesce full timeline scan with budget
+// zero: every acknowledged row must be present, no grace.
+func (c *Checker) FinalSweep(id int32, kvs []core.KV, started time.Time) {
+	c.audit(id, 0, kvs, started, 0)
+}
+
+func (c *Checker) audit(id int32, since int64, kvs []core.KV, started time.Time, budget time.Duration) {
+	tu := c.users[id]
+	if tu == nil {
+		return
+	}
+	c.checksTracked.Add(1)
+	tu.mu.Lock()
+	defer tu.mu.Unlock()
+	seen := make(map[string]bool, len(kvs))
+	for _, kv := range kvs {
+		if seen[kv.Key] {
+			c.violate("duplicate", "user %s: key %q appears twice in one scan", twip.UserID(id), kv.Key)
+			continue
+		}
+		seen[kv.Key] = true
+		row := tu.rows[kv.Key]
+		if row == nil {
+			c.violate("phantom", "user %s: unexpected row %q", twip.UserID(id), kv.Key)
+			continue
+		}
+		if row.value != kv.Value {
+			c.violate("mismatch", "user %s: key %q = %.40q, want %.40q", twip.UserID(id), kv.Key, kv.Value, row.value)
+			continue
+		}
+		c.rowsVerified.Add(1)
+		if !row.confirmed && row.state != rowPending {
+			row.confirmed = true
+			delete(tu.unconfirmed, kv.Key)
+		}
+	}
+	// Missing / lag: only unconfirmed acknowledged rows the scan
+	// covered can be judged absent.
+	for key, row := range tu.unconfirmed {
+		if row.state != rowAcked || row.time < since || seen[key] {
+			continue
+		}
+		age := started.Sub(row.acked)
+		if age < 0 {
+			age = 0
+		}
+		if age > budget {
+			c.violate("missing", "user %s: acked row %q absent %v after ack (budget %v)",
+				twip.UserID(id), key, age.Round(time.Millisecond), budget)
+			// Count a lost row once, not once per subsequent scan.
+			row.confirmed = true
+			delete(tu.unconfirmed, key)
+			continue
+		}
+		c.lag.Record(age.Microseconds())
+	}
+}
+
+func (c *Checker) violate(kind, format string, args ...any) {
+	c.vmu.Lock()
+	defer c.vmu.Unlock()
+	c.violations++
+	c.byKind[kind]++
+	if len(c.samples) < maxViolationSamples {
+		c.samples = append(c.samples, kind+": "+fmt.Sprintf(format, args...))
+	}
+}
+
+// CheckerReport is the checker's JSON-ready summary.
+type CheckerReport struct {
+	TrackedUsers   int              `json:"tracked_users"`
+	PostsTracked   int64            `json:"posts_tracked"`
+	PostsAcked     int64            `json:"posts_acked"`
+	ChecksAudited  int64            `json:"checks_audited"`
+	RowsVerified   int64            `json:"rows_verified"`
+	Violations     int64            `json:"violations"`
+	ViolationKinds map[string]int64 `json:"violation_kinds,omitempty"`
+	Samples        []string         `json:"violation_samples,omitempty"`
+	// Freshness lag: age of acked-but-not-yet-visible rows observed by
+	// reads, µs. LagObservations counts them (zero lag pXX means reads
+	// never caught a row in flight).
+	LagObservations int64 `json:"lag_observations"`
+	LagP50us        int64 `json:"lag_p50_us"`
+	LagP99us        int64 `json:"lag_p99_us"`
+	LagMaxus        int64 `json:"lag_max_us"`
+}
+
+// Report summarizes everything observed so far.
+func (c *Checker) Report() CheckerReport {
+	c.vmu.Lock()
+	kinds := make(map[string]int64, len(c.byKind))
+	for k, v := range c.byKind {
+		kinds[k] = v
+	}
+	samples := append([]string(nil), c.samples...)
+	violations := c.violations
+	c.vmu.Unlock()
+	lag := c.lag.Snapshot()
+	return CheckerReport{
+		TrackedUsers:    len(c.users),
+		PostsTracked:    c.postsTracked.Load(),
+		PostsAcked:      c.acks.Load(),
+		ChecksAudited:   c.checksTracked.Load(),
+		RowsVerified:    c.rowsVerified.Load(),
+		Violations:      violations,
+		ViolationKinds:  kinds,
+		Samples:         samples,
+		LagObservations: lag.Total,
+		LagP50us:        lag.Quantile(0.50),
+		LagP99us:        lag.Quantile(0.99),
+		LagMaxus:        lag.Max,
+	}
+}

@@ -1,0 +1,195 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pequod/internal/core"
+)
+
+// The checker fixtures are red-green tests of the oracle itself: a
+// fake store presents doctored scan results and each class of damage
+// must be flagged — a checker that cannot fail proves nothing.
+
+// fixtureChecker: one tracked user (1) following posters 10 and 11.
+func fixtureChecker(budget time.Duration) *Checker {
+	return NewChecker(budget, []int32{1}, func(id int32) []int32 {
+		if id == 1 {
+			return []int32{10, 11}
+		}
+		return nil
+	})
+}
+
+func kvsFor(rows ...[2]string) []core.KV {
+	var out []core.KV
+	for _, r := range rows {
+		out = append(out, core.KV{Key: r[0], Value: r[1]})
+	}
+	return out
+}
+
+func violationCount(t *testing.T, c *Checker, kind string) int64 {
+	t.Helper()
+	return c.Report().ViolationKinds[kind]
+}
+
+// Green path: an acknowledged post that shows up with the right
+// payload produces zero violations.
+func TestCheckerGreenPath(t *testing.T) {
+	c := fixtureChecker(time.Second)
+	c.PostIssued(10, 5, "hello")
+	c.PostAcked(10, 5)
+	key := timelineKey(1, 5, 10)
+	c.OnCheck(1, 0, kvsFor([2]string{key, "hello"}), time.Now())
+	rep := c.Report()
+	if rep.Violations != 0 {
+		t.Fatalf("clean read flagged: %+v", rep.Samples)
+	}
+	if rep.RowsVerified != 1 || rep.PostsTracked != 1 || rep.PostsAcked != 1 {
+		t.Fatalf("bookkeeping off: %+v", rep)
+	}
+}
+
+// Red: a lost acknowledged write — acked longer than the budget ago,
+// absent from a covering scan — must be flagged missing.
+func TestCheckerFlagsLostAcknowledgedWrite(t *testing.T) {
+	c := fixtureChecker(10 * time.Millisecond)
+	c.PostIssued(10, 5, "hello")
+	c.PostAcked(10, 5)
+	// A read starting well past the budget sees an empty timeline.
+	read := time.Now().Add(50 * time.Millisecond)
+	c.OnCheck(1, 0, nil, read)
+	if n := violationCount(t, c, "missing"); n != 1 {
+		t.Fatalf("lost acked write not flagged: missing=%d report=%+v", n, c.Report().Samples)
+	}
+	// The loss is counted once, not once per subsequent scan.
+	c.OnCheck(1, 0, nil, read.Add(time.Second))
+	if n := violationCount(t, c, "missing"); n != 1 {
+		t.Fatalf("lost write double-counted: missing=%d", n)
+	}
+}
+
+// Red: a stale-but-within-budget read is NOT a violation — it feeds
+// the freshness-lag distribution; past the budget it becomes one.
+func TestCheckerStalenessBudgetBoundary(t *testing.T) {
+	c := fixtureChecker(100 * time.Millisecond)
+	c.PostIssued(10, 7, "x")
+	c.PostAcked(10, 7)
+	c.OnCheck(1, 0, nil, time.Now().Add(20*time.Millisecond)) // inside budget
+	rep := c.Report()
+	if rep.Violations != 0 {
+		t.Fatalf("within-budget staleness flagged: %+v", rep.Samples)
+	}
+	if rep.LagObservations != 1 {
+		t.Fatalf("lag not recorded: %+v", rep)
+	}
+	c.OnCheck(1, 0, nil, time.Now().Add(500*time.Millisecond)) // beyond budget
+	if n := violationCount(t, c, "missing"); n != 1 {
+		t.Fatalf("beyond-budget staleness not flagged: %+v", c.Report())
+	}
+}
+
+// Red: a scan that misses the row's time range must NOT flag it; the
+// scan never covered the row.
+func TestCheckerScanCoverage(t *testing.T) {
+	c := fixtureChecker(time.Millisecond)
+	c.PostIssued(10, 5, "x")
+	c.PostAcked(10, 5)
+	c.OnCheck(1, 6, nil, time.Now().Add(time.Second)) // covers times ≥ 6 only
+	if rep := c.Report(); rep.Violations != 0 {
+		t.Fatalf("uncovered row flagged: %+v", rep.Samples)
+	}
+}
+
+// Red: a duplicated row in one scan result must be flagged.
+func TestCheckerFlagsDuplicateRow(t *testing.T) {
+	c := fixtureChecker(time.Second)
+	c.PostIssued(10, 5, "hello")
+	c.PostAcked(10, 5)
+	key := timelineKey(1, 5, 10)
+	c.OnCheck(1, 0, kvsFor([2]string{key, "hello"}, [2]string{key, "hello"}), time.Now())
+	if n := violationCount(t, c, "duplicate"); n != 1 {
+		t.Fatalf("duplicated row not flagged: %+v", c.Report())
+	}
+}
+
+// Red: a row the user should never see must be flagged phantom.
+func TestCheckerFlagsPhantomRow(t *testing.T) {
+	c := fixtureChecker(time.Second)
+	c.OnCheck(1, 0, kvsFor([2]string{timelineKey(1, 9, 10), "never posted"}), time.Now())
+	if n := violationCount(t, c, "phantom"); n != 1 {
+		t.Fatalf("phantom row not flagged: %+v", c.Report())
+	}
+}
+
+// Red: right key, wrong payload.
+func TestCheckerFlagsValueMismatch(t *testing.T) {
+	c := fixtureChecker(time.Second)
+	c.PostIssued(10, 5, "hello")
+	c.PostAcked(10, 5)
+	c.OnCheck(1, 0, kvsFor([2]string{timelineKey(1, 5, 10), "tampered"}), time.Now())
+	if n := violationCount(t, c, "mismatch"); n != 1 {
+		t.Fatalf("payload mismatch not flagged: %+v", c.Report())
+	}
+	if s := c.Report().Samples[0]; !strings.Contains(s, "mismatch") {
+		t.Fatalf("sample lacks kind: %q", s)
+	}
+}
+
+// A failed write is ambiguous: both presence and absence are
+// accepted, but a tampered payload is still a violation.
+func TestCheckerFailedWriteIsAmbiguous(t *testing.T) {
+	c := fixtureChecker(time.Millisecond)
+	c.PostIssued(10, 5, "hello")
+	c.PostFailed(10, 5)
+	read := time.Now().Add(time.Second)
+	c.OnCheck(1, 0, nil, read)                                               // absent: fine
+	c.OnCheck(1, 0, kvsFor([2]string{timelineKey(1, 5, 10), "hello"}), read) // present: fine
+	if rep := c.Report(); rep.Violations != 0 {
+		t.Fatalf("failed write flagged: %+v", rep.Samples)
+	}
+	c.OnCheck(1, 0, kvsFor([2]string{timelineKey(1, 5, 10), "oops"}), read)
+	if n := violationCount(t, c, "mismatch"); n != 1 {
+		t.Fatalf("tampered failed write not flagged: %+v", c.Report())
+	}
+}
+
+// A pending (unacknowledged) write must never be judged missing, even
+// far beyond the budget — the client was never told it succeeded.
+func TestCheckerPendingWriteNeverMissing(t *testing.T) {
+	c := fixtureChecker(time.Millisecond)
+	c.PostIssued(10, 5, "hello")
+	c.OnCheck(1, 0, nil, time.Now().Add(time.Hour))
+	if rep := c.Report(); rep.Violations != 0 {
+		t.Fatalf("pending write flagged: %+v", rep.Samples)
+	}
+}
+
+// FinalSweep is the zero-budget audit: any absent acknowledged row is
+// an immediate violation.
+func TestCheckerFinalSweepZeroBudget(t *testing.T) {
+	c := fixtureChecker(time.Hour) // generous online budget
+	c.PostIssued(10, 5, "hello")
+	c.PostAcked(10, 5)
+	c.PostIssued(11, 6, "there")
+	c.PostAcked(11, 6)
+	c.FinalSweep(1, kvsFor([2]string{timelineKey(1, 5, 10), "hello"}), time.Now())
+	if n := violationCount(t, c, "missing"); n != 1 {
+		t.Fatalf("final sweep let a missing acked row pass: %+v", c.Report())
+	}
+}
+
+// Untracked users are invisible to the checker.
+func TestCheckerIgnoresUntracked(t *testing.T) {
+	c := fixtureChecker(time.Second)
+	c.OnCheck(99, 0, kvsFor([2]string{timelineKey(99, 5, 10), "whatever"}), time.Now())
+	rep := c.Report()
+	if rep.Violations != 0 || rep.ChecksAudited != 0 {
+		t.Fatalf("untracked user audited: %+v", rep)
+	}
+	if c.Tracked(99) || !c.Tracked(1) {
+		t.Fatal("Tracked() wrong")
+	}
+}

@@ -1,0 +1,179 @@
+package loadgen
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// HDR-style log-linear latency histogram: values (microseconds) bucket
+// by power-of-two magnitude with histSub linear sub-buckets per
+// magnitude, giving ~3% relative error across nine decades in a fixed
+// 2048-cell array. Recording is one atomic add — no locks, no
+// allocation — so workers on the open-loop hot path never serialize on
+// measurement, and a live reporter can read a consistent-enough view
+// mid-run without stopping the world.
+const (
+	histSubBits = 5
+	histSub     = 1 << histSubBits // 32 sub-buckets: ~3% relative error
+	histCells   = 2048             // covers values up to 2^63 µs
+)
+
+// Hist is one lock-free histogram. The zero value is ready to use.
+type Hist struct {
+	counts [histCells]atomic.Int64
+	total  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// histIndex maps a value to its cell: values below histSub map
+// linearly, larger values to (magnitude, sub-bucket) pairs.
+func histIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	exp := bits.Len64(uint64(v) >> histSubBits)
+	i := exp*histSub + int(v>>uint(exp))
+	if i >= histCells {
+		i = histCells - 1
+	}
+	return i
+}
+
+// histValue returns the representative (midpoint) value of cell i.
+func histValue(i int) int64 {
+	exp := i / histSub
+	sub := int64(i % histSub)
+	if exp == 0 {
+		return sub
+	}
+	return sub<<uint(exp) + 1<<uint(exp-1)
+}
+
+// Record adds one observation.
+func (h *Hist) Record(v int64) {
+	h.counts[histIndex(v)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 { return h.total.Load() }
+
+// Snapshot folds h into a plain, mergeable copy.
+func (h *Hist) Snapshot() *HistSnapshot {
+	s := &HistSnapshot{Total: h.total.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is an immutable merged view with quantile math.
+type HistSnapshot struct {
+	Counts [histCells]int64
+	Total  int64
+	Sum    int64
+	Max    int64
+}
+
+// Merge adds o into s.
+func (s *HistSnapshot) Merge(o *HistSnapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Total += o.Total
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
+// Quantile returns the value at quantile q in [0, 1] (0 when empty).
+// The exact recorded maximum is reported for the top cell, so
+// Quantile(1) == Max.
+func (s *HistSnapshot) Quantile(q float64) int64 {
+	if s.Total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(s.Total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Total {
+		rank = s.Total
+	}
+	var seen int64
+	last := 0
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		last = i
+		if seen >= rank {
+			break
+		}
+	}
+	v := histValue(last)
+	if v > s.Max {
+		v = s.Max
+	}
+	return v
+}
+
+// Mean returns the average recorded value (0 when empty).
+func (s *HistSnapshot) Mean() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Total)
+}
+
+// ShardedHist spreads recording across independent histograms so
+// concurrent workers never contend on the same cache lines; worker i
+// records into shard i%n. Merge folds every shard for reporting.
+type ShardedHist struct {
+	shards []*Hist
+}
+
+// NewShardedHist builds an n-way sharded histogram (n < 1 means 1).
+func NewShardedHist(n int) *ShardedHist {
+	if n < 1 {
+		n = 1
+	}
+	sh := &ShardedHist{shards: make([]*Hist, n)}
+	for i := range sh.shards {
+		sh.shards[i] = &Hist{}
+	}
+	return sh
+}
+
+// Record adds v on behalf of the given worker.
+func (sh *ShardedHist) Record(worker int, v int64) {
+	sh.shards[worker%len(sh.shards)].Record(v)
+}
+
+// Count sums observations across shards.
+func (sh *ShardedHist) Count() int64 {
+	var n int64
+	for _, h := range sh.shards {
+		n += h.Count()
+	}
+	return n
+}
+
+// Merge folds all shards into one snapshot.
+func (sh *ShardedHist) Merge() *HistSnapshot {
+	out := sh.shards[0].Snapshot()
+	for _, h := range sh.shards[1:] {
+		out.Merge(h.Snapshot())
+	}
+	return out
+}

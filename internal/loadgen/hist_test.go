@@ -1,0 +1,136 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// A recorded value's cell representative must stay within the
+// structure's ~3% relative error (exact below histSub), and the index
+// must be monotone in the value.
+func TestHistIndexRoundTrip(t *testing.T) {
+	for v := int64(0); v < histSub; v++ {
+		if got := histValue(histIndex(v)); got != v {
+			t.Fatalf("small value %d: representative %d, want exact", v, got)
+		}
+	}
+	for v := int64(histSub); v < int64(1)<<40; v = v*9/8 + 1 {
+		rep := histValue(histIndex(v))
+		if relErr(rep, v) > 1.0/float64(histSub) {
+			t.Fatalf("value %d: representative %d (err %.4f)", v, rep, relErr(rep, v))
+		}
+	}
+	prev := int64(-1)
+	for _, v := range []int64{0, 1, 31, 32, 33, 100, 1000, 12345, 1 << 20, 1 << 40, math.MaxInt64} {
+		i := histIndex(v)
+		if i < 0 || i >= histCells {
+			t.Fatalf("histIndex(%d) = %d out of range", v, i)
+		}
+		if int64(i) < prev {
+			t.Fatalf("histIndex not monotone at %d", v)
+		}
+		prev = int64(i)
+	}
+	if histIndex(-5) != 0 {
+		t.Fatalf("negative values must clamp to cell 0")
+	}
+}
+
+// Quantiles must land within the structure's ~3% relative error, and
+// the extremes must be exact.
+func TestHistQuantileAccuracy(t *testing.T) {
+	h := &Hist{}
+	rng := rand.New(rand.NewSource(1))
+	var vals []int64
+	for i := 0; i < 20000; i++ {
+		// Log-uniform latencies from 1µs to ~10s.
+		v := int64(math.Exp(rng.Float64() * math.Log(1e7)))
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Total != int64(len(vals)) {
+		t.Fatalf("Total = %d, want %d", s.Total, len(vals))
+	}
+	sortInt64(vals)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := vals[int(q*float64(len(vals)))]
+		got := s.Quantile(q)
+		if relErr(got, want) > 0.05 {
+			t.Fatalf("q%v = %d, want ≈%d (err %.3f)", q, got, want, relErr(got, want))
+		}
+	}
+	if s.Quantile(1) != s.Max || s.Max != vals[len(vals)-1] {
+		t.Fatalf("Quantile(1)=%d Max=%d true max=%d", s.Quantile(1), s.Max, vals[len(vals)-1])
+	}
+	if s.Quantile(0.5) == 0 {
+		t.Fatal("median collapsed to zero")
+	}
+	mean := s.Mean()
+	var sum float64
+	for _, v := range vals {
+		sum += float64(v)
+	}
+	if relErrF(mean, sum/float64(len(vals))) > 1e-9 {
+		t.Fatalf("Mean = %v, want %v", mean, sum/float64(len(vals)))
+	}
+}
+
+func TestHistEmptyAndMerge(t *testing.T) {
+	var empty Hist
+	s := empty.Snapshot()
+	if s.Quantile(0.99) != 0 || s.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	sh := NewShardedHist(4)
+	for w := 0; w < 4; w++ {
+		for i := 0; i < 100; i++ {
+			sh.Record(w, int64(w*1000+i))
+		}
+	}
+	m := sh.Merge()
+	if m.Total != 400 || sh.Count() != 400 {
+		t.Fatalf("merged Total = %d, Count = %d", m.Total, sh.Count())
+	}
+	if m.Max != 3099 {
+		t.Fatalf("merged Max = %d", m.Max)
+	}
+}
+
+// Concurrent recording must lose nothing (the whole point of the
+// sharded lock-free design); run under -race in CI.
+func TestHistConcurrentRecording(t *testing.T) {
+	sh := NewShardedHist(8)
+	const workers, per = 16, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				sh.Record(w, int64(rng.Intn(1_000_000)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := sh.Merge().Total; got != workers*per {
+		t.Fatalf("lost observations: %d of %d", workers*per-int(got), workers*per)
+	}
+}
+
+func sortInt64(v []int64) {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+}
+
+func relErr(got, want int64) float64 { return relErrF(float64(got), float64(want)) }
+
+func relErrF(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / want
+}

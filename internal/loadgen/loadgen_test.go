@@ -1,0 +1,126 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestOpenLoopUnderChaos is the tentpole property: an open-loop load —
+// 100k simulated users, Zipf celebrity skew, a fixed arrival rate the
+// generator never slackens — sustained across the full chaos script
+// (steady state, live join, drain, bound migration, warm restart, and
+// a member kill repaired automatically by the failure detector) with
+// the online checker auditing tracked timelines throughout and a
+// zero-budget final sweep at the end. Zero violations means no lost
+// acknowledged writes, no out-of-budget staleness, no phantoms,
+// duplicates, or payload corruption — while every topology change the
+// Admin API supports happened under fire. Scaled down in duration
+// (not in universe size) so it runs raced in CI.
+func TestOpenLoopUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second cluster scenario")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	phaseDur := 600 * time.Millisecond
+	cfg := Config{
+		Users:       100_000,
+		ActiveUsers: 1200,
+		Follows:     8,
+		TrackEvery:  8,
+		Rate:        400,
+		Seed:        1,
+		Workers:     8,
+		// Budget generous under -race on loaded CI machines: the final
+		// zero-budget sweep is the authoritative lost-write check; the
+		// online budget still catches gross staleness mid-run.
+		Budget:  10 * time.Second,
+		Phases:  StandardPhases(phaseDur),
+		Servers: 4,
+		DataDir: t.TempDir(),
+		Logf:    t.Logf,
+		// Detector tolerance generous under -race on loaded machines:
+		// at the 25ms×3 default a race-mode scheduling pause reads as
+		// death, and a false repair cold-promotes ranges away from live
+		// members — the kill phase extends until repair regardless.
+		FailoverInterval: 100 * time.Millisecond,
+		FailoverMisses:   5,
+	}
+	rep, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Checker.Violations != 0 {
+		t.Fatalf("checker violations (%d): %v", rep.Checker.Violations, rep.Checker.Samples)
+	}
+	if rep.Checker.TrackedUsers == 0 || rep.Checker.PostsTracked == 0 {
+		t.Fatalf("checker tracked nothing: %+v", rep.Checker)
+	}
+	if rep.Checker.PostsAcked == 0 || rep.Checker.ChecksAudited == 0 || rep.Checker.RowsVerified == 0 {
+		t.Fatalf("checker audited nothing: %+v", rep.Checker)
+	}
+	if len(rep.Phases) != len(cfg.Phases) {
+		t.Fatalf("phase reports = %d, want %d", len(rep.Phases), len(cfg.Phases))
+	}
+	for _, ph := range rep.Phases {
+		if ph.Offered == 0 {
+			t.Fatalf("phase %q: open-loop clock offered nothing", ph.Name)
+		}
+		if ph.Completed == 0 {
+			t.Fatalf("phase %q: nothing completed (event=%q errors=%d shed=%d)",
+				ph.Name, ph.Event, ph.Errors, ph.Shed)
+		}
+		if ph.Completed > 0 && (ph.P50us == 0 || ph.P99us < ph.P50us || ph.P999us < ph.P99us || ph.MaxUs < ph.P999us) {
+			t.Fatalf("phase %q: malformed latency tail %+v", ph.Name, ph)
+		}
+		if ph.DurationSec < phaseDur.Seconds()*0.9 {
+			t.Fatalf("phase %q: duration %.3fs below scripted %.3fs", ph.Name, ph.DurationSec, phaseDur.Seconds())
+		}
+	}
+	// The arrival clock must not have slackened: total offered over the
+	// run tracks rate × time (it can exceed it slightly — phases extend
+	// when an event outlasts the script — never collapse below it).
+	var offered int64
+	var totalSec float64
+	for _, ph := range rep.Phases {
+		offered += ph.Offered
+		totalSec += ph.DurationSec
+	}
+	if float64(offered) < cfg.Rate*totalSec*0.8 {
+		t.Fatalf("offered %d ops over %.1fs; open-loop clock slackened below %v/s", offered, totalSec, cfg.Rate)
+	}
+	if rep.Seed != cfg.Seed || !rep.Durable || rep.Users != cfg.Users {
+		t.Fatalf("report config echo wrong: %+v", rep)
+	}
+	if len(rep.JSON()) == 0 {
+		t.Fatal("empty JSON report")
+	}
+	t.Logf("open-loop: %d offered, checker: %d posts tracked, %d checks audited, %d rows verified, lag p99 %dµs",
+		offered, rep.Checker.PostsTracked, rep.Checker.ChecksAudited, rep.Checker.RowsVerified, rep.Checker.LagP99us)
+}
+
+// Config validation must reject scripts the runner can't honor.
+func TestRunnerConfigValidation(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"unknown event", Config{Phases: []Phase{{Name: "x", Event: "explode"}}}},
+		{"restart without durability", Config{Phases: []Phase{{Name: "x", Event: EventRestart}}}},
+		{"kill in connect mode", Config{
+			Addrs:  []string{"127.0.0.1:1"},
+			Phases: []Phase{{Name: "x", Event: EventKill}}}},
+		{"join in connect mode", Config{
+			Addrs:  []string{"127.0.0.1:1"},
+			Phases: []Phase{{Name: "x", Event: EventJoin}}}},
+	}
+	for _, tc := range cases {
+		if _, err := Run(ctx, tc.cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package loadgen
+
+import "math/rand"
+
+// Universe is a procedurally generated social graph over Users ids:
+// nothing is stored per user, so a universe of millions costs a few
+// words. Every derived quantity — who user u follows, who posts next —
+// comes from the configured seed alone, which makes any run
+// reproducible from its printed seed (a failing checker run replays
+// exactly).
+//
+// Celebrity skew: follow targets and post authors are both drawn from
+// the same Zipf distribution (the s=1.3 shape internal/twip uses for
+// its stored graph) pushed through one shared pseudo-random
+// permutation of the id space. Low Zipf ranks land on the same small
+// permuted id set for both draws, so the heavily-followed users are
+// also the heavy posters — the §2.3 celebrity regime — while the
+// permutation keeps those hot ids scattered across partition bounds
+// instead of clustered at u0000000.
+type Universe struct {
+	Users int32
+	seed  int64
+	// permA/permB define the multiplicative permutation
+	// id = (permA*rank + permB) mod Users; permA is odd-driven
+	// coprime with Users so the map is a bijection.
+	permA int64
+	permB int64
+	// follows is the mean followee-set size.
+	follows int
+}
+
+// NewUniverse builds a universe of n users with mean followee-set size
+// follows, fully determined by seed.
+func NewUniverse(n int32, follows int, seed int64) *Universe {
+	if n < 2 {
+		n = 2
+	}
+	if follows < 1 {
+		follows = 1
+	}
+	u := &Universe{Users: n, seed: seed, follows: follows}
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed1e55))
+	for {
+		u.permA = 2*rng.Int63n(int64(n)) + 1 // odd
+		if gcd(u.permA, int64(n)) == 1 {
+			break
+		}
+	}
+	u.permB = rng.Int63n(int64(n))
+	return u
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// permute maps a Zipf rank to a scattered user id.
+func (u *Universe) permute(rank uint64) int32 {
+	return int32((u.permA*int64(rank%uint64(u.Users)) + u.permB) % int64(u.Users))
+}
+
+// NewPosterSampler returns a Zipf-skewed poster sampler for one worker.
+// Samplers drawing from the same universe agree on which ids are hot;
+// distinct rngs keep workers independent.
+func (u *Universe) NewPosterSampler(rng *rand.Rand) *PosterSampler {
+	return &PosterSampler{u: u, zipf: rand.NewZipf(rng, 1.3, 4, uint64(u.Users-1)), rng: rng}
+}
+
+// PosterSampler draws post authors with celebrity skew.
+type PosterSampler struct {
+	u    *Universe
+	zipf *rand.Zipf
+	rng  *rand.Rand
+}
+
+// Sample returns the next post author.
+func (ps *PosterSampler) Sample() int32 { return ps.u.permute(ps.zipf.Uint64()) }
+
+// Followees derives user id's followee set: size varies around the
+// universe mean, targets are Zipf-skewed toward the same celebrities
+// the poster sampler favors, and the result depends only on (seed, id)
+// — calling it twice, in any process, yields the same set.
+func (u *Universe) Followees(id int32) []int32 {
+	rng := rand.New(rand.NewSource(u.seed ^ (int64(id)+1)*0x5851f42d4c957f2d))
+	n := u.follows/2 + rng.Intn(u.follows+1) // mean ≈ follows
+	if n < 1 {
+		n = 1
+	}
+	zipf := rand.NewZipf(rng, 1.3, 4, uint64(u.Users-1))
+	out := make([]int32, 0, n)
+	seen := make(map[int32]bool, n)
+	for tries := 0; len(out) < n && tries < 4*n+16; tries++ {
+		p := u.permute(zipf.Uint64())
+		if p == id || seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// ActiveUser maps an active-pool index to a user id. Indexes map to
+// the low Zipf ranks, so the reader pool overlaps the celebrity set —
+// hot readers and hot writers coincide, as they do in production — and
+// the permutation scatters those ids across partition bounds. The map
+// is injective for i < Users, so active users are distinct.
+func (u *Universe) ActiveUser(i int) int32 {
+	return u.permute(uint64(i))
+}

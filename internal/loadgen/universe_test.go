@@ -1,0 +1,100 @@
+package loadgen
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The universe must be a pure function of its seed: same seed, same
+// graph; different seed, different graph.
+func TestUniverseDeterminism(t *testing.T) {
+	a := NewUniverse(100_000, 8, 42)
+	b := NewUniverse(100_000, 8, 42)
+	for _, id := range []int32{0, 1, 7, 999, 99_999} {
+		if !reflect.DeepEqual(a.Followees(id), b.Followees(id)) {
+			t.Fatalf("user %d: followee sets diverge across identically-seeded universes", id)
+		}
+		if len(a.Followees(id)) == 0 {
+			t.Fatalf("user %d: empty followee set", id)
+		}
+		for _, p := range a.Followees(id) {
+			if p == id {
+				t.Fatalf("user %d follows itself", id)
+			}
+			if p < 0 || p >= a.Users {
+				t.Fatalf("user %d follows out-of-range %d", id, p)
+			}
+		}
+	}
+	c := NewUniverse(100_000, 8, 43)
+	same := 0
+	for id := int32(0); id < 50; id++ {
+		if reflect.DeepEqual(a.Followees(id), c.Followees(id)) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("different seeds produced %d/50 identical followee sets", same)
+	}
+}
+
+// ActiveUser must be injective (per-user harness state is indexed by
+// active slot) and scattered, not packed into low ids.
+func TestUniverseActiveUsers(t *testing.T) {
+	u := NewUniverse(100_000, 8, 7)
+	seen := make(map[int32]bool)
+	low := 0
+	for i := 0; i < 5000; i++ {
+		id := u.ActiveUser(i)
+		if id < 0 || id >= u.Users {
+			t.Fatalf("active[%d] = %d out of range", i, id)
+		}
+		if seen[id] {
+			t.Fatalf("active[%d] = %d repeats", i, id)
+		}
+		seen[id] = true
+		if id < 5000 {
+			low++
+		}
+	}
+	if low > 1000 {
+		t.Fatalf("%d/5000 active users packed into the low id range", low)
+	}
+}
+
+// Celebrity alignment: the ids the poster sampler favors must be the
+// ids followee sets favor — otherwise tracked timelines stay empty and
+// the celebrity regime never materializes.
+func TestUniverseCelebrityAlignment(t *testing.T) {
+	u := NewUniverse(50_000, 10, 11)
+	ps := u.NewPosterSampler(rand.New(rand.NewSource(99)))
+	postCount := make(map[int32]int)
+	for i := 0; i < 200_000; i++ {
+		postCount[ps.Sample()]++
+	}
+	// Top posters by mass.
+	hot := make(map[int32]bool)
+	for id, n := range postCount {
+		if n >= 2000 { // ≥1% of posts each: true celebrities
+			hot[id] = true
+		}
+	}
+	if len(hot) == 0 {
+		t.Fatal("no celebrity posters: sampler is not skewed")
+	}
+	// A large share of users must follow at least one hot poster.
+	following := 0
+	const users = 2000
+	for i := 0; i < users; i++ {
+		for _, p := range u.Followees(u.ActiveUser(i)) {
+			if hot[p] {
+				following++
+				break
+			}
+		}
+	}
+	if following < users/4 {
+		t.Fatalf("only %d/%d active users follow a celebrity poster; skews are misaligned", following, users)
+	}
+}

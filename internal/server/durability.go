@@ -146,6 +146,16 @@ func (s *Server) persistMeta() {
 	if s.dur == nil {
 		return
 	}
+	if err := s.dur.SaveMeta(s.buildMeta()); err != nil {
+		log.Printf("pequod server %s: persist meta: %v", s.name, err)
+	}
+}
+
+// buildMeta snapshots the member's cluster position. Close captures it
+// before tearing down the mesh and replica manager — persisting after
+// teardown would erase the mesh record and leave a restarted compute
+// member with no loader for its join sources.
+func (s *Server) buildMeta() *durable.Meta {
 	m := &durable.Meta{Name: s.name, ID: s.id, Joins: s.pool.InstalledText()}
 	if g := s.pool.Gate(); g != nil {
 		m.HasGate = true
@@ -174,9 +184,7 @@ func (s *Server) persistMeta() {
 		}
 	}
 	s.rmu.Unlock()
-	if err := s.dur.SaveMeta(m); err != nil {
-		log.Printf("pequod server %s: persist meta: %v", s.name, err)
-	}
+	return m
 }
 
 // recoverDurable runs recovery steps 1-4 (see file comment): open the

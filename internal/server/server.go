@@ -340,6 +340,16 @@ func (s *Server) Close() {
 		cn.close()
 	}
 	s.connWG.Wait()
+	// Snapshot the cluster position now, while the mesh and replica
+	// assignment are still live: the meta persisted at close is what a
+	// warm restart rewires from, and capturing it after the teardown
+	// below would record HasMesh=false — leaving the restarted member's
+	// join sources loader-less (cold compute would silently serve empty
+	// ranges).
+	var finalMeta *durable.Meta
+	if s.dur != nil {
+		finalMeta = s.buildMeta()
+	}
 	s.mmu.Lock()
 	mesh := s.mesh
 	s.mesh = nil
@@ -361,11 +371,14 @@ func (s *Server) Close() {
 	}
 	if s.dur != nil {
 		// Stop the snapshot loop, persist the final cluster position (a
-		// drained member's post-drain map must survive restart), flush
+		// drained member's post-drain map must survive restart; the
+		// pre-teardown snapshot keeps the mesh and replica record), flush
 		// the tail of the log, and let go of the directory.
 		close(s.durStop)
 		<-s.durDone
-		s.persistMeta()
+		if err := s.dur.SaveMeta(finalMeta); err != nil {
+			log.Printf("pequod server %s: persist meta: %v", s.name, err)
+		}
 		if err := s.dur.Close(); err != nil {
 			log.Printf("pequod server %s: durable close: %v", s.name, err)
 		}

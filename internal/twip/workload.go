@@ -45,11 +45,53 @@ type Op struct {
 // Mix describes an operation mix in percent. Login+Check+Subscribe+Post
 // must total 100.
 type Mix struct {
-	Login, Check, Subscribe, Post int
+	Login     int `json:"login"`
+	Check     int `json:"check"`
+	Subscribe int `json:"subscribe"`
+	Post      int `json:"post"`
 }
+
+// Total sums the mix percentages (100 for a valid mix).
+func (m Mix) Total() int { return m.Login + m.Check + m.Subscribe + m.Post }
 
 // DefaultMix is the paper's §5.1 mix.
 var DefaultMix = Mix{Login: 5, Check: 85, Subscribe: 9, Post: 1}
+
+// OpSampler draws operation kinds one at a time in the configured mix —
+// the workload *shape*, shared by the closed-loop generator below and
+// the open-loop load harness (internal/loadgen), so both drive the same
+// §5.1 session blend. A zero mix means DefaultMix. Each Sample consumes
+// exactly one rng.Intn(100), which keeps GenerateWorkload's output
+// byte-identical to the pre-extraction implementation for a fixed seed
+// (pinned by TestGenerateWorkloadGolden).
+type OpSampler struct {
+	mix Mix
+}
+
+// NewOpSampler builds a sampler for the mix (DefaultMix if zero).
+func NewOpSampler(mix Mix) OpSampler {
+	if mix.Total() == 0 {
+		mix = DefaultMix
+	}
+	return OpSampler{mix: mix}
+}
+
+// Mix returns the resolved mix the sampler draws from.
+func (s OpSampler) Mix() Mix { return s.mix }
+
+// Sample draws the next operation kind.
+func (s OpSampler) Sample(rng *rand.Rand) OpKind {
+	switch r := rng.Intn(100); {
+	case r < s.mix.Login:
+		return OpLogin
+	case r < s.mix.Login+s.mix.Check:
+		return OpCheck
+	case r < s.mix.Login+s.mix.Check+s.mix.Subscribe:
+		return OpSubscribe
+	default:
+		return OpPost
+	}
+}
 
 // WorkloadConfig parameterizes generation.
 type WorkloadConfig struct {
@@ -69,6 +111,13 @@ type WorkloadConfig struct {
 	StartTime int64
 	// TweetLen sizes the synthetic tweet body.
 	TweetLen int
+}
+
+// TweetBody builds a deterministic payload of roughly n bytes — the
+// synthetic tweet text shared by every workload generator (closed-loop
+// here, open-loop in internal/loadgen).
+func TweetBody(rng *rand.Rand, n int) string {
+	return tweetBody(rng, n)
 }
 
 // tweetBody builds a deterministic payload of roughly n bytes.
@@ -102,10 +151,8 @@ type Workload struct {
 // different users interleave round-robin, modeling concurrent sessions.
 func GenerateWorkload(g *Graph, cfg WorkloadConfig) *Workload {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	mix := cfg.Mix
-	if mix.Login+mix.Check+mix.Subscribe+mix.Post == 0 {
-		mix = DefaultMix
-	}
+	sampler := NewOpSampler(cfg.Mix)
+	mix := sampler.Mix()
 	if cfg.ChecksPerUser == 0 {
 		cfg.ChecksPerUser = 50
 	}
@@ -154,12 +201,12 @@ func GenerateWorkload(g *Graph, cfg WorkloadConfig) *Workload {
 			if i == 0 {
 				op = Op{Kind: OpLogin, User: u, Since: 0}
 			} else {
-				switch r := rng.Intn(100); {
-				case r < mix.Login:
+				switch sampler.Sample(rng) {
+				case OpLogin:
 					op = Op{Kind: OpLogin, User: u, Since: 0}
-				case r < mix.Login+mix.Check:
+				case OpCheck:
 					op = Op{Kind: OpCheck, User: u, Since: lastCheck[u]}
-				case r < mix.Login+mix.Check+mix.Subscribe:
+				case OpSubscribe:
 					if target, ok := pickTarget(u); ok {
 						op = Op{Kind: OpSubscribe, User: u, Target: target}
 					} else {
