@@ -11,12 +11,16 @@ package pequod
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"pequod/internal/core"
 	"pequod/internal/experiments"
 	"pequod/internal/loadgen"
 )
@@ -360,6 +364,179 @@ func BenchmarkOpenLoop(b *testing.B) {
 			b.ReportMetric(float64(rep.Checker.RowsVerified), "rows_verified")
 		}
 	}
+}
+
+// BenchmarkBoundedStaleness holds the bounded-staleness contract's
+// economics visible. The workload models a mixed fleet under
+// write-heavy subscription churn: a background reader keeps fresh
+// traffic flowing over every timeline (the maintenance pressure any
+// real deployment has), while the measured reader interleaves edge
+// toggles — each lazily invalidating the timeline about to be read —
+// with timeline scans. A measured fresh scan races the background
+// reader for the pending maintenance and pays the apply whenever it
+// gets there first; a scan carrying a staleness budget serves the
+// materialized rows as they stand whenever the backlog is younger
+// than the budget, keeping the apply off its critical path entirely.
+// Both modes run the identical workload; reported metrics are each
+// mode's scan p50/p99 plus the engine counter that proves the bounded
+// path actually engaged (bounded_srv > 0). Set
+// PEQUOD_BOUNDED_BENCH_OUT=BENCH_10.json to commit the comparison.
+func BenchmarkBoundedStaleness(b *testing.B) {
+	ctx := context.Background()
+	const (
+		users         = 128
+		follows       = 16
+		posts         = 64
+		iters         = 4000
+		writesPerRead = 4
+		// The background reader cycles all timelines in well under the
+		// budget, so a bounded read's backlog is always young enough to
+		// skip; an over-budget backlog would fall back to the fresh
+		// path (applying it all), per the contract.
+		budget = 100 * time.Millisecond
+	)
+	uid := func(u int) string { return fmt.Sprintf("u%07d", ((u%users)+users)%users) }
+	setup := func() *Cache {
+		c, err := NewCache(Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Install(ctx, "t|<user>|<time:10>|<poster> = check s|<user>|<poster> copy p|<poster>|<time:10>"); err != nil {
+			b.Fatal(err)
+		}
+		for u := 0; u < users; u++ {
+			for f := 0; f < follows; f++ {
+				c.Put(ctx, JoinKey("s", uid(u), uid(u+f+1)), "1")
+			}
+		}
+		for p := 0; p < users; p++ {
+			for i := 0; i < posts; i++ {
+				c.Put(ctx, JoinKey("p", uid(p), fmt.Sprintf("%010d", i)), "tweet body text")
+			}
+		}
+		for u := 0; u < users; u++ {
+			r := ScanRange("t", uid(u))
+			if _, err := c.Scan(ctx, r.Lo, r.Hi, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return c
+	}
+	run := func(c *Cache, rctx context.Context) *loadgen.Hist {
+		// The background reader: continuous fresh scans round-robin over
+		// every timeline — the rest of the fleet's traffic, which is what
+		// keeps maintenance backlogs young in any real deployment.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := 0; ; u++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r := ScanRange("t", uid(u))
+				if _, err := c.Scan(ctx, r.Lo, r.Hi, 0); err != nil {
+					return
+				}
+			}
+		}()
+		defer func() { close(stop); wg.Wait() }()
+		h := &loadgen.Hist{}
+		toggle := make([]bool, users)
+		for i := 0; i < iters; i++ {
+			// Write-heavy churn on the check source: toggle one
+			// subscription edge for the user about to be read (and its
+			// neighbors), so every scan finds lazily-logged maintenance
+			// pending against its timeline.
+			for w := 0; w < writesPerRead; w++ {
+				u := (i + w) % users
+				edge := JoinKey("s", uid(u), uid(u+follows+1))
+				var err error
+				if toggle[u] {
+					_, err = c.Remove(ctx, edge)
+				} else {
+					err = c.Put(ctx, edge, "1")
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				toggle[u] = !toggle[u]
+			}
+			r := ScanRange("t", uid(i))
+			t0 := time.Now()
+			if _, err := c.Scan(rctx, r.Lo, r.Hi, 0); err != nil {
+				b.Fatal(err)
+			}
+			h.Record(time.Since(t0).Microseconds())
+		}
+		return h
+	}
+	for i := 0; i < b.N; i++ {
+		freshCache := setup()
+		fh := run(freshCache, ctx)
+		boundedCache := setup()
+		bh := run(boundedCache, WithFreshness(ctx, budget))
+		if i < b.N-1 {
+			continue
+		}
+		fs, bs := fh.Snapshot(), bh.Snapshot()
+		st := boundedCache.p.Stats()
+		b.ReportMetric(float64(fs.Quantile(0.50)), "fresh_p50_us")
+		b.ReportMetric(float64(fs.Quantile(0.99)), "fresh_p99_us")
+		b.ReportMetric(float64(bs.Quantile(0.50)), "bounded_p50_us")
+		b.ReportMetric(float64(bs.Quantile(0.99)), "bounded_p99_us")
+		b.ReportMetric(float64(st.BoundedStaleServes), "bounded_srv")
+		if st.BoundedStaleServes == 0 {
+			b.Fatal("bounded reads never engaged the budget path")
+		}
+		if out := os.Getenv("PEQUOD_BOUNDED_BENCH_OUT"); out != "" {
+			writeBoundedBenchReport(b, out, budget, fs, bs, st)
+		}
+	}
+}
+
+// writeBoundedBenchReport commits the fresh-vs-bounded comparison as a
+// JSON artifact (BENCH_10.json), regenerable with the command recorded
+// inside it.
+func writeBoundedBenchReport(b *testing.B, path string, budget time.Duration, fresh, bounded *loadgen.HistSnapshot, st core.Stats) {
+	rep := struct {
+		Command      string  `json:"command"`
+		BudgetMs     int64   `json:"read_stale_ms"`
+		FreshP50us   int64   `json:"fresh_p50_us"`
+		FreshP99us   int64   `json:"fresh_p99_us"`
+		FreshMeanUs  float64 `json:"fresh_mean_us"`
+		BoundP50us   int64   `json:"bounded_p50_us"`
+		BoundP99us   int64   `json:"bounded_p99_us"`
+		BoundMeanUs  float64 `json:"bounded_mean_us"`
+		BoundedSrv   int64   `json:"bounded_srv"`
+		BoundedWins  bool    `json:"bounded_beats_fresh_p99"`
+		P99SpeedupX  float64 `json:"p99_speedup_x"`
+		MeanSpeedupX float64 `json:"mean_speedup_x"`
+	}{
+		Command:     "PEQUOD_BOUNDED_BENCH_OUT=BENCH_10.json go test -bench BenchmarkBoundedStaleness -run '^$' -benchtime 1x .",
+		BudgetMs:    budget.Milliseconds(),
+		FreshP50us:  fresh.Quantile(0.50),
+		FreshP99us:  fresh.Quantile(0.99),
+		FreshMeanUs: fresh.Mean(),
+		BoundP50us:  bounded.Quantile(0.50),
+		BoundP99us:  bounded.Quantile(0.99),
+		BoundMeanUs: bounded.Mean(),
+		BoundedSrv:  st.BoundedStaleServes,
+	}
+	rep.BoundedWins = rep.BoundP99us < rep.FreshP99us
+	rep.P99SpeedupX = float64(rep.FreshP99us) / float64(rep.BoundP99us)
+	rep.MeanSpeedupX = rep.FreshMeanUs / rep.BoundMeanUs
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote %s (bounded p99 %dµs vs fresh p99 %dµs)", path, rep.BoundP99us, rep.FreshP99us)
 }
 
 // BenchmarkClusterScan measures networked scan fan-out: warm timeline

@@ -16,6 +16,12 @@
 //	-bounds k1,k2     partition split points (cluster mode; one fewer
 //	                  than -addrs)
 //	-timeout dur      per-invocation deadline (default 10s)
+//	-stale dur        staleness budget for reads (get/scan/scanpfx/count;
+//	                  default 0 = fully fresh): the server may answer
+//	                  from its current view when all deferred
+//	                  maintenance covering the read is younger than the
+//	                  budget — see `health`'s lag column for what the
+//	                  cluster's current debt looks like
 //
 // Commands (both modes):
 //
@@ -55,7 +61,9 @@
 //	                         it is safe to stop the process
 //	health                   probe every member and print one line each:
 //	                         liveness, durable ID, owned ranges, replicas
-//	                         held, and — on members running with a
+//	                         held, replication lag and staleness debt
+//	                         (what bounded reads trade against a -stale
+//	                         budget), and — on members running with a
 //	                         -data-dir — durability state (write-behind
 //	                         log lag, last snapshot age, and lineage
 //	                         damage: a corrupt lineage or dropped records
@@ -129,7 +137,8 @@ commands (cluster mode only):
   add ADDR [OWNER BOUND]   join the server at ADDR live (see docs/OPERATIONS.md)
   drain ADDR               drain the member at ADDR live, then remove it
   health                   probe every member: liveness, ID, ranges, replicas,
-                           durability (log lag, snapshot age, lineage damage)
+                           replication lag / staleness debt, durability
+                           (log lag, snapshot age, lineage damage)
   repair                   promote replicas over unreachable members (failover)
   snapshot                 durable snapshot at every member (bounds restart replay)
   restore OLD NEW          substitute NEW for dead member OLD, serving OLD's
@@ -149,6 +158,7 @@ func main() {
 	addrs := flag.String("addrs", "", "comma-separated cluster member addresses, one per partition range")
 	bounds := flag.String("bounds", "", "comma-separated partition split points (cluster mode; one fewer than -addrs)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-invocation deadline")
+	stale := flag.Duration("stale", 0, "staleness budget for reads (0 = fully fresh)")
 	flag.Usage = func() {
 		fmt.Fprint(flag.CommandLine.Output(), usageText)
 		flag.PrintDefaults()
@@ -178,6 +188,9 @@ func main() {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+	if *stale > 0 {
+		ctx = pequod.WithFreshness(ctx, *stale)
+	}
 
 	var store pequod.Store
 	if *addrs != "" {
@@ -375,7 +388,11 @@ func run(ctx context.Context, c pequod.Store, args []string) error {
 						durable += fmt.Sprintf("\tpending %d record(s) on flush retry", h.PendingRecords)
 					}
 				}
-				fmt.Printf("%s\talive\tid=%s\towners=%d\treplicas=%d\t%s\n", h.Addr, h.ID, h.Owners, h.Replicas, durable)
+				lag := fmt.Sprintf("lag=%s", time.Duration(h.LagUS)*time.Microsecond)
+				if h.StaleSpans > 0 {
+					lag += fmt.Sprintf("\tstale-spans=%d\tstale-oldest=%s", h.StaleSpans, time.Duration(h.StaleOldUS)*time.Microsecond)
+				}
+				fmt.Printf("%s\talive\tid=%s\towners=%d\treplicas=%d\t%s\t%s\n", h.Addr, h.ID, h.Owners, h.Replicas, lag, durable)
 				continue
 			}
 			down++

@@ -29,4 +29,11 @@ var (
 	// ErrConflict marks a map change that lost to a concurrent
 	// coordinator even after re-proposing against the winner's map.
 	ErrConflict = perrs.ErrConflict
+
+	// ErrOverBudget marks a bounded-staleness read (WithFreshness)
+	// whose range lag exceeded the budget and whose fresh-path
+	// fallback then failed — typically the context deadline expired
+	// while the fallback waited for base data. Reads that fall back
+	// and succeed return fresh data with no error.
+	ErrOverBudget = perrs.ErrOverBudget
 )

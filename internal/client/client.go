@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"pequod/internal/core"
+	"pequod/internal/freshness"
 	"pequod/internal/rpc"
 )
 
@@ -401,14 +402,19 @@ func (c *Client) ScanSubAsync(lo, hi string, onReply func(*rpc.Message)) *Future
 	return c.sendCB(&rpc.Message{Type: rpc.MsgScan, Lo: lo, Hi: hi, SubscribeFlag: true}, onReply)
 }
 
-// Send stamps ctx's remaining deadline budget onto m and enqueues it,
-// returning the future — the pipelining-friendly building block batch
-// operations use (many Sends, then WaitCtx each).
+// Send stamps ctx's remaining deadline budget and staleness budget
+// (freshness.WithBudget) onto m and enqueues it, returning the future —
+// the pipelining-friendly building block batch operations use (many
+// Sends, then WaitCtx each). Stamping happens per attempt, so a retry
+// through a fresh Send re-derives both budgets from the same ctx.
 func (c *Client) Send(ctx context.Context, m *rpc.Message) *Future {
 	if dl, ok := ctx.Deadline(); ok {
 		if remain := time.Until(dl); remain > 0 {
 			m.TimeoutMS = uint64((remain + time.Millisecond - 1) / time.Millisecond)
 		}
+	}
+	if b := freshness.Budget(ctx); b > 0 {
+		m.StaleMS = uint64((b + time.Millisecond - 1) / time.Millisecond)
 	}
 	return c.send(m)
 }
@@ -518,7 +524,18 @@ type StatSnapshot struct {
 		Units   int64    `json:"units"`
 		Samples []string `json:"samples"`
 	} `json:"load"`
-	Joins   string `json:"joins"`
+	Joins string `json:"joins"`
+	// Staleness is the member's deferred-maintenance debt: the
+	// forwarded-write queue lag, the deferred spans bounded reads trade
+	// against their budgets, and the bounded-read activity counters.
+	Staleness struct {
+		LagUS      int64 `json:"lag_us"`
+		DebtSpans  int   `json:"debt_spans"`
+		DebtOldUS  int64 `json:"debt_old_us"`
+		BoundedSrv int64 `json:"bounded_srv"`
+		PartialInv int64 `json:"partial_inv"`
+		DirtyRecmp int64 `json:"dirty_recmp"`
+	} `json:"staleness"`
 	Durable *struct {
 		Dir           string `json:"dir"`
 		LagBytes      int64  `json:"lag_bytes"`

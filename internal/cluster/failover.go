@@ -70,6 +70,16 @@ type MemberHealth struct {
 	// copies of for other members.
 	Owners   int `json:"owners"`
 	Replicas int `json:"replicas"`
+	// LagUS is the member's forwarded-write queue lag in microseconds
+	// (the age of the oldest accepted-but-unapplied replicated change);
+	// StaleSpans/StaleOldUS its deferred-maintenance backlog — the spans
+	// a bounded read (WithFreshness) trades against its budget, and the
+	// age of the oldest. An operator picks read budgets above the
+	// steady-state StaleOldUS to get the bounded fast path, and watches
+	// for a member whose lag outgrows every budget in use.
+	LagUS      int64 `json:"lag_us,omitempty"`
+	StaleSpans int   `json:"stale_spans,omitempty"`
+	StaleOldUS int64 `json:"stale_old_us,omitempty"`
 	// Durable reports whether the member runs with a durable range
 	// store (a -data-dir); when it does, LogLagBytes is how much logged
 	// data is still waiting for its batched fsync and SnapshotAgeMS how
@@ -116,6 +126,9 @@ func (cl *Cluster) Health(ctx context.Context) []MemberHealth {
 				if st, err = c.StatSnapshot(pctx); err == nil {
 					h.Alive = true
 					h.ID = st.ID
+					h.LagUS = st.Staleness.LagUS
+					h.StaleSpans = st.Staleness.DebtSpans
+					h.StaleOldUS = st.Staleness.DebtOldUS
 					if st.Cluster != nil {
 						h.Replicas = st.Cluster.Replicas
 					}

@@ -88,6 +88,9 @@ type Stats struct {
 	UpdaterFires               int64
 	LogsApplied                int64 // partial invalidation entries applied
 	Invalidations              int64 // complete invalidations
+	PartialInvalidations       int64 // range-granular dirty marks (vs whole-range)
+	DirtyRecomputes            int64 // dirty sub-intervals recomputed in place
+	BoundedStaleServes         int64 // within-budget staleness served by bounded reads
 	Evictions                  int64
 	LoadsStarted               int64 // §3.3 async base-data fetches
 	NotifiedChanges            int64
@@ -107,6 +110,9 @@ func (s *Stats) Add(o Stats) {
 	s.UpdaterFires += o.UpdaterFires
 	s.LogsApplied += o.LogsApplied
 	s.Invalidations += o.Invalidations
+	s.PartialInvalidations += o.PartialInvalidations
+	s.DirtyRecomputes += o.DirtyRecomputes
+	s.BoundedStaleServes += o.BoundedStaleServes
 	s.Evictions += o.Evictions
 	s.LoadsStarted += o.LoadsStarted
 	s.NotifiedChanges += o.NotifiedChanges
@@ -338,9 +344,18 @@ func (e *Engine) notify(c Change) {
 // nonzero the result may be incomplete and the caller should retry after
 // the loads finish (§3.3).
 func (e *Engine) Get(key string) (val string, ok bool, pending int) {
+	return e.GetBounded(key, 0)
+}
+
+// GetBounded is Get with a staleness budget: maxStale zero reads fresh;
+// a positive budget may serve key from a dirty span or ahead of
+// unapplied lazy logs whose age is within the budget, skipping their
+// recomputation. Coverage gaps still compute (and load) fresh — a
+// bounded read serves old state, never absent state.
+func (e *Engine) GetBounded(key string, maxStale time.Duration) (val string, ok bool, pending int) {
 	e.stats.Gets++
 	var overlay []KV
-	pending = e.ensureRange(keys.Range{Lo: key, Hi: key + "\x00"}, &overlay)
+	pending = e.ensureRangeBounded(keys.Range{Lo: key, Hi: key + "\x00"}, &overlay, maxStale)
 	if v, ok := e.s.Get(key); ok {
 		return v.String(), true, pending
 	}
@@ -362,11 +377,16 @@ func (e *Engine) Scan(lo, hi string, limit int) (kvs []KV, pending int) {
 // ScanInto is Scan appending into buf (reusing its capacity), the
 // zero-steady-state-garbage path servers use for large timeline reads.
 func (e *Engine) ScanInto(lo, hi string, limit int, buf []KV) (kvs []KV, pending int) {
+	return e.ScanIntoBounded(lo, hi, limit, buf, 0)
+}
+
+// ScanIntoBounded is ScanInto with a staleness budget (see GetBounded).
+func (e *Engine) ScanIntoBounded(lo, hi string, limit int, buf []KV, maxStale time.Duration) (kvs []KV, pending int) {
 	e.stats.Scans++
 	kvs = buf[:0]
 	r := keys.Range{Lo: lo, Hi: hi}
 	var overlay []KV
-	pending = e.ensureRange(r, &overlay)
+	pending = e.ensureRangeBounded(r, &overlay, maxStale)
 
 	if len(overlay) == 0 {
 		// Fast path: no pull joins contributed; stream the store range.
@@ -413,12 +433,27 @@ func (e *Engine) Count(lo, hi string) (n int, pending int) {
 	return len(kvs), pending
 }
 
+// CountBounded is Count with a staleness budget (see GetBounded).
+func (e *Engine) CountBounded(lo, hi string, maxStale time.Duration) (n int, pending int) {
+	kvs, pending := e.ScanIntoBounded(lo, hi, 0, nil, maxStale)
+	return len(kvs), pending
+}
+
 // ensureRange computes every installed join overlapping r and resolves
 // direct reads of loader-backed base ranges ("If a request is made for a
 // database-sourced key, Pequod will query the database and cache the
 // result", §2). Pull-join results are appended to *overlay (sorted per
 // join; merged by caller). It returns the number of outstanding loads.
 func (e *Engine) ensureRange(r keys.Range, overlay *[]KV) (pending int) {
+	return e.ensureRangeBounded(r, overlay, 0)
+}
+
+// ensureRangeBounded is ensureRange carrying a bounded read's staleness
+// budget into each join's ensure pass. Loader-backed presence and pull
+// joins are budget-blind: presence gaps must load regardless (absent
+// rows are not stale rows), and pull joins recompute per read by
+// design.
+func (e *Engine) ensureRangeBounded(r keys.Range, overlay *[]KV, maxStale time.Duration) (pending int) {
 	for table, pt := range e.presence {
 		tr := keys.Range{Lo: table, Hi: keys.PrefixEnd(table + keys.SepString)}
 		rr := r.Intersect(tr)
@@ -443,10 +478,37 @@ func (e *Engine) ensureRange(r keys.Range, overlay *[]KV) (pending int) {
 				pending += e.execPull(ij, rr, &tmp)
 			}
 		default:
-			pending += e.ensure(ij, rr)
+			pending += e.ensure(ij, rr, maxStale)
 		}
 	}
 	return pending
+}
+
+// StalenessDebt reports the engine's lazy-maintenance backlog: the
+// number of dirty spans and unapplied log batches across all join
+// statuses, and the age of the oldest unapplied write among them — the
+// staleness a bounded read with an infinite budget could observe.
+// Health reporting walks every status; call it at monitoring cadence,
+// not per read (reads age their own ranges inside ensure).
+func (e *Engine) StalenessDebt(now time.Time) (spans int, oldest time.Duration) {
+	for _, ij := range e.joins {
+		for n := ij.status.First(); n != nil; n = n.Next() {
+			st := n.Val
+			for _, d := range st.dirty {
+				spans++
+				if a := now.Sub(d.at); a > oldest {
+					oldest = a
+				}
+			}
+			if len(st.logs) > 0 {
+				spans++
+				if a := now.Sub(st.logs[0].at); a > oldest {
+					oldest = a
+				}
+			}
+		}
+	}
+	return spans, oldest
 }
 
 // LoadGen returns a counter incremented whenever an asynchronous base-data

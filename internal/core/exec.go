@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 	"strconv"
+	"time"
 
 	"pequod/internal/join"
 	"pequod/internal/keys"
@@ -264,9 +265,12 @@ func (ex *exec) flushAggs() {
 
 // ensureSource makes a source range readable: recursively computing any
 // joins that output into it, and starting async loads for loader-backed
-// base tables. Returns the number of loads started.
+// base tables. Returns the number of loads started. Always fresh (zero
+// budget): it feeds forward executions and dirty recomputes, and newly
+// derived coverage is computed from current sources even on a bounded
+// read — the bounded win applies to already-materialized coverage.
 func (e *Engine) ensureSource(table string, cr keys.Range) (missing int) {
-	missing = e.ensureSourceJoins(table, cr)
+	missing = e.ensureSourceJoins(table, cr, 0)
 	if pt := e.presence[table]; pt != nil {
 		missing += e.ensurePresent(table, pt, cr)
 	}
@@ -275,8 +279,10 @@ func (e *Engine) ensureSource(table string, cr keys.Range) (missing int) {
 
 // ensureSourceJoins recursively freshens the joins that output into a
 // source table over cr — shared by ensureSource and ensure's Pass 0,
-// which deliberately skips the presence/loader half.
-func (e *Engine) ensureSourceJoins(table string, cr keys.Range) (missing int) {
+// which deliberately skips the presence/loader half. maxStale cascades
+// a bounded read's budget: a source join's within-budget staleness may
+// be served, keeping the dependent's result stale by the same bound.
+func (e *Engine) ensureSourceJoins(table string, cr keys.Range, maxStale time.Duration) (missing int) {
 	for _, sub := range e.outJoins[table] {
 		if sub.j.Maint == join.Pull {
 			// Pull joins never materialize, so they cannot feed other
@@ -284,25 +290,32 @@ func (e *Engine) ensureSourceJoins(table string, cr keys.Range) (missing int) {
 			// push or snapshot joins. Documented limitation.
 			continue
 		}
-		missing += e.ensure(sub, cr)
+		missing += e.ensure(sub, cr, maxStale)
 	}
 	return missing
 }
 
 // applyLogs applies pending partial-invalidation entries to a valid
-// status (§3.2): each logged check-source modification is turned into the
-// minimal delta join. Returns false when the shape is unsupported and the
-// caller should fall back to complete invalidation.
-func (e *Engine) applyLogs(st *JoinStatus) bool {
+// status (§3.2): each logged check-source modification is turned into
+// the minimal delta join. Entries whose shape the delta join cannot
+// handle (aggregates through check changes) fall back range-granularly:
+// only the output sub-interval the logged key can affect is marked
+// dirty — stamped at the write's landing time, so bounded reads age it
+// honestly — and the caller's dirty recompute re-derives it, leaving
+// the rest of the status's coverage warm.
+func (e *Engine) applyLogs(st *JoinStatus) {
 	logs := st.logs
 	st.logs = nil
 	for _, le := range logs {
 		e.stats.LogsApplied++
-		if !e.applyCheckDelta(st, le.srcIdx, le.key, le.op, le.had) {
-			return false
+		if e.applyCheckDelta(st, le.srcIdx, le.key, le.op, le.had) {
+			continue
+		}
+		src := st.ij.j.Sources[le.srcIdx]
+		if b2, ok := src.Pat.Match(le.key, st.scanB); ok {
+			e.markDirty(st, outAffectedRange(st.ij.j, b2, st.r), le.at)
 		}
 	}
-	return true
 }
 
 // applyCheckDelta applies one check-source modification to a status:

@@ -207,7 +207,7 @@ func (e *Engine) SpliceRange(rs RangeState) {
 		}
 		ij := e.joins[w.Join]
 		if rr := w.R.Intersect(ij.j.Out.TableRange()); !rr.Empty() {
-			e.ensure(ij, rr)
+			e.ensure(ij, rr, 0)
 		}
 	}
 	// Spliced rows may satisfy readers blocked waiting for data; bump

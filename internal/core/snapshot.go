@@ -48,7 +48,7 @@ func (e *Engine) RebuildWarm(ws []WarmRange) {
 		}
 		ij := e.joins[w.Join]
 		if rr := w.R.Intersect(ij.j.Out.TableRange()); !rr.Empty() {
-			e.ensure(ij, rr)
+			e.ensure(ij, rr, 0)
 			n++
 		}
 	}

@@ -30,6 +30,16 @@ type JoinStatus struct {
 	// applied on the next read (§3.2 lazy maintenance).
 	logs []logEntry
 
+	// dirty lists sub-intervals of r whose outputs are stale: a source
+	// write landed whose effect on this range could not (or chose not
+	// to) be applied incrementally, and the affected output
+	// sub-interval — keyed through the join's key transform — was
+	// marked instead of invalidating the whole range, so sibling
+	// coverage stays valid and warm. A fresh read recomputes the dirty
+	// intersection before serving; a bounded read may serve a span's
+	// rows as they stand while the span's age is within its budget.
+	dirty []dirtySpan
+
 	// hint is the output hint (§4.2).
 	hint store.Hint
 
@@ -50,13 +60,77 @@ type logEntry struct {
 	srcIdx int
 	key    string
 	op     ChangeOp
-	had    bool // key existed before the change (update vs insert)
+	had    bool      // key existed before the change (update vs insert)
+	at     time.Time // when the modification landed (staleness bookkeeping)
 }
 
-// ensure brings the join's coverage of rr fully up to date: applies
-// pending logs, recomputes invalid or expired ranges, and forward-executes
-// uncovered gaps (Fig 5). It returns outstanding load count.
-func (e *Engine) ensure(ij *installedJoin, rr keys.Range) (pending int) {
+// dirtySpan is one stale sub-interval of a join status range.
+type dirtySpan struct {
+	r  keys.Range
+	at time.Time // when the span first went stale (its oldest unapplied write)
+}
+
+// maxDirtySpans bounds per-status dirty bookkeeping. Past it the spans
+// collapse into one covering span — degrading to whole-range
+// granularity for that status, never losing an invalidation.
+const maxDirtySpans = 32
+
+// markDirty records that outputs of st inside r are stale as of `at`.
+// Overlapping spans coalesce, keeping the earliest stamp so a span's
+// age always reflects its oldest unapplied write.
+func (e *Engine) markDirty(st *JoinStatus, r keys.Range, at time.Time) {
+	r = r.Intersect(st.r)
+	if r.Empty() || !st.valid {
+		return // invalid statuses recompute wholesale anyway
+	}
+	e.stats.PartialInvalidations++
+	out := st.dirty[:0]
+	for _, d := range st.dirty {
+		if d.r.Overlaps(r) {
+			r = spanUnion(d.r, r)
+			if d.at.Before(at) {
+				at = d.at
+			}
+			continue
+		}
+		out = append(out, d)
+	}
+	st.dirty = append(out, dirtySpan{r: r, at: at})
+	if len(st.dirty) > maxDirtySpans {
+		oldest := st.dirty[0].at
+		for _, d := range st.dirty[1:] {
+			if d.at.Before(oldest) {
+				oldest = d.at
+			}
+		}
+		st.dirty = append(st.dirty[:0], dirtySpan{r: st.r, at: oldest})
+	}
+}
+
+// spanUnion returns the smallest range containing both a and b.
+func spanUnion(a, b keys.Range) keys.Range {
+	lo := a.Lo
+	if b.Lo < lo {
+		lo = b.Lo
+	}
+	hi := a.Hi
+	if keys.HiLess(hi, b.Hi) {
+		hi = b.Hi
+	}
+	return keys.Range{Lo: lo, Hi: hi}
+}
+
+// ensure brings the join's coverage of rr up to date within maxStale:
+// applies pending logs, recomputes invalid or expired ranges and dirty
+// sub-intervals, and forward-executes uncovered gaps (Fig 5). maxStale
+// zero is a fresh read (today's semantics). A positive maxStale lets
+// the read skip applying logs and recomputing dirty spans whose oldest
+// unapplied write is younger than the budget — the materialized rows
+// are served as they stand, stale by at most maxStale. Coverage gaps
+// and invalid ranges always compute fresh regardless of budget: a
+// bounded read may serve old state, never fabricate or lose rows. It
+// returns outstanding load count.
+func (e *Engine) ensure(ij *installedJoin, rr keys.Range, maxStale time.Duration) (pending int) {
 	// Pass 0: freshen cascaded sources. A valid status here may have been
 	// computed from another join's output whose own maintenance was
 	// lazily logged (check sources, §3.2); reading only this join would
@@ -74,7 +148,7 @@ func (e *Engine) ensure(ij *installedJoin, rr keys.Range) (pending int) {
 			if cr.Empty() {
 				continue
 			}
-			pending += e.ensureSourceJoins(table, cr)
+			pending += e.ensureSourceJoins(table, cr, maxStale)
 		}
 	}
 
@@ -115,12 +189,17 @@ func (e *Engine) ensure(ij *installedJoin, rr keys.Range) (pending int) {
 			continue
 		}
 		if len(st.logs) > 0 {
-			if !e.applyLogs(st) {
-				// Delta application unsupported for this shape: fall back
-				// to complete invalidation (§3.2).
-				e.invalidateStatus(st)
-				continue
+			if maxStale > 0 && now.Sub(st.logs[0].at) <= maxStale {
+				// Bounded read: the oldest unapplied log entry is within
+				// budget. Serve the materialized rows as they stand and
+				// leave the log for a fresh (or over-budget) read.
+				e.stats.BoundedStaleServes++
+			} else {
+				e.applyLogs(st)
 			}
+		}
+		if len(st.dirty) > 0 {
+			pending += e.recomputeDirty(st, rr, maxStale, now)
 		}
 		e.lruTouch(st)
 		live = append(live, st)
@@ -177,7 +256,73 @@ func (e *Engine) detachStatus(st *JoinStatus) {
 	st.updaters = nil
 	st.valid = false
 	st.logs = nil
+	st.dirty = nil
 	e.lruRemove(st)
+}
+
+// recomputeDirty refreshes st's dirty sub-intervals overlapping rr: each
+// over-budget span has its outputs removed and re-derived in place — the
+// rest of the status's coverage stays untouched and warm. Spans within a
+// positive maxStale budget are served as they stand and stay dirty for
+// the next fresh read. Returns loads started.
+func (e *Engine) recomputeDirty(st *JoinStatus, rr keys.Range, maxStale time.Duration, now time.Time) (pending int) {
+	var redo []dirtySpan
+	kept := st.dirty[:0]
+	for _, d := range st.dirty {
+		switch {
+		case !d.r.Overlaps(rr):
+			kept = append(kept, d)
+		case maxStale > 0 && now.Sub(d.at) <= maxStale:
+			// Within the read's staleness budget: serve the span's rows
+			// stale (by at most maxStale) instead of recomputing.
+			e.stats.BoundedStaleServes++
+			kept = append(kept, d)
+		default:
+			redo = append(redo, d)
+		}
+	}
+	st.dirty = kept
+	for _, d := range redo {
+		pending += e.recomputeSpan(st, d.r)
+	}
+	return pending
+}
+
+// recomputeSpan re-derives st's outputs inside r: the dirty-interval
+// twin of forwardExec, executing into the *existing* status so its
+// scanB-compressed updater contexts stay correct (installUpdater
+// deduplicates re-installations). Missing base data leaves the status
+// invalid with pending loads, exactly like a fresh forward execution.
+func (e *Engine) recomputeSpan(st *JoinStatus, r keys.Range) (pending int) {
+	e.stats.DirtyRecomputes++
+	r = r.Intersect(st.r)
+	if r.Empty() {
+		return 0
+	}
+	e.removeOutputs(st.ij, r)
+	b, clip := st.ij.j.Out.ScanBinding(r)
+	if clip.Empty() {
+		return 0 // nothing in the span can match the output pattern
+	}
+	ex := &exec{
+		e:          e,
+		ij:         st.ij,
+		st:         st,
+		clip:       r,
+		installUpd: st.ij.j.Maint == join.Push,
+		skipIdx:    -1,
+	}
+	if st.ij.j.IsAggregate() {
+		ex.aggs = make(map[string]*aggState)
+	}
+	ex.run(0, b, nil)
+	ex.flushAggs()
+	if ex.missing > 0 {
+		st.pendingLoads += ex.missing
+		st.valid = false // the retry recomputes the whole range
+		return ex.missing
+	}
+	return 0
 }
 
 // removeOutputs deletes stored outputs of ij within r (only keys matching
@@ -212,23 +357,58 @@ func (e *Engine) removeOutputsOp(ij *installedJoin, r keys.Range, op ChangeOp) {
 // st0 is the empty binding shared by read-only matches.
 var st0 pattern.Binding
 
-// invalidateDependents marks every join status whose updaters cover key as
-// invalid (transitive effects happen when those ranges recompute).
+// invalidateDependents marks the computed sub-intervals depending on key
+// dirty in every join status whose updaters cover it (transitive effects
+// happen when those spans recompute). This is the range-granular
+// replacement for whole-status invalidation: the affected output
+// sub-interval is derived by projecting the source key through the
+// join's key transform (the output pattern under the context's merged
+// binding), so sibling coverage in the same status stays valid and warm.
+// A context whose binding conflicts with the key is skipped outright —
+// the key cannot contribute tuples through it.
 func (e *Engine) invalidateDependents(key string) {
 	ut := e.updaters[keys.Table(key)]
 	if ut == nil {
 		return
 	}
-	var hit []*JoinStatus
+	var hit []updCtx
 	ut.Stab(key, func(en *interval.Entry[*Updater]) bool {
-		for _, c := range en.Val.contexts {
-			hit = append(hit, c.js)
-		}
+		hit = append(hit, en.Val.contexts...)
 		return true
 	})
-	for _, js := range hit {
-		if js.valid {
-			js.valid = false
-		}
+	if len(hit) == 0 {
+		return
 	}
+	now := e.now()
+	for i := range hit {
+		c := &hit[i]
+		js := c.js
+		if !js.valid {
+			continue // recomputes wholesale anyway
+		}
+		src := js.ij.j.Sources[c.srcIdx]
+		b2, ok := src.Pat.Match(key, mergeBinding(js.scanB, c.extra))
+		if !ok {
+			continue
+		}
+		e.markDirty(js, outAffectedRange(js.ij.j, b2, js.r), now)
+	}
+}
+
+// outAffectedRange returns the sub-interval of clip that outputs
+// depending on binding b can occupy: the output key itself when b
+// determines it completely (for aggregates that complete key IS the
+// group key, since source-only slots never appear in the output
+// pattern), otherwise the range under the longest determined output
+// prefix — the join's key transform applied to what is known. An
+// unbound leading slot widens to the whole clip.
+func outAffectedRange(j *join.Join, b pattern.Binding, clip keys.Range) keys.Range {
+	if k, ok := j.Out.BuildKey(b); ok {
+		return pattern.PointRange(k).Intersect(clip)
+	}
+	prefix, _ := j.Out.BuildPrefix(b)
+	if prefix == "" {
+		return clip
+	}
+	return keys.Range{Lo: prefix, Hi: keys.PrefixEnd(prefix)}.Intersect(clip)
 }

@@ -158,12 +158,13 @@ func (e *Engine) fireContext(c *updCtx, key string, old, new *store.Value) {
 	e.stats.UpdaterFires++
 	if c.lazy {
 		// Lazy maintenance for check sources: log a partial invalidation
-		// to be applied on the next read (§3.2).
+		// to be applied on the next read (§3.2). The stamp lets bounded
+		// reads age the unapplied entry against their budget.
 		op := OpPut
 		if new == nil {
 			op = OpRemove
 		}
-		js.logs = append(js.logs, logEntry{srcIdx: c.srcIdx, key: key, op: op, had: old != nil})
+		js.logs = append(js.logs, logEntry{srcIdx: c.srcIdx, key: key, op: op, had: old != nil, at: e.now()})
 		return
 	}
 
@@ -177,7 +178,12 @@ func (e *Engine) fireContext(c *updCtx, key string, old, new *store.Value) {
 			op = OpRemove
 		}
 		if !e.applyCheckDelta(js, c.srcIdx, key, op, old != nil) {
-			js.valid = false // unsupported shape: recompute on next read
+			// Unsupported shape (aggregates through check deltas):
+			// range-granular fallback — only the output sub-interval the
+			// key can affect goes dirty, not the whole status.
+			if b2, ok := src.Pat.Match(key, js.scanB); ok {
+				e.markDirty(js, outAffectedRange(j, b2, js.r), e.now())
+			}
 		}
 		return
 	}

@@ -1,0 +1,41 @@
+// Package freshness carries a per-read staleness budget on a
+// context.Context. It is a leaf package (standard library only) so the
+// public pequod package, the wire client (which stamps the budget onto
+// request frames exactly as it stamps deadlines), and the in-process
+// read paths can all consult the same budget without import cycles.
+//
+// A budget of zero — the default for every context — means "fresh":
+// today's read semantics, unchanged. A positive budget B permits the
+// read to serve state whose lag is at most B, skipping the
+// recomputation and load-wait work freshness would otherwise force; a
+// read whose range has lagged past B falls back to the fresh path.
+package freshness
+
+import (
+	"context"
+	"time"
+)
+
+type ctxKey struct{}
+
+// WithBudget returns a context carrying staleness budget d. A
+// non-positive d clears any budget (reads become fresh again), so
+// callers can narrow a budgeted context back to strict freshness.
+func WithBudget(ctx context.Context, d time.Duration) context.Context {
+	if d <= 0 {
+		if _, ok := ctx.Value(ctxKey{}).(time.Duration); !ok {
+			return ctx // nothing to clear; avoid an allocation
+		}
+		d = 0
+	}
+	return context.WithValue(ctx, ctxKey{}, d)
+}
+
+// Budget returns the staleness budget carried by ctx, or zero (fresh)
+// when none was set.
+func Budget(ctx context.Context) time.Duration {
+	if d, ok := ctx.Value(ctxKey{}).(time.Duration); ok && d > 0 {
+		return d
+	}
+	return 0
+}

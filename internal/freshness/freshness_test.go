@@ -1,0 +1,34 @@
+package freshness
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBudgetRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := Budget(ctx); got != 0 {
+		t.Fatalf("fresh context carries budget %v", got)
+	}
+	b := WithBudget(ctx, 25*time.Millisecond)
+	if got := Budget(b); got != 25*time.Millisecond {
+		t.Fatalf("Budget = %v, want 25ms", got)
+	}
+	// Narrowing back to fresh must win over the outer budget.
+	if got := Budget(WithBudget(b, 0)); got != 0 {
+		t.Fatalf("cleared budget = %v, want 0", got)
+	}
+	if got := Budget(WithBudget(b, -time.Second)); got != 0 {
+		t.Fatalf("negative budget = %v, want 0", got)
+	}
+	// Clearing a context that never had a budget is a no-op, not a
+	// wrap.
+	if WithBudget(ctx, 0) != ctx {
+		t.Fatal("clearing an unbudgeted context allocated a new one")
+	}
+	// Inner budgets shadow outer ones.
+	if got := Budget(WithBudget(b, time.Second)); got != time.Second {
+		t.Fatalf("nested budget = %v, want 1s", got)
+	}
+}

@@ -45,6 +45,8 @@ type Checker struct {
 	acks          atomic.Int64
 	checksTracked atomic.Int64 // scans audited
 	rowsVerified  atomic.Int64 // rows confirmed present and correct
+	boundedChecks atomic.Int64 // scans issued with a staleness budget
+	dualChecks    atomic.Int64 // bounded/fresh read pairs cross-audited
 
 	vmu        sync.Mutex
 	violations int64
@@ -194,6 +196,84 @@ func (c *Checker) OnCheck(id int32, since int64, kvs []core.KV, started time.Tim
 	c.audit(id, since, kvs, started, c.budget)
 }
 
+// OnBoundedCheck audits a timeline scan that was issued with a
+// per-read staleness budget of extra: the read is allowed to serve
+// state up to extra older than a fresh read would, so the absence
+// grace is the checker's replication budget plus the read's own. The
+// payload/phantom/duplicate rules do not loosen — a bounded read may
+// return old state, never wrong or fabricated state.
+func (c *Checker) OnBoundedCheck(id int32, since int64, kvs []core.KV, started time.Time, extra time.Duration) {
+	c.boundedChecks.Add(1)
+	c.audit(id, since, kvs, started, c.budget+extra)
+}
+
+// OnDualCheck cross-audits a bounded/fresh read pair over the same
+// timeline and window: the bounded scan (budget extra) ran first,
+// starting at bstart; the fresh oracle scan ran immediately after,
+// starting at fstart. Each scan is audited on its own (bounded with
+// the loosened grace, fresh with the standard one), then the pair is
+// compared row-for-row:
+//
+//   - stale-read — the fresh oracle shows a row the bounded read
+//     omitted even though it was acknowledged more than
+//     budget+extra before the bounded read began: the bounded read
+//     exceeded its staleness bound.
+//   - regression — the bounded read shows a row the fresh oracle
+//     lost even though it was acknowledged more than budget before
+//     the fresh read began: the fresh path dropped confirmed state
+//     (or the bounded path resurrected evicted state).
+//
+// Unlike the single-scan missing check, the pairwise pass judges
+// confirmed rows too — once both scans disagree about a settled row,
+// one of them is wrong.
+func (c *Checker) OnDualCheck(id int32, since int64, bounded, fresh []core.KV, bstart, fstart time.Time, extra time.Duration) {
+	tu := c.users[id]
+	if tu == nil {
+		return
+	}
+	c.dualChecks.Add(1)
+	c.boundedChecks.Add(1)
+	c.audit(id, since, bounded, bstart, c.budget+extra)
+	c.audit(id, since, fresh, fstart, c.budget)
+
+	inBounded := make(map[string]bool, len(bounded))
+	for _, kv := range bounded {
+		inBounded[kv.Key] = true
+	}
+	inFresh := make(map[string]bool, len(fresh))
+	for _, kv := range fresh {
+		inFresh[kv.Key] = true
+	}
+	tu.mu.Lock()
+	defer tu.mu.Unlock()
+	for key := range inFresh {
+		if inBounded[key] {
+			continue
+		}
+		row := tu.rows[key]
+		if row == nil || row.state != rowAcked {
+			continue // phantom already flagged by audit, or write unacked
+		}
+		if age := bstart.Sub(row.acked); age > c.budget+extra {
+			c.violate("stale-read", "user %s: bounded read (budget %v) omitted row %q acked %v earlier; fresh oracle has it",
+				twip.UserID(id), extra, key, age.Round(time.Millisecond))
+		}
+	}
+	for key := range inBounded {
+		if inFresh[key] {
+			continue
+		}
+		row := tu.rows[key]
+		if row == nil || row.state != rowAcked {
+			continue
+		}
+		if age := fstart.Sub(row.acked); age > c.budget {
+			c.violate("regression", "user %s: fresh oracle lost row %q acked %v earlier; bounded read still has it",
+				twip.UserID(id), key, age.Round(time.Millisecond))
+		}
+	}
+}
+
 // FinalSweep audits a post-quiesce full timeline scan with budget
 // zero: every acknowledged row must be present, no grace.
 func (c *Checker) FinalSweep(id int32, kvs []core.KV, started time.Time) {
@@ -269,6 +349,8 @@ type CheckerReport struct {
 	PostsAcked     int64            `json:"posts_acked"`
 	ChecksAudited  int64            `json:"checks_audited"`
 	RowsVerified   int64            `json:"rows_verified"`
+	BoundedChecks  int64            `json:"bounded_checks,omitempty"`
+	DualChecks     int64            `json:"dual_checks,omitempty"`
 	Violations     int64            `json:"violations"`
 	ViolationKinds map[string]int64 `json:"violation_kinds,omitempty"`
 	Samples        []string         `json:"violation_samples,omitempty"`
@@ -298,6 +380,8 @@ func (c *Checker) Report() CheckerReport {
 		PostsAcked:      c.acks.Load(),
 		ChecksAudited:   c.checksTracked.Load(),
 		RowsVerified:    c.rowsVerified.Load(),
+		BoundedChecks:   c.boundedChecks.Load(),
+		DualChecks:      c.dualChecks.Load(),
 		Violations:      violations,
 		ViolationKinds:  kinds,
 		Samples:         samples,

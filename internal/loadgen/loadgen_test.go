@@ -21,7 +21,7 @@ func TestOpenLoopUnderChaos(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second cluster scenario")
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
 	defer cancel()
 
 	phaseDur := 600 * time.Millisecond
@@ -100,6 +100,40 @@ func TestOpenLoopUnderChaos(t *testing.T) {
 	}
 	t.Logf("open-loop: %d offered, checker: %d posts tracked, %d checks audited, %d rows verified, lag p99 %dµs",
 		offered, rep.Checker.PostsTracked, rep.Checker.ChecksAudited, rep.Checker.RowsVerified, rep.Checker.LagP99us)
+
+	// Bounded phase: the measured freshness distribution feeds back as
+	// the empirical per-read budget — every read now rides the bounded
+	// path sized to the lag p99 the fresh run actually observed, and
+	// the checker audits the budgets end to end (absence grace loosens
+	// by exactly the read budget; payloads and phantoms stay strict).
+	empirical := time.Duration(rep.Checker.LagP99us) * time.Microsecond
+	if empirical < 5*time.Millisecond {
+		empirical = 5 * time.Millisecond // floor: p99 of 0 means reads never caught a row in flight
+	}
+	bcfg := cfg
+	bcfg.Seed = cfg.Seed + 1
+	bcfg.DataDir = t.TempDir()
+	bcfg.ReadStale = empirical
+	bcfg.Phases = []Phase{
+		{Name: "bounded-steady", Duration: phaseDur},
+		{Name: "bounded-rebalance", Duration: phaseDur, Event: EventRebalance},
+	}
+	t.Logf("bounded phase: empirical per-read budget %v (lag p99 %dµs)", empirical, rep.Checker.LagP99us)
+	brep, err := Run(ctx, bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brep.Checker.Violations != 0 {
+		t.Fatalf("bounded-phase violations (%d): %v", brep.Checker.Violations, brep.Checker.Samples)
+	}
+	if brep.Checker.BoundedChecks == 0 {
+		t.Fatalf("bounded phase audited no bounded reads: %+v", brep.Checker)
+	}
+	if brep.ReadStaleMs != empirical.Milliseconds() {
+		t.Fatalf("bounded-phase report echo wrong: %d != %d", brep.ReadStaleMs, empirical.Milliseconds())
+	}
+	t.Logf("bounded phase: %d bounded checks, %d rows verified, lag p99 %dµs",
+		brep.Checker.BoundedChecks, brep.Checker.RowsVerified, brep.Checker.LagP99us)
 }
 
 // Config validation must reject scripts the runner can't honor.

@@ -23,6 +23,8 @@ type Report struct {
 	Replicas    int      `json:"replicas"`
 	Durable     bool     `json:"durable"`
 	BudgetMs    int64    `json:"staleness_budget_ms"`
+	ReadStaleMs int64    `json:"read_stale_ms,omitempty"`
+	DualRead    bool     `json:"dual_read,omitempty"`
 	ElapsedSec  float64  `json:"elapsed_sec"`
 
 	Phases  []PhaseReport `json:"phases"`

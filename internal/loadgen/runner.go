@@ -11,6 +11,7 @@ import (
 
 	"pequod/internal/cluster"
 	"pequod/internal/core"
+	"pequod/internal/freshness"
 	"pequod/internal/keys"
 	"pequod/internal/perrs"
 	"pequod/internal/server"
@@ -77,6 +78,17 @@ type Config struct {
 	Budget   time.Duration // staleness budget for the online checker
 	TweetLen int           // synthetic post payload size
 	Phases   []Phase       // the script; StandardPhases(2s) if nil
+
+	// ReadStale > 0 issues every timeline read with that per-read
+	// staleness budget (carried on the wire per frame, surviving
+	// routing retries); the checker loosens only its absence grace by
+	// the same amount — payloads and phantoms stay strict. DualRead
+	// additionally re-issues each tracked read fresh immediately after
+	// the bounded one and cross-audits the pair (the freshness
+	// oracle): bounded may trail fresh by at most the budget, and
+	// neither side may fabricate or lose settled rows.
+	ReadStale time.Duration
+	DualRead  bool
 
 	// Self-contained mode (Addrs empty): the runner owns the cluster.
 	Servers          int
@@ -165,6 +177,9 @@ func (c Config) validate() error {
 		if ph.Event == EventRestart && !connect && c.DataDir == "" {
 			return fmt.Errorf("loadgen: event %q needs durable members (set DataDir)", ph.Event)
 		}
+	}
+	if c.DualRead && c.ReadStale <= 0 {
+		return fmt.Errorf("loadgen: DualRead needs ReadStale > 0 (the bounded side's budget)")
 	}
 	if !connect && c.Servers < 2 {
 		for _, ph := range c.Phases {
@@ -310,6 +325,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		Replicas:    cfg.Replicas,
 		Durable:     cfg.DataDir != "",
 		BudgetMs:    cfg.Budget.Milliseconds(),
+		ReadStaleMs: cfg.ReadStale.Milliseconds(),
+		DualRead:    cfg.DualRead,
 		ElapsedSec:  time.Since(start).Seconds(),
 		Checker:     r.checker.Report(),
 	}
@@ -458,12 +475,30 @@ func (r *Runner) execOp(ctx context.Context, o op) error {
 			since = r.lastCheck[o.idx].Load()
 		}
 		mark := r.clock.Load()
+		rctx := ctx
+		if r.cfg.ReadStale > 0 {
+			rctx = freshness.WithBudget(ctx, r.cfg.ReadStale)
+		}
 		started := time.Now()
-		kvs, err := r.scanTimeline(ctx, o.user, since)
+		kvs, err := r.scanTimeline(rctx, o.user, since)
 		if err != nil {
 			return err
 		}
-		r.checker.OnCheck(o.user, since, kvs, started)
+		switch {
+		case r.cfg.DualRead && r.checker.Tracked(o.user):
+			// The freshness oracle: the same window read fresh right
+			// after the bounded scan, the pair cross-audited.
+			fstart := time.Now()
+			fkvs, err := r.scanTimeline(ctx, o.user, since)
+			if err != nil {
+				return err
+			}
+			r.checker.OnDualCheck(o.user, since, kvs, fkvs, started, fstart, r.cfg.ReadStale)
+		case r.cfg.ReadStale > 0:
+			r.checker.OnBoundedCheck(o.user, since, kvs, started, r.cfg.ReadStale)
+		default:
+			r.checker.OnCheck(o.user, since, kvs, started)
+		}
 		r.lastCheck[o.idx].Store(mark)
 		return nil
 	}

@@ -35,4 +35,14 @@ var (
 	// with a concurrent coordinator and was not applied; re-inspect the
 	// cluster state and retry if still wanted.
 	ErrConflict = errors.New("pequod: conflicting map change")
+
+	// ErrOverBudget reports that a bounded-staleness read could not be
+	// served within its freshness budget: the range's lag exceeded the
+	// budget, the read fell back to the fresh path, and the fresh path
+	// itself failed (most commonly a deadline expiring while it waited
+	// for base data). A read that falls back and *succeeds* returns no
+	// error — the sentinel marks only budget-attributable failures, so
+	// callers can tell "your budget was unservable in time" apart from
+	// an ordinary timeout.
+	ErrOverBudget = errors.New("pequod: staleness budget exceeded")
 )

@@ -107,6 +107,14 @@ type Message struct {
 	// loads — rather than holding a doomed request open.
 	TimeoutMS uint64
 
+	// StaleMS is the caller's staleness budget in milliseconds for read
+	// requests (0 = fully fresh, the default semantics). A server may
+	// answer a bounded read from its current view, skipping deferred
+	// maintenance whose age fits the budget. Carried on every frame like
+	// TimeoutMS — one varint byte when zero — so it survives retries and
+	// re-routing without per-type plumbing.
+	StaleMS uint64
+
 	// Request fields.
 	Key, Value    string
 	Lo, Hi        string
@@ -207,6 +215,7 @@ func (m *Message) Encode(buf []byte) []byte {
 	buf = append(buf, byte(m.Type))
 	buf = appendUvarint(buf, m.Seq)
 	buf = appendUvarint(buf, m.TimeoutMS)
+	buf = appendUvarint(buf, m.StaleMS)
 	switch m.Type {
 	case MsgGet, MsgRemove:
 		buf = appendString(buf, m.Key)
@@ -473,6 +482,9 @@ func Decode(payload []byte) (*Message, error) {
 		return nil, err
 	}
 	if m.TimeoutMS, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if m.StaleMS, err = d.uvarint(); err != nil {
 		return nil, err
 	}
 	switch m.Type {

@@ -417,12 +417,14 @@ func (s *Server) statJSON() string {
 		Rebalance shard.RebalanceStats `json:"rebalance"`
 		Load      shard.LoadInfo       `json:"load"`
 		Joins     string               `json:"joins,omitempty"`
+		Staleness staleStat            `json:"staleness"`
 		Cluster   *clusterStat         `json:"cluster,omitempty"`
 		Durable   *durableStat         `json:"durable,omitempty"`
 	}{
 		Name: s.name, ID: s.id, Shards: s.pool.NumShards(), Entries: s.pool.Len(),
 		Bytes: s.pool.Bytes(), Stats: s.pool.Stats(),
 		Rebalance: s.pool.RebalanceStats(), Load: s.pool.LoadInfo(),
+		Staleness: s.staleStat(),
 		// The installed join set travels in stats so a coordinator that
 		// did not install the joins itself (a fresh pequod-cli run) can
 		// still replay them onto a joining member.
@@ -457,6 +459,34 @@ func (s *Server) statJSON() string {
 	return string(out)
 }
 
+// staleStat is the stat RPC's view of this member's staleness debt: the
+// forwarded-write queue lag and the deferred-maintenance backlog
+// (unapplied lazy logs plus dirty sub-intervals) that bounded reads
+// trade against their budget. Operators compare lag_us against the
+// budgets clients carry — a member whose lag exceeds every budget in
+// use serves only fresh-path reads and gets none of the latency win.
+type staleStat struct {
+	LagUS      int64 `json:"lag_us"`      // max forwarded-write queue lag across shards
+	DebtSpans  int   `json:"debt_spans"`  // deferred-maintenance spans (dirty + lazy logs)
+	DebtOldUS  int64 `json:"debt_old_us"` // age of the oldest deferred maintenance (incl. queue lag)
+	BoundedSrv int64 `json:"bounded_srv"` // reads served within a staleness budget
+	PartialInv int64 `json:"partial_inv"` // range-granular (sub-interval) invalidations
+	DirtyRecmp int64 `json:"dirty_recmp"` // dirty sub-interval recomputes
+}
+
+func (s *Server) staleStat() staleStat {
+	spans, oldest := s.pool.StalenessDebt()
+	st := s.pool.Stats()
+	return staleStat{
+		LagUS:      s.pool.MaxLag(time.Now()).Microseconds(),
+		DebtSpans:  spans,
+		DebtOldUS:  oldest.Microseconds(),
+		BoundedSrv: st.BoundedStaleServes,
+		PartialInv: st.PartialInvalidations,
+		DirtyRecmp: st.DirtyRecomputes,
+	}
+}
+
 // clusterStat is the stat RPC's view of a member's cluster position:
 // the published map it serves under (position, bounds, member
 // addresses), the owner indexes that are this process, and how many
@@ -482,9 +512,12 @@ func (s *Server) handle(cn *conn, m *rpc.Message) *rpc.Message {
 	if m.TimeoutMS > 0 {
 		dl = time.Now().Add(time.Duration(m.TimeoutMS) * time.Millisecond)
 	}
+	// Staleness budget for bounded reads (0 = fully fresh). Decoded once
+	// here; only the read handlers below consume it.
+	maxStale := time.Duration(m.StaleMS) * time.Millisecond
 	switch m.Type {
 	case rpc.MsgGet:
-		v, found, err := s.pool.GetDeadline(m.Key, dl)
+		v, found, err := s.pool.GetBounded(m.Key, maxStale, dl)
 		if err != nil {
 			return errReply(m.Seq, err)
 		}
@@ -525,7 +558,7 @@ func (s *Server) handle(cn *conn, m *rpc.Message) *rpc.Message {
 				s.nsubs.Add(1)
 			}
 		}
-		kvs, err := s.pool.ScanDeadline(m.Lo, m.Hi, m.Limit, cn.kvBuf, sub, dl)
+		kvs, err := s.pool.ScanBounded(m.Lo, m.Hi, m.Limit, cn.kvBuf, sub, maxStale, dl)
 		if err != nil {
 			return errReply(m.Seq, err)
 		}
@@ -535,7 +568,7 @@ func (s *Server) handle(cn *conn, m *rpc.Message) *rpc.Message {
 		return r
 
 	case rpc.MsgCount:
-		n, err := s.pool.CountDeadline(m.Lo, m.Hi, dl)
+		n, err := s.pool.CountBounded(m.Lo, m.Hi, maxStale, dl)
 		if err != nil {
 			return errReply(m.Seq, err)
 		}

@@ -70,6 +70,7 @@ package shard
 
 import (
 	"fmt"
+	"time"
 
 	"pequod/internal/core"
 	"pequod/internal/keys"
@@ -387,6 +388,7 @@ func (p *Pool) SpliceClusterRange(rs core.RangeState, next *partition.Map, peers
 	fwdSet, extSet := *p.fwd.Load(), *p.extRep.Load()
 	if len(fwdSet)+len(extSet) > 0 {
 		m := p.pmap.Load()
+		at := time.Now()
 		for _, kv := range rs.KVs {
 			t := keys.Table(kv.Key)
 			if !fwdSet[t] && !extSet[t] {
@@ -396,7 +398,7 @@ func (p *Pool) SpliceClusterRange(rs core.RangeState, next *partition.Map, peers
 			c := core.Change{Op: core.OpPut, Key: kv.Key, Value: kv.Value}
 			for j, sh := range p.shards {
 				if j != owner {
-					sh.enqueue(c)
+					sh.enqueue(c, at)
 				}
 			}
 		}
@@ -569,9 +571,10 @@ func (p *Pool) promoteBackfillLocked(d keys.Range) {
 				return true
 			}
 			c := core.Change{Op: core.OpPut, Key: k, Value: v.String()}
+			at := time.Now()
 			for j, dst := range p.shards {
 				if j != pc.Owner {
-					dst.enqueue(c)
+					dst.enqueue(c, at)
 				}
 			}
 			return true
@@ -710,6 +713,7 @@ func (p *Pool) reconcileRetained(ng *Gate) {
 			continue
 		}
 		m := p.pmap.Load()
+		at := time.Now()
 		for _, kv := range e.rs.KVs {
 			t := keys.Table(kv.Key)
 			if !fwdSet[t] && !extSet[t] {
@@ -719,7 +723,7 @@ func (p *Pool) reconcileRetained(ng *Gate) {
 			c := core.Change{Op: core.OpPut, Key: kv.Key, Value: kv.Value}
 			for j, sh := range p.shards {
 				if j != owner {
-					sh.enqueue(c)
+					sh.enqueue(c, at)
 				}
 			}
 		}

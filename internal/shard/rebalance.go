@@ -338,11 +338,11 @@ func (sh *Shard) applyQueuedRange(r keys.Range) {
 	sh.qmu.Lock()
 	var mine []core.Change
 	rest := sh.queue[:0]
-	for _, c := range sh.queue {
-		if r.Contains(c.Key) {
-			mine = append(mine, c)
+	for _, qc := range sh.queue {
+		if r.Contains(qc.c.Key) {
+			mine = append(mine, qc.c)
 		} else {
-			rest = append(rest, c)
+			rest = append(rest, qc)
 		}
 	}
 	sh.queue = rest

@@ -11,6 +11,7 @@ import (
 	"pequod/internal/join"
 	"pequod/internal/keys"
 	"pequod/internal/partition"
+	"pequod/internal/perrs"
 	"pequod/internal/store"
 )
 
@@ -127,11 +128,12 @@ type Shard struct {
 	e        *core.Engine
 	loadCond *sync.Cond // signaled when an async load or replica apply lands
 
-	qmu    sync.Mutex
-	qcond  *sync.Cond
-	queue  []core.Change
-	busy   bool // applier is mid-batch
-	closed bool
+	qmu     sync.Mutex
+	qcond   *sync.Cond
+	queue   []queuedChange
+	busy    bool      // applier is mid-batch
+	batchAt time.Time // oldest stamp of the in-flight batch (valid while busy)
+	closed  bool
 
 	// Load accounting for the rebalancer: units counts work served
 	// (one per op plus one per row scanned) since the last rebalancer
@@ -294,9 +296,10 @@ func (p *Pool) onChange(i int, c core.Change) {
 			}
 		}
 		if rep {
+			at := time.Now() // one stamp per change, shared by every sibling
 			for j, sh := range p.shards {
 				if j != i {
-					sh.enqueue(c)
+					sh.enqueue(c, at)
 				}
 			}
 		}
@@ -306,13 +309,45 @@ func (p *Pool) onChange(i int, c core.Change) {
 	}
 }
 
+// queuedChange is one forwarded write awaiting application, stamped at
+// enqueue so the shard's lag — the age of its oldest unapplied
+// forwarded write — can be read off the queue head.
+type queuedChange struct {
+	c  core.Change
+	at time.Time
+}
+
 // enqueue appends a forwarded change to this shard's apply queue. Called
 // with the *sender's* lock held so the queue preserves owner order.
-func (sh *Shard) enqueue(c core.Change) {
+func (sh *Shard) enqueue(c core.Change, at time.Time) {
 	sh.qmu.Lock()
-	sh.queue = append(sh.queue, c)
+	sh.queue = append(sh.queue, queuedChange{c: c, at: at})
 	sh.qmu.Unlock()
 	sh.qcond.Signal()
+}
+
+// Lag reports the age of the oldest forwarded write not yet applied at
+// this shard (zero when forwarding is idle): the staleness a read
+// served from the shard's current view inherits from in-process
+// forwarding. Bounded reads compare it against their budget; the
+// fresh-read semantics are unchanged (forwarding has always been
+// asynchronous — Quiesce is the settlement fence).
+func (sh *Shard) Lag(now time.Time) time.Duration {
+	sh.qmu.Lock()
+	defer sh.qmu.Unlock()
+	var oldest time.Time
+	switch {
+	case sh.busy:
+		oldest = sh.batchAt // FIFO: the in-flight batch predates the queue
+	case len(sh.queue) > 0:
+		oldest = sh.queue[0].at
+	default:
+		return 0
+	}
+	if d := now.Sub(oldest); d > 0 {
+		return d
+	}
+	return 0
 }
 
 // applyLoop drains forwarded base-data changes into the engine — the
@@ -341,9 +376,12 @@ func (sh *Shard) applyLoop() {
 		batch := sh.queue
 		sh.queue = nil
 		sh.busy = len(batch) > 0
+		if sh.busy {
+			sh.batchAt = batch[0].at
+		}
 		sh.qmu.Unlock()
-		for _, c := range batch {
-			sh.applyChange(c)
+		for _, qc := range batch {
+			sh.applyChange(qc.c)
 		}
 		sh.loadCond.Broadcast()
 		sh.mu.Unlock()
@@ -466,6 +504,21 @@ func (p *Pool) Get(key string) (string, bool) {
 // key may migrate away mid-wait; the read then reroutes to the new
 // owner.
 func (p *Pool) GetDeadline(key string, dl time.Time) (string, bool, error) {
+	return p.GetBounded(key, 0, dl)
+}
+
+// GetBounded is GetDeadline carrying a staleness budget (zero = fully
+// fresh, today's semantics). A bounded read may serve the current view
+// without applying outstanding maintenance whose age fits the budget:
+// both the shard's forwarded-write queue lag and the engine's per-range
+// debt (unapplied lazy logs, dirty sub-intervals) must be within
+// maxStale, checked under the same shard lock the fresh path holds. A
+// shard whose queue lag already exceeds the budget falls back to the
+// fresh path — serving its applied view could be arbitrarily stale
+// relative to the budget the caller asked for. Coverage gaps always
+// compute fresh regardless of budget: bounded staleness may serve old
+// state, never absent state.
+func (p *Pool) GetBounded(key string, maxStale time.Duration, dl time.Time) (string, bool, error) {
 	for {
 		sh := p.lockOwner(key)
 		for {
@@ -473,7 +526,11 @@ func (p *Pool) GetDeadline(key string, dl time.Time) (string, bool, error) {
 				sh.mu.Unlock()
 				return "", false, err
 			}
-			v, ok, pending := sh.e.Get(key)
+			budget := maxStale
+			if budget > 0 && sh.Lag(time.Now()) > budget {
+				budget = 0 // queue already over budget: fresh fallback
+			}
+			v, ok, pending := sh.e.GetBounded(key, budget)
 			if pending == 0 {
 				sh.record(key, 1)
 				sh.mu.Unlock()
@@ -481,7 +538,7 @@ func (p *Pool) GetDeadline(key string, dl time.Time) (string, bool, error) {
 			}
 			if !sh.waitLoadsLocked(dl) {
 				sh.mu.Unlock()
-				return "", false, ErrDeadline
+				return "", false, deadlineErr(maxStale)
 			}
 			if p.pmap.Load().Owner(key) != sh.idx {
 				sh.mu.Unlock()
@@ -489,6 +546,18 @@ func (p *Pool) GetDeadline(key string, dl time.Time) (string, bool, error) {
 			}
 		}
 	}
+}
+
+// deadlineErr attributes a deadline failure. A read that carried a
+// staleness budget and still timed out could not be served even with
+// the latitude the budget granted (the range needed base data, or the
+// shard fell back to the fresh path), so the error carries both
+// sentinels and callers can match either.
+func deadlineErr(maxStale time.Duration) error {
+	if maxStale > 0 {
+		return fmt.Errorf("%w: %w", perrs.ErrOverBudget, ErrDeadline)
+	}
+	return ErrDeadline
 }
 
 // Scan returns up to limit (0 = all) pairs in [lo, hi), fanning
@@ -513,8 +582,20 @@ var errMoved = errors.New("shard: range migrated mid-scan")
 // ScanDeadline is Scan bounded by a deadline (zero = none); an expired
 // deadline while waiting on base-data loads yields ErrDeadline.
 func (p *Pool) ScanDeadline(lo, hi string, limit int, buf []core.KV, sub func(shard int, r keys.Range), dl time.Time) ([]core.KV, error) {
+	return p.ScanBounded(lo, hi, limit, buf, sub, 0, dl)
+}
+
+// ScanBounded is ScanDeadline carrying a staleness budget (zero =
+// fully fresh); see GetBounded for the serving condition. Subscribing
+// scans (sub != nil) always run fresh — the subscription snapshot must
+// be exact or the subscriber would permanently miss the writes the
+// budget skipped.
+func (p *Pool) ScanBounded(lo, hi string, limit int, buf []core.KV, sub func(shard int, r keys.Range), maxStale time.Duration, dl time.Time) ([]core.KV, error) {
+	if sub != nil {
+		maxStale = 0
+	}
 	for {
-		kvs, err := p.scanOnce(lo, hi, limit, buf, sub, dl)
+		kvs, err := p.scanOnce(lo, hi, limit, buf, sub, maxStale, dl)
 		if err == errMoved {
 			continue
 		}
@@ -524,13 +605,13 @@ func (p *Pool) ScanDeadline(lo, hi string, limit int, buf []core.KV, sub func(sh
 
 // scanOnce runs one scan attempt against a snapshot of the partition
 // map, failing with errMoved if a migration invalidated a piece.
-func (p *Pool) scanOnce(lo, hi string, limit int, buf []core.KV, sub func(shard int, r keys.Range), dl time.Time) ([]core.KV, error) {
+func (p *Pool) scanOnce(lo, hi string, limit int, buf []core.KV, sub func(shard int, r keys.Range), maxStale time.Duration, dl time.Time) ([]core.KV, error) {
 	pieces := p.pmap.Load().Split(keys.Range{Lo: lo, Hi: hi})
 	if len(pieces) == 0 {
 		return buf[:0], nil
 	}
 	if len(pieces) == 1 {
-		return p.scanPiece(pieces[0], limit, buf, sub, dl)
+		return p.scanPiece(pieces[0], limit, buf, sub, maxStale, dl)
 	}
 	if limit > 0 && sub == nil {
 		// A limited scan stops at the first piece that satisfies it:
@@ -539,7 +620,7 @@ func (p *Pool) scanOnce(lo, hi string, limit int, buf []core.KV, sub func(shard 
 		// in pieces whose rows would be truncated anyway. Subscribing
 		// scans still fan out to every piece — each subscription needs
 		// its piece's complete snapshot.
-		out, err := p.scanPiece(pieces[0], limit, buf, nil, dl)
+		out, err := p.scanPiece(pieces[0], limit, buf, nil, maxStale, dl)
 		if err != nil {
 			return nil, err
 		}
@@ -549,7 +630,7 @@ func (p *Pool) scanOnce(lo, hi string, limit int, buf []core.KV, sub func(shard 
 				break
 			}
 			var err error
-			scratch, err = p.scanPiece(pc, limit-len(out), scratch[:0], nil, dl)
+			scratch, err = p.scanPiece(pc, limit-len(out), scratch[:0], nil, maxStale, dl)
 			if err != nil {
 				return nil, err
 			}
@@ -569,7 +650,7 @@ func (p *Pool) scanOnce(lo, hi string, limit int, buf []core.KV, sub func(shard 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[i], errs[i] = p.scanPiece(pc, limit, b, sub, dl)
+			results[i], errs[i] = p.scanPiece(pc, limit, b, sub, maxStale, dl)
 		}()
 	}
 	wg.Wait()
@@ -592,7 +673,7 @@ func (p *Pool) scanOnce(lo, hi string, limit int, buf []core.KV, sub func(shard 
 // pending. After taking the shard lock (and after every load wait,
 // which releases it) the piece must still be wholly owned by this
 // shard; a migration in between fails the attempt with errMoved.
-func (p *Pool) scanPiece(pc partition.Shard, limit int, buf []core.KV, sub func(int, keys.Range), dl time.Time) ([]core.KV, error) {
+func (p *Pool) scanPiece(pc partition.Shard, limit int, buf []core.KV, sub func(int, keys.Range), maxStale time.Duration, dl time.Time) ([]core.KV, error) {
 	sh := p.shards[pc.Owner]
 	sh.mu.Lock()
 	for {
@@ -604,7 +685,11 @@ func (p *Pool) scanPiece(pc partition.Shard, limit int, buf []core.KV, sub func(
 			sh.mu.Unlock()
 			return nil, err
 		}
-		kvs, pending := sh.e.ScanInto(pc.R.Lo, pc.R.Hi, limit, buf)
+		budget := maxStale
+		if budget > 0 && sh.Lag(time.Now()) > budget {
+			budget = 0 // queue already over budget: fresh fallback
+		}
+		kvs, pending := sh.e.ScanIntoBounded(pc.R.Lo, pc.R.Hi, limit, buf, budget)
 		buf = kvs
 		if pending == 0 {
 			if sub != nil {
@@ -616,7 +701,7 @@ func (p *Pool) scanPiece(pc partition.Shard, limit int, buf []core.KV, sub func(
 		}
 		if !sh.waitLoadsLocked(dl) {
 			sh.mu.Unlock()
-			return nil, ErrDeadline
+			return nil, deadlineErr(maxStale)
 		}
 	}
 }
@@ -630,6 +715,12 @@ func (p *Pool) Count(lo, hi string) int {
 
 // CountDeadline is Count bounded by a deadline (zero = none).
 func (p *Pool) CountDeadline(lo, hi string, dl time.Time) (int, error) {
+	return p.CountBounded(lo, hi, 0, dl)
+}
+
+// CountBounded is CountDeadline carrying a staleness budget (zero =
+// fully fresh); see GetBounded for the serving condition.
+func (p *Pool) CountBounded(lo, hi string, maxStale time.Duration, dl time.Time) (int, error) {
 retry:
 	for {
 		pieces := p.pmap.Load().Split(keys.Range{Lo: lo, Hi: hi})
@@ -657,7 +748,11 @@ retry:
 						errs[i] = err
 						return
 					}
-					n, pending := sh.e.Count(pc.R.Lo, pc.R.Hi)
+					budget := maxStale
+					if budget > 0 && sh.Lag(time.Now()) > budget {
+						budget = 0 // queue already over budget: fresh fallback
+					}
+					n, pending := sh.e.CountBounded(pc.R.Lo, pc.R.Hi, budget)
 					if pending == 0 {
 						counts[i] = n
 						sh.record(pc.R.Lo, 1+int64(n))
@@ -666,7 +761,7 @@ retry:
 					}
 					if !sh.waitLoadsLocked(dl) {
 						sh.mu.Unlock()
-						errs[i] = ErrDeadline
+						errs[i] = deadlineErr(maxStale)
 						return
 					}
 				}
@@ -884,9 +979,10 @@ func (p *Pool) backfillSelfOwned(table string, g *Gate) {
 				return true
 			}
 			c := core.Change{Op: core.OpPut, Key: k, Value: v.String()}
+			at := time.Now()
 			for j, dst := range p.shards {
 				if j != pc.Owner {
-					dst.enqueue(c)
+					dst.enqueue(c, at)
 				}
 			}
 			return true
@@ -942,9 +1038,10 @@ func (p *Pool) backfill(table string) {
 				continue // a stray replica; its owner backfills it
 			}
 			c := core.Change{Op: core.OpPut, Key: kv.Key, Value: kv.Value}
+			at := time.Now()
 			for j, dst := range p.shards {
 				if j != pc.Owner {
-					dst.enqueue(c)
+					dst.enqueue(c, at)
 				}
 			}
 		}
@@ -992,6 +1089,42 @@ func (p *Pool) Len() int {
 		sh.mu.Unlock()
 	}
 	return total
+}
+
+// MaxLag returns the largest forwarded-write queue lag across shards —
+// the age of the oldest replicated change some shard has accepted but
+// not yet applied. It is the pool half of the staleness a bounded read
+// tolerates (the engine half is per-range debt; see StalenessDebt).
+func (p *Pool) MaxLag(now time.Time) time.Duration {
+	var max time.Duration
+	for _, sh := range p.shards {
+		if l := sh.Lag(now); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// StalenessDebt aggregates staleness debt across shards for health
+// reporting: the number of deferred-maintenance spans (dirty
+// sub-intervals plus unapplied lazy logs) and the age of the oldest,
+// folded together with the forwarded-write queue lag so the result is
+// the worst staleness any bounded read could currently observe.
+func (p *Pool) StalenessDebt() (spans int, oldest time.Duration) {
+	now := time.Now()
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		s, o := sh.e.StalenessDebt(now)
+		sh.mu.Unlock()
+		spans += s
+		if o > oldest {
+			oldest = o
+		}
+	}
+	if l := p.MaxLag(now); l > oldest {
+		oldest = l
+	}
+	return spans, oldest
 }
 
 // --- shard handle (loader wiring) ---

@@ -62,13 +62,17 @@ package pequod
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"time"
 
 	"pequod/internal/backdb"
 	"pequod/internal/client"
 	"pequod/internal/cluster"
 	"pequod/internal/core"
+	"pequod/internal/freshness"
 	"pequod/internal/join"
+	"pequod/internal/perrs"
 	"pequod/internal/rpc"
 	"pequod/internal/server"
 	"pequod/internal/shard"
@@ -117,6 +121,29 @@ func PrefixEnd(prefix string) string {
 	return keysPrefixEnd(prefix)
 }
 
+// WithFreshness returns a context carrying a staleness budget for the
+// reads issued under it (Get/Scan/Count and their batch forms, on every
+// deployment shape). A budget maxStale > 0 lets the store answer from
+// its current view when all deferred maintenance covering the read —
+// queued cross-shard forwards, unapplied lazy invalidation logs, dirty
+// sub-intervals from range-granular invalidation — is younger than
+// maxStale; anything older is applied first, exactly as a fresh read
+// would. Bounded reads may return old state, never absent state: data
+// that was never computed is computed fresh regardless of budget.
+// maxStale <= 0 clears the budget (fully fresh, the default).
+//
+// On networked deployments the budget travels with each request frame
+// and is re-stamped per retry, so re-routing around a migration or a
+// failed member preserves it.
+func WithFreshness(ctx context.Context, maxStale time.Duration) context.Context {
+	return freshness.WithBudget(ctx, maxStale)
+}
+
+// FreshnessOf returns ctx's staleness budget (0 = fully fresh).
+func FreshnessOf(ctx context.Context) time.Duration {
+	return freshness.Budget(ctx)
+}
+
 // ctxDeadline extracts a context's deadline as the zero-able time the
 // shard pool understands.
 func ctxDeadline(ctx context.Context) time.Time {
@@ -125,12 +152,16 @@ func ctxDeadline(ctx context.Context) time.Time {
 }
 
 // ctxErr maps a pool deadline failure back onto the context's own error
-// when the deadline came from the context.
+// when the deadline came from the context, preserving the over-budget
+// sentinel so bounded-read failures stay matchable.
 func ctxErr(ctx context.Context, err error) error {
 	if err == nil {
 		return nil
 	}
 	if cerr := ctx.Err(); cerr != nil {
+		if errors.Is(err, perrs.ErrOverBudget) {
+			return fmt.Errorf("%w: %w", perrs.ErrOverBudget, cerr)
+		}
 		return cerr
 	}
 	return err
@@ -248,11 +279,13 @@ func (c *Cache) Remove(ctx context.Context, key string) (bool, error) {
 }
 
 // Get returns the value under key, computing covering joins on demand.
+// A staleness budget on ctx (WithFreshness) may serve the read from the
+// current view, skipping deferred maintenance younger than the budget.
 func (c *Cache) Get(ctx context.Context, key string) (string, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return "", false, err
 	}
-	v, ok, err := c.p.GetDeadline(key, ctxDeadline(ctx))
+	v, ok, err := c.p.GetBounded(key, freshness.Budget(ctx), ctxDeadline(ctx))
 	return v, ok, ctxErr(ctx, err)
 }
 
@@ -263,7 +296,7 @@ func (c *Cache) Scan(ctx context.Context, lo, hi string, limit int) ([]KV, error
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	kvs, err := c.p.ScanDeadline(lo, hi, limit, nil, nil, ctxDeadline(ctx))
+	kvs, err := c.p.ScanBounded(lo, hi, limit, nil, nil, freshness.Budget(ctx), ctxDeadline(ctx))
 	return kvs, ctxErr(ctx, err)
 }
 
@@ -272,7 +305,7 @@ func (c *Cache) Count(ctx context.Context, lo, hi string) (int64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	n, err := c.p.CountDeadline(lo, hi, ctxDeadline(ctx))
+	n, err := c.p.CountBounded(lo, hi, freshness.Budget(ctx), ctxDeadline(ctx))
 	return int64(n), ctxErr(ctx, err)
 }
 

@@ -1,0 +1,191 @@
+// Command covercheck enforces the committed per-package coverage
+// floors against a Go cover profile. It parses the profile itself
+// (rather than scraping `go test -cover` output) so one merged
+// -coverprofile run over ./internal/... yields every package's
+// statement coverage, and fails if any package listed in the floors
+// file is below its floor — or missing from the profile entirely,
+// which is what a deleted test file looks like.
+//
+// The floors file is the contract: a line per package, import path
+// then minimum percent, '#' comments allowed. Floors are ratchets set
+// below current coverage — they catch regressions, not enforce
+// targets; raise them as packages earn higher coverage.
+//
+//	pequod/internal/core 70
+//
+// Usage:
+//
+//	covercheck -profile coverage.out -floors coverage-floors.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// pkgCover accumulates one package's statement counts.
+type pkgCover struct {
+	total   int
+	covered int
+}
+
+func (p pkgCover) percent() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return 100 * float64(p.covered) / float64(p.total)
+}
+
+func main() {
+	profilePath := flag.String("profile", "coverage.out", "cover profile from go test -coverprofile")
+	floorsPath := flag.String("floors", "coverage-floors.txt", "committed per-package floors")
+	flag.Parse()
+
+	pkgs, err := parseProfile(*profilePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(2)
+	}
+	floors, err := parseFloors(*floorsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		pc := pkgs[name]
+		floor, gated := floors[name]
+		mark := " "
+		if gated && pc.percent() < floor {
+			mark = "!"
+			failed = true
+		}
+		fmt.Printf("%s %-40s %6.1f%% (floor %s)\n", mark, name, pc.percent(), floorString(floor, gated))
+	}
+	for name, floor := range floors {
+		if _, ok := pkgs[name]; !ok {
+			fmt.Printf("! %-40s absent from profile (floor %.0f%%)\n", name, floor)
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "covercheck: coverage below committed floors")
+		os.Exit(1)
+	}
+}
+
+func floorString(floor float64, gated bool) string {
+	if !gated {
+		return "none"
+	}
+	return fmt.Sprintf("%.0f%%", floor)
+}
+
+// parseProfile folds a cover profile into per-package statement
+// coverage. Blocks are deduplicated by position keeping the highest
+// count, so a merged or appended profile never double-counts.
+func parseProfile(path string) (map[string]pkgCover, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	type block struct {
+		stmts int
+		hit   bool
+	}
+	blocks := make(map[string]block)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		// file.go:sl.sc,el.ec numstmts count
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: malformed profile line %q", path, lineNo, line)
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: statement count: %w", path, lineNo, err)
+		}
+		count, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: hit count: %w", path, lineNo, err)
+		}
+		key := fields[0]
+		b := blocks[key]
+		b.stmts = stmts
+		b.hit = b.hit || count > 0
+		blocks[key] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	pkgs := make(map[string]pkgCover)
+	for key, b := range blocks {
+		file, _, ok := strings.Cut(key, ":")
+		if !ok {
+			return nil, fmt.Errorf("%s: block key %q has no position", path, key)
+		}
+		pkg := path2pkg(file)
+		pc := pkgs[pkg]
+		pc.total += b.stmts
+		if b.hit {
+			pc.covered += b.stmts
+		}
+		pkgs[pkg] = pc
+	}
+	return pkgs, nil
+}
+
+func path2pkg(file string) string { return path.Dir(file) }
+
+func parseFloors(p string) (map[string]float64, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	floors := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"<package> <floor>\", got %q", p, lineNo, line)
+		}
+		floor, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || floor < 0 || floor > 100 {
+			return nil, fmt.Errorf("%s:%d: floor %q is not a percentage", p, lineNo, fields[1])
+		}
+		if _, dup := floors[fields[0]]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate floor for %s", p, lineNo, fields[0])
+		}
+		floors[fields[0]] = floor
+	}
+	return floors, sc.Err()
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The profile parser must fold blocks into per-package statement
+// coverage, deduplicating repeated blocks by keeping any hit (a merged
+// or appended profile never double-counts).
+func TestParseProfile(t *testing.T) {
+	p := write(t, "cover.out", `mode: atomic
+pequod/internal/a/x.go:1.1,3.2 4 1
+pequod/internal/a/x.go:5.1,7.2 6 0
+pequod/internal/a/x.go:5.1,7.2 6 2
+pequod/internal/b/y.go:1.1,2.2 10 0
+`)
+	pkgs, err := parseProfile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pkgs["pequod/internal/a"]
+	if a.total != 10 || a.covered != 10 {
+		t.Fatalf("package a = %+v, want 10/10 (dedup keeps the hit)", a)
+	}
+	if got := a.percent(); got != 100 {
+		t.Fatalf("package a percent = %v", got)
+	}
+	b := pkgs["pequod/internal/b"]
+	if b.total != 10 || b.covered != 0 || b.percent() != 0 {
+		t.Fatalf("package b = %+v", b)
+	}
+}
+
+func TestParseProfileMalformed(t *testing.T) {
+	p := write(t, "cover.out", "mode: set\nnot a profile line\n")
+	if _, err := parseProfile(p); err == nil {
+		t.Fatal("malformed profile accepted")
+	}
+}
+
+func TestParseFloors(t *testing.T) {
+	p := write(t, "floors.txt", `# comment
+pequod/internal/a 70
+pequod/internal/b 42.5
+`)
+	floors, err := parseFloors(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floors["pequod/internal/a"] != 70 || floors["pequod/internal/b"] != 42.5 {
+		t.Fatalf("floors = %+v", floors)
+	}
+	for _, bad := range []string{"pequod/internal/a\n", "pequod/internal/a 123\n", "pequod/internal/a 70\npequod/internal/a 60\n"} {
+		if _, err := parseFloors(write(t, "bad.txt", bad)); err == nil {
+			t.Fatalf("accepted bad floors file %q", bad)
+		}
+	}
+}
